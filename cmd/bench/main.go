@@ -1,0 +1,70 @@
+// Command bench regenerates the paper's evaluation tables and figures
+// (Section VI) from the performance model and, for the model-validation
+// experiment, from real in-process distributed execution.
+//
+// Usage:
+//
+//	bench -exp fig2|fig3|fig4|table1|table2|table3|modelcheck|all [-out file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig2, fig3, fig4, table1, table2, table3, sv3d, ablation, memory, modelcheck, all")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	m := perfmodel.Lassen()
+	switch *exp {
+	case "fig2":
+		for _, t := range bench.Fig2(m) {
+			t.Write(w)
+		}
+	case "fig3":
+		for _, t := range bench.Fig3(m) {
+			t.Write(w)
+		}
+	case "fig4":
+		for _, t := range bench.Fig4(m) {
+			t.Write(w)
+		}
+	case "table1":
+		bench.TableI(m).Write(w)
+	case "table2":
+		bench.TableII(m).Write(w)
+	case "table3":
+		bench.TableIII(m).Write(w)
+	case "ablation":
+		bench.AblationOverlap(m).Write(w)
+	case "memory":
+		bench.MemoryTable(m).Write(w)
+	case "sv3d":
+		bench.SurfaceToVolume3D().Write(w)
+	case "modelcheck":
+		bench.ModelCheck().Write(w)
+	case "all":
+		bench.RunAll(m, w)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,110 @@
+// Mesh segmentation: train the reduced mesh-tangling model with hybrid
+// sample/spatial parallelism on four in-process ranks and verify the result
+// against an identically-seeded sequential run — the paper's headline use
+// case (Section VI-B1) at laptop scale, demonstrating that spatial
+// decomposition leaves learning dynamics untouched.
+//
+//	go run ./examples/mesh_segmentation
+package main
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/kernels"
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+func main() {
+	const (
+		size  = 64
+		batch = 4
+		iters = 15
+		seed  = 3
+	)
+	arch := models.MeshTiny(size)
+	outShape, err := arch.Output()
+	if err != nil {
+		panic(err)
+	}
+	cfg := data.MeshConfig{Size: size, Channels: 4, OutSize: outShape.H}
+	x, labels := data.MeshBatch(cfg, batch, seed)
+	fmt.Printf("mesh segmentation: %dx%dx4 inputs, %dx%d masks, tangle fraction %.3f\n",
+		size, size, outShape.H, outShape.W, data.TangleFraction(labels))
+
+	// Sequential reference run.
+	seq, err := nn.NewSeqNet(arch, seed)
+	if err != nil {
+		panic(err)
+	}
+	opt := nn.NewSGD(0.05, 0.9, 0)
+	var seqLosses []float64
+	for it := 0; it < iters; it++ {
+		logits := seq.Forward(x)
+		loss, dl := nn.SegLoss(logits, labels)
+		seqLosses = append(seqLosses, loss)
+		seq.Backward(dl)
+		opt.Step(seq.Params())
+	}
+
+	// Hybrid 2-sample x 2-spatial distributed run with identical seeding.
+	grid := dist.Grid{PN: 2, PH: 2, PW: 1}
+	kernels.SetMaxWorkers(1)
+	distLosses := make([]float64, iters)
+	var finalIoU float64
+	var mu sync.Mutex
+	world := comm.NewWorld(grid.Size())
+	world.Run(func(c *comm.Comm) {
+		ctx := core.NewCtx(c, grid)
+		net, err := nn.NewDistNet(ctx, arch, batch, seed)
+		if err != nil {
+			panic(err)
+		}
+		xs := net.ScatterInput(x)
+		lbl := nn.ScatterLabels(labels, net.OutputDist())
+		o := nn.NewSGD(0.05, 0.9, 0)
+		for it := 0; it < iters; it++ {
+			logits := net.Forward(xs[ctx.Rank])
+			loss, dl := nn.DistSegLoss(ctx, logits, lbl[ctx.Rank])
+			net.Backward(dl)
+			o.Step(net.Params())
+			if ctx.Rank == 0 {
+				mu.Lock()
+				distLosses[it] = loss
+				mu.Unlock()
+			}
+			if it == iters-1 {
+				pred := kernels.PixelArgmax(logits.Local)
+				iou := nn.IoU(pred, lbl[ctx.Rank], 1)
+				if ctx.Rank == 0 {
+					mu.Lock()
+					finalIoU = iou
+					mu.Unlock()
+				}
+			}
+		}
+	})
+
+	fmt.Println("\niter   sequential   hybrid-2x2   |diff|")
+	worst := 0.0
+	for it := 0; it < iters; it++ {
+		d := math.Abs(seqLosses[it] - distLosses[it])
+		if d > worst {
+			worst = d
+		}
+		if it%3 == 0 || it == iters-1 {
+			fmt.Printf("%4d   %.6f     %.6f     %.2g\n", it, seqLosses[it], distLosses[it], d)
+		}
+	}
+	fmt.Printf("\nmax loss divergence over %d iterations: %.3g (float32 accumulation noise)\n", iters, worst)
+	fmt.Printf("final rank-0 tangle IoU: %.3f\n", finalIoU)
+	if worst < 1e-3 {
+		fmt.Println("distributed training matches the sequential reference — exactness holds end to end")
+	}
+}

@@ -1,0 +1,50 @@
+// Microbench: really execute the distributed convolution across
+// parallelization schemes on in-process ranks and measure wall-clock — the
+// Figure 2/3 experiment at CPU scale, plus the model-validation comparison
+// of Section VI-B3.
+//
+//	go run ./examples/microbench
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/bench"
+	"repro/internal/dist"
+)
+
+func main() {
+	const (
+		n, c, h, w, f = 4, 8, 96, 96, 16
+		iters         = 3
+	)
+	geom := dist.ConvGeom{K: 3, S: 1, Pad: 1}
+	fmt.Printf("real-execution microbenchmark: conv N=%d C=%d %dx%d F=%d K=%d (in-process ranks, single-threaded kernels)\n\n",
+		n, c, h, w, f, geom.K)
+
+	grids := []dist.Grid{
+		{PN: 1, PH: 1, PW: 1},
+		{PN: 2, PH: 1, PW: 1},
+		{PN: 4, PH: 1, PW: 1},
+		{PN: 1, PH: 2, PW: 1},
+		{PN: 1, PH: 2, PW: 2},
+		{PN: 2, PH: 2, PW: 1},
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "grid\tranks\tFP ms\tBP ms\tspeedup")
+	var base float64
+	for i, g := range grids {
+		rt := bench.MeasureConvReal(g, n, c, h, w, f, geom, iters)
+		tot := rt.FP + rt.BP
+		if i == 0 {
+			base = tot
+		}
+		fmt.Fprintf(tw, "%v\t%d\t%.2f\t%.2f\t%.2fx\n", g, g.Size(), rt.FP*1e3, rt.BP*1e3, base/tot)
+	}
+	tw.Flush()
+
+	fmt.Println("\nmodel validation (measured vs predicted speedups):")
+	bench.ModelCheck().Write(os.Stdout)
+}

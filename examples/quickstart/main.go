@@ -1,0 +1,60 @@
+// Quickstart: train a small CNN on synthetic image classification with the
+// sequential executor, then evaluate — the five-minute tour of the tensor /
+// kernels / nn stack underneath the distributed algorithms.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/kernels"
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+func main() {
+	const (
+		size    = 16
+		classes = 4
+		train   = 64
+		test    = 32
+		iters   = 30
+	)
+	arch := models.SmallCNN(size, 3, classes)
+	net, err := nn.NewSeqNet(arch, 7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("quickstart: %s, %d convolutions, %d parameters\n",
+		arch.Name, arch.NumConvs(), countParams(net))
+
+	x, labels := data.ClassBatch(size, 3, classes, train, 1)
+	xTest, lTest := data.ClassBatch(size, 3, classes, test, 2)
+
+	opt := nn.NewSGD(0.1, 0.9, 1e-4)
+	for it := 0; it < iters; it++ {
+		logits := net.Forward(x)
+		loss, dl := nn.ClsLoss(logits, labels)
+		net.Backward(dl)
+		opt.Step(net.Params())
+		if it%5 == 0 || it == iters-1 {
+			fmt.Printf("iter %2d: loss %.4f\n", it, loss)
+		}
+	}
+
+	net.SetTrain(false)
+	logits := net.Forward(xTest)
+	s := logits.Shape()
+	pred := kernels.ArgmaxRows(logits.Reshape(s[0], s[1]))
+	fmt.Printf("test accuracy on %d held-out samples: %.2f\n", test, nn.Accuracy(pred, lTest))
+}
+
+func countParams(net *nn.SeqNet) int {
+	n := 0
+	for _, p := range net.Params() {
+		n += len(p.W)
+	}
+	return n
+}

@@ -1,0 +1,76 @@
+// Volume3D: the paper's concluding extension in action — distributed 3-D
+// convolution over a volumetric sample with a 2x2x2 spatial decomposition,
+// verified exact against sequential 3-D convolution, plus the
+// surface-to-volume table quantifying why three split axes beat two.
+//
+//	go run ./examples/volume3d
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+func main() {
+	const (
+		n, c, f = 1, 4, 8
+		l       = 24 // cube edge
+	)
+	geom := dist.ConvGeom{K: 3, S: 1, Pad: 1}
+	g := dist.Grid3{PN: 1, PD: 2, PH: 2, PW: 2}
+	fmt.Printf("3-D distributed convolution: %d^3 volume, C=%d F=%d K=%d on a %v grid (8 ranks)\n\n",
+		l, c, f, geom.K, g)
+
+	x := tensor.New(n, c, l, l, l)
+	x.FillRandN(1, 1)
+	w := tensor.New(f, c, 3, 3, 3)
+	w.FillRandN(2, 0.5)
+	dy := tensor.New(n, f, l, l, l)
+	dy.FillRandN(3, 1)
+
+	// Sequential reference.
+	ySeq := tensor.New(n, f, l, l, l)
+	kernels.Conv3DForward(x, w, nil, ySeq, 1, 1)
+	dxSeq := tensor.New(n, c, l, l, l)
+	kernels.Conv3DBackwardData(dy, w, dxSeq, 1, 1)
+
+	// Distributed run: three-phase halo exchange (W, H, D faces; edges and
+	// corners piggyback).
+	inD := dist.Dist3{Grid3: g, N: n, C: c, D: l, H: l, W: l}
+	outD := dist.Dist3{Grid3: g, N: n, C: f, D: l, H: l, W: l}
+	xs := core.Scatter3(x, inD)
+	dys := core.Scatter3(dy, outD)
+	yOut := make([]core.DistTensor3, g.Size())
+	dxOut := make([]core.DistTensor3, g.Size())
+	var mu sync.Mutex
+	world := comm.NewWorld(g.Size())
+	world.Run(func(cm *comm.Comm) {
+		ctx := core.NewCtx3(cm, g)
+		layer := core.NewConv3D(ctx, inD, f, geom)
+		copy(layer.W.Data(), w.Data())
+		y := layer.Forward(ctx, xs[ctx.Rank])
+		dx := layer.Backward(ctx, dys[ctx.Rank])
+		mu.Lock()
+		yOut[ctx.Rank] = y
+		dxOut[ctx.Rank] = dx
+		mu.Unlock()
+	})
+
+	fmt.Printf("forward  max rel error vs sequential: %.3g\n", core.Gather3(yOut).RelDiff(ySeq))
+	fmt.Printf("backward max rel error vs sequential: %.3g\n", core.Gather3(dxOut).RelDiff(dxSeq))
+	fmt.Println("(float32 accumulation noise — the 3-D halo exchange is exact)")
+
+	fmt.Println()
+	bench.SurfaceToVolume3D().Write(os.Stdout)
+	fmt.Println("three split axes need 3·p^(1/3) cuts where two need 2·√p: the 3-D")
+	fmt.Println("decomposition moves less halo per element as processor counts grow —")
+	fmt.Println("the paper's closing argument for spatial parallelism on volumetric data.")
+}

@@ -1,0 +1,377 @@
+package comm
+
+import "fmt"
+
+// Op is a reduction operator for reduce-style collectives.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+func (o Op) apply(dst, src []float32) {
+	switch o {
+	case OpSum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case OpMax:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	case OpMin:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	default:
+		panic(fmt.Sprintf("comm: unknown op %d", o))
+	}
+}
+
+// Collective tag bases. Each collective call uses a contiguous tag window
+// starting at its base; per-(src,dst) FIFO ordering makes reuse across
+// successive calls on the same communicator safe (non-overtaking matching).
+const (
+	tagAllreduce     = tagCollBase + 0x000
+	tagBcast         = tagCollBase + 0x100
+	tagReduce        = tagCollBase + 0x200
+	tagGather        = tagCollBase + 0x300
+	tagAllgather     = tagCollBase + 0x400
+	tagReduceScatter = tagCollBase + 0x500
+	tagAlltoall      = tagCollBase + 0x600
+	tagBarrier       = tagCollBase + 0x700
+)
+
+// AllreduceAlgo selects the allreduce algorithm, mirroring how MPI/NCCL
+// select by message size and rank count (Thakur et al.).
+type AllreduceAlgo int
+
+// Allreduce algorithm choices.
+const (
+	// AllreduceAuto picks recursive doubling for short messages and
+	// ring (reduce-scatter + allgather) for long ones.
+	AllreduceAuto AllreduceAlgo = iota
+	AllreduceRing
+	AllreduceRecursiveDoubling
+)
+
+// autoRingThreshold is the element count above which Auto uses the ring
+// algorithm (bandwidth-optimal) instead of recursive doubling
+// (latency-optimal), following the MPICH switchover strategy.
+const autoRingThreshold = 4096
+
+// Allreduce reduces buf elementwise across all ranks of the communicator
+// with operator op and leaves the identical result in buf on every rank.
+func (c *Comm) Allreduce(buf []float32, op Op) {
+	c.AllreduceAlgo(buf, op, AllreduceAuto)
+}
+
+// AllreduceAlgo is Allreduce with an explicit algorithm choice.
+func (c *Comm) AllreduceAlgo(buf []float32, op Op, algo AllreduceAlgo) {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	switch algo {
+	case AllreduceAuto:
+		if len(buf) >= autoRingThreshold && len(buf) >= p {
+			c.allreduceRing(buf, op)
+		} else {
+			c.allreduceRD(buf, op)
+		}
+	case AllreduceRing:
+		if len(buf) < p {
+			// Ring needs at least one element per rank; fall back.
+			c.allreduceRD(buf, op)
+			return
+		}
+		c.allreduceRing(buf, op)
+	case AllreduceRecursiveDoubling:
+		c.allreduceRD(buf, op)
+	default:
+		panic(fmt.Sprintf("comm: unknown allreduce algorithm %d", algo))
+	}
+}
+
+// allreduceRD is recursive doubling with a pre/post phase for non-power-of-
+// two rank counts (Thakur et al. §4): lg p rounds of pairwise full-buffer
+// exchanges. Latency-optimal; moves n words lg p times.
+func (c *Comm) allreduceRD(buf []float32, op Op) {
+	p := c.Size()
+	r := c.rank
+	// Largest power of two <= p.
+	pof2 := 1
+	for pof2*2 <= p {
+		pof2 *= 2
+	}
+	rem := p - pof2
+	// Phase 1: the first 2*rem ranks fold odd ranks into even ranks so a
+	// power-of-two group remains.
+	newRank := -1
+	if r < 2*rem {
+		if r%2 != 0 { // odd: send to r-1 and sit out
+			c.Send(r-1, tagAllreduce, buf)
+		} else { // even: absorb r+1
+			op.apply(buf, c.Recv(r+1, tagAllreduce))
+			newRank = r / 2
+		}
+	} else {
+		newRank = r - rem
+	}
+	// Phase 2: recursive doubling among pof2 participants.
+	if newRank >= 0 {
+		toOld := func(nr int) int {
+			if nr < rem {
+				return nr * 2
+			}
+			return nr + rem
+		}
+		for mask, step := 1, 0; mask < pof2; mask, step = mask<<1, step+1 {
+			partner := toOld(newRank ^ mask)
+			got := c.SendRecv(partner, tagAllreduce+1+step, buf)
+			op.apply(buf, got)
+		}
+	}
+	// Phase 3: return results to the folded odd ranks.
+	if r < 2*rem {
+		if r%2 != 0 {
+			res := c.Recv(r-1, tagAllreduce+64)
+			copy(buf, res)
+		} else {
+			c.Send(r+1, tagAllreduce+64, buf)
+		}
+	}
+}
+
+// allreduceRing is the bandwidth-optimal ring algorithm: a reduce-scatter
+// pass (p-1 steps) followed by an allgather pass (p-1 steps), each step
+// moving n/p words to the ring neighbor. Requires len(buf) >= p.
+func (c *Comm) allreduceRing(buf []float32, op Op) {
+	p := c.Size()
+	r := c.rank
+	n := len(buf)
+	chunk := func(i int) (lo, hi int) {
+		i = ((i % p) + p) % p
+		base, rem := n/p, n%p
+		lo = i*base + min(i, rem)
+		hi = lo + base
+		if i < rem {
+			hi++
+		}
+		return
+	}
+	next := (r + 1) % p
+	prev := (r - 1 + p) % p
+	// Reduce-scatter: at step s, send chunk (r-s) to next, receive chunk
+	// (r-s-1) from prev and reduce it.
+	for s := 0; s < p-1; s++ {
+		lo, hi := chunk(r - s)
+		c.Send(next, tagAllreduce+2+s, buf[lo:hi])
+		got := c.Recv(prev, tagAllreduce+2+s)
+		lo, hi = chunk(r - s - 1)
+		op.apply(buf[lo:hi], got)
+	}
+	// Allgather: circulate the finished chunks. Tag window starts after the
+	// reduce-scatter phase's window so the two phases never share a tag.
+	agBase := tagAllreduce + 2 + (p - 1)
+	for s := 0; s < p-1; s++ {
+		lo, hi := chunk(r + 1 - s)
+		c.Send(next, agBase+s, buf[lo:hi])
+		got := c.Recv(prev, agBase+s)
+		lo, hi = chunk(r - s)
+		copy(buf[lo:hi], got)
+	}
+}
+
+// Bcast broadcasts buf from root to all ranks using a binomial tree.
+func (c *Comm) Bcast(buf []float32, root int) {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	// Rotate so root is virtual rank 0.
+	vr := (c.rank - root + p) % p
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			src := (vr - mask + root) % p
+			copy(buf, c.Recv(src, tagBcast))
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vr+mask < p {
+			dst := (vr + mask + root) % p
+			c.Send(dst, tagBcast, buf)
+		}
+		mask >>= 1
+	}
+}
+
+// Reduce reduces buf to root with operator op using a binomial tree; the
+// result is valid only on root (other ranks' buffers hold partials).
+func (c *Comm) Reduce(buf []float32, op Op, root int) {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	vr := (c.rank - root + p) % p
+	for mask := 1; mask < p; mask <<= 1 {
+		if vr&mask != 0 {
+			dst := (vr - mask + root) % p
+			c.Send(dst, tagReduce, buf)
+			return
+		}
+		if vr+mask < p {
+			src := (vr + mask + root) % p
+			op.apply(buf, c.Recv(src, tagReduce))
+		}
+	}
+}
+
+// Gather collects each rank's equally-sized contribution into a root-side
+// buffer of p*len(buf) elements (returned on root; nil elsewhere).
+func (c *Comm) Gather(buf []float32, root int) []float32 {
+	p := c.Size()
+	if c.rank != root {
+		c.Send(root, tagGather, buf)
+		return nil
+	}
+	out := make([]float32, p*len(buf))
+	copy(out[c.rank*len(buf):], buf)
+	for r := 0; r < p; r++ {
+		if r == root {
+			continue
+		}
+		got := c.Recv(r, tagGather)
+		copy(out[r*len(buf):(r+1)*len(buf)], got)
+	}
+	return out
+}
+
+// Allgather fills buf (of p*per elements) with every rank's contribution:
+// rank r's input occupies buf[r*per:(r+1)*per] on entry, and on exit every
+// rank holds all contributions. Uses the ring algorithm. The tag parameter
+// lets internal callers (Split) use a private window; pass 0 otherwise.
+func (c *Comm) Allgather(buf []float32, per int, tag int) {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	if len(buf) != p*per {
+		panic(fmt.Sprintf("comm: Allgather buffer %d != %d ranks * %d", len(buf), p, per))
+	}
+	if tag == 0 {
+		tag = tagAllgather
+	}
+	next := (c.rank + 1) % p
+	prev := (c.rank - 1 + p) % p
+	for s := 0; s < p-1; s++ {
+		sendIdx := ((c.rank-s)%p + p) % p
+		recvIdx := ((c.rank-s-1)%p + p) % p
+		c.Send(next, tag+1+s, buf[sendIdx*per:(sendIdx+1)*per])
+		got := c.Recv(prev, tag+1+s)
+		copy(buf[recvIdx*per:(recvIdx+1)*per], got)
+	}
+}
+
+// AllgatherV gathers variable-length contributions: mine is this rank's
+// data, counts[r] gives every rank's length. Returns the concatenation in
+// rank order, identical on every rank.
+func (c *Comm) AllgatherV(mine []float32, counts []int) []float32 {
+	p := c.Size()
+	if len(counts) != p {
+		panic("comm: AllgatherV counts length mismatch")
+	}
+	if len(mine) != counts[c.rank] {
+		panic(fmt.Sprintf("comm: AllgatherV rank %d contributed %d, counts says %d", c.rank, len(mine), counts[c.rank]))
+	}
+	offs := make([]int, p+1)
+	for i, n := range counts {
+		offs[i+1] = offs[i] + n
+	}
+	out := make([]float32, offs[p])
+	copy(out[offs[c.rank]:], mine)
+	next := (c.rank + 1) % p
+	prev := (c.rank - 1 + p) % p
+	for s := 0; s < p-1; s++ {
+		sendIdx := ((c.rank-s)%p + p) % p
+		recvIdx := ((c.rank-s-1)%p + p) % p
+		c.Send(next, tagAllgather+128+s, out[offs[sendIdx]:offs[sendIdx+1]])
+		got := c.Recv(prev, tagAllgather+128+s)
+		copy(out[offs[recvIdx]:offs[recvIdx+1]], got)
+	}
+	return out
+}
+
+// ReduceScatter reduces buf (p equal blocks of per elements) across ranks
+// and returns this rank's reduced block, using pairwise exchange.
+func (c *Comm) ReduceScatter(buf []float32, per int, op Op) []float32 {
+	p := c.Size()
+	if len(buf) != p*per {
+		panic(fmt.Sprintf("comm: ReduceScatter buffer %d != %d ranks * %d", len(buf), p, per))
+	}
+	mine := make([]float32, per)
+	copy(mine, buf[c.rank*per:(c.rank+1)*per])
+	// Pairwise exchange: at step s, send block of rank (r+s) to (r+s) and
+	// receive my block's contribution from (r-s).
+	for s := 1; s < p; s++ {
+		dst := (c.rank + s) % p
+		src := (c.rank - s + p) % p
+		c.Send(dst, tagReduceScatter+s, buf[dst*per:(dst+1)*per])
+		op.apply(mine, c.Recv(src, tagReduceScatter+s))
+	}
+	return mine
+}
+
+// AlltoAllV performs a personalized all-to-all exchange: send[r] is the
+// payload for rank r (may be empty or nil); the result's r-th entry is the
+// payload received from rank r. Self-sends are copied locally.
+func (c *Comm) AlltoAllV(send [][]float32) [][]float32 {
+	p := c.Size()
+	if len(send) != p {
+		panic(fmt.Sprintf("comm: AlltoAllV needs %d send buffers, got %d", p, len(send)))
+	}
+	recv := make([][]float32, p)
+	// Stagger the exchange (rank+s pattern) to spread load; eager sends make
+	// any ordering deadlock-free.
+	for s := 0; s < p; s++ {
+		dst := (c.rank + s) % p
+		if dst == c.rank {
+			cp := make([]float32, len(send[dst]))
+			copy(cp, send[dst])
+			recv[c.rank] = cp
+			continue
+		}
+		c.Send(dst, tagAlltoall, send[dst])
+	}
+	for s := 0; s < p; s++ {
+		src := (c.rank - s + p) % p
+		if src == c.rank {
+			continue
+		}
+		recv[src] = c.Recv(src, tagAlltoall)
+	}
+	return recv
+}
+
+// Barrier blocks until every rank in the communicator has entered it.
+// Implemented as a zero-payload dissemination barrier.
+func (c *Comm) Barrier() {
+	p := c.Size()
+	for mask, step := 1, 0; mask < p; mask, step = mask<<1, step+1 {
+		dst := (c.rank + mask) % p
+		src := (c.rank - mask + p) % p
+		c.Send(dst, tagBarrier+step, nil)
+		c.Recv(src, tagBarrier+step)
+	}
+}

@@ -1,0 +1,615 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorldSizeAndRanks(t *testing.T) {
+	w := NewWorld(4)
+	if w.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", w.Size())
+	}
+	c := w.Comm(2)
+	if c.Rank() != 2 || c.Size() != 4 {
+		t.Fatalf("rank/size = %d/%d, want 2/4", c.Rank(), c.Size())
+	}
+	if c.WorldRank(3) != 3 {
+		t.Fatal("world communicator must map ranks identically")
+	}
+}
+
+func TestNewWorldPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWorld(0) did not panic")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 5, []float32{1, 2, 3})
+		} else {
+			got := c.Recv(0, 5)
+			if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+				t.Errorf("Recv got %v", got)
+			}
+		}
+	})
+}
+
+func TestSendCopiesData(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []float32{42}
+			c.Send(1, 1, buf)
+			buf[0] = -1 // must not affect the delivered message
+		} else {
+			if got := c.Recv(0, 1); got[0] != 42 {
+				t.Errorf("Recv got %v, want 42 (send must copy)", got[0])
+			}
+		}
+	})
+}
+
+func TestRecvMatchesTagAndSource(t *testing.T) {
+	w := NewWorld(3)
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(2, 7, []float32{7})
+		case 1:
+			c.Send(2, 9, []float32{9})
+		case 2:
+			// Receive in the opposite order from arrival possibilities.
+			if got := c.Recv(1, 9); got[0] != 9 {
+				t.Errorf("tag 9 got %v", got[0])
+			}
+			if got := c.Recv(0, 7); got[0] != 7 {
+				t.Errorf("tag 7 got %v", got[0])
+			}
+		}
+	})
+}
+
+func TestNonOvertakingOrder(t *testing.T) {
+	// Two same-tag messages between the same pair must arrive in send order.
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 3, []float32{1})
+			c.Send(1, 3, []float32{2})
+		} else {
+			if got := c.Recv(0, 3); got[0] != 1 {
+				t.Errorf("first message = %v, want 1", got[0])
+			}
+			if got := c.Recv(0, 3); got[0] != 2 {
+				t.Errorf("second message = %v, want 2", got[0])
+			}
+		}
+	})
+}
+
+func TestSendRecvExchange(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		me := float32(c.Rank())
+		got := c.SendRecv(1-c.Rank(), 2, []float32{me})
+		if got[0] != 1-me {
+			t.Errorf("rank %d exchanged got %v", c.Rank(), got[0])
+		}
+	})
+}
+
+func testAllreduceSizes(t *testing.T, algo AllreduceAlgo, sizes []int, ranks []int) {
+	t.Helper()
+	for _, p := range ranks {
+		for _, n := range sizes {
+			w := NewWorld(p)
+			var mu sync.Mutex
+			results := make([][]float32, p)
+			w.Run(func(c *Comm) {
+				buf := make([]float32, n)
+				for i := range buf {
+					buf[i] = float32(c.Rank()+1) * float32(i+1)
+				}
+				c.AllreduceAlgo(buf, OpSum, algo)
+				mu.Lock()
+				results[c.Rank()] = buf
+				mu.Unlock()
+			})
+			sumRanks := float32(p*(p+1)) / 2
+			for r, buf := range results {
+				for i, v := range buf {
+					want := sumRanks * float32(i+1)
+					if math.Abs(float64(v-want)) > 1e-3*float64(want) {
+						t.Fatalf("algo=%v p=%d n=%d rank %d elem %d = %v, want %v", algo, p, n, r, i, v, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllreduceRing(t *testing.T) {
+	testAllreduceSizes(t, AllreduceRing, []int{8, 64, 1000}, []int{2, 3, 4, 7, 8})
+}
+
+func TestAllreduceRecursiveDoubling(t *testing.T) {
+	testAllreduceSizes(t, AllreduceRecursiveDoubling, []int{1, 5, 64}, []int{2, 3, 4, 5, 8, 9})
+}
+
+func TestAllreduceAuto(t *testing.T) {
+	testAllreduceSizes(t, AllreduceAuto, []int{1, 3, 5000}, []int{1, 2, 6, 8})
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		buf := []float32{float32(c.Rank()), -float32(c.Rank())}
+		c.AllreduceAlgo(buf, OpMax, AllreduceRecursiveDoubling)
+		if buf[0] != 3 || buf[1] != 0 {
+			t.Errorf("max got %v", buf)
+		}
+		buf = []float32{float32(c.Rank()), -float32(c.Rank())}
+		c.AllreduceAlgo(buf, OpMin, AllreduceRecursiveDoubling)
+		if buf[0] != 0 || buf[1] != -3 {
+			t.Errorf("min got %v", buf)
+		}
+	})
+}
+
+func TestAllreduceAlgorithmsAgree(t *testing.T) {
+	// Ring and recursive doubling must produce identical results up to
+	// floating-point association on the same inputs.
+	for _, p := range []int{2, 3, 5, 8} {
+		n := 97
+		ref := make([]float32, n)
+		rng := rand.New(rand.NewSource(11))
+		inputs := make([][]float32, p)
+		for r := range inputs {
+			inputs[r] = make([]float32, n)
+			for i := range inputs[r] {
+				inputs[r][i] = rng.Float32() - 0.5
+				ref[i] += inputs[r][i]
+			}
+		}
+		for _, algo := range []AllreduceAlgo{AllreduceRing, AllreduceRecursiveDoubling} {
+			w := NewWorld(p)
+			w.Run(func(c *Comm) {
+				buf := append([]float32(nil), inputs[c.Rank()]...)
+				c.AllreduceAlgo(buf, OpSum, algo)
+				for i := range buf {
+					if math.Abs(float64(buf[i]-ref[i])) > 1e-4 {
+						t.Errorf("p=%d algo=%v elem %d = %v, want %v", p, algo, i, buf[i], ref[i])
+						return
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8} {
+		for root := 0; root < p; root += 2 {
+			w := NewWorld(p)
+			w.Run(func(c *Comm) {
+				buf := make([]float32, 10)
+				if c.Rank() == root {
+					for i := range buf {
+						buf[i] = float32(i) + 0.5
+					}
+				}
+				c.Bcast(buf, root)
+				for i := range buf {
+					if buf[i] != float32(i)+0.5 {
+						t.Errorf("p=%d root=%d rank %d: bcast elem %d = %v", p, root, c.Rank(), i, buf[i])
+						return
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 8} {
+		root := p - 1
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			buf := []float32{float32(c.Rank() + 1)}
+			c.Reduce(buf, OpSum, root)
+			if c.Rank() == root {
+				want := float32(p*(p+1)) / 2
+				if buf[0] != want {
+					t.Errorf("p=%d reduce = %v, want %v", p, buf[0], want)
+				}
+			}
+		})
+	}
+}
+
+func TestGather(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		out := c.Gather([]float32{float32(c.Rank()), float32(c.Rank() * 10)}, 1)
+		if c.Rank() == 1 {
+			want := []float32{0, 0, 1, 10, 2, 20, 3, 30}
+			for i := range want {
+				if out[i] != want[i] {
+					t.Errorf("gather = %v, want %v", out, want)
+					return
+				}
+			}
+		} else if out != nil {
+			t.Errorf("non-root rank %d got non-nil gather result", c.Rank())
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			per := 3
+			buf := make([]float32, p*per)
+			for i := 0; i < per; i++ {
+				buf[c.Rank()*per+i] = float32(c.Rank()*100 + i)
+			}
+			c.Allgather(buf, per, 0)
+			for r := 0; r < p; r++ {
+				for i := 0; i < per; i++ {
+					if buf[r*per+i] != float32(r*100+i) {
+						t.Errorf("p=%d rank %d: allgather[%d][%d] = %v", p, c.Rank(), r, i, buf[r*per+i])
+						return
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAllgatherV(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 5} {
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			counts := make([]int, p)
+			for r := range counts {
+				counts[r] = r + 1 // rank r contributes r+1 elements
+			}
+			mine := make([]float32, c.Rank()+1)
+			for i := range mine {
+				mine[i] = float32(c.Rank())
+			}
+			out := c.AllgatherV(mine, counts)
+			k := 0
+			for r := 0; r < p; r++ {
+				for i := 0; i < r+1; i++ {
+					if out[k] != float32(r) {
+						t.Errorf("p=%d allgatherv elem %d = %v, want %d", p, k, out[k], r)
+						return
+					}
+					k++
+				}
+			}
+		})
+	}
+}
+
+func TestReduceScatter(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 8} {
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			per := 4
+			buf := make([]float32, p*per)
+			for i := range buf {
+				buf[i] = float32(c.Rank() + 1)
+			}
+			mine := c.ReduceScatter(buf, per, OpSum)
+			want := float32(p*(p+1)) / 2
+			for i, v := range mine {
+				if v != want {
+					t.Errorf("p=%d rank %d: reduce-scatter elem %d = %v, want %v", p, c.Rank(), i, v, want)
+					return
+				}
+			}
+		})
+	}
+}
+
+func TestAlltoAllV(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5} {
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			send := make([][]float32, p)
+			for r := range send {
+				// Send r copies of my rank to rank r.
+				send[r] = make([]float32, r)
+				for i := range send[r] {
+					send[r][i] = float32(c.Rank())
+				}
+			}
+			recv := c.AlltoAllV(send)
+			for r := 0; r < p; r++ {
+				if len(recv[r]) != c.Rank() {
+					t.Errorf("p=%d rank %d: recv from %d has %d elems, want %d", p, c.Rank(), r, len(recv[r]), c.Rank())
+					return
+				}
+				for _, v := range recv[r] {
+					if v != float32(r) {
+						t.Errorf("p=%d rank %d: recv from %d = %v", p, c.Rank(), r, v)
+						return
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	// All ranks must have entered the barrier before any exits: check with a
+	// shared counter read after the barrier.
+	p := 8
+	w := NewWorld(p)
+	var entered sync.WaitGroup
+	entered.Add(p)
+	var count int32
+	var mu sync.Mutex
+	w.Run(func(c *Comm) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		entered.Done()
+		c.Barrier()
+		mu.Lock()
+		defer mu.Unlock()
+		if count != int32(p) {
+			t.Errorf("rank %d exited barrier before all entered (count=%d)", c.Rank(), count)
+		}
+	})
+}
+
+func TestSplitByColor(t *testing.T) {
+	// 6 ranks split into 2 colors of 3; communicator ranks follow key order.
+	w := NewWorld(6)
+	w.Run(func(c *Comm) {
+		color := c.Rank() % 2
+		key := -c.Rank() // reverse order within each color
+		sub := c.Split(color, key)
+		if sub.Size() != 3 {
+			t.Errorf("split size = %d, want 3", sub.Size())
+			return
+		}
+		// Reverse key order: highest old rank gets sub-rank 0.
+		wantRank := map[int]int{4: 0, 2: 1, 0: 2, 5: 0, 3: 1, 1: 2}[c.Rank()]
+		if sub.Rank() != wantRank {
+			t.Errorf("old rank %d got sub-rank %d, want %d", c.Rank(), sub.Rank(), wantRank)
+		}
+		// The sub-communicator must work for collectives.
+		buf := []float32{1}
+		sub.Allreduce(buf, OpSum)
+		if buf[0] != 3 {
+			t.Errorf("allreduce on split = %v, want 3", buf[0])
+		}
+	})
+}
+
+func TestSplitNegativeColorExcluded(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		color := 0
+		if c.Rank() == 3 {
+			color = -1
+		}
+		sub := c.Split(color, c.Rank())
+		if c.Rank() == 3 {
+			if sub != nil {
+				t.Error("negative color must yield nil communicator")
+			}
+			return
+		}
+		if sub.Size() != 3 {
+			t.Errorf("split size = %d, want 3", sub.Size())
+		}
+	})
+}
+
+func TestSplitIsolatesTagSpaces(t *testing.T) {
+	// Messages on a sub-communicator must not be matched by receives on the
+	// parent or sibling communicators, even with identical (src, tag).
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		sub := c.Split(c.Rank()%2, c.Rank())
+		// Sub-communicators: {0,2} and {1,3}. Within each, rank 0 sends to 1.
+		if sub.Rank() == 0 {
+			sub.Send(1, 5, []float32{float32(c.Rank())})
+		} else {
+			got := sub.Recv(0, 5)
+			want := float32(c.Rank() % 2) // world rank 0 or 1
+			if got[0] != want {
+				t.Errorf("world rank %d received %v, want %v", c.Rank(), got[0], want)
+			}
+		}
+	})
+}
+
+func TestNestedSplit(t *testing.T) {
+	// Split 8 ranks into 2 groups of 4, then each into 2 groups of 2, and
+	// run collectives at every level.
+	w := NewWorld(8)
+	w.Run(func(c *Comm) {
+		g1 := c.Split(c.Rank()/4, c.Rank())
+		g2 := g1.Split(g1.Rank()/2, g1.Rank())
+		if g2.Size() != 2 {
+			t.Errorf("nested split size = %d, want 2", g2.Size())
+			return
+		}
+		buf := []float32{1}
+		g2.Allreduce(buf, OpSum)
+		if buf[0] != 2 {
+			t.Errorf("nested allreduce = %v, want 2", buf[0])
+		}
+		buf = []float32{1}
+		g1.Allreduce(buf, OpSum)
+		if buf[0] != 4 {
+			t.Errorf("mid-level allreduce = %v, want 4", buf[0])
+		}
+		buf = []float32{1}
+		c.Allreduce(buf, OpSum)
+		if buf[0] != 8 {
+			t.Errorf("world allreduce = %v, want 8", buf[0])
+		}
+	})
+}
+
+func TestBackToBackCollectives(t *testing.T) {
+	// Successive collectives on the same communicator must not cross-match
+	// even when fast ranks race ahead (non-overtaking check under load).
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		for iter := 0; iter < 50; iter++ {
+			buf := []float32{float32(iter)}
+			c.Allreduce(buf, OpSum)
+			if buf[0] != float32(4*iter) {
+				t.Errorf("iter %d: allreduce = %v, want %v", iter, buf[0], 4*iter)
+				return
+			}
+		}
+	})
+}
+
+// Property: allreduce(sum) equals the true sum for random sizes and values.
+func TestQuickAllreduceSum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(200)
+		inputs := make([][]float32, p)
+		want := make([]float64, n)
+		for r := range inputs {
+			inputs[r] = make([]float32, n)
+			for i := range inputs[r] {
+				inputs[r][i] = rng.Float32()*2 - 1
+				want[i] += float64(inputs[r][i])
+			}
+		}
+		ok := true
+		var mu sync.Mutex
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			buf := append([]float32(nil), inputs[c.Rank()]...)
+			c.Allreduce(buf, OpSum)
+			for i := range buf {
+				if math.Abs(float64(buf[i])-want[i]) > 1e-4 {
+					mu.Lock()
+					ok = false
+					mu.Unlock()
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AlltoAllV is its own inverse in volume: the matrix of received
+// lengths is the transpose of sent lengths.
+func TestQuickAlltoAllTranspose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(6)
+		lens := make([][]int, p)
+		for r := range lens {
+			lens[r] = make([]int, p)
+			for d := range lens[r] {
+				lens[r][d] = rng.Intn(10)
+			}
+		}
+		ok := true
+		var mu sync.Mutex
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			send := make([][]float32, p)
+			for d := range send {
+				send[d] = make([]float32, lens[c.Rank()][d])
+			}
+			recv := c.AlltoAllV(send)
+			for src := range recv {
+				if len(recv[src]) != lens[src][c.Rank()] {
+					mu.Lock()
+					ok = false
+					mu.Unlock()
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ReduceScatter's block equals the corresponding slice of a full
+// Allreduce for random inputs.
+func TestQuickReduceScatterMatchesAllreduce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 2 + rng.Intn(6)
+		per := 1 + rng.Intn(20)
+		inputs := make([][]float32, p)
+		for r := range inputs {
+			inputs[r] = make([]float32, p*per)
+			for i := range inputs[r] {
+				inputs[r][i] = rng.Float32() - 0.5
+			}
+		}
+		ok := true
+		var mu sync.Mutex
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			rs := c.ReduceScatter(append([]float32(nil), inputs[c.Rank()]...), per, OpSum)
+			ar := append([]float32(nil), inputs[c.Rank()]...)
+			c.Allreduce(ar, OpSum)
+			for i := 0; i < per; i++ {
+				d := rs[i] - ar[c.Rank()*per+i]
+				if d > 1e-4 || d < -1e-4 {
+					mu.Lock()
+					ok = false
+					mu.Unlock()
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastSingleRankAndSelfConsistency(t *testing.T) {
+	// Degenerate single-rank world: all collectives are no-ops.
+	w := NewWorld(1)
+	w.Run(func(c *Comm) {
+		buf := []float32{42}
+		c.Bcast(buf, 0)
+		c.Allreduce(buf, OpSum)
+		c.Barrier()
+		if buf[0] != 42 {
+			t.Errorf("degenerate collectives altered data: %v", buf[0])
+		}
+	})
+}

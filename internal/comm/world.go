@@ -1,0 +1,250 @@
+// Package comm is the communication substrate substituting for
+// MPI + Aluminum + NCCL in the paper's implementation (Section IV). A World
+// hosts P ranks inside one process; each rank runs on its own goroutine and
+// exchanges messages through mailboxes. Point-to-point sends are eager
+// (buffered, non-blocking) and receives block, exactly the progress
+// guarantees the collective algorithms below rely on.
+//
+// Collectives (allreduce, reduce-scatter, allgather, all-to-allv, broadcast,
+// reduce, gather, barrier) are built on top of point-to-point messages with
+// the same algorithms MPI implementations use (ring, recursive doubling,
+// binomial trees), so message counts and payload volumes match what the
+// paper's performance model prices.
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one point-to-point payload. data is owned by the receiver once
+// delivered; senders always copy.
+type message struct {
+	src, tag int
+	data     []float32
+}
+
+// mailbox is an unbounded MPI-style matching queue: receives match on
+// (source, tag) and block until a matching message arrives.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m message) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+func (mb *mailbox) get(src, tag int) []float32 {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.queue {
+			if m.src == src && m.tag == tag {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m.data
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// World is a set of ranks that can communicate. It corresponds to
+// MPI_COMM_WORLD: create one per simulated job and derive sub-communicators
+// with Comm.Split.
+type World struct {
+	size      int
+	mailboxes []*mailbox
+
+	splitMu  sync.Mutex
+	splitIDs map[splitKey]int64
+	nextComm int64
+}
+
+// splitKey identifies one color group of one Split call on one communicator:
+// every member of the group computes the same key, so the world can hand all
+// of them the same fresh communicator id without any messaging.
+type splitKey struct {
+	parent int64
+	epoch  int64
+	color  int
+}
+
+// NewWorld creates a world with size ranks.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("comm: world size %d must be positive", size))
+	}
+	w := &World{size: size, mailboxes: make([]*mailbox, size), splitIDs: make(map[splitKey]int64)}
+	for i := range w.mailboxes {
+		w.mailboxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Comm returns the world communicator handle for the given rank. Each rank
+// goroutine should obtain its own handle.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", rank, w.size))
+	}
+	group := make([]int, w.size)
+	for i := range group {
+		group[i] = i
+	}
+	return &Comm{world: w, group: group, rank: rank, id: 0}
+}
+
+// Run spawns fn on a goroutine per rank and waits for all to finish. It is
+// the standard harness for SPMD tests and programs.
+func (w *World) Run(fn func(c *Comm)) {
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for r := 0; r < w.size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			fn(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Comm is a communicator: an ordered group of world ranks with an isolated
+// tag space. Rank numbers passed to Comm methods are group-relative.
+// A Comm handle belongs to a single rank goroutine and is not safe for
+// concurrent use by multiple goroutines (like an MPI communicator used from
+// one thread).
+type Comm struct {
+	world      *World
+	group      []int // group[i] = world rank of communicator rank i
+	rank       int   // my rank within the group
+	id         int64 // communicator id, isolates tag spaces
+	splitEpoch int64 // number of Split calls performed on this handle
+}
+
+// Rank returns the caller's rank within this communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in this communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// WorldRank returns the world rank of communicator rank r.
+func (c *Comm) WorldRank(r int) int { return c.group[r] }
+
+// tagOf folds the communicator id into the tag so traffic on different
+// communicators never matches.
+func (c *Comm) tagOf(tag int) int {
+	if tag < 0 || tag >= 1<<20 {
+		panic(fmt.Sprintf("comm: tag %d out of range", tag))
+	}
+	return int(c.id)<<20 | tag
+}
+
+// Send delivers a copy of data to rank dst (group-relative) with the given
+// tag. Send is eager and never blocks.
+func (c *Comm) Send(dst, tag int, data []float32) {
+	cp := make([]float32, len(data))
+	copy(cp, data)
+	c.SendNoCopy(dst, tag, cp)
+}
+
+// SendNoCopy delivers data without copying; the caller must not reuse the
+// slice afterwards. Use for freshly allocated buffers on hot paths.
+func (c *Comm) SendNoCopy(dst, tag int, data []float32) {
+	if dst < 0 || dst >= len(c.group) {
+		panic(fmt.Sprintf("comm: send to rank %d out of range [0,%d)", dst, len(c.group)))
+	}
+	c.world.mailboxes[c.group[dst]].put(message{src: c.rank, tag: c.tagOf(tag), data: data})
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. The returned slice is owned by the caller.
+func (c *Comm) Recv(src, tag int) []float32 {
+	if src < 0 || src >= len(c.group) {
+		panic(fmt.Sprintf("comm: recv from rank %d out of range [0,%d)", src, len(c.group)))
+	}
+	return c.world.mailboxes[c.group[c.rank]].get(src, c.tagOf(tag))
+}
+
+// SendRecv exchanges buffers with a partner rank and returns the received
+// payload. Safe against deadlock because sends are eager.
+func (c *Comm) SendRecv(partner, tag int, data []float32) []float32 {
+	c.Send(partner, tag, data)
+	return c.Recv(partner, tag)
+}
+
+// Split partitions the communicator like MPI_Comm_split: ranks passing the
+// same color form a new communicator, ordered by (key, old rank). Every rank
+// of c must call Split with the same sequence of collective operations.
+// A negative color returns nil (the rank is in no new communicator).
+func (c *Comm) Split(color, key int) *Comm {
+	c.splitEpoch++
+	// Gather (color, key) pairs from everyone via an allgather.
+	pairs := make([]float32, 2*len(c.group))
+	pairs[2*c.rank] = float32(color)
+	pairs[2*c.rank+1] = float32(key)
+	c.Allgather(pairs, 2, tagSplit)
+
+	if color < 0 {
+		return nil
+	}
+	type entry struct{ key, rank int }
+	var members []entry
+	for r := 0; r < len(c.group); r++ {
+		if int(pairs[2*r]) == color {
+			members = append(members, entry{int(pairs[2*r+1]), r})
+		}
+	}
+	// Insertion sort by (key, rank) — groups are small.
+	for i := 1; i < len(members); i++ {
+		for j := i; j > 0 && (members[j].key < members[j-1].key ||
+			(members[j].key == members[j-1].key && members[j].rank < members[j-1].rank)); j-- {
+			members[j], members[j-1] = members[j-1], members[j]
+		}
+	}
+	group := make([]int, len(members))
+	myRank := -1
+	for i, m := range members {
+		group[i] = c.group[m.rank]
+		if m.rank == c.rank {
+			myRank = i
+		}
+	}
+	// Every member of this color group computes the same (parent, epoch,
+	// color) key and receives the same fresh id from the world registry.
+	id := c.world.splitID(splitKey{parent: c.id, epoch: c.splitEpoch - 1, color: color})
+	return &Comm{world: c.world, group: group, rank: myRank, id: id}
+}
+
+// splitID returns the communicator id for a split group, allocating a fresh
+// one on first request.
+func (w *World) splitID(k splitKey) int64 {
+	w.splitMu.Lock()
+	defer w.splitMu.Unlock()
+	if id, ok := w.splitIDs[k]; ok {
+		return id
+	}
+	w.nextComm++
+	w.splitIDs[k] = w.nextComm
+	return w.nextComm
+}
+
+// Reserved internal tags. User tags share the space; collectives use tags
+// >= tagCollBase so user point-to-point traffic below that never collides.
+const (
+	tagCollBase = 1 << 19
+	tagSplit    = tagCollBase + 0x800
+)

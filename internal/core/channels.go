@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// This file implements the channel and filter parallelism sketched in
+// Section III-D (deferred to future work in the paper). Both operate over a
+// 1-D communicator; spatial dimensions stay whole. They compose with
+// sample parallelism the same way spatial parallelism does.
+
+// FilterParallelConv partitions the F dimension of the weights: each
+// processor holds w for a block of filters, inputs x are replicated within
+// the group, and the output y emerges partitioned on its channel (filter)
+// dimension with no forward communication. Backward-data requires a
+// reduce (sum over filter blocks), realized as an allreduce; weight
+// gradients are purely local.
+type FilterParallelConv struct {
+	Geom   dist.ConvGeom
+	C, F   int        // global channel/filter counts
+	FRange dist.Range // filters owned by this rank
+	W      *tensor.Tensor
+	DW     *tensor.Tensor
+
+	x *tensor.Tensor
+}
+
+// NewFilterParallelConv constructs the layer on communicator c.
+func NewFilterParallelConv(c *comm.Comm, inC, f int, geom dist.ConvGeom) *FilterParallelConv {
+	if f < c.Size() {
+		panic(fmt.Sprintf("core: filter-parallel conv with %d filters on %d ranks", f, c.Size()))
+	}
+	fr := dist.BlockPartition(f, c.Size(), c.Rank())
+	return &FilterParallelConv{
+		Geom: geom, C: inC, F: f, FRange: fr,
+		W:  tensor.New(fr.Len(), inC, geom.K, geom.K),
+		DW: tensor.New(fr.Len(), inC, geom.K, geom.K),
+	}
+}
+
+// Forward computes this rank's filter block: y [N, fLoc, OH, OW]. x must be
+// the full (replicated) input.
+func (l *FilterParallelConv) Forward(c *comm.Comm, x *tensor.Tensor) *tensor.Tensor {
+	xs := x.Shape()
+	oh, ow := l.Geom.OutSize(xs[2]), l.Geom.OutSize(xs[3])
+	y := tensor.New(xs[0], l.FRange.Len(), oh, ow)
+	kernels.ConvForward(x, l.W, nil, y, l.Geom.S, l.Geom.Pad, kernels.ConvAuto)
+	l.x = x
+	return y
+}
+
+// Backward consumes this rank's filter block of dy and returns the full dx
+// (identical on every rank after the allreduce). DW is complete locally.
+func (l *FilterParallelConv) Backward(c *comm.Comm, dy *tensor.Tensor) *tensor.Tensor {
+	if l.x == nil {
+		panic("core: filter-parallel Backward before Forward")
+	}
+	kernels.ConvBackwardFilter(l.x, dy, l.DW, l.Geom.S, l.Geom.Pad, false)
+	dx := tensor.New(l.x.Shape()...)
+	kernels.ConvBackwardData(dy, l.W, dx, l.Geom.S, l.Geom.Pad)
+	if c.Size() > 1 {
+		c.Allreduce(dx.Data(), comm.OpSum) // sum of per-filter-block contributions
+	}
+	l.x = nil
+	return dx
+}
+
+// ChannelParallelConv partitions the C dimension: each processor holds the
+// input channels of a block and the matching weight slice w[:, cBlk]. Each
+// computes a partial y over all filters; the channel sum of Eq. 1 is
+// completed with an allreduce (the paper notes a reduce-scatter could
+// instead leave y filter-partitioned). Backward-data is local (dx inherits
+// the channel partition); weight gradients are local to each channel block.
+type ChannelParallelConv struct {
+	Geom   dist.ConvGeom
+	C, F   int
+	CRange dist.Range     // input channels owned by this rank
+	W      *tensor.Tensor // [F, cLoc, K, K]
+	DW     *tensor.Tensor
+
+	x *tensor.Tensor // local channel shard [N, cLoc, H, W]
+}
+
+// NewChannelParallelConv constructs the layer on communicator c.
+func NewChannelParallelConv(c *comm.Comm, inC, f int, geom dist.ConvGeom) *ChannelParallelConv {
+	if inC < c.Size() {
+		panic(fmt.Sprintf("core: channel-parallel conv with %d channels on %d ranks", inC, c.Size()))
+	}
+	cr := dist.BlockPartition(inC, c.Size(), c.Rank())
+	return &ChannelParallelConv{
+		Geom: geom, C: inC, F: f, CRange: cr,
+		W:  tensor.New(f, cr.Len(), geom.K, geom.K),
+		DW: tensor.New(f, cr.Len(), geom.K, geom.K),
+	}
+}
+
+// Forward takes this rank's channel shard x [N, cLoc, H, W] and returns the
+// complete y [N, F, OH, OW], identical on every rank after the allreduce.
+func (l *ChannelParallelConv) Forward(c *comm.Comm, x *tensor.Tensor) *tensor.Tensor {
+	xs := x.Shape()
+	if xs[1] != l.CRange.Len() {
+		panic(fmt.Sprintf("core: channel shard has %d channels, rank owns %d", xs[1], l.CRange.Len()))
+	}
+	oh, ow := l.Geom.OutSize(xs[2]), l.Geom.OutSize(xs[3])
+	y := tensor.New(xs[0], l.F, oh, ow)
+	kernels.ConvForward(x, l.W, nil, y, l.Geom.S, l.Geom.Pad, kernels.ConvAuto)
+	if c.Size() > 1 {
+		c.Allreduce(y.Data(), comm.OpSum) // complete the channel sum
+	}
+	l.x = x
+	return y
+}
+
+// Backward consumes the full dy (replicated) and returns dx for this rank's
+// channel shard. No communication is needed: the channel partition makes
+// both dw and dx local.
+func (l *ChannelParallelConv) Backward(c *comm.Comm, dy *tensor.Tensor) *tensor.Tensor {
+	if l.x == nil {
+		panic("core: channel-parallel Backward before Forward")
+	}
+	kernels.ConvBackwardFilter(l.x, dy, l.DW, l.Geom.S, l.Geom.Pad, false)
+	dx := tensor.New(l.x.Shape()...)
+	kernels.ConvBackwardData(dy, l.W, dx, l.Geom.S, l.Geom.Pad)
+	l.x = nil
+	return dx
+}

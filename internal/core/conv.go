@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// Conv is a distributed 2-D convolution layer supporting sample, spatial,
+// and hybrid sample/spatial parallelism (Section III-A). The weights (and
+// bias) are replicated on every processor; activations are blocked over the
+// processor grid. Forward and backward-data passes perform halo exchanges;
+// the weight-gradient sum is completed with an allreduce over all
+// processors.
+type Conv struct {
+	Geom    dist.ConvGeom
+	InDist  dist.Dist
+	OutDist dist.Dist
+
+	W     *tensor.Tensor // [F, C, K, K], replicated
+	Bias  []float32      // optional, [F]
+	DW    *tensor.Tensor
+	DBias []float32
+
+	// Algo selects the local convolution kernel (cuDNN algorithm analogue).
+	Algo kernels.ConvAlgo
+	// Overlap enables interior/boundary decomposition in forward propagation
+	// and hiding the dy halo exchange under the filter-gradient computation
+	// in backpropagation (Section IV-A).
+	Overlap bool
+	// DeferAllreduce leaves the dw/dbias allreduce to the caller (the
+	// network runner overlaps it with other layers, Section V-B); when
+	// false Backward completes gradients before returning.
+	DeferAllreduce bool
+
+	fwdPlan *HaloPlan
+	bwdPlan *HaloPlan
+	tag     int
+
+	xExt   Ext // forward input with halo, kept for backward-filter
+	hasExt bool
+}
+
+// NewConv constructs a distributed convolution layer producing f filters
+// from inputs distributed as inDist. bias=true adds a learnable bias.
+func NewConv(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom, bias bool) *Conv {
+	if err := geom.Validate(); err != nil {
+		panic(err)
+	}
+	outH, outW := geom.OutSize(inDist.H), geom.OutSize(inDist.W)
+	if outH < inDist.Grid.PH || outW < inDist.Grid.PW {
+		panic(fmt.Sprintf("core: output %dx%d too small for grid %v", outH, outW, inDist.Grid))
+	}
+	outDist := dist.Dist{Grid: inDist.Grid, N: inDist.N, C: f, H: outH, W: outW}
+	l := &Conv{
+		Geom:    geom,
+		InDist:  inDist,
+		OutDist: outDist,
+		W:       tensor.New(f, inDist.C, geom.K, geom.K),
+		DW:      tensor.New(f, inDist.C, geom.K, geom.K),
+		Algo:    kernels.ConvAuto,
+		Overlap: true,
+		tag:     ctx.AllocTags(4),
+	}
+	if bias {
+		l.Bias = make([]float32, f)
+		l.DBias = make([]float32, f)
+	}
+	l.fwdPlan = forwardPlan(inDist, ctx.Rank, geom, outH, outW)
+	l.bwdPlan = backwardPlan(outDist, ctx.Rank, geom, inDist.H, inDist.W)
+	return l
+}
+
+// Forward computes the local output shard, exchanging input halos with
+// spatial neighbors. With Overlap, the halo exchange runs concurrently with
+// the interior convolution and only the boundary waits for it.
+func (l *Conv) Forward(ctx *Ctx, x DistTensor) DistTensor {
+	if !x.Dist.SameLayout(l.InDist) {
+		panic(fmt.Sprintf("core: conv input dist %v, want %v", x.Dist, l.InDist))
+	}
+	y := NewDistTensor(l.OutDist, ctx.Rank)
+	plan := l.fwdPlan
+	hasHalo := len(plan.recvW)+len(plan.recvH)+len(plan.sendW)+len(plan.sendH) > 0
+
+	ext := plan.NewExt()
+	plan.fillOwned(ext, x.Local)
+	if l.Overlap && hasHalo {
+		done := make(chan struct{})
+		go func() {
+			plan.RunInto(ctx, x.Local, ext, l.tag)
+			close(done)
+		}()
+		intH, intW := l.interiorRange(ctx)
+		l.convRegion(ext, y.Local, intH, intW)
+		<-done
+		oh := l.localOutH(ctx)
+		ow := l.localOutW(ctx)
+		// Boundary: top and bottom full-width strips, then left/right
+		// columns of the interior rows.
+		for _, r := range []struct{ h, w dist.Range }{
+			{dist.Range{Lo: 0, Hi: intH.Lo}, dist.Range{Lo: 0, Hi: ow}},
+			{dist.Range{Lo: intH.Hi, Hi: oh}, dist.Range{Lo: 0, Hi: ow}},
+			{intH, dist.Range{Lo: 0, Hi: intW.Lo}},
+			{intH, dist.Range{Lo: intW.Hi, Hi: ow}},
+		} {
+			l.convRegion(ext, y.Local, r.h, r.w)
+		}
+	} else {
+		if hasHalo {
+			plan.RunInto(ctx, x.Local, ext, l.tag)
+		}
+		oh, ow := l.localOutH(ctx), l.localOutW(ctx)
+		if plan.AlignH() == 0 && plan.AlignW() == 0 &&
+			ext.T.Dim(2) == (oh-1)*l.Geom.S+l.Geom.K && ext.T.Dim(3) == (ow-1)*l.Geom.S+l.Geom.K {
+			// Ext is exactly the required window: convolve it directly.
+			kernels.ConvForward(ext.T, l.W, l.Bias, y.Local, l.Geom.S, 0, l.Algo)
+		} else {
+			l.convRegion(ext, y.Local, dist.Range{Lo: 0, Hi: oh}, dist.Range{Lo: 0, Hi: ow})
+		}
+	}
+	l.xExt = ext
+	l.hasExt = true
+	return y
+}
+
+// localOutH/localOutW are the extents of this rank's output shard.
+func (l *Conv) localOutH(ctx *Ctx) int { return l.OutDist.RangeH(ctx.Rank).Len() }
+func (l *Conv) localOutW(ctx *Ctx) int { return l.OutDist.RangeW(ctx.Rank).Len() }
+
+// interiorRange returns the local output rows/cols whose convolution windows
+// read only owned input (computable before the halo exchange completes).
+func (l *Conv) interiorRange(ctx *Ctx) (h, w dist.Range) {
+	outH := l.OutDist.RangeH(ctx.Rank)
+	outW := l.OutDist.RangeW(ctx.Rank)
+	inH := l.InDist.RangeH(ctx.Rank)
+	inW := l.InDist.RangeW(ctx.Rank)
+	h = interior1D(outH, inH, l.Geom, l.InDist.H)
+	w = interior1D(outW, inW, l.Geom, l.InDist.W)
+	return
+}
+
+// interior1D computes, in local output coordinates, the output indices whose
+// required inputs fall inside the owned interval (padding positions count as
+// available, since they are materialized zeros, not remote data).
+func interior1D(out, own dist.Range, g dist.ConvGeom, size int) dist.Range {
+	lo := out.Lo
+	for lo < out.Hi {
+		req := g.RequiredIn(dist.Range{Lo: lo, Hi: lo + 1}).Intersect(dist.Range{Lo: 0, Hi: size})
+		if req.Lo >= own.Lo {
+			break
+		}
+		lo++
+	}
+	hi := out.Hi
+	for hi > lo {
+		req := g.RequiredIn(dist.Range{Lo: hi - 1, Hi: hi}).Intersect(dist.Range{Lo: 0, Hi: size})
+		if req.Hi <= own.Hi {
+			break
+		}
+		hi--
+	}
+	return dist.Range{Lo: lo - out.Lo, Hi: hi - out.Lo}
+}
+
+// convRegion convolves one rectangular region of the local output (local
+// coordinates) out of the halo-extended buffer: output position (oy, ox)
+// reads ext rows [AlignH + oy*S, AlignH + oy*S + K) (padding is
+// materialized, so the kernel runs with pad=0).
+func (l *Conv) convRegion(ext Ext, yLoc *tensor.Tensor, rh, rw dist.Range) {
+	if rh.Empty() || rw.Empty() {
+		return
+	}
+	s, k := l.Geom.S, l.Geom.K
+	n := ext.T.Dim(0)
+	c := ext.T.Dim(1)
+	f := l.W.Dim(0)
+	ah, aw := l.fwdPlan.AlignH(), l.fwdPlan.AlignW()
+	sub := tensor.New(n, c, (rh.Len()-1)*s+k, (rw.Len()-1)*s+k)
+	sub.InsertRegion(
+		tensor.Region{Off: []int{0, 0, 0, 0}, Size: sub.Shape()},
+		ext.T.ExtractRegion(tensor.Region{
+			Off:  []int{0, 0, ah + rh.Lo*s, aw + rw.Lo*s},
+			Size: []int{n, c, (rh.Len()-1)*s + k, (rw.Len()-1)*s + k},
+		}))
+	yPart := tensor.New(n, f, rh.Len(), rw.Len())
+	kernels.ConvForward(sub, l.W, l.Bias, yPart, s, 0, l.Algo)
+	yLoc.InsertRegion(
+		tensor.Region{Off: []int{0, 0, rh.Lo, rw.Lo}, Size: []int{n, f, rh.Len(), rw.Len()}},
+		yPart.Data())
+}
+
+// Backward computes the local weight gradients (completed by an allreduce
+// over all processors unless DeferAllreduce), and returns the error signal
+// for the parent layer. With Overlap, the dy halo exchange is hidden under
+// the filter-gradient convolution, which needs no halo (Section IV-A).
+func (l *Conv) Backward(ctx *Ctx, dy DistTensor) DistTensor {
+	if !dy.Dist.SameLayout(l.OutDist) {
+		panic(fmt.Sprintf("core: conv dy dist %v, want %v", dy.Dist, l.OutDist))
+	}
+	if !l.hasExt {
+		panic("core: conv Backward called before Forward")
+	}
+	plan := l.bwdPlan
+	hasHalo := len(plan.recvW)+len(plan.recvH)+len(plan.sendW)+len(plan.sendH) > 0
+
+	dyExt := plan.NewExt()
+	plan.fillOwned(dyExt, dy.Local)
+	xAligned := l.alignedInput(ctx)
+	runFilter := func() {
+		kernels.ConvBackwardFilter(xAligned, dy.Local, l.DW, l.Geom.S, 0, false)
+		if l.Bias != nil {
+			kernels.BiasBackward(dy.Local, l.DBias, false)
+		}
+	}
+	if l.Overlap && hasHalo {
+		done := make(chan struct{})
+		go func() {
+			plan.RunInto(ctx, dy.Local, dyExt, l.tag+2)
+			close(done)
+		}()
+		runFilter()
+		<-done
+	} else {
+		if hasHalo {
+			plan.RunInto(ctx, dy.Local, dyExt, l.tag+2)
+		}
+		runFilter()
+	}
+
+	dx := NewDistTensor(l.InDist, ctx.Rank)
+	inH := l.InDist.RangeH(ctx.Rank)
+	inW := l.InDist.RangeW(ctx.Rank)
+	kernels.ConvBackwardDataRegion(dyExt.T, l.W, dx.Local, l.Geom.S, l.Geom.Pad,
+		inH.Lo, inW.Lo, dyExt.HLo, dyExt.WLo)
+
+	if !l.DeferAllreduce {
+		l.ReduceGradients(ctx)
+	}
+	l.hasExt = false
+	l.xExt = Ext{}
+	return dx
+}
+
+// alignedInput returns the forward ext buffer restricted to the required
+// window (so that pad=0 kernels see ext row oy*S+kh for local output oy).
+// When the buffer is already exactly the required window it is returned
+// as-is, avoiding the copy — the common stride-1 case.
+func (l *Conv) alignedInput(ctx *Ctx) *tensor.Tensor {
+	oh, ow := l.localOutH(ctx), l.localOutW(ctx)
+	needH := (oh-1)*l.Geom.S + l.Geom.K
+	needW := (ow-1)*l.Geom.S + l.Geom.K
+	ah, aw := l.fwdPlan.AlignH(), l.fwdPlan.AlignW()
+	if ah == 0 && aw == 0 && l.xExt.T.Dim(2) == needH && l.xExt.T.Dim(3) == needW {
+		return l.xExt.T
+	}
+	n, c := l.xExt.T.Dim(0), l.xExt.T.Dim(1)
+	sub := tensor.New(n, c, needH, needW)
+	sub.InsertRegion(
+		tensor.Region{Off: []int{0, 0, 0, 0}, Size: sub.Shape()},
+		l.xExt.T.ExtractRegion(tensor.Region{Off: []int{0, 0, ah, aw}, Size: []int{n, c, needH, needW}}))
+	return sub
+}
+
+// ReduceGradients completes the weight-gradient sum of Eq. 2 with an
+// allreduce over all processors (D^(C) and D^(F) are fully replicated, so
+// the group P^(p)(D^(C), D^(F)) is the whole grid).
+func (l *Conv) ReduceGradients(ctx *Ctx) {
+	if ctx.C.Size() == 1 {
+		return
+	}
+	ctx.C.Allreduce(l.DW.Data(), comm.OpSum)
+	if l.DBias != nil {
+		ctx.C.Allreduce(l.DBias, comm.OpSum)
+	}
+}
+
+// GradientWords returns the allreduce payload size in words, for the
+// performance model.
+func (l *Conv) GradientWords() int {
+	n := l.DW.Size()
+	if l.DBias != nil {
+		n += len(l.DBias)
+	}
+	return n
+}

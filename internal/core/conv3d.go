@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// This file extends the distributed convolution to three spatial dimensions
+// — the paper's conclusion calls 3-D spatial parallelism "critical, and
+// more advantageous, due to the more favorable surface-to-volume ratio".
+// The halo exchange generalizes to three phases (W, then H with extended W,
+// then D with extended H and W), so corners and edges piggyback exactly as
+// in the 2-D two-phase scheme.
+
+// DistTensor3 is one rank's shard of a global NCDHW tensor.
+type DistTensor3 struct {
+	Dist  dist.Dist3
+	Rank  int
+	Local *tensor.Tensor
+}
+
+// NewDistTensor3 allocates a zero shard for rank under d.
+func NewDistTensor3(d dist.Dist3, rank int) DistTensor3 {
+	s := d.LocalShape(rank)
+	return DistTensor3{Dist: d, Rank: rank, Local: tensor.New(s[0], s[1], s[2], s[3], s[4])}
+}
+
+// Scatter3 splits a global NCDHW tensor into shards (test/IO helper).
+func Scatter3(global *tensor.Tensor, d dist.Dist3) []DistTensor3 {
+	gs := global.Shape()
+	if gs[0] != d.N || gs[1] != d.C || gs[2] != d.D || gs[3] != d.H || gs[4] != d.W {
+		panic(fmt.Sprintf("core: global shape %v does not match %v", gs, d))
+	}
+	out := make([]DistTensor3, d.Grid3.Size())
+	for r := range out {
+		sh := NewDistTensor3(d, r)
+		rn, rd, rh, rw := d.RangeN(r), d.RangeD(r), d.RangeH(r), d.RangeW(r)
+		sh.Local.InsertRegion(
+			tensor.Region{Off: []int{0, 0, 0, 0, 0}, Size: []int{rn.Len(), d.C, rd.Len(), rh.Len(), rw.Len()}},
+			global.ExtractRegion(tensor.Region{
+				Off:  []int{rn.Lo, 0, rd.Lo, rh.Lo, rw.Lo},
+				Size: []int{rn.Len(), d.C, rd.Len(), rh.Len(), rw.Len()},
+			}))
+		out[r] = sh
+	}
+	return out
+}
+
+// Gather3 reassembles the global tensor from shards.
+func Gather3(shards []DistTensor3) *tensor.Tensor {
+	d := shards[0].Dist
+	global := tensor.New(d.N, d.C, d.D, d.H, d.W)
+	for _, sh := range shards {
+		rn, rd, rh, rw := d.RangeN(sh.Rank), d.RangeD(sh.Rank), d.RangeH(sh.Rank), d.RangeW(sh.Rank)
+		global.InsertRegion(
+			tensor.Region{Off: []int{rn.Lo, 0, rd.Lo, rh.Lo, rw.Lo}, Size: []int{rn.Len(), d.C, rd.Len(), rh.Len(), rw.Len()}},
+			sh.Local.Data())
+	}
+	return global
+}
+
+// ext3 is a halo-extended 5-D buffer; element (·,·,0,0,0) corresponds to
+// global coordinates (DLo, HLo, WLo).
+type ext3 struct {
+	T             *tensor.Tensor
+	DLo, HLo, WLo int
+}
+
+// Conv3D is the distributed 3-D convolution layer over a Grid3.
+type Conv3D struct {
+	Geom    dist.ConvGeom
+	InDist  dist.Dist3
+	OutDist dist.Dist3
+
+	W  *tensor.Tensor // [F, C, K, K, K]
+	DW *tensor.Tensor
+
+	// DeferAllreduce as in the 2-D layer.
+	DeferAllreduce bool
+
+	grid dist.Grid3
+	tag  int
+
+	xExt   ext3
+	hasExt bool
+}
+
+// NewConv3D constructs the layer; every rank of the grid must construct
+// layers in the same order.
+func NewConv3D(ctx *Ctx3, inDist dist.Dist3, f int, geom dist.ConvGeom) *Conv3D {
+	if err := geom.Validate(); err != nil {
+		panic(err)
+	}
+	od, oh, ow := geom.OutSize(inDist.D), geom.OutSize(inDist.H), geom.OutSize(inDist.W)
+	if od < inDist.Grid3.PD || oh < inDist.Grid3.PH || ow < inDist.Grid3.PW {
+		panic(fmt.Sprintf("core: 3-D output %dx%dx%d too small for grid %v", od, oh, ow, inDist.Grid3))
+	}
+	return &Conv3D{
+		Geom:    geom,
+		InDist:  inDist,
+		OutDist: dist.Dist3{Grid3: inDist.Grid3, N: inDist.N, C: f, D: od, H: oh, W: ow},
+		W:       tensor.New(f, inDist.C, geom.K, geom.K, geom.K),
+		DW:      tensor.New(f, inDist.C, geom.K, geom.K, geom.K),
+		grid:    inDist.Grid3,
+		tag:     ctx.AllocTags(8),
+	}
+}
+
+// Ctx3 is the per-rank context for 3-D grids.
+type Ctx3 struct {
+	C    *comm.Comm
+	Grid dist.Grid3
+	Rank int
+
+	nextTag int
+}
+
+// NewCtx3 builds the 3-D context (collective over c).
+func NewCtx3(c *comm.Comm, grid dist.Grid3) *Ctx3 {
+	if c.Size() != grid.Size() {
+		panic(fmt.Sprintf("core: communicator size %d != grid size %d", c.Size(), grid.Size()))
+	}
+	return &Ctx3{C: c, Grid: grid, Rank: c.Rank()}
+}
+
+// AllocTags reserves n tags (deterministic across ranks).
+func (ctx *Ctx3) AllocTags(n int) int {
+	t := ctx.nextTag
+	ctx.nextTag += n
+	if ctx.nextTag >= 1<<19 {
+		panic("core: 3-D tag space exhausted")
+	}
+	return t
+}
+
+// exchange3 performs the three-phase halo exchange for the forward input:
+// the returned buffer covers the union of owned and required boxes with
+// out-of-range positions holding materialized zero padding.
+func (l *Conv3D) exchange3(ctx *Ctx3, local *tensor.Tensor) ext3 {
+	g := l.grid
+	pn, pd, ph, pw := g.Coords(ctx.Rank)
+	in := l.InDist
+	nLoc := in.RangeN(ctx.Rank).Len()
+
+	reqOf := func(size, parts, outSize int) func(j int) dist.Range {
+		return func(j int) dist.Range {
+			return l.Geom.RequiredIn(dist.BlockPartition(outSize, parts, j))
+		}
+	}
+	reqD := reqOf(in.D, g.PD, l.OutDist.D)
+	reqH := reqOf(in.H, g.PH, l.OutDist.H)
+	reqW := reqOf(in.W, g.PW, l.OutDist.W)
+
+	ownD, ownH, ownW := in.RangeD(ctx.Rank), in.RangeH(ctx.Rank), in.RangeW(ctx.Rank)
+	extD := union(reqD(pd), ownD)
+	extH := union(reqH(ph), ownH)
+	extW := union(reqW(pw), ownW)
+
+	ext := ext3{
+		T:   tensor.New(nLoc, in.C, extD.Len(), extH.Len(), extW.Len()),
+		DLo: extD.Lo, HLo: extH.Lo, WLo: extW.Lo,
+	}
+	// Owned block.
+	ext.T.InsertRegion(tensor.Region{
+		Off:  []int{0, 0, ownD.Lo - extD.Lo, ownH.Lo - extH.Lo, ownW.Lo - extW.Lo},
+		Size: []int{nLoc, in.C, ownD.Len(), ownH.Len(), ownW.Len()},
+	}, local.Data())
+
+	// Phase W: column strips of owned D and H.
+	recvW, sendW := dist.Exchanges1D(in.W, g.PW, pw, reqW)
+	for _, tr := range sendW {
+		peer := g.Rank(pn, pd, ph, tr.Peer)
+		buf := local.ExtractRegion(tensor.Region{
+			Off:  []int{0, 0, 0, 0, tr.Rng.Lo - ownW.Lo},
+			Size: []int{nLoc, in.C, ownD.Len(), ownH.Len(), tr.Rng.Len()},
+		})
+		ctx.C.SendNoCopy(peer, l.tag, buf)
+	}
+	for _, tr := range recvW {
+		peer := g.Rank(pn, pd, ph, tr.Peer)
+		ext.T.InsertRegion(tensor.Region{
+			Off:  []int{0, 0, ownD.Lo - extD.Lo, ownH.Lo - extH.Lo, tr.Rng.Lo - extW.Lo},
+			Size: []int{nLoc, in.C, ownD.Len(), ownH.Len(), tr.Rng.Len()},
+		}, ctx.C.Recv(peer, l.tag))
+	}
+	// Phase H: strips of owned D, full extended W.
+	recvH, sendH := dist.Exchanges1D(in.H, g.PH, ph, reqH)
+	for _, tr := range sendH {
+		peer := g.Rank(pn, pd, tr.Peer, pw)
+		buf := ext.T.ExtractRegion(tensor.Region{
+			Off:  []int{0, 0, ownD.Lo - extD.Lo, tr.Rng.Lo - extH.Lo, 0},
+			Size: []int{nLoc, in.C, ownD.Len(), tr.Rng.Len(), extW.Len()},
+		})
+		ctx.C.SendNoCopy(peer, l.tag+1, buf)
+	}
+	for _, tr := range recvH {
+		peer := g.Rank(pn, pd, tr.Peer, pw)
+		ext.T.InsertRegion(tensor.Region{
+			Off:  []int{0, 0, ownD.Lo - extD.Lo, tr.Rng.Lo - extH.Lo, 0},
+			Size: []int{nLoc, in.C, ownD.Len(), tr.Rng.Len(), extW.Len()},
+		}, ctx.C.Recv(peer, l.tag+1))
+	}
+	// Phase D: full extended H and W slabs.
+	recvD, sendD := dist.Exchanges1D(in.D, g.PD, pd, reqD)
+	for _, tr := range sendD {
+		peer := g.Rank(pn, tr.Peer, ph, pw)
+		buf := ext.T.ExtractRegion(tensor.Region{
+			Off:  []int{0, 0, tr.Rng.Lo - extD.Lo, 0, 0},
+			Size: []int{nLoc, in.C, tr.Rng.Len(), extH.Len(), extW.Len()},
+		})
+		ctx.C.SendNoCopy(peer, l.tag+2, buf)
+	}
+	for _, tr := range recvD {
+		peer := g.Rank(pn, tr.Peer, ph, pw)
+		ext.T.InsertRegion(tensor.Region{
+			Off:  []int{0, 0, tr.Rng.Lo - extD.Lo, 0, 0},
+			Size: []int{nLoc, in.C, tr.Rng.Len(), extH.Len(), extW.Len()},
+		}, ctx.C.Recv(peer, l.tag+2))
+	}
+	return ext
+}
+
+// Forward computes this rank's output shard.
+func (l *Conv3D) Forward(ctx *Ctx3, x DistTensor3) DistTensor3 {
+	if !x.Dist.SameLayout(l.InDist) {
+		panic(fmt.Sprintf("core: conv3d input dist %v, want %v", x.Dist, l.InDist))
+	}
+	ext := l.exchange3(ctx, x.Local)
+	y := NewDistTensor3(l.OutDist, ctx.Rank)
+	// Align the ext buffer to the required window so the pad=0 kernel sees
+	// position oz*S+kd for local output oz (cf. Conv.alignedInput).
+	sub := l.alignedExt(ctx, ext)
+	kernels.Conv3DForward(sub, l.W, nil, y.Local, l.Geom.S, 0)
+	l.xExt = ext
+	l.hasExt = true
+	return y
+}
+
+// alignedExt returns the required window of ext (a view-copy when offsets
+// or sizes differ).
+func (l *Conv3D) alignedExt(ctx *Ctx3, ext ext3) *tensor.Tensor {
+	od := l.OutDist.RangeD(ctx.Rank).Len()
+	oh := l.OutDist.RangeH(ctx.Rank).Len()
+	ow := l.OutDist.RangeW(ctx.Rank).Len()
+	k, s := l.Geom.K, l.Geom.S
+	needD, needH, needW := (od-1)*s+k, (oh-1)*s+k, (ow-1)*s+k
+	reqD := l.Geom.RequiredIn(l.OutDist.RangeD(ctx.Rank))
+	reqH := l.Geom.RequiredIn(l.OutDist.RangeH(ctx.Rank))
+	reqW := l.Geom.RequiredIn(l.OutDist.RangeW(ctx.Rank))
+	ad, ah, aw := reqD.Lo-ext.DLo, reqH.Lo-ext.HLo, reqW.Lo-ext.WLo
+	es := ext.T.Shape()
+	if ad == 0 && ah == 0 && aw == 0 && es[2] == needD && es[3] == needH && es[4] == needW {
+		return ext.T
+	}
+	n, c := es[0], es[1]
+	sub := tensor.New(n, c, needD, needH, needW)
+	sub.InsertRegion(
+		tensor.Region{Off: []int{0, 0, 0, 0, 0}, Size: sub.Shape()},
+		ext.T.ExtractRegion(tensor.Region{Off: []int{0, 0, ad, ah, aw}, Size: []int{n, c, needD, needH, needW}}))
+	return sub
+}
+
+// Backward computes dw (allreduced unless deferred) and the parent error
+// signal via a 3-D halo exchange of dy and the gather-form backward-data
+// kernel.
+func (l *Conv3D) Backward(ctx *Ctx3, dy DistTensor3) DistTensor3 {
+	if !l.hasExt {
+		panic("core: conv3d Backward before Forward")
+	}
+	// dw from the saved (aligned) forward input and local dy.
+	kernels.Conv3DBackwardFilter(l.alignedExt(ctx, l.xExt), dy.Local, l.DW, l.Geom.S, 0, false)
+
+	// dy halo exchange: required boxes come from RequiredBwd per dimension.
+	dyExt := l.exchangeBwd(ctx, dy.Local)
+	dx := NewDistTensor3(l.InDist, ctx.Rank)
+	inD := l.InDist.RangeD(ctx.Rank)
+	inH := l.InDist.RangeH(ctx.Rank)
+	inW := l.InDist.RangeW(ctx.Rank)
+	kernels.Conv3DBackwardDataRegion(dyExt.T, l.W, dx.Local, l.Geom.S, l.Geom.Pad,
+		inD.Lo, inH.Lo, inW.Lo, dyExt.DLo, dyExt.HLo, dyExt.WLo)
+	if !l.DeferAllreduce && ctx.C.Size() > 1 {
+		ctx.C.Allreduce(l.DW.Data(), comm.OpSum)
+	}
+	l.hasExt = false
+	l.xExt = ext3{}
+	return dx
+}
+
+// exchangeBwd runs the three-phase exchange for dy using RequiredBwd boxes.
+func (l *Conv3D) exchangeBwd(ctx *Ctx3, dyLocal *tensor.Tensor) ext3 {
+	g := l.grid
+	pn, pd, ph, pw := g.Coords(ctx.Rank)
+	out := l.OutDist
+	nLoc := out.RangeN(ctx.Rank).Len()
+
+	reqD := func(j int) dist.Range {
+		return l.Geom.RequiredBwd(dist.BlockPartition(l.InDist.D, g.PD, j), out.D)
+	}
+	reqH := func(j int) dist.Range {
+		return l.Geom.RequiredBwd(dist.BlockPartition(l.InDist.H, g.PH, j), out.H)
+	}
+	reqW := func(j int) dist.Range {
+		return l.Geom.RequiredBwd(dist.BlockPartition(l.InDist.W, g.PW, j), out.W)
+	}
+	ownD, ownH, ownW := out.RangeD(ctx.Rank), out.RangeH(ctx.Rank), out.RangeW(ctx.Rank)
+	extD := union(reqD(pd), ownD)
+	extH := union(reqH(ph), ownH)
+	extW := union(reqW(pw), ownW)
+	ext := ext3{
+		T:   tensor.New(nLoc, out.C, extD.Len(), extH.Len(), extW.Len()),
+		DLo: extD.Lo, HLo: extH.Lo, WLo: extW.Lo,
+	}
+	ext.T.InsertRegion(tensor.Region{
+		Off:  []int{0, 0, ownD.Lo - extD.Lo, ownH.Lo - extH.Lo, ownW.Lo - extW.Lo},
+		Size: []int{nLoc, out.C, ownD.Len(), ownH.Len(), ownW.Len()},
+	}, dyLocal.Data())
+
+	recvW, sendW := dist.Exchanges1D(out.W, g.PW, pw, reqW)
+	for _, tr := range sendW {
+		peer := g.Rank(pn, pd, ph, tr.Peer)
+		buf := dyLocal.ExtractRegion(tensor.Region{
+			Off:  []int{0, 0, 0, 0, tr.Rng.Lo - ownW.Lo},
+			Size: []int{nLoc, out.C, ownD.Len(), ownH.Len(), tr.Rng.Len()},
+		})
+		ctx.C.SendNoCopy(peer, l.tag+4, buf)
+	}
+	for _, tr := range recvW {
+		peer := g.Rank(pn, pd, ph, tr.Peer)
+		ext.T.InsertRegion(tensor.Region{
+			Off:  []int{0, 0, ownD.Lo - extD.Lo, ownH.Lo - extH.Lo, tr.Rng.Lo - extW.Lo},
+			Size: []int{nLoc, out.C, ownD.Len(), ownH.Len(), tr.Rng.Len()},
+		}, ctx.C.Recv(peer, l.tag+4))
+	}
+	recvH, sendH := dist.Exchanges1D(out.H, g.PH, ph, reqH)
+	for _, tr := range sendH {
+		peer := g.Rank(pn, pd, tr.Peer, pw)
+		buf := ext.T.ExtractRegion(tensor.Region{
+			Off:  []int{0, 0, ownD.Lo - extD.Lo, tr.Rng.Lo - extH.Lo, 0},
+			Size: []int{nLoc, out.C, ownD.Len(), tr.Rng.Len(), extW.Len()},
+		})
+		ctx.C.SendNoCopy(peer, l.tag+5, buf)
+	}
+	for _, tr := range recvH {
+		peer := g.Rank(pn, pd, tr.Peer, pw)
+		ext.T.InsertRegion(tensor.Region{
+			Off:  []int{0, 0, ownD.Lo - extD.Lo, tr.Rng.Lo - extH.Lo, 0},
+			Size: []int{nLoc, out.C, ownD.Len(), tr.Rng.Len(), extW.Len()},
+		}, ctx.C.Recv(peer, l.tag+5))
+	}
+	recvD, sendD := dist.Exchanges1D(out.D, g.PD, pd, reqD)
+	for _, tr := range sendD {
+		peer := g.Rank(pn, tr.Peer, ph, pw)
+		buf := ext.T.ExtractRegion(tensor.Region{
+			Off:  []int{0, 0, tr.Rng.Lo - extD.Lo, 0, 0},
+			Size: []int{nLoc, out.C, tr.Rng.Len(), extH.Len(), extW.Len()},
+		})
+		ctx.C.SendNoCopy(peer, l.tag+6, buf)
+	}
+	for _, tr := range recvD {
+		peer := g.Rank(pn, tr.Peer, ph, pw)
+		ext.T.InsertRegion(tensor.Region{
+			Off:  []int{0, 0, tr.Rng.Lo - extD.Lo, 0, 0},
+			Size: []int{nLoc, out.C, tr.Rng.Len(), extH.Len(), extW.Len()},
+		}, ctx.C.Recv(peer, l.tag+6))
+	}
+	return ext
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+var grids3 = []dist.Grid3{
+	{PN: 1, PD: 1, PH: 1, PW: 1},
+	{PN: 2, PD: 1, PH: 1, PW: 1},
+	{PN: 1, PD: 2, PH: 1, PW: 1},
+	{PN: 1, PD: 1, PH: 2, PW: 1},
+	{PN: 1, PD: 1, PH: 1, PW: 2},
+	{PN: 1, PD: 2, PH: 2, PW: 1},
+	{PN: 1, PD: 2, PH: 2, PW: 2},
+	{PN: 2, PD: 2, PH: 1, PW: 1},
+}
+
+func TestScatter3Gather3RoundTrip(t *testing.T) {
+	for _, g := range grids3 {
+		d := dist.Dist3{Grid3: g, N: 2, C: 2, D: 4, H: 6, W: 6}
+		if d.Validate() != nil {
+			continue
+		}
+		x := tensor.New(d.N, d.C, d.D, d.H, d.W)
+		x.FillRandN(1, 1)
+		if Gather3(Scatter3(x, d)).MaxAbsDiff(x) != 0 {
+			t.Errorf("grid %v: 3-D scatter/gather not identity", g)
+		}
+	}
+}
+
+func checkDistConv3D(t *testing.T, g dist.Grid3, n, c, d, h, w, f int, geom dist.ConvGeom) {
+	t.Helper()
+	inD := dist.Dist3{Grid3: g, N: n, C: c, D: d, H: h, W: w}
+	if inD.Validate() != nil {
+		return
+	}
+	od, oh, ow := geom.OutSize(d), geom.OutSize(h), geom.OutSize(w)
+	if od < g.PD || oh < g.PH || ow < g.PW {
+		return
+	}
+	x := tensor.New(n, c, d, h, w)
+	x.FillRandN(11, 1)
+	wt := tensor.New(f, c, geom.K, geom.K, geom.K)
+	wt.FillRandN(12, 0.5)
+	dy := tensor.New(n, f, od, oh, ow)
+	dy.FillRandN(13, 1)
+
+	ySeq := tensor.New(n, f, od, oh, ow)
+	kernels.Conv3DForward(x, wt, nil, ySeq, geom.S, geom.Pad)
+	dxSeq := tensor.New(n, c, d, h, w)
+	kernels.Conv3DBackwardData(dy, wt, dxSeq, geom.S, geom.Pad)
+	dwSeq := tensor.New(f, c, geom.K, geom.K, geom.K)
+	kernels.Conv3DBackwardFilter(x, dy, dwSeq, geom.S, geom.Pad, false)
+
+	outD := dist.Dist3{Grid3: g, N: n, C: f, D: od, H: oh, W: ow}
+	xs := Scatter3(x, inD)
+	dys := Scatter3(dy, outD)
+	yOut := make([]DistTensor3, g.Size())
+	dxOut := make([]DistTensor3, g.Size())
+	dwOut := make([]*tensor.Tensor, g.Size())
+	var mu sync.Mutex
+	world := comm.NewWorld(g.Size())
+	world.Run(func(cm *comm.Comm) {
+		ctx := NewCtx3(cm, g)
+		l := NewConv3D(ctx, inD, f, geom)
+		copy(l.W.Data(), wt.Data())
+		y := l.Forward(ctx, xs[ctx.Rank])
+		dx := l.Backward(ctx, dys[ctx.Rank])
+		mu.Lock()
+		yOut[ctx.Rank] = y
+		dxOut[ctx.Rank] = dx
+		dwOut[ctx.Rank] = l.DW
+		mu.Unlock()
+	})
+
+	if diff := Gather3(yOut).RelDiff(ySeq); diff > 1e-4 {
+		t.Errorf("grid %v geom %+v: 3-D forward rel diff %g", g, geom, diff)
+	}
+	if diff := Gather3(dxOut).RelDiff(dxSeq); diff > 1e-4 {
+		t.Errorf("grid %v geom %+v: 3-D bwd-data rel diff %g", g, geom, diff)
+	}
+	for r := 0; r < g.Size(); r++ {
+		if diff := dwOut[r].RelDiff(dwSeq); diff > 1e-3 {
+			t.Errorf("grid %v rank %d: 3-D dw rel diff %g", g, r, diff)
+		}
+	}
+}
+
+func TestDistConv3DAllGrids(t *testing.T) {
+	for _, g := range grids3 {
+		checkDistConv3D(t, g, 2, 2, 6, 6, 6, 3, dist.ConvGeom{K: 3, S: 1, Pad: 1})
+	}
+}
+
+func TestDistConv3DStride2(t *testing.T) {
+	for _, g := range grids3 {
+		checkDistConv3D(t, g, 2, 2, 8, 8, 8, 2, dist.ConvGeom{K: 3, S: 2, Pad: 1})
+	}
+}
+
+func TestDistConv3D1x1NoComm(t *testing.T) {
+	// K=1 needs no halo in any dimension.
+	checkDistConv3D(t, dist.Grid3{PN: 1, PD: 2, PH: 2, PW: 2}, 1, 4, 4, 4, 4, 2, dist.ConvGeom{K: 1, S: 1, Pad: 0})
+}
+
+func TestDistConv3DUnevenPartition(t *testing.T) {
+	// D=7 over 2 parts, H=9 over 2: uneven blocks with corners in 3-D.
+	checkDistConv3D(t, dist.Grid3{PN: 1, PD: 2, PH: 2, PW: 2}, 1, 2, 7, 9, 8, 2, dist.ConvGeom{K: 3, S: 1, Pad: 1})
+}
+
+func TestGrid3CoordsRoundTrip(t *testing.T) {
+	g := dist.Grid3{PN: 2, PD: 3, PH: 2, PW: 2}
+	for r := 0; r < g.Size(); r++ {
+		pn, pd, ph, pw := g.Coords(r)
+		if g.Rank(pn, pd, ph, pw) != r {
+			t.Fatalf("rank %d does not round-trip", r)
+		}
+	}
+	if g.SpatialWays() != 12 {
+		t.Fatalf("SpatialWays = %d, want 12", g.SpatialWays())
+	}
+}

@@ -1,0 +1,131 @@
+// Package core implements the paper's primary contribution: distributed-
+// memory convolution exploiting sample, spatial, and hybrid sample/spatial
+// parallelism (Section III), together with the distributed tensor library
+// of Section IV — halo exchanges with communication/computation overlap,
+// distributed pooling, batch normalization, ReLU, data redistribution
+// between distributions, and the channel/filter-parallel extensions of
+// Section III-D.
+//
+// Every distributed operator exactly replicates its single-device
+// counterpart in internal/kernels (up to floating-point accumulation
+// order), which the test suite verifies by scattering inputs, running both
+// paths, and comparing gathered results.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/tensor"
+)
+
+// DistTensor is one rank's shard of a global NCHW tensor under a blocked
+// distribution: the partitioned-global-view data structure of Section IV.
+type DistTensor struct {
+	Dist  dist.Dist
+	Rank  int
+	Local *tensor.Tensor
+}
+
+// NewDistTensor allocates a zero shard for rank under d.
+func NewDistTensor(d dist.Dist, rank int) DistTensor {
+	s := d.LocalShape(rank)
+	return DistTensor{Dist: d, Rank: rank, Local: tensor.New(s[0], s[1], s[2], s[3])}
+}
+
+// ownedRegion returns the global region owned by the shard's rank.
+func (t DistTensor) ownedRegion() (rn, rh, rw dist.Range) {
+	return t.Dist.RangeN(t.Rank), t.Dist.RangeH(t.Rank), t.Dist.RangeW(t.Rank)
+}
+
+// CheckShape panics if the local tensor does not match the distribution.
+func (t DistTensor) CheckShape() {
+	want := t.Dist.LocalShape(t.Rank)
+	got := t.Local.Shape()
+	if len(got) != 4 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] || got[3] != want[3] {
+		panic(fmt.Sprintf("core: local shape %v does not match distribution shard %v", got, want))
+	}
+}
+
+// Scatter splits a global tensor into per-rank shards under d. It is the
+// test/IO entry point (the data reader provides input "in the appropriate
+// distribution for the first layer", Section III-B).
+func Scatter(global *tensor.Tensor, d dist.Dist) []DistTensor {
+	gs := global.Shape()
+	if gs[0] != d.N || gs[1] != d.C || gs[2] != d.H || gs[3] != d.W {
+		panic(fmt.Sprintf("core: global shape %v does not match distribution %v", gs, d))
+	}
+	shards := make([]DistTensor, d.Grid.Size())
+	for r := range shards {
+		sh := NewDistTensor(d, r)
+		rn, rh, rw := sh.ownedRegion()
+		sh.Local.InsertRegion(
+			tensor.Region{Off: []int{0, 0, 0, 0}, Size: []int{rn.Len(), d.C, rh.Len(), rw.Len()}},
+			global.ExtractRegion(tensor.Region{
+				Off:  []int{rn.Lo, 0, rh.Lo, rw.Lo},
+				Size: []int{rn.Len(), d.C, rh.Len(), rw.Len()},
+			}))
+		shards[r] = sh
+	}
+	return shards
+}
+
+// Gather reassembles the global tensor from all shards (test/IO helper).
+func Gather(shards []DistTensor) *tensor.Tensor {
+	d := shards[0].Dist
+	global := tensor.New(d.N, d.C, d.H, d.W)
+	for _, sh := range shards {
+		rn, rh, rw := sh.ownedRegion()
+		global.InsertRegion(
+			tensor.Region{Off: []int{rn.Lo, 0, rh.Lo, rw.Lo}, Size: []int{rn.Len(), d.C, rh.Len(), rw.Len()}},
+			sh.Local.ExtractRegion(tensor.Region{
+				Off:  []int{0, 0, 0, 0},
+				Size: []int{rn.Len(), d.C, rh.Len(), rw.Len()},
+			}))
+	}
+	return global
+}
+
+// Ctx carries the per-rank communication state shared by the distributed
+// layers of one network replica.
+type Ctx struct {
+	C       *comm.Comm // communicator over all grid ranks, grid-rank ordered
+	Grid    dist.Grid
+	Spatial *comm.Comm // ranks sharing this rank's sample group (same pn)
+	Rank    int        // grid rank == C.Rank()
+
+	nextTag int
+}
+
+// AllocTags reserves n point-to-point tags for a layer. Layer construction
+// order is identical on every rank, so all ranks agree on the assignment.
+func (ctx *Ctx) AllocTags(n int) int {
+	t := ctx.nextTag
+	ctx.nextTag += n
+	if ctx.nextTag >= 1<<19 {
+		panic("core: point-to-point tag space exhausted")
+	}
+	return t
+}
+
+// NewCtx builds the per-rank context: it must be called collectively by
+// every rank of c, with c.Size() == grid.Size().
+func NewCtx(c *comm.Comm, grid dist.Grid) *Ctx {
+	return NewCtxAt(c, grid, 0)
+}
+
+// NewCtxAt is NewCtx with an explicit starting point-to-point tag, for
+// networks that mix several grids over one communicator (a separate Ctx per
+// grid, sharing the tag space). Collective over c.
+func NewCtxAt(c *comm.Comm, grid dist.Grid, tagStart int) *Ctx {
+	if c.Size() != grid.Size() {
+		panic(fmt.Sprintf("core: communicator size %d != grid size %d", c.Size(), grid.Size()))
+	}
+	pn, _, _ := grid.Coords(c.Rank())
+	sp := c.Split(pn, c.Rank())
+	return &Ctx{C: c, Grid: grid, Spatial: sp, Rank: c.Rank(), nextTag: tagStart}
+}
+
+// Coords returns this rank's grid coordinates.
+func (ctx *Ctx) Coords() (pn, ph, pw int) { return ctx.Grid.Coords(ctx.Rank) }

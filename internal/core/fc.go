@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// ModelParallelFC is a fully-connected layer in LBANN's model-parallel
+// formulation (Sections II-A and III-B): the weight matrix is partitioned by
+// output rows across the communicator while activations enter and leave
+// partitioned by sample. Forward allgathers the sample shards, multiplies by
+// the local weight block, and transposes the result back to sample
+// partitioning with an all-to-all. Weight gradients are purely local —
+// model-parallel FC layers need no allreduce (Section V-B).
+type ModelParallelFC struct {
+	In, Out int // global dimensions
+	N       int // global batch size
+
+	OutRange dist.Range // rows of W owned by this rank
+
+	W     *tensor.Tensor // [outLoc, In]
+	Bias  []float32      // [outLoc]
+	DW    *tensor.Tensor
+	DBias []float32
+
+	xFull *tensor.Tensor // gathered input, saved for backward
+}
+
+// NewModelParallelFC constructs the layer for a batch of n samples with the
+// given global in/out widths, on communicator c (model-parallel group).
+func NewModelParallelFC(c *comm.Comm, n, in, out int) *ModelParallelFC {
+	if out < c.Size() {
+		panic(fmt.Sprintf("core: fc out=%d smaller than communicator size %d", out, c.Size()))
+	}
+	r := dist.BlockPartition(out, c.Size(), c.Rank())
+	return &ModelParallelFC{
+		In: in, Out: out, N: n,
+		OutRange: r,
+		W:        tensor.New(r.Len(), in),
+		Bias:     make([]float32, r.Len()),
+		DW:       tensor.New(r.Len(), in),
+		DBias:    make([]float32, r.Len()),
+	}
+}
+
+// sampleRange returns the samples owned by rank under the N partition.
+func (l *ModelParallelFC) sampleRange(c *comm.Comm, rank int) dist.Range {
+	return dist.BlockPartition(l.N, c.Size(), rank)
+}
+
+// Forward maps the local sample shard x [nLoc, In] to y [nLoc, Out].
+func (l *ModelParallelFC) Forward(c *comm.Comm, x *tensor.Tensor) *tensor.Tensor {
+	p := c.Size()
+	nLoc := l.sampleRange(c, c.Rank()).Len()
+	if x.Dim(0) != nLoc {
+		panic(fmt.Sprintf("core: fc input has %d samples, rank owns %d", x.Dim(0), nLoc))
+	}
+	// Gather the full batch (the data redistribution of Section III-C, from
+	// sample-partitioned to replicated).
+	counts := make([]int, p)
+	for r := 0; r < p; r++ {
+		counts[r] = l.sampleRange(c, r).Len() * l.In
+	}
+	full := c.AllgatherV(x.Data(), counts)
+	l.xFull = tensor.FromSlice(full, l.N, l.In)
+
+	// Local block of the distributed GEMM: yBlk [N, outLoc].
+	outLoc := l.OutRange.Len()
+	yBlk := tensor.New(l.N, outLoc)
+	kernels.FCForward(l.xFull, l.W, l.Bias, yBlk)
+
+	// Transpose back to sample partitioning: send each rank its samples'
+	// slice of my output block.
+	send := make([][]float32, p)
+	for r := 0; r < p; r++ {
+		sr := l.sampleRange(c, r)
+		send[r] = yBlk.ExtractRegion(tensor.Region{Off: []int{sr.Lo, 0}, Size: []int{sr.Len(), outLoc}})
+	}
+	recv := c.AlltoAllV(send)
+	y := tensor.New(nLoc, l.Out)
+	for r := 0; r < p; r++ {
+		or := dist.BlockPartition(l.Out, p, r)
+		y.InsertRegion(tensor.Region{Off: []int{0, or.Lo}, Size: []int{nLoc, or.Len()}}, recv[r])
+	}
+	return y
+}
+
+// Backward consumes dy [nLoc, Out] and returns dx [nLoc, In]. DW and DBias
+// are complete on return without any allreduce.
+func (l *ModelParallelFC) Backward(c *comm.Comm, dy *tensor.Tensor) *tensor.Tensor {
+	if l.xFull == nil {
+		panic("core: fc Backward called before Forward")
+	}
+	p := c.Size()
+	outLoc := l.OutRange.Len()
+	// All-to-all transpose: collect my output block's gradient for every
+	// sample: dyBlk [N, outLoc].
+	send := make([][]float32, p)
+	for r := 0; r < p; r++ {
+		or := dist.BlockPartition(l.Out, p, r)
+		send[r] = dy.ExtractRegion(tensor.Region{Off: []int{0, or.Lo}, Size: []int{dy.Dim(0), or.Len()}})
+	}
+	recv := c.AlltoAllV(send)
+	dyBlk := tensor.New(l.N, outLoc)
+	for r := 0; r < p; r++ {
+		sr := l.sampleRange(c, r)
+		dyBlk.InsertRegion(tensor.Region{Off: []int{sr.Lo, 0}, Size: []int{sr.Len(), outLoc}}, recv[r])
+	}
+
+	// Local weight gradients (no allreduce needed).
+	kernels.FCBackwardParams(l.xFull, dyBlk, l.DW, l.DBias, false)
+
+	// dxFull = sum over output blocks of dyBlk·Wblk; the sum over blocks is
+	// an allreduce, after which each rank keeps its own samples.
+	dxFull := tensor.New(l.N, l.In)
+	kernels.FCBackwardData(dyBlk, l.W, dxFull)
+	if p > 1 {
+		c.Allreduce(dxFull.Data(), comm.OpSum)
+	}
+	sr := l.sampleRange(c, c.Rank())
+	dx := tensor.New(sr.Len(), l.In)
+	dx.InsertRegion(
+		tensor.Region{Off: []int{0, 0}, Size: []int{sr.Len(), l.In}},
+		dxFull.ExtractRegion(tensor.Region{Off: []int{sr.Lo, 0}, Size: []int{sr.Len(), l.In}}))
+	l.xFull = nil
+	return dx
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// BatchNormMode selects how statistics are aggregated under distribution
+// (Section III-B discusses both variants).
+type BatchNormMode int
+
+// Batch normalization aggregation modes.
+const (
+	// BatchNormGlobal aggregates statistics over all processors — the
+	// "aggregates over the spatial distribution" variant; it exactly
+	// replicates single-device batch normalization.
+	BatchNormGlobal BatchNormMode = iota
+	// BatchNormLocal computes statistics purely locally on each processor's
+	// shard (the traditional data-parallel behaviour).
+	BatchNormLocal
+)
+
+// BatchNorm is a distributed batch normalization layer with learnable scale
+// (gamma) and shift (beta).
+type BatchNorm struct {
+	Dist dist.Dist
+	Mode BatchNormMode
+	Eps  float32
+
+	Gamma, Beta   []float32
+	DGamma, DBeta []float32
+
+	// Running statistics for inference.
+	RunMean, RunVar []float32
+	Momentum        float32
+
+	x      *tensor.Tensor // saved input shard
+	mean   []float32
+	invstd []float32
+	count  int
+}
+
+// NewBatchNorm constructs the layer for activations distributed as d.
+func NewBatchNorm(ctx *Ctx, d dist.Dist, mode BatchNormMode) *BatchNorm {
+	c := d.C
+	l := &BatchNorm{
+		Dist: d, Mode: mode, Eps: 1e-5, Momentum: 0.9,
+		Gamma: make([]float32, c), Beta: make([]float32, c),
+		DGamma: make([]float32, c), DBeta: make([]float32, c),
+		RunMean: make([]float32, c), RunVar: make([]float32, c),
+	}
+	for i := range l.Gamma {
+		l.Gamma[i] = 1
+		l.RunVar[i] = 1
+	}
+	return l
+}
+
+// Forward normalizes the local shard with (optionally) globally aggregated
+// statistics.
+func (l *BatchNorm) Forward(ctx *Ctx, x DistTensor) DistTensor {
+	if !x.Dist.SameLayout(l.Dist) {
+		panic(fmt.Sprintf("core: batchnorm input dist %v, want %v", x.Dist, l.Dist))
+	}
+	c := l.Dist.C
+	stats := make([]float32, 2*c+1)
+	kernels.BatchNormStats(x.Local, stats[:c], stats[c:2*c])
+	ls := x.Local.Shape()
+	stats[2*c] = float32(ls[0] * ls[2] * ls[3])
+	if l.Mode == BatchNormGlobal && ctx.C.Size() > 1 {
+		ctx.C.Allreduce(stats, comm.OpSum)
+	}
+	l.count = int(stats[2*c])
+	l.mean = make([]float32, c)
+	l.invstd = make([]float32, c)
+	kernels.BatchNormMoments(stats[:c], stats[c:2*c], l.count, l.Eps, l.mean, l.invstd)
+	// Update running statistics (replicated, so ranks stay consistent).
+	for ci := 0; ci < c; ci++ {
+		m := l.mean[ci]
+		v := stats[c+ci]/float32(l.count) - m*m
+		l.RunMean[ci] = l.Momentum*l.RunMean[ci] + (1-l.Momentum)*m
+		l.RunVar[ci] = l.Momentum*l.RunVar[ci] + (1-l.Momentum)*v
+	}
+	y := NewDistTensor(l.Dist, ctx.Rank)
+	kernels.BatchNormForward(x.Local, l.mean, l.invstd, l.Gamma, l.Beta, y.Local)
+	l.x = x.Local
+	return y
+}
+
+// Backward computes dgamma/dbeta (reduced over the statistics group — they
+// double as the parameter gradients) and the input error signal.
+func (l *BatchNorm) Backward(ctx *Ctx, dy DistTensor) DistTensor {
+	if l.x == nil {
+		panic("core: batchnorm Backward called before Forward")
+	}
+	c := l.Dist.C
+	sums := make([]float32, 2*c)
+	kernels.BatchNormBackwardStats(l.x, dy.Local, l.mean, l.invstd, sums[:c], sums[c:])
+	if l.Mode == BatchNormGlobal && ctx.C.Size() > 1 {
+		ctx.C.Allreduce(sums, comm.OpSum)
+	}
+	copy(l.DGamma, sums[:c])
+	copy(l.DBeta, sums[c:])
+	dx := NewDistTensor(l.Dist, ctx.Rank)
+	kernels.BatchNormBackwardData(l.x, dy.Local, l.mean, l.invstd, l.Gamma,
+		l.DGamma, l.DBeta, l.count, dx.Local)
+	l.x = nil
+	return dx
+}
+
+// GradientWords returns the allreduce payload for the performance model
+// (batchnorm has learnable parameters, Section V-B).
+func (l *BatchNorm) GradientWords() int { return 2 * l.Dist.C }
+
+// ReLU is a distributed rectified linear unit; elementwise, so it
+// parallelizes trivially regardless of distribution (Section III-B).
+type ReLU struct {
+	Dist dist.Dist
+	x    *tensor.Tensor
+}
+
+// NewReLU constructs the layer.
+func NewReLU(d dist.Dist) *ReLU { return &ReLU{Dist: d} }
+
+// Forward applies max(0, x) to the local shard.
+func (l *ReLU) Forward(ctx *Ctx, x DistTensor) DistTensor {
+	y := NewDistTensor(l.Dist, ctx.Rank)
+	kernels.ReLUForward(x.Local, y.Local)
+	l.x = x.Local
+	return y
+}
+
+// Backward masks the error signal by the forward sign pattern.
+func (l *ReLU) Backward(ctx *Ctx, dy DistTensor) DistTensor {
+	dx := NewDistTensor(l.Dist, ctx.Rank)
+	kernels.ReLUBackward(l.x, dy.Local, dx.Local)
+	l.x = nil
+	return dx
+}
+
+// Add is the elementwise sum joining residual branches.
+type Add struct {
+	Dist dist.Dist
+}
+
+// NewAdd constructs the layer.
+func NewAdd(d dist.Dist) *Add { return &Add{Dist: d} }
+
+// Forward computes a + b on local shards (distributions must match).
+func (l *Add) Forward(ctx *Ctx, a, b DistTensor) DistTensor {
+	out := NewDistTensor(l.Dist, ctx.Rank)
+	kernels.Add(a.Local, b.Local, out.Local)
+	return out
+}
+
+// Backward passes dy to both branches unchanged.
+func (l *Add) Backward(ctx *Ctx, dy DistTensor) (DistTensor, DistTensor) {
+	a := NewDistTensor(l.Dist, ctx.Rank)
+	copy(a.Local.Data(), dy.Local.Data())
+	b := NewDistTensor(l.Dist, ctx.Rank)
+	copy(b.Local.Data(), dy.Local.Data())
+	return a, b
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/tensor"
+)
+
+// Redistribute shuffles a distributed tensor from its current distribution
+// to dst (Section III-C): each processor sends the indices it no longer
+// owns and receives its new ones via an all-to-all. Both distributions must
+// describe the same global tensor over the same processor set; the channel
+// dimension stays replicated. Forward and backward shuffles are the same
+// operation with the distributions swapped.
+func Redistribute(ctx *Ctx, x DistTensor, dst dist.Dist) DistTensor {
+	src := x.Dist
+	if src.N != dst.N || src.C != dst.C || src.H != dst.H || src.W != dst.W {
+		panic(fmt.Sprintf("core: redistribute shape mismatch %v -> %v", src, dst))
+	}
+	p := ctx.C.Size()
+	if src.Grid.Size() != p || dst.Grid.Size() != p {
+		panic("core: redistribute requires both grids to cover the communicator")
+	}
+	me := ctx.Rank
+
+	myN, myH, myW := src.RangeN(me), src.RangeH(me), src.RangeW(me)
+	send := make([][]float32, p)
+	for q := 0; q < p; q++ {
+		on := myN.Intersect(dst.RangeN(q))
+		oh := myH.Intersect(dst.RangeH(q))
+		ow := myW.Intersect(dst.RangeW(q))
+		if on.Empty() || oh.Empty() || ow.Empty() {
+			continue
+		}
+		send[q] = x.Local.ExtractRegion(tensor.Region{
+			Off:  []int{on.Lo - myN.Lo, 0, oh.Lo - myH.Lo, ow.Lo - myW.Lo},
+			Size: []int{on.Len(), src.C, oh.Len(), ow.Len()},
+		})
+	}
+	recv := ctx.C.AlltoAllV(send)
+
+	out := NewDistTensor(dst, me)
+	newN, newH, newW := dst.RangeN(me), dst.RangeH(me), dst.RangeW(me)
+	for q := 0; q < p; q++ {
+		on := newN.Intersect(src.RangeN(q))
+		oh := newH.Intersect(src.RangeH(q))
+		ow := newW.Intersect(src.RangeW(q))
+		if on.Empty() || oh.Empty() || ow.Empty() {
+			continue
+		}
+		if len(recv[q]) != on.Len()*src.C*oh.Len()*ow.Len() {
+			panic(fmt.Sprintf("core: redistribute rank %d received %d words from %d, want %d",
+				me, len(recv[q]), q, on.Len()*src.C*oh.Len()*ow.Len()))
+		}
+		out.Local.InsertRegion(tensor.Region{
+			Off:  []int{on.Lo - newN.Lo, 0, oh.Lo - newH.Lo, ow.Lo - newW.Lo},
+			Size: []int{on.Len(), src.C, oh.Len(), ow.Len()},
+		}, recv[q])
+	}
+	return out
+}
+
+// ShuffleVolume returns the number of words rank would send in a
+// redistribution from src to dst — the Shuffle(Di, Dj) cost input of the
+// performance model (Section V-B).
+func ShuffleVolume(src, dst dist.Dist, rank int) int {
+	p := src.Grid.Size()
+	myN, myH, myW := src.RangeN(rank), src.RangeH(rank), src.RangeW(rank)
+	words := 0
+	for q := 0; q < p; q++ {
+		if q == rank {
+			continue
+		}
+		on := myN.Intersect(dst.RangeN(q))
+		oh := myH.Intersect(dst.RangeH(q))
+		ow := myW.Intersect(dst.RangeW(q))
+		words += on.Len() * src.C * oh.Len() * ow.Len()
+	}
+	return words
+}

@@ -1,0 +1,139 @@
+// Package data generates the synthetic datasets of the reproduction: a
+// mesh-tangling dataset standing in for the paper's hydrodynamics
+// simulation output (the paper itself uses synthetic data for its
+// performance benchmarks), and a structured image classification set for
+// the training-loop demonstrations.
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// MeshConfig describes a synthetic mesh-tangling sample: Channels state
+// fields of Size x Size, labeled at the model's output resolution
+// OutSize x OutSize with a per-pixel tangle/no-tangle mask.
+type MeshConfig struct {
+	Size     int
+	Channels int
+	OutSize  int
+}
+
+// MeshBatch generates n samples. The channels emulate hydrodynamics state:
+// advected Gaussian density blobs, a shear/vortex velocity field, and
+// mesh-quality metrics; the tangling label is a threshold on a smooth
+// distortion field, so it is learnable but not trivial. Deterministic in
+// seed.
+func MeshBatch(cfg MeshConfig, n int, seed int64) (*tensor.Tensor, []int32) {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(n, cfg.Channels, cfg.Size, cfg.Size)
+	labels := make([]int32, n*cfg.OutSize*cfg.OutSize)
+	for s := 0; s < n; s++ {
+		generateMeshSample(cfg, rng, x, s, labels[s*cfg.OutSize*cfg.OutSize:(s+1)*cfg.OutSize*cfg.OutSize])
+	}
+	return x, labels
+}
+
+func generateMeshSample(cfg MeshConfig, rng *rand.Rand, x *tensor.Tensor, s int, label []int32) {
+	size := cfg.Size
+	// A few random vortices drive the distortion field.
+	type vortex struct{ cx, cy, strength, radius float64 }
+	vs := make([]vortex, 3+rng.Intn(3))
+	for i := range vs {
+		vs[i] = vortex{
+			cx:       rng.Float64() * float64(size),
+			cy:       rng.Float64() * float64(size),
+			strength: (rng.Float64()*2 - 1) * 3,
+			radius:   (0.05 + 0.2*rng.Float64()) * float64(size),
+		}
+	}
+	phase := rng.Float64() * 2 * math.Pi
+	freq := 2 + rng.Float64()*6
+
+	distortion := func(px, py float64) float64 {
+		d := 0.0
+		for _, v := range vs {
+			dx, dy := px-v.cx, py-v.cy
+			r2 := (dx*dx + dy*dy) / (v.radius * v.radius)
+			d += v.strength * math.Exp(-r2)
+		}
+		return d
+	}
+
+	for c := 0; c < cfg.Channels; c++ {
+		cphase := phase + float64(c)*0.7
+		for i := 0; i < size; i++ {
+			for j := 0; j < size; j++ {
+				px, py := float64(j), float64(i)
+				d := distortion(px, py)
+				var v float64
+				switch c % 4 {
+				case 0: // density-like: blobs plus background gradient
+					v = d + 0.2*py/float64(size)
+				case 1: // velocity-like: shear + vortex derivative
+					v = math.Sin(cphase+freq*px/float64(size)*2*math.Pi) + 0.5*d
+				case 2: // energy-like
+					v = d*d - 0.3
+				default: // mesh-quality metric: sharpened distortion
+					v = math.Tanh(2 * d)
+				}
+				x.Set4(float32(v), s, c, i, j)
+			}
+		}
+	}
+
+	// Label: tangling where the distortion magnitude exceeds a threshold at
+	// the (coarse) output resolution.
+	scale := float64(size) / float64(cfg.OutSize)
+	for i := 0; i < cfg.OutSize; i++ {
+		for j := 0; j < cfg.OutSize; j++ {
+			d := distortion((float64(j)+0.5)*scale, (float64(i)+0.5)*scale)
+			if math.Abs(d) > 1.2 {
+				label[i*cfg.OutSize+j] = 1
+			}
+		}
+	}
+}
+
+// ClassBatch generates n labeled images of size x size with channels color
+// planes: each class is an oriented grating with a class-specific angle and
+// frequency plus noise, so a small CNN can separate classes quickly.
+func ClassBatch(size, channels, classes, n int, seed int64) (*tensor.Tensor, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(n, channels, size, size)
+	labels := make([]int, n)
+	for s := 0; s < n; s++ {
+		cls := rng.Intn(classes)
+		labels[s] = cls
+		angle := float64(cls) * math.Pi / float64(classes)
+		freq := 2 + float64(cls%3)
+		jx := rng.Float64() * 2 * math.Pi
+		for c := 0; c < channels; c++ {
+			for i := 0; i < size; i++ {
+				for j := 0; j < size; j++ {
+					u := (float64(j)*math.Cos(angle) + float64(i)*math.Sin(angle)) / float64(size)
+					v := math.Sin(jx+freq*2*math.Pi*u) + 0.3*rng.NormFloat64()
+					x.Set4(float32(v), s, c, i, j)
+				}
+			}
+		}
+	}
+	return x, labels
+}
+
+// TangleFraction returns the fraction of positive pixels, a sanity metric
+// for generated mesh labels.
+func TangleFraction(labels []int32) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	n := 0
+	for _, l := range labels {
+		if l == 1 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(labels))
+}

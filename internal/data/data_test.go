@@ -1,0 +1,80 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeshBatchShapesAndDeterminism(t *testing.T) {
+	cfg := MeshConfig{Size: 64, Channels: 6, OutSize: 8}
+	x1, l1 := MeshBatch(cfg, 3, 42)
+	x2, l2 := MeshBatch(cfg, 3, 42)
+	if s := x1.Shape(); s[0] != 3 || s[1] != 6 || s[2] != 64 || s[3] != 64 {
+		t.Fatalf("mesh batch shape = %v", s)
+	}
+	if len(l1) != 3*8*8 {
+		t.Fatalf("label count = %d, want %d", len(l1), 3*8*8)
+	}
+	if x1.MaxAbsDiff(x2) != 0 {
+		t.Fatal("mesh generation not deterministic in seed")
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("labels not deterministic")
+		}
+	}
+	x3, _ := MeshBatch(cfg, 3, 43)
+	if x1.MaxAbsDiff(x3) == 0 {
+		t.Fatal("different seeds should give different data")
+	}
+}
+
+func TestMeshBatchLabelsNonTrivial(t *testing.T) {
+	// The tangling mask must have both classes present overall (otherwise
+	// the segmentation task is degenerate).
+	cfg := MeshConfig{Size: 128, Channels: 4, OutSize: 32}
+	_, labels := MeshBatch(cfg, 8, 7)
+	frac := TangleFraction(labels)
+	if frac <= 0.005 || frac >= 0.8 {
+		t.Fatalf("tangle fraction = %.3f, want a non-degenerate mix", frac)
+	}
+}
+
+func TestMeshBatchValuesBounded(t *testing.T) {
+	cfg := MeshConfig{Size: 32, Channels: 8, OutSize: 8}
+	x, _ := MeshBatch(cfg, 2, 5)
+	for _, v := range x.Data() {
+		if math.IsNaN(float64(v)) || math.Abs(float64(v)) > 50 {
+			t.Fatalf("implausible field value %v", v)
+		}
+	}
+}
+
+func TestClassBatch(t *testing.T) {
+	x, labels := ClassBatch(16, 3, 5, 10, 9)
+	if s := x.Shape(); s[0] != 10 || s[1] != 3 || s[2] != 16 || s[3] != 16 {
+		t.Fatalf("class batch shape = %v", s)
+	}
+	if len(labels) != 10 {
+		t.Fatalf("label count = %d", len(labels))
+	}
+	seen := map[int]bool{}
+	for _, l := range labels {
+		if l < 0 || l >= 5 {
+			t.Fatalf("label %d out of range", l)
+		}
+		seen[l] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("labels should span multiple classes in a batch of 10")
+	}
+}
+
+func TestTangleFractionEdgeCases(t *testing.T) {
+	if TangleFraction(nil) != 0 {
+		t.Fatal("empty labels")
+	}
+	if TangleFraction([]int32{1, 1, 0, 0}) != 0.5 {
+		t.Fatal("fraction wrong")
+	}
+}

@@ -1,0 +1,392 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ConvAlgo selects the convolution implementation, mirroring cuDNN's
+// algorithm choices (the paper relies on cuDNN selecting among algorithms;
+// we provide direct and im2col+GEMM).
+type ConvAlgo int
+
+// Convolution algorithm choices.
+const (
+	// ConvAuto picks im2col+GEMM when the GEMM is large enough to amortize
+	// the column buffer, direct otherwise.
+	ConvAuto ConvAlgo = iota
+	ConvDirect
+	ConvIm2col
+)
+
+// convCheck validates the shape relationships of a convolution call and
+// returns the unpacked dimensions.
+func convCheck(x, w, y *tensor.Tensor, stride, pad int) (n, c, h, wd, f, k, oh, ow int) {
+	xs, ws, ys := x.Shape(), w.Shape(), y.Shape()
+	if len(xs) != 4 || len(ws) != 4 || len(ys) != 4 {
+		panic("kernels: conv tensors must be rank 4")
+	}
+	n, c, h, wd = xs[0], xs[1], xs[2], xs[3]
+	f, k = ws[0], ws[2]
+	if ws[1] != c {
+		panic(fmt.Sprintf("kernels: weight channels %d != input channels %d", ws[1], c))
+	}
+	if ws[3] != k {
+		panic("kernels: only square kernels supported")
+	}
+	if stride < 1 || pad < 0 {
+		panic(fmt.Sprintf("kernels: invalid stride %d / pad %d", stride, pad))
+	}
+	oh = (h+2*pad-k)/stride + 1
+	ow = (wd+2*pad-k)/stride + 1
+	if ys[0] != n || ys[1] != f || ys[2] != oh || ys[3] != ow {
+		panic(fmt.Sprintf("kernels: output shape %v, want [%d %d %d %d]", ys, n, f, oh, ow))
+	}
+	return
+}
+
+// ConvForward computes y = conv(x, w) + bias with the given stride and
+// symmetric zero padding (Eq. 1 of the paper). bias may be nil.
+// x: [N,C,H,W], w: [F,C,K,K], y: [N,F,OH,OW].
+func ConvForward(x, w *tensor.Tensor, bias []float32, y *tensor.Tensor, stride, pad int, algo ConvAlgo) {
+	n, c, _, _, f, k, oh, ow := convCheck(x, w, y, stride, pad)
+	if algo == ConvAuto {
+		// im2col pays off when the implied GEMM has enough work per column
+		// buffer element; tiny outputs or 1x1 kernels favor direct.
+		if k > 1 && oh*ow >= 16 && c*k*k >= 16 {
+			algo = ConvIm2col
+		} else {
+			algo = ConvDirect
+		}
+	}
+	switch algo {
+	case ConvDirect:
+		convForwardDirect(x, w, y, stride, pad)
+	case ConvIm2col:
+		convForwardIm2col(x, w, y, stride, pad)
+	default:
+		panic(fmt.Sprintf("kernels: unknown conv algorithm %d", algo))
+	}
+	if bias != nil {
+		if len(bias) != f {
+			panic("kernels: bias length != filters")
+		}
+		yd := y.Data()
+		plane := oh * ow
+		ParallelFor(n*f, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				b := bias[i%f]
+				row := yd[i*plane : (i+1)*plane]
+				for j := range row {
+					row[j] += b
+				}
+			}
+		})
+	}
+	_ = c
+}
+
+// convForwardDirect is the straightforward 7-loop convolution, parallel over
+// (sample, filter) pairs with row-contiguous inner accumulation.
+func convForwardDirect(x, w, y *tensor.Tensor, stride, pad int) {
+	n, c, h, wd, f, k, oh, ow := convCheck(x, w, y, stride, pad)
+	xd, wwd, yd := x.Data(), w.Data(), y.Data()
+	ParallelFor(n*f, func(lo, hi int) {
+		for nf := lo; nf < hi; nf++ {
+			ni, fi := nf/f, nf%f
+			yBase := (ni*f + fi) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				yRow := yd[yBase+oy*ow : yBase+(oy+1)*ow]
+				for i := range yRow {
+					yRow[i] = 0
+				}
+				iy0 := oy*stride - pad
+				for ci := 0; ci < c; ci++ {
+					xBase := (ni*c + ci) * h * wd
+					wBase := ((fi*c + ci) * k) * k
+					for kh := 0; kh < k; kh++ {
+						iy := iy0 + kh
+						if iy < 0 || iy >= h {
+							continue
+						}
+						xRow := xd[xBase+iy*wd : xBase+(iy+1)*wd]
+						wRow := wwd[wBase+kh*k : wBase+(kh+1)*k]
+						for kw := 0; kw < k; kw++ {
+							wv := wRow[kw]
+							if wv == 0 {
+								continue
+							}
+							ix0 := -pad + kw
+							// Valid ox range so that ix = ox*stride+ix0 is in [0, wd).
+							oxLo := 0
+							if ix0 < 0 {
+								oxLo = (-ix0 + stride - 1) / stride
+							}
+							oxHi := ow
+							if maxOx := (wd - 1 - ix0) / stride; maxOx+1 < oxHi {
+								oxHi = maxOx + 1
+							}
+							ix := oxLo*stride + ix0
+							for ox := oxLo; ox < oxHi; ox++ {
+								yRow[ox] += wv * xRow[ix]
+								ix += stride
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// convForwardIm2col lowers convolution to GEMM: for each sample, unfold the
+// input into a [C*K*K, OH*OW] column matrix and multiply by the [F, C*K*K]
+// filter matrix.
+func convForwardIm2col(x, w, y *tensor.Tensor, stride, pad int) {
+	n, c, h, wd, f, k, oh, ow := convCheck(x, w, y, stride, pad)
+	xd, wwd, yd := x.Data(), w.Data(), y.Data()
+	ckk := c * k * k
+	plane := oh * ow
+	col := make([]float32, ckk*plane)
+	for ni := 0; ni < n; ni++ {
+		im2col(xd[ni*c*h*wd:(ni+1)*c*h*wd], c, h, wd, k, stride, pad, oh, ow, col)
+		GemmNN(f, plane, ckk, 1, wwd, col, 0, yd[ni*f*plane:(ni+1)*f*plane])
+	}
+}
+
+// im2col unfolds one sample's [C,H,W] input into a [C*K*K, OH*OW] matrix.
+func im2col(x []float32, c, h, w, k, stride, pad, oh, ow int, col []float32) {
+	ParallelFor(c, func(clo, chi int) {
+		for ci := clo; ci < chi; ci++ {
+			for kh := 0; kh < k; kh++ {
+				for kw := 0; kw < k; kw++ {
+					row := col[((ci*k+kh)*k+kw)*oh*ow:]
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*stride - pad + kh
+						dst := row[oy*ow : (oy+1)*ow]
+						if iy < 0 || iy >= h {
+							for i := range dst {
+								dst[i] = 0
+							}
+							continue
+						}
+						src := x[(ci*h+iy)*w : (ci*h+iy+1)*w]
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*stride - pad + kw
+							if ix < 0 || ix >= w {
+								dst[ox] = 0
+							} else {
+								dst[ox] = src[ix]
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// ConvBackwardDataRegion computes the error signal dL/dx (Eq. 3) for a
+// rectangular region of the global input, given a region of the global
+// output gradient. It is the gather formulation: each input-gradient element
+// sums the contributions of every output element whose window covers it, so
+// no cross-region reduction is needed afterwards.
+//
+// dx covers global input rows [xLoH, xLoH+dxH) and columns [xLoW, xLoW+dxW);
+// dy covers global output rows [yLoH, yLoH+dyH) and columns [yLoW, ...).
+// The caller guarantees dy's region contains every output position that
+// touches dx's region (dist.ConvGeom.RequiredBwd). For a full sequential
+// backward pass use ConvBackwardData.
+func ConvBackwardDataRegion(dy, w, dx *tensor.Tensor, stride, pad, xLoH, xLoW, yLoH, yLoW int) {
+	ds, ws, xs := dy.Shape(), w.Shape(), dx.Shape()
+	n, f, dyH, dyW := ds[0], ds[1], ds[2], ds[3]
+	c, k := ws[1], ws[2]
+	if ws[0] != f {
+		panic("kernels: weight filters != dy channels")
+	}
+	if xs[0] != n || xs[1] != c {
+		panic(fmt.Sprintf("kernels: dx shape %v incompatible with dy %v and w %v", xs, ds, ws))
+	}
+	dxH, dxW := xs[2], xs[3]
+	dyd, wwd, dxd := dy.Data(), w.Data(), dx.Data()
+	fStrideDy := dyH * dyW
+	ParallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			ni, ci := nc/c, nc%c
+			dxBase := (ni*c + ci) * dxH * dxW
+			dyBaseN := ni * f * fStrideDy
+			for ihl := 0; ihl < dxH; ihl++ {
+				ih := xLoH + ihl // global input row
+				dxRow := dxd[dxBase+ihl*dxW : dxBase+(ihl+1)*dxW]
+				for i := range dxRow {
+					dxRow[i] = 0
+				}
+				for kh := 0; kh < k; kh++ {
+					t := ih + pad - kh
+					if t < 0 || t%stride != 0 {
+						continue
+					}
+					oy := t / stride
+					oyl := oy - yLoH
+					if oyl < 0 || oyl >= dyH {
+						continue
+					}
+					for kw := 0; kw < k; kw++ {
+						for iwl := 0; iwl < dxW; iwl++ {
+							iw := xLoW + iwl
+							u := iw + pad - kw
+							if u < 0 || u%stride != 0 {
+								continue
+							}
+							ox := u / stride
+							oxl := ox - yLoW
+							if oxl < 0 || oxl >= dyW {
+								continue
+							}
+							var acc float32
+							dyOff := dyBaseN + oyl*dyW + oxl
+							wOff := (ci*k+kh)*k + kw
+							for fi := 0; fi < f; fi++ {
+								acc += dyd[dyOff] * wwd[wOff]
+								dyOff += fStrideDy
+								wOff += c * k * k
+							}
+							dxRow[iwl] += acc
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// ConvBackwardData computes the full error signal dL/dx (Eq. 3) for a
+// sequential (single-device) layer.
+func ConvBackwardData(dy, w, dx *tensor.Tensor, stride, pad int) {
+	ConvBackwardDataRegion(dy, w, dx, stride, pad, 0, 0, 0, 0)
+}
+
+// ConvBackwardDataScatter is the scatter formulation of Eq. 3 (zero dx, then
+// accumulate every output element's contributions into the input positions
+// its window covered). Sequential only; kept as a cross-check and ablation
+// reference for the gather kernel.
+func ConvBackwardDataScatter(dy, w, dx *tensor.Tensor, stride, pad int) {
+	ds, ws, xs := dy.Shape(), w.Shape(), dx.Shape()
+	n, f, oh, ow := ds[0], ds[1], ds[2], ds[3]
+	c, k := ws[1], ws[2]
+	h, wd := xs[2], xs[3]
+	dx.Zero()
+	dyd, wwd, dxd := dy.Data(), w.Data(), dx.Data()
+	// Parallel over samples only: scatter into dx[n] races across filters.
+	ParallelFor(n, func(nlo, nhi int) {
+		for ni := nlo; ni < nhi; ni++ {
+			for fi := 0; fi < f; fi++ {
+				dyBase := (ni*f + fi) * oh * ow
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						g := dyd[dyBase+oy*ow+ox]
+						if g == 0 {
+							continue
+						}
+						for ci := 0; ci < c; ci++ {
+							dxBase := (ni*c + ci) * h * wd
+							wBase := (fi*c + ci) * k * k
+							for kh := 0; kh < k; kh++ {
+								iy := oy*stride - pad + kh
+								if iy < 0 || iy >= h {
+									continue
+								}
+								for kw := 0; kw < k; kw++ {
+									ix := ox*stride - pad + kw
+									if ix < 0 || ix >= wd {
+										continue
+									}
+									dxd[dxBase+iy*wd+ix] += g * wwd[wBase+kh*k+kw]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// ConvBackwardFilter computes the local weight-gradient contribution (Eq. 2):
+// dw[f,c,a,b] = sum over the samples and output positions present in dy of
+// dy * x. When accumulate is false dw is overwritten, otherwise added to
+// (used when looping over micro-batches). x and dy may be local shards: in
+// distributed operation x is the halo-extended buffer and pad must be 0; the
+// global sum is completed by an allreduce over all processors (Section III-A).
+func ConvBackwardFilter(x, dy, dw *tensor.Tensor, stride, pad int, accumulate bool) {
+	xs, ds, ws := x.Shape(), dy.Shape(), dw.Shape()
+	n, c, h, wd := xs[0], xs[1], xs[2], xs[3]
+	f, oh, ow := ds[1], ds[2], ds[3]
+	k := ws[2]
+	if ds[0] != n || ws[0] != f || ws[1] != c || ws[3] != k {
+		panic(fmt.Sprintf("kernels: bwd-filter shapes x=%v dy=%v dw=%v inconsistent", xs, ds, ws))
+	}
+	if !accumulate {
+		dw.Zero()
+	}
+	xd, dyd, dwd := x.Data(), dy.Data(), dw.Data()
+	ParallelFor(f*c, func(lo, hi int) {
+		for fc := lo; fc < hi; fc++ {
+			fi, ci := fc/c, fc%c
+			dwBase := (fi*c + ci) * k * k
+			for ni := 0; ni < n; ni++ {
+				dyBase := (ni*f + fi) * oh * ow
+				xBase := (ni*c + ci) * h * wd
+				for kh := 0; kh < k; kh++ {
+					for kw := 0; kw < k; kw++ {
+						var acc float32
+						for oy := 0; oy < oh; oy++ {
+							iy := oy*stride - pad + kh
+							if iy < 0 || iy >= h {
+								continue
+							}
+							dyRow := dyd[dyBase+oy*ow : dyBase+(oy+1)*ow]
+							xRow := xd[xBase+iy*wd : xBase+(iy+1)*wd]
+							ix := -pad + kw
+							for ox := 0; ox < ow; ox++ {
+								if ix >= 0 && ix < wd {
+									acc += dyRow[ox] * xRow[ix]
+								}
+								ix += stride
+							}
+						}
+						dwd[dwBase+kh*k+kw] += acc
+					}
+				}
+			}
+		}
+	})
+}
+
+// BiasBackward computes db[f] = sum over samples and positions of dy.
+func BiasBackward(dy *tensor.Tensor, db []float32, accumulate bool) {
+	ds := dy.Shape()
+	n, f, plane := ds[0], ds[1], ds[2]*ds[3]
+	if len(db) != f {
+		panic("kernels: bias gradient length != filters")
+	}
+	if !accumulate {
+		for i := range db {
+			db[i] = 0
+		}
+	}
+	dyd := dy.Data()
+	ParallelFor(f, func(flo, fhi int) {
+		for fi := flo; fi < fhi; fi++ {
+			var acc float32
+			for ni := 0; ni < n; ni++ {
+				row := dyd[(ni*f+fi)*plane : (ni*f+fi+1)*plane]
+				for _, v := range row {
+					acc += v
+				}
+			}
+			db[fi] += acc
+		}
+	})
+}

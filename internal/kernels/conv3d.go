@@ -1,0 +1,236 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// 3-D convolution kernels: the paper's conclusion singles out 3-D spatial
+// parallelism as the important extension ("as 3D data becomes more
+// widespread ... more advantageous, due to the more favorable
+// surface-to-volume ratio"). Tensors are NCDHW; kernels are cubic (K^3)
+// with a shared stride and padding across the three spatial dimensions,
+// matching the paper's square-kernel presentation.
+
+// conv3dCheck validates shapes and returns unpacked dimensions.
+func conv3dCheck(x, w, y *tensor.Tensor, stride, pad int) (n, c, d, h, wd, f, k, od, oh, ow int) {
+	xs, ws, ys := x.Shape(), w.Shape(), y.Shape()
+	if len(xs) != 5 || len(ws) != 5 || len(ys) != 5 {
+		panic("kernels: conv3d tensors must be rank 5")
+	}
+	n, c, d, h, wd = xs[0], xs[1], xs[2], xs[3], xs[4]
+	f, k = ws[0], ws[2]
+	if ws[1] != c || ws[3] != k || ws[4] != k {
+		panic(fmt.Sprintf("kernels: conv3d weights %v incompatible with input %v", ws, xs))
+	}
+	if stride < 1 || pad < 0 {
+		panic("kernels: invalid conv3d stride/pad")
+	}
+	od = (d+2*pad-k)/stride + 1
+	oh = (h+2*pad-k)/stride + 1
+	ow = (wd+2*pad-k)/stride + 1
+	if ys[0] != n || ys[1] != f || ys[2] != od || ys[3] != oh || ys[4] != ow {
+		panic(fmt.Sprintf("kernels: conv3d output %v, want [%d %d %d %d %d]", ys, n, f, od, oh, ow))
+	}
+	return
+}
+
+// Conv3DForward computes the 3-D analogue of Eq. 1: y[n,f,od,oh,ow] sums
+// x over C and a K^3 window. bias may be nil.
+func Conv3DForward(x, w *tensor.Tensor, bias []float32, y *tensor.Tensor, stride, pad int) {
+	n, c, d, h, wd, f, k, od, oh, ow := conv3dCheck(x, w, y, stride, pad)
+	xd, wwd, yd := x.Data(), w.Data(), y.Data()
+	ParallelFor(n*f, func(lo, hi int) {
+		for nf := lo; nf < hi; nf++ {
+			ni, fi := nf/f, nf%f
+			yBase := (ni*f + fi) * od * oh * ow
+			for oz := 0; oz < od; oz++ {
+				for oy := 0; oy < oh; oy++ {
+					yRow := yd[yBase+(oz*oh+oy)*ow : yBase+(oz*oh+oy+1)*ow]
+					for i := range yRow {
+						if bias != nil {
+							yRow[i] = bias[fi]
+						} else {
+							yRow[i] = 0
+						}
+					}
+					for ci := 0; ci < c; ci++ {
+						xBase := (ni*c + ci) * d * h * wd
+						wBase := (fi*c + ci) * k * k * k
+						for kd := 0; kd < k; kd++ {
+							iz := oz*stride - pad + kd
+							if iz < 0 || iz >= d {
+								continue
+							}
+							for kh := 0; kh < k; kh++ {
+								iy := oy*stride - pad + kh
+								if iy < 0 || iy >= h {
+									continue
+								}
+								xRow := xd[xBase+(iz*h+iy)*wd : xBase+(iz*h+iy+1)*wd]
+								wRow := wwd[wBase+(kd*k+kh)*k : wBase+(kd*k+kh+1)*k]
+								for kw := 0; kw < k; kw++ {
+									wv := wRow[kw]
+									if wv == 0 {
+										continue
+									}
+									ix0 := -pad + kw
+									oxLo := 0
+									if ix0 < 0 {
+										oxLo = (-ix0 + stride - 1) / stride
+									}
+									oxHi := ow
+									if mx := (wd - 1 - ix0) / stride; mx+1 < oxHi {
+										oxHi = mx + 1
+									}
+									ix := oxLo*stride + ix0
+									for ox := oxLo; ox < oxHi; ox++ {
+										yRow[ox] += wv * xRow[ix]
+										ix += stride
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// Conv3DBackwardDataRegion computes dL/dx for a box of the global input
+// given a box of the global output gradient — the 3-D gather analogue of
+// ConvBackwardDataRegion. dx covers global input starting at
+// (xLoD, xLoH, xLoW); dy covers global output starting at (yLoD, yLoH,
+// yLoW); the caller guarantees coverage of all contributors.
+func Conv3DBackwardDataRegion(dy, w, dx *tensor.Tensor, stride, pad, xLoD, xLoH, xLoW, yLoD, yLoH, yLoW int) {
+	ds, ws, xs := dy.Shape(), w.Shape(), dx.Shape()
+	n, f, dyD, dyH, dyW := ds[0], ds[1], ds[2], ds[3], ds[4]
+	c, k := ws[1], ws[2]
+	if ws[0] != f || xs[0] != n || xs[1] != c {
+		panic(fmt.Sprintf("kernels: conv3d bwd shapes dy=%v w=%v dx=%v inconsistent", ds, ws, xs))
+	}
+	dxD, dxH, dxW := xs[2], xs[3], xs[4]
+	dyd, wwd, dxd := dy.Data(), w.Data(), dx.Data()
+	fStride := dyD * dyH * dyW
+	ckkk := c * k * k * k
+	ParallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			ni, ci := nc/c, nc%c
+			dxBase := (ni*c + ci) * dxD * dxH * dxW
+			dyBaseN := ni * f * fStride
+			for izl := 0; izl < dxD; izl++ {
+				iz := xLoD + izl
+				for ihl := 0; ihl < dxH; ihl++ {
+					ih := xLoH + ihl
+					dxRow := dxd[dxBase+(izl*dxH+ihl)*dxW : dxBase+(izl*dxH+ihl+1)*dxW]
+					for i := range dxRow {
+						dxRow[i] = 0
+					}
+					for kd := 0; kd < k; kd++ {
+						tz := iz + pad - kd
+						if tz < 0 || tz%stride != 0 {
+							continue
+						}
+						ozl := tz/stride - yLoD
+						if ozl < 0 || ozl >= dyD {
+							continue
+						}
+						for kh := 0; kh < k; kh++ {
+							ty := ih + pad - kh
+							if ty < 0 || ty%stride != 0 {
+								continue
+							}
+							oyl := ty/stride - yLoH
+							if oyl < 0 || oyl >= dyH {
+								continue
+							}
+							for kw := 0; kw < k; kw++ {
+								for iwl := 0; iwl < dxW; iwl++ {
+									tx := xLoW + iwl + pad - kw
+									if tx < 0 || tx%stride != 0 {
+										continue
+									}
+									oxl := tx/stride - yLoW
+									if oxl < 0 || oxl >= dyW {
+										continue
+									}
+									var acc float32
+									dyOff := dyBaseN + (ozl*dyH+oyl)*dyW + oxl
+									wOff := ((ci*k+kd)*k+kh)*k + kw
+									for fi := 0; fi < f; fi++ {
+										acc += dyd[dyOff] * wwd[wOff]
+										dyOff += fStride
+										wOff += ckkk
+									}
+									dxRow[iwl] += acc
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// Conv3DBackwardData computes the full sequential dL/dx.
+func Conv3DBackwardData(dy, w, dx *tensor.Tensor, stride, pad int) {
+	Conv3DBackwardDataRegion(dy, w, dx, stride, pad, 0, 0, 0, 0, 0, 0)
+}
+
+// Conv3DBackwardFilter computes the local weight-gradient contribution
+// (3-D Eq. 2). x and dy may be local shards (x halo-extended, pad=0).
+func Conv3DBackwardFilter(x, dy, dw *tensor.Tensor, stride, pad int, accumulate bool) {
+	xs, ds, ws := x.Shape(), dy.Shape(), dw.Shape()
+	n, c, d, h, wd := xs[0], xs[1], xs[2], xs[3], xs[4]
+	f, od, oh, ow := ds[1], ds[2], ds[3], ds[4]
+	k := ws[2]
+	if ds[0] != n || ws[0] != f || ws[1] != c {
+		panic(fmt.Sprintf("kernels: conv3d bwd-filter shapes x=%v dy=%v dw=%v inconsistent", xs, ds, ws))
+	}
+	if !accumulate {
+		dw.Zero()
+	}
+	xd, dyd, dwd := x.Data(), dy.Data(), dw.Data()
+	ParallelFor(f*c, func(lo, hi int) {
+		for fc := lo; fc < hi; fc++ {
+			fi, ci := fc/c, fc%c
+			dwBase := (fi*c + ci) * k * k * k
+			for ni := 0; ni < n; ni++ {
+				dyBase := (ni*f + fi) * od * oh * ow
+				xBase := (ni*c + ci) * d * h * wd
+				for kd := 0; kd < k; kd++ {
+					for kh := 0; kh < k; kh++ {
+						for kw := 0; kw < k; kw++ {
+							var acc float32
+							for oz := 0; oz < od; oz++ {
+								iz := oz*stride - pad + kd
+								if iz < 0 || iz >= d {
+									continue
+								}
+								for oy := 0; oy < oh; oy++ {
+									iy := oy*stride - pad + kh
+									if iy < 0 || iy >= h {
+										continue
+									}
+									dyRow := dyd[dyBase+(oz*oh+oy)*ow : dyBase+(oz*oh+oy+1)*ow]
+									xRow := xd[xBase+(iz*h+iy)*wd : xBase+(iz*h+iy+1)*wd]
+									ix := -pad + kw
+									for ox := 0; ox < ow; ox++ {
+										if ix >= 0 && ix < wd {
+											acc += dyRow[ox] * xRow[ix]
+										}
+										ix += stride
+									}
+								}
+							}
+							dwd[dwBase+(kd*k+kh)*k+kw] += acc
+						}
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,214 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// naiveConv3D brute-forces the 3-D forward convolution.
+func naiveConv3D(x, w *tensor.Tensor, stride, pad int) *tensor.Tensor {
+	xs, ws := x.Shape(), w.Shape()
+	n, c, d, h, wd := xs[0], xs[1], xs[2], xs[3], xs[4]
+	f, k := ws[0], ws[2]
+	od := (d+2*pad-k)/stride + 1
+	oh := (h+2*pad-k)/stride + 1
+	ow := (wd+2*pad-k)/stride + 1
+	y := tensor.New(n, f, od, oh, ow)
+	for ni := 0; ni < n; ni++ {
+		for fi := 0; fi < f; fi++ {
+			for oz := 0; oz < od; oz++ {
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						var acc float64
+						for ci := 0; ci < c; ci++ {
+							for kd := 0; kd < k; kd++ {
+								for kh := 0; kh < k; kh++ {
+									for kw := 0; kw < k; kw++ {
+										iz := oz*stride - pad + kd
+										iy := oy*stride - pad + kh
+										ix := ox*stride - pad + kw
+										if iz < 0 || iz >= d || iy < 0 || iy >= h || ix < 0 || ix >= wd {
+											continue
+										}
+										acc += float64(x.At(ni, ci, iz, iy, ix)) * float64(w.At(fi, ci, kd, kh, kw))
+									}
+								}
+							}
+						}
+						y.Set(float32(acc), ni, fi, oz, oy, ox)
+					}
+				}
+			}
+		}
+	}
+	return y
+}
+
+type conv3dCase struct {
+	name                        string
+	n, c, d, h, w, f, k, s, pad int
+}
+
+var conv3dCases = []conv3dCase{
+	{"3x3x3same", 1, 2, 6, 6, 6, 3, 3, 1, 1},
+	{"1x1x1", 2, 3, 4, 5, 6, 2, 1, 1, 0},
+	{"3x3x3s2", 1, 2, 8, 8, 8, 2, 3, 2, 1},
+	{"nonuniform", 1, 1, 5, 7, 9, 2, 3, 1, 1},
+	{"nopad", 1, 2, 5, 5, 5, 2, 3, 1, 0},
+}
+
+func TestConv3DForwardMatchesNaive(t *testing.T) {
+	for _, tc := range conv3dCases {
+		x := tensor.New(tc.n, tc.c, tc.d, tc.h, tc.w)
+		w := tensor.New(tc.f, tc.c, tc.k, tc.k, tc.k)
+		x.FillRandN(1, 1)
+		w.FillRandN(2, 0.5)
+		want := naiveConv3D(x, w, tc.s, tc.pad)
+		got := tensor.New(want.Shape()...)
+		Conv3DForward(x, w, nil, got, tc.s, tc.pad)
+		if diff := got.RelDiff(want); diff > 1e-5 {
+			t.Errorf("%s: forward rel diff %g", tc.name, diff)
+		}
+	}
+}
+
+func TestConv3DForwardBias(t *testing.T) {
+	x := tensor.New(1, 1, 3, 3, 3)
+	w := tensor.New(2, 1, 1, 1, 1)
+	y := tensor.New(1, 2, 3, 3, 3)
+	Conv3DForward(x, w, []float32{1.5, -2}, y, 1, 0)
+	if y.At(0, 0, 1, 1, 1) != 1.5 || y.At(0, 1, 2, 2, 2) != -2 {
+		t.Fatalf("bias not applied: %v %v", y.At(0, 0, 1, 1, 1), y.At(0, 1, 2, 2, 2))
+	}
+}
+
+// Adjoint identity in 3-D: <conv(x,w), dy> == <x, bwdData(dy,w)>.
+func TestConv3DAdjointIdentity(t *testing.T) {
+	for _, tc := range conv3dCases {
+		x := tensor.New(tc.n, tc.c, tc.d, tc.h, tc.w)
+		w := tensor.New(tc.f, tc.c, tc.k, tc.k, tc.k)
+		x.FillRandN(3, 1)
+		w.FillRandN(4, 0.5)
+		y := naiveConv3D(x, w, tc.s, tc.pad)
+		dy := tensor.New(y.Shape()...)
+		dy.FillRandN(5, 1)
+		dx := tensor.New(x.Shape()...)
+		Conv3DBackwardData(dy, w, dx, tc.s, tc.pad)
+		var lhs, rhs float64
+		for i := range y.Data() {
+			lhs += float64(y.Data()[i]) * float64(dy.Data()[i])
+		}
+		for i := range x.Data() {
+			rhs += float64(x.Data()[i]) * float64(dx.Data()[i])
+		}
+		scale := abs64(lhs)
+		if scale < 1 {
+			scale = 1
+		}
+		if abs64(lhs-rhs)/scale > 1e-3 {
+			t.Errorf("%s: adjoint identity %g vs %g", tc.name, lhs, rhs)
+		}
+	}
+}
+
+// dw check: <dw, w'> == d/dt <conv(x, w + t w'), dy> at t=0, i.e.
+// <conv(x, w'), dy> == <w', dw> by bilinearity.
+func TestConv3DBackwardFilterBilinear(t *testing.T) {
+	for _, tc := range conv3dCases {
+		x := tensor.New(tc.n, tc.c, tc.d, tc.h, tc.w)
+		x.FillRandN(6, 1)
+		wProbe := tensor.New(tc.f, tc.c, tc.k, tc.k, tc.k)
+		wProbe.FillRandN(7, 0.5)
+		yProbe := naiveConv3D(x, wProbe, tc.s, tc.pad)
+		dy := tensor.New(yProbe.Shape()...)
+		dy.FillRandN(8, 1)
+		dw := tensor.New(tc.f, tc.c, tc.k, tc.k, tc.k)
+		Conv3DBackwardFilter(x, dy, dw, tc.s, tc.pad, false)
+		var lhs, rhs float64
+		for i := range yProbe.Data() {
+			lhs += float64(yProbe.Data()[i]) * float64(dy.Data()[i])
+		}
+		for i := range wProbe.Data() {
+			rhs += float64(wProbe.Data()[i]) * float64(dw.Data()[i])
+		}
+		scale := abs64(lhs)
+		if scale < 1 {
+			scale = 1
+		}
+		if abs64(lhs-rhs)/scale > 1e-3 {
+			t.Errorf("%s: filter bilinear identity %g vs %g", tc.name, lhs, rhs)
+		}
+	}
+}
+
+func TestConv3DBackwardFilterAccumulate(t *testing.T) {
+	tc := conv3dCases[0]
+	x := tensor.New(tc.n, tc.c, tc.d, tc.h, tc.w)
+	x.FillRandN(9, 1)
+	w := tensor.New(tc.f, tc.c, tc.k, tc.k, tc.k)
+	y := naiveConv3D(x, w, tc.s, tc.pad)
+	dy := tensor.New(y.Shape()...)
+	dy.FillRandN(10, 1)
+	once := tensor.New(w.Shape()...)
+	Conv3DBackwardFilter(x, dy, once, tc.s, tc.pad, false)
+	twice := tensor.New(w.Shape()...)
+	Conv3DBackwardFilter(x, dy, twice, tc.s, tc.pad, false)
+	Conv3DBackwardFilter(x, dy, twice, tc.s, tc.pad, true)
+	once.Scale(2)
+	if d := once.RelDiff(twice); d > 1e-5 {
+		t.Errorf("accumulate rel diff %g", d)
+	}
+}
+
+// Property: the region backward-data kernel tiles to the full result when
+// the depth dimension is split in two.
+func TestQuickConv3DRegionTiles(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + 2*rng.Intn(2) // 1 or 3
+		s := 1 + rng.Intn(2)
+		pad := rng.Intn(k/2 + 1)
+		d := k + 2 + rng.Intn(4)
+		h := k + rng.Intn(4)
+		w := k + rng.Intn(4)
+		c, fo := 1+rng.Intn(2), 1+rng.Intn(2)
+		x := tensor.New(1, c, d, h, w)
+		x.FillRandN(seed, 1)
+		wt := tensor.New(fo, c, k, k, k)
+		wt.FillRandN(seed+1, 0.5)
+		od := (d+2*pad-k)/s + 1
+		oh := (h+2*pad-k)/s + 1
+		ow := (w+2*pad-k)/s + 1
+		if od < 2 || oh < 1 || ow < 1 {
+			return true
+		}
+		dy := tensor.New(1, fo, od, oh, ow)
+		dy.FillRandN(seed+2, 1)
+		full := tensor.New(1, c, d, h, w)
+		Conv3DBackwardData(dy, wt, full, s, pad)
+
+		split := d / 2
+		for _, piece := range [][2]int{{0, split}, {split, d}} {
+			part := tensor.New(1, c, piece[1]-piece[0], h, w)
+			Conv3DBackwardDataRegion(dy, wt, part, s, pad, piece[0], 0, 0, 0, 0, 0)
+			for ci := 0; ci < c; ci++ {
+				for iz := piece[0]; iz < piece[1]; iz++ {
+					for iy := 0; iy < h; iy++ {
+						for ix := 0; ix < w; ix++ {
+							if absDiff(part.At(0, ci, iz-piece[0], iy, ix), full.At(0, ci, iz, iy, ix)) > 1e-4 {
+								return false
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

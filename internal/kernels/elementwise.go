@@ -1,0 +1,75 @@
+package kernels
+
+import "repro/internal/tensor"
+
+// ReLUForward computes y = max(0, x) elementwise. x and y may alias.
+func ReLUForward(x, y *tensor.Tensor) {
+	xd, yd := x.Data(), y.Data()
+	if len(xd) != len(yd) {
+		panic("kernels: relu size mismatch")
+	}
+	ParallelFor(parChunks(len(xd)), func(lo, hi int) {
+		a, b := chunkRange(len(xd), lo, hi)
+		for i := a; i < b; i++ {
+			if xd[i] > 0 {
+				yd[i] = xd[i]
+			} else {
+				yd[i] = 0
+			}
+		}
+	})
+}
+
+// ReLUBackward computes dx = dy where x > 0, else 0. dx may alias dy.
+func ReLUBackward(x, dy, dx *tensor.Tensor) {
+	xd, dyd, dxd := x.Data(), dy.Data(), dx.Data()
+	if len(xd) != len(dyd) || len(xd) != len(dxd) {
+		panic("kernels: relu backward size mismatch")
+	}
+	ParallelFor(parChunks(len(xd)), func(lo, hi int) {
+		a, b := chunkRange(len(xd), lo, hi)
+		for i := a; i < b; i++ {
+			if xd[i] > 0 {
+				dxd[i] = dyd[i]
+			} else {
+				dxd[i] = 0
+			}
+		}
+	})
+}
+
+// Add computes out = a + b elementwise (residual connections). out may alias
+// either input.
+func Add(a, b, out *tensor.Tensor) {
+	ad, bd, od := a.Data(), b.Data(), out.Data()
+	if len(ad) != len(bd) || len(ad) != len(od) {
+		panic("kernels: add size mismatch")
+	}
+	ParallelFor(parChunks(len(ad)), func(lo, hi int) {
+		x, y := chunkRange(len(ad), lo, hi)
+		for i := x; i < y; i++ {
+			od[i] = ad[i] + bd[i]
+		}
+	})
+}
+
+// elementwise chunking: split a flat range into coarse chunks so tiny
+// tensors stay serial.
+const ewChunk = 16384
+
+func parChunks(n int) int {
+	c := (n + ewChunk - 1) / ewChunk
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+func chunkRange(n, lo, hi int) (int, int) {
+	a := lo * ewChunk
+	b := hi * ewChunk
+	if b > n {
+		b = n
+	}
+	return a, b
+}

@@ -1,0 +1,91 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// FCForward computes the fully-connected layer y = x·Wᵀ + b.
+// x: [N, In] (higher-rank inputs are treated as flattened per sample),
+// w: [Out, In], b: [Out] or nil, y: [N, Out].
+func FCForward(x, w *tensor.Tensor, bias []float32, y *tensor.Tensor) {
+	n, in := flat2(x)
+	out, in2 := flat2(w)
+	yn, yout := flat2(y)
+	if in != in2 || yn != n || yout != out {
+		panic(fmt.Sprintf("kernels: fc shapes x=%v w=%v y=%v inconsistent", x.Shape(), w.Shape(), y.Shape()))
+	}
+	GemmNT(n, out, in, 1, x.Data(), w.Data(), 0, y.Data())
+	if bias != nil {
+		if len(bias) != out {
+			panic("kernels: fc bias length mismatch")
+		}
+		yd := y.Data()
+		for i := 0; i < n; i++ {
+			row := yd[i*out : (i+1)*out]
+			for j := range row {
+				row[j] += bias[j]
+			}
+		}
+	}
+}
+
+// FCBackwardData computes dx = dy·W.
+func FCBackwardData(dy, w, dx *tensor.Tensor) {
+	n, out := flat2(dy)
+	out2, in := flat2(w)
+	xn, xin := flat2(dx)
+	if out != out2 || xn != n || xin != in {
+		panic(fmt.Sprintf("kernels: fc bwd shapes dy=%v w=%v dx=%v inconsistent", dy.Shape(), w.Shape(), dx.Shape()))
+	}
+	GemmNN(n, in, out, 1, dy.Data(), w.Data(), 0, dx.Data())
+}
+
+// FCBackwardParams computes dW = dyᵀ·x and db = column-sums of dy.
+// db may be nil. When accumulate is false the gradients are overwritten.
+func FCBackwardParams(x, dy, dw *tensor.Tensor, db []float32, accumulate bool) {
+	n, in := flat2(x)
+	n2, out := flat2(dy)
+	wout, win := flat2(dw)
+	if n != n2 || wout != out || win != in {
+		panic(fmt.Sprintf("kernels: fc params shapes x=%v dy=%v dw=%v inconsistent", x.Shape(), dy.Shape(), dw.Shape()))
+	}
+	beta := float32(0)
+	if accumulate {
+		beta = 1
+	}
+	GemmTN(out, in, n, 1, dy.Data(), x.Data(), beta, dw.Data())
+	if db != nil {
+		if len(db) != out {
+			panic("kernels: fc dbias length mismatch")
+		}
+		if !accumulate {
+			for i := range db {
+				db[i] = 0
+			}
+		}
+		dyd := dy.Data()
+		for i := 0; i < n; i++ {
+			row := dyd[i*out : (i+1)*out]
+			for j, v := range row {
+				db[j] += v
+			}
+		}
+	}
+}
+
+// flat2 views a tensor as [dim0, rest] — the per-sample flattening FC layers
+// apply to convolutional feature maps.
+func flat2(t *tensor.Tensor) (int, int) {
+	s := t.Shape()
+	if len(s) == 0 {
+		panic("kernels: scalar tensor in fc")
+	}
+	n := s[0]
+	rest := 1
+	for _, d := range s[1:] {
+		rest *= d
+	}
+	return n, rest
+}

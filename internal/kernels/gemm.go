@@ -1,0 +1,151 @@
+package kernels
+
+import "fmt"
+
+// Register-blocking parameters for the GEMM microkernel. kc keeps a panel of
+// B in L1/L2; mc blocks rows of A for parallel distribution.
+const (
+	gemmKC = 256
+	gemmMC = 64
+)
+
+// GemmNN computes C = alpha*A*B + beta*C for row-major A (M x K), B (K x N),
+// C (M x N).
+func GemmNN(m, n, k int, alpha float32, a []float32, b []float32, beta float32, c []float32) {
+	checkGemm(m, n, k, len(a), len(b), len(c))
+	scaleC(beta, c)
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	// Parallelize over blocks of rows of C.
+	blocks := (m + gemmMC - 1) / gemmMC
+	ParallelFor(blocks, func(blo, bhi int) {
+		for blk := blo; blk < bhi; blk++ {
+			i0 := blk * gemmMC
+			i1 := i0 + gemmMC
+			if i1 > m {
+				i1 = m
+			}
+			for p0 := 0; p0 < k; p0 += gemmKC {
+				p1 := p0 + gemmKC
+				if p1 > k {
+					p1 = k
+				}
+				for i := i0; i < i1; i++ {
+					ci := c[i*n : (i+1)*n]
+					ai := a[i*k : (i+1)*k]
+					for p := p0; p < p1; p++ {
+						av := alpha * ai[p]
+						if av == 0 {
+							continue
+						}
+						bp := b[p*n : (p+1)*n]
+						axpy(av, bp, ci)
+					}
+				}
+			}
+		}
+	})
+}
+
+// GemmNT computes C = alpha*A*Bᵀ + beta*C for row-major A (M x K),
+// B (N x K), C (M x N).
+func GemmNT(m, n, k int, alpha float32, a []float32, b []float32, beta float32, c []float32) {
+	checkGemm(m, n, k, len(a), len(b), len(c))
+	scaleC(beta, c)
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	ParallelFor(m, func(ilo, ihi int) {
+		for i := ilo; i < ihi; i++ {
+			ai := a[i*k : (i+1)*k]
+			ci := c[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b[j*k : (j+1)*k]
+				ci[j] += alpha * dot(ai, bj)
+			}
+		}
+	})
+}
+
+// GemmTN computes C = alpha*Aᵀ*B + beta*C for row-major A (K x M),
+// B (K x N), C (M x N).
+func GemmTN(m, n, k int, alpha float32, a []float32, b []float32, beta float32, c []float32) {
+	checkGemm(m, n, k, len(a), len(b), len(c))
+	scaleC(beta, c)
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	ParallelFor(m, func(ilo, ihi int) {
+		for p := 0; p < k; p++ {
+			ap := a[p*m : (p+1)*m]
+			bp := b[p*n : (p+1)*n]
+			for i := ilo; i < ihi; i++ {
+				av := alpha * ap[i]
+				if av == 0 {
+					continue
+				}
+				axpy(av, bp, c[i*n:(i+1)*n])
+			}
+		}
+	})
+}
+
+func checkGemm(m, n, k, la, lb, lc int) {
+	if la < m*k && !(m == 0 || k == 0) {
+		panic(fmt.Sprintf("kernels: gemm A has %d elements, need %d", la, m*k))
+	}
+	if lb < k*n && !(k == 0 || n == 0) {
+		panic(fmt.Sprintf("kernels: gemm B has %d elements, need %d", lb, k*n))
+	}
+	if lc < m*n && !(m == 0 || n == 0) {
+		panic(fmt.Sprintf("kernels: gemm C has %d elements, need %d", lc, m*n))
+	}
+}
+
+func scaleC(beta float32, c []float32) {
+	switch beta {
+	case 1:
+	case 0:
+		for i := range c {
+			c[i] = 0
+		}
+	default:
+		for i := range c {
+			c[i] *= beta
+		}
+	}
+}
+
+// axpy computes y += a*x with 4-way unrolling.
+func axpy(a float32, x, y []float32) {
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// dot returns the inner product of x and y with 4-way unrolling.
+func dot(x, y []float32) float32 {
+	n := len(x)
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < n; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}

@@ -1,0 +1,201 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func naiveGemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	out := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for p := 0; p < k; p++ {
+				var av, bv float32
+				if transA {
+					av = a[p*m+i]
+				} else {
+					av = a[i*k+p]
+				}
+				if transB {
+					bv = b[j*k+p]
+				} else {
+					bv = b[p*n+j]
+				}
+				acc += float64(av) * float64(bv)
+			}
+			out[i*n+j] = float64(alpha)*acc + float64(beta)*float64(c[i*n+j])
+		}
+	}
+	for i := range out {
+		c[i] = float32(out[i])
+	}
+}
+
+func randSlice(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = rng.Float32()*2 - 1
+	}
+	return s
+}
+
+func maxDiff(a, b []float32) float64 {
+	m := 0.0
+	for i := range a {
+		d := math.Abs(float64(a[i] - b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestGemmNNMatchesNaive(t *testing.T) {
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {17, 9, 23}, {64, 64, 64}, {100, 3, 300}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randSlice(m*k, 1)
+		b := randSlice(k*n, 2)
+		c := randSlice(m*n, 3)
+		want := append([]float32(nil), c...)
+		naiveGemm(false, false, m, n, k, 1.5, a, b, 0.5, want)
+		GemmNN(m, n, k, 1.5, a, b, 0.5, c)
+		if d := maxDiff(c, want); d > 1e-3 {
+			t.Errorf("GemmNN %v: max diff %g", dims, d)
+		}
+	}
+}
+
+func TestGemmNTMatchesNaive(t *testing.T) {
+	for _, dims := range [][3]int{{2, 3, 4}, {16, 8, 32}, {65, 33, 7}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randSlice(m*k, 4)
+		b := randSlice(n*k, 5)
+		c := make([]float32, m*n)
+		want := make([]float32, m*n)
+		naiveGemm(false, true, m, n, k, 1, a, b, 0, want)
+		GemmNT(m, n, k, 1, a, b, 0, c)
+		if d := maxDiff(c, want); d > 1e-3 {
+			t.Errorf("GemmNT %v: max diff %g", dims, d)
+		}
+	}
+}
+
+func TestGemmTNMatchesNaive(t *testing.T) {
+	for _, dims := range [][3]int{{2, 3, 4}, {16, 8, 32}, {7, 65, 33}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randSlice(k*m, 6)
+		b := randSlice(k*n, 7)
+		c := make([]float32, m*n)
+		want := make([]float32, m*n)
+		naiveGemm(true, false, m, n, k, 1, a, b, 0, want)
+		GemmTN(m, n, k, 1, a, b, 0, c)
+		if d := maxDiff(c, want); d > 1e-3 {
+			t.Errorf("GemmTN %v: max diff %g", dims, d)
+		}
+	}
+}
+
+func TestGemmBetaOne(t *testing.T) {
+	m, n, k := 4, 4, 4
+	a := randSlice(m*k, 8)
+	b := randSlice(k*n, 9)
+	c := randSlice(m*n, 10)
+	orig := append([]float32(nil), c...)
+	GemmNN(m, n, k, 0, a, b, 1, c) // alpha=0, beta=1: no-op
+	if d := maxDiff(c, orig); d != 0 {
+		t.Errorf("alpha=0 beta=1 should preserve C, diff %g", d)
+	}
+}
+
+func TestGemmZeroDims(t *testing.T) {
+	// Degenerate sizes must not panic.
+	GemmNN(0, 4, 4, 1, nil, randSlice(16, 1), 0, nil)
+	GemmNT(4, 0, 4, 1, randSlice(16, 1), nil, 0, nil)
+}
+
+func TestAxpyDot(t *testing.T) {
+	x := []float32{1, 2, 3, 4, 5}
+	y := []float32{1, 1, 1, 1, 1}
+	axpy(2, x, y)
+	want := []float32{3, 5, 7, 9, 11}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("axpy[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	if d := dot(x, x); d != 55 {
+		t.Fatalf("dot = %v, want 55", d)
+	}
+}
+
+// Property: GemmNT(A, B) == GemmNN(A, Bᵀ).
+func TestQuickGemmTransposeConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n, k := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		a := randSlice(m*k, seed)
+		b := randSlice(n*k, seed+1) // row-major [n][k]
+		bt := make([]float32, k*n)  // transpose: [k][n]
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				bt[j*n+i] = b[i*k+j]
+			}
+		}
+		c1 := make([]float32, m*n)
+		c2 := make([]float32, m*n)
+		GemmNT(m, n, k, 1, a, b, 0, c1)
+		GemmNN(m, n, k, 1, a, bt, 0, c2)
+		return maxDiff(c1, c2) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		var mu = make([]bool, n)
+		var lock chDummy
+		_ = lock
+		done := make([]int32, n)
+		ParallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				done[i]++
+			}
+		})
+		for i, v := range done {
+			if v != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, v)
+			}
+		}
+		_ = mu
+	}
+}
+
+type chDummy struct{}
+
+func TestSetMaxWorkers(t *testing.T) {
+	old := SetMaxWorkers(1)
+	defer SetMaxWorkers(old)
+	count := 0
+	ParallelFor(100, func(lo, hi int) {
+		// With one worker the whole range arrives in a single chunk.
+		if lo != 0 || hi != 100 {
+			t.Errorf("expected single chunk, got [%d,%d)", lo, hi)
+		}
+		count++
+	})
+	if count != 1 {
+		t.Fatalf("fn called %d times, want 1", count)
+	}
+	if SetMaxWorkers(0) != 1 {
+		t.Fatal("SetMaxWorkers should return previous value")
+	}
+	if maxWorkers != 1 {
+		t.Fatal("SetMaxWorkers(0) should clamp to 1")
+	}
+}

@@ -1,0 +1,148 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// [N, Classes] against integer labels and the gradient dlogits
+// (softmax(logits) - onehot)/N. Returns the mean loss.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int, dlogits *tensor.Tensor) float64 {
+	n, cl := flat2(logits)
+	if len(labels) != n {
+		panic(fmt.Sprintf("kernels: %d labels for %d samples", len(labels), n))
+	}
+	ld := logits.Data()
+	var dd []float32
+	if dlogits != nil {
+		if dlogits.Size() != logits.Size() {
+			panic("kernels: dlogits shape mismatch")
+		}
+		dd = dlogits.Data()
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		row := ld[i*cl : (i+1)*cl]
+		lbl := labels[i]
+		if lbl < 0 || lbl >= cl {
+			panic(fmt.Sprintf("kernels: label %d out of range [0,%d)", lbl, cl))
+		}
+		// Numerically stable log-sum-exp.
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - mx))
+		}
+		logZ := math.Log(sum) + float64(mx)
+		total += logZ - float64(row[lbl])
+		if dd != nil {
+			drow := dd[i*cl : (i+1)*cl]
+			for j, v := range row {
+				p := math.Exp(float64(v)-logZ) / float64(n)
+				drow[j] = float32(p)
+			}
+			drow[lbl] -= 1 / float32(n)
+		}
+	}
+	return total / float64(n)
+}
+
+// SoftmaxCrossEntropySpatial computes the mean per-pixel cross-entropy of
+// logits [N, Classes, H, W] against a label map [N, H, W] (flattened,
+// row-major), as used for semantic segmentation of the mesh-tangling data.
+// Gradient normalization is by the total pixel count.
+func SoftmaxCrossEntropySpatial(logits *tensor.Tensor, labels []int32, dlogits *tensor.Tensor) float64 {
+	s := logits.Shape()
+	n, cl, h, w := s[0], s[1], s[2], s[3]
+	if len(labels) != n*h*w {
+		panic(fmt.Sprintf("kernels: %d labels for %d pixels", len(labels), n*h*w))
+	}
+	ld := logits.Data()
+	var dd []float32
+	if dlogits != nil {
+		if dlogits.Size() != logits.Size() {
+			panic("kernels: dlogits shape mismatch")
+		}
+		dd = dlogits.Data()
+	}
+	plane := h * w
+	norm := float64(n * plane)
+	total := 0.0
+	for ni := 0; ni < n; ni++ {
+		for p := 0; p < plane; p++ {
+			lbl := int(labels[ni*plane+p])
+			if lbl < 0 || lbl >= cl {
+				panic(fmt.Sprintf("kernels: label %d out of range [0,%d)", lbl, cl))
+			}
+			base := ni*cl*plane + p
+			mx := float32(math.Inf(-1))
+			for c := 0; c < cl; c++ {
+				if v := ld[base+c*plane]; v > mx {
+					mx = v
+				}
+			}
+			var sum float64
+			for c := 0; c < cl; c++ {
+				sum += math.Exp(float64(ld[base+c*plane] - mx))
+			}
+			logZ := math.Log(sum) + float64(mx)
+			total += logZ - float64(ld[base+lbl*plane])
+			if dd != nil {
+				for c := 0; c < cl; c++ {
+					pr := math.Exp(float64(ld[base+c*plane])-logZ) / norm
+					dd[base+c*plane] = float32(pr)
+				}
+				dd[base+lbl*plane] -= float32(1 / norm)
+			}
+		}
+	}
+	return total / norm
+}
+
+// ArgmaxRows returns the argmax class of each row of logits [N, Classes].
+func ArgmaxRows(logits *tensor.Tensor) []int {
+	n, cl := flat2(logits)
+	ld := logits.Data()
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := ld[i*cl : (i+1)*cl]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// PixelArgmax returns the per-pixel argmax class of logits [N, C, H, W] as a
+// flattened [N, H, W] label map.
+func PixelArgmax(logits *tensor.Tensor) []int32 {
+	s := logits.Shape()
+	n, cl, plane := s[0], s[1], s[2]*s[3]
+	ld := logits.Data()
+	out := make([]int32, n*plane)
+	for ni := 0; ni < n; ni++ {
+		for p := 0; p < plane; p++ {
+			base := ni*cl*plane + p
+			best := 0
+			for c := 1; c < cl; c++ {
+				if ld[base+c*plane] > ld[base+best*plane] {
+					best = c
+				}
+			}
+			out[ni*plane+p] = int32(best)
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNormStats accumulates per-channel sums and sums of squares of the
+// local tensor x into sum and sumsq (each of length C). In distributed
+// operation the caller allreduces {sum, sumsq, count} over the statistics
+// group before calling BatchNormForward — the paper's "aggregated" batch
+// normalization variant (Section III-B); skipping the allreduce gives the
+// purely-local variant.
+func BatchNormStats(x *tensor.Tensor, sum, sumsq []float32) {
+	xs := x.Shape()
+	n, c, plane := xs[0], xs[1], xs[2]*xs[3]
+	if len(sum) != c || len(sumsq) != c {
+		panic("kernels: batchnorm stats buffers must have length C")
+	}
+	xd := x.Data()
+	ParallelFor(c, func(clo, chi int) {
+		for ci := clo; ci < chi; ci++ {
+			var s, sq float64
+			for ni := 0; ni < n; ni++ {
+				row := xd[(ni*c+ci)*plane : (ni*c+ci+1)*plane]
+				for _, v := range row {
+					s += float64(v)
+					sq += float64(v) * float64(v)
+				}
+			}
+			sum[ci] = float32(s)
+			sumsq[ci] = float32(sq)
+		}
+	})
+}
+
+// BatchNormMoments converts aggregated sums into per-channel mean and
+// inverse standard deviation: invstd = 1/sqrt(var + eps).
+func BatchNormMoments(sum, sumsq []float32, count int, eps float32, mean, invstd []float32) {
+	if count <= 0 {
+		panic(fmt.Sprintf("kernels: batchnorm count %d must be positive", count))
+	}
+	for ci := range sum {
+		m := sum[ci] / float32(count)
+		v := sumsq[ci]/float32(count) - m*m
+		if v < 0 {
+			v = 0 // guard against catastrophic cancellation
+		}
+		mean[ci] = m
+		invstd[ci] = float32(1.0 / math.Sqrt(float64(v)+float64(eps)))
+	}
+}
+
+// BatchNormForward computes y = gamma * (x-mean)*invstd + beta per channel.
+func BatchNormForward(x *tensor.Tensor, mean, invstd, gamma, beta []float32, y *tensor.Tensor) {
+	xs := x.Shape()
+	n, c, plane := xs[0], xs[1], xs[2]*xs[3]
+	xd, yd := x.Data(), y.Data()
+	if !x.EqualShape(y) {
+		panic("kernels: batchnorm x/y shape mismatch")
+	}
+	ParallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			ci := nc % c
+			g, b, m, is := gamma[ci], beta[ci], mean[ci], invstd[ci]
+			xRow := xd[nc*plane : (nc+1)*plane]
+			yRow := yd[nc*plane : (nc+1)*plane]
+			for i, v := range xRow {
+				yRow[i] = g*(v-m)*is + b
+			}
+		}
+	})
+}
+
+// BatchNormBackwardStats computes the two per-channel reductions the batch
+// normalization backward pass needs: dbeta = Σ dy and dgamma = Σ dy * xhat.
+// In distributed operation these are allreduced over the statistics group
+// (they are also exactly the parameter gradients).
+func BatchNormBackwardStats(x, dy *tensor.Tensor, mean, invstd []float32, dgamma, dbeta []float32) {
+	xs := x.Shape()
+	n, c, plane := xs[0], xs[1], xs[2]*xs[3]
+	xd, dyd := x.Data(), dy.Data()
+	ParallelFor(c, func(clo, chi int) {
+		for ci := clo; ci < chi; ci++ {
+			m, is := mean[ci], invstd[ci]
+			var dg, db float64
+			for ni := 0; ni < n; ni++ {
+				base := (ni*c + ci) * plane
+				xRow := xd[base : base+plane]
+				dyRow := dyd[base : base+plane]
+				for i, g := range dyRow {
+					db += float64(g)
+					dg += float64(g) * float64((xRow[i]-m)*is)
+				}
+			}
+			dgamma[ci] = float32(dg)
+			dbeta[ci] = float32(db)
+		}
+	})
+}
+
+// BatchNormBackwardData computes dx given the (globally reduced) dgamma and
+// dbeta sums and the total reduction count m:
+//
+//	dx = (gamma*invstd/m) * (m*dy - dbeta - xhat*dgamma)
+//
+// which is the standard closed form of the batchnorm gradient.
+func BatchNormBackwardData(x, dy *tensor.Tensor, mean, invstd, gamma, dgamma, dbeta []float32, count int, dx *tensor.Tensor) {
+	xs := x.Shape()
+	n, c, plane := xs[0], xs[1], xs[2]*xs[3]
+	xd, dyd, dxd := x.Data(), dy.Data(), dx.Data()
+	fm := float32(count)
+	ParallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			ci := nc % c
+			m, is, g := mean[ci], invstd[ci], gamma[ci]
+			scale := g * is / fm
+			dg, db := dgamma[ci], dbeta[ci]
+			xRow := xd[nc*plane : (nc+1)*plane]
+			dyRow := dyd[nc*plane : (nc+1)*plane]
+			dxRow := dxd[nc*plane : (nc+1)*plane]
+			for i := range dyRow {
+				xhat := (xRow[i] - m) * is
+				dxRow[i] = scale * (fm*dyRow[i] - db - xhat*dg)
+			}
+		}
+	})
+}
+
+// BatchNormInference applies the affine transform with running statistics.
+func BatchNormInference(x *tensor.Tensor, runMean, runVar, gamma, beta []float32, eps float32, y *tensor.Tensor) {
+	c := x.Shape()[1]
+	mean := make([]float32, c)
+	invstd := make([]float32, c)
+	for ci := 0; ci < c; ci++ {
+		mean[ci] = runMean[ci]
+		invstd[ci] = float32(1.0 / math.Sqrt(float64(runVar[ci])+float64(eps)))
+	}
+	BatchNormForward(x, mean, invstd, gamma, beta, y)
+}

@@ -1,0 +1,71 @@
+// Package kernels provides the sequential compute kernels that substitute
+// for cuDNN in the paper's implementation: 2-D convolution (direct and
+// im2col+GEMM, forward / backward-data / backward-filter), pooling, batch
+// normalization, ReLU, fully-connected layers, losses, and a blocked
+// multicore SGEMM. All kernels operate on NCHW float32 tensors.
+//
+// Kernels are shape-exact: the distributed algorithms in internal/core call
+// them on halo-extended local buffers with pad=0, and the results are
+// bitwise comparable (up to float accumulation order) with a single-device
+// run, mirroring Section III's "exactly replicates convolution" guarantee.
+package kernels
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers bounds kernel parallelism. Distributed tests run many ranks in
+// one process; capping workers per kernel keeps them from oversubscribing.
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// SetMaxWorkers sets the kernel-level parallelism (minimum 1) and returns
+// the previous value. Not safe to call concurrently with running kernels.
+func SetMaxWorkers(n int) int {
+	old := maxWorkers
+	if n < 1 {
+		n = 1
+	}
+	maxWorkers = n
+	return old
+}
+
+// serialGrain is the work-item threshold below which ParallelFor runs inline;
+// goroutine fan-out costs more than it saves on tiny kernels.
+const serialGrain = 2
+
+// ParallelFor divides [0, n) into contiguous chunks and runs fn on each,
+// using up to maxWorkers goroutines. fn must be safe to run concurrently on
+// disjoint ranges.
+func ParallelFor(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= serialGrain {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			wg.Done()
+			continue
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

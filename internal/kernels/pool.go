@@ -1,0 +1,223 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MaxPoolForwardRegion computes max pooling for a local region of the global
+// output. x is the (halo-extended) local input buffer covering global rows
+// [xLoH, xLoH+XH) and columns [xLoW, xLoW+XW); y is the local output
+// covering global rows [yLoH, ...). Window positions outside the global
+// input extent (globalH x globalW) are excluded from the max, matching
+// cuDNN's treatment of padding. argmax (len = y.Size()) records the linear
+// index into x.Data() of each maximum for the backward scatter; it may be
+// nil if no backward pass is needed.
+func MaxPoolForwardRegion(x, y *tensor.Tensor, k, stride, pad, xLoH, xLoW, yLoH, yLoW, globalH, globalW int, argmax []int32) {
+	xs, ys := x.Shape(), y.Shape()
+	n, c, xh, xw := xs[0], xs[1], xs[2], xs[3]
+	yh, yw := ys[2], ys[3]
+	if ys[0] != n || ys[1] != c {
+		panic(fmt.Sprintf("kernels: maxpool shapes x=%v y=%v inconsistent", xs, ys))
+	}
+	if argmax != nil && len(argmax) != y.Size() {
+		panic("kernels: argmax length != output size")
+	}
+	xd, yd := x.Data(), y.Data()
+	ParallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			xBase := nc * xh * xw
+			yBase := nc * yh * yw
+			for oyl := 0; oyl < yh; oyl++ {
+				oy := yLoH + oyl
+				for oxl := 0; oxl < yw; oxl++ {
+					ox := yLoW + oxl
+					best := float32(math.Inf(-1))
+					bestIdx := int32(-1)
+					for kh := 0; kh < k; kh++ {
+						iy := oy*stride - pad + kh
+						if iy < 0 || iy >= globalH {
+							continue
+						}
+						iyl := iy - xLoH
+						if iyl < 0 || iyl >= xh {
+							panic("kernels: maxpool input buffer does not cover required rows")
+						}
+						for kw := 0; kw < k; kw++ {
+							ix := ox*stride - pad + kw
+							if ix < 0 || ix >= globalW {
+								continue
+							}
+							ixl := ix - xLoW
+							if ixl < 0 || ixl >= xw {
+								panic("kernels: maxpool input buffer does not cover required cols")
+							}
+							idx := xBase + iyl*xw + ixl
+							if v := xd[idx]; v > best {
+								best = v
+								bestIdx = int32(idx)
+							}
+						}
+					}
+					o := yBase + oyl*yw + oxl
+					yd[o] = best
+					if argmax != nil {
+						argmax[o] = bestIdx
+					}
+				}
+			}
+		}
+	})
+}
+
+// MaxPoolForward is the sequential max pooling forward pass.
+func MaxPoolForward(x, y *tensor.Tensor, k, stride, pad int, argmax []int32) {
+	xs := x.Shape()
+	MaxPoolForwardRegion(x, y, k, stride, pad, 0, 0, 0, 0, xs[2], xs[3], argmax)
+}
+
+// MaxPoolBackward scatters dy into dx using the argmax indices recorded by
+// the forward pass. dx must have the same shape as the forward input buffer
+// (including halo margins in distributed operation, after which the margins
+// are reverse-exchanged and summed into their owners). dx is zeroed first.
+func MaxPoolBackward(dy *tensor.Tensor, argmax []int32, dx *tensor.Tensor) {
+	if len(argmax) != dy.Size() {
+		panic("kernels: argmax length != dy size")
+	}
+	dx.Zero()
+	dyd, dxd := dy.Data(), dx.Data()
+	// Scatter is sequential per plane to avoid write races: planes of dx are
+	// disjoint across (n,c), and argmax indices from plane (n,c) stay in it.
+	ys := dy.Shape()
+	plane := ys[2] * ys[3]
+	nc := ys[0] * ys[1]
+	ParallelFor(nc, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			for i := p * plane; i < (p+1)*plane; i++ {
+				if argmax[i] >= 0 {
+					dxd[argmax[i]] += dyd[i]
+				}
+			}
+		}
+	})
+}
+
+// AvgPoolForwardRegion computes average pooling (padding excluded from the
+// divisor) for a local region; parameters as in MaxPoolForwardRegion.
+func AvgPoolForwardRegion(x, y *tensor.Tensor, k, stride, pad, xLoH, xLoW, yLoH, yLoW, globalH, globalW int) {
+	xs, ys := x.Shape(), y.Shape()
+	n, c, xh, xw := xs[0], xs[1], xs[2], xs[3]
+	yh, yw := ys[2], ys[3]
+	if ys[0] != n || ys[1] != c {
+		panic(fmt.Sprintf("kernels: avgpool shapes x=%v y=%v inconsistent", xs, ys))
+	}
+	xd, yd := x.Data(), y.Data()
+	ParallelFor(n*c, func(lo, hi int) {
+		for ncI := lo; ncI < hi; ncI++ {
+			xBase := ncI * xh * xw
+			yBase := ncI * yh * yw
+			for oyl := 0; oyl < yh; oyl++ {
+				oy := yLoH + oyl
+				for oxl := 0; oxl < yw; oxl++ {
+					ox := yLoW + oxl
+					var sum float32
+					count := 0
+					for kh := 0; kh < k; kh++ {
+						iy := oy*stride - pad + kh
+						if iy < 0 || iy >= globalH {
+							continue
+						}
+						for kw := 0; kw < k; kw++ {
+							ix := ox*stride - pad + kw
+							if ix < 0 || ix >= globalW {
+								continue
+							}
+							sum += xd[xBase+(iy-xLoH)*xw+(ix-xLoW)]
+							count++
+						}
+					}
+					if count > 0 {
+						yd[yBase+oyl*yw+oxl] = sum / float32(count)
+					} else {
+						yd[yBase+oyl*yw+oxl] = 0
+					}
+				}
+			}
+		}
+	})
+}
+
+// AvgPoolForward is the sequential average pooling forward pass.
+func AvgPoolForward(x, y *tensor.Tensor, k, stride, pad int) {
+	xs := x.Shape()
+	AvgPoolForwardRegion(x, y, k, stride, pad, 0, 0, 0, 0, xs[2], xs[3])
+}
+
+// AvgPoolBackwardRegion scatters dy/count into dx (zeroed first), the
+// adjoint of AvgPoolForwardRegion. dx covers the same region as the forward
+// input buffer.
+func AvgPoolBackwardRegion(dy, dx *tensor.Tensor, k, stride, pad, xLoH, xLoW, yLoH, yLoW, globalH, globalW int) {
+	ys, xs := dy.Shape(), dx.Shape()
+	n, c, yh, yw := ys[0], ys[1], ys[2], ys[3]
+	xh, xw := xs[2], xs[3]
+	dx.Zero()
+	dyd, dxd := dy.Data(), dx.Data()
+	ParallelFor(n*c, func(lo, hi int) {
+		for ncI := lo; ncI < hi; ncI++ {
+			xBase := ncI * xh * xw
+			yBase := ncI * yh * yw
+			for oyl := 0; oyl < yh; oyl++ {
+				oy := yLoH + oyl
+				for oxl := 0; oxl < yw; oxl++ {
+					ox := yLoW + oxl
+					// Recompute the valid-count, then distribute.
+					count := 0
+					for kh := 0; kh < k; kh++ {
+						iy := oy*stride - pad + kh
+						if iy < 0 || iy >= globalH {
+							continue
+						}
+						for kw := 0; kw < k; kw++ {
+							ix := ox*stride - pad + kw
+							if ix >= 0 && ix < globalW {
+								count++
+							}
+						}
+					}
+					if count == 0 {
+						continue
+					}
+					g := dyd[yBase+oyl*yw+oxl] / float32(count)
+					for kh := 0; kh < k; kh++ {
+						iy := oy*stride - pad + kh
+						if iy < 0 || iy >= globalH {
+							continue
+						}
+						for kw := 0; kw < k; kw++ {
+							ix := ox*stride - pad + kw
+							if ix < 0 || ix >= globalW {
+								continue
+							}
+							dxd[xBase+(iy-xLoH)*xw+(ix-xLoW)] += g
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// AvgPoolBackward is the sequential average pooling backward pass.
+func AvgPoolBackward(dy, dx *tensor.Tensor, k, stride, pad int) {
+	xs := dx.Shape()
+	AvgPoolBackwardRegion(dy, dx, k, stride, pad, 0, 0, 0, 0, xs[2], xs[3])
+}
+
+// GlobalAvgPoolForward averages each channel plane to one value:
+// x [N,C,H,W] -> y [N,C,1,1].
+func GlobalAvgPoolForward(x, y *tensor.Tensor) {
+	xs := x.Shape()
+	AvgPoolForward(x, y, xs[2], 1, 0)
+}

@@ -1,0 +1,76 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/nn"
+)
+
+// meshBlockChannels is the per-block output channel progression of the
+// mesh-tangling models, consistent with the layer shapes in Figure 3:
+// conv1_1 produces 128 filters and conv6_1 consumes 384 channels and
+// produces 128.
+var meshBlockChannels = []int{128, 192, 256, 320, 384, 128}
+
+// MeshModel builds a mesh-tangling segmentation model (Section VI): blocks
+// of conv-batchnorm-ReLU with stride-2 downsampling at the first convolution
+// of each block, a 5x5 first kernel (Figure 3's conv1_1), 3x3 kernels
+// elsewhere, and a final 1x1 prediction convolution. The prediction is made
+// at the downsampled resolution, framed as per-pixel binary classification
+// (tangle / no tangle).
+//
+// size is the square input extent, channels the input channel count (18
+// state variables and mesh-quality metrics), convsPerBlock 3 for the 1K
+// model and 5 for the 2K model.
+func MeshModel(name string, size, channels, convsPerBlock int, blockChannels []int) *nn.Arch {
+	b := nn.NewBuilder(name, nn.Shape{C: channels, H: size, W: size})
+	c := b.Last()
+	for blk, f := range blockChannels {
+		for i := 0; i < convsPerBlock; i++ {
+			layer := fmt.Sprintf("conv%d_%d", blk+1, i+1)
+			geom := dist.ConvGeom{K: 3, S: 1, Pad: 1}
+			if i == 0 {
+				geom.S = 2 // downsample at the first conv of each block
+				if blk == 0 {
+					geom = dist.ConvGeom{K: 5, S: 2, Pad: 2}
+				}
+			}
+			c = b.ConvBNReLU(layer, c, f, geom)
+		}
+	}
+	b.Conv("pred", c, 2, dist.ConvGeom{K: 1, S: 1, Pad: 0}, true)
+	return b.MustBuild()
+}
+
+// Mesh1K is the 1024x1024 mesh model: six blocks of three convolutions.
+func Mesh1K() *nn.Arch {
+	return MeshModel("mesh1k", 1024, 18, 3, meshBlockChannels)
+}
+
+// Mesh2K is the 2048x2048 mesh model: six blocks of five convolutions. Its
+// activations exceed single-GPU memory even at mini-batch size 1, which is
+// why spatial parallelism is required (Section VI-B1).
+func Mesh2K() *nn.Arch {
+	return MeshModel("mesh2k", 2048, 18, 5, meshBlockChannels)
+}
+
+// MeshTiny is a scaled-down mesh model for real-execution tests and
+// examples: same topology (three blocks, stride-2 first convs, 5x5 first
+// kernel, 1x1 predictor), far smaller extents.
+func MeshTiny(size int) *nn.Arch {
+	return MeshModel("mesh-tiny", size, 4, 2, []int{16, 24, 16})
+}
+
+// SmallCNN is a minimal conv-BN-ReLU classifier for the quickstart example:
+// two blocks, a 1x1 classifier convolution and global average pooling.
+func SmallCNN(size, channels, classes int) *nn.Arch {
+	b := nn.NewBuilder("smallcnn", nn.Shape{C: channels, H: size, W: size})
+	c := b.ConvBNReLU("conv1", b.Last(), 16, dist.ConvGeom{K: 3, S: 1, Pad: 1})
+	c = b.MaxPool("pool1", c, dist.ConvGeom{K: 2, S: 2, Pad: 0})
+	c = b.ConvBNReLU("conv2", c, 32, dist.ConvGeom{K: 3, S: 1, Pad: 1})
+	c = b.MaxPool("pool2", c, dist.ConvGeom{K: 2, S: 2, Pad: 0})
+	c = b.Conv("classifier", c, classes, dist.ConvGeom{K: 1, S: 1, Pad: 0}, true)
+	b.GlobalAvgPool("gap", c)
+	return b.MustBuild()
+}

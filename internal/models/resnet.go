@@ -1,0 +1,101 @@
+// Package models defines the network architectures the paper evaluates:
+// a fully-convolutional ResNet-50 for ImageNet-1K classification and the
+// VGG-style mesh-tangling segmentation models for 1024x1024 and 2048x2048
+// inputs (Section VI), plus scaled-down variants for real-execution tests
+// and examples.
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/nn"
+)
+
+// ResNet50 builds a fully-convolutional ResNet-50 ([18], [29] in the
+// paper): the classifier is a 1x1 convolution followed by global average
+// pooling, which is mathematically identical to pool-then-FC but keeps the
+// whole network convolutional so every layer parallelizes spatially.
+// inputSize is the (square) spatial extent — 224 for ImageNet.
+func ResNet50(inputSize, classes int) *nn.Arch {
+	return resNet(inputSize, classes, []int{3, 4, 6, 3}, "resnet50")
+}
+
+// resNet builds a bottleneck ResNet with the given blocks per stage, using
+// the original (Caffe) layer naming — res3b_branch2a is the first 1x1
+// convolution of the second block of stage 3, the layer microbenchmarked in
+// Figure 2.
+func resNet(inputSize, classes int, stages []int, name string) *nn.Arch {
+	b := nn.NewBuilder(name, nn.Shape{C: 3, H: inputSize, W: inputSize})
+	c := b.Conv("conv1", b.Last(), 64, dist.ConvGeom{K: 7, S: 2, Pad: 3}, false)
+	c = b.BatchNorm("bn_conv1", c)
+	c = b.ReLU("conv1_relu", c)
+	c = b.MaxPool("pool1", c, dist.ConvGeom{K: 3, S: 2, Pad: 1})
+
+	mid := 64
+	out := 256
+	for stage, blocks := range stages {
+		for blk := 0; blk < blocks; blk++ {
+			letter := string(rune('a' + blk))
+			prefix := fmt.Sprintf("res%d%s", stage+2, letter)
+			stride := 1
+			if blk == 0 && stage > 0 {
+				stride = 2
+			}
+			c = bottleneck(b, prefix, c, mid, out, stride, blk == 0)
+		}
+		mid *= 2
+		out *= 2
+	}
+	c = b.Conv("fc1000", c, classes, dist.ConvGeom{K: 1, S: 1, Pad: 0}, true)
+	b.GlobalAvgPool("pool5", c)
+	return b.MustBuild()
+}
+
+// bottleneck appends one ResNet bottleneck block: 1x1 -> 3x3 -> 1x1 with a
+// projection shortcut on the first block of each stage. The stride lives on
+// branch2a (original ResNet v1), matching the paper's layer shapes.
+func bottleneck(b *nn.Builder, prefix string, in, mid, out, stride int, project bool) int {
+	c := b.Conv(prefix+"_branch2a", in, mid, dist.ConvGeom{K: 1, S: stride, Pad: 0}, false)
+	c = b.BatchNorm(prefix+"_branch2a_bn", c)
+	c = b.ReLU(prefix+"_branch2a_relu", c)
+	c = b.Conv(prefix+"_branch2b", c, mid, dist.ConvGeom{K: 3, S: 1, Pad: 1}, false)
+	c = b.BatchNorm(prefix+"_branch2b_bn", c)
+	c = b.ReLU(prefix+"_branch2b_relu", c)
+	c = b.Conv(prefix+"_branch2c", c, out, dist.ConvGeom{K: 1, S: 1, Pad: 0}, false)
+	c = b.BatchNorm(prefix+"_branch2c_bn", c)
+
+	shortcut := in
+	if project {
+		shortcut = b.Conv(prefix+"_branch1", in, out, dist.ConvGeom{K: 1, S: stride, Pad: 0}, false)
+		shortcut = b.BatchNorm(prefix+"_branch1_bn", shortcut)
+	}
+	a := b.Add(prefix, c, shortcut)
+	return b.ReLU(prefix+"_relu", a)
+}
+
+// ResNet50Tiny is a reduced ResNet (one bottleneck per stage, small input)
+// used by real-execution tests: same topology (residual branches, strides,
+// projections), two orders of magnitude less compute.
+func ResNet50Tiny(inputSize, classes int) *nn.Arch {
+	return resNet(inputSize, classes, []int{1, 1, 1, 1}, "resnet-tiny")
+}
+
+// LayerSpec describes one convolution for microbenchmarks (Figures 2-3).
+type LayerSpec struct {
+	Name       string
+	C, H, W, F int
+	Geom       dist.ConvGeom
+}
+
+// Figure 2 and Figure 3 microbenchmark layers, exactly as captioned.
+var (
+	// Conv1 is ResNet-50 conv1: C=3 H=224 W=224 F=64 K=7 P=3 S=2.
+	Conv1 = LayerSpec{Name: "conv1", C: 3, H: 224, W: 224, F: 64, Geom: dist.ConvGeom{K: 7, S: 2, Pad: 3}}
+	// Res3bBranch2a is res3b_branch2a: C=512 H=28 W=28 F=128 K=1 P=0 S=1.
+	Res3bBranch2a = LayerSpec{Name: "res3b_branch2a", C: 512, H: 28, W: 28, F: 128, Geom: dist.ConvGeom{K: 1, S: 1, Pad: 0}}
+	// MeshConv11 is the 2K mesh model's conv1_1: C=18 H=2048 W=2048 F=128 K=5 P=2 S=2.
+	MeshConv11 = LayerSpec{Name: "conv1_1", C: 18, H: 2048, W: 2048, F: 128, Geom: dist.ConvGeom{K: 5, S: 2, Pad: 2}}
+	// MeshConv61 is conv6_1: C=384 H=64 W=64 F=128 K=3 P=1 S=2.
+	MeshConv61 = LayerSpec{Name: "conv6_1", C: 384, H: 64, W: 64, F: 128, Geom: dist.ConvGeom{K: 3, S: 2, Pad: 1}}
+)

@@ -1,0 +1,232 @@
+// Package nn provides the network-level machinery: backend-independent
+// architecture descriptions (a DAG of layer specs, Section II-C3), a
+// sequential single-device executor (the correctness reference), a
+// distributed executor built on internal/core, losses, SGD, and metrics.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// Kind enumerates layer types.
+type Kind int
+
+// Layer kinds.
+const (
+	KindInput Kind = iota
+	KindConv
+	KindBatchNorm
+	KindReLU
+	KindMaxPool
+	KindGlobalAvgPool
+	KindAdd
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInput:
+		return "input"
+	case KindConv:
+		return "conv"
+	case KindBatchNorm:
+		return "batchnorm"
+	case KindReLU:
+		return "relu"
+	case KindMaxPool:
+		return "maxpool"
+	case KindGlobalAvgPool:
+		return "gavgpool"
+	case KindAdd:
+		return "add"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Spec describes one layer of an architecture. Layers form a DAG via
+// Parents (indices into Arch.Specs, which is topologically ordered); Add
+// has two parents, Input none, everything else one.
+type Spec struct {
+	Name    string
+	Kind    Kind
+	F       int           // conv: output filters
+	Geom    dist.ConvGeom // conv/maxpool geometry
+	Bias    bool          // conv: learnable bias
+	Parents []int
+}
+
+// Shape is a per-layer activation shape (C, H, W); the sample dimension is
+// carried separately.
+type Shape struct {
+	C, H, W int
+}
+
+// Arch is a complete architecture: an input shape and a topologically
+// ordered DAG of specs (Specs[0] must be the input).
+type Arch struct {
+	Name  string
+	In    Shape
+	Specs []Spec
+}
+
+// Validate checks DAG ordering and arities.
+func (a *Arch) Validate() error {
+	if len(a.Specs) == 0 || a.Specs[0].Kind != KindInput {
+		return fmt.Errorf("nn: arch %q must start with an input layer", a.Name)
+	}
+	for i, s := range a.Specs {
+		for _, p := range s.Parents {
+			if p < 0 || p >= i {
+				return fmt.Errorf("nn: layer %d (%s) has invalid parent %d", i, s.Name, p)
+			}
+		}
+		wantParents := 1
+		switch s.Kind {
+		case KindInput:
+			wantParents = 0
+		case KindAdd:
+			wantParents = 2
+		}
+		if len(s.Parents) != wantParents {
+			return fmt.Errorf("nn: layer %d (%s, %v) has %d parents, want %d", i, s.Name, s.Kind, len(s.Parents), wantParents)
+		}
+	}
+	return nil
+}
+
+// Shapes propagates the input shape through the DAG and returns the output
+// shape of every layer.
+func (a *Arch) Shapes() ([]Shape, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Shape, len(a.Specs))
+	for i, s := range a.Specs {
+		switch s.Kind {
+		case KindInput:
+			out[i] = a.In
+		case KindConv:
+			in := out[s.Parents[0]]
+			out[i] = Shape{C: s.F, H: s.Geom.OutSize(in.H), W: s.Geom.OutSize(in.W)}
+		case KindMaxPool:
+			in := out[s.Parents[0]]
+			out[i] = Shape{C: in.C, H: s.Geom.OutSize(in.H), W: s.Geom.OutSize(in.W)}
+		case KindGlobalAvgPool:
+			in := out[s.Parents[0]]
+			out[i] = Shape{C: in.C, H: 1, W: 1}
+		case KindBatchNorm, KindReLU:
+			out[i] = out[s.Parents[0]]
+		case KindAdd:
+			l, r := out[s.Parents[0]], out[s.Parents[1]]
+			if l != r {
+				return nil, fmt.Errorf("nn: add layer %d (%s) joins mismatched shapes %v and %v", i, s.Name, l, r)
+			}
+			out[i] = l
+		default:
+			return nil, fmt.Errorf("nn: unknown kind %v", s.Kind)
+		}
+	}
+	return out, nil
+}
+
+// Output returns the final layer's shape.
+func (a *Arch) Output() (Shape, error) {
+	shapes, err := a.Shapes()
+	if err != nil {
+		return Shape{}, err
+	}
+	return shapes[len(shapes)-1], nil
+}
+
+// NumConvs counts convolutional layers (reporting convenience).
+func (a *Arch) NumConvs() int {
+	n := 0
+	for _, s := range a.Specs {
+		if s.Kind == KindConv {
+			n++
+		}
+	}
+	return n
+}
+
+// Builder incrementally assembles an Arch; every method returns the index
+// of the layer it appended.
+type Builder struct {
+	arch Arch
+	last int
+}
+
+// NewBuilder starts an architecture with the given input shape.
+func NewBuilder(name string, in Shape) *Builder {
+	b := &Builder{arch: Arch{Name: name, In: in}}
+	b.arch.Specs = append(b.arch.Specs, Spec{Name: "input", Kind: KindInput})
+	b.last = 0
+	return b
+}
+
+// Last returns the index of the most recently added layer.
+func (b *Builder) Last() int { return b.last }
+
+func (b *Builder) add(s Spec) int {
+	b.arch.Specs = append(b.arch.Specs, s)
+	b.last = len(b.arch.Specs) - 1
+	return b.last
+}
+
+// Conv appends a convolution reading from parent.
+func (b *Builder) Conv(name string, parent, f int, geom dist.ConvGeom, bias bool) int {
+	return b.add(Spec{Name: name, Kind: KindConv, F: f, Geom: geom, Bias: bias, Parents: []int{parent}})
+}
+
+// BatchNorm appends batch normalization.
+func (b *Builder) BatchNorm(name string, parent int) int {
+	return b.add(Spec{Name: name, Kind: KindBatchNorm, Parents: []int{parent}})
+}
+
+// ReLU appends a rectifier.
+func (b *Builder) ReLU(name string, parent int) int {
+	return b.add(Spec{Name: name, Kind: KindReLU, Parents: []int{parent}})
+}
+
+// MaxPool appends max pooling.
+func (b *Builder) MaxPool(name string, parent int, geom dist.ConvGeom) int {
+	return b.add(Spec{Name: name, Kind: KindMaxPool, Geom: geom, Parents: []int{parent}})
+}
+
+// GlobalAvgPool appends global average pooling.
+func (b *Builder) GlobalAvgPool(name string, parent int) int {
+	return b.add(Spec{Name: name, Kind: KindGlobalAvgPool, Parents: []int{parent}})
+}
+
+// Add appends a residual join of two parents.
+func (b *Builder) Add(name string, a, c int) int {
+	return b.add(Spec{Name: name, Kind: KindAdd, Parents: []int{a, c}})
+}
+
+// ConvBNReLU appends the standard conv -> batchnorm -> ReLU block and
+// returns the ReLU's index.
+func (b *Builder) ConvBNReLU(name string, parent, f int, geom dist.ConvGeom) int {
+	c := b.Conv(name, parent, f, geom, false)
+	n := b.BatchNorm(name+"_bn", c)
+	return b.ReLU(name+"_relu", n)
+}
+
+// Build finalizes and validates the architecture.
+func (b *Builder) Build() (*Arch, error) {
+	a := b.arch
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// MustBuild is Build that panics on error (model definitions are static).
+func (b *Builder) MustBuild() *Arch {
+	a, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

@@ -1,0 +1,55 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Checkpoint is the serialized form of a network's learnable state. Only
+// parameter values travel; gradients are transient. Both executors produce
+// identical checkpoints for the same logical network (parameters are
+// replicated under distribution), so a model trained distributed can be
+// reloaded sequentially and vice versa.
+type Checkpoint struct {
+	Arch   string
+	Params map[string][]float32
+}
+
+// SaveParams writes every parameter of params to w as a gob stream.
+func SaveParams(w io.Writer, archName string, params []Param) error {
+	ck := Checkpoint{Arch: archName, Params: make(map[string][]float32, len(params))}
+	for _, p := range params {
+		if _, dup := ck.Params[p.Name]; dup {
+			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		cp := make([]float32, len(p.W))
+		copy(cp, p.W)
+		ck.Params[p.Name] = cp
+	}
+	return gob.NewEncoder(w).Encode(ck)
+}
+
+// LoadParams reads a checkpoint from r and copies values into params.
+// Every parameter must be present with a matching length; archName guards
+// against loading weights into a different architecture.
+func LoadParams(r io.Reader, archName string, params []Param) error {
+	var ck Checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return fmt.Errorf("nn: decoding checkpoint: %w", err)
+	}
+	if ck.Arch != archName {
+		return fmt.Errorf("nn: checkpoint is for architecture %q, not %q", ck.Arch, archName)
+	}
+	for _, p := range params {
+		v, ok := ck.Params[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: checkpoint missing parameter %q", p.Name)
+		}
+		if len(v) != len(p.W) {
+			return fmt.Errorf("nn: parameter %q has %d values in checkpoint, want %d", p.Name, len(v), len(p.W))
+		}
+		copy(p.W, v)
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/tensor"
+)
+
+// DistNet executes an architecture across a processor grid using the
+// distributed layers of internal/core. Every rank of the grid constructs
+// its own DistNet (collectively, in the same order) and runs it SPMD-style.
+// The data distribution — hybrid sample/spatial parallelism — is the same
+// for every layer, matching the configurations evaluated in Section VI-B
+// ("We use the same data decomposition for every layer in a given
+// configuration").
+type DistNet struct {
+	Arch    *Arch
+	Ctx     *core.Ctx
+	Dists   []dist.Dist // activation distribution per layer
+	ShapeOf []Shape
+	layers  []distLayer
+	outs    []core.DistTensor
+	grads   []core.DistTensor
+}
+
+// NewDistNet instantiates the architecture for this rank on grid ctx.Grid
+// with a global batch size of n. Weight initialization matches NewSeqNet
+// given the same seed, so a distributed run is directly comparable to a
+// sequential one.
+func NewDistNet(ctx *core.Ctx, arch *Arch, n int, seed int64) (*DistNet, error) {
+	shapes, err := arch.Shapes()
+	if err != nil {
+		return nil, err
+	}
+	net := &DistNet{Arch: arch, Ctx: ctx, ShapeOf: shapes}
+	net.Dists = make([]dist.Dist, len(arch.Specs))
+	for i, s := range arch.Specs {
+		sh := shapes[i]
+		d := dist.Dist{Grid: ctx.Grid, N: n, C: sh.C, H: sh.H, W: sh.W}
+		if s.Kind == KindGlobalAvgPool {
+			// Replicated within the spatial group; see core.GlobalAvgPool.
+			d.H, d.W = ctx.Grid.PH, ctx.Grid.PW
+		}
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("nn: layer %d (%s): %v", i, s.Name, err)
+		}
+		net.Dists[i] = d
+	}
+	for i, s := range arch.Specs {
+		var inD dist.Dist
+		var inShape Shape
+		if len(s.Parents) > 0 {
+			inD = net.Dists[s.Parents[0]]
+			inShape = shapes[s.Parents[0]]
+		}
+		switch s.Kind {
+		case KindInput:
+			net.layers = append(net.layers, &distInput{})
+		case KindConv:
+			l := core.NewConv(ctx, inD, s.F, s.Geom, s.Bias)
+			// Match the sequential He initialization exactly: the RNG stream
+			// depends only on (seed, layer index, fan-in), all replicated.
+			fanIn := inShape.C * s.Geom.K * s.Geom.K
+			l.W.FillRandN(seed+int64(i), heStd(fanIn))
+			net.layers = append(net.layers, &distConv{l: l})
+		case KindBatchNorm:
+			net.layers = append(net.layers, &distBN{l: core.NewBatchNorm(ctx, inD, core.BatchNormGlobal)})
+		case KindReLU:
+			net.layers = append(net.layers, &distReLU{l: core.NewReLU(inD)})
+		case KindMaxPool:
+			net.layers = append(net.layers, &distMaxPool{l: core.NewMaxPool(ctx, inD, s.Geom)})
+		case KindGlobalAvgPool:
+			net.layers = append(net.layers, &distGAP{l: core.NewGlobalAvgPool(ctx, inD)})
+		case KindAdd:
+			net.layers = append(net.layers, &distAdd{l: core.NewAdd(net.Dists[i])})
+		default:
+			return nil, fmt.Errorf("nn: unsupported kind %v in distributed net", s.Kind)
+		}
+	}
+	return net, nil
+}
+
+// InputDist returns the distribution the input must arrive in.
+func (n *DistNet) InputDist() dist.Dist { return n.Dists[0] }
+
+// OutputDist returns the final layer's distribution.
+func (n *DistNet) OutputDist() dist.Dist { return n.Dists[len(n.Dists)-1] }
+
+// Forward runs the DAG on this rank's shard.
+func (n *DistNet) Forward(x core.DistTensor) core.DistTensor {
+	n.outs = make([]core.DistTensor, len(n.layers))
+	for i, l := range n.layers {
+		parents := n.Arch.Specs[i].Parents
+		ins := make([]core.DistTensor, len(parents))
+		for j, p := range parents {
+			ins[j] = n.outs[p]
+		}
+		if n.Arch.Specs[i].Kind == KindInput {
+			ins = []core.DistTensor{x}
+		}
+		n.outs[i] = l.forward(n.Ctx, ins)
+	}
+	return n.outs[len(n.outs)-1]
+}
+
+// Backward propagates the loss gradient; parameter gradients are complete
+// (allreduced) on return.
+func (n *DistNet) Backward(dLast core.DistTensor) core.DistTensor {
+	n.grads = make([]core.DistTensor, len(n.layers))
+	n.grads[len(n.layers)-1] = dLast
+	var dIn core.DistTensor
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		g := n.grads[i]
+		if g.Local == nil {
+			g = core.NewDistTensor(n.Dists[i], n.Ctx.Rank)
+		}
+		parentGrads := n.layers[i].backward(n.Ctx, g)
+		for j, p := range n.Arch.Specs[i].Parents {
+			if n.grads[p].Local == nil {
+				n.grads[p] = parentGrads[j]
+			} else {
+				n.grads[p].Local.AddScaled(parentGrads[j].Local, 1)
+			}
+		}
+		if n.Arch.Specs[i].Kind == KindInput {
+			dIn = g
+		}
+	}
+	return dIn
+}
+
+// Params returns the replicated learnable parameters (identical across
+// ranks; gradients are identical after the backward allreduces, so
+// independent SGD keeps replicas in lockstep — Section III-A).
+func (n *DistNet) Params() []Param {
+	var ps []Param
+	for i, l := range n.layers {
+		ps = append(ps, l.params(n.Arch.Specs[i].Name)...)
+	}
+	return ps
+}
+
+// heStd is the He-initialization standard deviation sqrt(2/fanIn); it must
+// match newSeqConv so sequential and distributed nets start identically.
+func heStd(fanIn int) float32 {
+	return float32(math.Sqrt(2.0 / float64(fanIn)))
+}
+
+type distLayer interface {
+	forward(ctx *core.Ctx, ins []core.DistTensor) core.DistTensor
+	backward(ctx *core.Ctx, dy core.DistTensor) []core.DistTensor
+	params(name string) []Param
+}
+
+type distInput struct{}
+
+func (l *distInput) forward(_ *core.Ctx, ins []core.DistTensor) core.DistTensor { return ins[0] }
+func (l *distInput) backward(_ *core.Ctx, dy core.DistTensor) []core.DistTensor { return nil }
+func (l *distInput) params(string) []Param                                      { return nil }
+
+type distConv struct{ l *core.Conv }
+
+func (d *distConv) forward(ctx *core.Ctx, ins []core.DistTensor) core.DistTensor {
+	return d.l.Forward(ctx, ins[0])
+}
+
+func (d *distConv) backward(ctx *core.Ctx, dy core.DistTensor) []core.DistTensor {
+	return []core.DistTensor{d.l.Backward(ctx, dy)}
+}
+
+func (d *distConv) params(name string) []Param {
+	ps := []Param{{Name: name + ".w", W: d.l.W.Data(), G: d.l.DW.Data()}}
+	if d.l.Bias != nil {
+		ps = append(ps, Param{Name: name + ".b", W: d.l.Bias, G: d.l.DBias})
+	}
+	return ps
+}
+
+type distBN struct{ l *core.BatchNorm }
+
+func (d *distBN) forward(ctx *core.Ctx, ins []core.DistTensor) core.DistTensor {
+	return d.l.Forward(ctx, ins[0])
+}
+
+func (d *distBN) backward(ctx *core.Ctx, dy core.DistTensor) []core.DistTensor {
+	return []core.DistTensor{d.l.Backward(ctx, dy)}
+}
+
+func (d *distBN) params(name string) []Param {
+	return []Param{
+		{Name: name + ".gamma", W: d.l.Gamma, G: d.l.DGamma},
+		{Name: name + ".beta", W: d.l.Beta, G: d.l.DBeta},
+	}
+}
+
+type distReLU struct{ l *core.ReLU }
+
+func (d *distReLU) forward(ctx *core.Ctx, ins []core.DistTensor) core.DistTensor {
+	return d.l.Forward(ctx, ins[0])
+}
+
+func (d *distReLU) backward(ctx *core.Ctx, dy core.DistTensor) []core.DistTensor {
+	return []core.DistTensor{d.l.Backward(ctx, dy)}
+}
+
+func (d *distReLU) params(string) []Param { return nil }
+
+type distMaxPool struct{ l *core.MaxPool }
+
+func (d *distMaxPool) forward(ctx *core.Ctx, ins []core.DistTensor) core.DistTensor {
+	return d.l.Forward(ctx, ins[0])
+}
+
+func (d *distMaxPool) backward(ctx *core.Ctx, dy core.DistTensor) []core.DistTensor {
+	return []core.DistTensor{d.l.Backward(ctx, dy)}
+}
+
+func (d *distMaxPool) params(string) []Param { return nil }
+
+type distGAP struct{ l *core.GlobalAvgPool }
+
+func (d *distGAP) forward(ctx *core.Ctx, ins []core.DistTensor) core.DistTensor {
+	return d.l.Forward(ctx, ins[0])
+}
+
+func (d *distGAP) backward(ctx *core.Ctx, dy core.DistTensor) []core.DistTensor {
+	return []core.DistTensor{d.l.Backward(ctx, dy)}
+}
+
+func (d *distGAP) params(string) []Param { return nil }
+
+type distAdd struct{ l *core.Add }
+
+func (d *distAdd) forward(ctx *core.Ctx, ins []core.DistTensor) core.DistTensor {
+	return d.l.Forward(ctx, ins[0], ins[1])
+}
+
+func (d *distAdd) backward(ctx *core.Ctx, dy core.DistTensor) []core.DistTensor {
+	a, b := d.l.Backward(ctx, dy)
+	return []core.DistTensor{a, b}
+}
+
+func (d *distAdd) params(string) []Param { return nil }
+
+// ScatterInput splits a global input batch into this architecture's input
+// distribution (test and data-loading helper; rank r takes shards[r]).
+func (n *DistNet) ScatterInput(global *tensor.Tensor) []core.DistTensor {
+	return core.Scatter(global, n.InputDist())
+}

@@ -1,0 +1,58 @@
+package nn
+
+import "fmt"
+
+// Accuracy returns the fraction of predictions equal to labels.
+func Accuracy(pred, labels []int) float64 {
+	if len(pred) != len(labels) {
+		panic(fmt.Sprintf("nn: %d predictions vs %d labels", len(pred), len(labels)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	ok := 0
+	for i := range pred {
+		if pred[i] == labels[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(pred))
+}
+
+// PixelAccuracy returns the fraction of matching pixels in two label maps.
+func PixelAccuracy(pred, labels []int32) float64 {
+	if len(pred) != len(labels) {
+		panic(fmt.Sprintf("nn: %d predictions vs %d labels", len(pred), len(labels)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	ok := 0
+	for i := range pred {
+		if pred[i] == labels[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(pred))
+}
+
+// IoU returns the intersection-over-union of class cls in two label maps —
+// the standard semantic segmentation quality metric for the mesh-tangling
+// prediction task.
+func IoU(pred, labels []int32, cls int32) float64 {
+	inter, union := 0, 0
+	for i := range pred {
+		p := pred[i] == cls
+		l := labels[i] == cls
+		if p && l {
+			inter++
+		}
+		if p || l {
+			union++
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,81 @@
+package nn
+
+// SGD is stochastic gradient descent with classical momentum and optional
+// L2 weight decay. On a distributed network the gradients are already
+// allreduced, so each rank steps its replicated parameters independently
+// and they remain bitwise identical (Section III-A).
+type SGD struct {
+	LR          float32
+	Momentum    float32
+	WeightDecay float32
+
+	vel [][]float32
+}
+
+// NewSGD constructs the optimizer.
+func NewSGD(lr, momentum, weightDecay float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay}
+}
+
+// Step applies one update to every parameter. The params slice must be the
+// same (same order, same lengths) on every call.
+func (o *SGD) Step(params []Param) {
+	if o.vel == nil {
+		o.vel = make([][]float32, len(params))
+		for i, p := range params {
+			o.vel[i] = make([]float32, len(p.W))
+		}
+	}
+	if len(o.vel) != len(params) {
+		panic("nn: SGD.Step called with a different parameter set")
+	}
+	for i, p := range params {
+		v := o.vel[i]
+		if len(v) != len(p.W) {
+			panic("nn: SGD parameter size changed between steps")
+		}
+		for j := range p.W {
+			g := p.G[j] + o.WeightDecay*p.W[j]
+			v[j] = o.Momentum*v[j] - o.LR*g
+			p.W[j] += v[j]
+		}
+	}
+}
+
+// ZeroGrads clears every gradient buffer (layers overwrite gradients each
+// backward pass, but explicit zeroing guards partially-executed steps).
+func ZeroGrads(params []Param) {
+	for _, p := range params {
+		for j := range p.G {
+			p.G[j] = 0
+		}
+	}
+}
+
+// PolyLR implements the polynomial (power) learning-rate schedule commonly
+// used for semantic segmentation: lr = base * (1 - iter/maxIter)^power.
+func PolyLR(base float32, iter, maxIter int, power float64) float32 {
+	if iter >= maxIter {
+		return 0
+	}
+	f := 1 - float64(iter)/float64(maxIter)
+	r := base
+	p := f
+	// integer powers are enough here; use repeated multiplication for
+	// power==2, otherwise fall back to linear.
+	if power == 2 {
+		p = f * f
+	}
+	return r * float32(p)
+}
+
+// StepLR decays the base rate by gamma at each listed milestone iteration.
+func StepLR(base float32, iter int, milestones []int, gamma float32) float32 {
+	lr := base
+	for _, m := range milestones {
+		if iter >= m {
+			lr *= gamma
+		}
+	}
+	return lr
+}

@@ -1,0 +1,178 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// StrategyNet executes an architecture with a *per-layer* parallel
+// execution strategy — the output of the Section V-C optimizer. Layers may
+// use different processor grids; whenever adjacent layers' distributions
+// differ, the data is shuffled with an all-to-all in forward propagation
+// and shuffled back in backpropagation (Section III-C). All grids must
+// cover the same communicator.
+type StrategyNet struct {
+	Arch    *Arch
+	Grids   []dist.Grid // per-layer grid
+	Dists   []dist.Dist // per-layer activation distribution
+	ShapeOf []Shape
+	ctxs    []*core.Ctx // one per layer (contexts shared per distinct grid)
+	layers  []distLayer
+	outs    []core.DistTensor
+	grads   []core.DistTensor
+	world   *core.Ctx // context of the first layer's grid (for losses)
+}
+
+// NewStrategyNet instantiates the network for this rank. grids must have
+// one entry per spec; every grid must have c.Size() processors. Weight
+// initialization matches NewSeqNet/NewDistNet for the same seed.
+func NewStrategyNet(base *core.Ctx, arch *Arch, n int, seed int64, grids []dist.Grid) (*StrategyNet, error) {
+	if len(grids) != len(arch.Specs) {
+		return nil, fmt.Errorf("nn: %d grids for %d layers", len(grids), len(arch.Specs))
+	}
+	shapes, err := arch.Shapes()
+	if err != nil {
+		return nil, err
+	}
+	net := &StrategyNet{Arch: arch, Grids: grids, ShapeOf: shapes}
+	// One context per distinct grid, tag spaces disjoint by construction:
+	// each context gets a dedicated tag window.
+	ctxByGrid := map[dist.Grid]*core.Ctx{}
+	next := 0
+	ctxOf := func(g dist.Grid) *core.Ctx {
+		if ctx, ok := ctxByGrid[g]; ok {
+			return ctx
+		}
+		if g.Size() != base.C.Size() {
+			panic(fmt.Sprintf("nn: grid %v does not cover the %d-rank communicator", g, base.C.Size()))
+		}
+		ctx := core.NewCtxAt(base.C, g, next*4096)
+		next++
+		ctxByGrid[g] = ctx
+		return ctx
+	}
+
+	net.Dists = make([]dist.Dist, len(arch.Specs))
+	net.ctxs = make([]*core.Ctx, len(arch.Specs))
+	for i, s := range arch.Specs {
+		sh := shapes[i]
+		g := grids[i]
+		d := dist.Dist{Grid: g, N: n, C: sh.C, H: sh.H, W: sh.W}
+		if s.Kind == KindGlobalAvgPool {
+			d.H, d.W = g.PH, g.PW
+		}
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("nn: layer %d (%s): %v", i, s.Name, err)
+		}
+		net.Dists[i] = d
+		net.ctxs[i] = ctxOf(g)
+	}
+	net.world = net.ctxs[0]
+
+	for i, s := range arch.Specs {
+		ctx := net.ctxs[i]
+		var inD dist.Dist
+		var inShape Shape
+		if len(s.Parents) > 0 {
+			inShape = shapes[s.Parents[0]]
+			// The layer consumes its input under its own grid.
+			inD = dist.Dist{Grid: grids[i], N: n, C: inShape.C, H: inShape.H, W: inShape.W}
+			if err := inD.Validate(); err != nil {
+				return nil, fmt.Errorf("nn: layer %d (%s) input: %v", i, s.Name, err)
+			}
+		}
+		switch s.Kind {
+		case KindInput:
+			net.layers = append(net.layers, &distInput{})
+		case KindConv:
+			l := core.NewConv(ctx, inD, s.F, s.Geom, s.Bias)
+			l.W.FillRandN(seed+int64(i), heStd(inShape.C*s.Geom.K*s.Geom.K))
+			net.layers = append(net.layers, &distConv{l: l})
+		case KindBatchNorm:
+			net.layers = append(net.layers, &distBN{l: core.NewBatchNorm(ctx, inD, core.BatchNormGlobal)})
+		case KindReLU:
+			net.layers = append(net.layers, &distReLU{l: core.NewReLU(inD)})
+		case KindMaxPool:
+			net.layers = append(net.layers, &distMaxPool{l: core.NewMaxPool(ctx, inD, s.Geom)})
+		case KindGlobalAvgPool:
+			net.layers = append(net.layers, &distGAP{l: core.NewGlobalAvgPool(ctx, inD)})
+		case KindAdd:
+			net.layers = append(net.layers, &distAdd{l: core.NewAdd(net.Dists[i])})
+		default:
+			return nil, fmt.Errorf("nn: unsupported kind %v", s.Kind)
+		}
+	}
+	return net, nil
+}
+
+// InputDist returns the distribution the input must arrive in (the first
+// layer's grid).
+func (net *StrategyNet) InputDist() dist.Dist { return net.Dists[0] }
+
+// OutputDist returns the final layer's distribution.
+func (net *StrategyNet) OutputDist() dist.Dist { return net.Dists[len(net.Dists)-1] }
+
+// OutputCtx returns the context of the final layer (for loss reductions).
+func (net *StrategyNet) OutputCtx() *core.Ctx { return net.ctxs[len(net.ctxs)-1] }
+
+// Forward runs the DAG, shuffling activations whenever a child layer uses a
+// different distribution than its parent produced.
+func (net *StrategyNet) Forward(x core.DistTensor) core.DistTensor {
+	net.outs = make([]core.DistTensor, len(net.layers))
+	for i, l := range net.layers {
+		spec := net.Arch.Specs[i]
+		ins := make([]core.DistTensor, len(spec.Parents))
+		for j, p := range spec.Parents {
+			ins[j] = net.shuffleTo(net.outs[p], net.Grids[i])
+		}
+		if spec.Kind == KindInput {
+			ins = []core.DistTensor{x}
+		}
+		net.outs[i] = l.forward(net.ctxs[i], ins)
+	}
+	return net.outs[len(net.outs)-1]
+}
+
+// Backward propagates the loss gradient, shuffling error signals back
+// across distribution changes (the backward shuffle of Section III-C).
+func (net *StrategyNet) Backward(dLast core.DistTensor) {
+	net.grads = make([]core.DistTensor, len(net.layers))
+	net.grads[len(net.layers)-1] = dLast
+	for i := len(net.layers) - 1; i >= 0; i-- {
+		g := net.grads[i]
+		if g.Local == nil {
+			g = core.NewDistTensor(net.Dists[i], net.ctxs[i].Rank)
+		}
+		parentGrads := net.layers[i].backward(net.ctxs[i], g)
+		for j, p := range net.Arch.Specs[i].Parents {
+			// parentGrads[j] lives under this layer's grid; return it to the
+			// parent's grid before accumulating.
+			pg := net.shuffleTo(parentGrads[j], net.Grids[p])
+			if net.grads[p].Local == nil {
+				net.grads[p] = pg
+			} else {
+				net.grads[p].Local.AddScaled(pg.Local, 1)
+			}
+		}
+	}
+}
+
+// shuffleTo redistributes t onto grid g (no-op when layouts already agree).
+func (net *StrategyNet) shuffleTo(t core.DistTensor, g dist.Grid) core.DistTensor {
+	dst := dist.Dist{Grid: g, N: t.Dist.N, C: t.Dist.C, H: t.Dist.H, W: t.Dist.W}
+	if t.Dist.SameLayout(dst) {
+		return t
+	}
+	return core.Redistribute(net.world, t, dst)
+}
+
+// Params returns the replicated learnable parameters.
+func (net *StrategyNet) Params() []Param {
+	var ps []Param
+	for i, l := range net.layers {
+		ps = append(ps, l.params(net.Arch.Specs[i].Name)...)
+	}
+	return ps
+}

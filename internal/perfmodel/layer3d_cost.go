@@ -1,0 +1,56 @@
+package perfmodel
+
+import "repro/internal/dist"
+
+// Conv3DCompute returns the modeled local kernel time of a 3-D convolution
+// shard under grid (the 3-D analogue of ConvCompute; forward only — the
+// backward kernels have the same flop counts).
+func (m Machine) Conv3DCompute(s Conv3DSpec, g dist.Grid3) float64 {
+	n, od, oh, ow, id, ih, iw := s.localDims3(g)
+	k := float64(s.Geom.K)
+	flops := 2 * float64(n) * float64(s.C) * k * k * k *
+		float64(od) * float64(oh) * float64(ow) * float64(s.F)
+	inB := 4 * float64(n) * float64(s.C) * float64(id) * float64(ih) * float64(iw)
+	outB := 4 * float64(n) * float64(s.F) * float64(od) * float64(oh) * float64(ow)
+	wB := 4 * float64(s.F) * float64(s.C) * k * k * k
+	return m.kernelTime(flops, inB+outB+wB, float64(oh)*float64(ow))
+}
+
+// Halo3Time prices the three-phase 3-D halo exchange: the message volume of
+// HaloWords3 split over the per-dimension phases, with the same
+// intra/inter-node selection rule extended to the depth dimension
+// (w fastest, then h, then d; d crosses nodes first).
+func (m Machine) Halo3Time(s Conv3DSpec, g dist.Grid3) float64 {
+	o := s.Geom.K / 2
+	if o == 0 {
+		return 0
+	}
+	n, _, _, _, id, ih, iw := s.localDims3(g)
+	base := float64(o*n*s.C) * 4 // bytes per unit face row
+	gpn := m.GPUsPerNode
+	wIntra := g.PW <= gpn && gpn%g.PW == 0
+	hIntra := g.PH*g.PW <= gpn && gpn%(g.PH*g.PW) == 0
+	dIntra := g.PD*g.PH*g.PW <= gpn && gpn%(g.PD*g.PH*g.PW) == 0
+	t := 0.0
+	if g.PW > 1 {
+		t += 2 * m.SendRecv(base*float64(id*ih), wIntra)
+	}
+	if g.PH > 1 {
+		t += 2 * m.SendRecv(base*float64(id*iw), hIntra)
+	}
+	if g.PD > 1 {
+		t += 2 * m.SendRecv(base*float64(ih*iw), dIntra)
+	}
+	return t
+}
+
+// Conv3DLayerTime models forward time of a 3-D layer with halo overlap:
+// max(compute, halo) as in the 2-D overlapped model.
+func (m Machine) Conv3DLayerTime(s Conv3DSpec, g dist.Grid3) float64 {
+	c := m.Conv3DCompute(s, g)
+	h := m.Halo3Time(s, g)
+	if h > c {
+		return h
+	}
+	return c
+}

@@ -1,0 +1,114 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestHaloWords3NoHaloFor1x1x1(t *testing.T) {
+	s := Conv3DSpec{N: 1, C: 8, D: 16, H: 16, W: 16, F: 8, Geom: dist.ConvGeom{K: 1, S: 1, Pad: 0}}
+	if w := s.HaloWords3(dist.Grid3{PN: 1, PD: 2, PH: 2, PW: 2}); w != 0 {
+		t.Fatalf("1x1x1 kernel halo words = %d, want 0", w)
+	}
+}
+
+func TestHaloWords3BalancedBeatsSlab(t *testing.T) {
+	s := Conv3DSpec{N: 1, C: 4, D: 32, H: 32, W: 32, F: 4, Geom: dist.ConvGeom{K: 3, S: 1, Pad: 1}}
+	dOnly := s.HaloWords3(dist.Grid3{PN: 1, PD: 2, PH: 1, PW: 1})
+	if dOnly <= 0 {
+		t.Fatal("split D must have face halos")
+	}
+	// At the same 8-way decomposition, a balanced 2x2x2 box exchanges fewer
+	// words per rank than an 8-slab split: six small faces beat two
+	// full-cross-section faces — the surface-to-volume effect itself.
+	slab := s.HaloWords3(dist.Grid3{PN: 1, PD: 8, PH: 1, PW: 1})
+	balanced := s.HaloWords3(dist.Grid3{PN: 1, PD: 2, PH: 2, PW: 2})
+	if balanced >= slab {
+		t.Fatalf("balanced 2x2x2 halo %d should be below 8-slab halo %d", balanced, slab)
+	}
+	// Sample-only decomposition needs no halo.
+	if s.HaloWords3(dist.Grid3{PN: 1, PD: 1, PH: 1, PW: 1}) != 0 {
+		t.Fatal("unsplit spatial dims must have zero halo")
+	}
+}
+
+func TestSurfaceToVolumeAdvantage(t *testing.T) {
+	// The paper's concluding claim: at the same linear resolution and
+	// processor count, a balanced 3-D decomposition moves less halo per
+	// local element than the best 2-D one. The advantage is strict at cube
+	// counts (64, 512) and a tie at 8 (both factorizations have the same
+	// total cut count), exactly as the p^(1/d) analysis predicts.
+	for _, tc := range []struct {
+		ways   int
+		strict bool
+	}{{8, false}, {64, true}, {512, true}} {
+		r2, r3 := SurfaceToVolume(16, 3, tc.ways)
+		if r2 <= 0 || r3 <= 0 {
+			t.Fatalf("ways=%d: non-positive ratios %g %g", tc.ways, r2, r3)
+		}
+		if tc.strict && r3 >= r2 {
+			t.Errorf("ways=%d: 3-D ratio %.4f not below 2-D ratio %.4f halo words/element", tc.ways, r3, r2)
+		}
+		if !tc.strict && r3 > r2*1.05 {
+			t.Errorf("ways=%d: 3-D ratio %.4f should tie 2-D ratio %.4f", tc.ways, r3, r2)
+		}
+	}
+}
+
+func TestSurfaceToVolumeGrowsWithWays(t *testing.T) {
+	// Finer decomposition worsens both ratios (smaller tiles, relatively
+	// larger surfaces) — the strong-scaling pressure the paper describes.
+	r2a, r3a := SurfaceToVolume(16, 3, 8)
+	r2b, r3b := SurfaceToVolume(16, 3, 64)
+	if r2b <= r2a {
+		t.Errorf("2-D ratio should grow with ways: %.4f -> %.4f", r2a, r2b)
+	}
+	if r3b <= r3a {
+		t.Errorf("3-D ratio should grow with ways: %.4f -> %.4f", r3a, r3b)
+	}
+}
+
+func TestConv3DComputeScalesWithDecomposition(t *testing.T) {
+	m := Lassen()
+	s := Conv3DSpec{N: 1, C: 16, D: 128, H: 128, W: 128, F: 16, Geom: dist.ConvGeom{K: 3, S: 1, Pad: 1}}
+	t1 := m.Conv3DCompute(s, dist.Grid3{PN: 1, PD: 1, PH: 1, PW: 1})
+	t8 := m.Conv3DCompute(s, dist.Grid3{PN: 1, PD: 2, PH: 2, PW: 2})
+	if t8 >= t1 {
+		t.Fatalf("8-way shard compute %g not below 1-way %g", t8, t1)
+	}
+	if t1 > 8.5*t8 {
+		t.Fatalf("unrealistic superlinear 3-D scaling: %g vs %g", t1, t8)
+	}
+}
+
+func TestHalo3TimeZeroCases(t *testing.T) {
+	m := Lassen()
+	s := Conv3DSpec{N: 1, C: 8, D: 32, H: 32, W: 32, F: 8, Geom: dist.ConvGeom{K: 1, S: 1, Pad: 0}}
+	if m.Halo3Time(s, dist.Grid3{PN: 1, PD: 2, PH: 2, PW: 2}) != 0 {
+		t.Fatal("1x1x1 kernel must need no halo time")
+	}
+	s.Geom = dist.ConvGeom{K: 3, S: 1, Pad: 1}
+	if m.Halo3Time(s, dist.Grid3{PN: 8, PD: 1, PH: 1, PW: 1}) != 0 {
+		t.Fatal("sample-only decomposition must need no halo time")
+	}
+	if m.Halo3Time(s, dist.Grid3{PN: 1, PD: 2, PH: 1, PW: 1}) <= 0 {
+		t.Fatal("split depth must cost halo time")
+	}
+}
+
+func TestConv3DLayerTimeOverlap(t *testing.T) {
+	m := Lassen()
+	s := Conv3DSpec{N: 1, C: 16, D: 128, H: 128, W: 128, F: 16, Geom: dist.ConvGeom{K: 3, S: 1, Pad: 1}}
+	g := dist.Grid3{PN: 1, PD: 2, PH: 2, PW: 2}
+	lt := m.Conv3DLayerTime(s, g)
+	c := m.Conv3DCompute(s, g)
+	h := m.Halo3Time(s, g)
+	want := c
+	if h > want {
+		want = h
+	}
+	if lt != want {
+		t.Fatalf("layer time %g != max(compute %g, halo %g)", lt, c, h)
+	}
+}

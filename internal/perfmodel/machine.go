@@ -1,0 +1,181 @@
+// Package perfmodel implements the performance model of Section V: empirical
+// convolution cost estimates combined with a linear (alpha-beta) model for
+// point-to-point communication and the Thakur et al. models for collectives,
+// composed into per-layer and whole-CNN costs with the paper's
+// communication/computation overlap adjustments.
+//
+// Since this reproduction has no V100s, the "empirical" convolution times
+// come from an analytic device model (roofline with kernel-launch overhead
+// and a saturation-efficiency curve) instantiated with Lassen-like
+// parameters; the paper itself relies on such model-derived points for the
+// large-scale predictions plotted as black markers in Figures 2-4, which is
+// exactly what the benchmark harness regenerates.
+package perfmodel
+
+import "math"
+
+// Machine is the analytic platform description.
+type Machine struct {
+	Name        string
+	GPUsPerNode int
+
+	// Compute model.
+	PeakFlops float64 // peak fp32 flop/s per GPU
+	// MaxEfficiency is the fraction of peak achievable by large kernels; it
+	// may exceed 1 because costs are counted in direct-convolution flops
+	// while cuDNN's Winograd/FFT algorithms need fewer operations.
+	MaxEfficiency  float64
+	SaturationWork float64 // flops at which a kernel reaches half of MaxEfficiency
+	// SpatialSaturation is the local output plane size (in positions) at
+	// which a kernel reaches half of its efficiency: small spatial tiles
+	// (e.g. ResNet's 7x7 deep layers split 4-way) cannot fill the GPU —
+	// the "fixed kernel overheads" the paper observes on res3b_branch2a.
+	SpatialSaturation float64
+	KernelOverhead    float64 // seconds of fixed launch overhead per kernel
+	MemBW             float64 // bytes/s
+
+	// Memory capacity (for feasibility filtering).
+	GPUMemBytes float64
+
+	// Communication model: latency (s) and inverse bandwidth (s/byte) for
+	// intra-node (NVLink2) and inter-node (dual-rail IB EDR) transfers.
+	IntraAlpha, IntraBeta float64
+	InterAlpha, InterBeta float64
+}
+
+// Lassen returns a machine profile patterned on LLNL's Lassen (Section VI):
+// 4 V100 GPUs per node with NVLink2, dual-rail InfiniBand EDR between
+// nodes. The efficiency and overhead constants are calibrated so the
+// model's layer times land in the regime the paper reports (e.g. mesh-2K
+// conv1_1 forward ~7.5 ms on one GPU; 1K mesh model mini-batch ~0.4 s at
+// 1 sample/GPU).
+func Lassen() Machine {
+	return Machine{
+		Name:        "lassen",
+		GPUsPerNode: 4,
+
+		PeakFlops:         15.7e12,
+		MaxEfficiency:     1.15,
+		SaturationWork:    1.0e9,
+		SpatialSaturation: 60,
+		KernelOverhead:    12e-6,
+		MemBW:             900e9,
+
+		GPUMemBytes: 16e9,
+
+		// NVLink2: ~75 GB/s effective per direction between GPU pairs.
+		IntraAlpha: 6e-6,
+		IntraBeta:  1.0 / 75e9,
+		// Dual-rail IB EDR: ~21 GB/s net per node, shared by 4 GPUs; with
+		// GPUDirect RDMA latency stays in the microsecond range.
+		InterAlpha: 9e-6,
+		InterBeta:  1.0 / 18e9,
+	}
+}
+
+// SendRecv returns the alpha-beta cost of moving bytes between two GPUs
+// (Section II-B): alpha + beta*n, full-duplex, no interference.
+func (m Machine) SendRecv(bytes float64, sameNode bool) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	if sameNode {
+		return m.IntraAlpha + m.IntraBeta*bytes
+	}
+	return m.InterAlpha + m.InterBeta*bytes
+}
+
+// Allreduce returns AR(p, n): the cost of allreducing words float32 words
+// over p processors, as the best of the ring (bandwidth-optimal),
+// recursive-doubling (latency-optimal), and — when the group spans nodes —
+// hierarchical (node-local reduce, inter-node ring over node leaders,
+// node-local broadcast) algorithms, following Thakur et al. and the
+// node-aware strategies of NCCL/Aluminum. spansNodes selects whether the
+// bottleneck hop crosses nodes.
+func (m Machine) Allreduce(words, p int, spansNodes bool) float64 {
+	if p <= 1 || words == 0 {
+		return 0
+	}
+	alpha, beta := m.IntraAlpha, m.IntraBeta
+	if spansNodes {
+		alpha, beta = m.InterAlpha, m.InterBeta
+	}
+	bytes := 4 * float64(words)
+	fp := float64(p)
+	best := 2*(fp-1)*alpha + 2*((fp-1)/fp)*bytes*beta // ring
+	lg := math.Ceil(math.Log2(fp))
+	if rd := lg * (alpha + bytes*beta); rd < best {
+		best = rd
+	}
+	if spansNodes && p > m.GPUsPerNode {
+		nodes := float64((p + m.GPUsPerNode - 1) / m.GPUsPerNode)
+		intra := 2 * (float64(m.GPUsPerNode) - 1) / float64(m.GPUsPerNode) * bytes * m.IntraBeta
+		inter := 2*(nodes-1)*m.InterAlpha + 2*((nodes-1)/nodes)*bytes*m.InterBeta
+		if h := intra + inter + 4*m.IntraAlpha; h < best {
+			best = h
+		}
+		// Double binary tree over node leaders (NCCL-style): logarithmic
+		// latency with ring-class bandwidth — the winner at large node
+		// counts, where the ring's 2(p-1)*alpha term dominates.
+		tree := 2*math.Ceil(math.Log2(nodes))*m.InterAlpha + 2*bytes*m.InterBeta + intra + 4*m.IntraAlpha
+		if tree < best {
+			best = tree
+		}
+	}
+	return best
+}
+
+// ReduceScatter returns the pairwise-exchange reduce-scatter cost
+// (one (p-1)-step pass moving n/p words per step).
+func (m Machine) ReduceScatter(words, p int, spansNodes bool) float64 {
+	if p <= 1 || words == 0 {
+		return 0
+	}
+	alpha, beta := m.IntraAlpha, m.IntraBeta
+	if spansNodes {
+		alpha, beta = m.InterAlpha, m.InterBeta
+	}
+	fp := float64(p)
+	bytes := 4 * float64(words)
+	return (fp - 1) * (alpha + bytes/fp*beta)
+}
+
+// AllToAll returns the cost of a personalized all-to-all where each rank
+// sends words float32 words in total, spread over p-1 peers.
+func (m Machine) AllToAll(words, p int, spansNodes bool) float64 {
+	if p <= 1 || words == 0 {
+		return 0
+	}
+	alpha, beta := m.IntraAlpha, m.IntraBeta
+	if spansNodes {
+		alpha, beta = m.InterAlpha, m.InterBeta
+	}
+	fp := float64(p)
+	bytes := 4 * float64(words)
+	return (fp-1)*alpha + bytes*beta
+}
+
+// kernelTime is the analytic device model for one kernel launch: a roofline
+// over compute and memory with saturation-efficiency curves in total work
+// and in local spatial extent (small kernels and thin spatial tiles cannot
+// fill the GPU) plus fixed launch overhead. It stands in for the paper's
+// measured cuDNN timings C(n,c,h,w,f). spatial is the per-sample output
+// plane size in positions; pass a large value for purely elementwise work.
+func (m Machine) kernelTime(flops, bytes, spatial float64) float64 {
+	if flops <= 0 && bytes <= 0 {
+		return 0
+	}
+	eff := m.MaxEfficiency *
+		flops / (flops + m.SaturationWork) *
+		spatial / (spatial + m.SpatialSaturation)
+	if eff <= 0 {
+		eff = 1e-6
+	}
+	tCompute := flops / (m.PeakFlops * eff)
+	tMem := bytes / m.MemBW
+	t := tCompute
+	if tMem > t {
+		t = tMem
+	}
+	return m.KernelOverhead + t
+}

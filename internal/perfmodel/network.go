@@ -1,0 +1,188 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/nn"
+)
+
+// Options controls the model's overlap assumptions.
+type Options struct {
+	// OverlapHalo enables interior/boundary overlap of halo exchanges
+	// (Section IV-A). On by default in the evaluation.
+	OverlapHalo bool
+	// OverlapAllreduce greedily hides weight-gradient allreduces behind
+	// backpropagation compute of earlier layers (Section V-B).
+	OverlapAllreduce bool
+	// CountElementwise prices batchnorm/ReLU/add as memory-bound kernels
+	// instead of treating them as free like the paper's model.
+	CountElementwise bool
+}
+
+// DefaultOptions mirrors the paper's implementation: all overlaps on,
+// lower-order layers priced.
+func DefaultOptions() Options {
+	return Options{OverlapHalo: true, OverlapAllreduce: true, CountElementwise: true}
+}
+
+// LayerBreakdown reports one layer's modeled times.
+type LayerBreakdown struct {
+	Name string
+	Kind nn.Kind
+	Cost LayerCost
+	Elem float64 // elementwise cost (fwd+bwd) if priced
+}
+
+// NetCost is the whole-CNN estimate of Section V-B.
+type NetCost struct {
+	// MiniBatchTime is the modeled end-to-end time of one training
+	// iteration (forward + backward + exposed allreduce).
+	MiniBatchTime float64
+	FPTime        float64
+	BPTime        float64 // backward compute incl. halos and hidden allreduce
+	ARExposed     float64 // allreduce time not hidden behind computation
+	PerLayer      []LayerBreakdown
+	MemoryBytes   float64 // peak per-GPU memory estimate
+}
+
+// CNNCost evaluates the performance model for an entire architecture under
+// a uniform decomposition (the same grid for every layer, as in the paper's
+// evaluation). n is the global mini-batch size.
+func CNNCost(m Machine, arch *nn.Arch, grid dist.Grid, n int, opt Options) (NetCost, error) {
+	shapes, err := arch.Shapes()
+	if err != nil {
+		return NetCost{}, err
+	}
+	if n < grid.PN {
+		return NetCost{}, fmt.Errorf("perfmodel: batch %d smaller than sample ways %d", n, grid.PN)
+	}
+	var out NetCost
+	out.PerLayer = make([]LayerBreakdown, 0, len(arch.Specs))
+
+	// Forward + backward compute per layer.
+	var bpCompute []float64
+
+	for i, s := range arch.Specs {
+		lb := LayerBreakdown{Name: s.Name, Kind: s.Kind}
+		var inShape nn.Shape
+		if len(s.Parents) > 0 {
+			inShape = shapes[s.Parents[0]]
+		}
+		switch s.Kind {
+		case nn.KindConv:
+			spec := ConvSpec{N: n, C: inShape.C, H: inShape.H, W: inShape.W, F: s.F, Geom: s.Geom}
+			lb.Cost = m.ConvLayerCost(spec, grid, opt.OverlapHalo)
+		case nn.KindMaxPool:
+			spec := ConvSpec{N: n, C: inShape.C, H: inShape.H, W: inShape.W, F: inShape.C, Geom: s.Geom}
+			lb.Cost = m.PoolLayerCost(spec, grid, opt.OverlapHalo)
+		case nn.KindBatchNorm:
+			if opt.CountElementwise {
+				spec := ConvSpec{N: n, C: inShape.C, H: inShape.H, W: inShape.W}
+				lb.Elem = m.ElementwiseCost(spec, grid, 4) // stats+normalize fwd, stats+apply bwd
+				// Learnable parameters: allreduce of 2C words (Section V-B).
+				lb.Cost.BPa = m.Allreduce(2*inShape.C, grid.Size(), grid.Size() > m.GPUsPerNode)
+			}
+		case nn.KindReLU, nn.KindAdd:
+			if opt.CountElementwise {
+				spec := ConvSpec{N: n, C: inShape.C, H: inShape.H, W: inShape.W}
+				lb.Elem = m.ElementwiseCost(spec, grid, 2)
+			}
+		case nn.KindGlobalAvgPool:
+			spec := ConvSpec{N: n, C: inShape.C, H: inShape.H, W: inShape.W}
+			lb.Elem = m.ElementwiseCost(spec, grid, 2)
+			// Spatial-group reduction of the channel means.
+			sp := grid.SpatialWays()
+			lb.Cost.FP += m.Allreduce((n/grid.PN)*inShape.C, sp, sp > m.GPUsPerNode)
+		case nn.KindInput:
+			// free
+		}
+		out.FPTime += lb.Cost.FP + lb.Elem/2
+		bp := lb.Cost.BPx + lb.Cost.BPw + lb.Elem/2
+		bpCompute = append(bpCompute, bp)
+		out.PerLayer = append(out.PerLayer, lb)
+		_ = i
+	}
+
+	// Backward pass with greedy allreduce overlap (Section V-B): walk layers
+	// in reverse; a layer's allreduce starts after its backward compute and
+	// hides behind the backward compute of the layers before it (only one
+	// allreduce in flight at a time).
+	if opt.OverlapAllreduce {
+		pending := 0.0
+		arByLayer := make([]float64, len(arch.Specs))
+		for i, lb := range out.PerLayer {
+			arByLayer[i] = lb.Cost.BPa
+		}
+		for i := len(arch.Specs) - 1; i >= 0; i-- {
+			c := bpCompute[i]
+			hidden := pending
+			if hidden > c {
+				hidden = c
+			}
+			pending -= hidden
+			out.BPTime += c
+			pending += arByLayer[i]
+		}
+		out.ARExposed = pending
+	} else {
+		for i, c := range bpCompute {
+			out.BPTime += c
+			out.ARExposed += out.PerLayer[i].Cost.BPa
+		}
+	}
+
+	out.MemoryBytes = MemoryBytes(arch, grid, n)
+	out.MiniBatchTime = out.FPTime + out.BPTime + out.ARExposed
+	return out, nil
+}
+
+// MemoryBytes estimates peak per-GPU memory for training: stored activations
+// plus error signals (2x activations), parameters with gradients and
+// momentum (3x), halo-extended input copies for the largest layer, and a
+// fixed workspace. This drives the feasibility constraints of Section VI
+// (the 2K mesh model exceeds a 16 GB V100 even at one sample per GPU).
+func MemoryBytes(arch *nn.Arch, grid dist.Grid, n int) float64 {
+	shapes, err := arch.Shapes()
+	if err != nil {
+		return 0
+	}
+	nl := dist.BlockPartition(n, grid.PN, 0).Len()
+	var act, params float64
+	for i, s := range arch.Specs {
+		sh := shapes[i]
+		hl := dist.BlockPartition(sh.H, grid.PH, 0).Len()
+		wl := dist.BlockPartition(sh.W, grid.PW, 0).Len()
+		act += 4 * float64(nl) * float64(sh.C) * float64(hl) * float64(wl)
+		if s.Kind == nn.KindConv {
+			in := shapes[s.Parents[0]]
+			params += 4 * float64(s.F) * float64(in.C) * float64(s.Geom.K) * float64(s.Geom.K)
+		}
+		if s.Kind == nn.KindBatchNorm {
+			params += 4 * 2 * float64(sh.C)
+		}
+	}
+	const workspace = 256e6 // cuDNN-style workspace reservation
+	return 2*act + 3*params + workspace
+}
+
+// Feasible reports whether the decomposition fits in GPU memory.
+func Feasible(m Machine, arch *nn.Arch, grid dist.Grid, n int) bool {
+	if n < grid.PN {
+		return false
+	}
+	shapes, err := arch.Shapes()
+	if err != nil {
+		return false
+	}
+	for _, sh := range shapes {
+		if sh.H < grid.PH || sh.W < grid.PW {
+			// A layer becomes too small to split spatially; GlobalAvgPool
+			// outputs are exempt (replicated), detected by H==1.
+			if sh.H != 1 {
+				return false
+			}
+		}
+	}
+	return MemoryBytes(arch, grid, n) <= m.GPUMemBytes
+}

@@ -1,0 +1,70 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/models"
+)
+
+// TestProbeCalibration logs modeled times next to the paper's reported
+// values; assertions live in the bench harness tests, this is the tuning
+// aid.
+func TestProbeCalibration(t *testing.T) {
+	m := Lassen()
+
+	// Figure 3, conv1_1 N=1: FP ~7.5ms on 1 GPU, ~0.5ms on 16.
+	spec := ConvSpec{N: 1, C: 18, H: 2048, W: 2048, F: 128, Geom: dist.ConvGeom{K: 5, S: 2, Pad: 2}}
+	for _, g := range []dist.Grid{{PN: 1, PH: 1, PW: 1}, {PN: 1, PH: 2, PW: 1}, {PN: 1, PH: 2, PW: 2}, {PN: 1, PH: 4, PW: 2}, {PN: 1, PH: 4, PW: 4}} {
+		lc := m.ConvLayerCost(spec, g, true)
+		t.Logf("conv1_1 N=1 grid=%v: FP=%.3fms BP=%.3fms halo=%.3fms", g, lc.FP*1e3, (lc.BPx+lc.BPw)*1e3, lc.HaloFwd*1e3)
+	}
+
+	// Figure 2, conv1 N=32: FP ~0.55ms on 1 GPU.
+	spec = ConvSpec{N: 32, C: 3, H: 224, W: 224, F: 64, Geom: dist.ConvGeom{K: 7, S: 2, Pad: 3}}
+	for _, g := range []dist.Grid{{PN: 32, PH: 1, PW: 1}, {PN: 32, PH: 2, PW: 1}, {PN: 32, PH: 2, PW: 2}} {
+		lc := m.ConvLayerCost(spec, g, true)
+		t.Logf("conv1 N=32 grid=%v: FP=%.3fms BP=%.3fms halo=%.3fms", g, lc.FP*1e3, (lc.BPx+lc.BPw)*1e3, lc.HaloFwd*1e3)
+	}
+
+	// res3b_branch2a N=32: FP ~0.3ms.
+	spec = ConvSpec{N: 32, C: 512, H: 28, W: 28, F: 128, Geom: dist.ConvGeom{K: 1, S: 1, Pad: 0}}
+	lc := m.ConvLayerCost(spec, dist.Grid{PN: 32, PH: 1, PW: 1}, true)
+	t.Logf("res3b N=32 1gpu: FP=%.3fms BP=%.3fms", lc.FP*1e3, (lc.BPx+lc.BPw)*1e3)
+
+	// Table I: 1K mesh, N=4: 1 GPU/sample 0.403s; 2: 0.2; 4: 0.121; 8: 0.0906; 16: 0.066.
+	mesh1k := models.Mesh1K()
+	for _, ways := range [][2]int{{1, 1}, {2, 1}, {2, 2}, {4, 2}, {4, 4}} {
+		g := dist.Grid{PN: 4, PH: ways[0], PW: ways[1]}
+		nc, err := CNNCost(m, mesh1k, g, 4, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("mesh1k N=4 %d-way: total=%.4fs FP=%.4f BP=%.4f ARexp=%.4f mem=%.1fGB",
+			ways[0]*ways[1], nc.MiniBatchTime, nc.FPTime, nc.BPTime, nc.ARExposed, nc.MemoryBytes/1e9)
+	}
+
+	// Table II: 2K mesh, N=2: 2 GPUs 0.247s; 4: 0.12; 8: 0.0859; 16: 0.0683.
+	mesh2k := models.Mesh2K()
+	for _, ways := range [][2]int{{1, 1}, {2, 1}, {2, 2}, {4, 2}, {4, 4}} {
+		g := dist.Grid{PN: 2, PH: ways[0], PW: ways[1]}
+		nc, err := CNNCost(m, mesh2k, g, 2, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("mesh2k N=2 %d-way: total=%.4fs mem=%.1fGB feasible=%v",
+			ways[0]*ways[1], nc.MiniBatchTime, nc.MemoryBytes/1e9, Feasible(m, mesh2k, g, 2))
+	}
+
+	// Table III: ResNet-50, N=128 (32/GPU): sample 0.106s; 2-way 0.0734; 4-way 0.0593.
+	rn := models.ResNet50(224, 1000)
+	for _, ways := range [][2]int{{1, 1}, {2, 1}, {2, 2}} {
+		g := dist.Grid{PN: 4, PH: ways[0], PW: ways[1]}
+		nc, err := CNNCost(m, rn, g, 128, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("resnet50 N=128 %d-way: total=%.4fs FP=%.4f BP=%.4f ARexp=%.4f",
+			ways[0]*ways[1], nc.MiniBatchTime, nc.FPTime, nc.BPTime, nc.ARExposed)
+	}
+}

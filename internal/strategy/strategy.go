@@ -1,0 +1,427 @@
+// Package strategy implements the parallel execution strategy optimizer of
+// Section V-C: per-layer candidate distributions are generated
+// heuristically, and the assignment minimizing modeled end-to-end time —
+// layer costs plus data-redistribution (shuffle) costs between adjacent
+// layers — is found by reduction to single-source shortest path on a
+// layered DAG. Networks with branches (ResNets) are handled with the
+// paper's longest-path-first heuristic.
+package strategy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/nn"
+	"repro/internal/perfmodel"
+)
+
+// Strategy assigns one grid (data distribution) to every layer of an
+// architecture and records the modeled cost.
+type Strategy struct {
+	Grids []dist.Grid
+	Cost  float64
+}
+
+// Uniform returns a strategy using grid g for every layer.
+func Uniform(arch *nn.Arch, g dist.Grid) Strategy {
+	grids := make([]dist.Grid, len(arch.Specs))
+	for i := range grids {
+		grids[i] = g
+	}
+	return Strategy{Grids: grids}
+}
+
+// Candidates enumerates the load-balanced processor grids using exactly p
+// processors for a layer of the given activation shape and batch size,
+// ordered cheapest-communication-first (sample parallelism, then 1-D and
+// 2-D spatial splits) per the paper's heuristic.
+func Candidates(p, n int, sh nn.Shape) []dist.Grid {
+	var out []dist.Grid
+	for pn := p; pn >= 1; pn-- {
+		if p%pn != 0 || pn > n {
+			continue
+		}
+		sp := p / pn
+		for ph := 1; ph <= sp; ph++ {
+			if sp%ph != 0 {
+				continue
+			}
+			pw := sp / ph
+			if ph > sh.H || pw > sh.W {
+				continue
+			}
+			// Prefer near-square spatial splits; skip extremely skinny ones
+			// (the paper prunes with heuristics).
+			if ph > 8*pw || pw > 8*ph {
+				continue
+			}
+			out = append(out, dist.Grid{PN: pn, PH: ph, PW: pw})
+		}
+	}
+	// Cheapest communication first: more sample ways, then squarer grids.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].PN != out[j].PN {
+			return out[i].PN > out[j].PN
+		}
+		di := absInt(out[i].PH - out[i].PW)
+		dj := absInt(out[j].PH - out[j].PW)
+		return di < dj
+	})
+	return out
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// LayerCost evaluates the modeled cost of one layer under grid g.
+func LayerCost(m perfmodel.Machine, spec nn.Spec, inShape nn.Shape, n int, g dist.Grid) float64 {
+	switch spec.Kind {
+	case nn.KindConv:
+		cs := perfmodel.ConvSpec{N: n, C: inShape.C, H: inShape.H, W: inShape.W, F: spec.F, Geom: spec.Geom}
+		return m.ConvLayerCost(cs, g, true).Total()
+	case nn.KindMaxPool:
+		cs := perfmodel.ConvSpec{N: n, C: inShape.C, H: inShape.H, W: inShape.W, F: inShape.C, Geom: spec.Geom}
+		return m.PoolLayerCost(cs, g, true).Total()
+	case nn.KindBatchNorm:
+		cs := perfmodel.ConvSpec{N: n, C: inShape.C, H: inShape.H, W: inShape.W}
+		return m.ElementwiseCost(cs, g, 4)
+	case nn.KindReLU, nn.KindAdd, nn.KindGlobalAvgPool:
+		cs := perfmodel.ConvSpec{N: n, C: inShape.C, H: inShape.H, W: inShape.W}
+		return m.ElementwiseCost(cs, g, 2)
+	default:
+		return 0
+	}
+}
+
+// ShuffleCost prices the data redistribution between distributions of the
+// same tensor on adjacent layers (Section III-C / V-B): zero when layouts
+// coincide, otherwise an all-to-all moving the largest rank's share, twice
+// (forward activations and backward error signals).
+func ShuffleCost(m perfmodel.Machine, sh nn.Shape, n int, from, to dist.Grid) float64 {
+	if from == to {
+		return 0
+	}
+	src := dist.Dist{Grid: from, N: n, C: sh.C, H: sh.H, W: sh.W}
+	dst := dist.Dist{Grid: to, N: n, C: sh.C, H: sh.H, W: sh.W}
+	if src.Validate() != nil || dst.Validate() != nil {
+		return inf
+	}
+	maxWords := 0
+	for r := 0; r < from.Size(); r++ {
+		if w := core.ShuffleVolume(src, dst, r); w > maxWords {
+			maxWords = w
+		}
+	}
+	spans := from.Size() > m.GPUsPerNode
+	return 2 * m.AllToAll(maxWords, from.Size(), spans)
+}
+
+const inf = 1e30
+
+// Optimize finds a good per-layer strategy for arch on p processors with
+// global batch n. Line networks are solved exactly by shortest path; branchy
+// networks use the longest-path-first heuristic of Section V-C. The
+// returned cost is the sum of layer costs and shuffle costs (an upper-bound
+// proxy for the overlapped execution the runtime performs).
+func Optimize(m perfmodel.Machine, arch *nn.Arch, p, n int) (Strategy, error) {
+	shapes, err := arch.Shapes()
+	if err != nil {
+		return Strategy{}, err
+	}
+	L := len(arch.Specs)
+	children := make([][]int, L)
+	for i, s := range arch.Specs {
+		for _, par := range s.Parents {
+			children[par] = append(children[par], i)
+		}
+	}
+	isLine := true
+	for i := 0; i < L; i++ {
+		if len(children[i]) > 1 || len(arch.Specs[i].Parents) > 1 {
+			isLine = false
+			break
+		}
+	}
+
+	cands := make([][]dist.Grid, L)
+	for i, s := range arch.Specs {
+		sh := shapes[i]
+		if len(s.Parents) > 0 {
+			sh = shapes[s.Parents[0]]
+		}
+		c := Candidates(p, n, sh)
+		if len(c) == 0 {
+			return Strategy{}, fmt.Errorf("strategy: no feasible distribution for layer %d (%s)", i, s.Name)
+		}
+		cands[i] = c
+	}
+
+	if isLine {
+		grids, cost := solveLine(m, arch, shapes, cands, n, nil)
+		return Strategy{Grids: grids, Cost: cost}, nil
+	}
+	return optimizeBranchy(m, arch, shapes, cands, children, p, n)
+}
+
+// solveLine runs the shortest-path DP over a line network. fixed, if
+// non-nil, pins some layers to a specific grid (used by the branchy
+// heuristic); pinned layers get that single candidate.
+func solveLine(m perfmodel.Machine, arch *nn.Arch, shapes []nn.Shape, cands [][]dist.Grid, n int, fixed []*dist.Grid) ([]dist.Grid, float64) {
+	L := len(arch.Specs)
+	candOf := func(i int) []dist.Grid {
+		if fixed != nil && fixed[i] != nil {
+			return []dist.Grid{*fixed[i]}
+		}
+		return cands[i]
+	}
+	// dp[i][k]: cost of the best assignment of layers 0..i with layer i
+	// using candidate k; edges carry the shuffle between i-1 and i.
+	dp := make([][]float64, L)
+	choice := make([][]int, L)
+	for i := 0; i < L; i++ {
+		cs := candOf(i)
+		dp[i] = make([]float64, len(cs))
+		choice[i] = make([]int, len(cs))
+		inSh := shapes[i]
+		if len(arch.Specs[i].Parents) > 0 {
+			inSh = shapes[arch.Specs[i].Parents[0]]
+		}
+		for k, g := range cs {
+			lc := LayerCost(m, arch.Specs[i], inSh, n, g)
+			if i == 0 {
+				dp[i][k] = lc
+				continue
+			}
+			best := inf
+			bestJ := 0
+			for j, pg := range candOf(i - 1) {
+				// The tensor shuffled between the layers is layer i's input
+				// (= layer i-1's output).
+				c := dp[i-1][j] + ShuffleCost(m, inSh, n, pg, g)
+				if c < best {
+					best = c
+					bestJ = j
+				}
+			}
+			dp[i][k] = best + lc
+			choice[i][k] = bestJ
+		}
+	}
+	bestK, bestC := 0, inf
+	for k, c := range dp[L-1] {
+		if c < bestC {
+			bestC, bestK = c, k
+		}
+	}
+	grids := make([]dist.Grid, L)
+	k := bestK
+	for i := L - 1; i >= 0; i-- {
+		grids[i] = candOf(i)[k]
+		k = choice[i][k]
+	}
+	return grids, bestC
+}
+
+// optimizeBranchy applies the longest-path-first heuristic: find the most
+// expensive source-to-sink path, optimize it as a line (respecting any
+// already-fixed layers), pin its distributions, and repeat on the next
+// longest path until every layer is assigned.
+func optimizeBranchy(m perfmodel.Machine, arch *nn.Arch, shapes []nn.Shape, cands [][]dist.Grid, children [][]int, p, n int) (Strategy, error) {
+	L := len(arch.Specs)
+	fixed := make([]*dist.Grid, L)
+	assigned := 0
+
+	nodeWeight := func(i int) float64 {
+		inSh := shapes[i]
+		if len(arch.Specs[i].Parents) > 0 {
+			inSh = shapes[arch.Specs[i].Parents[0]]
+		}
+		// Weight by the cheapest candidate cost; unassigned layers count
+		// extra so paths through them are preferred.
+		w := LayerCost(m, arch.Specs[i], inSh, n, cands[i][0])
+		if fixed[i] == nil {
+			w += 1e-9
+		}
+		return w
+	}
+
+	for assigned < L {
+		// Longest (max-weight) path from layer 0 to the final layer through
+		// the DAG, counting only unassigned node weights (plus epsilon so
+		// ties prefer unassigned coverage).
+		best := make([]float64, L)
+		from := make([]int, L)
+		for i := range from {
+			from[i] = -1
+			best[i] = -inf
+		}
+		best[0] = 0
+		for i := 0; i < L; i++ {
+			if best[i] == -inf {
+				continue
+			}
+			for _, ch := range children[i] {
+				w := 0.0
+				if fixed[ch] == nil {
+					w = nodeWeight(ch)
+				}
+				if best[i]+w > best[ch] {
+					best[ch] = best[i] + w
+					from[ch] = i
+				}
+			}
+		}
+		// Trace the path.
+		var path []int
+		for v := L - 1; v != -1; v = from[v] {
+			path = append([]int{v}, path...)
+		}
+		// Solve the path as a line; non-path neighbors contribute via their
+		// fixed grids where available (approximation).
+		pathGrids, _ := solvePath(m, arch, shapes, cands, n, fixed, path)
+		progressed := false
+		for idx, li := range path {
+			if fixed[li] == nil {
+				g := pathGrids[idx]
+				fixed[li] = &g
+				assigned++
+				progressed = true
+			}
+		}
+		if !progressed {
+			// Remaining layers unreachable through new paths: assign each
+			// greedily to match a fixed neighbor.
+			for i := 0; i < L; i++ {
+				if fixed[i] != nil {
+					continue
+				}
+				g := cands[i][0]
+				for _, par := range arch.Specs[i].Parents {
+					if fixed[par] != nil {
+						g = *fixed[par]
+					}
+				}
+				fixed[i] = &g
+				assigned++
+			}
+		}
+	}
+
+	grids := make([]dist.Grid, L)
+	for i := range grids {
+		grids[i] = *fixed[i]
+	}
+	return Strategy{Grids: grids, Cost: Evaluate(m, arch, shapes, grids, n)}, nil
+}
+
+// solvePath runs the line DP restricted to an explicit path of layer
+// indices.
+func solvePath(m perfmodel.Machine, arch *nn.Arch, shapes []nn.Shape, cands [][]dist.Grid, n int, fixed []*dist.Grid, path []int) ([]dist.Grid, float64) {
+	P := len(path)
+	candOf := func(pi int) []dist.Grid {
+		li := path[pi]
+		if fixed[li] != nil {
+			return []dist.Grid{*fixed[li]}
+		}
+		return cands[li]
+	}
+	dp := make([][]float64, P)
+	choice := make([][]int, P)
+	for pi := 0; pi < P; pi++ {
+		li := path[pi]
+		cs := candOf(pi)
+		dp[pi] = make([]float64, len(cs))
+		choice[pi] = make([]int, len(cs))
+		inSh := shapes[li]
+		if len(arch.Specs[li].Parents) > 0 {
+			inSh = shapes[arch.Specs[li].Parents[0]]
+		}
+		for k, g := range cs {
+			lc := LayerCost(m, arch.Specs[li], inSh, n, g)
+			if pi == 0 {
+				dp[pi][k] = lc
+				continue
+			}
+			bestC, bestJ := inf, 0
+			for j, pg := range candOf(pi - 1) {
+				c := dp[pi-1][j] + ShuffleCost(m, inSh, n, pg, g)
+				if c < bestC {
+					bestC, bestJ = c, j
+				}
+			}
+			dp[pi][k] = bestC + lc
+			choice[pi][k] = bestJ
+		}
+	}
+	bestK, bestC := 0, inf
+	for k, c := range dp[P-1] {
+		if c < bestC {
+			bestC, bestK = c, k
+		}
+	}
+	out := make([]dist.Grid, P)
+	k := bestK
+	for pi := P - 1; pi >= 0; pi-- {
+		out[pi] = candOf(pi)[k]
+		k = choice[pi][k]
+	}
+	return out, bestC
+}
+
+// Evaluate sums layer costs and shuffle costs of a complete assignment.
+func Evaluate(m perfmodel.Machine, arch *nn.Arch, shapes []nn.Shape, grids []dist.Grid, n int) float64 {
+	total := 0.0
+	for i, s := range arch.Specs {
+		inSh := shapes[i]
+		if len(s.Parents) > 0 {
+			inSh = shapes[s.Parents[0]]
+		}
+		total += LayerCost(m, s, inSh, n, grids[i])
+		for _, par := range s.Parents {
+			total += ShuffleCost(m, inSh, n, grids[par], grids[i])
+		}
+	}
+	return total
+}
+
+// BestUniform evaluates every candidate grid applied uniformly to the whole
+// network with the full CNN model (incl. allreduce overlap) and returns the
+// best, mirroring the configurations the paper's evaluation uses.
+func BestUniform(m perfmodel.Machine, arch *nn.Arch, p, n int) (dist.Grid, perfmodel.NetCost, error) {
+	shapes, err := arch.Shapes()
+	if err != nil {
+		return dist.Grid{}, perfmodel.NetCost{}, err
+	}
+	minShape := shapes[0]
+	for _, sh := range shapes {
+		if sh.H > 1 && sh.H < minShape.H {
+			minShape = sh
+		}
+	}
+	var bestG dist.Grid
+	var bestC perfmodel.NetCost
+	found := false
+	for _, g := range Candidates(p, n, minShape) {
+		if !perfmodel.Feasible(m, arch, g, n) {
+			continue
+		}
+		nc, err := perfmodel.CNNCost(m, arch, g, n, perfmodel.DefaultOptions())
+		if err != nil {
+			continue
+		}
+		if !found || nc.MiniBatchTime < bestC.MiniBatchTime {
+			bestG, bestC = g, nc
+			found = true
+		}
+	}
+	if !found {
+		return dist.Grid{}, perfmodel.NetCost{}, fmt.Errorf("strategy: no feasible uniform decomposition on %d processors", p)
+	}
+	return bestG, bestC, nil
+}

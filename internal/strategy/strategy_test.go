@@ -1,0 +1,208 @@
+package strategy
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/perfmodel"
+)
+
+func TestCandidatesEnumeration(t *testing.T) {
+	cs := Candidates(4, 8, nn.Shape{C: 16, H: 64, W: 64})
+	if len(cs) == 0 {
+		t.Fatal("no candidates generated")
+	}
+	seen := map[dist.Grid]bool{}
+	for _, g := range cs {
+		if g.Size() != 4 {
+			t.Fatalf("candidate %v does not use 4 processors", g)
+		}
+		if seen[g] {
+			t.Fatalf("duplicate candidate %v", g)
+		}
+		seen[g] = true
+	}
+	// Sample parallelism must come first (cheapest heuristic).
+	if cs[0] != (dist.Grid{PN: 4, PH: 1, PW: 1}) {
+		t.Fatalf("first candidate = %v, want pure sample parallelism", cs[0])
+	}
+}
+
+func TestCandidatesRespectShapeLimits(t *testing.T) {
+	// Batch of 1 forbids sample parallelism; tiny H forbids H splits.
+	cs := Candidates(4, 1, nn.Shape{C: 16, H: 2, W: 64})
+	for _, g := range cs {
+		if g.PN > 1 {
+			t.Fatalf("candidate %v uses sample parallelism with batch 1", g)
+		}
+		if g.PH > 2 {
+			t.Fatalf("candidate %v splits H=2 too finely", g)
+		}
+	}
+	if len(cs) == 0 {
+		t.Fatal("expected some spatial candidates")
+	}
+}
+
+func TestShuffleCostZeroForSameGrid(t *testing.T) {
+	m := perfmodel.Lassen()
+	g := dist.Grid{PN: 2, PH: 2, PW: 1}
+	if c := ShuffleCost(m, nn.Shape{C: 8, H: 32, W: 32}, 4, g, g); c != 0 {
+		t.Fatalf("same-grid shuffle cost = %g, want 0", c)
+	}
+	c := ShuffleCost(m, nn.Shape{C: 8, H: 32, W: 32}, 4, g, dist.Grid{PN: 4, PH: 1, PW: 1})
+	if c <= 0 {
+		t.Fatal("cross-grid shuffle must cost time")
+	}
+}
+
+// lineArch builds a simple 4-conv line network.
+func lineArch() *nn.Arch {
+	b := nn.NewBuilder("line", nn.Shape{C: 8, H: 64, W: 64})
+	c := b.Conv("c1", b.Last(), 16, dist.ConvGeom{K: 3, S: 1, Pad: 1}, false)
+	c = b.Conv("c2", c, 16, dist.ConvGeom{K: 3, S: 2, Pad: 1}, false)
+	c = b.Conv("c3", c, 32, dist.ConvGeom{K: 3, S: 2, Pad: 1}, false)
+	b.Conv("c4", c, 8, dist.ConvGeom{K: 1, S: 1, Pad: 0}, false)
+	return b.MustBuild()
+}
+
+func TestOptimizeLineMatchesBruteForce(t *testing.T) {
+	m := perfmodel.Lassen()
+	arch := lineArch()
+	p, n := 4, 4
+	st, err := Optimize(m, arch, p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes, _ := arch.Shapes()
+
+	// Brute force over every assignment of candidates.
+	cands := make([][]dist.Grid, len(arch.Specs))
+	for i, s := range arch.Specs {
+		sh := shapes[i]
+		if len(s.Parents) > 0 {
+			sh = shapes[s.Parents[0]]
+		}
+		cands[i] = Candidates(p, n, sh)
+	}
+	best := 1e30
+	var rec func(i int, grids []dist.Grid, acc float64)
+	rec = func(i int, grids []dist.Grid, acc float64) {
+		if acc >= best {
+			return
+		}
+		if i == len(arch.Specs) {
+			if acc < best {
+				best = acc
+			}
+			return
+		}
+		inSh := shapes[i]
+		if len(arch.Specs[i].Parents) > 0 {
+			inSh = shapes[arch.Specs[i].Parents[0]]
+		}
+		for _, g := range cands[i] {
+			c := LayerCost(m, arch.Specs[i], inSh, n, g)
+			if i > 0 {
+				c += ShuffleCost(m, inSh, n, grids[i-1], g)
+			}
+			grids[i] = g
+			rec(i+1, grids, acc+c)
+		}
+	}
+	rec(0, make([]dist.Grid, len(arch.Specs)), 0)
+
+	if diff := st.Cost - best; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("DP cost %g != brute force optimum %g", st.Cost, best)
+	}
+}
+
+func TestOptimizeStrategyNoWorseThanUniform(t *testing.T) {
+	m := perfmodel.Lassen()
+	arch := lineArch()
+	p, n := 4, 4
+	st, err := Optimize(m, arch, p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes, _ := arch.Shapes()
+	for _, g := range Candidates(p, n, shapes[0]) {
+		u := Uniform(arch, g)
+		cost := Evaluate(m, arch, shapes, u.Grids, n)
+		if st.Cost > cost+1e-12 {
+			t.Fatalf("optimized cost %g worse than uniform %v at %g", st.Cost, g, cost)
+		}
+	}
+}
+
+func TestOptimizeBranchyResNet(t *testing.T) {
+	m := perfmodel.Lassen()
+	arch := models.ResNet50Tiny(64, 10)
+	st, err := Optimize(m, arch, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Grids) != len(arch.Specs) {
+		t.Fatalf("strategy covers %d layers, want %d", len(st.Grids), len(arch.Specs))
+	}
+	for i, g := range st.Grids {
+		if g.Size() != 4 {
+			t.Fatalf("layer %d assigned grid %v with %d processors", i, g, g.Size())
+		}
+	}
+	if st.Cost <= 0 || st.Cost > 10 {
+		t.Fatalf("implausible strategy cost %g", st.Cost)
+	}
+}
+
+func TestOptimizePrefersSpatialForBigLayersSampleForSmall(t *testing.T) {
+	// With batch 2 on 4 processors, sample parallelism alone cannot use all
+	// processors, so big early layers should go spatial/hybrid; the
+	// optimizer must still produce a consistent strategy.
+	m := perfmodel.Lassen()
+	b := nn.NewBuilder("mix", nn.Shape{C: 18, H: 1024, W: 1024})
+	c := b.Conv("big", b.Last(), 32, dist.ConvGeom{K: 5, S: 2, Pad: 2}, false)
+	c = b.Conv("mid", c, 64, dist.ConvGeom{K: 3, S: 2, Pad: 1}, false)
+	b.Conv("small", c, 8, dist.ConvGeom{K: 1, S: 1, Pad: 0}, false)
+	arch := b.MustBuild()
+	st, err := Optimize(m, arch, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every layer must use spatial ways >= 2 (batch 2 < 4 processors).
+	for i, g := range st.Grids[1:] {
+		if g.SpatialWays() < 2 {
+			t.Fatalf("layer %d grid %v under-uses processors", i+1, g)
+		}
+	}
+}
+
+func TestBestUniformMesh2KRequiresSpatial(t *testing.T) {
+	m := perfmodel.Lassen()
+	g, nc, err := BestUniform(m, models.Mesh2K(), 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.SpatialWays() < 2 {
+		t.Fatalf("best uniform grid %v does not use spatial parallelism; 2K model cannot fit otherwise", g)
+	}
+	if nc.MiniBatchTime <= 0 {
+		t.Fatal("no cost computed")
+	}
+}
+
+func TestUniformHelper(t *testing.T) {
+	arch := lineArch()
+	g := dist.Grid{PN: 2, PH: 2, PW: 1}
+	u := Uniform(arch, g)
+	if len(u.Grids) != len(arch.Specs) {
+		t.Fatal("uniform strategy wrong length")
+	}
+	for _, gg := range u.Grids {
+		if gg != g {
+			t.Fatal("uniform strategy not uniform")
+		}
+	}
+}

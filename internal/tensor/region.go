@@ -1,0 +1,149 @@
+package tensor
+
+import "fmt"
+
+// Region describes an axis-aligned hyper-rectangle inside a tensor: the
+// element set with index idx[d] in [Off[d], Off[d]+Size[d]) for every
+// dimension d. Regions are the unit of halo extraction and insertion.
+type Region struct {
+	Off  []int
+	Size []int
+}
+
+// NumElems returns the number of elements in the region.
+func (r Region) NumElems() int {
+	n := 1
+	for _, s := range r.Size {
+		n *= s
+	}
+	return n
+}
+
+// Valid reports whether the region lies entirely within shape.
+func (r Region) Valid(shape []int) bool {
+	if len(r.Off) != len(shape) || len(r.Size) != len(shape) {
+		return false
+	}
+	for d := range shape {
+		if r.Off[d] < 0 || r.Size[d] < 0 || r.Off[d]+r.Size[d] > shape[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtractRegion copies the elements of region r from t into a freshly
+// allocated flat buffer in row-major order of the region.
+func (t *Tensor) ExtractRegion(r Region) []float32 {
+	if !r.Valid(t.shape) {
+		panic(fmt.Sprintf("tensor: region off=%v size=%v invalid for shape %v", r.Off, r.Size, t.shape))
+	}
+	buf := make([]float32, r.NumElems())
+	t.copyRegion(r, buf, true)
+	return buf
+}
+
+// InsertRegion copies buf (row-major region order) into region r of t.
+func (t *Tensor) InsertRegion(r Region, buf []float32) {
+	if !r.Valid(t.shape) {
+		panic(fmt.Sprintf("tensor: region off=%v size=%v invalid for shape %v", r.Off, r.Size, t.shape))
+	}
+	if len(buf) != r.NumElems() {
+		panic(fmt.Sprintf("tensor: buffer length %d does not match region size %v", len(buf), r.Size))
+	}
+	t.copyRegion(r, buf, false)
+}
+
+// copyRegion walks region r in row-major order; extract=true copies tensor
+// elements out into buf, extract=false copies buf into the tensor. The
+// innermost dimension is copied with copy() for speed.
+func (t *Tensor) copyRegion(r Region, buf []float32, extract bool) {
+	rank := len(t.shape)
+	if rank == 0 {
+		return
+	}
+	inner := r.Size[rank-1]
+	if inner == 0 || r.NumElems() == 0 {
+		return
+	}
+	idx := make([]int, rank) // region-relative index over outer dims
+	pos := 0
+	for {
+		off := 0
+		for d := 0; d < rank; d++ {
+			off += (r.Off[d] + idx[d]) * t.stride[d]
+		}
+		if extract {
+			copy(buf[pos:pos+inner], t.data[off:off+inner])
+		} else {
+			copy(t.data[off:off+inner], buf[pos:pos+inner])
+		}
+		pos += inner
+		// Advance the multi-index over dimensions 0..rank-2.
+		d := rank - 2
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < r.Size[d] {
+				break
+			}
+			idx[d] = 0
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// AddRegion accumulates buf (row-major region order) into region r of t:
+// t[r] += buf. Used by reverse halo exchanges, whose contributions sum.
+func (t *Tensor) AddRegion(r Region, buf []float32) {
+	if !r.Valid(t.shape) {
+		panic(fmt.Sprintf("tensor: region off=%v size=%v invalid for shape %v", r.Off, r.Size, t.shape))
+	}
+	if len(buf) != r.NumElems() {
+		panic(fmt.Sprintf("tensor: buffer length %d does not match region size %v", len(buf), r.Size))
+	}
+	rank := len(t.shape)
+	inner := r.Size[rank-1]
+	if inner == 0 || r.NumElems() == 0 {
+		return
+	}
+	idx := make([]int, rank)
+	pos := 0
+	for {
+		off := 0
+		for d := 0; d < rank; d++ {
+			off += (r.Off[d] + idx[d]) * t.stride[d]
+		}
+		dst := t.data[off : off+inner]
+		src := buf[pos : pos+inner]
+		for i := range dst {
+			dst[i] += src[i]
+		}
+		pos += inner
+		d := rank - 2
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < r.Size[d] {
+				break
+			}
+			idx[d] = 0
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// CopyRegion copies region src of from into region dst of t. The regions
+// must have identical sizes.
+func (t *Tensor) CopyRegion(dst Region, from *Tensor, src Region) {
+	for d := range dst.Size {
+		if dst.Size[d] != src.Size[d] {
+			panic(fmt.Sprintf("tensor: CopyRegion size mismatch %v vs %v", dst.Size, src.Size))
+		}
+	}
+	t.InsertRegion(dst, from.ExtractRegion(src))
+}
