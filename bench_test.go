@@ -210,6 +210,59 @@ func BenchmarkGemm(b *testing.B) {
 	}
 }
 
+// benchGemmGflops runs an n^3 SGEMM and reports GFLOP/s (run with -benchmem
+// to see the zero steady-state allocs/op).
+func benchGemmGflops(b *testing.B, n int, gemm func(m, nn, k int, alpha float32, a, bb []float32, beta float32, c []float32)) {
+	b.Helper()
+	a := make([]float32, n*n)
+	bb := make([]float32, n*n)
+	c := make([]float32, n*n)
+	for i := range a {
+		a[i] = float32(i%7) * 0.1
+		bb[i] = float32(i%5) * 0.2
+	}
+	gemm(n, n, n, 1, a, bb, 0, c) // warm the workspace pools
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gemm(n, n, n, 1, a, bb, 0, c)
+	}
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// BenchmarkGemmNN is the headline kernel benchmark: the packed
+// register-blocked microkernel on a 512^3 SGEMM.
+func BenchmarkGemmNN(b *testing.B) { benchGemmGflops(b, 512, kernels.GemmNN) }
+func BenchmarkGemmNT(b *testing.B) { benchGemmGflops(b, 256, kernels.GemmNT) }
+func BenchmarkGemmTN(b *testing.B) { benchGemmGflops(b, 256, kernels.GemmTN) }
+
+// BenchmarkConvForwardGflops measures the im2col+GEMM convolution with
+// GFLOP/s and allocs/op (zero when warm: workspace-arena column buffer and
+// pack panels).
+func BenchmarkConvForwardGflops(b *testing.B) {
+	x := tensor.New(4, 16, 64, 64)
+	x.FillPattern(0.4)
+	w := tensor.New(32, 16, 3, 3)
+	w.FillPattern(0.6)
+	y := tensor.New(4, 32, 64, 64)
+	kernels.ConvForward(x, w, nil, y, 1, 1, kernels.ConvIm2col)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernels.ConvForward(x, w, nil, y, 1, 1, kernels.ConvIm2col)
+	}
+	flops := 2.0 * 4 * 32 * 16 * 3 * 3 * 64 * 64
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// BenchmarkKernelThroughputTable regenerates the machine-local kernel
+// throughput table (GFLOP/s + allocs/op) alongside the paper tables.
+func BenchmarkKernelThroughputTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.KernelThroughput().Write(sink())
+	}
+}
+
 // BenchmarkStrategyOptimizer measures the execution-strategy search on
 // ResNet-50 (Section V-C: "we have found this is not an issue in practice").
 func BenchmarkStrategyOptimizer(b *testing.B) {

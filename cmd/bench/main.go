@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2, fig3, fig4, table1, table2, table3, sv3d, ablation, memory, modelcheck, all")
+	exp := flag.String("exp", "all", "experiment: fig2, fig3, fig4, table1, table2, table3, sv3d, ablation, memory, modelcheck, kernels, all")
 	out := flag.String("out", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -61,6 +61,8 @@ func main() {
 		bench.SurfaceToVolume3D().Write(w)
 	case "modelcheck":
 		bench.ModelCheck().Write(w)
+	case "kernels":
+		bench.KernelThroughput().Write(w)
 	case "all":
 		bench.RunAll(m, w)
 	default:

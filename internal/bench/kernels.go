@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// KernelThroughput measures the real compute-kernel substrate on this
+// machine: SGEMM and convolution-forward GFLOP/s plus steady-state
+// allocations per call. These are the C(n,c,h,w,f) inputs every modeled
+// number ultimately stands on — the paper's premise is that fine-grained
+// parallelism pays off only when the local kernels are fast enough that
+// communication, not arithmetic, bounds the step.
+func KernelThroughput() *Table {
+	t := &Table{
+		Title:  "Compute-kernel throughput (this machine)",
+		Header: []string{"kernel", "shape", "GFLOP/s", "allocs/op"},
+		Note:   "packed register-blocked GEMM microkernel; workspace-arena kernels",
+	}
+	gemmRow := func(name string, m, n, k int) {
+		a := make([]float32, m*k)
+		b := make([]float32, k*n)
+		c := make([]float32, m*n)
+		for i := range a {
+			a[i] = float32(i%13) * 0.25
+		}
+		for i := range b {
+			b[i] = float32(i%7) * 0.5
+		}
+		run := func() { kernels.GemmNN(m, n, k, 1, a, b, 0, c) }
+		gf := gflops(2*float64(m)*float64(n)*float64(k), run)
+		t.Rows = append(t.Rows, []string{name, fmt.Sprintf("%dx%dx%d", m, n, k),
+			fmt.Sprintf("%.2f", gf), fmt.Sprintf("%.0f", allocsPerOp(run))})
+	}
+	gemmRow("GemmNN", 256, 256, 256)
+	gemmRow("GemmNN", 512, 512, 512)
+
+	x := tensor.New(4, 16, 64, 64)
+	x.FillPattern(0.4)
+	w := tensor.New(32, 16, 3, 3)
+	w.FillPattern(0.6)
+	y := tensor.New(4, 32, 64, 64)
+	flops := 2.0 * 4 * 32 * 16 * 3 * 3 * 64 * 64
+	for _, cfg := range []struct {
+		name string
+		algo kernels.ConvAlgo
+	}{{"ConvForward/direct", kernels.ConvDirect}, {"ConvForward/im2col", kernels.ConvIm2col}} {
+		run := func() { kernels.ConvForward(x, w, nil, y, 1, 1, cfg.algo) }
+		gf := gflops(flops, run)
+		t.Rows = append(t.Rows, []string{cfg.name, "4x16x64x64 -> 32f 3x3",
+			fmt.Sprintf("%.2f", gf), fmt.Sprintf("%.0f", allocsPerOp(run))})
+	}
+	return t
+}
+
+// gflops times fn (after one warm-up) and converts to GFLOP/s.
+func gflops(flopsPerOp float64, fn func()) float64 {
+	fn()
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		el := time.Since(start)
+		if el > 100*time.Millisecond || iters >= 1<<20 {
+			return flopsPerOp * float64(iters) / el.Seconds() / 1e9
+		}
+		iters *= 2
+	}
+}
+
+// allocsPerOp counts steady-state heap allocations of fn.
+func allocsPerOp(fn func()) float64 {
+	fn()
+	var before, after runtime.MemStats
+	const runs = 10
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / runs
+}

@@ -40,6 +40,12 @@ type Conv struct {
 	bwdPlan *HaloPlan
 	tag     int
 
+	// ws supplies all transient buffers (halo-extended inputs, region
+	// scratch); the layer owns it and reuses the storage across steps, so a
+	// warm training step performs no layer-level allocations beyond its
+	// output shards. Defaults to the process-wide kernels workspace.
+	ws *kernels.Workspace
+
 	xExt   Ext // forward input with halo, kept for backward-filter
 	hasExt bool
 }
@@ -64,6 +70,7 @@ func NewConv(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom, bias bool) *
 		Algo:    kernels.ConvAuto,
 		Overlap: true,
 		tag:     ctx.AllocTags(4),
+		ws:      kernels.DefaultWorkspace(),
 	}
 	if bias {
 		l.Bias = make([]float32, f)
@@ -85,7 +92,10 @@ func (l *Conv) Forward(ctx *Ctx, x DistTensor) DistTensor {
 	plan := l.fwdPlan
 	hasHalo := len(plan.recvW)+len(plan.recvH)+len(plan.sendW)+len(plan.sendH) > 0
 
-	ext := plan.NewExt()
+	// Forward-only use (inference) never reaches Backward's release; recycle
+	// the previous step's buffer here so those loops stay allocation-free.
+	l.xExt.Release(l.ws)
+	ext := plan.NewExtIn(l.ws)
 	plan.fillOwned(ext, x.Local)
 	if l.Overlap && hasHalo {
 		done := make(chan struct{})
@@ -178,18 +188,21 @@ func (l *Conv) convRegion(ext Ext, yLoc *tensor.Tensor, rh, rw dist.Range) {
 	c := ext.T.Dim(1)
 	f := l.W.Dim(0)
 	ah, aw := l.fwdPlan.AlignH(), l.fwdPlan.AlignW()
-	sub := tensor.New(n, c, (rh.Len()-1)*s+k, (rw.Len()-1)*s+k)
-	sub.InsertRegion(
+	sh, sw := (rh.Len()-1)*s+k, (rw.Len()-1)*s+k
+	subBuf := l.ws.Get(n * c * sh * sw)
+	sub := tensor.FromSlice(*subBuf, n, c, sh, sw)
+	sub.CopyRegion(
 		tensor.Region{Off: []int{0, 0, 0, 0}, Size: sub.Shape()},
-		ext.T.ExtractRegion(tensor.Region{
-			Off:  []int{0, 0, ah + rh.Lo*s, aw + rw.Lo*s},
-			Size: []int{n, c, (rh.Len()-1)*s + k, (rw.Len()-1)*s + k},
-		}))
-	yPart := tensor.New(n, f, rh.Len(), rw.Len())
+		ext.T,
+		tensor.Region{Off: []int{0, 0, ah + rh.Lo*s, aw + rw.Lo*s}, Size: []int{n, c, sh, sw}})
+	yBuf := l.ws.Get(n * f * rh.Len() * rw.Len())
+	yPart := tensor.FromSlice(*yBuf, n, f, rh.Len(), rw.Len())
 	kernels.ConvForward(sub, l.W, l.Bias, yPart, s, 0, l.Algo)
 	yLoc.InsertRegion(
 		tensor.Region{Off: []int{0, 0, rh.Lo, rw.Lo}, Size: []int{n, f, rh.Len(), rw.Len()}},
 		yPart.Data())
+	l.ws.Put(subBuf)
+	l.ws.Put(yBuf)
 }
 
 // Backward computes the local weight gradients (completed by an allreduce
@@ -206,9 +219,9 @@ func (l *Conv) Backward(ctx *Ctx, dy DistTensor) DistTensor {
 	plan := l.bwdPlan
 	hasHalo := len(plan.recvW)+len(plan.recvH)+len(plan.sendW)+len(plan.sendH) > 0
 
-	dyExt := plan.NewExt()
+	dyExt := plan.NewExtIn(l.ws)
 	plan.fillOwned(dyExt, dy.Local)
-	xAligned := l.alignedInput(ctx)
+	xAligned, xBuf := l.alignedInput(ctx)
 	runFilter := func() {
 		kernels.ConvBackwardFilter(xAligned, dy.Local, l.DW, l.Geom.S, 0, false)
 		if l.Bias != nil {
@@ -229,12 +242,17 @@ func (l *Conv) Backward(ctx *Ctx, dy DistTensor) DistTensor {
 		}
 		runFilter()
 	}
+	if xBuf != nil {
+		l.ws.Put(xBuf)
+	}
+	l.xExt.Release(l.ws)
 
 	dx := NewDistTensor(l.InDist, ctx.Rank)
 	inH := l.InDist.RangeH(ctx.Rank)
 	inW := l.InDist.RangeW(ctx.Rank)
 	kernels.ConvBackwardDataRegion(dyExt.T, l.W, dx.Local, l.Geom.S, l.Geom.Pad,
 		inH.Lo, inW.Lo, dyExt.HLo, dyExt.WLo)
+	dyExt.Release(l.ws)
 
 	if !l.DeferAllreduce {
 		l.ReduceGradients(ctx)
@@ -247,21 +265,25 @@ func (l *Conv) Backward(ctx *Ctx, dy DistTensor) DistTensor {
 // alignedInput returns the forward ext buffer restricted to the required
 // window (so that pad=0 kernels see ext row oy*S+kh for local output oy).
 // When the buffer is already exactly the required window it is returned
-// as-is, avoiding the copy — the common stride-1 case.
-func (l *Conv) alignedInput(ctx *Ctx) *tensor.Tensor {
+// as-is, avoiding the copy — the common stride-1 case. The second result is
+// the workspace handle of the copy (nil when no copy was made); the caller
+// returns it to the layer workspace after use.
+func (l *Conv) alignedInput(ctx *Ctx) (*tensor.Tensor, *[]float32) {
 	oh, ow := l.localOutH(ctx), l.localOutW(ctx)
 	needH := (oh-1)*l.Geom.S + l.Geom.K
 	needW := (ow-1)*l.Geom.S + l.Geom.K
 	ah, aw := l.fwdPlan.AlignH(), l.fwdPlan.AlignW()
 	if ah == 0 && aw == 0 && l.xExt.T.Dim(2) == needH && l.xExt.T.Dim(3) == needW {
-		return l.xExt.T
+		return l.xExt.T, nil
 	}
 	n, c := l.xExt.T.Dim(0), l.xExt.T.Dim(1)
-	sub := tensor.New(n, c, needH, needW)
-	sub.InsertRegion(
+	buf := l.ws.Get(n * c * needH * needW)
+	sub := tensor.FromSlice(*buf, n, c, needH, needW)
+	sub.CopyRegion(
 		tensor.Region{Off: []int{0, 0, 0, 0}, Size: sub.Shape()},
-		l.xExt.T.ExtractRegion(tensor.Region{Off: []int{0, 0, ah, aw}, Size: []int{n, c, needH, needW}}))
-	return sub
+		l.xExt.T,
+		tensor.Region{Off: []int{0, 0, ah, aw}, Size: []int{n, c, needH, needW}})
+	return sub, buf
 }
 
 // ReduceGradients completes the weight-gradient sum of Eq. 2 with an

@@ -68,6 +68,23 @@ func Gather3(shards []DistTensor3) *tensor.Tensor {
 type ext3 struct {
 	T             *tensor.Tensor
 	DLo, HLo, WLo int
+
+	buf *[]float32 // workspace handle when storage is borrowed
+}
+
+// release returns workspace-backed storage to ws.
+func (e *ext3) release(ws *kernels.Workspace) {
+	if e.buf != nil {
+		ws.Put(e.buf)
+		e.buf = nil
+		e.T = nil
+	}
+}
+
+// newExt3 borrows a zeroed halo-extended buffer from ws.
+func newExt3(ws *kernels.Workspace, n, c, d, h, w, dLo, hLo, wLo int) ext3 {
+	buf := ws.GetZeroed(n * c * d * h * w)
+	return ext3{T: tensor.FromSlice(*buf, n, c, d, h, w), DLo: dLo, HLo: hLo, WLo: wLo, buf: buf}
 }
 
 // Conv3D is the distributed 3-D convolution layer over a Grid3.
@@ -84,6 +101,10 @@ type Conv3D struct {
 
 	grid dist.Grid3
 	tag  int
+
+	// ws supplies the halo-extended and alignment buffers, reused across
+	// steps (see Conv.ws).
+	ws *kernels.Workspace
 
 	xExt   ext3
 	hasExt bool
@@ -107,6 +128,7 @@ func NewConv3D(ctx *Ctx3, inDist dist.Dist3, f int, geom dist.ConvGeom) *Conv3D 
 		DW:      tensor.New(f, inDist.C, geom.K, geom.K, geom.K),
 		grid:    inDist.Grid3,
 		tag:     ctx.AllocTags(8),
+		ws:      kernels.DefaultWorkspace(),
 	}
 }
 
@@ -160,10 +182,7 @@ func (l *Conv3D) exchange3(ctx *Ctx3, local *tensor.Tensor) ext3 {
 	extH := union(reqH(ph), ownH)
 	extW := union(reqW(pw), ownW)
 
-	ext := ext3{
-		T:   tensor.New(nLoc, in.C, extD.Len(), extH.Len(), extW.Len()),
-		DLo: extD.Lo, HLo: extH.Lo, WLo: extW.Lo,
-	}
+	ext := newExt3(l.ws, nLoc, in.C, extD.Len(), extH.Len(), extW.Len(), extD.Lo, extH.Lo, extW.Lo)
 	// Owned block.
 	ext.T.InsertRegion(tensor.Region{
 		Off:  []int{0, 0, ownD.Lo - extD.Lo, ownH.Lo - extH.Lo, ownW.Lo - extW.Lo},
@@ -229,20 +248,26 @@ func (l *Conv3D) Forward(ctx *Ctx3, x DistTensor3) DistTensor3 {
 	if !x.Dist.SameLayout(l.InDist) {
 		panic(fmt.Sprintf("core: conv3d input dist %v, want %v", x.Dist, l.InDist))
 	}
+	// Recycle the previous step's buffer for forward-only (inference) use.
+	l.xExt.release(l.ws)
 	ext := l.exchange3(ctx, x.Local)
 	y := NewDistTensor3(l.OutDist, ctx.Rank)
 	// Align the ext buffer to the required window so the pad=0 kernel sees
 	// position oz*S+kd for local output oz (cf. Conv.alignedInput).
-	sub := l.alignedExt(ctx, ext)
+	sub, subBuf := l.alignedExt(ctx, ext)
 	kernels.Conv3DForward(sub, l.W, nil, y.Local, l.Geom.S, 0)
+	if subBuf != nil {
+		l.ws.Put(subBuf)
+	}
 	l.xExt = ext
 	l.hasExt = true
 	return y
 }
 
-// alignedExt returns the required window of ext (a view-copy when offsets
-// or sizes differ).
-func (l *Conv3D) alignedExt(ctx *Ctx3, ext ext3) *tensor.Tensor {
+// alignedExt returns the required window of ext (a workspace-backed copy
+// when offsets or sizes differ; the second result is its handle, nil when
+// ext was returned as-is).
+func (l *Conv3D) alignedExt(ctx *Ctx3, ext ext3) (*tensor.Tensor, *[]float32) {
 	od := l.OutDist.RangeD(ctx.Rank).Len()
 	oh := l.OutDist.RangeH(ctx.Rank).Len()
 	ow := l.OutDist.RangeW(ctx.Rank).Len()
@@ -254,14 +279,16 @@ func (l *Conv3D) alignedExt(ctx *Ctx3, ext ext3) *tensor.Tensor {
 	ad, ah, aw := reqD.Lo-ext.DLo, reqH.Lo-ext.HLo, reqW.Lo-ext.WLo
 	es := ext.T.Shape()
 	if ad == 0 && ah == 0 && aw == 0 && es[2] == needD && es[3] == needH && es[4] == needW {
-		return ext.T
+		return ext.T, nil
 	}
 	n, c := es[0], es[1]
-	sub := tensor.New(n, c, needD, needH, needW)
-	sub.InsertRegion(
+	buf := l.ws.Get(n * c * needD * needH * needW)
+	sub := tensor.FromSlice(*buf, n, c, needD, needH, needW)
+	sub.CopyRegion(
 		tensor.Region{Off: []int{0, 0, 0, 0, 0}, Size: sub.Shape()},
-		ext.T.ExtractRegion(tensor.Region{Off: []int{0, 0, ad, ah, aw}, Size: []int{n, c, needD, needH, needW}}))
-	return sub
+		ext.T,
+		tensor.Region{Off: []int{0, 0, ad, ah, aw}, Size: []int{n, c, needD, needH, needW}})
+	return sub, buf
 }
 
 // Backward computes dw (allreduced unless deferred) and the parent error
@@ -272,7 +299,12 @@ func (l *Conv3D) Backward(ctx *Ctx3, dy DistTensor3) DistTensor3 {
 		panic("core: conv3d Backward before Forward")
 	}
 	// dw from the saved (aligned) forward input and local dy.
-	kernels.Conv3DBackwardFilter(l.alignedExt(ctx, l.xExt), dy.Local, l.DW, l.Geom.S, 0, false)
+	xAligned, xBuf := l.alignedExt(ctx, l.xExt)
+	kernels.Conv3DBackwardFilter(xAligned, dy.Local, l.DW, l.Geom.S, 0, false)
+	if xBuf != nil {
+		l.ws.Put(xBuf)
+	}
+	l.xExt.release(l.ws)
 
 	// dy halo exchange: required boxes come from RequiredBwd per dimension.
 	dyExt := l.exchangeBwd(ctx, dy.Local)
@@ -282,6 +314,7 @@ func (l *Conv3D) Backward(ctx *Ctx3, dy DistTensor3) DistTensor3 {
 	inW := l.InDist.RangeW(ctx.Rank)
 	kernels.Conv3DBackwardDataRegion(dyExt.T, l.W, dx.Local, l.Geom.S, l.Geom.Pad,
 		inD.Lo, inH.Lo, inW.Lo, dyExt.DLo, dyExt.HLo, dyExt.WLo)
+	dyExt.release(l.ws)
 	if !l.DeferAllreduce && ctx.C.Size() > 1 {
 		ctx.C.Allreduce(l.DW.Data(), comm.OpSum)
 	}
@@ -310,10 +343,7 @@ func (l *Conv3D) exchangeBwd(ctx *Ctx3, dyLocal *tensor.Tensor) ext3 {
 	extD := union(reqD(pd), ownD)
 	extH := union(reqH(ph), ownH)
 	extW := union(reqW(pw), ownW)
-	ext := ext3{
-		T:   tensor.New(nLoc, out.C, extD.Len(), extH.Len(), extW.Len()),
-		DLo: extD.Lo, HLo: extH.Lo, WLo: extW.Lo,
-	}
+	ext := newExt3(l.ws, nLoc, out.C, extD.Len(), extH.Len(), extW.Len(), extD.Lo, extH.Lo, extW.Lo)
 	ext.T.InsertRegion(tensor.Region{
 		Off:  []int{0, 0, ownD.Lo - extD.Lo, ownH.Lo - extH.Lo, ownW.Lo - extW.Lo},
 		Size: []int{nLoc, out.C, ownD.Len(), ownH.Len(), ownW.Len()},

@@ -28,6 +28,10 @@ type ModelParallelFC struct {
 	DBias []float32
 
 	xFull *tensor.Tensor // gathered input, saved for backward
+
+	// ws supplies the distributed-GEMM temporaries (local output block,
+	// transposed gradient block, full dx), reused across steps.
+	ws *kernels.Workspace
 }
 
 // NewModelParallelFC constructs the layer for a batch of n samples with the
@@ -44,6 +48,7 @@ func NewModelParallelFC(c *comm.Comm, n, in, out int) *ModelParallelFC {
 		Bias:     make([]float32, r.Len()),
 		DW:       tensor.New(r.Len(), in),
 		DBias:    make([]float32, r.Len()),
+		ws:       kernels.DefaultWorkspace(),
 	}
 }
 
@@ -70,7 +75,8 @@ func (l *ModelParallelFC) Forward(c *comm.Comm, x *tensor.Tensor) *tensor.Tensor
 
 	// Local block of the distributed GEMM: yBlk [N, outLoc].
 	outLoc := l.OutRange.Len()
-	yBlk := tensor.New(l.N, outLoc)
+	yBuf := l.ws.Get(l.N * outLoc)
+	yBlk := tensor.FromSlice(*yBuf, l.N, outLoc)
 	kernels.FCForward(l.xFull, l.W, l.Bias, yBlk)
 
 	// Transpose back to sample partitioning: send each rank its samples'
@@ -81,6 +87,7 @@ func (l *ModelParallelFC) Forward(c *comm.Comm, x *tensor.Tensor) *tensor.Tensor
 		send[r] = yBlk.ExtractRegion(tensor.Region{Off: []int{sr.Lo, 0}, Size: []int{sr.Len(), outLoc}})
 	}
 	recv := c.AlltoAllV(send)
+	l.ws.Put(yBuf)
 	y := tensor.New(nLoc, l.Out)
 	for r := 0; r < p; r++ {
 		or := dist.BlockPartition(l.Out, p, r)
@@ -105,7 +112,8 @@ func (l *ModelParallelFC) Backward(c *comm.Comm, dy *tensor.Tensor) *tensor.Tens
 		send[r] = dy.ExtractRegion(tensor.Region{Off: []int{0, or.Lo}, Size: []int{dy.Dim(0), or.Len()}})
 	}
 	recv := c.AlltoAllV(send)
-	dyBlk := tensor.New(l.N, outLoc)
+	dyBuf := l.ws.Get(l.N * outLoc)
+	dyBlk := tensor.FromSlice(*dyBuf, l.N, outLoc)
 	for r := 0; r < p; r++ {
 		sr := l.sampleRange(c, r)
 		dyBlk.InsertRegion(tensor.Region{Off: []int{sr.Lo, 0}, Size: []int{sr.Len(), outLoc}}, recv[r])
@@ -116,16 +124,20 @@ func (l *ModelParallelFC) Backward(c *comm.Comm, dy *tensor.Tensor) *tensor.Tens
 
 	// dxFull = sum over output blocks of dyBlk·Wblk; the sum over blocks is
 	// an allreduce, after which each rank keeps its own samples.
-	dxFull := tensor.New(l.N, l.In)
+	dxBuf := l.ws.Get(l.N * l.In)
+	dxFull := tensor.FromSlice(*dxBuf, l.N, l.In)
 	kernels.FCBackwardData(dyBlk, l.W, dxFull)
 	if p > 1 {
 		c.Allreduce(dxFull.Data(), comm.OpSum)
 	}
 	sr := l.sampleRange(c, c.Rank())
 	dx := tensor.New(sr.Len(), l.In)
-	dx.InsertRegion(
+	dx.CopyRegion(
 		tensor.Region{Off: []int{0, 0}, Size: []int{sr.Len(), l.In}},
-		dxFull.ExtractRegion(tensor.Region{Off: []int{sr.Lo, 0}, Size: []int{sr.Len(), l.In}}))
+		dxFull,
+		tensor.Region{Off: []int{sr.Lo, 0}, Size: []int{sr.Len(), l.In}})
+	l.ws.Put(dyBuf)
+	l.ws.Put(dxBuf)
 	l.xFull = nil
 	return dx
 }

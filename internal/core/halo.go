@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/dist"
+	"repro/internal/kernels"
 	"repro/internal/tensor"
 )
 
@@ -12,6 +13,18 @@ import (
 type Ext struct {
 	T        *tensor.Tensor
 	HLo, WLo int
+
+	buf *[]float32 // workspace handle when storage is borrowed
+}
+
+// Release returns workspace-backed storage to ws; a no-op for ext buffers
+// allocated with NewExt. The tensor must not be used afterwards.
+func (e *Ext) Release(ws *kernels.Workspace) {
+	if e.buf != nil {
+		ws.Put(e.buf)
+		e.buf = nil
+		e.T = nil
+	}
 }
 
 // HaloPlan precomputes the transfer lists of a 2-phase halo exchange for one
@@ -88,6 +101,18 @@ func (p *HaloPlan) AlignW() int { return p.reqW.Lo - p.extWRng.Lo }
 // NewExt allocates the zeroed halo-extended buffer for this plan.
 func (p *HaloPlan) NewExt() Ext {
 	return Ext{T: tensor.New(p.nLoc, p.c, p.extH(), p.extW()), HLo: p.extHRng.Lo, WLo: p.extWRng.Lo}
+}
+
+// NewExtIn is NewExt with storage borrowed from ws (zeroed); callers release
+// it with Ext.Release once the exchange's consumers are done, making
+// steady-state halo exchanges allocation-free apart from the tensor header.
+func (p *HaloPlan) NewExtIn(ws *kernels.Workspace) Ext {
+	buf := ws.GetZeroed(p.nLoc * p.c * p.extH() * p.extW())
+	return Ext{
+		T:   tensor.FromSlice(*buf, p.nLoc, p.c, p.extH(), p.extW()),
+		HLo: p.extHRng.Lo, WLo: p.extWRng.Lo,
+		buf: buf,
+	}
 }
 
 // fillOwned copies the local shard into the owned region of ext.

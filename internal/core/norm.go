@@ -42,6 +42,12 @@ type BatchNorm struct {
 	mean   []float32
 	invstd []float32
 	count  int
+
+	// Step-persistent scratch: the stats and backward-sums buffers are owned
+	// by the layer and reused across training steps, so a warm step
+	// allocates nothing here.
+	stats []float32 // [sum | sumsq | count], length 2C+1
+	sums  []float32 // [dgamma | dbeta], length 2C
 }
 
 // NewBatchNorm constructs the layer for activations distributed as d.
@@ -52,6 +58,8 @@ func NewBatchNorm(ctx *Ctx, d dist.Dist, mode BatchNormMode) *BatchNorm {
 		Gamma: make([]float32, c), Beta: make([]float32, c),
 		DGamma: make([]float32, c), DBeta: make([]float32, c),
 		RunMean: make([]float32, c), RunVar: make([]float32, c),
+		mean: make([]float32, c), invstd: make([]float32, c),
+		stats: make([]float32, 2*c+1), sums: make([]float32, 2*c),
 	}
 	for i := range l.Gamma {
 		l.Gamma[i] = 1
@@ -67,7 +75,7 @@ func (l *BatchNorm) Forward(ctx *Ctx, x DistTensor) DistTensor {
 		panic(fmt.Sprintf("core: batchnorm input dist %v, want %v", x.Dist, l.Dist))
 	}
 	c := l.Dist.C
-	stats := make([]float32, 2*c+1)
+	stats := l.stats
 	kernels.BatchNormStats(x.Local, stats[:c], stats[c:2*c])
 	ls := x.Local.Shape()
 	stats[2*c] = float32(ls[0] * ls[2] * ls[3])
@@ -75,8 +83,6 @@ func (l *BatchNorm) Forward(ctx *Ctx, x DistTensor) DistTensor {
 		ctx.C.Allreduce(stats, comm.OpSum)
 	}
 	l.count = int(stats[2*c])
-	l.mean = make([]float32, c)
-	l.invstd = make([]float32, c)
 	kernels.BatchNormMoments(stats[:c], stats[c:2*c], l.count, l.Eps, l.mean, l.invstd)
 	// Update running statistics (replicated, so ranks stay consistent).
 	for ci := 0; ci < c; ci++ {
@@ -98,7 +104,7 @@ func (l *BatchNorm) Backward(ctx *Ctx, dy DistTensor) DistTensor {
 		panic("core: batchnorm Backward called before Forward")
 	}
 	c := l.Dist.C
-	sums := make([]float32, 2*c)
+	sums := l.sums
 	kernels.BatchNormBackwardStats(l.x, dy.Local, l.mean, l.invstd, sums[:c], sums[c:])
 	if l.Mode == BatchNormGlobal && ctx.C.Size() > 1 {
 		ctx.C.Allreduce(sums, comm.OpSum)

@@ -1,0 +1,224 @@
+package dist
+
+import "testing"
+
+func TestBlockPartitionBalanced(t *testing.T) {
+	// 13 over 4 parts: 4,3,3,3 with block 0 largest (the property the
+	// performance model's localDims relies on).
+	want := []Range{{0, 4}, {4, 7}, {7, 10}, {10, 13}}
+	for j, w := range want {
+		if got := BlockPartition(13, 4, j); got != w {
+			t.Errorf("BlockPartition(13,4,%d) = %v, want %v", j, got, w)
+		}
+	}
+	for _, tc := range []struct{ total, parts int }{{1, 1}, {7, 7}, {64, 3}, {5, 2}, {100, 7}} {
+		prev := 0
+		for j := 0; j < tc.parts; j++ {
+			r := BlockPartition(tc.total, tc.parts, j)
+			if r.Lo != prev {
+				t.Fatalf("BlockPartition(%d,%d,%d) starts at %d, want %d", tc.total, tc.parts, j, r.Lo, prev)
+			}
+			if j > 0 && r.Len() > BlockPartition(tc.total, tc.parts, j-1).Len() {
+				t.Fatalf("BlockPartition(%d,%d): block %d larger than predecessor", tc.total, tc.parts, j)
+			}
+			prev = r.Hi
+		}
+		if prev != tc.total {
+			t.Fatalf("BlockPartition(%d,%d) covers [0,%d)", tc.total, tc.parts, prev)
+		}
+	}
+}
+
+func TestRangeAlgebra(t *testing.T) {
+	a := Range{Lo: 2, Hi: 8}
+	if got := a.Intersect(Range{Lo: 5, Hi: 12}); got != (Range{Lo: 5, Hi: 8}) {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := a.Intersect(Range{Lo: 9, Hi: 12}); !got.Empty() {
+		t.Errorf("disjoint intersect non-empty: %v", got)
+	}
+	if a.Len() != 6 || a.Empty() {
+		t.Error("len/empty wrong")
+	}
+	if !a.Contains(Range{Lo: 3, Hi: 8}) || a.Contains(Range{Lo: 1, Hi: 4}) {
+		t.Error("contains wrong")
+	}
+}
+
+func TestGridRankLayout(t *testing.T) {
+	g := Grid{PN: 2, PH: 3, PW: 4}
+	if g.Size() != 24 || g.SpatialWays() != 12 {
+		t.Fatal("size/spatial ways wrong")
+	}
+	// W varies fastest: ranks of one sample group are contiguous.
+	for r := 0; r < g.Size(); r++ {
+		pn, ph, pw := g.Coords(r)
+		if g.Rank(pn, ph, pw) != r {
+			t.Fatalf("rank %d does not round-trip", r)
+		}
+	}
+	if g.Rank(0, 0, 1) != 1 || g.Rank(0, 1, 0) != g.PW || g.Rank(1, 0, 0) != g.SpatialWays() {
+		t.Error("rank layout is not W-fastest")
+	}
+}
+
+func TestConvGeomRequiredIn(t *testing.T) {
+	for _, g := range []ConvGeom{{K: 3, S: 1, Pad: 1}, {K: 5, S: 2, Pad: 2}, {K: 7, S: 2, Pad: 3}, {K: 1, S: 1, Pad: 0}, {K: 2, S: 2, Pad: 0}} {
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		in := 16
+		out := g.OutSize(in)
+		for lo := 0; lo < out; lo++ {
+			for hi := lo + 1; hi <= out; hi++ {
+				req := g.RequiredIn(Range{Lo: lo, Hi: hi})
+				// Brute force: the exact set of input positions windows
+				// [lo,hi) touch.
+				wantLo, wantHi := 1<<30, -(1 << 30)
+				for o := lo; o < hi; o++ {
+					for kk := 0; kk < g.K; kk++ {
+						i := o*g.S - g.Pad + kk
+						if i < wantLo {
+							wantLo = i
+						}
+						if i+1 > wantHi {
+							wantHi = i + 1
+						}
+					}
+				}
+				if req.Lo != wantLo || req.Hi != wantHi {
+					t.Fatalf("geom %+v RequiredIn([%d,%d)) = %v, want [%d,%d)", g, lo, hi, req, wantLo, wantHi)
+				}
+			}
+		}
+	}
+}
+
+func TestConvGeomRequiredBwd(t *testing.T) {
+	for _, g := range []ConvGeom{{K: 3, S: 1, Pad: 1}, {K: 5, S: 2, Pad: 2}, {K: 3, S: 2, Pad: 1}, {K: 1, S: 1, Pad: 0}} {
+		in := 17
+		out := g.OutSize(in)
+		for lo := 0; lo < in; lo++ {
+			for hi := lo + 1; hi <= in; hi++ {
+				req := g.RequiredBwd(Range{Lo: lo, Hi: hi}, out)
+				// Brute force: output positions whose window touches [lo,hi).
+				wantLo, wantHi := 1<<30, -(1 << 30)
+				for o := 0; o < out; o++ {
+					touches := false
+					for kk := 0; kk < g.K; kk++ {
+						i := o*g.S - g.Pad + kk
+						if i >= lo && i < hi {
+							touches = true
+						}
+					}
+					if touches {
+						if o < wantLo {
+							wantLo = o
+						}
+						if o+1 > wantHi {
+							wantHi = o + 1
+						}
+					}
+				}
+				if wantHi < wantLo {
+					if !req.Empty() {
+						t.Fatalf("geom %+v RequiredBwd([%d,%d)) = %v, want empty", g, lo, hi, req)
+					}
+					continue
+				}
+				if req.Lo != wantLo || req.Hi != wantHi {
+					t.Fatalf("geom %+v RequiredBwd([%d,%d), %d) = %v, want [%d,%d)", g, lo, hi, out, req, wantLo, wantHi)
+				}
+			}
+		}
+	}
+}
+
+func TestExchanges1DSymmetricAndCovering(t *testing.T) {
+	size, parts := 23, 4
+	geom := ConvGeom{K: 5, S: 1, Pad: 2}
+	reqOf := func(j int) Range {
+		return geom.RequiredIn(BlockPartition(size, parts, j))
+	}
+	type edge struct{ from, to int }
+	sent := map[edge]Range{}
+	for me := 0; me < parts; me++ {
+		_, send := Exchanges1D(size, parts, me, reqOf)
+		own := BlockPartition(size, parts, me)
+		for _, tr := range send {
+			if !own.Contains(tr.Rng) {
+				t.Fatalf("rank %d sends %v outside its owned %v", me, tr.Rng, own)
+			}
+			sent[edge{me, tr.Peer}] = tr.Rng
+		}
+	}
+	for me := 0; me < parts; me++ {
+		recv, _ := Exchanges1D(size, parts, me, reqOf)
+		covered := map[int]bool{}
+		for _, tr := range recv {
+			s, ok := sent[edge{tr.Peer, me}]
+			if !ok || s != tr.Rng {
+				t.Fatalf("rank %d expects %v from %d, but %d sends %v", me, tr.Rng, tr.Peer, tr.Peer, s)
+			}
+			for i := tr.Rng.Lo; i < tr.Rng.Hi; i++ {
+				covered[i] = true
+			}
+		}
+		// Owned plus received strips must cover the clipped required range.
+		own := BlockPartition(size, parts, me)
+		req := reqOf(me).Intersect(Range{Lo: 0, Hi: size})
+		for i := req.Lo; i < req.Hi; i++ {
+			if !covered[i] && !(i >= own.Lo && i < own.Hi) {
+				t.Fatalf("rank %d: required index %d neither owned nor received", me, i)
+			}
+		}
+	}
+}
+
+// TestExchanges1DWideHalo: a halo wider than one block must produce
+// multi-peer transfers (the K=7 over 2-row blocks case from the core tests).
+func TestExchanges1DWideHalo(t *testing.T) {
+	size, parts := 8, 4
+	geom := ConvGeom{K: 7, S: 1, Pad: 3}
+	reqOf := func(j int) Range {
+		return geom.RequiredIn(BlockPartition(size, parts, j))
+	}
+	recv, _ := Exchanges1D(size, parts, 0, reqOf)
+	if len(recv) < 2 {
+		t.Fatalf("rank 0 with a 3-wide halo over 2-wide blocks receives from %d peers, want >= 2", len(recv))
+	}
+}
+
+func TestDistValidateAndShards(t *testing.T) {
+	d := Dist{Grid: Grid{PN: 2, PH: 2, PW: 2}, N: 5, C: 3, H: 9, W: 8}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Dist{Grid: Grid{PN: 4, PH: 1, PW: 1}, N: 3, C: 1, H: 4, W: 4}).Validate(); err == nil {
+		t.Error("N < PN must fail validation")
+	}
+	// Shard volumes must sum to the global volume.
+	total := 0
+	for r := 0; r < d.Grid.Size(); r++ {
+		s := d.LocalShape(r)
+		total += s[0] * s[1] * s[2] * s[3]
+	}
+	if want := d.N * d.C * d.H * d.W; total != want {
+		t.Errorf("shards sum to %d, want %d", total, want)
+	}
+}
+
+func TestDist3Shards(t *testing.T) {
+	d := Dist3{Grid3: Grid3{PN: 2, PD: 2, PH: 2, PW: 1}, N: 3, C: 2, D: 5, H: 4, W: 4}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for r := 0; r < d.Grid3.Size(); r++ {
+		s := d.LocalShape(r)
+		total += s[0] * s[1] * s[2] * s[3] * s[4]
+	}
+	if total != d.N*d.C*d.D*d.H*d.W {
+		t.Errorf("3-D shards sum to %d, want %d", total, d.N*d.C*d.D*d.H*d.W)
+	}
+}

@@ -1,0 +1,38 @@
+package dist
+
+// Transfer is one strip of a 1-D halo exchange: the global interval Rng
+// moves between this block and block Peer (the grid coordinate along the
+// exchanged dimension, not a linear rank — the caller maps it through
+// Grid.Rank with its other coordinates fixed).
+type Transfer struct {
+	Peer int
+	Rng  Range
+}
+
+// Exchanges1D plans the halo exchange along one blocked dimension of global
+// extent size split into parts blocks; me is this rank's block index and
+// reqOf(j) is the (possibly unclipped) interval block j requires. It returns
+// the strips this block receives (parts of its required interval owned by
+// others) and the strips it sends (parts of its owned interval required by
+// others), both in global coordinates and ordered by increasing peer. The
+// required intervals are clipped to [0, size) first: out-of-range positions
+// are materialized padding, not remote data. Wide halos (required interval
+// spanning several blocks) naturally produce multiple peers.
+func Exchanges1D(size, parts, me int, reqOf func(j int) Range) (recv, send []Transfer) {
+	extent := Range{Lo: 0, Hi: size}
+	own := BlockPartition(size, parts, me)
+	req := reqOf(me).Intersect(extent)
+	for j := 0; j < parts; j++ {
+		if j == me {
+			continue
+		}
+		theirOwn := BlockPartition(size, parts, j)
+		if r := req.Intersect(theirOwn); !r.Empty() {
+			recv = append(recv, Transfer{Peer: j, Rng: r})
+		}
+		if s := reqOf(j).Intersect(extent).Intersect(own); !s.Empty() {
+			send = append(send, Transfer{Peer: j, Rng: s})
+		}
+	}
+	return recv, send
+}

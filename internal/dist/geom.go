@@ -1,0 +1,66 @@
+package dist
+
+import "fmt"
+
+// ConvGeom is the geometry of a square convolution or pooling window:
+// kernel size K, stride S, and symmetric zero padding Pad. The same struct
+// describes all spatial dimensions (kernels are square/cubic throughout).
+type ConvGeom struct {
+	K, S, Pad int
+}
+
+// Validate checks the geometry is well-formed.
+func (g ConvGeom) Validate() error {
+	if g.K < 1 || g.S < 1 || g.Pad < 0 {
+		return fmt.Errorf("dist: invalid conv geometry %+v", g)
+	}
+	if g.Pad >= g.K {
+		return fmt.Errorf("dist: padding %d >= kernel %d produces all-zero windows", g.Pad, g.K)
+	}
+	return nil
+}
+
+// OutSize returns the output extent for an input extent of in.
+func (g ConvGeom) OutSize(in int) int {
+	return (in+2*g.Pad-g.K)/g.S + 1
+}
+
+// RequiredIn returns the input interval read when computing the output
+// interval out: position o reads inputs [o*S-Pad, o*S-Pad+K). The result is
+// NOT clipped to the global input extent — out-of-range positions are zero
+// padding, which the halo machinery materializes rather than exchanges.
+func (g ConvGeom) RequiredIn(out Range) Range {
+	if out.Empty() {
+		return Range{}
+	}
+	return Range{Lo: out.Lo*g.S - g.Pad, Hi: (out.Hi-1)*g.S - g.Pad + g.K}
+}
+
+// RequiredBwd returns the output interval whose windows touch the input
+// interval in — the dy positions needed to compute dx over in (Eq. 3's
+// gather form). Output o touches input i iff i = o*S - Pad + kh for some
+// kh in [0, K), i.e. o in [ceil((i+Pad-K+1)/S), floor((i+Pad)/S)]. The
+// result IS clipped to [0, outSize): unlike forward padding, output
+// positions beyond the extent do not exist.
+func (g ConvGeom) RequiredBwd(in Range, outSize int) Range {
+	if in.Empty() {
+		return Range{}
+	}
+	lo := ceilDiv(in.Lo+g.Pad-g.K+1, g.S)
+	hi := floorDiv(in.Hi-1+g.Pad, g.S) + 1
+	return Range{Lo: lo, Hi: hi}.Intersect(Range{Lo: 0, Hi: outSize})
+}
+
+// floorDiv is floor(a/b) for b > 0 and any sign of a.
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// ceilDiv is ceil(a/b) for b > 0 and any sign of a.
+func ceilDiv(a, b int) int {
+	return floorDiv(a+b-1, b)
+}

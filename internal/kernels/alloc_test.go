@@ -1,0 +1,101 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// The zero-allocation regression tests: after one warm-up call (which may
+// populate the workspace and job pools), the hot kernels must perform no
+// heap allocations per invocation. This is the property that keeps
+// steady-state training steps GC-quiet.
+
+func assertZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race detector drops sync.Pool items; allocation counts are not meaningful")
+	}
+	fn() // warm up pools
+	if allocs := testing.AllocsPerRun(20, fn); allocs != 0 {
+		t.Errorf("%s: %v allocs/op after warm-up, want 0", name, allocs)
+	}
+}
+
+func TestGemmNNZeroAllocs(t *testing.T) {
+	m, n, k := 128, 128, 128 // packed path
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	c := make([]float32, m*n)
+	assertZeroAllocs(t, "GemmNN/packed", func() { GemmNN(m, n, k, 1, a, b, 0, c) })
+	assertZeroAllocs(t, "GemmNN/small", func() { GemmNN(8, 8, 8, 1, a, b, 0, c) })
+
+	old := SetMaxWorkers(4)
+	defer SetMaxWorkers(old)
+	assertZeroAllocs(t, "GemmNN/packed-pooled", func() { GemmNN(m, n, k, 1, a, b, 0, c) })
+}
+
+func TestConvForwardIm2colZeroAllocs(t *testing.T) {
+	x := tensor.New(2, 8, 32, 32)
+	x.FillPattern(0.1)
+	w := tensor.New(16, 8, 3, 3)
+	w.FillPattern(0.2)
+	bias := make([]float32, 16)
+	y := tensor.New(2, 16, 32, 32)
+	assertZeroAllocs(t, "ConvForward/im2col", func() {
+		ConvForward(x, w, bias, y, 1, 1, ConvIm2col)
+	})
+}
+
+func TestBatchNormForwardZeroAllocs(t *testing.T) {
+	c := 8
+	x := tensor.New(2, c, 32, 32)
+	x.FillPattern(0.3)
+	y := tensor.New(2, c, 32, 32)
+	mean := make([]float32, c)
+	invstd := make([]float32, c)
+	gamma := make([]float32, c)
+	beta := make([]float32, c)
+	for i := range invstd {
+		invstd[i] = 1
+		gamma[i] = 1
+	}
+	assertZeroAllocs(t, "BatchNormForward", func() {
+		BatchNormForward(x, mean, invstd, gamma, beta, y)
+	})
+	sum := make([]float32, c)
+	sumsq := make([]float32, c)
+	assertZeroAllocs(t, "BatchNormStats", func() { BatchNormStats(x, sum, sumsq) })
+}
+
+func TestWorkspaceReuse(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector drops sync.Pool items; pooled-pointer identity does not hold")
+	}
+	var ws Workspace
+	p := ws.Get(1000)
+	if len(*p) != 1000 || cap(*p) != 1024 {
+		t.Fatalf("Get(1000): len=%d cap=%d, want 1000/1024", len(*p), cap(*p))
+	}
+	ws.Put(p)
+	q := ws.Get(700) // same size class: must reuse the pooled buffer
+	if q != p {
+		t.Error("workspace did not reuse the pooled buffer within a size class")
+	}
+	if len(*q) != 700 {
+		t.Errorf("reused buffer has len %d, want 700", len(*q))
+	}
+	ws.Put(q)
+
+	z := ws.GetZeroed(512)
+	for i, v := range *z {
+		if v != 0 {
+			t.Fatalf("GetZeroed left nonzero at %d: %v", i, v)
+		}
+	}
+	ws.Put(z)
+
+	if got := ws.Get(0); len(*got) != 0 {
+		t.Errorf("Get(0) returned len %d", len(*got))
+	}
+}

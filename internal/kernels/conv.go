@@ -2,6 +2,7 @@ package kernels
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/tensor"
 )
@@ -72,19 +73,33 @@ func ConvForward(x, w *tensor.Tensor, bias []float32, y *tensor.Tensor, stride, 
 		if len(bias) != f {
 			panic("kernels: bias length != filters")
 		}
-		yd := y.Data()
-		plane := oh * ow
-		ParallelFor(n*f, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				b := bias[i%f]
-				row := yd[i*plane : (i+1)*plane]
-				for j := range row {
-					row[j] += b
-				}
-			}
-		})
+		j := biasAddJobPool.Get().(*biasAddJob)
+		j.yd, j.bias, j.f, j.plane = y.Data(), bias, f, oh*ow
+		parallelChunks(n*f, j)
+		j.yd, j.bias = nil, nil
+		biasAddJobPool.Put(j)
 	}
 	_ = c
+}
+
+// biasAddJob adds the per-filter bias over (sample, filter) planes; pooled
+// so the warm ConvForward path stays allocation-free.
+type biasAddJob struct {
+	yd       []float32
+	bias     []float32
+	f, plane int
+}
+
+var biasAddJobPool = sync.Pool{New: func() any { return new(biasAddJob) }}
+
+func (j *biasAddJob) RunChunk(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		b := j.bias[i%j.f]
+		row := j.yd[i*j.plane : (i+1)*j.plane]
+		for q := range row {
+			row[q] += b
+		}
+	}
 }
 
 // convForwardDirect is the straightforward 7-loop convolution, parallel over
@@ -142,49 +157,69 @@ func convForwardDirect(x, w, y *tensor.Tensor, stride, pad int) {
 
 // convForwardIm2col lowers convolution to GEMM: for each sample, unfold the
 // input into a [C*K*K, OH*OW] column matrix and multiply by the [F, C*K*K]
-// filter matrix.
+// filter matrix. The column matrix lives in the default workspace, so the
+// warm path allocates nothing.
 func convForwardIm2col(x, w, y *tensor.Tensor, stride, pad int) {
 	n, c, h, wd, f, k, oh, ow := convCheck(x, w, y, stride, pad)
 	xd, wwd, yd := x.Data(), w.Data(), y.Data()
 	ckk := c * k * k
 	plane := oh * ow
-	col := make([]float32, ckk*plane)
+	colBuf := defaultWS.Get(ckk * plane)
+	col := *colBuf
 	for ni := 0; ni < n; ni++ {
 		im2col(xd[ni*c*h*wd:(ni+1)*c*h*wd], c, h, wd, k, stride, pad, oh, ow, col)
 		GemmNN(f, plane, ckk, 1, wwd, col, 0, yd[ni*f*plane:(ni+1)*f*plane])
 	}
+	defaultWS.Put(colBuf)
 }
 
-// im2col unfolds one sample's [C,H,W] input into a [C*K*K, OH*OW] matrix.
-func im2col(x []float32, c, h, w, k, stride, pad, oh, ow int, col []float32) {
-	ParallelFor(c, func(clo, chi int) {
-		for ci := clo; ci < chi; ci++ {
-			for kh := 0; kh < k; kh++ {
-				for kw := 0; kw < k; kw++ {
-					row := col[((ci*k+kh)*k+kw)*oh*ow:]
-					for oy := 0; oy < oh; oy++ {
-						iy := oy*stride - pad + kh
-						dst := row[oy*ow : (oy+1)*ow]
-						if iy < 0 || iy >= h {
-							for i := range dst {
-								dst[i] = 0
-							}
-							continue
+// im2colJob unfolds channels [lo, hi) of one sample; pooled for the
+// allocation-free warm path.
+type im2colJob struct {
+	x, col                       []float32
+	h, w, k, stride, pad, oh, ow int
+}
+
+var im2colJobPool = sync.Pool{New: func() any { return new(im2colJob) }}
+
+func (j *im2colJob) RunChunk(clo, chi int) {
+	h, w, k, stride, pad, oh, ow := j.h, j.w, j.k, j.stride, j.pad, j.oh, j.ow
+	for ci := clo; ci < chi; ci++ {
+		for kh := 0; kh < k; kh++ {
+			for kw := 0; kw < k; kw++ {
+				row := j.col[((ci*k+kh)*k+kw)*oh*ow:]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - pad + kh
+					dst := row[oy*ow : (oy+1)*ow]
+					if iy < 0 || iy >= h {
+						for i := range dst {
+							dst[i] = 0
 						}
-						src := x[(ci*h+iy)*w : (ci*h+iy+1)*w]
-						for ox := 0; ox < ow; ox++ {
-							ix := ox*stride - pad + kw
-							if ix < 0 || ix >= w {
-								dst[ox] = 0
-							} else {
-								dst[ox] = src[ix]
-							}
+						continue
+					}
+					src := j.x[(ci*h+iy)*w : (ci*h+iy+1)*w]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride - pad + kw
+						if ix < 0 || ix >= w {
+							dst[ox] = 0
+						} else {
+							dst[ox] = src[ix]
 						}
 					}
 				}
 			}
 		}
-	})
+	}
+}
+
+// im2col unfolds one sample's [C,H,W] input into a [C*K*K, OH*OW] matrix.
+func im2col(x []float32, c, h, w, k, stride, pad, oh, ow int, col []float32) {
+	j := im2colJobPool.Get().(*im2colJob)
+	j.x, j.col = x, col
+	j.h, j.w, j.k, j.stride, j.pad, j.oh, j.ow = h, w, k, stride, pad, oh, ow
+	parallelChunks(c, j)
+	j.x, j.col = nil, nil
+	im2colJobPool.Put(j)
 }
 
 // ConvBackwardDataRegion computes the error signal dL/dx (Eq. 3) for a

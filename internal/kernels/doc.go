@@ -1,0 +1,58 @@
+// Package kernels provides the sequential compute kernels that substitute
+// for cuDNN in the paper's implementation: 2-D convolution (direct and
+// im2col+GEMM, forward / backward-data / backward-filter), 3-D convolution,
+// pooling, batch normalization, ReLU, fully-connected layers, losses, and a
+// packed register-blocked multicore SGEMM. All kernels operate on NCHW
+// (resp. NCDHW) float32 tensors.
+//
+// Kernels are shape-exact: the distributed algorithms in internal/core call
+// them on halo-extended local buffers with pad=0, and the results are
+// bitwise comparable (up to float accumulation order) with a single-device
+// run, mirroring Section III's "exactly replicates convolution" guarantee.
+//
+// # GEMM architecture
+//
+// GemmNN/GemmNT/GemmTN share one packed, cache-blocked implementation
+// (gemm.go). The K dimension is blocked into KC=256-deep panels and the N
+// dimension into NC=1024-wide panels. Per K panel, op(A) is packed into
+// MR-interleaved micro-panels with alpha folded in; per (K, N) panel, op(B)
+// is packed into NR-interleaved strips. An MR x NR = 6x16 register-tile
+// microkernel (AVX2+FMA assembly on capable amd64 CPUs, detected at startup
+// via CPUID/XGETBV; a portable Go kernel elsewhere) accumulates the tile
+// across the packed panels: per k step it performs 2 vector loads, 6
+// broadcasts, and 12 FMAs. beta scaling is folded into the first K panel's
+// store (overwrite for beta=0, accumulate for beta=1, per-tile pre-scale
+// otherwise) — there is no serial pre-pass over C. Edge tiles compute into
+// a stack tile and merge only the valid region, so the microkernel always
+// runs at full shape. Problems below a small m*n*k threshold take direct
+// unpacked loops instead. Transpose variants differ only in their pack
+// routines, so NT and TN run at NN speed.
+//
+// # Workspace lifecycle
+//
+// Transient kernel storage — GEMM pack panels, im2col column matrices,
+// batchnorm moment scratch — is borrowed from a Workspace: a size-bucketed
+// (ceiling power-of-two), sync.Pool-backed arena of []float32 buffers. Get
+// returns a *[]float32 handle whose slice is valid until the matching Put;
+// after a warm-up call every request is served from the pool, so
+// steady-state training steps perform no kernel-layer heap allocations
+// (asserted by testing.AllocsPerRun regression tests). Layers in
+// internal/core borrow their halo-extended and alignment buffers from a
+// layer-owned Workspace with the same discipline; kernels themselves draw
+// from DefaultWorkspace.
+//
+// # Worker-pool model
+//
+// Parallel loops dispatch contiguous chunks onto a persistent worker pool
+// (parallel.go): workers are spawned lazily up to the high-water mark of
+// requested parallelism, park on a shared queue, and never exit, replacing
+// the per-call goroutine fan-out the kernels started with. SetMaxWorkers
+// bounds the chunks any single call fans out (the multi-rank-in-one-process
+// tests set it to 1 per rank to avoid oversubscription); submitters never
+// block on the queue (a full queue runs the chunk inline) and help drain it
+// while waiting, which makes nested dispatch deadlock-free — every waiter
+// is also an executor. Hot kernels describe their work with pooled job
+// structs (parallelJob) instead of closures, keeping dispatch
+// allocation-free; ParallelFor remains as the closure-based convenience
+// wrapper whose only per-call cost is the caller's closure.
+package kernels

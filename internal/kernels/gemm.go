@@ -1,94 +1,376 @@
 package kernels
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
-// Register-blocking parameters for the GEMM microkernel. kc keeps a panel of
-// B in L1/L2; mc blocks rows of A for parallel distribution.
+// Cache-blocking parameters for the packed GEMM. The K dimension is blocked
+// in KC-deep panels (one packed B strip of KC x NR floats stays L1/L2
+// resident through a full sweep of A micro-panels); the N dimension is
+// blocked in NC-wide panels bounding the packed-B footprint. The register
+// microkernel computes an MR x NR tile of C per call.
 const (
-	gemmKC = 256
-	gemmMC = 64
+	gemmKC  = 256
+	gemmNC  = 1024
+	microMR = 6
+	microNR = 16
+
+	// smallGemmFlops is the m*n*k threshold below which packing cannot
+	// amortize; smaller problems take the direct loops.
+	smallGemmFlops = 1 << 14
 )
 
 // GemmNN computes C = alpha*A*B + beta*C for row-major A (M x K), B (K x N),
 // C (M x N).
 func GemmNN(m, n, k int, alpha float32, a []float32, b []float32, beta float32, c []float32) {
 	checkGemm(m, n, k, len(a), len(b), len(c))
-	scaleC(beta, c)
-	if m == 0 || n == 0 || k == 0 {
-		return
-	}
-	// Parallelize over blocks of rows of C.
-	blocks := (m + gemmMC - 1) / gemmMC
-	ParallelFor(blocks, func(blo, bhi int) {
-		for blk := blo; blk < bhi; blk++ {
-			i0 := blk * gemmMC
-			i1 := i0 + gemmMC
-			if i1 > m {
-				i1 = m
-			}
-			for p0 := 0; p0 < k; p0 += gemmKC {
-				p1 := p0 + gemmKC
-				if p1 > k {
-					p1 = k
-				}
-				for i := i0; i < i1; i++ {
-					ci := c[i*n : (i+1)*n]
-					ai := a[i*k : (i+1)*k]
-					for p := p0; p < p1; p++ {
-						av := alpha * ai[p]
-						if av == 0 {
-							continue
-						}
-						bp := b[p*n : (p+1)*n]
-						axpy(av, bp, ci)
-					}
-				}
-			}
-		}
-	})
+	gemm(false, false, m, n, k, alpha, a, b, beta, c)
 }
 
 // GemmNT computes C = alpha*A*Bᵀ + beta*C for row-major A (M x K),
 // B (N x K), C (M x N).
 func GemmNT(m, n, k int, alpha float32, a []float32, b []float32, beta float32, c []float32) {
-	checkGemm(m, n, k, len(a), len(b), len(c))
-	scaleC(beta, c)
-	if m == 0 || n == 0 || k == 0 {
-		return
-	}
-	ParallelFor(m, func(ilo, ihi int) {
-		for i := ilo; i < ihi; i++ {
-			ai := a[i*k : (i+1)*k]
-			ci := c[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				bj := b[j*k : (j+1)*k]
-				ci[j] += alpha * dot(ai, bj)
-			}
-		}
-	})
+	checkGemm(m, n, k, len(a), len(b), len(c)) // B is N x K, but n*k == k*n
+	gemm(false, true, m, n, k, alpha, a, b, beta, c)
 }
 
 // GemmTN computes C = alpha*Aᵀ*B + beta*C for row-major A (K x M),
 // B (K x N), C (M x N).
 func GemmTN(m, n, k int, alpha float32, a []float32, b []float32, beta float32, c []float32) {
 	checkGemm(m, n, k, len(a), len(b), len(c))
-	scaleC(beta, c)
-	if m == 0 || n == 0 || k == 0 {
+	gemm(true, false, m, n, k, alpha, a, b, beta, c)
+}
+
+// gemm dispatches on problem size: direct loops for tiny problems, the
+// packed register-blocked path otherwise.
+func gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	if m == 0 || n == 0 {
 		return
 	}
-	ParallelFor(m, func(ilo, ihi int) {
+	if k == 0 || alpha == 0 {
+		scaleC(beta, c[:m*n])
+		return
+	}
+	if m*n*k < smallGemmFlops {
+		gemmSmall(transA, transB, m, n, k, alpha, a, b, beta, c)
+		return
+	}
+	gemmPacked(transA, transB, m, n, k, alpha, a, b, beta, c)
+}
+
+// gemmSmall is the direct (unpacked) path: serial triple loops in the
+// association order of the original implementation. At these sizes it beats
+// packing and performs no allocations.
+func gemmSmall(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	scaleC(beta, c[:m*n])
+	switch {
+	case !transA && !transB:
+		for i := 0; i < m; i++ {
+			ci := c[i*n : (i+1)*n]
+			ai := a[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				axpy(alpha*ai[p], b[p*n:(p+1)*n], ci)
+			}
+		}
+	case !transA && transB:
+		for i := 0; i < m; i++ {
+			ai := a[i*k : (i+1)*k]
+			ci := c[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				ci[j] += alpha * dot(ai, b[j*k:(j+1)*k])
+			}
+		}
+	default: // transA && !transB
 		for p := 0; p < k; p++ {
 			ap := a[p*m : (p+1)*m]
 			bp := b[p*n : (p+1)*n]
-			for i := ilo; i < ihi; i++ {
-				av := alpha * ap[i]
-				if av == 0 {
-					continue
-				}
-				axpy(av, bp, c[i*n:(i+1)*n])
+			for i := 0; i < m; i++ {
+				axpy(alpha*ap[i], bp, c[i*n:(i+1)*n])
 			}
 		}
-	})
+	}
+}
+
+// gemmState carries one packed-GEMM invocation through its pack and compute
+// phases. States are pooled and the pack panels come from the default
+// workspace, so a warm GEMM performs no heap allocations.
+type gemmState struct {
+	m, n, k        int
+	alpha, beta    float32
+	a, b, c        []float32
+	transA, transB bool
+
+	rp        int // A micro-panels (rows of C / MR, rounded up)
+	rowBlocks int // row-block factor of the compute domain
+	p0, kc    int // current K panel
+	jj, nc    int // current N panel
+	first     bool
+
+	aPanel, bPanel []float32
+}
+
+var gemmStatePool = sync.Pool{New: func() any { return new(gemmState) }}
+
+// The phase wrappers are single-pointer structs, so converting them to
+// parallelJob stores the pointer directly in the interface — no allocation.
+type gemmPackAJob struct{ s *gemmState }
+
+func (j gemmPackAJob) RunChunk(lo, hi int) { j.s.packAPanels(lo, hi) }
+
+type gemmPackBJob struct{ s *gemmState }
+
+func (j gemmPackBJob) RunChunk(lo, hi int) { j.s.packBStrips(lo, hi) }
+
+type gemmComputeJob struct{ s *gemmState }
+
+func (j gemmComputeJob) RunChunk(lo, hi int) { j.s.computeStrips(lo, hi) }
+
+// gemmPacked runs the blocked algorithm: for each KC-deep K panel, pack all
+// of op(A) into MR-interleaved micro-panels (alpha folded in), then for each
+// NC-wide N panel pack op(B) into NR-interleaved strips and sweep the
+// microkernel over every (strip, micro-panel) tile. beta is folded into the
+// first K panel's store (overwrite for beta=0, accumulate for beta=1,
+// per-tile pre-scale otherwise) — there is no serial pre-pass over C.
+// Compute parallelism is over B strips: tiles in distinct strips touch
+// disjoint C columns.
+func gemmPacked(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	s := gemmStatePool.Get().(*gemmState)
+	s.m, s.n, s.k = m, n, k
+	s.alpha, s.beta = alpha, beta
+	s.a, s.b, s.c = a, b, c
+	s.transA, s.transB = transA, transB
+	s.rp = (m + microMR - 1) / microMR
+	// 12 micro-panels (72 C rows) per row block keeps block overhead small
+	// while giving narrow-N problems row-level parallelism.
+	s.rowBlocks = (s.rp + 11) / 12
+
+	kcMax := min(k, gemmKC)
+	ncMax := min((n+microNR-1)/microNR*microNR, gemmNC)
+	aBuf := defaultWS.Get(s.rp * microMR * kcMax)
+	bBuf := defaultWS.Get(ncMax * kcMax)
+	s.aPanel, s.bPanel = *aBuf, *bBuf
+
+	for p0 := 0; p0 < k; p0 += gemmKC {
+		s.p0 = p0
+		s.kc = min(gemmKC, k-p0)
+		s.first = p0 == 0
+		parallelChunks(s.rp, gemmPackAJob{s})
+		for jj := 0; jj < n; jj += gemmNC {
+			s.jj = jj
+			s.nc = min(gemmNC, n-jj)
+			strips := (s.nc + microNR - 1) / microNR
+			parallelChunks(strips, gemmPackBJob{s})
+			// The compute domain is (strip, row-block) pairs, strip-major:
+			// consecutive work items share a packed B strip (locality), while
+			// the row-block factor keeps tall-skinny problems (few strips)
+			// parallel across rows of C.
+			parallelChunks(strips*s.rowBlocks, gemmComputeJob{s})
+		}
+	}
+
+	s.a, s.b, s.c = nil, nil, nil
+	s.aPanel, s.bPanel = nil, nil
+	defaultWS.Put(aBuf)
+	defaultWS.Put(bBuf)
+	gemmStatePool.Put(s)
+}
+
+// packAPanels packs A micro-panels [lo, hi) of the current K panel:
+// panel i holds rows i*MR..i*MR+MR of op(A), K-major with the MR rows
+// interleaved, scaled by alpha and zero-padded past row m.
+func (s *gemmState) packAPanels(lo, hi int) {
+	kc, p0, m, k, alpha := s.kc, s.p0, s.m, s.k, s.alpha
+	for pnl := lo; pnl < hi; pnl++ {
+		dst := s.aPanel[pnl*microMR*kc : (pnl+1)*microMR*kc]
+		i0 := pnl * microMR
+		if !s.transA {
+			for r := 0; r < microMR; r++ {
+				row := i0 + r
+				if row >= m {
+					for p := 0; p < kc; p++ {
+						dst[p*microMR+r] = 0
+					}
+					continue
+				}
+				src := s.a[row*k+p0 : row*k+p0+kc]
+				for p, v := range src {
+					dst[p*microMR+r] = alpha * v
+				}
+			}
+		} else {
+			// op(A) = Aᵀ with A row-major K x M: column i of op(A) is
+			// contiguous in A's row p.
+			nr := min(microMR, m-i0)
+			for p := 0; p < kc; p++ {
+				src := s.a[(p0+p)*m+i0:]
+				o := p * microMR
+				for r := 0; r < nr; r++ {
+					dst[o+r] = alpha * src[r]
+				}
+				for r := nr; r < microMR; r++ {
+					dst[o+r] = 0
+				}
+			}
+		}
+	}
+}
+
+// packBStrips packs B strips [lo, hi) of the current (K, N) panel: strip j
+// holds columns jj+j*NR..+NR of op(B), K-major with the NR columns
+// interleaved, zero-padded past column n.
+func (s *gemmState) packBStrips(lo, hi int) {
+	kc, p0, n, k := s.kc, s.p0, s.n, s.k
+	for st := lo; st < hi; st++ {
+		dst := s.bPanel[st*microNR*kc : (st+1)*microNR*kc]
+		j0 := s.jj + st*microNR
+		nj := min(microNR, s.jj+s.nc-j0)
+		if !s.transB {
+			for p := 0; p < kc; p++ {
+				src := s.b[(p0+p)*n+j0:]
+				o := p * microNR
+				for q := 0; q < nj; q++ {
+					dst[o+q] = src[q]
+				}
+				for q := nj; q < microNR; q++ {
+					dst[o+q] = 0
+				}
+			}
+		} else {
+			// op(B) = Bᵀ with B row-major N x K: column j of op(B) is
+			// contiguous in B's row j.
+			for q := 0; q < nj; q++ {
+				src := s.b[(j0+q)*k+p0 : (j0+q)*k+p0+kc]
+				for p, v := range src {
+					dst[p*microNR+q] = v
+				}
+			}
+			for q := nj; q < microNR; q++ {
+				for p := 0; p < kc; p++ {
+					dst[p*microNR+q] = 0
+				}
+			}
+		}
+	}
+}
+
+// computeStrips runs the microkernel over compute-domain items [lo, hi),
+// where item st*rowBlocks+rb is (B strip st, A row block rb). Full tiles
+// store straight into C; edge tiles (padded rows or columns) compute into a
+// stack tile and merge only the valid region. There is deliberately no
+// zero-value skip on packed A entries: a zero times an Inf/NaN in B must
+// propagate, and the branch would stall the FMA pipeline.
+func (s *gemmState) computeStrips(lo, hi int) {
+	kc, n, m := s.kc, s.n, s.m
+	panelsPerBlock := (s.rp + s.rowBlocks - 1) / s.rowBlocks
+	var tile [microMR * microNR]float32
+	for item := lo; item < hi; item++ {
+		st := item / s.rowBlocks
+		rb := item % s.rowBlocks
+		bStrip := s.bPanel[st*microNR*kc : (st+1)*microNR*kc]
+		jBase := s.jj + st*microNR
+		ni := min(microNR, s.jj+s.nc-jBase)
+		pnlHi := min((rb+1)*panelsPerBlock, s.rp)
+		for pnl := rb * panelsPerBlock; pnl < pnlHi; pnl++ {
+			aPanel := s.aPanel[pnl*microMR*kc : (pnl+1)*microMR*kc]
+			iBase := pnl * microMR
+			mi := min(microMR, m-iBase)
+			cOff := iBase*n + jBase
+			if mi == microMR && ni == microNR {
+				if s.first {
+					switch s.beta {
+					case 0:
+						microKernel(kc, aPanel, bStrip, s.c[cOff:], n, false)
+						continue
+					case 1:
+					default:
+						scaleTile(s.c[cOff:], n, microMR, microNR, s.beta)
+					}
+				}
+				microKernel(kc, aPanel, bStrip, s.c[cOff:], n, true)
+				continue
+			}
+			microKernel(kc, aPanel, bStrip, tile[:], microNR, false)
+			mergeTile(s.c[cOff:], n, tile[:], mi, ni, s.first, s.beta)
+		}
+	}
+}
+
+// microKernel computes an MR x NR tile: c = acc (accum=false) or c += acc
+// (accum=true), where acc = sum over kc of aPanel-column x bStrip-row outer
+// products. It dispatches to the AVX2+FMA assembly kernel when the CPU
+// supports it and to the portable Go kernel otherwise.
+func microKernel(kc int, a, b, c []float32, ldc int, accum bool) {
+	if useAsmKernel {
+		mode := 0
+		if accum {
+			mode = 1
+		}
+		sgemmKernel6x16(kc, &a[0], &b[0], &c[0], ldc, mode)
+		return
+	}
+	goKernel6x16(kc, a, b, c, ldc, accum)
+}
+
+// goKernel6x16 is the portable microkernel on the same packed layout.
+func goKernel6x16(kc int, a, b, c []float32, ldc int, accum bool) {
+	var acc [microMR * microNR]float32
+	ai, bi := 0, 0
+	for p := 0; p < kc; p++ {
+		bb := b[bi : bi+microNR]
+		for r := 0; r < microMR; r++ {
+			av := a[ai+r]
+			row := acc[r*microNR : r*microNR+microNR]
+			for q, bv := range bb {
+				row[q] += av * bv
+			}
+		}
+		ai += microMR
+		bi += microNR
+	}
+	for r := 0; r < microMR; r++ {
+		crow := c[r*ldc : r*ldc+microNR]
+		arow := acc[r*microNR : (r+1)*microNR]
+		if accum {
+			for q, v := range arow {
+				crow[q] += v
+			}
+		} else {
+			copy(crow, arow)
+		}
+	}
+}
+
+// scaleTile multiplies the mi x ni tile at the head of c (row stride ldc)
+// by beta — the per-tile fold of a beta outside {0, 1}.
+func scaleTile(c []float32, ldc, mi, ni int, beta float32) {
+	for r := 0; r < mi; r++ {
+		row := c[r*ldc : r*ldc+ni]
+		for q := range row {
+			row[q] *= beta
+		}
+	}
+}
+
+// mergeTile folds the valid mi x ni region of an edge tile into C,
+// applying the first-panel beta semantics.
+func mergeTile(c []float32, ldc int, tile []float32, mi, ni int, first bool, beta float32) {
+	for r := 0; r < mi; r++ {
+		crow := c[r*ldc : r*ldc+ni]
+		trow := tile[r*microNR : r*microNR+ni]
+		switch {
+		case !first || beta == 1:
+			for q, v := range trow {
+				crow[q] += v
+			}
+		case beta == 0:
+			copy(crow, trow)
+		default:
+			for q, v := range trow {
+				crow[q] = beta*crow[q] + v
+			}
+		}
+	}
 }
 
 func checkGemm(m, n, k, la, lb, lc int) {
@@ -107,9 +389,7 @@ func scaleC(beta float32, c []float32) {
 	switch beta {
 	case 1:
 	case 0:
-		for i := range c {
-			c[i] = 0
-		}
+		clear(c)
 	default:
 		for i := range c {
 			c[i] *= beta

@@ -1,0 +1,48 @@
+//go:build amd64
+
+package kernels
+
+// sgemmKernel6x16 is the AVX2+FMA microkernel: it accumulates the 6x16 tile
+// sum over kc of aPanel-column x bStrip-row outer products in twelve YMM
+// registers, then stores it to C (row stride ldc floats), overwriting when
+// accum is 0 and adding when 1. aPanel is 6-interleaved, bStrip
+// 16-interleaved (see packAPanels/packBStrips).
+//
+//go:noescape
+func sgemmKernel6x16(kc int, a, b, c *float32, ldc int, accum int)
+
+// cpuidex executes CPUID with the given leaf and subleaf.
+//
+//go:noescape
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (OS-enabled SIMD state).
+//
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+// useAsmKernel reports whether the assembly microkernel may be used: the
+// CPU must support AVX2 and FMA and the OS must have enabled YMM state.
+var useAsmKernel = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if ecx1&(fma|osxsave|avx) != fma|osxsave|avx {
+		return false
+	}
+	if lo, _ := xgetbv0(); lo&6 != 6 { // XMM and YMM state enabled by the OS
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package kernels
+
+// useAsmKernel is false off amd64; the portable Go microkernel runs on the
+// same packed panel layout.
+const useAsmKernel = false
+
+// sgemmKernel6x16 is never called when useAsmKernel is false.
+func sgemmKernel6x16(kc int, a, b, c *float32, ldc int, accum int) {
+	panic("kernels: assembly microkernel unavailable")
+}

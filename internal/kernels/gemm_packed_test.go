@@ -1,0 +1,162 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gemmRef is the retained reference implementation: the original
+// axpy-ordered float32 GemmNN (serial, k-major accumulation directly into
+// C), kept verbatim so the packed microkernel path can be checked against
+// the exact arithmetic the kernels shipped with. Note it deliberately keeps
+// the historical `av == 0` early-continue the production path dropped — the
+// NaN-propagation test below pins down the difference.
+func gemmRef(m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	scaleC(beta, c[:m*n])
+	for i := 0; i < m; i++ {
+		ci := c[i*n : (i+1)*n]
+		ai := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := alpha * ai[p]
+			if av == 0 {
+				continue
+			}
+			axpy(av, b[p*n:(p+1)*n], ci)
+		}
+	}
+}
+
+// intSlice returns values from the exact-float32 integer range, so sums of
+// products are exactly representable and every association order produces
+// bitwise-identical results.
+func intSlice(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(rng.Intn(17) - 8)
+	}
+	return s
+}
+
+// TestGemmBitwiseAgainstRef verifies the packed microkernel path agrees
+// bitwise with the retained reference on integer-valued inputs (where
+// floating-point addition is exact, so reassociation cannot hide a wrong
+// term), across both the small direct path and the packed path, for all
+// beta fold modes.
+func TestGemmBitwiseAgainstRef(t *testing.T) {
+	dims := [][3]int{
+		{5, 7, 9},      // small direct path
+		{64, 64, 64},   // packed, exact tiles
+		{67, 129, 300}, // packed, edge tiles in both dimensions, two K panels
+		{6, 16, 300},   // packed, exactly one full tile
+		{1, 2048, 40},  // packed, single padded row panel, many strips
+		{200, 3, 40},   // packed, single padded strip
+	}
+	for _, d := range dims {
+		m, n, k := d[0], d[1], d[2]
+		for _, ab := range [][2]float32{{1, 0}, {1, 1}, {2, 0}, {3, 2}} {
+			alpha, beta := ab[0], ab[1]
+			a := intSlice(m*k, int64(m*31+k))
+			b := intSlice(k*n, int64(n*17+k))
+			c0 := intSlice(m*n, int64(m+n))
+			got := append([]float32(nil), c0...)
+			want := append([]float32(nil), c0...)
+			GemmNN(m, n, k, alpha, a, b, beta, got)
+			gemmRef(m, n, k, alpha, a, b, beta, want)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("dims %v alpha=%g beta=%g: C[%d] = %v, ref %v",
+						d, alpha, beta, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGemmNaNPropagation pins down the fix for the old `av == 0`
+// early-continue: a zero in A times an Inf/NaN in B must produce NaN in C
+// (IEEE semantics), on both the small and packed paths. The retained
+// reference demonstrates the old (wrong) behavior.
+func TestGemmNaNPropagation(t *testing.T) {
+	nan := float32(math.NaN())
+	for _, dims := range [][3]int{{4, 4, 4}, {64, 64, 64}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := make([]float32, m*k) // all zeros
+		b := make([]float32, k*n)
+		b[0] = nan
+		c := make([]float32, m*n)
+		GemmNN(m, n, k, 1, a, b, 0, c)
+		if !math.IsNaN(float64(c[0])) {
+			t.Errorf("dims %v: C[0] = %v, want NaN (0 * NaN must propagate)", dims, c[0])
+		}
+		// The reference (old behavior) silently skips the NaN.
+		cRef := make([]float32, m*n)
+		gemmRef(m, n, k, 1, a, b, 0, cRef)
+		if math.IsNaN(float64(cRef[0])) {
+			t.Errorf("dims %v: reference unexpectedly propagates NaN", dims)
+		}
+	}
+}
+
+// TestGemmPackedMatchesNaiveLarge drives the packed path (all three
+// transpose variants) across shapes chosen to hit every edge case: K-panel
+// remainders, row/column panel padding, and the beta pre-scale fold.
+func TestGemmPackedMatchesNaiveLarge(t *testing.T) {
+	shapes := [][3]int{
+		{64, 64, 64}, {96, 160, 256}, {70, 100, 257}, {129, 31, 512}, {33, 1000, 9},
+	}
+	for _, d := range shapes {
+		m, n, k := d[0], d[1], d[2]
+		a := randSlice(m*k, int64(m))
+		bNN := randSlice(k*n, int64(n))
+		bNT := randSlice(n*k, int64(n+1))
+		aTN := randSlice(k*m, int64(m+2))
+		for _, beta := range []float32{0, 1, 0.5} {
+			c := randSlice(m*n, 3)
+			want := append([]float32(nil), c...)
+			naiveGemm(false, false, m, n, k, 1.25, a, bNN, beta, want)
+			GemmNN(m, n, k, 1.25, a, bNN, beta, c)
+			if diff := maxDiff(c, want); diff > 2e-2 {
+				t.Errorf("GemmNN %v beta=%g: max diff %g", d, beta, diff)
+			}
+
+			c = randSlice(m*n, 4)
+			want = append([]float32(nil), c...)
+			naiveGemm(false, true, m, n, k, 1, a, bNT, beta, want)
+			GemmNT(m, n, k, 1, a, bNT, beta, c)
+			if diff := maxDiff(c, want); diff > 2e-2 {
+				t.Errorf("GemmNT %v beta=%g: max diff %g", d, beta, diff)
+			}
+
+			c = randSlice(m*n, 5)
+			want = append([]float32(nil), c...)
+			naiveGemm(true, false, m, n, k, 1, aTN, bNN, beta, want)
+			GemmTN(m, n, k, 1, aTN, bNN, beta, c)
+			if diff := maxDiff(c, want); diff > 2e-2 {
+				t.Errorf("GemmTN %v beta=%g: max diff %g", d, beta, diff)
+			}
+		}
+	}
+}
+
+// TestGemmPackedParallelWorkers re-runs a packed GEMM with the worker pool
+// engaged and verifies the result is identical to the single-worker run
+// (chunking must not change which tile writes which C element).
+func TestGemmPackedParallelWorkers(t *testing.T) {
+	m, n, k := 70, 333, 120
+	a := randSlice(m*k, 1)
+	b := randSlice(k*n, 2)
+	serial := make([]float32, m*n)
+	old := SetMaxWorkers(1)
+	GemmNN(m, n, k, 1, a, b, 0, serial)
+	SetMaxWorkers(5)
+	parallel := make([]float32, m*n)
+	GemmNN(m, n, k, 1, a, b, 0, parallel)
+	SetMaxWorkers(old)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("C[%d]: serial %v != parallel %v", i, serial[i], parallel[i])
+		}
+	}
+}

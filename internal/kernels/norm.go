@@ -3,9 +3,32 @@ package kernels
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/tensor"
 )
+
+// bnJob is the shared pooled work item for the batch-normalization kernels:
+// each kernel sets run to a top-level function (no closure allocation) and
+// the per-channel/per-plane slices it needs, so a warm training step makes
+// no kernel-layer heap allocations.
+type bnJob struct {
+	run func(j *bnJob, lo, hi int)
+
+	xd, yd, dyd, dxd           []float32
+	sum, sumsq, mean, invstd   []float32
+	gamma, beta, dgamma, dbeta []float32
+	n, c, plane, count         int
+}
+
+var bnJobPool = sync.Pool{New: func() any { return new(bnJob) }}
+
+func (j *bnJob) RunChunk(lo, hi int) { j.run(j, lo, hi) }
+
+func (j *bnJob) release() {
+	*j = bnJob{}
+	bnJobPool.Put(j)
+}
 
 // BatchNormStats accumulates per-channel sums and sums of squares of the
 // local tensor x into sum and sumsq (each of length C). In distributed
@@ -19,21 +42,27 @@ func BatchNormStats(x *tensor.Tensor, sum, sumsq []float32) {
 	if len(sum) != c || len(sumsq) != c {
 		panic("kernels: batchnorm stats buffers must have length C")
 	}
-	xd := x.Data()
-	ParallelFor(c, func(clo, chi int) {
-		for ci := clo; ci < chi; ci++ {
-			var s, sq float64
-			for ni := 0; ni < n; ni++ {
-				row := xd[(ni*c+ci)*plane : (ni*c+ci+1)*plane]
-				for _, v := range row {
-					s += float64(v)
-					sq += float64(v) * float64(v)
-				}
+	j := bnJobPool.Get().(*bnJob)
+	j.run = bnStatsChunk
+	j.xd, j.sum, j.sumsq = x.Data(), sum, sumsq
+	j.n, j.c, j.plane = n, c, plane
+	parallelChunks(c, j)
+	j.release()
+}
+
+func bnStatsChunk(j *bnJob, clo, chi int) {
+	for ci := clo; ci < chi; ci++ {
+		var s, sq float64
+		for ni := 0; ni < j.n; ni++ {
+			row := j.xd[(ni*j.c+ci)*j.plane : (ni*j.c+ci+1)*j.plane]
+			for _, v := range row {
+				s += float64(v)
+				sq += float64(v) * float64(v)
 			}
-			sum[ci] = float32(s)
-			sumsq[ci] = float32(sq)
 		}
-	})
+		j.sum[ci] = float32(s)
+		j.sumsq[ci] = float32(sq)
+	}
 }
 
 // BatchNormMoments converts aggregated sums into per-channel mean and
@@ -57,21 +86,28 @@ func BatchNormMoments(sum, sumsq []float32, count int, eps float32, mean, invstd
 func BatchNormForward(x *tensor.Tensor, mean, invstd, gamma, beta []float32, y *tensor.Tensor) {
 	xs := x.Shape()
 	n, c, plane := xs[0], xs[1], xs[2]*xs[3]
-	xd, yd := x.Data(), y.Data()
 	if !x.EqualShape(y) {
 		panic("kernels: batchnorm x/y shape mismatch")
 	}
-	ParallelFor(n*c, func(lo, hi int) {
-		for nc := lo; nc < hi; nc++ {
-			ci := nc % c
-			g, b, m, is := gamma[ci], beta[ci], mean[ci], invstd[ci]
-			xRow := xd[nc*plane : (nc+1)*plane]
-			yRow := yd[nc*plane : (nc+1)*plane]
-			for i, v := range xRow {
-				yRow[i] = g*(v-m)*is + b
-			}
+	j := bnJobPool.Get().(*bnJob)
+	j.run = bnForwardChunk
+	j.xd, j.yd = x.Data(), y.Data()
+	j.mean, j.invstd, j.gamma, j.beta = mean, invstd, gamma, beta
+	j.n, j.c, j.plane = n, c, plane
+	parallelChunks(n*c, j)
+	j.release()
+}
+
+func bnForwardChunk(j *bnJob, lo, hi int) {
+	for nc := lo; nc < hi; nc++ {
+		ci := nc % j.c
+		g, b, m, is := j.gamma[ci], j.beta[ci], j.mean[ci], j.invstd[ci]
+		xRow := j.xd[nc*j.plane : (nc+1)*j.plane]
+		yRow := j.yd[nc*j.plane : (nc+1)*j.plane]
+		for i, v := range xRow {
+			yRow[i] = g*(v-m)*is + b
 		}
-	})
+	}
 }
 
 // BatchNormBackwardStats computes the two per-channel reductions the batch
@@ -81,24 +117,31 @@ func BatchNormForward(x *tensor.Tensor, mean, invstd, gamma, beta []float32, y *
 func BatchNormBackwardStats(x, dy *tensor.Tensor, mean, invstd []float32, dgamma, dbeta []float32) {
 	xs := x.Shape()
 	n, c, plane := xs[0], xs[1], xs[2]*xs[3]
-	xd, dyd := x.Data(), dy.Data()
-	ParallelFor(c, func(clo, chi int) {
-		for ci := clo; ci < chi; ci++ {
-			m, is := mean[ci], invstd[ci]
-			var dg, db float64
-			for ni := 0; ni < n; ni++ {
-				base := (ni*c + ci) * plane
-				xRow := xd[base : base+plane]
-				dyRow := dyd[base : base+plane]
-				for i, g := range dyRow {
-					db += float64(g)
-					dg += float64(g) * float64((xRow[i]-m)*is)
-				}
+	j := bnJobPool.Get().(*bnJob)
+	j.run = bnBackwardStatsChunk
+	j.xd, j.dyd = x.Data(), dy.Data()
+	j.mean, j.invstd, j.dgamma, j.dbeta = mean, invstd, dgamma, dbeta
+	j.n, j.c, j.plane = n, c, plane
+	parallelChunks(c, j)
+	j.release()
+}
+
+func bnBackwardStatsChunk(j *bnJob, clo, chi int) {
+	for ci := clo; ci < chi; ci++ {
+		m, is := j.mean[ci], j.invstd[ci]
+		var dg, db float64
+		for ni := 0; ni < j.n; ni++ {
+			base := (ni*j.c + ci) * j.plane
+			xRow := j.xd[base : base+j.plane]
+			dyRow := j.dyd[base : base+j.plane]
+			for i, g := range dyRow {
+				db += float64(g)
+				dg += float64(g) * float64((xRow[i]-m)*is)
 			}
-			dgamma[ci] = float32(dg)
-			dbeta[ci] = float32(db)
 		}
-	})
+		j.dgamma[ci] = float32(dg)
+		j.dbeta[ci] = float32(db)
+	}
 }
 
 // BatchNormBackwardData computes dx given the (globally reduced) dgamma and
@@ -110,33 +153,43 @@ func BatchNormBackwardStats(x, dy *tensor.Tensor, mean, invstd []float32, dgamma
 func BatchNormBackwardData(x, dy *tensor.Tensor, mean, invstd, gamma, dgamma, dbeta []float32, count int, dx *tensor.Tensor) {
 	xs := x.Shape()
 	n, c, plane := xs[0], xs[1], xs[2]*xs[3]
-	xd, dyd, dxd := x.Data(), dy.Data(), dx.Data()
-	fm := float32(count)
-	ParallelFor(n*c, func(lo, hi int) {
-		for nc := lo; nc < hi; nc++ {
-			ci := nc % c
-			m, is, g := mean[ci], invstd[ci], gamma[ci]
-			scale := g * is / fm
-			dg, db := dgamma[ci], dbeta[ci]
-			xRow := xd[nc*plane : (nc+1)*plane]
-			dyRow := dyd[nc*plane : (nc+1)*plane]
-			dxRow := dxd[nc*plane : (nc+1)*plane]
-			for i := range dyRow {
-				xhat := (xRow[i] - m) * is
-				dxRow[i] = scale * (fm*dyRow[i] - db - xhat*dg)
-			}
-		}
-	})
+	j := bnJobPool.Get().(*bnJob)
+	j.run = bnBackwardDataChunk
+	j.xd, j.dyd, j.dxd = x.Data(), dy.Data(), dx.Data()
+	j.mean, j.invstd, j.gamma, j.dgamma, j.dbeta = mean, invstd, gamma, dgamma, dbeta
+	j.n, j.c, j.plane, j.count = n, c, plane, count
+	parallelChunks(n*c, j)
+	j.release()
 }
 
-// BatchNormInference applies the affine transform with running statistics.
+func bnBackwardDataChunk(j *bnJob, lo, hi int) {
+	fm := float32(j.count)
+	for nc := lo; nc < hi; nc++ {
+		ci := nc % j.c
+		m, is, g := j.mean[ci], j.invstd[ci], j.gamma[ci]
+		scale := g * is / fm
+		dg, db := j.dgamma[ci], j.dbeta[ci]
+		xRow := j.xd[nc*j.plane : (nc+1)*j.plane]
+		dyRow := j.dyd[nc*j.plane : (nc+1)*j.plane]
+		dxRow := j.dxd[nc*j.plane : (nc+1)*j.plane]
+		for i := range dyRow {
+			xhat := (xRow[i] - m) * is
+			dxRow[i] = scale * (fm*dyRow[i] - db - xhat*dg)
+		}
+	}
+}
+
+// BatchNormInference applies the affine transform with running statistics;
+// the derived mean/invstd vectors are workspace scratch.
 func BatchNormInference(x *tensor.Tensor, runMean, runVar, gamma, beta []float32, eps float32, y *tensor.Tensor) {
 	c := x.Shape()[1]
-	mean := make([]float32, c)
-	invstd := make([]float32, c)
+	buf := defaultWS.Get(2 * c)
+	mean := (*buf)[:c]
+	invstd := (*buf)[c:]
 	for ci := 0; ci < c; ci++ {
 		mean[ci] = runMean[ci]
 		invstd[ci] = float32(1.0 / math.Sqrt(float64(runVar[ci])+float64(eps)))
 	}
 	BatchNormForward(x, mean, invstd, gamma, beta, y)
+	defaultWS.Put(buf)
 }

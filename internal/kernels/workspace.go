@@ -1,0 +1,80 @@
+package kernels
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Workspace is a size-bucketed, sync.Pool-backed arena of []float32 scratch
+// buffers. Kernels borrow their transient storage (GEMM pack panels, im2col
+// column matrices, batchnorm moment vectors) from a workspace instead of
+// calling make, so steady-state training steps perform no kernel-layer heap
+// allocations: after a warm-up step every Get is served from the pool.
+//
+// Buffers are bucketed by ceiling power-of-two capacity, so requests of
+// nearby sizes (uneven shards, layer-to-layer shape changes) reuse the same
+// buckets. Get returns *[]float32 rather than []float32 because storing a
+// bare slice in a sync.Pool would box the slice header on every Put; the
+// pointer is the handle that must be passed back to Put.
+//
+// A Workspace is safe for concurrent use (worker-pool chunks borrow pack
+// buffers concurrently). The zero value is ready to use. Layers that want
+// isolation own their own Workspace; kernels themselves draw from the
+// package-level default.
+type Workspace struct {
+	pools [33]sync.Pool // pools[i] holds buffers of cap 1<<i
+}
+
+// defaultWS serves all kernel-internal scratch.
+var defaultWS Workspace
+
+// DefaultWorkspace returns the process-wide workspace used by kernels that
+// are not handed an explicit one.
+func DefaultWorkspace() *Workspace { return &defaultWS }
+
+// Get borrows a buffer with len n (contents undefined — callers must
+// overwrite or Zero it). The returned pointer must be handed back to Put
+// when the caller is done with the slice.
+func (w *Workspace) Get(n int) *[]float32 {
+	if n < 0 {
+		panic("kernels: negative workspace request")
+	}
+	class := sizeClass(n)
+	if p, ok := w.pools[class].Get().(*[]float32); ok {
+		*p = (*p)[:n]
+		return p
+	}
+	b := make([]float32, n, 1<<class)
+	return &b
+}
+
+// GetZeroed is Get with the buffer cleared.
+func (w *Workspace) GetZeroed(n int) *[]float32 {
+	p := w.Get(n)
+	clear(*p)
+	return p
+}
+
+// Put returns a buffer obtained from Get. The caller must not use the slice
+// afterwards.
+func (w *Workspace) Put(p *[]float32) {
+	if p == nil {
+		return
+	}
+	c := cap(*p)
+	if c == 0 || c&(c-1) != 0 {
+		// Not one of ours (or a zero-size request); dropping it keeps the
+		// bucket invariant that pools[i] holds exactly cap 1<<i buffers.
+		return
+	}
+	w.pools[bits.TrailingZeros(uint(c))].Put(p)
+}
+
+// sizeClass returns the bucket index for a request of n floats: the smallest
+// i with 1<<i >= max(n, 1).
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

@@ -191,6 +191,10 @@ type seqBN struct {
 	x            *tensor.Tensor
 	mean, invstd []float32
 	count        int
+
+	// Step-persistent scratch, reused across training steps so a warm step
+	// performs no per-forward allocations in this layer beyond its output.
+	sum, sumsq []float32
 }
 
 func newSeqBN(_ Spec, in Shape) *seqBN {
@@ -199,6 +203,8 @@ func newSeqBN(_ Spec, in Shape) *seqBN {
 		gamma: make([]float32, in.C), beta: make([]float32, in.C),
 		dgamma: make([]float32, in.C), dbeta: make([]float32, in.C),
 		runMean: make([]float32, in.C), runVar: make([]float32, in.C),
+		mean: make([]float32, in.C), invstd: make([]float32, in.C),
+		sum: make([]float32, in.C), sumsq: make([]float32, in.C),
 		momentum: 0.9, eps: 1e-5,
 	}
 	for i := range l.gamma {
@@ -217,11 +223,8 @@ func (l *seqBN) forward(ins []*tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	xs := x.Shape()
 	l.count = xs[0] * xs[2] * xs[3]
-	sum := make([]float32, l.c)
-	sumsq := make([]float32, l.c)
+	sum, sumsq := l.sum, l.sumsq
 	kernels.BatchNormStats(x, sum, sumsq)
-	l.mean = make([]float32, l.c)
-	l.invstd = make([]float32, l.c)
 	kernels.BatchNormMoments(sum, sumsq, l.count, l.eps, l.mean, l.invstd)
 	for ci := 0; ci < l.c; ci++ {
 		m := l.mean[ci]

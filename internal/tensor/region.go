@@ -137,13 +137,56 @@ func (t *Tensor) AddRegion(r Region, buf []float32) {
 	}
 }
 
-// CopyRegion copies region src of from into region dst of t. The regions
-// must have identical sizes.
+// CopyRegion copies region src of from into region dst of t directly, with
+// no intermediate buffer when the tensors do not share storage. The regions
+// must have identical sizes. Copies within one tensor (or between tensors
+// whose backing slices start at the same element, e.g. via Reshape) stage
+// through a scratch buffer, so overlapping regions are safe there; tensors
+// aliasing the same array at different offsets are not detected and must
+// not overlap.
 func (t *Tensor) CopyRegion(dst Region, from *Tensor, src Region) {
 	for d := range dst.Size {
 		if dst.Size[d] != src.Size[d] {
 			panic(fmt.Sprintf("tensor: CopyRegion size mismatch %v vs %v", dst.Size, src.Size))
 		}
 	}
-	t.InsertRegion(dst, from.ExtractRegion(src))
+	if len(t.data) > 0 && len(from.data) > 0 && &t.data[0] == &from.data[0] {
+		t.InsertRegion(dst, from.ExtractRegion(src))
+		return
+	}
+	if !dst.Valid(t.shape) {
+		panic(fmt.Sprintf("tensor: region off=%v size=%v invalid for shape %v", dst.Off, dst.Size, t.shape))
+	}
+	if !src.Valid(from.shape) {
+		panic(fmt.Sprintf("tensor: region off=%v size=%v invalid for shape %v", src.Off, src.Size, from.shape))
+	}
+	rank := len(t.shape)
+	if rank == 0 || dst.NumElems() == 0 {
+		return
+	}
+	inner := dst.Size[rank-1]
+	if inner == 0 {
+		return
+	}
+	idx := make([]int, rank)
+	for {
+		dOff, sOff := 0, 0
+		for d := 0; d < rank; d++ {
+			dOff += (dst.Off[d] + idx[d]) * t.stride[d]
+			sOff += (src.Off[d] + idx[d]) * from.stride[d]
+		}
+		copy(t.data[dOff:dOff+inner], from.data[sOff:sOff+inner])
+		d := rank - 2
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < dst.Size[d] {
+				break
+			}
+			idx[d] = 0
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
 }
