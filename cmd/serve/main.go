@@ -1,0 +1,98 @@
+// Command serve runs the inference-serving subsystem as an HTTP service:
+// it loads a model (fresh weights, or a checkpoint written with
+// nn.SaveState), stands up N replicas behind the dynamic micro-batcher,
+// and exposes
+//
+//	POST /v1/predict   {"input": [C*H*W floats]} -> {"output": [...], "argmax": k}
+//	GET  /healthz      liveness
+//	GET  /statz        latency quantiles + batch-occupancy histogram
+//
+// Usage:
+//
+//	serve -arch smallcnn -size 16 -classes 4 -addr :8080
+//	serve -arch resnet-tiny -size 32 -classes 10 -checkpoint model.ckpt \
+//	      -replicas 2 -max-batch 16 -deadline 2ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/serve"
+)
+
+func main() {
+	arch := flag.String("arch", "smallcnn", "model: smallcnn | resnet-tiny | mesh-tiny")
+	size := flag.Int("size", 16, "input spatial size (square)")
+	channels := flag.Int("channels", 3, "input channels (smallcnn)")
+	classes := flag.Int("classes", 4, "classes (smallcnn / resnet-tiny)")
+	checkpoint := flag.String("checkpoint", "", "nn.SaveState checkpoint to restore (fresh weights if empty)")
+	replicas := flag.Int("replicas", 1, "model replicas")
+	maxBatch := flag.Int("max-batch", 8, "micro-batch flush size")
+	deadline := flag.Duration("deadline", 2*time.Millisecond, "micro-batch flush deadline (0 = greedy)")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	model, err := buildModel(*arch, *size, *channels, *classes, *maxBatch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *checkpoint != "" {
+		f, err := os.Open(*checkpoint)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = nn.LoadState(f, model.Arch.Name, model.Params(), model.Buffers())
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("serve: restored %s from %s\n", model.Arch.Name, *checkpoint)
+	} else {
+		fmt.Printf("serve: %s with fresh weights (no -checkpoint)\n", model.Arch.Name)
+	}
+
+	dl := *deadline
+	if dl == 0 {
+		dl = serve.Greedy
+	}
+	srv, err := serve.New(model, serve.Config{
+		Replicas:      *replicas,
+		MaxBatch:      *maxBatch,
+		BatchDeadline: dl,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	in := srv.InShape()
+	fmt.Printf("serve: listening on %s — input %dx%dx%d (%d floats), output %d floats, %d replica(s), max batch %d, deadline %v\n",
+		*addr, in.C, in.H, in.W, srv.InputLen(), srv.OutputLen(), *replicas, *maxBatch, *deadline)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func buildModel(arch string, size, channels, classes, maxBatch int) (*nn.InferNet, error) {
+	switch arch {
+	case "smallcnn":
+		return models.SmallCNNForServing(size, channels, classes, maxBatch)
+	case "resnet-tiny":
+		return models.ResNet50TinyForServing(size, classes, maxBatch)
+	case "mesh-tiny":
+		return models.MeshTinyForServing(size, maxBatch)
+	default:
+		return nil, fmt.Errorf("serve: unknown arch %q (want smallcnn, resnet-tiny, or mesh-tiny)", arch)
+	}
+}

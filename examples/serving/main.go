@@ -1,0 +1,120 @@
+// Serving load generator: drives the dynamic micro-batching server with
+// concurrent in-process clients and reports throughput and latency across
+// batching configurations — the batch-1 baseline against dynamic batching
+// at a sweep of flush deadlines. This is the measurement behind the
+// ROADMAP's serving table: batching concurrent requests onto one wide
+// packed GEMM is the serving-side analogue of the paper's batched-kernel
+// throughput argument.
+//
+//	go run ./examples/serving -clients 32 -duration 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/serve"
+)
+
+func main() {
+	arch := flag.String("arch", "resnet-tiny", "model: resnet-tiny | smallcnn")
+	size := flag.Int("size", 16, "input spatial size")
+	classes := flag.Int("classes", 10, "classes")
+	clients := flag.Int("clients", 32, "concurrent clients")
+	duration := flag.Duration("duration", 2*time.Second, "measurement window per config")
+	maxBatch := flag.Int("max-batch", 16, "micro-batch flush size for dynamic configs")
+	replicas := flag.Int("replicas", 1, "model replicas")
+	flag.Parse()
+
+	type config struct {
+		name     string
+		maxBatch int
+		deadline time.Duration
+	}
+	configs := []config{
+		{"batch-1", 1, serve.Greedy},
+		{"greedy", *maxBatch, serve.Greedy},
+		{"dl=500us", *maxBatch, 500 * time.Microsecond},
+		{"dl=2ms", *maxBatch, 2 * time.Millisecond},
+		{"dl=5ms", *maxBatch, 5 * time.Millisecond},
+	}
+
+	fmt.Printf("serving load test: %s %dx%dx3 -> %d classes, %d clients, %v per config, %d replica(s)\n\n",
+		*arch, *size, *size, *classes, *clients, *duration, *replicas)
+	fmt.Printf("| %-9s | %9s | %8s | %12s | %9s | %8s | %8s | %7s |\n",
+		"config", "max batch", "deadline", "throughput", "avg batch", "p50", "p99", "speedup")
+	fmt.Printf("|-----------|-----------|----------|--------------|-----------|----------|----------|---------|\n")
+
+	var base float64
+	for _, cfg := range configs {
+		thr, st := runConfig(*arch, *size, *classes, *clients, *replicas, cfg.maxBatch, cfg.deadline, *duration)
+		if cfg.name == "batch-1" {
+			base = thr
+		}
+		dl := "greedy"
+		if cfg.deadline > 0 {
+			dl = cfg.deadline.String()
+		}
+		fmt.Printf("| %-9s | %9d | %8s | %8.0f r/s | %9.1f | %8v | %8v | %6.2fx |\n",
+			cfg.name, cfg.maxBatch, dl, thr, st.AvgBatch, st.P50, st.P99, thr/base)
+	}
+}
+
+func runConfig(arch string, size, classes, clients, replicas, maxBatch int, deadline, duration time.Duration) (float64, serve.Stats) {
+	// Fresh model per config: layer-seeded init makes every run identical.
+	var model *nn.InferNet
+	var err error
+	switch arch {
+	case "smallcnn":
+		model, err = models.SmallCNNForServing(size, 3, classes, maxBatch)
+	default:
+		model, err = models.ResNet50TinyForServing(size, classes, maxBatch)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv, err := serve.New(model, serve.Config{
+		Replicas:      replicas,
+		MaxBatch:      maxBatch,
+		BatchDeadline: deadline,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	var served atomic.Uint64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			in := make([]float32, srv.InputLen())
+			for i := range in {
+				in[i] = rng.Float32()*2 - 1
+			}
+			out := make([]float32, srv.OutputLen())
+			for !stop.Load() {
+				if err := srv.Predict(in, out); err != nil {
+					return
+				}
+				served.Add(1)
+			}
+		}(c)
+	}
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+	return float64(served.Load()) / duration.Seconds(), srv.Stats()
+}

@@ -40,6 +40,11 @@ type Conv struct {
 	bwdPlan *HaloPlan
 	tag     int
 
+	// inference marks a forward-only layer (NewConvInference): no gradient
+	// buffers exist, Backward panics, and the halo-extended input is
+	// released at the end of Forward instead of being stashed.
+	inference bool
+
 	// ws supplies all transient buffers (halo-extended inputs, region
 	// scratch); the layer owns it and reuses the storage across steps, so a
 	// warm training step performs no layer-level allocations beyond its
@@ -53,6 +58,16 @@ type Conv struct {
 // NewConv constructs a distributed convolution layer producing f filters
 // from inputs distributed as inDist. bias=true adds a learnable bias.
 func NewConv(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom, bias bool) *Conv {
+	l := newConv(ctx, inDist, f, geom, bias)
+	l.DW = tensor.New(f, inDist.C, geom.K, geom.K)
+	if bias {
+		l.DBias = make([]float32, f)
+	}
+	l.bwdPlan = backwardPlan(l.OutDist, ctx.Rank, geom, inDist.H, inDist.W)
+	return l
+}
+
+func newConv(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom, bias bool) *Conv {
 	if err := geom.Validate(); err != nil {
 		panic(err)
 	}
@@ -66,7 +81,6 @@ func NewConv(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom, bias bool) *
 		InDist:  inDist,
 		OutDist: outDist,
 		W:       tensor.New(f, inDist.C, geom.K, geom.K),
-		DW:      tensor.New(f, inDist.C, geom.K, geom.K),
 		Algo:    kernels.ConvAuto,
 		Overlap: true,
 		tag:     ctx.AllocTags(4),
@@ -74,10 +88,10 @@ func NewConv(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom, bias bool) *
 	}
 	if bias {
 		l.Bias = make([]float32, f)
-		l.DBias = make([]float32, f)
 	}
+	// Only the forward halo plan is built here; NewConv adds the backward
+	// plan, which a forward-only layer never needs.
 	l.fwdPlan = forwardPlan(inDist, ctx.Rank, geom, outH, outW)
-	l.bwdPlan = backwardPlan(outDist, ctx.Rank, geom, inDist.H, inDist.W)
 	return l
 }
 
@@ -130,6 +144,12 @@ func (l *Conv) Forward(ctx *Ctx, x DistTensor) DistTensor {
 		} else {
 			l.convRegion(ext, y.Local, dist.Range{Lo: 0, Hi: oh}, dist.Range{Lo: 0, Hi: ow})
 		}
+	}
+	if l.inference {
+		// Nothing will ever read the stash; hand the halo buffer straight
+		// back to the workspace.
+		ext.Release(l.ws)
+		return y
 	}
 	l.xExt = ext
 	l.hasExt = true
@@ -212,6 +232,9 @@ func (l *Conv) convRegion(ext Ext, yLoc *tensor.Tensor, rh, rw dist.Range) {
 func (l *Conv) Backward(ctx *Ctx, dy DistTensor) DistTensor {
 	if !dy.Dist.SameLayout(l.OutDist) {
 		panic(fmt.Sprintf("core: conv dy dist %v, want %v", dy.Dist, l.OutDist))
+	}
+	if l.DW == nil {
+		panic("core: Backward on an inference-only Conv (NewConvInference)")
 	}
 	if !l.hasExt {
 		panic("core: conv Backward called before Forward")
@@ -302,6 +325,9 @@ func (l *Conv) ReduceGradients(ctx *Ctx) {
 // GradientWords returns the allreduce payload size in words, for the
 // performance model.
 func (l *Conv) GradientWords() int {
+	if l.DW == nil {
+		return 0
+	}
 	n := l.DW.Size()
 	if l.DBias != nil {
 		n += len(l.DBias)

@@ -29,6 +29,10 @@ type ModelParallelFC struct {
 
 	xFull *tensor.Tensor // gathered input, saved for backward
 
+	// inference marks a forward-only layer (no gradient buffers, no input
+	// stash; Backward panics).
+	inference bool
+
 	// ws supplies the distributed-GEMM temporaries (local output block,
 	// transposed gradient block, full dx), reused across steps.
 	ws *kernels.Workspace
@@ -52,6 +56,15 @@ func NewModelParallelFC(c *comm.Comm, n, in, out int) *ModelParallelFC {
 	}
 }
 
+// NewModelParallelFCInference is NewModelParallelFC without gradient state:
+// Forward neither stashes the gathered batch nor supports Backward.
+func NewModelParallelFCInference(c *comm.Comm, n, in, out int) *ModelParallelFC {
+	l := NewModelParallelFC(c, n, in, out)
+	l.DW, l.DBias = nil, nil
+	l.inference = true
+	return l
+}
+
 // sampleRange returns the samples owned by rank under the N partition.
 func (l *ModelParallelFC) sampleRange(c *comm.Comm, rank int) dist.Range {
 	return dist.BlockPartition(l.N, c.Size(), rank)
@@ -71,13 +84,16 @@ func (l *ModelParallelFC) Forward(c *comm.Comm, x *tensor.Tensor) *tensor.Tensor
 		counts[r] = l.sampleRange(c, r).Len() * l.In
 	}
 	full := c.AllgatherV(x.Data(), counts)
-	l.xFull = tensor.FromSlice(full, l.N, l.In)
+	xFull := tensor.FromSlice(full, l.N, l.In)
+	if !l.inference {
+		l.xFull = xFull
+	}
 
 	// Local block of the distributed GEMM: yBlk [N, outLoc].
 	outLoc := l.OutRange.Len()
 	yBuf := l.ws.Get(l.N * outLoc)
 	yBlk := tensor.FromSlice(*yBuf, l.N, outLoc)
-	kernels.FCForward(l.xFull, l.W, l.Bias, yBlk)
+	kernels.FCForward(xFull, l.W, l.Bias, yBlk)
 
 	// Transpose back to sample partitioning: send each rank its samples'
 	// slice of my output block.
@@ -99,6 +115,9 @@ func (l *ModelParallelFC) Forward(c *comm.Comm, x *tensor.Tensor) *tensor.Tensor
 // Backward consumes dy [nLoc, Out] and returns dx [nLoc, In]. DW and DBias
 // are complete on return without any allreduce.
 func (l *ModelParallelFC) Backward(c *comm.Comm, dy *tensor.Tensor) *tensor.Tensor {
+	if l.DW == nil {
+		panic("core: Backward on an inference-only FC (NewModelParallelFCInference)")
+	}
 	if l.xFull == nil {
 		panic("core: fc Backward called before Forward")
 	}

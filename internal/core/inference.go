@@ -1,0 +1,32 @@
+package core
+
+import (
+	"repro/internal/dist"
+)
+
+// Inference-mode constructors: the same distributed layers with no gradient
+// state at all. A forward-only (serving) path must not pay for training —
+// no DW/DBias/DGamma/DBeta buffers, no stashed activations, no halo buffers
+// held between steps — so each layer offers a constructor that allocates
+// none of it. Backward on an inference-only layer panics with a clear
+// message; weights and running statistics are still exported, so a trained
+// checkpoint restores into an inference net unchanged.
+
+// NewConvInference constructs a forward-only distributed convolution: like
+// NewConv but without weight-gradient buffers, and Forward releases its
+// halo-extended input immediately instead of stashing it for Backward.
+func NewConvInference(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom, bias bool) *Conv {
+	l := newConv(ctx, inDist, f, geom, bias)
+	l.inference = true
+	return l
+}
+
+// NewBatchNormInference constructs a forward-only distributed batch
+// normalization layer: Forward normalizes with the (replicated) running
+// statistics — no cross-rank statistics aggregation, no gradient buffers,
+// no stashed input.
+func NewBatchNormInference(d dist.Dist) *BatchNorm {
+	l := newBatchNorm(d, BatchNormGlobal)
+	l.inference = true
+	return l
+}

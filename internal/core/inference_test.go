@@ -1,0 +1,111 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// Inference-only layers must produce the same forward results as their
+// training counterparts (conv) / the sequential inference kernel (batchnorm,
+// whose training Forward intentionally uses batch statistics), with no
+// gradient buffers and no Backward.
+func TestConvInferenceForwardMatchesTraining(t *testing.T) {
+	for _, g := range []dist.Grid{{PN: 1, PH: 1, PW: 1}, {PN: 1, PH: 2, PW: 1}, {PN: 2, PH: 1, PW: 2}} {
+		inD := dist.Dist{Grid: g, N: 2, C: 3, H: 8, W: 8}
+		geom := dist.ConvGeom{K: 3, S: 1, Pad: 1}
+		x := tensor.New(2, 3, 8, 8)
+		x.FillRandN(21, 1)
+
+		var mu sync.Mutex
+		train := make([]DistTensor, g.Size())
+		infer := make([]DistTensor, g.Size())
+		runDistributed(g, func(ctx *Ctx) {
+			lt := NewConv(ctx, inD, 4, geom, true)
+			li := NewConvInference(ctx, inD, 4, geom, true)
+			if li.DW != nil || li.DBias != nil {
+				t.Error("inference conv allocated gradient buffers")
+			}
+			// Same weights on both layers (and replicated across ranks).
+			lt.W.FillRandN(5, 0.5)
+			copy(li.W.Data(), lt.W.Data())
+			for i := range lt.Bias {
+				lt.Bias[i] = 0.01 * float32(i)
+			}
+			copy(li.Bias, lt.Bias)
+
+			shard := Scatter(x, inD)[ctx.Rank]
+			yt := lt.Forward(ctx, shard)
+			// Two inference forwards in a row: the second must be identical
+			// (the released halo buffers are recycled correctly).
+			li.Forward(ctx, shard)
+			yi := li.Forward(ctx, shard)
+			mu.Lock()
+			train[ctx.Rank] = yt
+			infer[ctx.Rank] = yi
+			mu.Unlock()
+		})
+		yt := Gather(train)
+		yi := Gather(infer)
+		if d := yt.MaxAbsDiff(yi); d != 0 {
+			t.Errorf("grid %v: inference conv differs from training conv: %g", g, d)
+		}
+	}
+}
+
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	g := dist.Grid{PN: 1, PH: 2, PW: 1}
+	d := dist.Dist{Grid: g, N: 2, C: 3, H: 8, W: 8}
+	x := tensor.New(2, 3, 8, 8)
+	x.FillRandN(31, 1)
+
+	runMean := []float32{0.1, -0.2, 0.3}
+	runVar := []float32{1.5, 0.7, 2.0}
+
+	// Sequential reference on the full tensor.
+	want := tensor.New(2, 3, 8, 8)
+	gamma := []float32{1, 2, 3}
+	beta := []float32{-1, 0, 1}
+	kernels.BatchNormInference(x, runMean, runVar, gamma, beta, 1e-5, want)
+
+	var mu sync.Mutex
+	outs := make([]DistTensor, g.Size())
+	runDistributed(g, func(ctx *Ctx) {
+		l := NewBatchNormInference(d)
+		if l.DGamma != nil || l.DBeta != nil {
+			t.Error("inference batchnorm allocated gradient buffers")
+		}
+		copy(l.RunMean, runMean)
+		copy(l.RunVar, runVar)
+		copy(l.Gamma, gamma)
+		copy(l.Beta, beta)
+		shard := Scatter(x, d)[ctx.Rank]
+		y := l.Forward(ctx, shard)
+		mu.Lock()
+		outs[ctx.Rank] = y
+		mu.Unlock()
+	})
+	got := Gather(outs)
+	if diff := got.MaxAbsDiff(want); diff != 0 {
+		t.Errorf("distributed inference batchnorm differs from sequential: %g", diff)
+	}
+}
+
+func TestInferenceBackwardPanics(t *testing.T) {
+	g := dist.Grid{PN: 1, PH: 1, PW: 1}
+	d := dist.Dist{Grid: g, N: 1, C: 2, H: 4, W: 4}
+	runDistributed(g, func(ctx *Ctx) {
+		l := NewConvInference(ctx, d, 2, dist.ConvGeom{K: 3, S: 1, Pad: 1}, false)
+		x := NewDistTensor(d, ctx.Rank)
+		y := l.Forward(ctx, x)
+		defer func() {
+			if recover() == nil {
+				t.Error("Backward on inference conv did not panic")
+			}
+		}()
+		l.Backward(ctx, y)
+	})
+}

@@ -43,6 +43,11 @@ type BatchNorm struct {
 	invstd []float32
 	count  int
 
+	// inference marks a forward-only layer (NewBatchNormInference): Forward
+	// normalizes with the running statistics (no aggregation, no stash) and
+	// Backward panics.
+	inference bool
+
 	// Step-persistent scratch: the stats and backward-sums buffers are owned
 	// by the layer and reused across training steps, so a warm step
 	// allocates nothing here.
@@ -53,13 +58,21 @@ type BatchNorm struct {
 // NewBatchNorm constructs the layer for activations distributed as d.
 func NewBatchNorm(ctx *Ctx, d dist.Dist, mode BatchNormMode) *BatchNorm {
 	c := d.C
+	l := newBatchNorm(d, mode)
+	l.DGamma = make([]float32, c)
+	l.DBeta = make([]float32, c)
+	l.stats = make([]float32, 2*c+1)
+	l.sums = make([]float32, 2*c)
+	return l
+}
+
+func newBatchNorm(d dist.Dist, mode BatchNormMode) *BatchNorm {
+	c := d.C
 	l := &BatchNorm{
 		Dist: d, Mode: mode, Eps: 1e-5, Momentum: 0.9,
 		Gamma: make([]float32, c), Beta: make([]float32, c),
-		DGamma: make([]float32, c), DBeta: make([]float32, c),
 		RunMean: make([]float32, c), RunVar: make([]float32, c),
 		mean: make([]float32, c), invstd: make([]float32, c),
-		stats: make([]float32, 2*c+1), sums: make([]float32, 2*c),
 	}
 	for i := range l.Gamma {
 		l.Gamma[i] = 1
@@ -73,6 +86,13 @@ func NewBatchNorm(ctx *Ctx, d dist.Dist, mode BatchNormMode) *BatchNorm {
 func (l *BatchNorm) Forward(ctx *Ctx, x DistTensor) DistTensor {
 	if !x.Dist.SameLayout(l.Dist) {
 		panic(fmt.Sprintf("core: batchnorm input dist %v, want %v", x.Dist, l.Dist))
+	}
+	if l.inference {
+		// Running statistics are replicated, so no aggregation is needed and
+		// nothing is stashed for a backward pass that will never come.
+		y := NewDistTensor(l.Dist, ctx.Rank)
+		kernels.BatchNormInference(x.Local, l.RunMean, l.RunVar, l.Gamma, l.Beta, l.Eps, y.Local)
+		return y
 	}
 	c := l.Dist.C
 	stats := l.stats
@@ -100,6 +120,9 @@ func (l *BatchNorm) Forward(ctx *Ctx, x DistTensor) DistTensor {
 // Backward computes dgamma/dbeta (reduced over the statistics group — they
 // double as the parameter gradients) and the input error signal.
 func (l *BatchNorm) Backward(ctx *Ctx, dy DistTensor) DistTensor {
+	if l.DGamma == nil {
+		panic("core: Backward on an inference-only BatchNorm (NewBatchNormInference)")
+	}
 	if l.x == nil {
 		panic("core: batchnorm Backward called before Forward")
 	}

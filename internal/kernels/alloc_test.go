@@ -68,6 +68,54 @@ func TestBatchNormForwardZeroAllocs(t *testing.T) {
 	assertZeroAllocs(t, "BatchNormStats", func() { BatchNormStats(x, sum, sumsq) })
 }
 
+func TestElementwiseZeroAllocs(t *testing.T) {
+	x := tensor.New(2, 8, 32, 32)
+	x.FillPattern(0.4)
+	y := tensor.New(2, 8, 32, 32)
+	z := tensor.New(2, 8, 32, 32)
+	assertZeroAllocs(t, "ReLUForward", func() { ReLUForward(x, y) })
+	assertZeroAllocs(t, "ReLUBackward", func() { ReLUBackward(x, y, z) })
+	assertZeroAllocs(t, "Add", func() { Add(x, y, z) })
+}
+
+func TestPoolZeroAllocs(t *testing.T) {
+	x := tensor.New(2, 8, 32, 32)
+	x.FillPattern(0.5)
+	y := tensor.New(2, 8, 16, 16)
+	argmax := make([]int32, y.Size())
+	dx := tensor.New(2, 8, 32, 32)
+	assertZeroAllocs(t, "MaxPoolForward", func() { MaxPoolForward(x, y, 2, 2, 0, argmax) })
+	assertZeroAllocs(t, "MaxPoolBackward", func() { MaxPoolBackward(y, argmax, dx) })
+	assertZeroAllocs(t, "AvgPoolForward", func() { AvgPoolForward(x, y, 2, 2, 0) })
+	assertZeroAllocs(t, "AvgPoolBackward", func() { AvgPoolBackward(y, dx, 2, 2, 0) })
+	g := tensor.New(2, 8, 1, 1)
+	assertZeroAllocs(t, "GlobalAvgPoolForward", func() { GlobalAvgPoolForward(x, g) })
+}
+
+func TestLossZeroAllocs(t *testing.T) {
+	logits := tensor.New(16, 10)
+	logits.FillPattern(0.6)
+	dlogits := tensor.New(16, 10)
+	labels := make([]int, 16)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	assertZeroAllocs(t, "SoftmaxCrossEntropy", func() {
+		SoftmaxCrossEntropy(logits, labels, dlogits)
+	})
+
+	sp := tensor.New(2, 3, 8, 8)
+	sp.FillPattern(0.7)
+	dsp := tensor.New(2, 3, 8, 8)
+	labels32 := make([]int32, 2*8*8)
+	for i := range labels32 {
+		labels32[i] = int32(i % 3)
+	}
+	assertZeroAllocs(t, "SoftmaxCrossEntropySpatial", func() {
+		SoftmaxCrossEntropySpatial(sp, labels32, dsp)
+	})
+}
+
 func TestWorkspaceReuse(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race detector drops sync.Pool items; pooled-pointer identity does not hold")

@@ -14,12 +14,26 @@ type ConvAlgo int
 
 // Convolution algorithm choices.
 const (
-	// ConvAuto picks im2col+GEMM when the GEMM is large enough to amortize
-	// the column buffer, direct otherwise.
+	// ConvAuto picks the GEMM-lowered path (no column buffer) for 1x1
+	// kernels, im2col+GEMM when the implied GEMM is large enough to amortize
+	// the column buffer, and direct otherwise.
 	ConvAuto ConvAlgo = iota
 	ConvDirect
 	ConvIm2col
+	// conv1x1 is the internal GEMM lowering ConvAuto selects for 1x1
+	// kernels; not exported because it is only valid for K=1, pad=0.
+	conv1x1
 )
+
+// im2colMinWork is the multiply-accumulate count (F*OH*OW*C*K*K) above which
+// im2col+GEMM beats the direct loops. Re-measured after the packed-GEMM
+// rewrite (TestConvAutoCrossover prints the table): on the AVX2 dev box
+// im2col already breaks even at ~600 MACs (direct 1.2x faster at 144 MACs,
+// even at ~600, 1.2-2.4x slower from 2k up, 8x slower at 590k), so the old
+// "oh*ow >= 16 && c*k*k >= 16" heuristic — tuned for the pre-packed GEMM —
+// was routing substantial convolutions to the scalar loops. Only
+// near-degenerate shapes stay direct now.
+const im2colMinWork = 512
 
 // convCheck validates the shape relationships of a convolution call and
 // returns the unpacked dimensions.
@@ -53,11 +67,15 @@ func convCheck(x, w, y *tensor.Tensor, stride, pad int) (n, c, h, wd, f, k, oh, 
 func ConvForward(x, w *tensor.Tensor, bias []float32, y *tensor.Tensor, stride, pad int, algo ConvAlgo) {
 	n, c, _, _, f, k, oh, ow := convCheck(x, w, y, stride, pad)
 	if algo == ConvAuto {
-		// im2col pays off when the implied GEMM has enough work per column
-		// buffer element; tiny outputs or 1x1 kernels favor direct.
-		if k > 1 && oh*ow >= 16 && c*k*k >= 16 {
+		switch {
+		case k == 1 && pad == 0:
+			// 1x1 convolutions lower directly onto the packed GEMM with no
+			// column buffer (a gather for strided cases); always a win over
+			// the scalar direct loops.
+			algo = conv1x1
+		case f*oh*ow*c*k*k >= im2colMinWork:
 			algo = ConvIm2col
-		} else {
+		default:
 			algo = ConvDirect
 		}
 	}
@@ -66,6 +84,8 @@ func ConvForward(x, w *tensor.Tensor, bias []float32, y *tensor.Tensor, stride, 
 		convForwardDirect(x, w, y, stride, pad)
 	case ConvIm2col:
 		convForwardIm2col(x, w, y, stride, pad)
+	case conv1x1:
+		convForward1x1(x, w, y, stride, pad)
 	default:
 		panic(fmt.Sprintf("kernels: unknown conv algorithm %d", algo))
 	}
@@ -102,57 +122,98 @@ func (j *biasAddJob) RunChunk(lo, hi int) {
 	}
 }
 
+// directConvJob carries one direct-convolution invocation; pooled so the
+// warm direct path (chosen by ConvAuto for tiny shapes, which the serving
+// Predict path can hit) stays allocation-free.
+type directConvJob struct {
+	xd, wwd, yd            []float32
+	c, h, wd, f, k, oh, ow int
+	stride, pad            int
+}
+
+var directConvJobPool = sync.Pool{New: func() any { return new(directConvJob) }}
+
 // convForwardDirect is the straightforward 7-loop convolution, parallel over
 // (sample, filter) pairs with row-contiguous inner accumulation.
 func convForwardDirect(x, w, y *tensor.Tensor, stride, pad int) {
 	n, c, h, wd, f, k, oh, ow := convCheck(x, w, y, stride, pad)
-	xd, wwd, yd := x.Data(), w.Data(), y.Data()
-	ParallelFor(n*f, func(lo, hi int) {
-		for nf := lo; nf < hi; nf++ {
-			ni, fi := nf/f, nf%f
-			yBase := (ni*f + fi) * oh * ow
-			for oy := 0; oy < oh; oy++ {
-				yRow := yd[yBase+oy*ow : yBase+(oy+1)*ow]
-				for i := range yRow {
-					yRow[i] = 0
-				}
-				iy0 := oy*stride - pad
-				for ci := 0; ci < c; ci++ {
-					xBase := (ni*c + ci) * h * wd
-					wBase := ((fi*c + ci) * k) * k
-					for kh := 0; kh < k; kh++ {
-						iy := iy0 + kh
-						if iy < 0 || iy >= h {
+	j := directConvJobPool.Get().(*directConvJob)
+	j.xd, j.wwd, j.yd = x.Data(), w.Data(), y.Data()
+	j.c, j.h, j.wd, j.f, j.k, j.oh, j.ow = c, h, wd, f, k, oh, ow
+	j.stride, j.pad = stride, pad
+	parallelChunks(n*f, j)
+	j.xd, j.wwd, j.yd = nil, nil, nil
+	directConvJobPool.Put(j)
+}
+
+func (j *directConvJob) RunChunk(lo, hi int) {
+	c, h, wd, f, k, oh, ow := j.c, j.h, j.wd, j.f, j.k, j.oh, j.ow
+	stride, pad := j.stride, j.pad
+	xd, wwd, yd := j.xd, j.wwd, j.yd
+	for nf := lo; nf < hi; nf++ {
+		ni, fi := nf/f, nf%f
+		yBase := (ni*f + fi) * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			yRow := yd[yBase+oy*ow : yBase+(oy+1)*ow]
+			for i := range yRow {
+				yRow[i] = 0
+			}
+			iy0 := oy*stride - pad
+			for ci := 0; ci < c; ci++ {
+				xBase := (ni*c + ci) * h * wd
+				wBase := ((fi*c + ci) * k) * k
+				for kh := 0; kh < k; kh++ {
+					iy := iy0 + kh
+					if iy < 0 || iy >= h {
+						continue
+					}
+					xRow := xd[xBase+iy*wd : xBase+(iy+1)*wd]
+					wRow := wwd[wBase+kh*k : wBase+(kh+1)*k]
+					for kw := 0; kw < k; kw++ {
+						wv := wRow[kw]
+						if wv == 0 {
 							continue
 						}
-						xRow := xd[xBase+iy*wd : xBase+(iy+1)*wd]
-						wRow := wwd[wBase+kh*k : wBase+(kh+1)*k]
-						for kw := 0; kw < k; kw++ {
-							wv := wRow[kw]
-							if wv == 0 {
-								continue
-							}
-							ix0 := -pad + kw
-							// Valid ox range so that ix = ox*stride+ix0 is in [0, wd).
-							oxLo := 0
-							if ix0 < 0 {
-								oxLo = (-ix0 + stride - 1) / stride
-							}
-							oxHi := ow
-							if maxOx := (wd - 1 - ix0) / stride; maxOx+1 < oxHi {
-								oxHi = maxOx + 1
-							}
-							ix := oxLo*stride + ix0
-							for ox := oxLo; ox < oxHi; ox++ {
-								yRow[ox] += wv * xRow[ix]
-								ix += stride
-							}
+						ix0 := -pad + kw
+						// Valid ox range so that ix = ox*stride+ix0 is in [0, wd).
+						oxLo := 0
+						if ix0 < 0 {
+							oxLo = (-ix0 + stride - 1) / stride
+						}
+						oxHi := ow
+						if maxOx := (wd - 1 - ix0) / stride; maxOx+1 < oxHi {
+							oxHi = maxOx + 1
+						}
+						ix := oxLo*stride + ix0
+						for ox := oxLo; ox < oxHi; ox++ {
+							yRow[ox] += wv * xRow[ix]
+							ix += stride
 						}
 					}
 				}
 			}
 		}
-	})
+	}
+}
+
+// convForward1x1 lowers a 1x1 convolution (pad must be 0) directly onto the
+// packed GEMM: for stride 1 each sample's input is already the [C, OH*OW]
+// B matrix, so y[n] = W[F,C] * x[n] with no column buffer at all; strided
+// 1x1 convolutions gather the subsampled plane through the im2col path.
+func convForward1x1(x, w, y *tensor.Tensor, stride, pad int) {
+	n, c, _, _, f, k, oh, ow := convCheck(x, w, y, stride, pad)
+	if k != 1 || pad != 0 {
+		panic("kernels: convForward1x1 requires K=1, pad=0")
+	}
+	if stride != 1 {
+		convForwardIm2col(x, w, y, stride, pad)
+		return
+	}
+	plane := oh * ow
+	xd, wwd, yd := x.Data(), w.Data(), y.Data()
+	for ni := 0; ni < n; ni++ {
+		GemmNN(f, plane, c, 1, wwd, xd[ni*c*plane:(ni+1)*c*plane], 0, yd[ni*f*plane:(ni+1)*f*plane])
+	}
 }
 
 // convForwardIm2col lowers convolution to GEMM: for each sample, unfold the

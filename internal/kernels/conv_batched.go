@@ -1,0 +1,131 @@
+package kernels
+
+import (
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// ConvForwardBatched computes y = conv(x, w) + bias like ConvForward, but
+// lowers the whole mini-batch onto ONE packed GEMM instead of a GEMM per
+// sample: the inputs unfold into a single [C*K*K, N*OH*OW] column matrix
+// (sample ni owns the contiguous column block [ni*OH*OW, (ni+1)*OH*OW)), a
+// single GemmNNStable produces [F, N*OH*OW], and an unshuffle pass
+// transposes the result into the NCHW output layout, folding in the bias.
+// GemmNNStable (never the small-problem fallback) keeps each sample's
+// output bitwise independent of the batch it rode in on.
+//
+// This is the serving-side analogue of the paper's insight that throughput
+// comes from batching work onto wide, well-blocked kernels: N micro-batched
+// requests pay for one A-matrix pack and one sweep of full-width B panels,
+// where the per-sample formulation packs W and re-warms the GEMM N times on
+// matrices too narrow to amortize it. All scratch (column matrix, GEMM
+// output) comes from the default workspace, so warm calls — in particular
+// every batcher flush in internal/serve — allocate nothing.
+//
+// The extra output shuffle costs one output-sized copy; it is only worth
+// paying when N > 1 and the per-sample GEMM is small, which is exactly the
+// dynamic micro-batching regime. Training keeps the per-sample ConvForward
+// whose accumulation order the distributed-equivalence tests pin down.
+func ConvForwardBatched(x, w *tensor.Tensor, bias []float32, y *tensor.Tensor, stride, pad int) {
+	n, c, h, wd, f, k, oh, ow := convCheck(x, w, y, stride, pad)
+	if bias != nil && len(bias) != f {
+		panic("kernels: bias length != filters")
+	}
+	ckk := c * k * k
+	plane := oh * ow
+	cols := n * plane
+	xd, wwd, yd := x.Data(), w.Data(), y.Data()
+
+	colBuf := defaultWS.Get(ckk * cols)
+	col := *colBuf
+	ij := im2colBatchJobPool.Get().(*im2colBatchJob)
+	ij.x, ij.col = xd, col
+	ij.c, ij.h, ij.w, ij.k = c, h, wd, k
+	ij.stride, ij.pad, ij.oh, ij.ow, ij.cols = stride, pad, oh, ow, cols
+	parallelChunks(n*c, ij)
+	ij.x, ij.col = nil, nil
+	im2colBatchJobPool.Put(ij)
+
+	outBuf := defaultWS.Get(f * cols)
+	out := *outBuf
+	GemmNNStable(f, cols, ckk, 1, wwd, col, 0, out)
+	defaultWS.Put(colBuf)
+
+	uj := convUnshuffleJobPool.Get().(*convUnshuffleJob)
+	uj.out, uj.yd, uj.bias = out, yd, bias
+	uj.f, uj.plane, uj.cols = f, plane, cols
+	parallelChunks(n*f, uj)
+	uj.out, uj.yd, uj.bias = nil, nil, nil
+	convUnshuffleJobPool.Put(uj)
+	defaultWS.Put(outBuf)
+}
+
+// im2colBatchJob unfolds (sample, channel) pairs [lo, hi) of the whole batch
+// into the shared column matrix, whose rows have stride cols = N*OH*OW.
+type im2colBatchJob struct {
+	x, col                          []float32
+	c, h, w, k, stride, pad, oh, ow int
+	cols                            int
+}
+
+var im2colBatchJobPool = sync.Pool{New: func() any { return new(im2colBatchJob) }}
+
+func (j *im2colBatchJob) RunChunk(lo, hi int) {
+	c, h, w, k, stride, pad, oh, ow := j.c, j.h, j.w, j.k, j.stride, j.pad, j.oh, j.ow
+	plane := oh * ow
+	for idx := lo; idx < hi; idx++ {
+		ni, ci := idx/c, idx%c
+		x := j.x[(ni*c+ci)*h*w : (ni*c+ci+1)*h*w]
+		colBase := ni * plane
+		for kh := 0; kh < k; kh++ {
+			for kw := 0; kw < k; kw++ {
+				row := j.col[((ci*k+kh)*k+kw)*j.cols+colBase:]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - pad + kh
+					dst := row[oy*ow : (oy+1)*ow]
+					if iy < 0 || iy >= h {
+						for i := range dst {
+							dst[i] = 0
+						}
+						continue
+					}
+					src := x[iy*w : (iy+1)*w]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride - pad + kw
+						if ix < 0 || ix >= w {
+							dst[ox] = 0
+						} else {
+							dst[ox] = src[ix]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// convUnshuffleJob transposes the batched GEMM output [F, N*OH*OW] into the
+// NCHW output [N, F, OH*OW], adding the per-filter bias in the same pass.
+type convUnshuffleJob struct {
+	out, yd, bias  []float32
+	f, plane, cols int
+}
+
+var convUnshuffleJobPool = sync.Pool{New: func() any { return new(convUnshuffleJob) }}
+
+func (j *convUnshuffleJob) RunChunk(lo, hi int) {
+	for idx := lo; idx < hi; idx++ {
+		ni, fi := idx/j.f, idx%j.f
+		src := j.out[fi*j.cols+ni*j.plane : fi*j.cols+(ni+1)*j.plane]
+		dst := j.yd[idx*j.plane : (idx+1)*j.plane]
+		if j.bias != nil {
+			b := j.bias[fi]
+			for q, v := range src {
+				dst[q] = v + b
+			}
+		} else {
+			copy(dst, src)
+		}
+	}
+}

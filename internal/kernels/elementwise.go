@@ -1,6 +1,38 @@
 package kernels
 
-import "repro/internal/tensor"
+import (
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// ewJob is the shared pooled work item for the elementwise kernels: each
+// kernel sets run to a top-level function (no closure allocation) plus the
+// flat operand slices, so warm elementwise calls make no heap allocations.
+// Chunk indices address ewChunk-sized blocks of the flat range, keeping tiny
+// tensors serial.
+type ewJob struct {
+	run        func(j *ewJob, lo, hi int)
+	a, b, c, d []float32
+	n          int
+}
+
+var ewJobPool = sync.Pool{New: func() any { return new(ewJob) }}
+
+func (j *ewJob) RunChunk(lo, hi int) { j.run(j, lo, hi) }
+
+func (j *ewJob) release() {
+	*j = ewJob{}
+	ewJobPool.Put(j)
+}
+
+func runEw(run func(j *ewJob, lo, hi int), n int, a, b, c, d []float32) {
+	j := ewJobPool.Get().(*ewJob)
+	j.run, j.n = run, n
+	j.a, j.b, j.c, j.d = a, b, c, d
+	parallelChunks(parChunks(n), j)
+	j.release()
+}
 
 // ReLUForward computes y = max(0, x) elementwise. x and y may alias.
 func ReLUForward(x, y *tensor.Tensor) {
@@ -8,16 +40,19 @@ func ReLUForward(x, y *tensor.Tensor) {
 	if len(xd) != len(yd) {
 		panic("kernels: relu size mismatch")
 	}
-	ParallelFor(parChunks(len(xd)), func(lo, hi int) {
-		a, b := chunkRange(len(xd), lo, hi)
-		for i := a; i < b; i++ {
-			if xd[i] > 0 {
-				yd[i] = xd[i]
-			} else {
-				yd[i] = 0
-			}
+	runEw(reluFwdChunk, len(xd), xd, yd, nil, nil)
+}
+
+func reluFwdChunk(j *ewJob, lo, hi int) {
+	a, b := chunkRange(j.n, lo, hi)
+	xd, yd := j.a, j.b
+	for i := a; i < b; i++ {
+		if xd[i] > 0 {
+			yd[i] = xd[i]
+		} else {
+			yd[i] = 0
 		}
-	})
+	}
 }
 
 // ReLUBackward computes dx = dy where x > 0, else 0. dx may alias dy.
@@ -26,16 +61,19 @@ func ReLUBackward(x, dy, dx *tensor.Tensor) {
 	if len(xd) != len(dyd) || len(xd) != len(dxd) {
 		panic("kernels: relu backward size mismatch")
 	}
-	ParallelFor(parChunks(len(xd)), func(lo, hi int) {
-		a, b := chunkRange(len(xd), lo, hi)
-		for i := a; i < b; i++ {
-			if xd[i] > 0 {
-				dxd[i] = dyd[i]
-			} else {
-				dxd[i] = 0
-			}
+	runEw(reluBwdChunk, len(xd), xd, dyd, dxd, nil)
+}
+
+func reluBwdChunk(j *ewJob, lo, hi int) {
+	a, b := chunkRange(j.n, lo, hi)
+	xd, dyd, dxd := j.a, j.b, j.c
+	for i := a; i < b; i++ {
+		if xd[i] > 0 {
+			dxd[i] = dyd[i]
+		} else {
+			dxd[i] = 0
 		}
-	})
+	}
 }
 
 // Add computes out = a + b elementwise (residual connections). out may alias
@@ -45,12 +83,15 @@ func Add(a, b, out *tensor.Tensor) {
 	if len(ad) != len(bd) || len(ad) != len(od) {
 		panic("kernels: add size mismatch")
 	}
-	ParallelFor(parChunks(len(ad)), func(lo, hi int) {
-		x, y := chunkRange(len(ad), lo, hi)
-		for i := x; i < y; i++ {
-			od[i] = ad[i] + bd[i]
-		}
-	})
+	runEw(addChunk, len(ad), ad, bd, od, nil)
+}
+
+func addChunk(j *ewJob, lo, hi int) {
+	x, y := chunkRange(j.n, lo, hi)
+	ad, bd, od := j.a, j.b, j.c
+	for i := x; i < y; i++ {
+		od[i] = ad[i] + bd[i]
+	}
 }
 
 // elementwise chunking: split a flat range into coarse chunks so tiny

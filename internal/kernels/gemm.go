@@ -28,6 +28,26 @@ func GemmNN(m, n, k int, alpha float32, a []float32, b []float32, beta float32, 
 	gemm(false, false, m, n, k, alpha, a, b, beta, c)
 }
 
+// GemmNNStable computes C = alpha*A*B + beta*C like GemmNN, but always
+// takes the packed register-blocked path regardless of problem size. Within
+// that path each output element's K-accumulation order is fixed by the KC
+// panel schedule alone, so results are bitwise independent of N — the
+// property the serving batcher relies on: a request's answer may not change
+// with the number of requests sharing its micro-batch. Tiny problems pay
+// the packing overhead GemmNN's small-path dispatch avoids, which is the
+// price of determinism.
+func GemmNNStable(m, n, k int, alpha float32, a []float32, b []float32, beta float32, c []float32) {
+	checkGemm(m, n, k, len(a), len(b), len(c))
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 || alpha == 0 {
+		scaleC(beta, c[:m*n])
+		return
+	}
+	gemmPacked(false, false, m, n, k, alpha, a, b, beta, c)
+}
+
 // GemmNT computes C = alpha*A*Bᵀ + beta*C for row-major A (M x K),
 // B (N x K), C (M x N).
 func GemmNT(m, n, k int, alpha float32, a []float32, b []float32, beta float32, c []float32) {

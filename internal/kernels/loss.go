@@ -3,9 +3,51 @@ package kernels
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/tensor"
 )
+
+// lossJob is the pooled work item for the softmax cross-entropy kernels:
+// each chunk writes its samples' losses into the per-sample partials slice
+// (disjoint indices, no synchronization) and the caller reduces it
+// serially, so the parallel loss is bitwise identical run to run — chunk
+// completion order cannot reorder the float64 sum. The partials buffer
+// lives in the pooled job and regrows monotonically, keeping warm calls
+// allocation-free.
+type lossJob struct {
+	run func(j *lossJob, lo, hi int)
+
+	ld, dd    []float32
+	labels    []int
+	labels32  []int32
+	cl, plane int
+	norm      float64
+	partials  []float64
+}
+
+var lossJobPool = sync.Pool{New: func() any { return new(lossJob) }}
+
+func (j *lossJob) RunChunk(lo, hi int) { j.run(j, lo, hi) }
+
+func (j *lossJob) release() float64 {
+	var total float64
+	for _, v := range j.partials {
+		total += v
+	}
+	j.run = nil
+	j.ld, j.dd = nil, nil
+	j.labels, j.labels32 = nil, nil
+	lossJobPool.Put(j)
+	return total
+}
+
+func (j *lossJob) grow(n int) {
+	if cap(j.partials) < n {
+		j.partials = make([]float64, n)
+	}
+	j.partials = j.partials[:n]
+}
 
 // SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
 // [N, Classes] against integer labels and the gradient dlogits
@@ -15,7 +57,6 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int, dlogits *tensor.Te
 	if len(labels) != n {
 		panic(fmt.Sprintf("kernels: %d labels for %d samples", len(labels), n))
 	}
-	ld := logits.Data()
 	var dd []float32
 	if dlogits != nil {
 		if dlogits.Size() != logits.Size() {
@@ -23,13 +64,27 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int, dlogits *tensor.Te
 		}
 		dd = dlogits.Data()
 	}
-	total := 0.0
-	for i := 0; i < n; i++ {
-		row := ld[i*cl : (i+1)*cl]
-		lbl := labels[i]
+	// Validate labels up front, on the caller's stack: a panic inside a
+	// pool-worker goroutine could not be recovered by the caller.
+	for i, lbl := range labels {
 		if lbl < 0 || lbl >= cl {
-			panic(fmt.Sprintf("kernels: label %d out of range [0,%d)", lbl, cl))
+			panic(fmt.Sprintf("kernels: label %d (sample %d) out of range [0,%d)", lbl, i, cl))
 		}
+	}
+	j := lossJobPool.Get().(*lossJob)
+	j.run = xentRowsChunk
+	j.ld, j.dd, j.labels, j.cl = logits.Data(), dd, labels, cl
+	j.norm = float64(n)
+	j.grow(n)
+	parallelChunks(n, j)
+	return j.release() / float64(n)
+}
+
+func xentRowsChunk(j *lossJob, lo, hi int) {
+	cl := j.cl
+	for i := lo; i < hi; i++ {
+		row := j.ld[i*cl : (i+1)*cl]
+		lbl := j.labels[i]
 		// Numerically stable log-sum-exp.
 		mx := row[0]
 		for _, v := range row[1:] {
@@ -42,17 +97,16 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int, dlogits *tensor.Te
 			sum += math.Exp(float64(v - mx))
 		}
 		logZ := math.Log(sum) + float64(mx)
-		total += logZ - float64(row[lbl])
-		if dd != nil {
-			drow := dd[i*cl : (i+1)*cl]
-			for j, v := range row {
-				p := math.Exp(float64(v)-logZ) / float64(n)
-				drow[j] = float32(p)
+		j.partials[i] = logZ - float64(row[lbl])
+		if j.dd != nil {
+			drow := j.dd[i*cl : (i+1)*cl]
+			for q, v := range row {
+				p := math.Exp(float64(v)-logZ) / j.norm
+				drow[q] = float32(p)
 			}
-			drow[lbl] -= 1 / float32(n)
+			drow[lbl] -= float32(1 / j.norm)
 		}
 	}
-	return total / float64(n)
 }
 
 // SoftmaxCrossEntropySpatial computes the mean per-pixel cross-entropy of
@@ -65,7 +119,6 @@ func SoftmaxCrossEntropySpatial(logits *tensor.Tensor, labels []int32, dlogits *
 	if len(labels) != n*h*w {
 		panic(fmt.Sprintf("kernels: %d labels for %d pixels", len(labels), n*h*w))
 	}
-	ld := logits.Data()
 	var dd []float32
 	if dlogits != nil {
 		if dlogits.Size() != logits.Size() {
@@ -75,36 +128,49 @@ func SoftmaxCrossEntropySpatial(logits *tensor.Tensor, labels []int32, dlogits *
 	}
 	plane := h * w
 	norm := float64(n * plane)
-	total := 0.0
-	for ni := 0; ni < n; ni++ {
+	for i, lbl := range labels {
+		if int(lbl) < 0 || int(lbl) >= cl {
+			panic(fmt.Sprintf("kernels: label %d (pixel %d) out of range [0,%d)", lbl, i, cl))
+		}
+	}
+	j := lossJobPool.Get().(*lossJob)
+	j.run = xentSpatialChunk
+	j.ld, j.dd, j.labels32 = logits.Data(), dd, labels
+	j.cl, j.plane, j.norm = cl, plane, norm
+	j.grow(n)
+	parallelChunks(n, j)
+	return j.release() / norm
+}
+
+func xentSpatialChunk(j *lossJob, nlo, nhi int) {
+	cl, plane := j.cl, j.plane
+	for ni := nlo; ni < nhi; ni++ {
+		var partial float64
 		for p := 0; p < plane; p++ {
-			lbl := int(labels[ni*plane+p])
-			if lbl < 0 || lbl >= cl {
-				panic(fmt.Sprintf("kernels: label %d out of range [0,%d)", lbl, cl))
-			}
+			lbl := int(j.labels32[ni*plane+p])
 			base := ni*cl*plane + p
 			mx := float32(math.Inf(-1))
 			for c := 0; c < cl; c++ {
-				if v := ld[base+c*plane]; v > mx {
+				if v := j.ld[base+c*plane]; v > mx {
 					mx = v
 				}
 			}
 			var sum float64
 			for c := 0; c < cl; c++ {
-				sum += math.Exp(float64(ld[base+c*plane] - mx))
+				sum += math.Exp(float64(j.ld[base+c*plane] - mx))
 			}
 			logZ := math.Log(sum) + float64(mx)
-			total += logZ - float64(ld[base+lbl*plane])
-			if dd != nil {
+			partial += logZ - float64(j.ld[base+lbl*plane])
+			if j.dd != nil {
 				for c := 0; c < cl; c++ {
-					pr := math.Exp(float64(ld[base+c*plane])-logZ) / norm
-					dd[base+c*plane] = float32(pr)
+					pr := math.Exp(float64(j.ld[base+c*plane])-logZ) / j.norm
+					j.dd[base+c*plane] = float32(pr)
 				}
-				dd[base+lbl*plane] -= float32(1 / norm)
+				j.dd[base+lbl*plane] -= float32(1 / j.norm)
 			}
 		}
+		j.partials[ni] = partial
 	}
-	return total / norm
 }
 
 // ArgmaxRows returns the argmax class of each row of logits [N, Classes].
@@ -113,16 +179,22 @@ func ArgmaxRows(logits *tensor.Tensor) []int {
 	ld := logits.Data()
 	out := make([]int, n)
 	for i := 0; i < n; i++ {
-		row := ld[i*cl : (i+1)*cl]
-		best := 0
-		for j, v := range row {
-			if v > row[best] {
-				best = j
-			}
-		}
-		out[i] = best
+		out[i] = ArgmaxRow(ld[i*cl : (i+1)*cl])
 	}
 	return out
+}
+
+// ArgmaxRow returns the argmax index of one flat logits row — the
+// allocation-free primitive ArgmaxRows maps over, usable directly on
+// serving's per-request output slices.
+func ArgmaxRow(row []float32) int {
+	best := 0
+	for j, v := range row {
+		if v > row[best] {
+			best = j
+		}
+	}
+	return best
 }
 
 // PixelArgmax returns the per-pixel argmax class of logits [N, C, H, W] as a

@@ -3,9 +3,37 @@ package kernels
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/tensor"
 )
+
+// poolJob is the shared pooled work item for the pooling kernels: each kernel
+// sets run to a top-level function (no closure allocation) plus its geometry,
+// so warm pooling calls make no heap allocations — a requirement of both
+// steady-state training steps and the serving subsystem's zero-alloc
+// Predict path.
+type poolJob struct {
+	run func(j *poolJob, lo, hi int)
+
+	xd, yd, dyd, dxd []float32
+	argmax           []int32
+
+	k, stride, pad         int
+	xh, xw, yh, yw         int
+	xLoH, xLoW, yLoH, yLoW int
+	globalH, globalW       int
+	plane                  int
+}
+
+var poolJobPool = sync.Pool{New: func() any { return new(poolJob) }}
+
+func (j *poolJob) RunChunk(lo, hi int) { j.run(j, lo, hi) }
+
+func (j *poolJob) release() {
+	*j = poolJob{}
+	poolJobPool.Put(j)
+}
 
 // MaxPoolForwardRegion computes max pooling for a local region of the global
 // output. x is the (halo-extended) local input buffer covering global rows
@@ -14,62 +42,70 @@ import (
 // input extent (globalH x globalW) are excluded from the max, matching
 // cuDNN's treatment of padding. argmax (len = y.Size()) records the linear
 // index into x.Data() of each maximum for the backward scatter; it may be
-// nil if no backward pass is needed.
+// nil if no backward pass is needed (inference).
 func MaxPoolForwardRegion(x, y *tensor.Tensor, k, stride, pad, xLoH, xLoW, yLoH, yLoW, globalH, globalW int, argmax []int32) {
 	xs, ys := x.Shape(), y.Shape()
-	n, c, xh, xw := xs[0], xs[1], xs[2], xs[3]
-	yh, yw := ys[2], ys[3]
+	n, c := xs[0], xs[1]
 	if ys[0] != n || ys[1] != c {
 		panic(fmt.Sprintf("kernels: maxpool shapes x=%v y=%v inconsistent", xs, ys))
 	}
 	if argmax != nil && len(argmax) != y.Size() {
 		panic("kernels: argmax length != output size")
 	}
-	xd, yd := x.Data(), y.Data()
-	ParallelFor(n*c, func(lo, hi int) {
-		for nc := lo; nc < hi; nc++ {
-			xBase := nc * xh * xw
-			yBase := nc * yh * yw
-			for oyl := 0; oyl < yh; oyl++ {
-				oy := yLoH + oyl
-				for oxl := 0; oxl < yw; oxl++ {
-					ox := yLoW + oxl
-					best := float32(math.Inf(-1))
-					bestIdx := int32(-1)
-					for kh := 0; kh < k; kh++ {
-						iy := oy*stride - pad + kh
-						if iy < 0 || iy >= globalH {
+	j := poolJobPool.Get().(*poolJob)
+	j.run = maxPoolFwdChunk
+	j.xd, j.yd, j.argmax = x.Data(), y.Data(), argmax
+	j.k, j.stride, j.pad = k, stride, pad
+	j.xh, j.xw, j.yh, j.yw = xs[2], xs[3], ys[2], ys[3]
+	j.xLoH, j.xLoW, j.yLoH, j.yLoW = xLoH, xLoW, yLoH, yLoW
+	j.globalH, j.globalW = globalH, globalW
+	parallelChunks(n*c, j)
+	j.release()
+}
+
+func maxPoolFwdChunk(j *poolJob, lo, hi int) {
+	for nc := lo; nc < hi; nc++ {
+		xBase := nc * j.xh * j.xw
+		yBase := nc * j.yh * j.yw
+		for oyl := 0; oyl < j.yh; oyl++ {
+			oy := j.yLoH + oyl
+			for oxl := 0; oxl < j.yw; oxl++ {
+				ox := j.yLoW + oxl
+				best := float32(math.Inf(-1))
+				bestIdx := int32(-1)
+				for kh := 0; kh < j.k; kh++ {
+					iy := oy*j.stride - j.pad + kh
+					if iy < 0 || iy >= j.globalH {
+						continue
+					}
+					iyl := iy - j.xLoH
+					if iyl < 0 || iyl >= j.xh {
+						panic("kernels: maxpool input buffer does not cover required rows")
+					}
+					for kw := 0; kw < j.k; kw++ {
+						ix := ox*j.stride - j.pad + kw
+						if ix < 0 || ix >= j.globalW {
 							continue
 						}
-						iyl := iy - xLoH
-						if iyl < 0 || iyl >= xh {
-							panic("kernels: maxpool input buffer does not cover required rows")
+						ixl := ix - j.xLoW
+						if ixl < 0 || ixl >= j.xw {
+							panic("kernels: maxpool input buffer does not cover required cols")
 						}
-						for kw := 0; kw < k; kw++ {
-							ix := ox*stride - pad + kw
-							if ix < 0 || ix >= globalW {
-								continue
-							}
-							ixl := ix - xLoW
-							if ixl < 0 || ixl >= xw {
-								panic("kernels: maxpool input buffer does not cover required cols")
-							}
-							idx := xBase + iyl*xw + ixl
-							if v := xd[idx]; v > best {
-								best = v
-								bestIdx = int32(idx)
-							}
+						idx := xBase + iyl*j.xw + ixl
+						if v := j.xd[idx]; v > best {
+							best = v
+							bestIdx = int32(idx)
 						}
 					}
-					o := yBase + oyl*yw + oxl
-					yd[o] = best
-					if argmax != nil {
-						argmax[o] = bestIdx
-					}
+				}
+				o := yBase + oyl*j.yw + oxl
+				j.yd[o] = best
+				if j.argmax != nil {
+					j.argmax[o] = bestIdx
 				}
 			}
 		}
-	})
+	}
 }
 
 // MaxPoolForward is the sequential max pooling forward pass.
@@ -87,66 +123,78 @@ func MaxPoolBackward(dy *tensor.Tensor, argmax []int32, dx *tensor.Tensor) {
 		panic("kernels: argmax length != dy size")
 	}
 	dx.Zero()
-	dyd, dxd := dy.Data(), dx.Data()
 	// Scatter is sequential per plane to avoid write races: planes of dx are
 	// disjoint across (n,c), and argmax indices from plane (n,c) stay in it.
 	ys := dy.Shape()
-	plane := ys[2] * ys[3]
-	nc := ys[0] * ys[1]
-	ParallelFor(nc, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			for i := p * plane; i < (p+1)*plane; i++ {
-				if argmax[i] >= 0 {
-					dxd[argmax[i]] += dyd[i]
-				}
+	j := poolJobPool.Get().(*poolJob)
+	j.run = maxPoolBwdChunk
+	j.dyd, j.dxd, j.argmax = dy.Data(), dx.Data(), argmax
+	j.plane = ys[2] * ys[3]
+	parallelChunks(ys[0]*ys[1], j)
+	j.release()
+}
+
+func maxPoolBwdChunk(j *poolJob, lo, hi int) {
+	for p := lo; p < hi; p++ {
+		for i := p * j.plane; i < (p+1)*j.plane; i++ {
+			if j.argmax[i] >= 0 {
+				j.dxd[j.argmax[i]] += j.dyd[i]
 			}
 		}
-	})
+	}
 }
 
 // AvgPoolForwardRegion computes average pooling (padding excluded from the
 // divisor) for a local region; parameters as in MaxPoolForwardRegion.
 func AvgPoolForwardRegion(x, y *tensor.Tensor, k, stride, pad, xLoH, xLoW, yLoH, yLoW, globalH, globalW int) {
 	xs, ys := x.Shape(), y.Shape()
-	n, c, xh, xw := xs[0], xs[1], xs[2], xs[3]
-	yh, yw := ys[2], ys[3]
+	n, c := xs[0], xs[1]
 	if ys[0] != n || ys[1] != c {
 		panic(fmt.Sprintf("kernels: avgpool shapes x=%v y=%v inconsistent", xs, ys))
 	}
-	xd, yd := x.Data(), y.Data()
-	ParallelFor(n*c, func(lo, hi int) {
-		for ncI := lo; ncI < hi; ncI++ {
-			xBase := ncI * xh * xw
-			yBase := ncI * yh * yw
-			for oyl := 0; oyl < yh; oyl++ {
-				oy := yLoH + oyl
-				for oxl := 0; oxl < yw; oxl++ {
-					ox := yLoW + oxl
-					var sum float32
-					count := 0
-					for kh := 0; kh < k; kh++ {
-						iy := oy*stride - pad + kh
-						if iy < 0 || iy >= globalH {
+	j := poolJobPool.Get().(*poolJob)
+	j.run = avgPoolFwdChunk
+	j.xd, j.yd = x.Data(), y.Data()
+	j.k, j.stride, j.pad = k, stride, pad
+	j.xh, j.xw, j.yh, j.yw = xs[2], xs[3], ys[2], ys[3]
+	j.xLoH, j.xLoW, j.yLoH, j.yLoW = xLoH, xLoW, yLoH, yLoW
+	j.globalH, j.globalW = globalH, globalW
+	parallelChunks(n*c, j)
+	j.release()
+}
+
+func avgPoolFwdChunk(j *poolJob, lo, hi int) {
+	for nc := lo; nc < hi; nc++ {
+		xBase := nc * j.xh * j.xw
+		yBase := nc * j.yh * j.yw
+		for oyl := 0; oyl < j.yh; oyl++ {
+			oy := j.yLoH + oyl
+			for oxl := 0; oxl < j.yw; oxl++ {
+				ox := j.yLoW + oxl
+				var sum float32
+				count := 0
+				for kh := 0; kh < j.k; kh++ {
+					iy := oy*j.stride - j.pad + kh
+					if iy < 0 || iy >= j.globalH {
+						continue
+					}
+					for kw := 0; kw < j.k; kw++ {
+						ix := ox*j.stride - j.pad + kw
+						if ix < 0 || ix >= j.globalW {
 							continue
 						}
-						for kw := 0; kw < k; kw++ {
-							ix := ox*stride - pad + kw
-							if ix < 0 || ix >= globalW {
-								continue
-							}
-							sum += xd[xBase+(iy-xLoH)*xw+(ix-xLoW)]
-							count++
-						}
+						sum += j.xd[xBase+(iy-j.xLoH)*j.xw+(ix-j.xLoW)]
+						count++
 					}
-					if count > 0 {
-						yd[yBase+oyl*yw+oxl] = sum / float32(count)
-					} else {
-						yd[yBase+oyl*yw+oxl] = 0
-					}
+				}
+				if count > 0 {
+					j.yd[yBase+oyl*j.yw+oxl] = sum / float32(count)
+				} else {
+					j.yd[yBase+oyl*j.yw+oxl] = 0
 				}
 			}
 		}
-	})
+	}
 }
 
 // AvgPoolForward is the sequential average pooling forward pass.
@@ -160,53 +208,60 @@ func AvgPoolForward(x, y *tensor.Tensor, k, stride, pad int) {
 // input buffer.
 func AvgPoolBackwardRegion(dy, dx *tensor.Tensor, k, stride, pad, xLoH, xLoW, yLoH, yLoW, globalH, globalW int) {
 	ys, xs := dy.Shape(), dx.Shape()
-	n, c, yh, yw := ys[0], ys[1], ys[2], ys[3]
-	xh, xw := xs[2], xs[3]
 	dx.Zero()
-	dyd, dxd := dy.Data(), dx.Data()
-	ParallelFor(n*c, func(lo, hi int) {
-		for ncI := lo; ncI < hi; ncI++ {
-			xBase := ncI * xh * xw
-			yBase := ncI * yh * yw
-			for oyl := 0; oyl < yh; oyl++ {
-				oy := yLoH + oyl
-				for oxl := 0; oxl < yw; oxl++ {
-					ox := yLoW + oxl
-					// Recompute the valid-count, then distribute.
-					count := 0
-					for kh := 0; kh < k; kh++ {
-						iy := oy*stride - pad + kh
-						if iy < 0 || iy >= globalH {
-							continue
-						}
-						for kw := 0; kw < k; kw++ {
-							ix := ox*stride - pad + kw
-							if ix >= 0 && ix < globalW {
-								count++
-							}
-						}
-					}
-					if count == 0 {
+	j := poolJobPool.Get().(*poolJob)
+	j.run = avgPoolBwdChunk
+	j.dyd, j.dxd = dy.Data(), dx.Data()
+	j.k, j.stride, j.pad = k, stride, pad
+	j.xh, j.xw, j.yh, j.yw = xs[2], xs[3], ys[2], ys[3]
+	j.xLoH, j.xLoW, j.yLoH, j.yLoW = xLoH, xLoW, yLoH, yLoW
+	j.globalH, j.globalW = globalH, globalW
+	parallelChunks(ys[0]*ys[1], j)
+	j.release()
+}
+
+func avgPoolBwdChunk(j *poolJob, lo, hi int) {
+	for nc := lo; nc < hi; nc++ {
+		xBase := nc * j.xh * j.xw
+		yBase := nc * j.yh * j.yw
+		for oyl := 0; oyl < j.yh; oyl++ {
+			oy := j.yLoH + oyl
+			for oxl := 0; oxl < j.yw; oxl++ {
+				ox := j.yLoW + oxl
+				// Recompute the valid-count, then distribute.
+				count := 0
+				for kh := 0; kh < j.k; kh++ {
+					iy := oy*j.stride - j.pad + kh
+					if iy < 0 || iy >= j.globalH {
 						continue
 					}
-					g := dyd[yBase+oyl*yw+oxl] / float32(count)
-					for kh := 0; kh < k; kh++ {
-						iy := oy*stride - pad + kh
-						if iy < 0 || iy >= globalH {
+					for kw := 0; kw < j.k; kw++ {
+						ix := ox*j.stride - j.pad + kw
+						if ix >= 0 && ix < j.globalW {
+							count++
+						}
+					}
+				}
+				if count == 0 {
+					continue
+				}
+				g := j.dyd[yBase+oyl*j.yw+oxl] / float32(count)
+				for kh := 0; kh < j.k; kh++ {
+					iy := oy*j.stride - j.pad + kh
+					if iy < 0 || iy >= j.globalH {
+						continue
+					}
+					for kw := 0; kw < j.k; kw++ {
+						ix := ox*j.stride - j.pad + kw
+						if ix < 0 || ix >= j.globalW {
 							continue
 						}
-						for kw := 0; kw < k; kw++ {
-							ix := ox*stride - pad + kw
-							if ix < 0 || ix >= globalW {
-								continue
-							}
-							dxd[xBase+(iy-xLoH)*xw+(ix-xLoW)] += g
-						}
+						j.dxd[xBase+(iy-j.xLoH)*j.xw+(ix-j.xLoW)] += g
 					}
 				}
 			}
 		}
-	})
+	}
 }
 
 // AvgPoolBackward is the sequential average pooling backward pass.

@@ -217,3 +217,26 @@ func TestMeshTinyDistTrainingMatchesSeq(t *testing.T) {
 		}
 	}
 }
+
+func TestForServingFactories(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		make func() (*nn.InferNet, error)
+	}{
+		{"resnet-tiny", func() (*nn.InferNet, error) { return ResNet50TinyForServing(16, 4, 3) }},
+		{"mesh-tiny", func() (*nn.InferNet, error) { return MeshTinyForServing(16, 3) }},
+		{"smallcnn", func() (*nn.InferNet, error) { return SmallCNNForServing(16, 3, 5, 3) }},
+	} {
+		inf, err := tc.make()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		in := inf.InShape()
+		x := tensor.New(3, in.C, in.H, in.W)
+		x.FillPattern(0.2)
+		y := inf.Forward(x)
+		if y.Dim(0) != 3 {
+			t.Errorf("%s: forward batch dim %d, want 3", tc.name, y.Dim(0))
+		}
+	}
+}

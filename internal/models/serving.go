@@ -1,0 +1,41 @@
+package models
+
+import "repro/internal/nn"
+
+// ForServing constructors: each model factory paired with a forward-only
+// nn.InferNet builder sized for the serving subsystem's micro-batcher.
+// maxBatch is the largest batch the replica's preallocated activation
+// buffers accept — internal/serve flushes at or below it. Weights start
+// initialized; restore a trained checkpoint with nn.LoadState into
+// Params()/Buffers().
+
+// ForServing wraps any architecture in a forward-only inference engine.
+func ForServing(arch *nn.Arch, maxBatch int) (*nn.InferNet, error) {
+	return nn.NewInferNet(arch, maxBatch)
+}
+
+// ResNet50ForServing builds a forward-only ResNet-50 replica.
+func ResNet50ForServing(inputSize, classes, maxBatch int) (*nn.InferNet, error) {
+	return ForServing(ResNet50(inputSize, classes), maxBatch)
+}
+
+// ResNet50TinyForServing builds a forward-only reduced-ResNet replica, the
+// serving-test and example workhorse.
+func ResNet50TinyForServing(inputSize, classes, maxBatch int) (*nn.InferNet, error) {
+	return ForServing(ResNet50Tiny(inputSize, classes), maxBatch)
+}
+
+// Mesh1KForServing builds a forward-only 1K mesh-tangling replica.
+func Mesh1KForServing(maxBatch int) (*nn.InferNet, error) {
+	return ForServing(Mesh1K(), maxBatch)
+}
+
+// MeshTinyForServing builds a forward-only scaled-down mesh replica.
+func MeshTinyForServing(size, maxBatch int) (*nn.InferNet, error) {
+	return ForServing(MeshTiny(size), maxBatch)
+}
+
+// SmallCNNForServing builds a forward-only quickstart classifier replica.
+func SmallCNNForServing(size, channels, classes, maxBatch int) (*nn.InferNet, error) {
+	return ForServing(SmallCNN(size, channels, classes), maxBatch)
+}

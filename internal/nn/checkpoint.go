@@ -6,34 +6,70 @@ import (
 	"io"
 )
 
-// Checkpoint is the serialized form of a network's learnable state. Only
-// parameter values travel; gradients are transient. Both executors produce
-// identical checkpoints for the same logical network (parameters are
-// replicated under distribution), so a model trained distributed can be
-// reloaded sequentially and vice versa.
+// Checkpoint is the serialized form of a network's state. Params are the
+// learnable parameters; Buffers are the non-learnable state tensors that
+// inference nevertheless depends on (batch-normalization running statistics).
+// Gradients are transient and never travel. Both executors produce identical
+// checkpoints for the same logical network (parameters are replicated under
+// distribution), so a model trained distributed can be reloaded sequentially
+// — or into a forward-only InferNet for serving — and vice versa.
 type Checkpoint struct {
-	Arch   string
-	Params map[string][]float32
+	Arch    string
+	Params  map[string][]float32
+	Buffers map[string][]float32
 }
 
-// SaveParams writes every parameter of params to w as a gob stream.
-func SaveParams(w io.Writer, archName string, params []Param) error {
-	ck := Checkpoint{Arch: archName, Params: make(map[string][]float32, len(params))}
-	for _, p := range params {
-		if _, dup := ck.Params[p.Name]; dup {
-			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+func packNamed(dst map[string][]float32, src []Param, kind string) error {
+	for _, p := range src {
+		if _, dup := dst[p.Name]; dup {
+			return fmt.Errorf("nn: duplicate %s name %q", kind, p.Name)
 		}
 		cp := make([]float32, len(p.W))
 		copy(cp, p.W)
-		ck.Params[p.Name] = cp
+		dst[p.Name] = cp
+	}
+	return nil
+}
+
+func unpackNamed(src map[string][]float32, dst []Param, kind string) error {
+	for _, p := range dst {
+		v, ok := src[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: checkpoint missing %s %q", kind, p.Name)
+		}
+		if len(v) != len(p.W) {
+			return fmt.Errorf("nn: %s %q has %d values in checkpoint, want %d", kind, p.Name, len(v), len(p.W))
+		}
+		copy(p.W, v)
+	}
+	return nil
+}
+
+// SaveState writes the full network state — parameters and buffers — to w as
+// a gob stream. This is the form the serving subsystem loads: without the
+// batch-normalization running statistics an eval-mode forward pass would
+// normalize with the initialization values.
+func SaveState(w io.Writer, archName string, params, buffers []Param) error {
+	ck := Checkpoint{
+		Arch:    archName,
+		Params:  make(map[string][]float32, len(params)),
+		Buffers: make(map[string][]float32, len(buffers)),
+	}
+	if err := packNamed(ck.Params, params, "parameter"); err != nil {
+		return err
+	}
+	if err := packNamed(ck.Buffers, buffers, "buffer"); err != nil {
+		return err
 	}
 	return gob.NewEncoder(w).Encode(ck)
 }
 
-// LoadParams reads a checkpoint from r and copies values into params.
-// Every parameter must be present with a matching length; archName guards
-// against loading weights into a different architecture.
-func LoadParams(r io.Reader, archName string, params []Param) error {
+// LoadState reads a checkpoint from r and copies values into params and
+// buffers. Every entry must be present with a matching length; archName
+// guards against loading weights into a different architecture. Checkpoints
+// written by SaveParams carry no buffers and fail LoadState when buffers are
+// requested — serving requires a full-state checkpoint.
+func LoadState(r io.Reader, archName string, params, buffers []Param) error {
 	var ck Checkpoint
 	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
 		return fmt.Errorf("nn: decoding checkpoint: %w", err)
@@ -41,15 +77,21 @@ func LoadParams(r io.Reader, archName string, params []Param) error {
 	if ck.Arch != archName {
 		return fmt.Errorf("nn: checkpoint is for architecture %q, not %q", ck.Arch, archName)
 	}
-	for _, p := range params {
-		v, ok := ck.Params[p.Name]
-		if !ok {
-			return fmt.Errorf("nn: checkpoint missing parameter %q", p.Name)
-		}
-		if len(v) != len(p.W) {
-			return fmt.Errorf("nn: parameter %q has %d values in checkpoint, want %d", p.Name, len(v), len(p.W))
-		}
-		copy(p.W, v)
+	if err := unpackNamed(ck.Params, params, "parameter"); err != nil {
+		return err
 	}
-	return nil
+	return unpackNamed(ck.Buffers, buffers, "buffer")
+}
+
+// SaveParams writes every parameter of params to w as a gob stream
+// (parameters only; see SaveState for the serving form).
+func SaveParams(w io.Writer, archName string, params []Param) error {
+	return SaveState(w, archName, params, nil)
+}
+
+// LoadParams reads a checkpoint from r and copies values into params.
+// Every parameter must be present with a matching length; archName guards
+// against loading weights into a different architecture.
+func LoadParams(r io.Reader, archName string, params []Param) error {
+	return LoadState(r, archName, params, nil)
 }

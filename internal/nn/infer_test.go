@@ -1,0 +1,218 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// servingArch exercises every layer kind the serving path supports:
+// conv-bn-relu stem, maxpool, a residual branch with projection, 1x1
+// classifier, global average pooling.
+func servingArch(size int) *Arch {
+	b := NewBuilder("servingtest", Shape{C: 3, H: size, W: size})
+	stem := b.ConvBNReLU("stem", b.Last(), 8, dist.ConvGeom{K: 3, S: 1, Pad: 1})
+	p := b.MaxPool("pool", stem, dist.ConvGeom{K: 2, S: 2, Pad: 0})
+	br := b.Conv("b2a", p, 8, dist.ConvGeom{K: 3, S: 1, Pad: 1}, false)
+	br = b.BatchNorm("b2a_bn", br)
+	a := b.Add("res", br, p)
+	r := b.ReLU("res_relu", a)
+	c := b.Conv("cls", r, 4, dist.ConvGeom{K: 1, S: 1, Pad: 0}, true)
+	b.GlobalAvgPool("gap", c)
+	return b.MustBuild()
+}
+
+// trainBriefly runs a few SGD steps so weights and BN running statistics
+// move away from their initialization (making missing-buffer bugs visible).
+func trainBriefly(t *testing.T, net *SeqNet, n, size int) {
+	t.Helper()
+	net.SetTrain(true)
+	opt := NewSGD(0.05, 0.9, 0)
+	params := net.Params()
+	x := tensor.New(n, 3, size, size)
+	labels := make([]int, n)
+	for step := 0; step < 3; step++ {
+		x.FillRandN(int64(100+step), 1)
+		for i := range labels {
+			labels[i] = (i + step) % 4
+		}
+		y := net.Forward(x)
+		logits := y.Reshape(n, 4)
+		dlogits := tensor.New(n, 4)
+		kernels.SoftmaxCrossEntropy(logits, labels, dlogits)
+		net.Backward(dlogits.Reshape(y.Shape()...))
+		opt.Step(params)
+	}
+}
+
+func TestCheckpointRoundTripBitwise(t *testing.T) {
+	const size, n = 8, 4
+	arch := servingArch(size)
+	a, err := NewSeqNet(arch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainBriefly(t, a, n, size)
+
+	var buf bytes.Buffer
+	if err := SaveState(&buf, arch.Name, a.Params(), a.Buffers()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh net with different initialization (seed 999), as
+	// a fresh process would.
+	b, err := NewSeqNet(arch, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadState(bytes.NewReader(buf.Bytes()), arch.Name, b.Params(), b.Buffers()); err != nil {
+		t.Fatal(err)
+	}
+
+	x := tensor.New(n, 3, size, size)
+	x.FillPattern(0.31)
+	a.SetTrain(false)
+	b.SetTrain(false)
+	ya := a.Forward(x)
+	yb := b.Forward(x)
+	if d := ya.MaxAbsDiff(yb); d != 0 {
+		t.Fatalf("restored eval forward differs from original: max abs diff %g, want bitwise identity", d)
+	}
+
+	// Restoring the same state twice must be idempotent bit-for-bit.
+	c, _ := NewSeqNet(arch, 7)
+	if err := LoadState(bytes.NewReader(buf.Bytes()), arch.Name, c.Params(), c.Buffers()); err != nil {
+		t.Fatal(err)
+	}
+	c.SetTrain(false)
+	if d := yb.MaxAbsDiff(c.Forward(x)); d != 0 {
+		t.Fatalf("second restore not bitwise identical: %g", d)
+	}
+}
+
+func TestLoadStateRejectsParamsOnlyCheckpoint(t *testing.T) {
+	arch := servingArch(8)
+	a, _ := NewSeqNet(arch, 1)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, arch.Name, a.Params()); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewSeqNet(arch, 2)
+	err := LoadState(bytes.NewReader(buf.Bytes()), arch.Name, b.Params(), b.Buffers())
+	if err == nil {
+		t.Fatal("LoadState accepted a checkpoint without running statistics")
+	}
+}
+
+func TestInferNetMatchesSeqEval(t *testing.T) {
+	const size, n = 8, 4
+	arch := servingArch(size)
+	seq, err := NewSeqNet(arch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainBriefly(t, seq, n, size)
+
+	var buf bytes.Buffer
+	if err := SaveState(&buf, arch.Name, seq.Params(), seq.Buffers()); err != nil {
+		t.Fatal(err)
+	}
+	inf, err := NewInferNet(arch, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadState(bytes.NewReader(buf.Bytes()), arch.Name, inf.Params(), inf.Buffers()); err != nil {
+		t.Fatal(err)
+	}
+
+	x := tensor.New(n, 3, size, size)
+	x.FillPattern(0.47)
+	seq.SetTrain(false)
+	want := seq.Forward(x)
+	got := inf.Forward(x)
+	// The engines lower convolutions differently (per-sample vs batched
+	// GEMM), so identity is numerical, not bitwise.
+	if d := got.RelDiff(want); d > 1e-5 {
+		t.Fatalf("InferNet diverges from eval SeqNet: rel diff %g", d)
+	}
+}
+
+// Forward must be row-stable across batch sizes: a request's answer may not
+// depend on which other requests the batcher packed with it.
+func TestInferNetRowStableAcrossBatchSizes(t *testing.T) {
+	const size, maxN = 8, 6
+	arch := servingArch(size)
+	inf, err := NewInferNet(arch, maxN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(maxN, 3, size, size)
+	x.FillPattern(0.13)
+	full := inf.Forward(x).Clone()
+
+	out := inf.OutShape()
+	plane := out.C * out.H * out.W
+	chw := 3 * size * size
+	for _, b := range []int{1, 2, 5} {
+		sub := tensor.FromSlice(x.Data()[:b*chw], b, 3, size, size)
+		y := inf.Forward(sub)
+		for i := 0; i < b*plane; i++ {
+			if y.Data()[i] != full.Data()[i] {
+				t.Fatalf("batch %d row output differs from batch %d at %d", b, maxN, i)
+			}
+		}
+	}
+}
+
+func TestInferNetCloneSharesWeights(t *testing.T) {
+	arch := servingArch(8)
+	a, err := NewInferNet(arch, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, bp := a.Params(), b.Params()
+	if len(ap) != len(bp) {
+		t.Fatalf("clone has %d params, original %d", len(bp), len(ap))
+	}
+	// Mutating through one must be visible through the other (shared
+	// storage), and both must produce identical outputs.
+	ap[0].W[0] = 42
+	if bp[0].W[0] != 42 {
+		t.Fatal("clone does not share parameter storage")
+	}
+	x := tensor.New(2, 3, 8, 8)
+	x.FillPattern(0.7)
+	if d := a.Forward(x).MaxAbsDiff(b.Forward(x)); d != 0 {
+		t.Fatalf("clone forward differs: %g", d)
+	}
+}
+
+func TestInferNetForwardZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector drops sync.Pool items; allocation counts are not meaningful")
+	}
+	arch := servingArch(8)
+	inf, err := NewInferNet(arch, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(4, 3, 8, 8)
+	x.FillPattern(0.9)
+	x1 := tensor.FromSlice(x.Data()[:3*8*8], 1, 3, 8, 8)
+	for _, c := range []struct {
+		name string
+		in   *tensor.Tensor
+	}{{"batch4", x}, {"batch1", x1}} {
+		inf.Forward(c.in) // warm views and workspace
+		if allocs := testing.AllocsPerRun(20, func() { inf.Forward(c.in) }); allocs != 0 {
+			t.Errorf("%s: %v allocs per Forward after warm-up, want 0", c.name, allocs)
+		}
+	}
+}

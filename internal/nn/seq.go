@@ -61,7 +61,12 @@ func NewSeqNet(arch *Arch, seed int64) (*SeqNet, error) {
 	return n, nil
 }
 
-// SetTrain toggles training mode (batch statistics vs running statistics).
+// SetTrain toggles training mode. In training mode batch normalization
+// uses batch statistics and every layer retains the activations its
+// backward pass needs. In eval mode (t=false) batch normalization uses
+// running statistics and forward retains nothing — the forward-only mode
+// the serving path runs in; calling Backward after an eval-mode Forward
+// panics.
 func (n *SeqNet) SetTrain(t bool) { n.train = t }
 
 // Forward runs the DAG and returns the final layer's output.
@@ -117,10 +122,22 @@ func (n *SeqNet) Params() []Param {
 	return ps
 }
 
+// Buffers returns the non-learnable state tensors (batch normalization
+// running statistics) in layer order; together with Params they form the
+// full state a serving replica needs (SaveState/LoadState).
+func (n *SeqNet) Buffers() []Param {
+	var ps []Param
+	for i, l := range n.layers {
+		ps = append(ps, l.buffers(n.Arch.Specs[i].Name)...)
+	}
+	return ps
+}
+
 type seqLayer interface {
 	forward(ins []*tensor.Tensor, train bool) *tensor.Tensor
 	backward(dy *tensor.Tensor) []*tensor.Tensor
 	params(name string) []Param
+	buffers(name string) []Param
 }
 
 type seqInput struct{}
@@ -128,6 +145,7 @@ type seqInput struct{}
 func (l *seqInput) forward(ins []*tensor.Tensor, _ bool) *tensor.Tensor { return ins[0] }
 func (l *seqInput) backward(dy *tensor.Tensor) []*tensor.Tensor         { return nil }
 func (l *seqInput) params(string) []Param                               { return nil }
+func (l *seqInput) buffers(string) []Param                              { return nil }
 
 type seqConv struct {
 	spec  Spec
@@ -152,12 +170,15 @@ func newSeqConv(s Spec, in Shape, seed int64) *seqConv {
 	return l
 }
 
-func (l *seqConv) forward(ins []*tensor.Tensor, _ bool) *tensor.Tensor {
+func (l *seqConv) forward(ins []*tensor.Tensor, train bool) *tensor.Tensor {
 	x := ins[0]
 	xs := x.Shape()
 	y := tensor.New(xs[0], l.spec.F, l.spec.Geom.OutSize(xs[2]), l.spec.Geom.OutSize(xs[3]))
 	kernels.ConvForward(x, l.w, l.b, y, l.spec.Geom.S, l.spec.Geom.Pad, kernels.ConvAuto)
-	l.x = x
+	l.x = nil
+	if train {
+		l.x = x
+	}
 	return y
 }
 
@@ -179,6 +200,8 @@ func (l *seqConv) params(name string) []Param {
 	}
 	return ps
 }
+
+func (l *seqConv) buffers(string) []Param { return nil }
 
 type seqBN struct {
 	c             int
@@ -218,6 +241,7 @@ func (l *seqBN) forward(ins []*tensor.Tensor, train bool) *tensor.Tensor {
 	x := ins[0]
 	y := tensor.New(x.Shape()...)
 	if !train {
+		l.x = nil // a Backward after an eval forward must fail, not reuse a stale stash
 		kernels.BatchNormInference(x, l.runMean, l.runVar, l.gamma, l.beta, l.eps, y)
 		return y
 	}
@@ -237,6 +261,13 @@ func (l *seqBN) forward(ins []*tensor.Tensor, train bool) *tensor.Tensor {
 	return y
 }
 
+func (l *seqBN) buffers(name string) []Param {
+	return []Param{
+		{Name: name + ".running_mean", W: l.runMean},
+		{Name: name + ".running_var", W: l.runVar},
+	}
+}
+
 func (l *seqBN) backward(dy *tensor.Tensor) []*tensor.Tensor {
 	kernels.BatchNormBackwardStats(l.x, dy, l.mean, l.invstd, l.dgamma, l.dbeta)
 	dx := tensor.New(l.x.Shape()...)
@@ -254,10 +285,13 @@ func (l *seqBN) params(name string) []Param {
 
 type seqReLU struct{ x *tensor.Tensor }
 
-func (l *seqReLU) forward(ins []*tensor.Tensor, _ bool) *tensor.Tensor {
+func (l *seqReLU) forward(ins []*tensor.Tensor, train bool) *tensor.Tensor {
 	y := tensor.New(ins[0].Shape()...)
 	kernels.ReLUForward(ins[0], y)
-	l.x = ins[0]
+	l.x = nil
+	if train {
+		l.x = ins[0]
+	}
 	return y
 }
 
@@ -268,7 +302,8 @@ func (l *seqReLU) backward(dy *tensor.Tensor) []*tensor.Tensor {
 	return []*tensor.Tensor{dx}
 }
 
-func (l *seqReLU) params(string) []Param { return nil }
+func (l *seqReLU) params(string) []Param  { return nil }
+func (l *seqReLU) buffers(string) []Param { return nil }
 
 type seqMaxPool struct {
 	spec   Spec
@@ -276,12 +311,17 @@ type seqMaxPool struct {
 	xShape []int
 }
 
-func (l *seqMaxPool) forward(ins []*tensor.Tensor, _ bool) *tensor.Tensor {
+func (l *seqMaxPool) forward(ins []*tensor.Tensor, train bool) *tensor.Tensor {
 	x := ins[0]
 	xs := x.Shape()
 	y := tensor.New(xs[0], xs[1], l.spec.Geom.OutSize(xs[2]), l.spec.Geom.OutSize(xs[3]))
-	l.argmax = make([]int32, y.Size())
-	l.xShape = append([]int(nil), xs...)
+	// Eval-mode forward records no argmax: the scatter indices exist only
+	// for the backward pass.
+	l.argmax = nil
+	if train {
+		l.argmax = make([]int32, y.Size())
+		l.xShape = append([]int(nil), xs...)
+	}
 	kernels.MaxPoolForward(x, y, l.spec.Geom.K, l.spec.Geom.S, l.spec.Geom.Pad, l.argmax)
 	return y
 }
@@ -293,7 +333,8 @@ func (l *seqMaxPool) backward(dy *tensor.Tensor) []*tensor.Tensor {
 	return []*tensor.Tensor{dx}
 }
 
-func (l *seqMaxPool) params(string) []Param { return nil }
+func (l *seqMaxPool) params(string) []Param  { return nil }
+func (l *seqMaxPool) buffers(string) []Param { return nil }
 
 type seqGAP struct{ xShape []int }
 
@@ -329,7 +370,8 @@ func (l *seqGAP) backward(dy *tensor.Tensor) []*tensor.Tensor {
 	return []*tensor.Tensor{dx}
 }
 
-func (l *seqGAP) params(string) []Param { return nil }
+func (l *seqGAP) params(string) []Param  { return nil }
+func (l *seqGAP) buffers(string) []Param { return nil }
 
 type seqAdd struct{}
 
@@ -345,4 +387,5 @@ func (l *seqAdd) backward(dy *tensor.Tensor) []*tensor.Tensor {
 	return []*tensor.Tensor{a, b}
 }
 
-func (l *seqAdd) params(string) []Param { return nil }
+func (l *seqAdd) params(string) []Param  { return nil }
+func (l *seqAdd) buffers(string) []Param { return nil }

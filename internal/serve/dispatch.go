@@ -1,0 +1,125 @@
+package serve
+
+import "sync"
+
+// dispatcher routes flushed batches to replica workers: one bounded ring
+// per replica, submit-to-shortest, steal-from-longest. A single mutex+cond
+// protects all queues — queue operations are a few pointer moves, so
+// sharding locks would buy contention headroom the batch-granularity
+// traffic cannot use.
+type dispatcher struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues []batchRing
+	closed bool
+}
+
+// batchRing is a fixed-capacity ring buffer of batches. Own-queue pops come
+// from the front (FIFO keeps latency fair); steals come from the back,
+// which takes the batch that has waited least — the one whose requests have
+// the most deadline budget left.
+type batchRing struct {
+	items []*batch
+	head  int
+	n     int
+}
+
+func (r *batchRing) push(b *batch) { r.items[(r.head+r.n)%len(r.items)] = b; r.n++ }
+
+func (r *batchRing) popFront() *batch {
+	b := r.items[r.head]
+	r.items[r.head] = nil
+	r.head = (r.head + 1) % len(r.items)
+	r.n--
+	return b
+}
+
+func (r *batchRing) popBack() *batch {
+	i := (r.head + r.n - 1) % len(r.items)
+	b := r.items[i]
+	r.items[i] = nil
+	r.n--
+	return b
+}
+
+func newDispatcher(replicas, depth int) *dispatcher {
+	d := &dispatcher{queues: make([]batchRing, replicas)}
+	d.cond = sync.NewCond(&d.mu)
+	for i := range d.queues {
+		d.queues[i].items = make([]*batch, depth)
+	}
+	return d
+}
+
+// submit places b on the shortest replica queue, blocking (backpressure)
+// only when every queue is full. Ties prefer the hint queue, letting the
+// batcher rotate hints for an even spread.
+func (d *dispatcher) submit(b *batch, hint int) {
+	d.mu.Lock()
+	for {
+		best := -1
+		for i := range d.queues {
+			j := (hint + i) % len(d.queues)
+			q := &d.queues[j]
+			if q.n == len(q.items) {
+				continue
+			}
+			if best == -1 || q.n < d.queues[best].n {
+				best = j
+			}
+		}
+		if best >= 0 {
+			d.queues[best].push(b)
+			d.mu.Unlock()
+			d.cond.Broadcast()
+			return
+		}
+		if d.closed {
+			// Closing with full queues cannot happen in the server's
+			// lifecycle (close dispatches only after workers stop consuming
+			// is impossible — workers drain first), but guard anyway.
+			d.mu.Unlock()
+			d.cond.Broadcast()
+			return
+		}
+		d.cond.Wait()
+	}
+}
+
+// next returns the next batch for replica rid: its own queue front, else a
+// steal from the back of the longest sibling queue, else nil once the
+// dispatcher is closed and empty. Blocks while open and idle.
+func (d *dispatcher) next(rid int) *batch {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if q := &d.queues[rid]; q.n > 0 {
+			b := q.popFront()
+			d.cond.Broadcast() // a submitter may be waiting for space
+			return b
+		}
+		victim, most := -1, 0
+		for i := range d.queues {
+			if i != rid && d.queues[i].n > most {
+				victim, most = i, d.queues[i].n
+			}
+		}
+		if victim >= 0 {
+			b := d.queues[victim].popBack()
+			d.cond.Broadcast()
+			return b
+		}
+		if d.closed {
+			return nil
+		}
+		d.cond.Wait()
+	}
+}
+
+// close wakes every worker; next returns nil once the queues drain.
+func (d *dispatcher) close() {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	d.cond.Broadcast()
+}

@@ -1,0 +1,63 @@
+// Package serve is the inference-serving subsystem: it turns the repo's
+// forward-only execution engine (nn.InferNet on the packed-GEMM kernel
+// substrate) into an online service that answers concurrent Predict
+// requests with dynamic micro-batching.
+//
+// # Architecture
+//
+// Requests flow through three stages, each owned by dedicated goroutines:
+//
+//	Predict callers ──> reqCh ──> batcher ──> per-replica batch queues ──> replica workers
+//
+// The batcher is a single goroutine that coalesces concurrent requests into
+// micro-batches: it copies each request's input into the forming batch's
+// pooled input tensor and flushes when either (a) the batch reaches
+// Config.MaxBatch or (b) Config.BatchDeadline has elapsed since the batch's
+// first request arrived. A deadline of zero means greedy flushing: take
+// whatever is queued at this instant, never wait. Batch-1 serving — the
+// baseline the load generator compares against — is MaxBatch=1.
+//
+// Flushed batches land on per-replica queues under a work-stealing
+// dispatcher: submit places a batch on the shortest queue (blocking for
+// backpressure only when every queue is full), each replica worker drains
+// its own queue first and steals from the back of its siblings' queues when
+// idle. Stealing keeps replicas busy under skewed arrival patterns without
+// giving up the locality of per-replica queues in the common case.
+//
+// Each worker owns one model replica — an nn.InferNet clone sharing
+// read-only weights with its siblings but owning private activation
+// buffers — runs the batched forward pass (every convolution in the batch
+// lowers onto ONE packed GEMM, kernels.ConvForwardBatched), copies each
+// output row into its request's caller-provided buffer, and signals the
+// waiting Predict.
+//
+// # Invariants
+//
+//   - Zero steady-state allocations: requests, batches, and batch input
+//     tensors are pooled (inputs drawn from the kernels.Workspace arena and
+//     reused across batcher flushes); replica activations are preallocated;
+//     all kernel scratch is pooled. After warm-up, an in-process Predict
+//     performs no heap allocations end to end (TestPredictZeroAllocs).
+//   - Row determinism: a request's answer is bitwise independent of the
+//     batch it was coalesced into. The batched conv lowering guarantees
+//     per-column accumulation order does not depend on batch width
+//     (kernels.GemmNNStable), so dynamic batching never makes results
+//     load-dependent.
+//   - Bounded latency: once a batch opens, it flushes within BatchDeadline
+//     even at arrival rate zero; a request is therefore answered within
+//     deadline + queue wait + one forward pass.
+//   - Backpressure, not shedding: when every replica queue is full, submit
+//     blocks the batcher, which in turn fills reqCh and blocks callers.
+//     Nothing is dropped; Close drains every accepted request before
+//     shutting down.
+//   - Replicas share weights: loading a checkpoint into the server's model
+//     updates every replica (they alias the same parameter storage); the
+//     server must be idle during a reload.
+//
+// # Observability
+//
+// The server keeps lock-free histograms: request latency (quarter-log2
+// buckets, so quantiles are exact to ~25%) and batch occupancy (exact
+// counts per batch size). Stats() snapshots them; the HTTP layer exposes
+// them at /statz alongside /healthz and the POST /v1/predict endpoint.
+package serve

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/kernels"
+)
+
+// PredictRequest is the POST /v1/predict body: one sample, flattened CHW.
+type PredictRequest struct {
+	Input []float32 `json:"input"`
+}
+
+// PredictResponse carries the flattened output, the argmax class when the
+// output is a class vector (H=W=1), and the server-side latency.
+type PredictResponse struct {
+	Output    []float32 `json:"output"`
+	Argmax    *int      `json:"argmax,omitempty"`
+	LatencyUS int64     `json:"latency_us"`
+}
+
+type statusError struct {
+	code int
+	msg  string
+}
+
+// Handler returns the HTTP API: POST /v1/predict, GET /healthz, GET /statz.
+// The HTTP layer allocates per request (JSON marshaling); the zero-alloc
+// path is the in-process Client.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statz", s.handleStatz)
+	return mux
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, statusError{http.StatusMethodNotAllowed, "POST required"})
+		return
+	}
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, statusError{http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err)})
+		return
+	}
+	if len(req.Input) != s.inLen {
+		in := s.InShape()
+		httpError(w, statusError{http.StatusBadRequest,
+			fmt.Sprintf("input length %d, want %d (%dx%dx%d CHW)", len(req.Input), s.inLen, in.C, in.H, in.W)})
+		return
+	}
+	out := make([]float32, s.outLen)
+	start := time.Now()
+	if err := s.Predict(req.Input, out); err != nil {
+		httpError(w, statusError{http.StatusServiceUnavailable, err.Error()})
+		return
+	}
+	resp := PredictResponse{Output: out, LatencyUS: time.Since(start).Microseconds()}
+	if o := s.OutShape(); o.H == 1 && o.W == 1 {
+		am := kernels.ArgmaxRow(out)
+		resp.Argmax = &am
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		httpError(w, statusError{http.StatusServiceUnavailable, "closed"})
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	// Durations marshal as nanoseconds; report microseconds to match the
+	// field names.
+	writeJSON(w, http.StatusOK, map[string]any{
+		"requests":        st.Requests,
+		"batches":         st.Batches,
+		"avg_batch":       st.AvgBatch,
+		"p50_us":          st.P50.Microseconds(),
+		"p95_us":          st.P95.Microseconds(),
+		"p99_us":          st.P99.Microseconds(),
+		"batch_occupancy": st.Occupancy,
+		"replicas":        s.cfg.Replicas,
+		"max_batch":       s.cfg.MaxBatch,
+		"deadline_us":     s.cfg.BatchDeadline.Microseconds(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, e statusError) {
+	writeJSON(w, e.code, map[string]string{"error": e.msg})
+}

@@ -1,0 +1,376 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ErrClosed is returned by Predict after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config tunes the dynamic micro-batcher and the replica fleet.
+type Config struct {
+	// Replicas is the number of model replicas (each with private activation
+	// buffers, shared weights). Default 1.
+	Replicas int
+	// MaxBatch flushes a forming batch at this many requests; must not
+	// exceed the model's InferNet capacity. Default 8.
+	MaxBatch int
+	// BatchDeadline flushes a non-empty forming batch this long after its
+	// first request arrived. Zero means the 2ms default; pass Greedy (or any
+	// negative duration) to never wait — flush whatever is queued the
+	// instant the batcher gets to it.
+	BatchDeadline time.Duration
+	// QueueDepth is the per-replica pending-batch capacity; when every
+	// queue is full the batcher (and transitively Predict callers) block.
+	// Default 2.
+	QueueDepth int
+	// PendingRequests is the request channel capacity ahead of the batcher.
+	// Default 4*MaxBatch.
+	PendingRequests int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.BatchDeadline < 0 {
+		c.BatchDeadline = 0
+	} else if c.BatchDeadline == 0 {
+		c.BatchDeadline = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2
+	}
+	if c.PendingRequests <= 0 {
+		c.PendingRequests = 4 * c.MaxBatch
+	}
+	return c
+}
+
+// Greedy is the BatchDeadline sentinel for "never wait": the batcher
+// flushes whatever is queued the moment it can. (A literal zero in Config
+// means "use the default deadline".)
+const Greedy = time.Duration(-1)
+
+// request is one in-flight Predict. Pooled; the done channel (capacity 1)
+// carries exactly one token per use, so recycled requests never see stale
+// signals.
+type request struct {
+	in, out []float32
+	start   time.Time
+	done    chan struct{}
+}
+
+var reqPool = sync.Pool{New: func() any {
+	return &request{done: make(chan struct{}, 1)}
+}}
+
+// batch is a forming/flushed micro-batch: up to MaxBatch requests and their
+// coalesced input tensor. The input storage is drawn from the kernels
+// workspace arena once per pooled batch object and reused across flushes;
+// views[b-1] is the cached [b,C,H,W] tensor header over its prefix.
+type batch struct {
+	reqs  []*request
+	n     int
+	buf   *[]float32
+	views []*tensor.Tensor
+}
+
+// Server owns the replicas, the batcher, and the dispatcher. Construct with
+// New, serve with Predict (or the HTTP handler), stop with Close.
+type Server struct {
+	cfg   Config
+	model *nn.InferNet // replica 0; weight storage shared by all replicas
+	reps  []*nn.InferNet
+
+	inLen, outLen int
+
+	reqCh chan *request
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex // serializes Predict enqueue against Close
+	closed bool
+
+	disp      *dispatcher
+	stats     *statsCollector
+	batchPool sync.Pool
+	ws        *kernels.Workspace
+}
+
+// New starts a server over model. The model's weights may be (re)loaded via
+// nn.LoadState into model.Params()/Buffers() before New; every replica
+// shares them.
+func New(model *nn.InferNet, cfg Config) (*Server, error) {
+	if cfg.MaxBatch > model.MaxBatch() {
+		return nil, fmt.Errorf("serve: MaxBatch %d exceeds model capacity %d", cfg.MaxBatch, model.MaxBatch())
+	}
+	cfg = cfg.withDefaults() // Greedy (any negative deadline) maps to zero
+	if cfg.MaxBatch > model.MaxBatch() {
+		// The default MaxBatch clamps to what the replicas can hold.
+		cfg.MaxBatch = model.MaxBatch()
+	}
+	in, out := model.InShape(), model.OutShape()
+	s := &Server{
+		cfg:    cfg,
+		model:  model,
+		inLen:  in.C * in.H * in.W,
+		outLen: out.C * out.H * out.W,
+		reqCh:  make(chan *request, cfg.PendingRequests),
+		done:   make(chan struct{}),
+		disp:   newDispatcher(cfg.Replicas, cfg.QueueDepth),
+		stats:  newStatsCollector(cfg.MaxBatch),
+		ws:     kernels.DefaultWorkspace(),
+	}
+	s.batchPool.New = func() any {
+		return &batch{
+			reqs:  make([]*request, cfg.MaxBatch),
+			buf:   s.ws.Get(cfg.MaxBatch * s.inLen),
+			views: make([]*tensor.Tensor, cfg.MaxBatch),
+		}
+	}
+	s.reps = make([]*nn.InferNet, cfg.Replicas)
+	s.reps[0] = model
+	for i := 1; i < cfg.Replicas; i++ {
+		r, err := model.Clone()
+		if err != nil {
+			return nil, fmt.Errorf("serve: cloning replica %d: %w", i, err)
+		}
+		s.reps[i] = r
+	}
+	s.wg.Add(1 + cfg.Replicas)
+	go s.batcher()
+	for i := range s.reps {
+		go s.worker(i)
+	}
+	return s, nil
+}
+
+// InputLen and OutputLen are the flat per-sample lengths Predict expects.
+func (s *Server) InputLen() int  { return s.inLen }
+func (s *Server) OutputLen() int { return s.outLen }
+
+// InShape and OutShape expose the model's per-sample shapes.
+func (s *Server) InShape() nn.Shape  { return s.model.InShape() }
+func (s *Server) OutShape() nn.Shape { return s.model.OutShape() }
+
+// Stats snapshots the latency and batch-occupancy histograms.
+func (s *Server) Stats() Stats { return s.stats.snapshot() }
+
+// Predict runs one sample through the model: in (len InputLen) is read
+// until the call returns, the result is written into out (len OutputLen).
+// Safe for arbitrary concurrency; after warm-up the call performs no heap
+// allocations.
+func (s *Server) Predict(in, out []float32) error {
+	if len(in) != s.inLen {
+		return fmt.Errorf("serve: input length %d, want %d", len(in), s.inLen)
+	}
+	if len(out) != s.outLen {
+		return fmt.Errorf("serve: output length %d, want %d", len(out), s.outLen)
+	}
+	r := reqPool.Get().(*request)
+	r.in, r.out = in, out
+	r.start = time.Now()
+
+	// The read lock pins the closed check to the enqueue: Close flips closed
+	// under the write lock before signaling the batcher to drain, so a
+	// request that passed the check is guaranteed to be drained and served.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		r.in, r.out = nil, nil
+		reqPool.Put(r)
+		return ErrClosed
+	}
+	s.reqCh <- r
+	s.mu.RUnlock()
+
+	<-r.done
+	s.stats.recordLatency(time.Since(r.start))
+	r.in, r.out = nil, nil
+	reqPool.Put(r)
+	return nil
+}
+
+// Close stops accepting requests, serves everything already accepted, and
+// waits for the batcher and workers to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.wg.Wait()
+}
+
+func (s *Server) getBatch() *batch {
+	b := s.batchPool.Get().(*batch)
+	b.n = 0
+	return b
+}
+
+func (s *Server) putBatch(b *batch) {
+	for i := 0; i < b.n; i++ {
+		b.reqs[i] = nil
+	}
+	b.n = 0
+	s.batchPool.Put(b)
+}
+
+// add copies r's input into slot n of the forming batch.
+func (b *batch) add(r *request, inLen int) {
+	copy((*b.buf)[b.n*inLen:(b.n+1)*inLen], r.in)
+	b.reqs[b.n] = r
+	b.n++
+}
+
+// view returns the cached [n,C,H,W] tensor over the batch's first n inputs.
+func (s *Server) view(b *batch) *tensor.Tensor {
+	if v := b.views[b.n-1]; v != nil {
+		return v
+	}
+	in := s.model.InShape()
+	v := tensor.FromSlice((*b.buf)[:b.n*s.inLen], b.n, in.C, in.H, in.W)
+	b.views[b.n-1] = v
+	return v
+}
+
+// batcher coalesces requests into batches: flush on MaxBatch, on deadline,
+// or — with a greedy (zero) deadline — as soon as the queue momentarily
+// empties.
+func (s *Server) batcher() {
+	defer s.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	cur := s.getBatch()
+	hint := 0
+	flush := func() {
+		s.disp.submit(cur, hint)
+		hint = (hint + 1) % s.cfg.Replicas
+		cur = s.getBatch()
+	}
+	for {
+		if cur.n == 0 {
+			select {
+			case r := <-s.reqCh:
+				cur.add(r, s.inLen)
+			case <-s.done:
+				s.drain(cur)
+				return
+			}
+			if cur.n >= s.cfg.MaxBatch {
+				flush()
+				continue
+			}
+			if s.cfg.BatchDeadline == 0 {
+				// Greedy: absorb what is queued right now, then flush.
+				for cur.n < s.cfg.MaxBatch {
+					select {
+					case r := <-s.reqCh:
+						cur.add(r, s.inLen)
+						continue
+					default:
+					}
+					break
+				}
+				flush()
+				continue
+			}
+			timer.Reset(s.cfg.BatchDeadline)
+			continue
+		}
+		select {
+		case r := <-s.reqCh:
+			cur.add(r, s.inLen)
+			if cur.n >= s.cfg.MaxBatch {
+				if !timer.Stop() {
+					<-timer.C
+				}
+				flush()
+			}
+		case <-timer.C:
+			flush()
+		case <-s.done:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			s.drain(cur)
+			return
+		}
+	}
+}
+
+// drain serves every request that made it into reqCh before Close flipped
+// the closed flag, then shuts the dispatcher down.
+func (s *Server) drain(cur *batch) {
+	for {
+		select {
+		case r := <-s.reqCh:
+			cur.add(r, s.inLen)
+			if cur.n >= s.cfg.MaxBatch {
+				s.disp.submit(cur, 0)
+				cur = s.getBatch()
+			}
+		default:
+			if cur.n > 0 {
+				s.disp.submit(cur, 0)
+			} else {
+				s.putBatch(cur)
+			}
+			s.disp.close()
+			return
+		}
+	}
+}
+
+// worker is one replica's serving loop.
+func (s *Server) worker(rid int) {
+	defer s.wg.Done()
+	rep := s.reps[rid]
+	for {
+		b := s.disp.next(rid)
+		if b == nil {
+			return
+		}
+		y := rep.Forward(s.view(b))
+		yd := y.Data()
+		for i := 0; i < b.n; i++ {
+			r := b.reqs[i]
+			copy(r.out, yd[i*s.outLen:(i+1)*s.outLen])
+			r.done <- struct{}{}
+		}
+		s.stats.recordBatch(b.n)
+		s.putBatch(b)
+	}
+}
+
+// Client is the in-process handle load generators and embedding services
+// use; it is a thin view of the server (the zero-alloc path IS Predict).
+type Client struct{ s *Server }
+
+// Client returns an in-process client for the server.
+func (s *Server) Client() *Client { return &Client{s: s} }
+
+// Predict is Server.Predict.
+func (c *Client) Predict(in, out []float32) error { return c.s.Predict(in, out) }
+
+// OutputLen is Server.OutputLen.
+func (c *Client) OutputLen() int { return c.s.outLen }
+
+// InputLen is Server.InputLen.
+func (c *Client) InputLen() int { return c.s.inLen }

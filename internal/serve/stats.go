@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latBuckets is the size of the latency histogram: quarter-log2 buckets of
+// microseconds (4 sub-buckets per power of two), covering 1µs..~4.7h.
+const latBuckets = 4 * 44
+
+// statsCollector is the server's lock-free metrics sink: every counter is
+// an atomic, so the zero-alloc Predict path records without locking.
+type statsCollector struct {
+	requests atomic.Uint64
+	batches  atomic.Uint64
+	samples  atomic.Uint64 // total samples across batches (== requests served)
+
+	latency   [latBuckets]atomic.Uint64
+	occupancy []atomic.Uint64 // index b-1: batches flushed with b requests
+}
+
+func newStatsCollector(maxBatch int) *statsCollector {
+	return &statsCollector{occupancy: make([]atomic.Uint64, maxBatch)}
+}
+
+// latBucket maps a duration to its histogram bucket: e = floor(log2(µs)),
+// plus two mantissa bits for 4 sub-buckets per octave (~25% resolution).
+func latBucket(d time.Duration) int {
+	us := uint64(d.Microseconds())
+	if us < 1 {
+		us = 1
+	}
+	e := bits.Len64(us) - 1 // 2^e <= us < 2^(e+1)
+	sub := 0
+	if e >= 2 {
+		sub = int((us >> (uint(e) - 2)) & 3)
+	}
+	b := 4*e + sub
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	return b
+}
+
+// latBucketUpper is the inclusive upper edge of bucket b, the value
+// quantiles report.
+func latBucketUpper(b int) time.Duration {
+	e, sub := b/4, b%4
+	var us uint64
+	if e < 2 {
+		// Octaves below 4µs have no mantissa bits; the whole octave is one
+		// bucket whose upper edge is the next power of two.
+		us = uint64(1) << uint(e+1)
+	} else {
+		us = (uint64(1) << uint(e)) + uint64(sub+1)<<uint(e-2)
+	}
+	return time.Duration(us) * time.Microsecond
+}
+
+func (c *statsCollector) recordLatency(d time.Duration) {
+	c.requests.Add(1)
+	c.latency[latBucket(d)].Add(1)
+}
+
+func (c *statsCollector) recordBatch(n int) {
+	c.batches.Add(1)
+	c.samples.Add(uint64(n))
+	if n >= 1 && n <= len(c.occupancy) {
+		c.occupancy[n-1].Add(1)
+	}
+}
+
+// Stats is a point-in-time snapshot of the server's metrics.
+type Stats struct {
+	Requests uint64 `json:"requests"`
+	Batches  uint64 `json:"batches"`
+	// AvgBatch is mean flushed batch occupancy: requests served / batches.
+	AvgBatch float64 `json:"avg_batch"`
+	// Latency quantiles are upper bucket edges (~25% resolution).
+	P50 time.Duration `json:"p50_us"`
+	P95 time.Duration `json:"p95_us"`
+	P99 time.Duration `json:"p99_us"`
+	// Occupancy[i] counts batches that flushed with i+1 requests.
+	Occupancy []uint64 `json:"batch_occupancy"`
+}
+
+func (c *statsCollector) snapshot() Stats {
+	s := Stats{
+		Requests:  c.requests.Load(),
+		Batches:   c.batches.Load(),
+		Occupancy: make([]uint64, len(c.occupancy)),
+	}
+	for i := range c.occupancy {
+		s.Occupancy[i] = c.occupancy[i].Load()
+	}
+	if s.Batches > 0 {
+		s.AvgBatch = float64(c.samples.Load()) / float64(s.Batches)
+	}
+	var hist [latBuckets]uint64
+	var total uint64
+	for i := range c.latency {
+		hist[i] = c.latency[i].Load()
+		total += hist[i]
+	}
+	s.P50 = quantile(hist[:], total, 0.50)
+	s.P95 = quantile(hist[:], total, 0.95)
+	s.P99 = quantile(hist[:], total, 0.99)
+	return s
+}
+
+func quantile(hist []uint64, total uint64, q float64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var seen uint64
+	for i, n := range hist {
+		seen += n
+		if seen > target {
+			return latBucketUpper(i)
+		}
+	}
+	return latBucketUpper(latBuckets - 1)
+}
