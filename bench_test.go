@@ -308,6 +308,28 @@ func BenchmarkEndToEndTrainStep(b *testing.B) {
 	}
 }
 
+// BenchmarkOverlapBackward measures the backward pass of a real
+// distributed training step on 4 in-process ranks in the three gradient
+// modes: synchronous per-layer allreduce, backward-overlapped bucketed
+// IAllreduce, and the communication-free ceiling. The overlapped mode must
+// beat sync (cmd/bench -exp overlap sweeps more grids).
+func BenchmarkOverlapBackward(b *testing.B) {
+	arch := bench.GradStackArch(8, 20, 32)
+	g := dist.Grid{PN: 4, PH: 1, PW: 1}
+	for _, cfg := range []struct {
+		name string
+		mode nn.GradMode
+	}{{"sync", nn.GradSync}, {"overlap", nn.GradOverlap}, {"comm-free", nn.GradSkip}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				secs := bench.MeasureBackward(arch, g, 8, 3, cfg.mode)
+				b.ReportMetric(secs*1e3, "ms/step")
+			}
+		})
+	}
+}
+
 // BenchmarkSurfaceToVolume3D regenerates the 3-D extension table (the
 // conclusion's surface-to-volume claim).
 func BenchmarkSurfaceToVolume3D(b *testing.B) {

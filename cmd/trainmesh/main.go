@@ -34,6 +34,7 @@ func main() {
 	pw := flag.Int("pw", 1, "spatial ways in W")
 	lr := flag.Float64("lr", 0.05, "learning rate")
 	seed := flag.Int64("seed", 1, "data and init seed")
+	overlap := flag.Bool("overlap", true, "overlap gradient allreduces with backward compute (bitwise-identical results; -overlap=false restores the synchronous baseline)")
 	flag.Parse()
 
 	grid := dist.Grid{PN: *pn, PH: *ph, PW: *pw}
@@ -69,6 +70,9 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return
+		}
+		if *overlap {
+			net.Grad = nn.GradOverlap
 		}
 		xs := net.ScatterInput(x)
 		lbl := nn.ScatterLabels(labels, net.OutputDist())

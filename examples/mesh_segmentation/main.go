@@ -66,6 +66,10 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
+		// Hide gradient allreduces behind the backward kernels; bitwise
+		// identical to the synchronous schedule (GradSync), so the
+		// sequential comparison below is unaffected.
+		net.Grad = nn.GradOverlap
 		xs := net.ScatterInput(x)
 		lbl := nn.ScatterLabels(labels, net.OutputDist())
 		o := nn.NewSGD(0.05, 0.9, 0)

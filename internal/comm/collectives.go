@@ -46,6 +46,7 @@ const (
 	tagAllgather     = tagCollBase + 0x400
 	tagReduceScatter = tagCollBase + 0x500
 	tagAlltoall      = tagCollBase + 0x600
+	tagStable        = tagCollBase + 0x680
 	tagBarrier       = tagCollBase + 0x700
 )
 
@@ -60,6 +61,13 @@ const (
 	AllreduceAuto AllreduceAlgo = iota
 	AllreduceRing
 	AllreduceRecursiveDoubling
+	// AllreduceStableRing reduces every element in rank order (0, 1, ...,
+	// p-1, left-associated) regardless of message length or chunking, so the
+	// result is bitwise identical whether a value is reduced alone, inside a
+	// fused bucket, synchronously, or on a proxy goroutine. Gradient
+	// reductions use it to make overlapped and synchronous training produce
+	// identical parameters. Bandwidth cost matches the ring algorithm.
+	AllreduceStableRing
 )
 
 // autoRingThreshold is the element count above which Auto uses the ring
@@ -95,6 +103,8 @@ func (c *Comm) AllreduceAlgo(buf []float32, op Op, algo AllreduceAlgo) {
 		c.allreduceRing(buf, op)
 	case AllreduceRecursiveDoubling:
 		c.allreduceRD(buf, op)
+	case AllreduceStableRing:
+		c.allreduceStable(buf, op)
 	default:
 		panic(fmt.Sprintf("comm: unknown allreduce algorithm %d", algo))
 	}
@@ -119,7 +129,9 @@ func (c *Comm) allreduceRD(buf []float32, op Op) {
 		if r%2 != 0 { // odd: send to r-1 and sit out
 			c.Send(r-1, tagAllreduce, buf)
 		} else { // even: absorb r+1
-			op.apply(buf, c.Recv(r+1, tagAllreduce))
+			got := c.Recv(r+1, tagAllreduce)
+			op.apply(buf, got)
+			putBuf(got)
 			newRank = r / 2
 		}
 	} else {
@@ -137,6 +149,7 @@ func (c *Comm) allreduceRD(buf []float32, op Op) {
 			partner := toOld(newRank ^ mask)
 			got := c.SendRecv(partner, tagAllreduce+1+step, buf)
 			op.apply(buf, got)
+			putBuf(got)
 		}
 	}
 	// Phase 3: return results to the folded odd ranks.
@@ -144,50 +157,131 @@ func (c *Comm) allreduceRD(buf []float32, op Op) {
 		if r%2 != 0 {
 			res := c.Recv(r-1, tagAllreduce+64)
 			copy(buf, res)
+			putBuf(res)
 		} else {
 			c.Send(r+1, tagAllreduce+64, buf)
 		}
 	}
 }
 
-// allreduceRing is the bandwidth-optimal ring algorithm: a reduce-scatter
-// pass (p-1 steps) followed by an allgather pass (p-1 steps), each step
-// moving n/p words to the ring neighbor. Requires len(buf) >= p.
-func (c *Comm) allreduceRing(buf []float32, op Op) {
+// ringChunk returns the half-open interval of chunk i under the balanced
+// p-way partition of n elements (the first n%p chunks get one extra).
+func ringChunk(n, p, i int) (lo, hi int) {
+	i = ((i % p) + p) % p
+	base, rem := n/p, n%p
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return
+}
+
+// reduceScatterRing is the ring reduce-scatter over the balanced chunk
+// partition of buf, in place: p-1 steps, each moving one chunk to the next
+// ring neighbor and folding the chunk received from the previous one. On
+// return, rank r's chunk r holds the complete reduction (other chunks hold
+// partials). Both ring allreduce and the public ReduceScatter build on it.
+func (c *Comm) reduceScatterRing(buf []float32, op Op, tagBase int) {
 	p := c.Size()
 	r := c.rank
 	n := len(buf)
-	chunk := func(i int) (lo, hi int) {
-		i = ((i % p) + p) % p
-		base, rem := n/p, n%p
-		lo = i*base + min(i, rem)
-		hi = lo + base
-		if i < rem {
-			hi++
-		}
-		return
-	}
 	next := (r + 1) % p
 	prev := (r - 1 + p) % p
-	// Reduce-scatter: at step s, send chunk (r-s) to next, receive chunk
-	// (r-s-1) from prev and reduce it.
 	for s := 0; s < p-1; s++ {
-		lo, hi := chunk(r - s)
-		c.Send(next, tagAllreduce+2+s, buf[lo:hi])
-		got := c.Recv(prev, tagAllreduce+2+s)
-		lo, hi = chunk(r - s - 1)
-		op.apply(buf[lo:hi], got)
+		lo, hi := ringChunk(n, p, r-s-1)
+		if hi > lo {
+			c.Send(next, tagBase+s, buf[lo:hi])
+		}
+		lo, hi = ringChunk(n, p, r-s-2)
+		if hi > lo {
+			got := c.Recv(prev, tagBase+s)
+			op.apply(buf[lo:hi], got)
+			putBuf(got)
+		}
 	}
-	// Allgather: circulate the finished chunks. Tag window starts after the
-	// reduce-scatter phase's window so the two phases never share a tag.
-	agBase := tagAllreduce + 2 + (p - 1)
+}
+
+// allgatherChunks circulates the balanced chunks of buf around the ring,
+// assuming rank r holds the finished chunk r: after p-1 steps every rank
+// holds every chunk. Completes both ring and stable allreduce.
+func (c *Comm) allgatherChunks(buf []float32, tagBase int) {
+	p := c.Size()
+	r := c.rank
+	n := len(buf)
+	next := (r + 1) % p
+	prev := (r - 1 + p) % p
 	for s := 0; s < p-1; s++ {
-		lo, hi := chunk(r + 1 - s)
-		c.Send(next, agBase+s, buf[lo:hi])
-		got := c.Recv(prev, agBase+s)
-		lo, hi = chunk(r - s)
-		copy(buf[lo:hi], got)
+		lo, hi := ringChunk(n, p, r-s)
+		if hi > lo {
+			c.Send(next, tagBase+s, buf[lo:hi])
+		}
+		lo, hi = ringChunk(n, p, r-s-1)
+		if hi > lo {
+			got := c.Recv(prev, tagBase+s)
+			copy(buf[lo:hi], got)
+			putBuf(got)
+		}
 	}
+}
+
+// allreduceRing is the bandwidth-optimal ring algorithm: the ring
+// reduce-scatter (p-1 steps) followed by the ring allgather (p-1 steps),
+// each step moving n/p words to a ring neighbor. Requires len(buf) >= p.
+func (c *Comm) allreduceRing(buf []float32, op Op) {
+	p := c.Size()
+	c.reduceScatterRing(buf, op, tagAllreduce+2)
+	// The allgather tag window starts after the reduce-scatter phase's
+	// window so the two phases never share a tag.
+	c.allgatherChunks(buf, tagAllreduce+2+(p-1))
+}
+
+// allreduceStable reduces with a fixed, chunking-independent association
+// order: the owner of each balanced chunk receives every rank's
+// contribution directly and folds them in rank order (0, 1, ..., p-1,
+// left-associated), then the ring allgather circulates the finished chunks.
+// Element i's reduction is always ((x0[i] op x1[i]) op x2[i]) ... op
+// x_{p-1}[i], no matter how the surrounding buffer is sized or fused —
+// the property the gradient-overlap engine's determinism guarantee rests
+// on. Per-rank volume matches ring allreduce (2n(p-1)/p words sent).
+func (c *Comm) allreduceStable(buf []float32, op Op) {
+	p := c.Size()
+	r := c.rank
+	n := len(buf)
+	// Scatter phase: send every other owner its chunk of my contribution.
+	for j := 0; j < p; j++ {
+		if j == r {
+			continue
+		}
+		lo, hi := ringChunk(n, p, j)
+		if hi > lo {
+			c.Send(j, tagStable, buf[lo:hi])
+		}
+	}
+	// Ordered fold of my chunk: my own contribution participates at rank
+	// position r, so stash it and rebuild the chunk in rank order.
+	lo, hi := ringChunk(n, p, r)
+	if hi > lo {
+		acc := buf[lo:hi]
+		own := getBuf(hi - lo)
+		copy(own, acc)
+		for q := 0; q < p; q++ {
+			contrib := own
+			if q != r {
+				contrib = c.Recv(q, tagStable)
+			}
+			if q == 0 {
+				copy(acc, contrib)
+			} else {
+				op.apply(acc, contrib)
+			}
+			if q != r {
+				putBuf(contrib)
+			}
+		}
+		putBuf(own)
+	}
+	c.allgatherChunks(buf, tagStable+1)
 }
 
 // Bcast broadcasts buf from root to all ranks using a binomial tree.
@@ -202,7 +296,9 @@ func (c *Comm) Bcast(buf []float32, root int) {
 	for mask < p {
 		if vr&mask != 0 {
 			src := (vr - mask + root) % p
-			copy(buf, c.Recv(src, tagBcast))
+			got := c.Recv(src, tagBcast)
+			copy(buf, got)
+			putBuf(got)
 			break
 		}
 		mask <<= 1
@@ -233,7 +329,9 @@ func (c *Comm) Reduce(buf []float32, op Op, root int) {
 		}
 		if vr+mask < p {
 			src := (vr + mask + root) % p
-			op.apply(buf, c.Recv(src, tagReduce))
+			got := c.Recv(src, tagReduce)
+			op.apply(buf, got)
+			putBuf(got)
 		}
 	}
 }
@@ -254,6 +352,7 @@ func (c *Comm) Gather(buf []float32, root int) []float32 {
 		}
 		got := c.Recv(r, tagGather)
 		copy(out[r*len(buf):(r+1)*len(buf)], got)
+		putBuf(got)
 	}
 	return out
 }
@@ -281,6 +380,7 @@ func (c *Comm) Allgather(buf []float32, per int, tag int) {
 		c.Send(next, tag+1+s, buf[sendIdx*per:(sendIdx+1)*per])
 		got := c.Recv(prev, tag+1+s)
 		copy(buf[recvIdx*per:(recvIdx+1)*per], got)
+		putBuf(got)
 	}
 }
 
@@ -309,33 +409,39 @@ func (c *Comm) AllgatherV(mine []float32, counts []int) []float32 {
 		c.Send(next, tagAllgather+128+s, out[offs[sendIdx]:offs[sendIdx+1]])
 		got := c.Recv(prev, tagAllgather+128+s)
 		copy(out[offs[recvIdx]:offs[recvIdx+1]], got)
+		putBuf(got)
 	}
 	return out
 }
 
 // ReduceScatter reduces buf (p equal blocks of per elements) across ranks
-// and returns this rank's reduced block, using pairwise exchange.
+// and returns this rank's reduced block, using the ring schedule over
+// pooled buffers (buf is left untouched). The returned slice is pooled —
+// hand it back with Release when done.
 func (c *Comm) ReduceScatter(buf []float32, per int, op Op) []float32 {
 	p := c.Size()
 	if len(buf) != p*per {
 		panic(fmt.Sprintf("comm: ReduceScatter buffer %d != %d ranks * %d", len(buf), p, per))
 	}
-	mine := make([]float32, per)
-	copy(mine, buf[c.rank*per:(c.rank+1)*per])
-	// Pairwise exchange: at step s, send block of rank (r+s) to (r+s) and
-	// receive my block's contribution from (r-s).
-	for s := 1; s < p; s++ {
-		dst := (c.rank + s) % p
-		src := (c.rank - s + p) % p
-		c.Send(dst, tagReduceScatter+s, buf[dst*per:(dst+1)*per])
-		op.apply(mine, c.Recv(src, tagReduceScatter+s))
+	mine := getBuf(per)
+	if p == 1 {
+		copy(mine, buf)
+		return mine
 	}
+	// The balanced partition of p*per elements is exactly the p blocks of
+	// per, so the ring's chunk c.rank is this rank's output block.
+	scratch := getBuf(len(buf))
+	copy(scratch, buf)
+	c.reduceScatterRing(scratch, op, tagReduceScatter)
+	copy(mine, scratch[c.rank*per:(c.rank+1)*per])
+	putBuf(scratch)
 	return mine
 }
 
 // AlltoAllV performs a personalized all-to-all exchange: send[r] is the
 // payload for rank r (may be empty or nil); the result's r-th entry is the
-// payload received from rank r. Self-sends are copied locally.
+// payload received from rank r. Self-sends are copied locally. Received
+// payloads are pooled buffers owned by the caller (Release when consumed).
 func (c *Comm) AlltoAllV(send [][]float32) [][]float32 {
 	p := c.Size()
 	if len(send) != p {
@@ -347,7 +453,7 @@ func (c *Comm) AlltoAllV(send [][]float32) [][]float32 {
 	for s := 0; s < p; s++ {
 		dst := (c.rank + s) % p
 		if dst == c.rank {
-			cp := make([]float32, len(send[dst]))
+			cp := getBuf(len(send[dst]))
 			copy(cp, send[dst])
 			recv[c.rank] = cp
 			continue
@@ -372,6 +478,6 @@ func (c *Comm) Barrier() {
 		dst := (c.rank + mask) % p
 		src := (c.rank - mask + p) % p
 		c.Send(dst, tagBarrier+step, nil)
-		c.Recv(src, tagBarrier+step)
+		putBuf(c.Recv(src, tagBarrier+step))
 	}
 }

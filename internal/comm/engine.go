@@ -1,0 +1,190 @@
+package comm
+
+import "sync"
+
+// Non-blocking collectives in the Aluminum model (Dryden et al., the
+// paper's communication library): each communicator owns a proxy goroutine
+// that executes collectives submitted by the rank's compute goroutine, so
+// the compute goroutine never blocks on the wire. IAllreduce enqueues an
+// operation and returns a Request; Wait/Test complete it. The proxy holds a
+// shadow communicator handle whose id carries proxyCommBit, giving proxy
+// traffic a tag space disjoint from every blocking operation the compute
+// goroutine issues — deferred gradient reductions interleave freely with
+// halo exchanges and forward-path collectives.
+//
+// Ordering contract (as for MPI non-blocking collectives): every rank of
+// the communicator must submit the same operations in the same order. The
+// proxy executes them in submission order, one at a time, which both
+// prevents deadlock and pins the reduction schedule — with
+// AllreduceStableRing the overlapped result is bitwise identical to the
+// blocking one.
+
+// proxyCommBit marks a proxy (shadow) communicator id. Split ids are small
+// sequential integers, so bit 40 can never collide with a real id; folded
+// into the tag via tagOf it isolates proxy traffic.
+const proxyCommBit int64 = 1 << 40
+
+// Request is the handle to one in-flight non-blocking collective. A Request
+// is single-use: Wait (or a Test that returns true) consumes it and recycles
+// the handle, after which the caller must drop it.
+type Request struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	done bool
+	eng  *engine
+}
+
+// Wait blocks until the operation completes. On return the operation's
+// buffer holds the result on every rank that has also completed its Wait,
+// and the request handle is consumed.
+func (r *Request) Wait() {
+	r.mu.Lock()
+	for !r.done {
+		r.cond.Wait()
+	}
+	r.mu.Unlock()
+	r.eng.putReq(r)
+}
+
+// Test reports whether the operation has completed without blocking. A true
+// return consumes the request handle, exactly like Wait.
+func (r *Request) Test() bool {
+	r.mu.Lock()
+	done := r.done
+	r.mu.Unlock()
+	if done {
+		r.eng.putReq(r)
+	}
+	return done
+}
+
+func (r *Request) complete() {
+	r.mu.Lock()
+	r.done = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// collOp is one queued collective.
+type collOp struct {
+	buf  []float32
+	op   Op
+	algo AllreduceAlgo
+	req  *Request
+}
+
+// engine is the per-communicator proxy: a persistent goroutine draining a
+// FIFO of collectives. The queue slice and request handles are recycled, so
+// a warm submit/execute/wait cycle allocates nothing.
+type engine struct {
+	proxy *Comm
+
+	mu   sync.Mutex
+	cond sync.Cond
+	ops  []collOp
+	head int
+	free []*Request
+	stop bool
+	gone bool // run goroutine has exited; handle must be replaced
+}
+
+// engine returns this communicator's proxy engine, starting it on first
+// use (and replacing it if a World.Shutdown stopped the previous one).
+// Comm handles are single-goroutine, so no locking is needed here.
+func (c *Comm) engine() *engine {
+	if c.eng == nil || c.eng.exited() {
+		e := &engine{proxy: &Comm{world: c.world, group: c.group, rank: c.rank, id: c.id | proxyCommBit}}
+		e.cond.L = &e.mu
+		c.world.registerEngine(e)
+		go e.run()
+		c.eng = e
+	}
+	return c.eng
+}
+
+// IAllreduce starts a non-blocking allreduce of buf with operator op and
+// returns its request handle. The caller must not touch buf until the
+// request completes. Uses the stable rank-ordered reduction so deferred
+// and inline reductions of the same values are bitwise identical.
+func (c *Comm) IAllreduce(buf []float32, op Op) *Request {
+	return c.IAllreduceAlgo(buf, op, AllreduceStableRing)
+}
+
+// IAllreduceAlgo is IAllreduce with an explicit algorithm choice.
+func (c *Comm) IAllreduceAlgo(buf []float32, op Op, algo AllreduceAlgo) *Request {
+	return c.engine().submit(buf, op, algo)
+}
+
+func (e *engine) submit(buf []float32, op Op, algo AllreduceAlgo) *Request {
+	e.mu.Lock()
+	var r *Request
+	if k := len(e.free); k > 0 {
+		r = e.free[k-1]
+		e.free[k-1] = nil
+		e.free = e.free[:k-1]
+	} else {
+		r = &Request{eng: e}
+		r.cond.L = &r.mu
+	}
+	e.ops = append(e.ops, collOp{buf: buf, op: op, algo: algo, req: r})
+	e.cond.Signal()
+	e.mu.Unlock()
+	return r
+}
+
+// putReq recycles a consumed request handle.
+func (e *engine) putReq(r *Request) {
+	r.done = false
+	e.mu.Lock()
+	e.free = append(e.free, r)
+	e.mu.Unlock()
+}
+
+// run is the proxy goroutine: pop, execute, complete, until shutdown. The
+// queue is drained before exit so outstanding requests always complete.
+func (e *engine) run() {
+	e.mu.Lock()
+	for {
+		for e.head == len(e.ops) && !e.stop {
+			if e.head > 0 {
+				// Drained: rewind so the backing array is reused.
+				e.ops = e.ops[:0]
+				e.head = 0
+			}
+			e.cond.Wait()
+		}
+		if e.head == len(e.ops) {
+			e.gone = true
+			e.mu.Unlock()
+			e.cond.Broadcast() // wake shutdown
+			return
+		}
+		op := e.ops[e.head]
+		e.ops[e.head] = collOp{}
+		e.head++
+		e.mu.Unlock()
+
+		e.proxy.AllreduceAlgo(op.buf, op.op, op.algo)
+		op.req.complete()
+
+		e.mu.Lock()
+	}
+}
+
+// exited reports whether the proxy goroutine has terminated.
+func (e *engine) exited() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.gone
+}
+
+// shutdown drains the queue and joins the proxy goroutine.
+func (e *engine) shutdown() {
+	e.mu.Lock()
+	e.stop = true
+	e.cond.Broadcast()
+	for !e.gone {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}

@@ -1,0 +1,332 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runWithDeadline fails the test if the SPMD body does not finish in time —
+// the deadlock watchdog for tests that interleave proxy collectives with
+// blocking traffic.
+func runWithDeadline(t *testing.T, w *World, d time.Duration, fn func(c *Comm)) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		w.Run(fn)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatal("deadlock: SPMD body did not complete")
+	}
+}
+
+func TestIAllreduceMatchesBlocking(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8} {
+		for _, n := range []int{1, 5, 100, 5000} {
+			rng := rand.New(rand.NewSource(int64(p*1000 + n)))
+			inputs := make([][]float32, p)
+			for r := range inputs {
+				inputs[r] = make([]float32, n)
+				for i := range inputs[r] {
+					inputs[r][i] = rng.Float32() - 0.5
+				}
+			}
+			var mu sync.Mutex
+			async := make([][]float32, p)
+			blocking := make([][]float32, p)
+			w := NewWorld(p)
+			w.Run(func(c *Comm) {
+				a := append([]float32(nil), inputs[c.Rank()]...)
+				b := append([]float32(nil), inputs[c.Rank()]...)
+				req := c.IAllreduce(a, OpSum)
+				c.AllreduceAlgo(b, OpSum, AllreduceStableRing)
+				req.Wait()
+				mu.Lock()
+				async[c.Rank()] = a
+				blocking[c.Rank()] = b
+				mu.Unlock()
+			})
+			for r := 0; r < p; r++ {
+				for i := range async[r] {
+					if math.Float32bits(async[r][i]) != math.Float32bits(blocking[r][i]) {
+						t.Fatalf("p=%d n=%d rank %d elem %d: async %v != blocking %v",
+							p, n, r, i, async[r][i], blocking[r][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllreduceStableCorrectSum(t *testing.T) {
+	testAllreduceSizes(t, AllreduceStableRing, []int{1, 3, 64, 1000}, []int{1, 2, 3, 4, 7, 8})
+}
+
+// The keystone of the gradient-overlap determinism guarantee: the stable
+// reduction of an element must not depend on the length or layout of the
+// buffer it rides in. Reduce two vectors separately and fused into one
+// concatenated buffer; every element must match bitwise.
+func TestAllreduceStableFusionInvariant(t *testing.T) {
+	const p, na, nb = 5, 137, 613
+	rng := rand.New(rand.NewSource(9))
+	as := make([][]float32, p)
+	bs := make([][]float32, p)
+	for r := 0; r < p; r++ {
+		as[r] = make([]float32, na)
+		bs[r] = make([]float32, nb)
+		for i := range as[r] {
+			as[r][i] = rng.Float32()*2 - 1
+		}
+		for i := range bs[r] {
+			bs[r][i] = rng.Float32()*2 - 1
+		}
+	}
+	var mu sync.Mutex
+	type result struct{ sep, fused []float32 }
+	results := make([]result, p)
+	w := NewWorld(p)
+	w.Run(func(c *Comm) {
+		a := append([]float32(nil), as[c.Rank()]...)
+		b := append([]float32(nil), bs[c.Rank()]...)
+		fused := make([]float32, na+nb)
+		copy(fused, a)
+		copy(fused[na:], b)
+		c.AllreduceAlgo(a, OpSum, AllreduceStableRing)
+		c.AllreduceAlgo(b, OpSum, AllreduceStableRing)
+		c.AllreduceAlgo(fused, OpSum, AllreduceStableRing)
+		sep := append(append([]float32(nil), a...), b...)
+		mu.Lock()
+		results[c.Rank()] = result{sep: sep, fused: fused}
+		mu.Unlock()
+	})
+	for r := 0; r < p; r++ {
+		for i := range results[r].sep {
+			if math.Float32bits(results[r].sep[i]) != math.Float32bits(results[r].fused[i]) {
+				t.Fatalf("rank %d elem %d: separate %v != fused %v (stable reduction depends on chunking)",
+					r, i, results[r].sep[i], results[r].fused[i])
+			}
+		}
+	}
+}
+
+func TestIAllreduceManyOutstanding(t *testing.T) {
+	// A backlog of non-blocking collectives must complete in submission
+	// order with correct results, and Test must eventually observe each.
+	const p, k, n = 4, 12, 257
+	w := NewWorld(p)
+	w.Run(func(c *Comm) {
+		bufs := make([][]float32, k)
+		reqs := make([]*Request, k)
+		for j := range bufs {
+			bufs[j] = make([]float32, n)
+			for i := range bufs[j] {
+				bufs[j][i] = float32((c.Rank() + 1) * (j + 1))
+			}
+			reqs[j] = c.IAllreduce(bufs[j], OpSum)
+		}
+		sumRanks := float32(p*(p+1)) / 2
+		for j := range reqs {
+			if j%2 == 0 {
+				for !reqs[j].Test() {
+					time.Sleep(time.Microsecond)
+				}
+			} else {
+				reqs[j].Wait()
+			}
+			want := sumRanks * float32(j+1)
+			for i, v := range bufs[j] {
+				if v != want {
+					t.Errorf("rank %d op %d elem %d = %v, want %v", c.Rank(), j, i, v, want)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestIAllreduceConcurrentSplitComms(t *testing.T) {
+	// Non-blocking collectives in flight simultaneously on the world
+	// communicator and on two overlapping split communicators, interleaved
+	// with blocking traffic. Run under -race in CI.
+	w := NewWorld(4)
+	runWithDeadline(t, w, 60*time.Second, func(c *Comm) {
+		row := c.Split(c.Rank()/2, c.Rank()) // {0,1}, {2,3}
+		col := c.Split(c.Rank()%2, c.Rank()) // {0,2}, {1,3}
+		for iter := 0; iter < 50; iter++ {
+			a := make([]float32, 64+iter)
+			b := make([]float32, 33)
+			d := make([]float32, 7)
+			for i := range a {
+				a[i] = float32(c.Rank() + iter)
+			}
+			for i := range b {
+				b[i] = float32(row.Rank() + 1)
+			}
+			for i := range d {
+				d[i] = float32(col.Rank() + 1)
+			}
+			r1 := c.IAllreduce(a, OpSum)
+			r2 := row.IAllreduce(b, OpSum)
+			r3 := col.IAllreduce(d, OpSum)
+			// Blocking point-to-point traffic while proxies are busy.
+			partner := c.Rank() ^ 1
+			got := c.SendRecv(partner, 17, []float32{float32(c.Rank())})
+			if got[0] != float32(partner) {
+				t.Errorf("iter %d: exchanged %v, want %v", iter, got[0], partner)
+			}
+			c.Release(got)
+			r3.Wait()
+			r1.Wait()
+			r2.Wait()
+			if a[0] != float32(4*iter+6) { // sum of ranks + 4*iter
+				t.Errorf("iter %d: world sum %v, want %v", iter, a[0], 4*iter+6)
+			}
+			if b[0] != 3 || d[0] != 3 {
+				t.Errorf("iter %d: split sums %v/%v, want 3/3", iter, b[0], d[0])
+			}
+		}
+	})
+}
+
+func TestIAllreduceInterleavesWithBlockingCollectives(t *testing.T) {
+	// Deadlock regression: a proxy allreduce must make progress while the
+	// compute goroutines are inside blocking collectives and barriers.
+	w := NewWorld(4)
+	runWithDeadline(t, w, 60*time.Second, func(c *Comm) {
+		for iter := 0; iter < 30; iter++ {
+			big := make([]float32, 6000)
+			for i := range big {
+				big[i] = float32(c.Rank())
+			}
+			req := c.IAllreduce(big, OpSum)
+			small := []float32{1}
+			c.Allreduce(small, OpSum) // blocking, same communicator
+			c.Barrier()
+			req.Wait()
+			if small[0] != 4 || big[0] != 6 {
+				t.Errorf("iter %d: got %v/%v, want 4/6", iter, small[0], big[0])
+				return
+			}
+		}
+	})
+}
+
+func TestWorldReuseAfterRun(t *testing.T) {
+	// Run shuts the proxies down; a second Run on the same world must
+	// transparently restart them.
+	w := NewWorld(3)
+	for round := 0; round < 2; round++ {
+		w.Run(func(c *Comm) {
+			buf := []float32{float32(c.Rank() + 1)}
+			c.IAllreduce(buf, OpSum).Wait()
+			if buf[0] != 6 {
+				t.Errorf("round %d: sum %v, want 6", round, buf[0])
+			}
+		})
+	}
+}
+
+func TestReduceScatterRingUnevenAndPooled(t *testing.T) {
+	// The ring-scheduled ReduceScatter must equal the allreduce slice and
+	// its result must be releasable back to the pool.
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		per := 6
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			buf := make([]float32, p*per)
+			for i := range buf {
+				buf[i] = float32(c.Rank()+1) * float32(i%11)
+			}
+			mine := c.ReduceScatter(buf, per, OpSum)
+			ar := append([]float32(nil), buf...)
+			c.Allreduce(ar, OpSum)
+			for i := 0; i < per; i++ {
+				want := ar[c.Rank()*per+i]
+				if d := mine[i] - want; d > 1e-4 || d < -1e-4 {
+					t.Errorf("p=%d rank %d elem %d = %v, want %v", p, c.Rank(), i, mine[i], want)
+					return
+				}
+			}
+			c.Release(mine)
+		})
+	}
+}
+
+// assertZeroAllocs measures rank 0 while every rank executes the identical
+// warm loop: the steady-state claim covers the whole world (proxies
+// included), since AllocsPerRun counts process-wide mallocs.
+func assertZeroAllocsSPMD(t *testing.T, name string, p, warm, runs int, body func(c *Comm)) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	var got float64
+	var mu sync.Mutex
+	w := NewWorld(p)
+	w.Run(func(c *Comm) {
+		step := func() { body(c) }
+		for i := 0; i < warm; i++ {
+			step()
+		}
+		if c.Rank() == 0 {
+			a := testing.AllocsPerRun(runs, step)
+			mu.Lock()
+			got = a
+			mu.Unlock()
+		} else {
+			for i := 0; i < runs+1; i++ { // AllocsPerRun executes 1+runs
+				step()
+			}
+		}
+	})
+	if got != 0 {
+		t.Errorf("%s: %v allocs/op after warm-up, want 0", name, got)
+	}
+}
+
+func TestWarmRingAllreduceZeroAllocs(t *testing.T) {
+	for _, cfg := range []struct {
+		name string
+		algo AllreduceAlgo
+	}{{"ring", AllreduceRing}, {"stable", AllreduceStableRing}, {"rd", AllreduceRecursiveDoubling}} {
+		bufs := make([][]float32, 4)
+		for i := range bufs {
+			bufs[i] = make([]float32, 8192)
+		}
+		assertZeroAllocsSPMD(t, "Allreduce/"+cfg.name, 4, 10, 20, func(c *Comm) {
+			c.AllreduceAlgo(bufs[c.Rank()], OpSum, cfg.algo)
+		})
+	}
+}
+
+func TestWarmIAllreduceZeroAllocs(t *testing.T) {
+	bufs := make([][]float32, 4)
+	for i := range bufs {
+		bufs[i] = make([]float32, 8192)
+	}
+	assertZeroAllocsSPMD(t, "IAllreduce/stable", 4, 10, 20, func(c *Comm) {
+		c.IAllreduce(bufs[c.Rank()], OpSum).Wait()
+	})
+}
+
+func TestWarmHaloStyleSendRecvZeroAllocs(t *testing.T) {
+	// The point-to-point pattern halo exchanges use: pooled payload out,
+	// received payload released.
+	bufs := make([][]float32, 2)
+	for i := range bufs {
+		bufs[i] = make([]float32, 1024)
+	}
+	assertZeroAllocsSPMD(t, "SendRecv/pooled", 2, 5, 20, func(c *Comm) {
+		partner := 1 - c.Rank()
+		payload := GetBuf(1024)
+		copy(payload, bufs[c.Rank()])
+		c.SendNoCopy(partner, 3, payload)
+		got := c.Recv(partner, 3)
+		c.Release(got)
+	})
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package comm
+
+// raceEnabled reports that the race detector is active: its instrumentation
+// allocates behind the scenes, so the zero-allocation assertions do not
+// hold under -race (the functional tests all still run).
+const raceEnabled = true

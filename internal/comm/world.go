@@ -10,6 +10,24 @@
 // the same algorithms MPI implementations use (ring, recursive doubling,
 // binomial trees), so message counts and payload volumes match what the
 // paper's performance model prices.
+//
+// Two properties matter for training-step performance:
+//
+//   - Non-blocking collectives (the Aluminum model): IAllreduce enqueues the
+//     operation on a per-communicator proxy goroutine and returns a Request
+//     handle; the rank's compute goroutine keeps running while the proxy
+//     makes communication progress, and Wait/Test complete the handle. Every
+//     rank of a communicator must submit the same sequence of non-blocking
+//     collectives (MPI ordering semantics); proxy traffic lives in its own
+//     tag space, so it interleaves freely with blocking sends, receives, and
+//     collectives issued from compute goroutines.
+//
+//   - Pooled messages: payloads are borrowed from a size-bucketed free list
+//     (Send copies into a pooled buffer, Recv hands it out, Release returns
+//     it), and the mailbox matches on per-(source, tag) sub-queues instead
+//     of scanning one linear queue, so warm exchanges and collectives run at
+//     zero heap allocations per operation with O(1) matching regardless of
+//     how many unrelated messages are queued.
 package comm
 
 import (
@@ -17,46 +35,73 @@ import (
 	"sync"
 )
 
-// message is one point-to-point payload. data is owned by the receiver once
-// delivered; senders always copy.
-type message struct {
+// msgKey identifies one matching line of a mailbox. Receives in this
+// substrate always name an exact (source, tag) pair — there is no
+// MPI_ANY_SOURCE — so the matching structure can be a map of independent
+// FIFO sub-queues: put and get are O(1) in the number of queued messages,
+// where the former single linear queue degraded linearly as unrelated
+// traffic (other tags, other phases, proxy collectives) piled up.
+type msgKey struct {
 	src, tag int
-	data     []float32
+}
+
+// subQueue is the FIFO of payloads for one (source, tag) line. Delivered
+// payloads are owned by the receiver once popped; senders always copy (or
+// explicitly hand over ownership via SendNoCopy). head/buf form a re-usable
+// queue: when the queue drains, both reset so warm traffic re-uses the
+// backing array instead of allocating.
+type subQueue struct {
+	cond sync.Cond // waiters for this line only; L is the mailbox mutex
+	buf  [][]float32
+	head int
 }
 
 // mailbox is an unbounded MPI-style matching queue: receives match on
 // (source, tag) and block until a matching message arrives.
 type mailbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []message
+	mu     sync.Mutex
+	queues map[msgKey]*subQueue
 }
 
 func newMailbox() *mailbox {
-	mb := &mailbox{}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
+	return &mailbox{queues: make(map[msgKey]*subQueue)}
 }
 
-func (mb *mailbox) put(m message) {
+// line returns (creating on first use) the sub-queue for key. Caller holds
+// mb.mu.
+func (mb *mailbox) line(key msgKey) *subQueue {
+	q := mb.queues[key]
+	if q == nil {
+		q = &subQueue{}
+		q.cond.L = &mb.mu
+		mb.queues[key] = q
+	}
+	return q
+}
+
+func (mb *mailbox) put(src, tag int, data []float32) {
 	mb.mu.Lock()
-	mb.queue = append(mb.queue, m)
+	q := mb.line(msgKey{src, tag})
+	q.buf = append(q.buf, data)
+	q.cond.Signal()
 	mb.mu.Unlock()
-	mb.cond.Broadcast()
 }
 
 func (mb *mailbox) get(src, tag int) []float32 {
 	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	for {
-		for i, m := range mb.queue {
-			if m.src == src && m.tag == tag {
-				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
-				return m.data
-			}
-		}
-		mb.cond.Wait()
+	q := mb.line(msgKey{src, tag})
+	for q.head == len(q.buf) {
+		q.cond.Wait()
 	}
+	data := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	mb.mu.Unlock()
+	return data
 }
 
 // World is a set of ranks that can communicate. It corresponds to
@@ -69,6 +114,9 @@ type World struct {
 	splitMu  sync.Mutex
 	splitIDs map[splitKey]int64
 	nextComm int64
+
+	engMu   sync.Mutex
+	engines []*engine
 }
 
 // splitKey identifies one color group of one Split call on one communicator:
@@ -109,7 +157,9 @@ func (w *World) Comm(rank int) *Comm {
 }
 
 // Run spawns fn on a goroutine per rank and waits for all to finish. It is
-// the standard harness for SPMD tests and programs.
+// the standard harness for SPMD tests and programs. Communication proxy
+// goroutines started by non-blocking collectives during fn are drained and
+// stopped before Run returns.
 func (w *World) Run(fn func(c *Comm)) {
 	var wg sync.WaitGroup
 	wg.Add(w.size)
@@ -120,19 +170,45 @@ func (w *World) Run(fn func(c *Comm)) {
 		}(r)
 	}
 	wg.Wait()
+	w.Shutdown()
+}
+
+// registerEngine records a proxy engine for end-of-Run shutdown.
+func (w *World) registerEngine(e *engine) {
+	w.engMu.Lock()
+	w.engines = append(w.engines, e)
+	w.engMu.Unlock()
+}
+
+// Shutdown drains and stops every communication proxy goroutine started by
+// non-blocking collectives. Run calls it automatically; call it directly
+// only when driving rank goroutines by hand. Outstanding operations are
+// completed first, which requires every rank to have submitted matching
+// sequences (the usual collective contract) — a mismatched program hangs
+// here just as it would hang inside a blocking collective.
+func (w *World) Shutdown() {
+	w.engMu.Lock()
+	engines := w.engines
+	w.engines = nil
+	w.engMu.Unlock()
+	for _, e := range engines {
+		e.shutdown()
+	}
 }
 
 // Comm is a communicator: an ordered group of world ranks with an isolated
 // tag space. Rank numbers passed to Comm methods are group-relative.
 // A Comm handle belongs to a single rank goroutine and is not safe for
 // concurrent use by multiple goroutines (like an MPI communicator used from
-// one thread).
+// one thread); the proxy goroutine behind non-blocking collectives holds its
+// own shadow handle.
 type Comm struct {
 	world      *World
 	group      []int // group[i] = world rank of communicator rank i
 	rank       int   // my rank within the group
 	id         int64 // communicator id, isolates tag spaces
 	splitEpoch int64 // number of Split calls performed on this handle
+	eng        *engine
 }
 
 // Rank returns the caller's rank within this communicator.
@@ -154,24 +230,27 @@ func (c *Comm) tagOf(tag int) int {
 }
 
 // Send delivers a copy of data to rank dst (group-relative) with the given
-// tag. Send is eager and never blocks.
+// tag. Send is eager and never blocks; the copy lives in a pooled buffer
+// that the receiver can hand back with Release.
 func (c *Comm) Send(dst, tag int, data []float32) {
-	cp := make([]float32, len(data))
+	cp := getBuf(len(data))
 	copy(cp, data)
 	c.SendNoCopy(dst, tag, cp)
 }
 
 // SendNoCopy delivers data without copying; the caller must not reuse the
-// slice afterwards. Use for freshly allocated buffers on hot paths.
+// slice afterwards. Use for freshly filled transfer buffers on hot paths
+// (pair with GetBuf so the receiver's Release recycles the storage).
 func (c *Comm) SendNoCopy(dst, tag int, data []float32) {
 	if dst < 0 || dst >= len(c.group) {
 		panic(fmt.Sprintf("comm: send to rank %d out of range [0,%d)", dst, len(c.group)))
 	}
-	c.world.mailboxes[c.group[dst]].put(message{src: c.rank, tag: c.tagOf(tag), data: data})
+	c.world.mailboxes[c.group[dst]].put(c.rank, c.tagOf(tag), data)
 }
 
 // Recv blocks until a message from src with the given tag arrives and
-// returns its payload. The returned slice is owned by the caller.
+// returns its payload. The returned slice is owned by the caller; pass it
+// to Release once consumed to keep warm traffic allocation-free.
 func (c *Comm) Recv(src, tag int) []float32 {
 	if src < 0 || src >= len(c.group) {
 		panic(fmt.Sprintf("comm: recv from rank %d out of range [0,%d)", src, len(c.group)))

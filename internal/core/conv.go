@@ -311,14 +311,17 @@ func (l *Conv) alignedInput(ctx *Ctx) (*tensor.Tensor, *[]float32) {
 
 // ReduceGradients completes the weight-gradient sum of Eq. 2 with an
 // allreduce over all processors (D^(C) and D^(F) are fully replicated, so
-// the group P^(p)(D^(C), D^(F)) is the whole grid).
+// the group P^(p)(D^(C), D^(F)) is the whole grid). The reduction is
+// rank-order stable, so the same gradients emerge bitwise whether the sum
+// runs here, deferred on a proxy goroutine, or fused into a coalescing
+// bucket (nn's gradient-overlap engine).
 func (l *Conv) ReduceGradients(ctx *Ctx) {
 	if ctx.C.Size() == 1 {
 		return
 	}
-	ctx.C.Allreduce(l.DW.Data(), comm.OpSum)
+	ctx.C.AllreduceAlgo(l.DW.Data(), comm.OpSum, comm.AllreduceStableRing)
 	if l.DBias != nil {
-		ctx.C.Allreduce(l.DBias, comm.OpSum)
+		ctx.C.AllreduceAlgo(l.DBias, comm.OpSum, comm.AllreduceStableRing)
 	}
 }
 

@@ -193,52 +193,61 @@ func (l *Conv3D) exchange3(ctx *Ctx3, local *tensor.Tensor) ext3 {
 	recvW, sendW := dist.Exchanges1D(in.W, g.PW, pw, reqW)
 	for _, tr := range sendW {
 		peer := g.Rank(pn, pd, ph, tr.Peer)
-		buf := local.ExtractRegion(tensor.Region{
+		buf := comm.GetBuf(nLoc * in.C * ownD.Len() * ownH.Len() * tr.Rng.Len())
+		local.ExtractRegionInto(tensor.Region{
 			Off:  []int{0, 0, 0, 0, tr.Rng.Lo - ownW.Lo},
 			Size: []int{nLoc, in.C, ownD.Len(), ownH.Len(), tr.Rng.Len()},
-		})
+		}, buf)
 		ctx.C.SendNoCopy(peer, l.tag, buf)
 	}
 	for _, tr := range recvW {
 		peer := g.Rank(pn, pd, ph, tr.Peer)
+		got := ctx.C.Recv(peer, l.tag)
 		ext.T.InsertRegion(tensor.Region{
 			Off:  []int{0, 0, ownD.Lo - extD.Lo, ownH.Lo - extH.Lo, tr.Rng.Lo - extW.Lo},
 			Size: []int{nLoc, in.C, ownD.Len(), ownH.Len(), tr.Rng.Len()},
-		}, ctx.C.Recv(peer, l.tag))
+		}, got)
+		ctx.C.Release(got)
 	}
 	// Phase H: strips of owned D, full extended W.
 	recvH, sendH := dist.Exchanges1D(in.H, g.PH, ph, reqH)
 	for _, tr := range sendH {
 		peer := g.Rank(pn, pd, tr.Peer, pw)
-		buf := ext.T.ExtractRegion(tensor.Region{
+		buf := comm.GetBuf(nLoc * in.C * ownD.Len() * tr.Rng.Len() * extW.Len())
+		ext.T.ExtractRegionInto(tensor.Region{
 			Off:  []int{0, 0, ownD.Lo - extD.Lo, tr.Rng.Lo - extH.Lo, 0},
 			Size: []int{nLoc, in.C, ownD.Len(), tr.Rng.Len(), extW.Len()},
-		})
+		}, buf)
 		ctx.C.SendNoCopy(peer, l.tag+1, buf)
 	}
 	for _, tr := range recvH {
 		peer := g.Rank(pn, pd, tr.Peer, pw)
+		got := ctx.C.Recv(peer, l.tag+1)
 		ext.T.InsertRegion(tensor.Region{
 			Off:  []int{0, 0, ownD.Lo - extD.Lo, tr.Rng.Lo - extH.Lo, 0},
 			Size: []int{nLoc, in.C, ownD.Len(), tr.Rng.Len(), extW.Len()},
-		}, ctx.C.Recv(peer, l.tag+1))
+		}, got)
+		ctx.C.Release(got)
 	}
 	// Phase D: full extended H and W slabs.
 	recvD, sendD := dist.Exchanges1D(in.D, g.PD, pd, reqD)
 	for _, tr := range sendD {
 		peer := g.Rank(pn, tr.Peer, ph, pw)
-		buf := ext.T.ExtractRegion(tensor.Region{
+		buf := comm.GetBuf(nLoc * in.C * tr.Rng.Len() * extH.Len() * extW.Len())
+		ext.T.ExtractRegionInto(tensor.Region{
 			Off:  []int{0, 0, tr.Rng.Lo - extD.Lo, 0, 0},
 			Size: []int{nLoc, in.C, tr.Rng.Len(), extH.Len(), extW.Len()},
-		})
+		}, buf)
 		ctx.C.SendNoCopy(peer, l.tag+2, buf)
 	}
 	for _, tr := range recvD {
 		peer := g.Rank(pn, tr.Peer, ph, pw)
+		got := ctx.C.Recv(peer, l.tag+2)
 		ext.T.InsertRegion(tensor.Region{
 			Off:  []int{0, 0, tr.Rng.Lo - extD.Lo, 0, 0},
 			Size: []int{nLoc, in.C, tr.Rng.Len(), extH.Len(), extW.Len()},
-		}, ctx.C.Recv(peer, l.tag+2))
+		}, got)
+		ctx.C.Release(got)
 	}
 	return ext
 }
@@ -315,12 +324,23 @@ func (l *Conv3D) Backward(ctx *Ctx3, dy DistTensor3) DistTensor3 {
 	kernels.Conv3DBackwardDataRegion(dyExt.T, l.W, dx.Local, l.Geom.S, l.Geom.Pad,
 		inD.Lo, inH.Lo, inW.Lo, dyExt.DLo, dyExt.HLo, dyExt.WLo)
 	dyExt.release(l.ws)
-	if !l.DeferAllreduce && ctx.C.Size() > 1 {
-		ctx.C.Allreduce(l.DW.Data(), comm.OpSum)
+	if !l.DeferAllreduce {
+		l.ReduceGradients(ctx)
 	}
 	l.hasExt = false
 	l.xExt = ext3{}
 	return dx
+}
+
+// ReduceGradients completes the deferred weight-gradient sum: the 3-D
+// analogue of Conv.ReduceGradients, rank-order stable for the same
+// schedule-independence guarantee. Callers that set DeferAllreduce either
+// call it directly or hand DW to a non-blocking IAllreduce.
+func (l *Conv3D) ReduceGradients(ctx *Ctx3) {
+	if ctx.C.Size() == 1 {
+		return
+	}
+	ctx.C.AllreduceAlgo(l.DW.Data(), comm.OpSum, comm.AllreduceStableRing)
 }
 
 // exchangeBwd runs the three-phase exchange for dy using RequiredBwd boxes.
@@ -352,50 +372,59 @@ func (l *Conv3D) exchangeBwd(ctx *Ctx3, dyLocal *tensor.Tensor) ext3 {
 	recvW, sendW := dist.Exchanges1D(out.W, g.PW, pw, reqW)
 	for _, tr := range sendW {
 		peer := g.Rank(pn, pd, ph, tr.Peer)
-		buf := dyLocal.ExtractRegion(tensor.Region{
+		buf := comm.GetBuf(nLoc * out.C * ownD.Len() * ownH.Len() * tr.Rng.Len())
+		dyLocal.ExtractRegionInto(tensor.Region{
 			Off:  []int{0, 0, 0, 0, tr.Rng.Lo - ownW.Lo},
 			Size: []int{nLoc, out.C, ownD.Len(), ownH.Len(), tr.Rng.Len()},
-		})
+		}, buf)
 		ctx.C.SendNoCopy(peer, l.tag+4, buf)
 	}
 	for _, tr := range recvW {
 		peer := g.Rank(pn, pd, ph, tr.Peer)
+		got := ctx.C.Recv(peer, l.tag+4)
 		ext.T.InsertRegion(tensor.Region{
 			Off:  []int{0, 0, ownD.Lo - extD.Lo, ownH.Lo - extH.Lo, tr.Rng.Lo - extW.Lo},
 			Size: []int{nLoc, out.C, ownD.Len(), ownH.Len(), tr.Rng.Len()},
-		}, ctx.C.Recv(peer, l.tag+4))
+		}, got)
+		ctx.C.Release(got)
 	}
 	recvH, sendH := dist.Exchanges1D(out.H, g.PH, ph, reqH)
 	for _, tr := range sendH {
 		peer := g.Rank(pn, pd, tr.Peer, pw)
-		buf := ext.T.ExtractRegion(tensor.Region{
+		buf := comm.GetBuf(nLoc * out.C * ownD.Len() * tr.Rng.Len() * extW.Len())
+		ext.T.ExtractRegionInto(tensor.Region{
 			Off:  []int{0, 0, ownD.Lo - extD.Lo, tr.Rng.Lo - extH.Lo, 0},
 			Size: []int{nLoc, out.C, ownD.Len(), tr.Rng.Len(), extW.Len()},
-		})
+		}, buf)
 		ctx.C.SendNoCopy(peer, l.tag+5, buf)
 	}
 	for _, tr := range recvH {
 		peer := g.Rank(pn, pd, tr.Peer, pw)
+		got := ctx.C.Recv(peer, l.tag+5)
 		ext.T.InsertRegion(tensor.Region{
 			Off:  []int{0, 0, ownD.Lo - extD.Lo, tr.Rng.Lo - extH.Lo, 0},
 			Size: []int{nLoc, out.C, ownD.Len(), tr.Rng.Len(), extW.Len()},
-		}, ctx.C.Recv(peer, l.tag+5))
+		}, got)
+		ctx.C.Release(got)
 	}
 	recvD, sendD := dist.Exchanges1D(out.D, g.PD, pd, reqD)
 	for _, tr := range sendD {
 		peer := g.Rank(pn, tr.Peer, ph, pw)
-		buf := ext.T.ExtractRegion(tensor.Region{
+		buf := comm.GetBuf(nLoc * out.C * tr.Rng.Len() * extH.Len() * extW.Len())
+		ext.T.ExtractRegionInto(tensor.Region{
 			Off:  []int{0, 0, tr.Rng.Lo - extD.Lo, 0, 0},
 			Size: []int{nLoc, out.C, tr.Rng.Len(), extH.Len(), extW.Len()},
-		})
+		}, buf)
 		ctx.C.SendNoCopy(peer, l.tag+6, buf)
 	}
 	for _, tr := range recvD {
 		peer := g.Rank(pn, tr.Peer, ph, pw)
+		got := ctx.C.Recv(peer, l.tag+6)
 		ext.T.InsertRegion(tensor.Region{
 			Off:  []int{0, 0, tr.Rng.Lo - extD.Lo, 0, 0},
 			Size: []int{nLoc, out.C, tr.Rng.Len(), extH.Len(), extW.Len()},
-		}, ctx.C.Recv(peer, l.tag+6))
+		}, got)
+		ctx.C.Release(got)
 	}
 	return ext
 }

@@ -108,6 +108,7 @@ func (l *ModelParallelFC) Forward(c *comm.Comm, x *tensor.Tensor) *tensor.Tensor
 	for r := 0; r < p; r++ {
 		or := dist.BlockPartition(l.Out, p, r)
 		y.InsertRegion(tensor.Region{Off: []int{0, or.Lo}, Size: []int{nLoc, or.Len()}}, recv[r])
+		c.Release(recv[r])
 	}
 	return y
 }
@@ -136,6 +137,7 @@ func (l *ModelParallelFC) Backward(c *comm.Comm, dy *tensor.Tensor) *tensor.Tens
 	for r := 0; r < p; r++ {
 		sr := l.sampleRange(c, r)
 		dyBlk.InsertRegion(tensor.Region{Off: []int{sr.Lo, 0}, Size: []int{sr.Len(), outLoc}}, recv[r])
+		c.Release(recv[r])
 	}
 
 	// Local weight gradients (no allreduce needed).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/kernels"
 	"repro/internal/tensor"
@@ -137,15 +138,18 @@ func (p *HaloPlan) Run(ctx *Ctx, local *tensor.Tensor, tag int) Ext {
 
 // RunInto performs the exchange into a pre-filled ext buffer (owned region
 // already populated). Split from Run so the overlapped convolution path can
-// run it on a goroutine while computing the interior.
+// run it on a goroutine while computing the interior. Transfer fragments
+// stage through the comm message pool in both directions, so a warm
+// exchange allocates nothing.
 func (p *HaloPlan) RunInto(ctx *Ctx, local *tensor.Tensor, ext Ext, tag int) {
 	// Phase W: strips of owned rows. Post all sends, then receive.
 	for _, tr := range p.sendW {
 		peer := p.grid.Rank(p.pn, p.ph, tr.Peer)
-		buf := local.ExtractRegion(tensor.Region{
+		buf := comm.GetBuf(p.nLoc * p.c * p.ownH.Len() * tr.Rng.Len())
+		local.ExtractRegionInto(tensor.Region{
 			Off:  []int{0, 0, 0, tr.Rng.Lo - p.ownW.Lo},
 			Size: []int{p.nLoc, p.c, p.ownH.Len(), tr.Rng.Len()},
-		})
+		}, buf)
 		ctx.C.SendNoCopy(peer, tag, buf)
 	}
 	for _, tr := range p.recvW {
@@ -155,14 +159,16 @@ func (p *HaloPlan) RunInto(ctx *Ctx, local *tensor.Tensor, ext Ext, tag int) {
 			Off:  []int{0, 0, p.ownH.Lo - ext.HLo, tr.Rng.Lo - ext.WLo},
 			Size: []int{p.nLoc, p.c, p.ownH.Len(), tr.Rng.Len()},
 		}, buf)
+		ctx.C.Release(buf)
 	}
 	// Phase H: full-width strips out of the (now W-extended) buffer.
 	for _, tr := range p.sendH {
 		peer := p.grid.Rank(p.pn, tr.Peer, p.pw)
-		buf := ext.T.ExtractRegion(tensor.Region{
+		buf := comm.GetBuf(p.nLoc * p.c * tr.Rng.Len() * p.extW())
+		ext.T.ExtractRegionInto(tensor.Region{
 			Off:  []int{0, 0, tr.Rng.Lo - ext.HLo, 0},
 			Size: []int{p.nLoc, p.c, tr.Rng.Len(), p.extW()},
-		})
+		}, buf)
 		ctx.C.SendNoCopy(peer, tag+1, buf)
 	}
 	for _, tr := range p.recvH {
@@ -172,6 +178,7 @@ func (p *HaloPlan) RunInto(ctx *Ctx, local *tensor.Tensor, ext Ext, tag int) {
 			Off:  []int{0, 0, tr.Rng.Lo - ext.HLo, 0},
 			Size: []int{p.nLoc, p.c, tr.Rng.Len(), p.extW()},
 		}, buf)
+		ctx.C.Release(buf)
 	}
 }
 
@@ -185,10 +192,11 @@ func (p *HaloPlan) RunReverse(ctx *Ctx, ext Ext, local *tensor.Tensor, tag int) 
 	// Reverse phase H: send back the full-width row strips I held as halo.
 	for _, tr := range p.recvH {
 		peer := p.grid.Rank(p.pn, tr.Peer, p.pw)
-		buf := ext.T.ExtractRegion(tensor.Region{
+		buf := comm.GetBuf(p.nLoc * p.c * tr.Rng.Len() * p.extW())
+		ext.T.ExtractRegionInto(tensor.Region{
 			Off:  []int{0, 0, tr.Rng.Lo - ext.HLo, 0},
 			Size: []int{p.nLoc, p.c, tr.Rng.Len(), p.extW()},
-		})
+		}, buf)
 		ctx.C.SendNoCopy(peer, tag, buf)
 	}
 	for _, tr := range p.sendH {
@@ -198,14 +206,16 @@ func (p *HaloPlan) RunReverse(ctx *Ctx, ext Ext, local *tensor.Tensor, tag int) 
 			Off:  []int{0, 0, tr.Rng.Lo - ext.HLo, 0},
 			Size: []int{p.nLoc, p.c, tr.Rng.Len(), p.extW()},
 		}, buf)
+		ctx.C.Release(buf)
 	}
 	// Reverse phase W: send back column strips of owned rows.
 	for _, tr := range p.recvW {
 		peer := p.grid.Rank(p.pn, p.ph, tr.Peer)
-		buf := ext.T.ExtractRegion(tensor.Region{
+		buf := comm.GetBuf(p.nLoc * p.c * p.ownH.Len() * tr.Rng.Len())
+		ext.T.ExtractRegionInto(tensor.Region{
 			Off:  []int{0, 0, p.ownH.Lo - ext.HLo, tr.Rng.Lo - ext.WLo},
 			Size: []int{p.nLoc, p.c, p.ownH.Len(), tr.Rng.Len()},
-		})
+		}, buf)
 		ctx.C.SendNoCopy(peer, tag+1, buf)
 	}
 	for _, tr := range p.sendW {
@@ -215,6 +225,7 @@ func (p *HaloPlan) RunReverse(ctx *Ctx, ext Ext, local *tensor.Tensor, tag int) 
 			Off:  []int{0, 0, p.ownH.Lo - ext.HLo, tr.Rng.Lo - ext.WLo},
 			Size: []int{p.nLoc, p.c, p.ownH.Len(), tr.Rng.Len()},
 		}, buf)
+		ctx.C.Release(buf)
 	}
 	// Extract the accumulated owned region into the local shard.
 	local.InsertRegion(

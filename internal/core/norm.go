@@ -119,6 +119,12 @@ func (l *BatchNorm) Forward(ctx *Ctx, x DistTensor) DistTensor {
 
 // Backward computes dgamma/dbeta (reduced over the statistics group — they
 // double as the parameter gradients) and the input error signal.
+//
+// Unlike convolution weight gradients, this reduction cannot be deferred:
+// the backward-data kernel consumes the globally-reduced sums, so the
+// allreduce sits on the critical path and DGamma/DBeta emerge already
+// complete — the gradient-overlap engine must not (and does not) reduce
+// them again.
 func (l *BatchNorm) Backward(ctx *Ctx, dy DistTensor) DistTensor {
 	if l.DGamma == nil {
 		panic("core: Backward on an inference-only BatchNorm (NewBatchNormInference)")

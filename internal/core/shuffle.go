@@ -57,6 +57,7 @@ func Redistribute(ctx *Ctx, x DistTensor, dst dist.Dist) DistTensor {
 			Off:  []int{on.Lo - newN.Lo, 0, oh.Lo - newH.Lo, ow.Lo - newW.Lo},
 			Size: []int{on.Len(), src.C, oh.Len(), ow.Len()},
 		}, recv[q])
+		ctx.C.Release(recv[q])
 	}
 	return out
 }

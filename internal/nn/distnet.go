@@ -24,6 +24,14 @@ type DistNet struct {
 	layers  []distLayer
 	outs    []core.DistTensor
 	grads   []core.DistTensor
+
+	// Grad selects gradient-reduction scheduling: GradSync (default)
+	// blocks inside each layer's backward; GradOverlap hides the
+	// reductions behind the remaining backward compute via bucketed
+	// non-blocking allreduces. Both produce bitwise-identical gradients
+	// (the reductions are rank-order stable).
+	Grad GradMode
+	plan *gradPlan
 }
 
 // NewDistNet instantiates the architecture for this rank on grid ctx.Grid
@@ -107,8 +115,20 @@ func (n *DistNet) Forward(x core.DistTensor) core.DistTensor {
 }
 
 // Backward propagates the loss gradient; parameter gradients are complete
-// (allreduced) on return.
+// (allreduced) on return. Under GradOverlap the per-layer reductions run
+// as non-blocking collectives concurrently with the shallower layers'
+// backward kernels and are drained before returning, so callers see the
+// same contract either way.
 func (n *DistNet) Backward(dLast core.DistTensor) core.DistTensor {
+	overlap := n.Grad != GradSync && n.Ctx.C.Size() > 1
+	for _, l := range n.layers {
+		if d, ok := l.(deferrable); ok {
+			d.setDeferAllreduce(overlap)
+		}
+	}
+	if overlap && n.Grad == GradOverlap && n.plan == nil {
+		n.plan = buildGradPlan(n.layers)
+	}
 	n.grads = make([]core.DistTensor, len(n.layers))
 	n.grads[len(n.layers)-1] = dLast
 	var dIn core.DistTensor
@@ -118,6 +138,9 @@ func (n *DistNet) Backward(dLast core.DistTensor) core.DistTensor {
 			g = core.NewDistTensor(n.Dists[i], n.Ctx.Rank)
 		}
 		parentGrads := n.layers[i].backward(n.Ctx, g)
+		if overlap && n.Grad == GradOverlap {
+			n.plan.launch(n.Ctx, i)
+		}
 		for j, p := range n.Arch.Specs[i].Parents {
 			if n.grads[p].Local == nil {
 				n.grads[p] = parentGrads[j]
@@ -128,6 +151,9 @@ func (n *DistNet) Backward(dLast core.DistTensor) core.DistTensor {
 		if n.Arch.Specs[i].Kind == KindInput {
 			dIn = g
 		}
+	}
+	if overlap && n.Grad == GradOverlap {
+		n.plan.drain()
 	}
 	return dIn
 }
@@ -179,6 +205,16 @@ func (d *distConv) params(name string) []Param {
 	return ps
 }
 
+func (d *distConv) setDeferAllreduce(on bool) { d.l.DeferAllreduce = on }
+
+func (d *distConv) deferredGrads() [][]float32 {
+	gs := [][]float32{d.l.DW.Data()}
+	if d.l.DBias != nil {
+		gs = append(gs, d.l.DBias)
+	}
+	return gs
+}
+
 type distBN struct{ l *core.BatchNorm }
 
 func (d *distBN) forward(ctx *core.Ctx, ins []core.DistTensor) core.DistTensor {
@@ -195,6 +231,14 @@ func (d *distBN) params(name string) []Param {
 		{Name: name + ".beta", W: d.l.Beta, G: d.l.DBeta},
 	}
 }
+
+// Batch normalization's gradient reduction rides the backward-stats
+// allreduce that the data gradient needs anyway (see core.BatchNorm), so
+// there is nothing for the overlap engine to defer: DGamma/DBeta are
+// already globally complete when backward returns.
+func (d *distBN) setDeferAllreduce(bool) {}
+
+func (d *distBN) deferredGrads() [][]float32 { return nil }
 
 type distReLU struct{ l *core.ReLU }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package nn_test
+
+const raceDetectorOn = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package nn_test
+
+// raceDetectorOn trims the bitwise-equivalence matrix under -race: the
+// detector slows the conv kernels ~15x, and the race job's purpose is
+// interleaving coverage (which the remaining grids provide), not
+// repeating the float arithmetic checks.
+const raceDetectorOn = true

@@ -1,0 +1,170 @@
+package nn_test
+
+// External test package: the bitwise sync-vs-overlap equivalence suite uses
+// the real model zoo (models imports nn, so these tests cannot live in
+// package nn).
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// fusionArch is a conv stack whose parameters are all below the fusion
+// threshold, so the overlapped path exercises coalescing buckets end to
+// end (resnet-tiny exercises the direct in-place buckets).
+func fusionArch(size int) *nn.Arch {
+	b := nn.NewBuilder("ovseg", nn.Shape{C: 3, H: size, W: size})
+	c := b.Conv("c1", b.Last(), 8, dist.ConvGeom{K: 3, S: 1, Pad: 1}, true)
+	c = b.BatchNorm("c1_bn", c)
+	c = b.ReLU("c1_relu", c)
+	c = b.Conv("c2", c, 8, dist.ConvGeom{K: 3, S: 1, Pad: 1}, true)
+	c = b.BatchNorm("c2_bn", c)
+	c = b.ReLU("c2_relu", c)
+	c = b.Conv("c3", c, 12, dist.ConvGeom{K: 3, S: 2, Pad: 1}, true)
+	b.Conv("pred", c, 3, dist.ConvGeom{K: 1, S: 1, Pad: 0}, true)
+	return b.MustBuild()
+}
+
+// trainFinalParams runs `steps` SGD steps of arch on grid g and returns
+// every rank's final parameters.
+func trainFinalParams(t *testing.T, arch *nn.Arch, g dist.Grid, n, steps int, seg bool, mode nn.GradMode) [][]nn.Param {
+	t.Helper()
+	in := arch.In
+	x := tensor.New(n, in.C, in.H, in.W)
+	x.FillRandN(5, 1)
+	outShape, _ := arch.Output()
+	rng := rand.New(rand.NewSource(6))
+	var segLabels []int32
+	var clsLabels []int
+	if seg {
+		segLabels = make([]int32, n*outShape.H*outShape.W)
+		for i := range segLabels {
+			segLabels[i] = int32(rng.Intn(outShape.C))
+		}
+	} else {
+		clsLabels = make([]int, n)
+		for i := range clsLabels {
+			clsLabels[i] = rng.Intn(outShape.C)
+		}
+	}
+	params := make([][]nn.Param, g.Size())
+	var mu sync.Mutex
+	w := comm.NewWorld(g.Size())
+	w.Run(func(c *comm.Comm) {
+		ctx := core.NewCtx(c, g)
+		net, err := nn.NewDistNet(ctx, arch, n, 99)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		net.Grad = mode
+		xs := net.ScatterInput(x)
+		opt := nn.NewSGD(0.05, 0.9, 1e-4)
+		for it := 0; it < steps; it++ {
+			logits := net.Forward(xs[ctx.Rank])
+			var dl core.DistTensor
+			if seg {
+				shards := nn.ScatterLabels(segLabels, net.OutputDist())
+				_, dl = nn.DistSegLoss(ctx, logits, shards[ctx.Rank])
+			} else {
+				shards := nn.ScatterSampleLabels(clsLabels, net.OutputDist())
+				_, dl = nn.DistClsLoss(ctx, logits, shards[ctx.Rank])
+			}
+			net.Backward(dl)
+			opt.Step(net.Params())
+		}
+		ps := net.Params()
+		mu.Lock()
+		params[ctx.Rank] = ps
+		mu.Unlock()
+	})
+	return params
+}
+
+// The tentpole determinism guarantee: overlapped and synchronous training
+// produce bitwise-identical parameters — on 1/2/4-rank sample-parallel
+// grids of resnet-tiny and on spatial/hybrid grids with halo exchanges —
+// after several full SGD steps.
+func TestOverlapBitwiseMatchesSync(t *testing.T) {
+	cases := []struct {
+		arch *nn.Arch
+		g    dist.Grid
+		n    int
+		seg  bool
+	}{
+		{models.ResNet50Tiny(16, 10), dist.Grid{PN: 1, PH: 1, PW: 1}, 4, false},
+		{models.ResNet50Tiny(16, 10), dist.Grid{PN: 2, PH: 1, PW: 1}, 4, false},
+		{models.ResNet50Tiny(16, 10), dist.Grid{PN: 4, PH: 1, PW: 1}, 4, false},
+		{fusionArch(8), dist.Grid{PN: 1, PH: 2, PW: 2}, 2, true},
+		{fusionArch(8), dist.Grid{PN: 2, PH: 2, PW: 1}, 4, true},
+	}
+	for i, tc := range cases {
+		if raceDetectorOn && (i == 0 || i == 2) {
+			continue // trim the slowest resnet cases; see overlap_equiv_race_on_test.go
+		}
+		syncP := trainFinalParams(t, tc.arch, tc.g, tc.n, 3, tc.seg, nn.GradSync)
+		overP := trainFinalParams(t, tc.arch, tc.g, tc.n, 3, tc.seg, nn.GradOverlap)
+		for r := range syncP {
+			if len(syncP[r]) != len(overP[r]) {
+				t.Fatalf("%s %v rank %d: param count %d vs %d", tc.arch.Name, tc.g, r, len(syncP[r]), len(overP[r]))
+			}
+			for i, sp := range syncP[r] {
+				op := overP[r][i]
+				for j := range sp.W {
+					if math.Float32bits(sp.W[j]) != math.Float32bits(op.W[j]) {
+						t.Errorf("%s %v rank %d: %s[%d] sync %v != overlap %v (bitwise)",
+							tc.arch.Name, tc.g, r, sp.Name, j, sp.W[j], op.W[j])
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// Deadlock regression: deferred proxy allreduces in flight while backward
+// halo exchanges, batchnorm stats reductions, and pooling reverse
+// exchanges run blocking on the compute goroutines of a spatial grid.
+func TestOverlapWithHaloExchangesNoDeadlock(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		trainFinalParams(t, fusionArch(8), dist.Grid{PN: 1, PH: 2, PW: 2}, 2, 5, true, nn.GradOverlap)
+	}()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("deadlock: overlapped training on a spatial grid did not complete")
+	}
+}
+
+func TestGradSkipLeavesGradientsUnreduced(t *testing.T) {
+	// The comm-free ceiling mode must run (benchmarks rely on it) and must
+	// NOT equal the synchronous result on a multi-rank grid — if it did,
+	// the mode would silently be reducing after all.
+	arch := fusionArch(8)
+	g := dist.Grid{PN: 2, PH: 1, PW: 1}
+	syncP := trainFinalParams(t, arch, g, 4, 1, true, nn.GradSync)
+	skipP := trainFinalParams(t, arch, g, 4, 1, true, nn.GradSkip)
+	same := true
+	for i, sp := range syncP[0] {
+		for j := range sp.W {
+			if math.Float32bits(sp.W[j]) != math.Float32bits(skipP[0][i].W[j]) {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("GradSkip produced identical parameters to GradSync; ceiling mode is reducing gradients")
+	}
+}

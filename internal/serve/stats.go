@@ -6,9 +6,11 @@ import (
 	"time"
 )
 
-// latBuckets is the size of the latency histogram: quarter-log2 buckets of
-// microseconds (4 sub-buckets per power of two), covering 1µs..~4.7h.
-const latBuckets = 4 * 44
+// latBuckets is the size of the latency histogram: eighth-log2 buckets of
+// microseconds (8 sub-buckets per power of two, ~9% resolution), covering
+// 1µs..~4.7h. The earlier quarter-log2 (~25%) buckets were fine for
+// dashboards but made p99 SLO arithmetic snap to bucket edges.
+const latBuckets = 8 * 44
 
 // statsCollector is the server's lock-free metrics sink: every counter is
 // an atomic, so the zero-alloc Predict path records without locking.
@@ -26,7 +28,7 @@ func newStatsCollector(maxBatch int) *statsCollector {
 }
 
 // latBucket maps a duration to its histogram bucket: e = floor(log2(µs)),
-// plus two mantissa bits for 4 sub-buckets per octave (~25% resolution).
+// plus three mantissa bits for 8 sub-buckets per octave (~9% resolution).
 func latBucket(d time.Duration) int {
 	us := uint64(d.Microseconds())
 	if us < 1 {
@@ -34,10 +36,10 @@ func latBucket(d time.Duration) int {
 	}
 	e := bits.Len64(us) - 1 // 2^e <= us < 2^(e+1)
 	sub := 0
-	if e >= 2 {
-		sub = int((us >> (uint(e) - 2)) & 3)
+	if e >= 3 {
+		sub = int((us >> (uint(e) - 3)) & 7)
 	}
-	b := 4*e + sub
+	b := 8*e + sub
 	if b >= latBuckets {
 		b = latBuckets - 1
 	}
@@ -47,14 +49,14 @@ func latBucket(d time.Duration) int {
 // latBucketUpper is the inclusive upper edge of bucket b, the value
 // quantiles report.
 func latBucketUpper(b int) time.Duration {
-	e, sub := b/4, b%4
+	e, sub := b/8, b%8
 	var us uint64
-	if e < 2 {
-		// Octaves below 4µs have no mantissa bits; the whole octave is one
+	if e < 3 {
+		// Octaves below 8µs have no mantissa bits; the whole octave is one
 		// bucket whose upper edge is the next power of two.
 		us = uint64(1) << uint(e+1)
 	} else {
-		us = (uint64(1) << uint(e)) + uint64(sub+1)<<uint(e-2)
+		us = (uint64(1) << uint(e)) + uint64(sub+1)<<uint(e-3)
 	}
 	return time.Duration(us) * time.Microsecond
 }
@@ -78,7 +80,7 @@ type Stats struct {
 	Batches  uint64 `json:"batches"`
 	// AvgBatch is mean flushed batch occupancy: requests served / batches.
 	AvgBatch float64 `json:"avg_batch"`
-	// Latency quantiles are upper bucket edges (~25% resolution).
+	// Latency quantiles are upper bucket edges (~9% resolution).
 	P50 time.Duration `json:"p50_us"`
 	P95 time.Duration `json:"p95_us"`
 	P99 time.Duration `json:"p99_us"`

@@ -43,6 +43,19 @@ func (t *Tensor) ExtractRegion(r Region) []float32 {
 	return buf
 }
 
+// ExtractRegionInto copies the elements of region r from t into buf in
+// row-major order of the region: ExtractRegion without the allocation, for
+// callers staging transfers through pooled buffers.
+func (t *Tensor) ExtractRegionInto(r Region, buf []float32) {
+	if !r.Valid(t.shape) {
+		panic(fmt.Sprintf("tensor: region off=%v size=%v invalid for shape %v", r.Off, r.Size, t.shape))
+	}
+	if len(buf) != r.NumElems() {
+		panic(fmt.Sprintf("tensor: buffer length %d does not match region size %v", len(buf), r.Size))
+	}
+	t.copyRegion(r, buf, true)
+}
+
 // InsertRegion copies buf (row-major region order) into region r of t.
 func (t *Tensor) InsertRegion(r Region, buf []float32) {
 	if !r.Valid(t.shape) {
