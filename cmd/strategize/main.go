@@ -1,11 +1,12 @@
 // Command strategize runs the parallel execution strategy optimizer of
-// Section V-C: given a model and a GPU budget, it prints the per-layer data
-// distributions minimizing modeled end-to-end training time, and compares
-// against the best uniform decomposition.
+// Section V-C: given a model and a GPU budget, it prints the per-layer
+// placements — 4-axis grids plus channel/filter weight splits — minimizing
+// modeled end-to-end training time, and compares against the best uniform
+// decomposition.
 //
 // Usage:
 //
-//	strategize -model resnet50|mesh1k|mesh2k -gpus 16 -batch 32
+//	strategize -model resnet50|resnet-tiny|mesh1k|mesh2k -gpus 16 -batch 32
 package main
 
 import (
@@ -21,7 +22,7 @@ import (
 )
 
 func main() {
-	model := flag.String("model", "resnet50", "model: resnet50, mesh1k, mesh2k")
+	model := flag.String("model", "resnet50", "model: resnet50, resnet-tiny, mesh1k, mesh2k")
 	gpus := flag.Int("gpus", 16, "number of GPUs")
 	batch := flag.Int("batch", 32, "global mini-batch size")
 	flag.Parse()
@@ -30,6 +31,8 @@ func main() {
 	switch *model {
 	case "resnet50":
 		arch = models.ResNet50(224, 1000)
+	case "resnet-tiny":
+		arch = models.ResNet50Tiny(64, 10)
 	case "mesh1k":
 		arch = models.Mesh1K()
 	case "mesh2k":
@@ -56,12 +59,12 @@ func main() {
 		fmt.Printf("no feasible uniform decomposition: %v\n", err)
 	}
 
-	fmt.Println("\nper-layer distributions (grid PN x PH x PW; runs of identical assignments folded):")
+	fmt.Println("\nper-layer placements (grid PN x PC x PH x PW, weight split; runs of identical assignments folded):")
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "layers\tkind\tgrid")
+	fmt.Fprintln(tw, "layers\tkind\tplacement")
 	start := 0
-	for i := 1; i <= len(st.Grids); i++ {
-		if i < len(st.Grids) && st.Grids[i] == st.Grids[start] {
+	for i := 1; i <= len(st.Placements); i++ {
+		if i < len(st.Placements) && st.Placements[i] == st.Placements[start] {
 			continue
 		}
 		first := arch.Specs[start].Name
@@ -70,7 +73,7 @@ func main() {
 		if first != last {
 			label = first + " .. " + last
 		}
-		fmt.Fprintf(tw, "%s\t%v\t%v\n", label, arch.Specs[start].Kind, st.Grids[start])
+		fmt.Fprintf(tw, "%s\t%v\t%v\n", label, arch.Specs[start].Kind, st.Placements[start])
 		start = i
 	}
 	tw.Flush()

@@ -65,11 +65,14 @@ func (r *Request) complete() {
 	r.mu.Unlock()
 }
 
-// collOp is one queued collective.
+// collOp is one queued proxy operation: a collective on buf, or — when fn
+// is non-nil — an arbitrary communication closure run with the proxy's
+// shadow communicator (engine-style request handles for halo exchanges).
 type collOp struct {
 	buf  []float32
 	op   Op
 	algo AllreduceAlgo
+	fn   func(proxy *Comm)
 	req  *Request
 }
 
@@ -112,10 +115,22 @@ func (c *Comm) IAllreduce(buf []float32, op Op) *Request {
 
 // IAllreduceAlgo is IAllreduce with an explicit algorithm choice.
 func (c *Comm) IAllreduceAlgo(buf []float32, op Op, algo AllreduceAlgo) *Request {
-	return c.engine().submit(buf, op, algo)
+	return c.engine().submit(collOp{buf: buf, op: op, algo: algo})
 }
 
-func (e *engine) submit(buf []float32, op Op, algo AllreduceAlgo) *Request {
+// Do runs fn on the communicator's proxy goroutine with the proxy's shadow
+// communicator handle and returns its request handle. It is the generic
+// engine entry point the halo exchanges use for their send side: the
+// exchange draws from the pooled proxy path instead of spawning a goroutine
+// per layer, and its traffic lives in the proxy tag space. The ordering
+// contract of non-blocking collectives applies: every rank of the
+// communicator must submit matching proxy operations in the same order
+// (fn runs after all previously submitted operations complete).
+func (c *Comm) Do(fn func(proxy *Comm)) *Request {
+	return c.engine().submit(collOp{fn: fn})
+}
+
+func (e *engine) submit(op collOp) *Request {
 	e.mu.Lock()
 	var r *Request
 	if k := len(e.free); k > 0 {
@@ -126,7 +141,8 @@ func (e *engine) submit(buf []float32, op Op, algo AllreduceAlgo) *Request {
 		r = &Request{eng: e}
 		r.cond.L = &r.mu
 	}
-	e.ops = append(e.ops, collOp{buf: buf, op: op, algo: algo, req: r})
+	op.req = r
+	e.ops = append(e.ops, op)
 	e.cond.Signal()
 	e.mu.Unlock()
 	return r
@@ -164,7 +180,11 @@ func (e *engine) run() {
 		e.head++
 		e.mu.Unlock()
 
-		e.proxy.AllreduceAlgo(op.buf, op.op, op.algo)
+		if op.fn != nil {
+			op.fn(e.proxy)
+		} else {
+			e.proxy.AllreduceAlgo(op.buf, op.op, op.algo)
+		}
 		op.req.complete()
 
 		e.mu.Lock()

@@ -330,3 +330,68 @@ func TestWarmHaloStyleSendRecvZeroAllocs(t *testing.T) {
 		c.Release(got)
 	})
 }
+
+func TestDoRunsOnProxyInOrder(t *testing.T) {
+	// Do closures execute on the proxy in submission order, interleaved
+	// with non-blocking collectives, and their traffic lives in the proxy
+	// tag space (a halo-style exchange inside Do must not collide with
+	// compute-goroutine point-to-point traffic on the same tag).
+	const p = 4
+	w := NewWorld(p)
+	w.Run(func(c *Comm) {
+		buf := []float32{float32(c.Rank() + 1)}
+		r1 := c.IAllreduce(buf, OpSum)
+		got := make([]float32, 1)
+		r2 := c.Do(func(proxy *Comm) {
+			partner := (proxy.Rank() + 1) % p
+			prev := (proxy.Rank() - 1 + p) % p
+			payload := GetBuf(1)
+			payload[0] = float32(proxy.Rank())
+			proxy.SendNoCopy(partner, 7, payload)
+			in := proxy.Recv(prev, 7)
+			got[0] = in[0]
+			proxy.Release(in)
+		})
+		// Same tag on the compute goroutine: disjoint tag space, no cross-talk.
+		c.Send((c.Rank()+1)%p, 7, []float32{100 + float32(c.Rank())})
+		mine := c.Recv((c.Rank()-1+p)%p, 7)
+		if mine[0] != 100+float32((c.Rank()-1+p)%p) {
+			t.Errorf("rank %d: compute-tag message %v corrupted by proxy traffic", c.Rank(), mine[0])
+		}
+		c.Release(mine)
+		r1.Wait()
+		r2.Wait()
+		if want := float32(p * (p + 1) / 2); buf[0] != want {
+			t.Errorf("rank %d: allreduce before Do = %v, want %v", c.Rank(), buf[0], want)
+		}
+		if want := float32((c.Rank() - 1 + p) % p); got[0] != want {
+			t.Errorf("rank %d: Do exchange got %v, want %v", c.Rank(), got[0], want)
+		}
+	})
+}
+
+func TestWarmDoZeroAllocs(t *testing.T) {
+	// A halo-style exchange submitted through Do must be allocation-free
+	// warm, like the rest of the pooled proxy path (the closure itself is
+	// pre-bound so no per-step closure allocation occurs).
+	const p = 2
+	got := make([][]float32, p)
+	for i := range got {
+		got[i] = make([]float32, 1)
+	}
+	fns := make([]func(proxy *Comm), p)
+	assertZeroAllocsSPMD(t, "Do/halo-style", p, 10, 20, func(c *Comm) {
+		if fns[c.Rank()] == nil {
+			r := c.Rank()
+			fns[r] = func(proxy *Comm) {
+				partner := 1 - proxy.Rank()
+				payload := GetBuf(256)
+				proxy.SendNoCopy(partner, 9, payload)
+				in := proxy.Recv(partner, 9)
+				got[proxy.Rank()][0] = in[0]
+				proxy.Release(in)
+			}
+		}
+		c.Do(fns[c.Rank()]).Wait()
+	})
+}

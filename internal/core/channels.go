@@ -9,123 +9,390 @@ import (
 	"repro/internal/tensor"
 )
 
-// This file implements the channel and filter parallelism sketched in
-// Section III-D (deferred to future work in the paper). Both operate over a
-// 1-D communicator; spatial dimensions stay whole. They compose with
-// sample parallelism the same way spatial parallelism does.
+// This file implements the channel and filter parallelism of Section III-D
+// as first-class distributed layers over the 4-axis Placement API: both
+// consume and produce DistTensors whose channel dimension is blocked over
+// the grid's PC axis (spatial dimensions whole), so they compose with
+// sample parallelism on the same grid and with any other placement through
+// core.Redistribute. The activation collectives run over ctx.Chan (the
+// ranks of one channel group) with the rank-order-stable ring, and the
+// weight-gradient reductions over ctx.ChanPeers (the ranks holding the same
+// weight shard), so training is deterministic and scheduling-independent.
+//
+// All step-transient buffers (the full-F partial outputs, gathered
+// activations, and output/error shards) are acquired once from the
+// kernels.Workspace arena at construction and reused, so warm Forward and
+// Backward calls allocate nothing.
 
-// FilterParallelConv partitions the F dimension of the weights: each
-// processor holds w for a block of filters, inputs x are replicated within
-// the group, and the output y emerges partitioned on its channel (filter)
-// dimension with no forward communication. Backward-data requires a
-// reduce (sum over filter blocks), realized as an allreduce; weight
-// gradients are purely local.
-type FilterParallelConv struct {
-	Geom   dist.ConvGeom
-	C, F   int        // global channel/filter counts
-	FRange dist.Range // filters owned by this rank
-	W      *tensor.Tensor
-	DW     *tensor.Tensor
-
-	x *tensor.Tensor
+// checkChannelGrid validates the common constraints of the channel/filter
+// layers and returns the output distribution.
+func checkChannelGrid(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom) dist.Dist {
+	if err := geom.Validate(); err != nil {
+		panic(err)
+	}
+	if inDist.Grid.Norm() != ctx.Grid {
+		panic(fmt.Sprintf("core: input grid %v does not match context grid %v", inDist.Grid, ctx.Grid))
+	}
+	g := ctx.Grid
+	if g.PH != 1 || g.PW != 1 {
+		panic(fmt.Sprintf("core: channel/filter-parallel conv requires whole spatial dimensions, got grid %v", g))
+	}
+	if f < g.ChannelWays() {
+		panic(fmt.Sprintf("core: %d filters cannot be blocked %d ways", f, g.ChannelWays()))
+	}
+	if err := inDist.Validate(); err != nil {
+		panic(err)
+	}
+	out := dist.Dist{Grid: g, N: inDist.N, C: f, H: geom.OutSize(inDist.H), W: geom.OutSize(inDist.W)}
+	if err := out.Validate(); err != nil {
+		panic(err)
+	}
+	return out
 }
 
-// NewFilterParallelConv constructs the layer on communicator c.
-func NewFilterParallelConv(c *comm.Comm, inC, f int, geom dist.ConvGeom) *FilterParallelConv {
-	if f < c.Size() {
-		panic(fmt.Sprintf("core: filter-parallel conv with %d filters on %d ranks", f, c.Size()))
+// regionScratch is persistent Off/Size storage for the dim-1 block copies,
+// so warm Forward/Backward calls build tensor.Regions without allocating.
+type regionScratch struct {
+	aOff, aSize, bOff, bSize [4]int
+}
+
+// pair fills the scratch and returns two regions backed by it.
+func (r *regionScratch) pair(aOff, aSize, bOff, bSize [4]int) (a, b tensor.Region) {
+	r.aOff, r.aSize, r.bOff, r.bSize = aOff, aSize, bOff, bSize
+	return tensor.Region{Off: r.aOff[:], Size: r.aSize[:]},
+		tensor.Region{Off: r.bOff[:], Size: r.bSize[:]}
+}
+
+// one fills the scratch and returns a single region backed by it.
+func (r *regionScratch) one(off, size [4]int) tensor.Region {
+	r.aOff, r.aSize = off, size
+	return tensor.Region{Off: r.aOff[:], Size: r.aSize[:]}
+}
+
+// gatherDim1 assembles the channel-group blocks of a tensor partitioned on
+// dimension 1: every rank of ctx.Chan contributes its local block and
+// receives everyone else's, inserting block q at ranges[q]. Message
+// payloads stage through the comm pool and regions through the caller's
+// scratch, so a warm gather allocates nothing.
+func gatherDim1(ctx *Ctx, local *tensor.Tensor, full *tensor.Tensor, ranges []dist.Range, tag int, rg *regionScratch) {
+	ch := ctx.Chan
+	p := ch.Size()
+	me := ch.Rank()
+	n, h, w := full.Dim(0), full.Dim(2), full.Dim(3)
+	for q := 0; q < p; q++ {
+		if q == me {
+			continue
+		}
+		buf := comm.GetBuf(local.Size())
+		copy(buf, local.Data())
+		ch.SendNoCopy(q, tag, buf)
 	}
-	fr := dist.BlockPartition(f, c.Size(), c.Rank())
-	return &FilterParallelConv{
-		Geom: geom, C: inC, F: f, FRange: fr,
-		W:  tensor.New(fr.Len(), inC, geom.K, geom.K),
-		DW: tensor.New(fr.Len(), inC, geom.K, geom.K),
+	full.InsertRegion(rg.one([4]int{0, ranges[me].Lo, 0, 0}, [4]int{n, ranges[me].Len(), h, w}), local.Data())
+	for q := 0; q < p; q++ {
+		if q == me {
+			continue
+		}
+		data := ch.Recv(q, tag)
+		if want := n * ranges[q].Len() * h * w; len(data) != want {
+			panic(fmt.Sprintf("core: channel gather got %d words from block %d, want %d", len(data), q, want))
+		}
+		full.InsertRegion(rg.one([4]int{0, ranges[q].Lo, 0, 0}, [4]int{n, ranges[q].Len(), h, w}), data)
+		ch.Release(data)
 	}
 }
 
-// Forward computes this rank's filter block: y [N, fLoc, OH, OW]. x must be
-// the full (replicated) input.
-func (l *FilterParallelConv) Forward(c *comm.Comm, x *tensor.Tensor) *tensor.Tensor {
-	xs := x.Shape()
-	oh, ow := l.Geom.OutSize(xs[2]), l.Geom.OutSize(xs[3])
-	y := tensor.New(xs[0], l.FRange.Len(), oh, ow)
-	kernels.ConvForward(x, l.W, nil, y, l.Geom.S, l.Geom.Pad, kernels.ConvAuto)
-	l.x = x
-	return y
+// blockRanges precomputes the channel blocks of total over ways parts.
+func blockRanges(total, ways int) []dist.Range {
+	out := make([]dist.Range, ways)
+	for j := range out {
+		out[j] = dist.BlockPartition(total, ways, j)
+	}
+	return out
 }
 
-// Backward consumes this rank's filter block of dy and returns the full dx
-// (identical on every rank after the allreduce). DW is complete locally.
-func (l *FilterParallelConv) Backward(c *comm.Comm, dy *tensor.Tensor) *tensor.Tensor {
-	if l.x == nil {
-		panic("core: filter-parallel Backward before Forward")
-	}
-	kernels.ConvBackwardFilter(l.x, dy, l.DW, l.Geom.S, l.Geom.Pad, false)
-	dx := tensor.New(l.x.Shape()...)
-	kernels.ConvBackwardData(dy, l.W, dx, l.Geom.S, l.Geom.Pad)
-	if c.Size() > 1 {
-		c.Allreduce(dx.Data(), comm.OpSum) // sum of per-filter-block contributions
-	}
-	l.x = nil
-	return dx
-}
-
-// ChannelParallelConv partitions the C dimension: each processor holds the
-// input channels of a block and the matching weight slice w[:, cBlk]. Each
-// computes a partial y over all filters; the channel sum of Eq. 1 is
-// completed with an allreduce (the paper notes a reduce-scatter could
-// instead leave y filter-partitioned). Backward-data is local (dx inherits
-// the channel partition); weight gradients are local to each channel block.
+// ChannelParallelConv partitions the input-channel dimension C: each
+// channel group holds the weight slice W[:, cBlk] and this rank's channel
+// shard of x, computes a partial output over all filters, and completes the
+// channel sum of Eq. 1 with an allreduce over ctx.Chan — the forward
+// activation allreduce the performance model prices. The completed output
+// is re-blocked on its own channel (filter) dimension, so OutDist is again
+// a plain channel-partitioned distribution. Backward-data is local (dx
+// inherits the channel partition); the full dy is assembled with an
+// allgather (the adjoint of extracting this rank's filter block).
 type ChannelParallelConv struct {
-	Geom   dist.ConvGeom
-	C, F   int
-	CRange dist.Range     // input channels owned by this rank
-	W      *tensor.Tensor // [F, cLoc, K, K]
-	DW     *tensor.Tensor
+	Geom    dist.ConvGeom
+	InDist  dist.Dist
+	OutDist dist.Dist
+	CRange  dist.Range // input channels owned by this rank
+	FRange  dist.Range // output filters owned by this rank
 
-	x *tensor.Tensor // local channel shard [N, cLoc, H, W]
+	W     *tensor.Tensor // [F, cLoc, K, K]
+	DW    *tensor.Tensor
+	Bias  []float32 // optional, [F], replicated within the channel group
+	DBias []float32
+
+	// Algo selects the local convolution kernel.
+	Algo kernels.ConvAlgo
+	// DeferAllreduce leaves the dw/dbias reduction over ctx.ChanPeers to
+	// the caller; when false Backward completes gradients before returning.
+	DeferAllreduce bool
+
+	tag int
+	rg  regionScratch
+
+	fBlocks []dist.Range   // filter block of every channel-group rank
+	full    *tensor.Tensor // [nLoc, F, OH, OW]: forward partial, backward dy
+	fullBuf *[]float32
+	y       DistTensor // persistent output shard, overwritten each step
+	dx      DistTensor // persistent error shard
+	x       *tensor.Tensor
 }
 
-// NewChannelParallelConv constructs the layer on communicator c.
-func NewChannelParallelConv(c *comm.Comm, inC, f int, geom dist.ConvGeom) *ChannelParallelConv {
-	if inC < c.Size() {
-		panic(fmt.Sprintf("core: channel-parallel conv with %d channels on %d ranks", inC, c.Size()))
+// NewChannelParallelConv constructs the layer for inputs distributed as
+// inDist (channel axis blocked PC ways, spatial whole) producing f filters.
+func NewChannelParallelConv(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom, bias bool) *ChannelParallelConv {
+	outDist := checkChannelGrid(ctx, inDist, f, geom)
+	cr := inDist.RangeC(ctx.Rank)
+	fr := outDist.RangeC(ctx.Rank)
+	nLoc := inDist.RangeN(ctx.Rank).Len()
+	ws := kernels.DefaultWorkspace()
+	l := &ChannelParallelConv{
+		Geom: geom, InDist: inDist, OutDist: outDist,
+		CRange: cr, FRange: fr,
+		W:    tensor.New(f, cr.Len(), geom.K, geom.K),
+		DW:   tensor.New(f, cr.Len(), geom.K, geom.K),
+		Algo: kernels.ConvAuto,
+		tag:  ctx.AllocTags(2),
 	}
-	cr := dist.BlockPartition(inC, c.Size(), c.Rank())
-	return &ChannelParallelConv{
-		Geom: geom, C: inC, F: f, CRange: cr,
-		W:  tensor.New(f, cr.Len(), geom.K, geom.K),
-		DW: tensor.New(f, cr.Len(), geom.K, geom.K),
+	if bias {
+		l.Bias = make([]float32, f)
+		l.DBias = make([]float32, f)
 	}
+	l.fBlocks = blockRanges(f, ctx.Grid.ChannelWays())
+	l.fullBuf = ws.Get(nLoc * f * outDist.H * outDist.W)
+	l.full = tensor.FromSlice(*l.fullBuf, nLoc, f, outDist.H, outDist.W)
+	l.y = NewDistTensor(outDist, ctx.Rank)
+	l.dx = NewDistTensor(inDist, ctx.Rank)
+	return l
 }
 
-// Forward takes this rank's channel shard x [N, cLoc, H, W] and returns the
-// complete y [N, F, OH, OW], identical on every rank after the allreduce.
-func (l *ChannelParallelConv) Forward(c *comm.Comm, x *tensor.Tensor) *tensor.Tensor {
-	xs := x.Shape()
-	if xs[1] != l.CRange.Len() {
-		panic(fmt.Sprintf("core: channel shard has %d channels, rank owns %d", xs[1], l.CRange.Len()))
+// Forward consumes this rank's channel shard x [nLoc, cLoc, H, W] and
+// returns the output blocked on filters [nLoc, fLoc, OH, OW]. The returned
+// shard is owned by the layer and overwritten by the next step.
+func (l *ChannelParallelConv) Forward(ctx *Ctx, x DistTensor) DistTensor {
+	if !x.Dist.SameLayout(l.InDist) {
+		panic(fmt.Sprintf("core: channel-parallel conv input dist %v, want %v", x.Dist, l.InDist))
 	}
-	oh, ow := l.Geom.OutSize(xs[2]), l.Geom.OutSize(xs[3])
-	y := tensor.New(xs[0], l.F, oh, ow)
-	kernels.ConvForward(x, l.W, nil, y, l.Geom.S, l.Geom.Pad, kernels.ConvAuto)
-	if c.Size() > 1 {
-		c.Allreduce(y.Data(), comm.OpSum) // complete the channel sum
+	kernels.ConvForward(x.Local, l.W, nil, l.full, l.Geom.S, l.Geom.Pad, l.Algo)
+	if ctx.Chan.Size() > 1 {
+		// Rank-order-stable: the channel sum associates in block order no
+		// matter how the reduction is scheduled.
+		ctx.Chan.AllreduceAlgo(l.full.Data(), comm.OpSum, comm.AllreduceStableRing)
 	}
-	l.x = x
-	return y
+	s := l.y.Local.Shape()
+	sz := [4]int{s[0], s[1], s[2], s[3]}
+	dstR, srcR := l.rg.pair([4]int{}, sz, [4]int{0, l.FRange.Lo, 0, 0}, sz)
+	l.y.Local.CopyRegion(dstR, l.full, srcR)
+	if l.Bias != nil {
+		addBiasBlock(l.y.Local, l.Bias[l.FRange.Lo:l.FRange.Hi])
+	}
+	l.x = x.Local
+	return l.y
 }
 
-// Backward consumes the full dy (replicated) and returns dx for this rank's
-// channel shard. No communication is needed: the channel partition makes
-// both dw and dx local.
-func (l *ChannelParallelConv) Backward(c *comm.Comm, dy *tensor.Tensor) *tensor.Tensor {
+// Backward consumes this rank's filter block of dy and returns dx for this
+// rank's channel shard. The full dy is assembled over ctx.Chan; dw and dx
+// are then purely local, and the weight-gradient sum over sample groups is
+// completed over ctx.ChanPeers (unless deferred).
+func (l *ChannelParallelConv) Backward(ctx *Ctx, dy DistTensor) DistTensor {
 	if l.x == nil {
 		panic("core: channel-parallel Backward before Forward")
 	}
-	kernels.ConvBackwardFilter(l.x, dy, l.DW, l.Geom.S, l.Geom.Pad, false)
-	dx := tensor.New(l.x.Shape()...)
-	kernels.ConvBackwardData(dy, l.W, dx, l.Geom.S, l.Geom.Pad)
+	if !dy.Dist.SameLayout(l.OutDist) {
+		panic(fmt.Sprintf("core: channel-parallel conv dy dist %v, want %v", dy.Dist, l.OutDist))
+	}
+	gatherDim1(ctx, dy.Local, l.full, l.fBlocks, l.tag, &l.rg)
+	kernels.ConvBackwardFilter(l.x, l.full, l.DW, l.Geom.S, l.Geom.Pad, false)
+	if l.DBias != nil {
+		kernels.BiasBackward(l.full, l.DBias, false)
+	}
+	kernels.ConvBackwardData(l.full, l.W, l.dx.Local, l.Geom.S, l.Geom.Pad)
+	if !l.DeferAllreduce {
+		l.ReduceGradients(ctx)
+	}
 	l.x = nil
-	return dx
+	return l.dx
+}
+
+// ReduceGradients completes the weight-gradient sum over the ranks holding
+// this weight shard (same channel block, different sample groups).
+func (l *ChannelParallelConv) ReduceGradients(ctx *Ctx) {
+	if ctx.ChanPeers.Size() == 1 {
+		return
+	}
+	ctx.ChanPeers.AllreduceAlgo(l.DW.Data(), comm.OpSum, comm.AllreduceStableRing)
+	if l.DBias != nil {
+		ctx.ChanPeers.AllreduceAlgo(l.DBias, comm.OpSum, comm.AllreduceStableRing)
+	}
+}
+
+// GradientWords returns the deferred-allreduce payload in words.
+func (l *ChannelParallelConv) GradientWords() int {
+	n := l.DW.Size()
+	if l.DBias != nil {
+		n += len(l.DBias)
+	}
+	return n
+}
+
+// FilterParallelConv partitions the output-filter dimension F: each channel
+// group holds W[fBlk, :] for a block of filters, allgathers the partitioned
+// input channels over ctx.Chan into the full input, and computes its filter
+// block with no further forward communication, so the output emerges
+// blocked on its channel (filter) dimension. Backward-data requires the sum
+// over filter blocks, realized as an allreduce over ctx.Chan — the backward
+// data allreduce the performance model prices; weight gradients are local
+// to the filter block (summed over sample groups via ctx.ChanPeers).
+type FilterParallelConv struct {
+	Geom    dist.ConvGeom
+	InDist  dist.Dist
+	OutDist dist.Dist
+	CRange  dist.Range // input channels owned by this rank
+	FRange  dist.Range // output filters owned by this rank
+
+	W     *tensor.Tensor // [fLoc, C, K, K]
+	DW    *tensor.Tensor
+	Bias  []float32 // optional, [fLoc]
+	DBias []float32
+
+	// Algo selects the local convolution kernel.
+	Algo kernels.ConvAlgo
+	// DeferAllreduce leaves the dw/dbias reduction over ctx.ChanPeers to
+	// the caller.
+	DeferAllreduce bool
+
+	tag int
+	rg  regionScratch
+
+	cBlocks []dist.Range // input-channel block of every channel-group rank
+	// xFull holds the gathered input in forward and is reused as the
+	// partial dx accumulator in backward (backward-filter consumes it
+	// before backward-data overwrites it).
+	xFull    *tensor.Tensor // [nLoc, C, H, W]
+	xFullBuf *[]float32
+	y        DistTensor
+	dx       DistTensor
+	haveX    bool
+}
+
+// NewFilterParallelConv constructs the layer for inputs distributed as
+// inDist (channel axis blocked PC ways, spatial whole) producing f filters.
+func NewFilterParallelConv(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom, bias bool) *FilterParallelConv {
+	outDist := checkChannelGrid(ctx, inDist, f, geom)
+	cr := inDist.RangeC(ctx.Rank)
+	fr := outDist.RangeC(ctx.Rank)
+	nLoc := inDist.RangeN(ctx.Rank).Len()
+	ws := kernels.DefaultWorkspace()
+	l := &FilterParallelConv{
+		Geom: geom, InDist: inDist, OutDist: outDist,
+		CRange: cr, FRange: fr,
+		W:    tensor.New(fr.Len(), inDist.C, geom.K, geom.K),
+		DW:   tensor.New(fr.Len(), inDist.C, geom.K, geom.K),
+		Algo: kernels.ConvAuto,
+		tag:  ctx.AllocTags(2),
+	}
+	if bias {
+		l.Bias = make([]float32, fr.Len())
+		l.DBias = make([]float32, fr.Len())
+	}
+	l.cBlocks = blockRanges(inDist.C, ctx.Grid.ChannelWays())
+	l.xFullBuf = ws.Get(nLoc * inDist.C * inDist.H * inDist.W)
+	l.xFull = tensor.FromSlice(*l.xFullBuf, nLoc, inDist.C, inDist.H, inDist.W)
+	l.y = NewDistTensor(outDist, ctx.Rank)
+	l.dx = NewDistTensor(inDist, ctx.Rank)
+	return l
+}
+
+// Forward consumes this rank's channel shard x [nLoc, cLoc, H, W] and
+// returns this rank's filter block [nLoc, fLoc, OH, OW]. The returned shard
+// is owned by the layer and overwritten by the next step.
+func (l *FilterParallelConv) Forward(ctx *Ctx, x DistTensor) DistTensor {
+	if !x.Dist.SameLayout(l.InDist) {
+		panic(fmt.Sprintf("core: filter-parallel conv input dist %v, want %v", x.Dist, l.InDist))
+	}
+	gatherDim1(ctx, x.Local, l.xFull, l.cBlocks, l.tag, &l.rg)
+	kernels.ConvForward(l.xFull, l.W, l.Bias, l.y.Local, l.Geom.S, l.Geom.Pad, l.Algo)
+	l.haveX = true
+	return l.y
+}
+
+// Backward consumes this rank's filter block of dy and returns dx for this
+// rank's channel shard: dw/dbias are local to the filter block, the partial
+// dx over all channels is summed across filter blocks with a stable
+// allreduce over ctx.Chan, and this rank keeps its channel slice.
+func (l *FilterParallelConv) Backward(ctx *Ctx, dy DistTensor) DistTensor {
+	if !l.haveX {
+		panic("core: filter-parallel Backward before Forward")
+	}
+	if !dy.Dist.SameLayout(l.OutDist) {
+		panic(fmt.Sprintf("core: filter-parallel conv dy dist %v, want %v", dy.Dist, l.OutDist))
+	}
+	kernels.ConvBackwardFilter(l.xFull, dy.Local, l.DW, l.Geom.S, l.Geom.Pad, false)
+	if l.DBias != nil {
+		kernels.BiasBackward(dy.Local, l.DBias, false)
+	}
+	// xFull has served backward-filter; reuse its storage for the partial
+	// full-channel dx (ConvBackwardData overwrites as it accumulates).
+	dxFull := l.xFull
+	kernels.ConvBackwardData(dy.Local, l.W, dxFull, l.Geom.S, l.Geom.Pad)
+	if ctx.Chan.Size() > 1 {
+		ctx.Chan.AllreduceAlgo(dxFull.Data(), comm.OpSum, comm.AllreduceStableRing)
+	}
+	s := l.dx.Local.Shape()
+	sz := [4]int{s[0], s[1], s[2], s[3]}
+	dstR, srcR := l.rg.pair([4]int{}, sz, [4]int{0, l.CRange.Lo, 0, 0}, sz)
+	l.dx.Local.CopyRegion(dstR, dxFull, srcR)
+	if !l.DeferAllreduce {
+		l.ReduceGradients(ctx)
+	}
+	l.haveX = false
+	return l.dx
+}
+
+// ReduceGradients completes the weight-gradient sum over the ranks holding
+// this filter block (same channel coordinate, different sample groups).
+func (l *FilterParallelConv) ReduceGradients(ctx *Ctx) {
+	if ctx.ChanPeers.Size() == 1 {
+		return
+	}
+	ctx.ChanPeers.AllreduceAlgo(l.DW.Data(), comm.OpSum, comm.AllreduceStableRing)
+	if l.DBias != nil {
+		ctx.ChanPeers.AllreduceAlgo(l.DBias, comm.OpSum, comm.AllreduceStableRing)
+	}
+}
+
+// GradientWords returns the deferred-allreduce payload in words.
+func (l *FilterParallelConv) GradientWords() int {
+	n := l.DW.Size()
+	if l.DBias != nil {
+		n += len(l.DBias)
+	}
+	return n
+}
+
+// addBiasBlock adds bias[f] to every (sample, filter) plane of y
+// [n, f, oh, ow].
+func addBiasBlock(y *tensor.Tensor, bias []float32) {
+	s := y.Shape()
+	n, f, plane := s[0], s[1], s[2]*s[3]
+	yd := y.Data()
+	for ni := 0; ni < n; ni++ {
+		for fi := 0; fi < f; fi++ {
+			row := yd[(ni*f+fi)*plane : (ni*f+fi+1)*plane]
+			b := bias[fi]
+			for i := range row {
+				row[i] += b
+			}
+		}
+	}
 }

@@ -40,6 +40,13 @@ type Conv struct {
 	bwdPlan *HaloPlan
 	tag     int
 
+	// Pre-bound proxy closures for the overlapped halo exchanges: the
+	// exchange runs on the communicator's proxy engine (comm.Comm.Do)
+	// instead of a goroutine spawned per layer call, and re-binding only
+	// mutates these argument structs, so a warm overlapped step submits
+	// with zero allocations.
+	fwdExch, bwdExch exchangeOp
+
 	// inference marks a forward-only layer (NewConvInference): no gradient
 	// buffers exist, Backward panics, and the halo-extended input is
 	// released at the end of Forward instead of being stashed.
@@ -71,6 +78,9 @@ func newConv(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom, bias bool) *
 	if err := geom.Validate(); err != nil {
 		panic(err)
 	}
+	if inDist.Grid.ChannelWays() > 1 {
+		panic(fmt.Sprintf("core: replicated-weight Conv cannot consume channel-partitioned input %v; use NewChannelParallelConv or NewFilterParallelConv", inDist))
+	}
 	outH, outW := geom.OutSize(inDist.H), geom.OutSize(inDist.W)
 	if outH < inDist.Grid.PH || outW < inDist.Grid.PW {
 		panic(fmt.Sprintf("core: output %dx%d too small for grid %v", outH, outW, inDist.Grid))
@@ -95,6 +105,31 @@ func newConv(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom, bias bool) *
 	return l
 }
 
+// exchangeOp carries one halo exchange onto the communication proxy: fn is
+// bound to the struct once, and start only mutates the arguments before
+// submitting, keeping the warm path allocation-free.
+type exchangeOp struct {
+	plan  *HaloPlan
+	local *tensor.Tensor
+	ext   Ext
+	tag   int
+	fn    func(*comm.Comm)
+}
+
+// start submits the exchange to ctx.C's proxy engine and returns its
+// request handle; the caller overlaps compute and then Waits.
+func (e *exchangeOp) start(ctx *Ctx, plan *HaloPlan, local *tensor.Tensor, ext Ext, tag int) *comm.Request {
+	e.plan, e.local, e.ext, e.tag = plan, local, ext, tag
+	if e.fn == nil {
+		e.fn = e.run
+	}
+	return ctx.C.Do(e.fn)
+}
+
+func (e *exchangeOp) run(proxy *comm.Comm) {
+	e.plan.RunIntoOn(proxy, e.local, e.ext, e.tag)
+}
+
 // Forward computes the local output shard, exchanging input halos with
 // spatial neighbors. With Overlap, the halo exchange runs concurrently with
 // the interior convolution and only the boundary waits for it.
@@ -112,14 +147,10 @@ func (l *Conv) Forward(ctx *Ctx, x DistTensor) DistTensor {
 	ext := plan.NewExtIn(l.ws)
 	plan.fillOwned(ext, x.Local)
 	if l.Overlap && hasHalo {
-		done := make(chan struct{})
-		go func() {
-			plan.RunInto(ctx, x.Local, ext, l.tag)
-			close(done)
-		}()
+		req := l.fwdExch.start(ctx, plan, x.Local, ext, l.tag)
 		intH, intW := l.interiorRange(ctx)
 		l.convRegion(ext, y.Local, intH, intW)
-		<-done
+		req.Wait()
 		oh := l.localOutH(ctx)
 		ow := l.localOutW(ctx)
 		// Boundary: top and bottom full-width strips, then left/right
@@ -252,13 +283,9 @@ func (l *Conv) Backward(ctx *Ctx, dy DistTensor) DistTensor {
 		}
 	}
 	if l.Overlap && hasHalo {
-		done := make(chan struct{})
-		go func() {
-			plan.RunInto(ctx, dy.Local, dyExt, l.tag+2)
-			close(done)
-		}()
+		req := l.bwdExch.start(ctx, plan, dy.Local, dyExt, l.tag+2)
 		runFilter()
-		<-done
+		req.Wait()
 	} else {
 		if hasHalo {
 			plan.RunInto(ctx, dy.Local, dyExt, l.tag+2)

@@ -542,152 +542,6 @@ func TestModelParallelFCMatchesSequential(t *testing.T) {
 	}
 }
 
-func TestFilterParallelConvMatchesSequential(t *testing.T) {
-	for _, p := range []int{1, 2, 4} {
-		n, c, h, wd, f := 2, 3, 8, 8, 8
-		geom := dist.ConvGeom{K: 3, S: 1, Pad: 1}
-		x := tensor.New(n, c, h, wd)
-		x.FillRandN(23, 1)
-		w := tensor.New(f, c, 3, 3)
-		w.FillRandN(24, 0.5)
-		dy := tensor.New(n, f, h, wd)
-		dy.FillRandN(25, 1)
-
-		ySeq := tensor.New(n, f, h, wd)
-		kernels.ConvForward(x, w, nil, ySeq, 1, 1, kernels.ConvDirect)
-		dxSeq := tensor.New(n, c, h, wd)
-		kernels.ConvBackwardData(dy, w, dxSeq, 1, 1)
-		dwSeq := tensor.New(f, c, 3, 3)
-		kernels.ConvBackwardFilter(x, dy, dwSeq, 1, 1, false)
-
-		var mu sync.Mutex
-		yBlocks := make([]*tensor.Tensor, p)
-		dxOut := make([]*tensor.Tensor, p)
-		dwBlocks := make([]*tensor.Tensor, p)
-		frs := make([]dist.Range, p)
-		world := comm.NewWorld(p)
-		world.Run(func(cm *comm.Comm) {
-			l := NewFilterParallelConv(cm, c, f, geom)
-			fr := l.FRange
-			l.W.InsertRegion(tensor.Region{Off: []int{0, 0, 0, 0}, Size: []int{fr.Len(), c, 3, 3}},
-				w.ExtractRegion(tensor.Region{Off: []int{fr.Lo, 0, 0, 0}, Size: []int{fr.Len(), c, 3, 3}}))
-			y := l.Forward(cm, x)
-			dyBlk := tensor.New(n, fr.Len(), h, wd)
-			dyBlk.InsertRegion(tensor.Region{Off: []int{0, 0, 0, 0}, Size: []int{n, fr.Len(), h, wd}},
-				dy.ExtractRegion(tensor.Region{Off: []int{0, fr.Lo, 0, 0}, Size: []int{n, fr.Len(), h, wd}}))
-			dx := l.Backward(cm, dyBlk)
-			mu.Lock()
-			yBlocks[cm.Rank()] = y
-			dxOut[cm.Rank()] = dx
-			dwBlocks[cm.Rank()] = l.DW
-			frs[cm.Rank()] = fr
-			mu.Unlock()
-		})
-		for r := 0; r < p; r++ {
-			fr := frs[r]
-			// y block must match the sequential filter slice.
-			for ni := 0; ni < n; ni++ {
-				for fl := 0; fl < fr.Len(); fl++ {
-					for i := 0; i < h; i++ {
-						for j := 0; j < wd; j++ {
-							if d := float64(yBlocks[r].At4(ni, fl, i, j) - ySeq.At4(ni, fr.Lo+fl, i, j)); d > 1e-3 || d < -1e-3 {
-								t.Fatalf("p=%d rank %d: y diff %g", p, r, d)
-							}
-						}
-					}
-				}
-			}
-			if d := dxOut[r].RelDiff(dxSeq); d > 1e-4 {
-				t.Errorf("p=%d rank %d: dx rel diff %g", p, r, d)
-			}
-			for fl := 0; fl < fr.Len(); fl++ {
-				for ci := 0; ci < c; ci++ {
-					for a := 0; a < 3; a++ {
-						for b := 0; b < 3; b++ {
-							if d := float64(dwBlocks[r].At4(fl, ci, a, b) - dwSeq.At4(fr.Lo+fl, ci, a, b)); d > 1e-3 || d < -1e-3 {
-								t.Fatalf("p=%d rank %d: dw diff %g", p, r, d)
-							}
-						}
-					}
-				}
-			}
-		}
-	}
-}
-
-func TestChannelParallelConvMatchesSequential(t *testing.T) {
-	for _, p := range []int{1, 2, 4} {
-		n, c, h, wd, f := 2, 8, 8, 8, 4
-		geom := dist.ConvGeom{K: 3, S: 1, Pad: 1}
-		x := tensor.New(n, c, h, wd)
-		x.FillRandN(26, 1)
-		w := tensor.New(f, c, 3, 3)
-		w.FillRandN(27, 0.5)
-		dy := tensor.New(n, f, h, wd)
-		dy.FillRandN(28, 1)
-
-		ySeq := tensor.New(n, f, h, wd)
-		kernels.ConvForward(x, w, nil, ySeq, 1, 1, kernels.ConvDirect)
-		dxSeq := tensor.New(n, c, h, wd)
-		kernels.ConvBackwardData(dy, w, dxSeq, 1, 1)
-		dwSeq := tensor.New(f, c, 3, 3)
-		kernels.ConvBackwardFilter(x, dy, dwSeq, 1, 1, false)
-
-		var mu sync.Mutex
-		yOut := make([]*tensor.Tensor, p)
-		dxBlocks := make([]*tensor.Tensor, p)
-		dwBlocks := make([]*tensor.Tensor, p)
-		crs := make([]dist.Range, p)
-		world := comm.NewWorld(p)
-		world.Run(func(cm *comm.Comm) {
-			l := NewChannelParallelConv(cm, c, f, geom)
-			cr := l.CRange
-			// Load the matching channel slices of w and x.
-			l.W.InsertRegion(tensor.Region{Off: []int{0, 0, 0, 0}, Size: []int{f, cr.Len(), 3, 3}},
-				w.ExtractRegion(tensor.Region{Off: []int{0, cr.Lo, 0, 0}, Size: []int{f, cr.Len(), 3, 3}}))
-			xBlk := tensor.New(n, cr.Len(), h, wd)
-			xBlk.InsertRegion(tensor.Region{Off: []int{0, 0, 0, 0}, Size: []int{n, cr.Len(), h, wd}},
-				x.ExtractRegion(tensor.Region{Off: []int{0, cr.Lo, 0, 0}, Size: []int{n, cr.Len(), h, wd}}))
-			y := l.Forward(cm, xBlk)
-			dx := l.Backward(cm, dy)
-			mu.Lock()
-			yOut[cm.Rank()] = y
-			dxBlocks[cm.Rank()] = dx
-			dwBlocks[cm.Rank()] = l.DW
-			crs[cm.Rank()] = cr
-			mu.Unlock()
-		})
-		for r := 0; r < p; r++ {
-			if d := yOut[r].RelDiff(ySeq); d > 1e-4 {
-				t.Errorf("p=%d rank %d: y rel diff %g", p, r, d)
-			}
-			cr := crs[r]
-			for ni := 0; ni < n; ni++ {
-				for cl := 0; cl < cr.Len(); cl++ {
-					for i := 0; i < h; i++ {
-						for j := 0; j < wd; j++ {
-							if d := float64(dxBlocks[r].At4(ni, cl, i, j) - dxSeq.At4(ni, cr.Lo+cl, i, j)); d > 1e-3 || d < -1e-3 {
-								t.Fatalf("p=%d rank %d: dx diff %g", p, r, d)
-							}
-						}
-					}
-				}
-			}
-			for fi := 0; fi < f; fi++ {
-				for cl := 0; cl < cr.Len(); cl++ {
-					for a := 0; a < 3; a++ {
-						for b := 0; b < 3; b++ {
-							if d := float64(dwBlocks[r].At4(fi, cl, a, b) - dwSeq.At4(fi, cr.Lo+cl, a, b)); d > 1e-3 || d < -1e-3 {
-								t.Fatalf("p=%d rank %d: dw diff %g", p, r, d)
-							}
-						}
-					}
-				}
-			}
-		}
-	}
-}
-
 // Property: distributed convolution matches sequential for random shapes,
 // geometries, and grids.
 func TestQuickDistConvMatchesSequential(t *testing.T) {

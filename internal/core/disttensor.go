@@ -35,8 +35,8 @@ func NewDistTensor(d dist.Dist, rank int) DistTensor {
 }
 
 // ownedRegion returns the global region owned by the shard's rank.
-func (t DistTensor) ownedRegion() (rn, rh, rw dist.Range) {
-	return t.Dist.RangeN(t.Rank), t.Dist.RangeH(t.Rank), t.Dist.RangeW(t.Rank)
+func (t DistTensor) ownedRegion() (rn, rc, rh, rw dist.Range) {
+	return t.Dist.RangeN(t.Rank), t.Dist.RangeC(t.Rank), t.Dist.RangeH(t.Rank), t.Dist.RangeW(t.Rank)
 }
 
 // CheckShape panics if the local tensor does not match the distribution.
@@ -59,12 +59,12 @@ func Scatter(global *tensor.Tensor, d dist.Dist) []DistTensor {
 	shards := make([]DistTensor, d.Grid.Size())
 	for r := range shards {
 		sh := NewDistTensor(d, r)
-		rn, rh, rw := sh.ownedRegion()
+		rn, rc, rh, rw := sh.ownedRegion()
 		sh.Local.InsertRegion(
-			tensor.Region{Off: []int{0, 0, 0, 0}, Size: []int{rn.Len(), d.C, rh.Len(), rw.Len()}},
+			tensor.Region{Off: []int{0, 0, 0, 0}, Size: []int{rn.Len(), rc.Len(), rh.Len(), rw.Len()}},
 			global.ExtractRegion(tensor.Region{
-				Off:  []int{rn.Lo, 0, rh.Lo, rw.Lo},
-				Size: []int{rn.Len(), d.C, rh.Len(), rw.Len()},
+				Off:  []int{rn.Lo, rc.Lo, rh.Lo, rw.Lo},
+				Size: []int{rn.Len(), rc.Len(), rh.Len(), rw.Len()},
 			}))
 		shards[r] = sh
 	}
@@ -76,24 +76,39 @@ func Gather(shards []DistTensor) *tensor.Tensor {
 	d := shards[0].Dist
 	global := tensor.New(d.N, d.C, d.H, d.W)
 	for _, sh := range shards {
-		rn, rh, rw := sh.ownedRegion()
+		rn, rc, rh, rw := sh.ownedRegion()
 		global.InsertRegion(
-			tensor.Region{Off: []int{rn.Lo, 0, rh.Lo, rw.Lo}, Size: []int{rn.Len(), d.C, rh.Len(), rw.Len()}},
+			tensor.Region{Off: []int{rn.Lo, rc.Lo, rh.Lo, rw.Lo}, Size: []int{rn.Len(), rc.Len(), rh.Len(), rw.Len()}},
 			sh.Local.ExtractRegion(tensor.Region{
 				Off:  []int{0, 0, 0, 0},
-				Size: []int{rn.Len(), d.C, rh.Len(), rw.Len()},
+				Size: []int{rn.Len(), rc.Len(), rh.Len(), rw.Len()},
 			}))
 	}
 	return global
 }
 
 // Ctx carries the per-rank communication state shared by the distributed
-// layers of one network replica.
+// layers of one network replica. Besides the full-grid communicator it
+// holds the three axis-aligned sub-communicators the layers reduce over:
+//
+//   - Spatial: ranks sharing this rank's (sample, channel) group — the
+//     group GlobalAvgPool and the spatial-statistics reductions span.
+//   - Chan: ranks sharing this rank's (sample, spatial) position and
+//     varying only along the channel axis — the group channel/filter-
+//     parallel convolutions allreduce/allgather activations over. Its rank
+//     order is the channel-block order (Chan.Rank() == pc).
+//   - ChanPeers: ranks sharing this rank's channel block (same pc, any
+//     sample/spatial position) — the group that holds identical copies of
+//     channel-sharded parameters, so weight-gradient and batchnorm-
+//     statistics reductions run over it. With PC == 1 it is the whole
+//     grid, which reproduces the legacy replicated-parameter behaviour.
 type Ctx struct {
-	C       *comm.Comm // communicator over all grid ranks, grid-rank ordered
-	Grid    dist.Grid
-	Spatial *comm.Comm // ranks sharing this rank's sample group (same pn)
-	Rank    int        // grid rank == C.Rank()
+	C         *comm.Comm // communicator over all grid ranks, grid-rank ordered
+	Grid      dist.Grid
+	Spatial   *comm.Comm // ranks sharing this rank's (pn, pc) group
+	Chan      *comm.Comm // ranks sharing (pn, ph, pw), ordered by pc
+	ChanPeers *comm.Comm // ranks sharing pc, ordered by (pn, ph, pw)
+	Rank      int        // grid rank == C.Rank()
 
 	nextTag int
 }
@@ -122,10 +137,13 @@ func NewCtxAt(c *comm.Comm, grid dist.Grid, tagStart int) *Ctx {
 	if c.Size() != grid.Size() {
 		panic(fmt.Sprintf("core: communicator size %d != grid size %d", c.Size(), grid.Size()))
 	}
-	pn, _, _ := grid.Coords(c.Rank())
-	sp := c.Split(pn, c.Rank())
-	return &Ctx{C: c, Grid: grid, Spatial: sp, Rank: c.Rank(), nextTag: tagStart}
+	grid = grid.Norm()
+	pn, pc, ph, pw := grid.Coords(c.Rank())
+	sp := c.Split(pn*grid.PC+pc, c.Rank())
+	ch := c.Split((pn*grid.PH+ph)*grid.PW+pw, c.Rank())
+	peers := c.Split(pc, c.Rank())
+	return &Ctx{C: c, Grid: grid, Spatial: sp, Chan: ch, ChanPeers: peers, Rank: c.Rank(), nextTag: tagStart}
 }
 
 // Coords returns this rank's grid coordinates.
-func (ctx *Ctx) Coords() (pn, ph, pw int) { return ctx.Grid.Coords(ctx.Rank) }
+func (ctx *Ctx) Coords() (pn, pc, ph, pw int) { return ctx.Grid.Coords(ctx.Rank) }

@@ -35,11 +35,11 @@ func (e *Ext) Release(ws *kernels.Workspace) {
 // reverse accumulates boundary contributions back to their owners (used by
 // the pooling backward scatter).
 type HaloPlan struct {
-	grid       dist.Grid
-	pn, ph, pw int
-	nLoc, c    int
-	ownH, ownW dist.Range
-	reqH, reqW dist.Range // this rank's (possibly unclipped) required intervals
+	grid           dist.Grid
+	pn, pc, ph, pw int
+	nLoc, c        int
+	ownH, ownW     dist.Range
+	reqH, reqW     dist.Range // this rank's (possibly unclipped) required intervals
 	// The ext buffer spans the union of owned and required intervals: with
 	// stride > 1 a rank's required window may not cover all of its owned
 	// block, yet neighbors' sends are served out of the owned data held in
@@ -74,9 +74,9 @@ func union(a, b dist.Range) dist.Range {
 // sizeH/sizeW; reqHof(j)/reqWof(j) give the interval block j needs.
 func planExchange(grid dist.Grid, rank, nLoc, c int, sizeH, sizeW int,
 	ownH, ownW dist.Range, reqHof, reqWof func(j int) dist.Range) *HaloPlan {
-	pn, ph, pw := grid.Coords(rank)
+	pn, pc, ph, pw := grid.Coords(rank)
 	p := &HaloPlan{
-		grid: grid, pn: pn, ph: ph, pw: pw,
+		grid: grid, pn: pn, pc: pc, ph: ph, pw: pw,
 		nLoc: nLoc, c: c,
 		ownH: ownH, ownW: ownW,
 		reqH: reqHof(ph), reqW: reqWof(pw),
@@ -138,47 +138,56 @@ func (p *HaloPlan) Run(ctx *Ctx, local *tensor.Tensor, tag int) Ext {
 
 // RunInto performs the exchange into a pre-filled ext buffer (owned region
 // already populated). Split from Run so the overlapped convolution path can
-// run it on a goroutine while computing the interior. Transfer fragments
-// stage through the comm message pool in both directions, so a warm
-// exchange allocates nothing.
+// run it off the critical path while computing the interior. Transfer
+// fragments stage through the comm message pool in both directions, so a
+// warm exchange allocates nothing.
 func (p *HaloPlan) RunInto(ctx *Ctx, local *tensor.Tensor, ext Ext, tag int) {
+	p.RunIntoOn(ctx.C, local, ext, tag)
+}
+
+// RunIntoOn is RunInto on an explicit communicator handle: the overlapped
+// convolution path submits it to the communicator's proxy engine
+// (comm.Comm.Do), whose shadow handle has an isolated tag space, so the
+// exchange proceeds concurrently with the interior kernels without
+// spawning a goroutine per layer.
+func (p *HaloPlan) RunIntoOn(cm *comm.Comm, local *tensor.Tensor, ext Ext, tag int) {
 	// Phase W: strips of owned rows. Post all sends, then receive.
 	for _, tr := range p.sendW {
-		peer := p.grid.Rank(p.pn, p.ph, tr.Peer)
+		peer := p.grid.Rank(p.pn, p.pc, p.ph, tr.Peer)
 		buf := comm.GetBuf(p.nLoc * p.c * p.ownH.Len() * tr.Rng.Len())
 		local.ExtractRegionInto(tensor.Region{
 			Off:  []int{0, 0, 0, tr.Rng.Lo - p.ownW.Lo},
 			Size: []int{p.nLoc, p.c, p.ownH.Len(), tr.Rng.Len()},
 		}, buf)
-		ctx.C.SendNoCopy(peer, tag, buf)
+		cm.SendNoCopy(peer, tag, buf)
 	}
 	for _, tr := range p.recvW {
-		peer := p.grid.Rank(p.pn, p.ph, tr.Peer)
-		buf := ctx.C.Recv(peer, tag)
+		peer := p.grid.Rank(p.pn, p.pc, p.ph, tr.Peer)
+		buf := cm.Recv(peer, tag)
 		ext.T.InsertRegion(tensor.Region{
 			Off:  []int{0, 0, p.ownH.Lo - ext.HLo, tr.Rng.Lo - ext.WLo},
 			Size: []int{p.nLoc, p.c, p.ownH.Len(), tr.Rng.Len()},
 		}, buf)
-		ctx.C.Release(buf)
+		cm.Release(buf)
 	}
 	// Phase H: full-width strips out of the (now W-extended) buffer.
 	for _, tr := range p.sendH {
-		peer := p.grid.Rank(p.pn, tr.Peer, p.pw)
+		peer := p.grid.Rank(p.pn, p.pc, tr.Peer, p.pw)
 		buf := comm.GetBuf(p.nLoc * p.c * tr.Rng.Len() * p.extW())
 		ext.T.ExtractRegionInto(tensor.Region{
 			Off:  []int{0, 0, tr.Rng.Lo - ext.HLo, 0},
 			Size: []int{p.nLoc, p.c, tr.Rng.Len(), p.extW()},
 		}, buf)
-		ctx.C.SendNoCopy(peer, tag+1, buf)
+		cm.SendNoCopy(peer, tag+1, buf)
 	}
 	for _, tr := range p.recvH {
-		peer := p.grid.Rank(p.pn, tr.Peer, p.pw)
-		buf := ctx.C.Recv(peer, tag+1)
+		peer := p.grid.Rank(p.pn, p.pc, tr.Peer, p.pw)
+		buf := cm.Recv(peer, tag+1)
 		ext.T.InsertRegion(tensor.Region{
 			Off:  []int{0, 0, tr.Rng.Lo - ext.HLo, 0},
 			Size: []int{p.nLoc, p.c, tr.Rng.Len(), p.extW()},
 		}, buf)
-		ctx.C.Release(buf)
+		cm.Release(buf)
 	}
 }
 
@@ -189,43 +198,44 @@ func (p *HaloPlan) RunInto(ctx *Ctx, local *tensor.Tensor, ext Ext, tag int) {
 // mirrored (H first, then W) so corner contributions route through the same
 // intermediate ranks as in the forward exchange.
 func (p *HaloPlan) RunReverse(ctx *Ctx, ext Ext, local *tensor.Tensor, tag int) {
+	cm := ctx.C
 	// Reverse phase H: send back the full-width row strips I held as halo.
 	for _, tr := range p.recvH {
-		peer := p.grid.Rank(p.pn, tr.Peer, p.pw)
+		peer := p.grid.Rank(p.pn, p.pc, tr.Peer, p.pw)
 		buf := comm.GetBuf(p.nLoc * p.c * tr.Rng.Len() * p.extW())
 		ext.T.ExtractRegionInto(tensor.Region{
 			Off:  []int{0, 0, tr.Rng.Lo - ext.HLo, 0},
 			Size: []int{p.nLoc, p.c, tr.Rng.Len(), p.extW()},
 		}, buf)
-		ctx.C.SendNoCopy(peer, tag, buf)
+		cm.SendNoCopy(peer, tag, buf)
 	}
 	for _, tr := range p.sendH {
-		peer := p.grid.Rank(p.pn, tr.Peer, p.pw)
-		buf := ctx.C.Recv(peer, tag)
+		peer := p.grid.Rank(p.pn, p.pc, tr.Peer, p.pw)
+		buf := cm.Recv(peer, tag)
 		ext.T.AddRegion(tensor.Region{
 			Off:  []int{0, 0, tr.Rng.Lo - ext.HLo, 0},
 			Size: []int{p.nLoc, p.c, tr.Rng.Len(), p.extW()},
 		}, buf)
-		ctx.C.Release(buf)
+		cm.Release(buf)
 	}
 	// Reverse phase W: send back column strips of owned rows.
 	for _, tr := range p.recvW {
-		peer := p.grid.Rank(p.pn, p.ph, tr.Peer)
+		peer := p.grid.Rank(p.pn, p.pc, p.ph, tr.Peer)
 		buf := comm.GetBuf(p.nLoc * p.c * p.ownH.Len() * tr.Rng.Len())
 		ext.T.ExtractRegionInto(tensor.Region{
 			Off:  []int{0, 0, p.ownH.Lo - ext.HLo, tr.Rng.Lo - ext.WLo},
 			Size: []int{p.nLoc, p.c, p.ownH.Len(), tr.Rng.Len()},
 		}, buf)
-		ctx.C.SendNoCopy(peer, tag+1, buf)
+		cm.SendNoCopy(peer, tag+1, buf)
 	}
 	for _, tr := range p.sendW {
-		peer := p.grid.Rank(p.pn, p.ph, tr.Peer)
-		buf := ctx.C.Recv(peer, tag+1)
+		peer := p.grid.Rank(p.pn, p.pc, p.ph, tr.Peer)
+		buf := cm.Recv(peer, tag+1)
 		ext.T.AddRegion(tensor.Region{
 			Off:  []int{0, 0, p.ownH.Lo - ext.HLo, tr.Rng.Lo - ext.WLo},
 			Size: []int{p.nLoc, p.c, p.ownH.Len(), tr.Rng.Len()},
 		}, buf)
-		ctx.C.Release(buf)
+		cm.Release(buf)
 	}
 	// Extract the accumulated owned region into the local shard.
 	local.InsertRegion(
@@ -256,13 +266,14 @@ func (p *HaloPlan) HaloVolume() int {
 // positions are materialized padding).
 func forwardPlan(inDist dist.Dist, rank int, geom dist.ConvGeom, outH, outW int) *HaloPlan {
 	nLoc := inDist.RangeN(rank).Len()
+	cLoc := inDist.RangeC(rank).Len()
 	reqHof := func(j int) dist.Range {
 		return geom.RequiredIn(dist.BlockPartition(outH, inDist.Grid.PH, j))
 	}
 	reqWof := func(j int) dist.Range {
 		return geom.RequiredIn(dist.BlockPartition(outW, inDist.Grid.PW, j))
 	}
-	return planExchange(inDist.Grid, rank, nLoc, inDist.C, inDist.H, inDist.W,
+	return planExchange(inDist.Grid, rank, nLoc, cLoc, inDist.H, inDist.W,
 		inDist.RangeH(rank), inDist.RangeW(rank), reqHof, reqWof)
 }
 
@@ -271,12 +282,13 @@ func forwardPlan(inDist dist.Dist, rank int, geom dist.ConvGeom, outH, outW int)
 // geom.RequiredBwd(inBlock(j)) of dy (clipped to the output extent).
 func backwardPlan(outDist dist.Dist, rank int, geom dist.ConvGeom, inH, inW int) *HaloPlan {
 	nLoc := outDist.RangeN(rank).Len()
+	cLoc := outDist.RangeC(rank).Len()
 	reqHof := func(j int) dist.Range {
 		return geom.RequiredBwd(dist.BlockPartition(inH, outDist.Grid.PH, j), outDist.H)
 	}
 	reqWof := func(j int) dist.Range {
 		return geom.RequiredBwd(dist.BlockPartition(inW, outDist.Grid.PW, j), outDist.W)
 	}
-	return planExchange(outDist.Grid, rank, nLoc, outDist.C, outDist.H, outDist.W,
+	return planExchange(outDist.Grid, rank, nLoc, cLoc, outDist.H, outDist.W,
 		outDist.RangeH(rank), outDist.RangeW(rank), reqHof, reqWof)
 }

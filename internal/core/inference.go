@@ -26,7 +26,7 @@ func NewConvInference(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom, bia
 // statistics — no cross-rank statistics aggregation, no gradient buffers,
 // no stashed input.
 func NewBatchNormInference(d dist.Dist) *BatchNorm {
-	l := newBatchNorm(d, BatchNormGlobal)
+	l := newBatchNorm(d, BatchNormGlobal, d.C)
 	l.inference = true
 	return l
 }

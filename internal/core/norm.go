@@ -39,6 +39,7 @@ type BatchNorm struct {
 	Momentum        float32
 
 	x      *tensor.Tensor // saved input shard
+	c      int            // local channel count (this rank's block of Dist.C)
 	mean   []float32
 	invstd []float32
 	count  int
@@ -55,10 +56,14 @@ type BatchNorm struct {
 	sums  []float32 // [dgamma | dbeta], length 2C
 }
 
-// NewBatchNorm constructs the layer for activations distributed as d.
+// NewBatchNorm constructs the layer for activations distributed as d. When
+// d splits the channel axis, the layer holds gamma/beta (and statistics)
+// only for this rank's channel block, and aggregates over the ranks sharing
+// that block (ctx.ChanPeers) — with PC == 1 that is every processor,
+// exactly replicating single-device batch normalization.
 func NewBatchNorm(ctx *Ctx, d dist.Dist, mode BatchNormMode) *BatchNorm {
-	c := d.C
-	l := newBatchNorm(d, mode)
+	c := d.RangeC(ctx.Rank).Len()
+	l := newBatchNorm(d, mode, c)
 	l.DGamma = make([]float32, c)
 	l.DBeta = make([]float32, c)
 	l.stats = make([]float32, 2*c+1)
@@ -66,9 +71,9 @@ func NewBatchNorm(ctx *Ctx, d dist.Dist, mode BatchNormMode) *BatchNorm {
 	return l
 }
 
-func newBatchNorm(d dist.Dist, mode BatchNormMode) *BatchNorm {
-	c := d.C
+func newBatchNorm(d dist.Dist, mode BatchNormMode, c int) *BatchNorm {
 	l := &BatchNorm{
+		c:    c,
 		Dist: d, Mode: mode, Eps: 1e-5, Momentum: 0.9,
 		Gamma: make([]float32, c), Beta: make([]float32, c),
 		RunMean: make([]float32, c), RunVar: make([]float32, c),
@@ -94,13 +99,13 @@ func (l *BatchNorm) Forward(ctx *Ctx, x DistTensor) DistTensor {
 		kernels.BatchNormInference(x.Local, l.RunMean, l.RunVar, l.Gamma, l.Beta, l.Eps, y.Local)
 		return y
 	}
-	c := l.Dist.C
+	c := l.c
 	stats := l.stats
 	kernels.BatchNormStats(x.Local, stats[:c], stats[c:2*c])
 	ls := x.Local.Shape()
 	stats[2*c] = float32(ls[0] * ls[2] * ls[3])
-	if l.Mode == BatchNormGlobal && ctx.C.Size() > 1 {
-		ctx.C.Allreduce(stats, comm.OpSum)
+	if l.Mode == BatchNormGlobal && ctx.ChanPeers.Size() > 1 {
+		ctx.ChanPeers.Allreduce(stats, comm.OpSum)
 	}
 	l.count = int(stats[2*c])
 	kernels.BatchNormMoments(stats[:c], stats[c:2*c], l.count, l.Eps, l.mean, l.invstd)
@@ -132,11 +137,11 @@ func (l *BatchNorm) Backward(ctx *Ctx, dy DistTensor) DistTensor {
 	if l.x == nil {
 		panic("core: batchnorm Backward called before Forward")
 	}
-	c := l.Dist.C
+	c := l.c
 	sums := l.sums
 	kernels.BatchNormBackwardStats(l.x, dy.Local, l.mean, l.invstd, sums[:c], sums[c:])
-	if l.Mode == BatchNormGlobal && ctx.C.Size() > 1 {
-		ctx.C.Allreduce(sums, comm.OpSum)
+	if l.Mode == BatchNormGlobal && ctx.ChanPeers.Size() > 1 {
+		ctx.ChanPeers.Allreduce(sums, comm.OpSum)
 	}
 	copy(l.DGamma, sums[:c])
 	copy(l.DBeta, sums[c:])
@@ -149,7 +154,7 @@ func (l *BatchNorm) Backward(ctx *Ctx, dy DistTensor) DistTensor {
 
 // GradientWords returns the allreduce payload for the performance model
 // (batchnorm has learnable parameters, Section V-B).
-func (l *BatchNorm) GradientWords() int { return 2 * l.Dist.C }
+func (l *BatchNorm) GradientWords() int { return 2 * l.c }
 
 // ReLU is a distributed rectified linear unit; elementwise, so it
 // parallelizes trivially regardless of distribution (Section III-B).

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that the race detector is active: its sync.Pool
+// instrumentation deliberately drops cached items to widen interleavings,
+// so the zero-allocation assertions do not hold under -race.
+const raceEnabled = true

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/tensor"
+)
+
+// gridsOfSize enumerates all 4-axis grids (PN, PC, PH, PW) whose product is
+// p and whose blocks fit the given global extents.
+func gridsOfSize(p, n, c, h, w int) []dist.Grid {
+	var out []dist.Grid
+	for pn := 1; pn <= p; pn++ {
+		if p%pn != 0 || pn > n {
+			continue
+		}
+		for pc := 1; pc <= p/pn; pc++ {
+			if (p/pn)%pc != 0 || pc > c {
+				continue
+			}
+			for ph := 1; ph <= p/(pn*pc); ph++ {
+				if (p/(pn*pc))%ph != 0 || ph > h {
+					continue
+				}
+				pw := p / (pn * pc * ph)
+				if pw > w {
+					continue
+				}
+				out = append(out, dist.Grid{PN: pn, PC: pc, PH: ph, PW: pw})
+			}
+		}
+	}
+	return out
+}
+
+// TestRedistributeRoundTripProperty: for random global tensors and random
+// placement pairs — channel splits included — redistributing src -> dst
+// must gather to exactly the global tensor, and the round trip src -> dst
+// -> src must be bitwise identical to the original shards (Redistribute is
+// a pure permutation of the data).
+func TestRedistributeRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 25; iter++ {
+		p := []int{1, 2, 4, 4, 8}[rng.Intn(5)]
+		n := 1 + rng.Intn(4)
+		c := 1 + rng.Intn(6)
+		h := 1 + rng.Intn(7)
+		w := 1 + rng.Intn(7)
+		// Ensure at least one grid of size p exists (pad extents up).
+		for len(gridsOfSize(p, n, c, h, w)) == 0 {
+			n++
+			c++
+			h++
+			w++
+		}
+		grids := gridsOfSize(p, n, c, h, w)
+		src := grids[rng.Intn(len(grids))]
+		dst := grids[rng.Intn(len(grids))]
+
+		global := tensor.New(n, c, h, w)
+		global.FillRandN(int64(1000+iter), 1)
+		srcD := dist.Dist{Grid: src, N: n, C: c, H: h, W: w}
+		dstD := dist.Dist{Grid: dst, N: n, C: c, H: h, W: w}
+		shards := Scatter(global, srcD)
+
+		mid := make([]DistTensor, p)
+		back := make([]DistTensor, p)
+		var mu sync.Mutex
+		world := comm.NewWorld(p)
+		world.Run(func(cm *comm.Comm) {
+			ctx := NewCtx(cm, src)
+			out := Redistribute(ctx, shards[ctx.Rank], dstD)
+			rt := Redistribute(ctx, out, srcD)
+			mu.Lock()
+			mid[ctx.Rank] = out
+			back[ctx.Rank] = rt
+			mu.Unlock()
+		})
+
+		// The redistributed tensor must gather to the global bitwise.
+		got := Gather(mid)
+		for i, v := range global.Data() {
+			if got.Data()[i] != v {
+				t.Fatalf("iter %d (%v -> %v, %dx%dx%dx%d): gathered[%d] = %v, want %v",
+					iter, src, dst, n, c, h, w, i, got.Data()[i], v)
+			}
+		}
+		// The round trip must be bitwise identical shard by shard.
+		for r := 0; r < p; r++ {
+			want := shards[r].Local.Data()
+			gotb := back[r].Local.Data()
+			for i := range want {
+				if gotb[i] != want[i] {
+					t.Fatalf("iter %d (%v -> %v): rank %d round-trip[%d] = %v, want %v",
+						iter, src, dst, r, i, gotb[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRedistributeAlongsideHaloTraffic is the deadlock regression for the
+// placement shuffles: each rank runs an overlapped spatial convolution
+// (whose halo exchange rides the communication proxy) with a non-blocking
+// allreduce outstanding, then redistributes the conv output onto a
+// channel-split placement and back, then completes the backward halo
+// exchange — the exact interleaving StrategyNet produces at placement
+// boundaries. The test passes iff it terminates.
+func TestRedistributeAlongsideHaloTraffic(t *testing.T) {
+	g := dist.Grid{PN: 1, PH: 2, PW: 2}
+	chanG := dist.Grid{PN: 1, PC: 4, PH: 1, PW: 1}
+	n, c, h, w, f := 2, 4, 8, 8, 4
+	geom := dist.ConvGeom{K: 3, S: 1, Pad: 1}
+	inD := dist.Dist{Grid: g, N: n, C: c, H: h, W: w}
+	x := tensor.New(n, c, h, w)
+	x.FillRandN(5, 1)
+	shards := Scatter(x, inD)
+
+	world := comm.NewWorld(g.Size())
+	world.Run(func(cm *comm.Comm) {
+		ctx := NewCtx(cm, g)
+		l := NewConv(ctx, inD, f, geom, false)
+		l.W.FillRandN(6, 0.5)
+		for step := 0; step < 3; step++ {
+			// Outstanding non-blocking collective on the same proxy the halo
+			// exchange uses.
+			buf := make([]float32, 1024)
+			req := ctx.C.IAllreduce(buf, comm.OpSum)
+			y := l.Forward(ctx, shards[ctx.Rank])
+			// Shuffle the output through a channel-split placement and back
+			// while the proxy still holds the allreduce.
+			chanD := dist.Dist{Grid: chanG, N: y.Dist.N, C: y.Dist.C, H: y.Dist.H, W: y.Dist.W}
+			mid := Redistribute(ctx, y, chanD)
+			back := Redistribute(ctx, mid, y.Dist)
+			dy := DistTensor{Dist: back.Dist, Rank: back.Rank, Local: back.Local}
+			l.Backward(ctx, dy)
+			req.Wait()
+		}
+	})
+}

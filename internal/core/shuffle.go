@@ -10,9 +10,13 @@ import (
 // Redistribute shuffles a distributed tensor from its current distribution
 // to dst (Section III-C): each processor sends the indices it no longer
 // owns and receives its new ones via an all-to-all. Both distributions must
-// describe the same global tensor over the same processor set; the channel
-// dimension stays replicated. Forward and backward shuffles are the same
-// operation with the distributions swapped.
+// describe the same global tensor over the same processor set. Every tensor
+// dimension — including the channel axis — may be partitioned differently
+// on the two sides, so channel-partitioned placements remap to replicated-
+// channel (PC = 1) ones and back with the same code path. Forward and
+// backward shuffles are the same operation with the distributions swapped,
+// and the result is a pure permutation of the data: a round trip is bitwise
+// identical.
 func Redistribute(ctx *Ctx, x DistTensor, dst dist.Dist) DistTensor {
 	src := x.Dist
 	if src.N != dst.N || src.C != dst.C || src.H != dst.H || src.W != dst.W {
@@ -24,38 +28,40 @@ func Redistribute(ctx *Ctx, x DistTensor, dst dist.Dist) DistTensor {
 	}
 	me := ctx.Rank
 
-	myN, myH, myW := src.RangeN(me), src.RangeH(me), src.RangeW(me)
+	myN, myC, myH, myW := src.RangeN(me), src.RangeC(me), src.RangeH(me), src.RangeW(me)
 	send := make([][]float32, p)
 	for q := 0; q < p; q++ {
 		on := myN.Intersect(dst.RangeN(q))
+		oc := myC.Intersect(dst.RangeC(q))
 		oh := myH.Intersect(dst.RangeH(q))
 		ow := myW.Intersect(dst.RangeW(q))
-		if on.Empty() || oh.Empty() || ow.Empty() {
+		if on.Empty() || oc.Empty() || oh.Empty() || ow.Empty() {
 			continue
 		}
 		send[q] = x.Local.ExtractRegion(tensor.Region{
-			Off:  []int{on.Lo - myN.Lo, 0, oh.Lo - myH.Lo, ow.Lo - myW.Lo},
-			Size: []int{on.Len(), src.C, oh.Len(), ow.Len()},
+			Off:  []int{on.Lo - myN.Lo, oc.Lo - myC.Lo, oh.Lo - myH.Lo, ow.Lo - myW.Lo},
+			Size: []int{on.Len(), oc.Len(), oh.Len(), ow.Len()},
 		})
 	}
 	recv := ctx.C.AlltoAllV(send)
 
 	out := NewDistTensor(dst, me)
-	newN, newH, newW := dst.RangeN(me), dst.RangeH(me), dst.RangeW(me)
+	newN, newC, newH, newW := dst.RangeN(me), dst.RangeC(me), dst.RangeH(me), dst.RangeW(me)
 	for q := 0; q < p; q++ {
 		on := newN.Intersect(src.RangeN(q))
+		oc := newC.Intersect(src.RangeC(q))
 		oh := newH.Intersect(src.RangeH(q))
 		ow := newW.Intersect(src.RangeW(q))
-		if on.Empty() || oh.Empty() || ow.Empty() {
+		if on.Empty() || oc.Empty() || oh.Empty() || ow.Empty() {
 			continue
 		}
-		if len(recv[q]) != on.Len()*src.C*oh.Len()*ow.Len() {
+		if len(recv[q]) != on.Len()*oc.Len()*oh.Len()*ow.Len() {
 			panic(fmt.Sprintf("core: redistribute rank %d received %d words from %d, want %d",
-				me, len(recv[q]), q, on.Len()*src.C*oh.Len()*ow.Len()))
+				me, len(recv[q]), q, on.Len()*oc.Len()*oh.Len()*ow.Len()))
 		}
 		out.Local.InsertRegion(tensor.Region{
-			Off:  []int{on.Lo - newN.Lo, 0, oh.Lo - newH.Lo, ow.Lo - newW.Lo},
-			Size: []int{on.Len(), src.C, oh.Len(), ow.Len()},
+			Off:  []int{on.Lo - newN.Lo, oc.Lo - newC.Lo, oh.Lo - newH.Lo, ow.Lo - newW.Lo},
+			Size: []int{on.Len(), oc.Len(), oh.Len(), ow.Len()},
 		}, recv[q])
 		ctx.C.Release(recv[q])
 	}
@@ -67,16 +73,17 @@ func Redistribute(ctx *Ctx, x DistTensor, dst dist.Dist) DistTensor {
 // performance model (Section V-B).
 func ShuffleVolume(src, dst dist.Dist, rank int) int {
 	p := src.Grid.Size()
-	myN, myH, myW := src.RangeN(rank), src.RangeH(rank), src.RangeW(rank)
+	myN, myC, myH, myW := src.RangeN(rank), src.RangeC(rank), src.RangeH(rank), src.RangeW(rank)
 	words := 0
 	for q := 0; q < p; q++ {
 		if q == rank {
 			continue
 		}
 		on := myN.Intersect(dst.RangeN(q))
+		oc := myC.Intersect(dst.RangeC(q))
 		oh := myH.Intersect(dst.RangeH(q))
 		ow := myW.Intersect(dst.RangeW(q))
-		words += on.Len() * src.C * oh.Len() * ow.Len()
+		words += on.Len() * oc.Len() * oh.Len() * ow.Len()
 	}
 	return words
 }

@@ -47,18 +47,66 @@ func TestRangeAlgebra(t *testing.T) {
 
 func TestGridRankLayout(t *testing.T) {
 	g := Grid{PN: 2, PH: 3, PW: 4}
-	if g.Size() != 24 || g.SpatialWays() != 12 {
-		t.Fatal("size/spatial ways wrong")
+	if g.Size() != 24 || g.SpatialWays() != 12 || g.ChannelWays() != 1 {
+		t.Fatal("size/spatial/channel ways wrong")
 	}
 	// W varies fastest: ranks of one sample group are contiguous.
 	for r := 0; r < g.Size(); r++ {
-		pn, ph, pw := g.Coords(r)
-		if g.Rank(pn, ph, pw) != r {
+		pn, pc, ph, pw := g.Coords(r)
+		if pc != 0 {
+			t.Fatalf("rank %d has channel coord %d on a PC=1 grid", r, pc)
+		}
+		if g.Rank(pn, pc, ph, pw) != r {
 			t.Fatalf("rank %d does not round-trip", r)
 		}
 	}
-	if g.Rank(0, 0, 1) != 1 || g.Rank(0, 1, 0) != g.PW || g.Rank(1, 0, 0) != g.SpatialWays() {
+	if g.Rank(0, 0, 0, 1) != 1 || g.Rank(0, 0, 1, 0) != g.PW || g.Rank(1, 0, 0, 0) != g.SpatialWays() {
 		t.Error("rank layout is not W-fastest")
+	}
+}
+
+func TestGridChannelAxis(t *testing.T) {
+	g := Grid{PN: 2, PC: 3, PH: 1, PW: 2}
+	if g.Size() != 12 || g.ChannelWays() != 3 || g.SpatialWays() != 2 {
+		t.Fatal("4-axis sizes wrong")
+	}
+	for r := 0; r < g.Size(); r++ {
+		pn, pc, ph, pw := g.Coords(r)
+		if g.Rank(pn, pc, ph, pw) != r {
+			t.Fatalf("rank %d does not round-trip", r)
+		}
+	}
+	// Channel groups of one sample group are contiguous spatial blocks.
+	if g.Rank(0, 1, 0, 0) != g.SpatialWays() || g.Rank(1, 0, 0, 0) != g.ChannelWays()*g.SpatialWays() {
+		t.Error("rank layout is not W, H, C, N ordered")
+	}
+	// The zero PC value is the legacy 3-axis layout.
+	legacy := Grid{PN: 2, PH: 3, PW: 4}
+	if legacy.Norm() != (Grid{PN: 2, PC: 1, PH: 3, PW: 4}) {
+		t.Error("Norm does not canonicalize PC")
+	}
+	if legacy.String() != "{PN:2 PH:3 PW:4}" {
+		t.Errorf("legacy grid renders as %s", legacy)
+	}
+	if g.String() != "{PN:2 PC:3 PH:1 PW:2}" {
+		t.Errorf("channel grid renders as %s", g)
+	}
+}
+
+func TestPlacementNormValidate(t *testing.T) {
+	p := Placement{Grid: Grid{PN: 2, PH: 1, PW: 1}, Split: SplitChannel}
+	if got := p.Norm(); got.Split != SplitNone {
+		t.Errorf("Norm keeps split %v on a PC=1 grid", got.Split)
+	}
+	cp := Placement{Grid: Grid{PN: 1, PC: 2, PH: 1, PW: 1}, Split: SplitFilter}
+	if cp.Norm() != cp {
+		t.Error("channel placement must be stable under Norm")
+	}
+	if err := cp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := Placements([]Grid{{PN: 2, PH: 1, PW: 1}}); len(got) != 1 || got[0].Split != SplitNone {
+		t.Error("Placements lifting wrong")
 	}
 }
 
@@ -205,6 +253,33 @@ func TestDistValidateAndShards(t *testing.T) {
 	}
 	if want := d.N * d.C * d.H * d.W; total != want {
 		t.Errorf("shards sum to %d, want %d", total, want)
+	}
+}
+
+func TestDistChannelShards(t *testing.T) {
+	d := Dist{Grid: Grid{PN: 2, PC: 3, PH: 1, PW: 2}, N: 4, C: 7, H: 6, W: 6}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Dist{Grid: Grid{PN: 1, PC: 4, PH: 1, PW: 1}, N: 1, C: 3, H: 4, W: 4}).Validate(); err == nil {
+		t.Error("C < PC must fail validation")
+	}
+	total := 0
+	for r := 0; r < d.Grid.Size(); r++ {
+		s := d.LocalShape(r)
+		if s[1] != d.RangeC(r).Len() {
+			t.Fatalf("rank %d LocalShape channel %d != RangeC %v", r, s[1], d.RangeC(r))
+		}
+		total += s[0] * s[1] * s[2] * s[3]
+	}
+	if want := d.N * d.C * d.H * d.W; total != want {
+		t.Errorf("channel shards sum to %d, want %d", total, want)
+	}
+	// SameLayout must ignore PC normalization.
+	a := Dist{Grid: Grid{PN: 2, PH: 1, PW: 1}, N: 4, C: 3, H: 4, W: 4}
+	b := Dist{Grid: Grid{PN: 2, PC: 1, PH: 1, PW: 1}, N: 4, C: 3, H: 4, W: 4}
+	if !a.SameLayout(b) {
+		t.Error("PC:0 and PC:1 grids must describe the same layout")
 	}
 }
 

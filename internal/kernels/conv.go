@@ -305,9 +305,36 @@ func ConvBackwardDataRegion(dy, w, dx *tensor.Tensor, stride, pad, xLoH, xLoW, y
 		panic(fmt.Sprintf("kernels: dx shape %v incompatible with dy %v and w %v", xs, ds, ws))
 	}
 	dxH, dxW := xs[2], xs[3]
-	dyd, wwd, dxd := dy.Data(), w.Data(), dx.Data()
+	j := bwdDataJobPool.Get().(*bwdDataJob)
+	*j = bwdDataJob{
+		dyd: dy.Data(), wwd: w.Data(), dxd: dx.Data(),
+		c: c, f: f, k: k, stride: stride, pad: pad,
+		dyH: dyH, dyW: dyW, dxH: dxH, dxW: dxW,
+		xLoH: xLoH, xLoW: xLoW, yLoH: yLoH, yLoW: yLoW,
+	}
+	parallelChunks(n*c, j)
+	*j = bwdDataJob{}
+	bwdDataJobPool.Put(j)
+}
+
+// bwdDataJob is the pooled chunk worker of ConvBackwardDataRegion, so the
+// warm backward-data path dispatches with no per-call closure allocation.
+type bwdDataJob struct {
+	dyd, wwd, dxd          []float32
+	c, f, k, stride, pad   int
+	dyH, dyW, dxH, dxW     int
+	xLoH, xLoW, yLoH, yLoW int
+}
+
+var bwdDataJobPool = sync.Pool{New: func() any { return new(bwdDataJob) }}
+
+func (jb *bwdDataJob) RunChunk(lo, hi int) {
+	c, f, k, stride, pad := jb.c, jb.f, jb.k, jb.stride, jb.pad
+	dyH, dyW, dxH, dxW := jb.dyH, jb.dyW, jb.dxH, jb.dxW
+	xLoH, xLoW, yLoH, yLoW := jb.xLoH, jb.xLoW, jb.yLoH, jb.yLoW
+	dyd, wwd, dxd := jb.dyd, jb.wwd, jb.dxd
 	fStrideDy := dyH * dyW
-	ParallelFor(n*c, func(lo, hi int) {
+	{
 		for nc := lo; nc < hi; nc++ {
 			ni, ci := nc/c, nc%c
 			dxBase := (ni*c + ci) * dxH * dxW
@@ -354,7 +381,7 @@ func ConvBackwardDataRegion(dy, w, dx *tensor.Tensor, stride, pad, xLoH, xLoW, y
 				}
 			}
 		}
-	})
+	}
 }
 
 // ConvBackwardData computes the full error signal dL/dx (Eq. 3) for a
@@ -426,8 +453,32 @@ func ConvBackwardFilter(x, dy, dw *tensor.Tensor, stride, pad int, accumulate bo
 	if !accumulate {
 		dw.Zero()
 	}
-	xd, dyd, dwd := x.Data(), dy.Data(), dw.Data()
-	ParallelFor(f*c, func(lo, hi int) {
+	j := bwdFilterJobPool.Get().(*bwdFilterJob)
+	*j = bwdFilterJob{
+		xd: x.Data(), dyd: dy.Data(), dwd: dw.Data(),
+		n: n, c: c, h: h, wd: wd, f: f, oh: oh, ow: ow, k: k,
+		stride: stride, pad: pad,
+	}
+	parallelChunks(f*c, j)
+	*j = bwdFilterJob{}
+	bwdFilterJobPool.Put(j)
+}
+
+// bwdFilterJob is the pooled chunk worker of ConvBackwardFilter, so the
+// warm filter-gradient path dispatches with no per-call closure allocation.
+type bwdFilterJob struct {
+	xd, dyd, dwd              []float32
+	n, c, h, wd, f, oh, ow, k int
+	stride, pad               int
+}
+
+var bwdFilterJobPool = sync.Pool{New: func() any { return new(bwdFilterJob) }}
+
+func (jb *bwdFilterJob) RunChunk(lo, hi int) {
+	n, c, h, wd, f, oh, ow, k := jb.n, jb.c, jb.h, jb.wd, jb.f, jb.oh, jb.ow, jb.k
+	stride, pad := jb.stride, jb.pad
+	xd, dyd, dwd := jb.xd, jb.dyd, jb.dwd
+	{
 		for fc := lo; fc < hi; fc++ {
 			fi, ci := fc/c, fc%c
 			dwBase := (fi*c + ci) * k * k
@@ -457,7 +508,7 @@ func ConvBackwardFilter(x, dy, dw *tensor.Tensor, stride, pad int, accumulate bo
 				}
 			}
 		}
-	})
+	}
 }
 
 // BiasBackward computes db[f] = sum over samples and positions of dy.
@@ -472,8 +523,25 @@ func BiasBackward(dy *tensor.Tensor, db []float32, accumulate bool) {
 			db[i] = 0
 		}
 	}
-	dyd := dy.Data()
-	ParallelFor(f, func(flo, fhi int) {
+	j := biasBwdJobPool.Get().(*biasBwdJob)
+	*j = biasBwdJob{dyd: dy.Data(), db: db, n: n, f: f, plane: plane}
+	parallelChunks(f, j)
+	*j = biasBwdJob{}
+	biasBwdJobPool.Put(j)
+}
+
+// biasBwdJob is the pooled chunk worker of BiasBackward.
+type biasBwdJob struct {
+	dyd, db     []float32
+	n, f, plane int
+}
+
+var biasBwdJobPool = sync.Pool{New: func() any { return new(biasBwdJob) }}
+
+func (jb *biasBwdJob) RunChunk(flo, fhi int) {
+	n, f, plane := jb.n, jb.f, jb.plane
+	dyd, db := jb.dyd, jb.db
+	{
 		for fi := flo; fi < fhi; fi++ {
 			var acc float32
 			for ni := 0; ni < n; ni++ {
@@ -484,5 +552,5 @@ func BiasBackward(dy *tensor.Tensor, db []float32, accumulate bool) {
 			}
 			db[fi] += acc
 		}
-	})
+	}
 }

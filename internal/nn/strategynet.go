@@ -5,38 +5,50 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/tensor"
 )
 
 // StrategyNet executes an architecture with a *per-layer* parallel
-// execution strategy — the output of the Section V-C optimizer. Layers may
-// use different processor grids; whenever adjacent layers' distributions
-// differ, the data is shuffled with an all-to-all in forward propagation
-// and shuffled back in backpropagation (Section III-C). All grids must
+// execution Placement — the output of the Section V-C optimizer. Each layer
+// runs under its own 4-axis grid {PN, PC, PH, PW}: sample x channel x
+// spatial parallelism, with convolutions under channel-split grids choosing
+// between the channel- and filter-parallel formulations of Section III-D
+// via Placement.Split. Whenever adjacent layers' distributions differ, the
+// data is shuffled with an all-to-all in forward propagation and shuffled
+// back in backpropagation (Section III-C) — including remaps between
+// channel-partitioned and channel-replicated placements. All grids must
 // cover the same communicator.
 type StrategyNet struct {
-	Arch    *Arch
-	Grids   []dist.Grid // per-layer grid
-	Dists   []dist.Dist // per-layer activation distribution
-	ShapeOf []Shape
-	ctxs    []*core.Ctx // one per layer (contexts shared per distinct grid)
-	layers  []distLayer
-	outs    []core.DistTensor
-	grads   []core.DistTensor
-	world   *core.Ctx // context of the first layer's grid (for losses)
+	Arch       *Arch
+	Placements []dist.Placement // per-layer placement (normalized)
+	Dists      []dist.Dist      // per-layer activation distribution
+	ShapeOf    []Shape
+	ctxs       []*core.Ctx // one per layer (contexts shared per distinct grid)
+	layers     []distLayer
+	outs       []core.DistTensor
+	grads      []core.DistTensor
+	world      *core.Ctx // context of the first layer's grid (for losses)
 }
 
-// NewStrategyNet instantiates the network for this rank. grids must have
-// one entry per spec; every grid must have c.Size() processors. Weight
-// initialization matches NewSeqNet/NewDistNet for the same seed.
-func NewStrategyNet(base *core.Ctx, arch *Arch, n int, seed int64, grids []dist.Grid) (*StrategyNet, error) {
-	if len(grids) != len(arch.Specs) {
-		return nil, fmt.Errorf("nn: %d grids for %d layers", len(grids), len(arch.Specs))
+// NewStrategyNet instantiates the network for this rank. placements must
+// have one entry per spec; every grid must have base.C.Size() processors.
+// Weight initialization matches NewSeqNet/NewDistNet for the same seed:
+// channel/filter-parallel convolutions hold the matching slice of the
+// replicated He-initialized weight tensor, so any placement of the same
+// architecture starts from the same global parameters.
+func NewStrategyNet(base *core.Ctx, arch *Arch, n int, seed int64, placements []dist.Placement) (*StrategyNet, error) {
+	if len(placements) != len(arch.Specs) {
+		return nil, fmt.Errorf("nn: %d placements for %d layers", len(placements), len(arch.Specs))
 	}
 	shapes, err := arch.Shapes()
 	if err != nil {
 		return nil, err
 	}
-	net := &StrategyNet{Arch: arch, Grids: grids, ShapeOf: shapes}
+	pls := make([]dist.Placement, len(placements))
+	for i, p := range placements {
+		pls[i] = p.Norm()
+	}
+	net := &StrategyNet{Arch: arch, Placements: pls, ShapeOf: shapes}
 	// One context per distinct grid, tag spaces disjoint by construction:
 	// each context gets a dedicated tag window.
 	ctxByGrid := map[dist.Grid]*core.Ctx{}
@@ -58,13 +70,17 @@ func NewStrategyNet(base *core.Ctx, arch *Arch, n int, seed int64, grids []dist.
 	net.ctxs = make([]*core.Ctx, len(arch.Specs))
 	for i, s := range arch.Specs {
 		sh := shapes[i]
-		g := grids[i]
+		pl := pls[i]
+		g := pl.Grid
 		d := dist.Dist{Grid: g, N: n, C: sh.C, H: sh.H, W: sh.W}
 		if s.Kind == KindGlobalAvgPool {
 			d.H, d.W = g.PH, g.PW
 		}
 		if err := d.Validate(); err != nil {
 			return nil, fmt.Errorf("nn: layer %d (%s): %v", i, s.Name, err)
+		}
+		if s.Kind == KindConv && g.ChannelWays() > 1 && pl.Split == dist.SplitNone {
+			return nil, fmt.Errorf("nn: layer %d (%s): channel-split grid %v requires SplitChannel or SplitFilter", i, s.Name, g)
 		}
 		net.Dists[i] = d
 		net.ctxs[i] = ctxOf(g)
@@ -73,12 +89,13 @@ func NewStrategyNet(base *core.Ctx, arch *Arch, n int, seed int64, grids []dist.
 
 	for i, s := range arch.Specs {
 		ctx := net.ctxs[i]
+		pl := pls[i]
 		var inD dist.Dist
 		var inShape Shape
 		if len(s.Parents) > 0 {
 			inShape = shapes[s.Parents[0]]
 			// The layer consumes its input under its own grid.
-			inD = dist.Dist{Grid: grids[i], N: n, C: inShape.C, H: inShape.H, W: inShape.W}
+			inD = dist.Dist{Grid: pl.Grid, N: n, C: inShape.C, H: inShape.H, W: inShape.W}
 			if err := inD.Validate(); err != nil {
 				return nil, fmt.Errorf("nn: layer %d (%s) input: %v", i, s.Name, err)
 			}
@@ -87,9 +104,23 @@ func NewStrategyNet(base *core.Ctx, arch *Arch, n int, seed int64, grids []dist.
 		case KindInput:
 			net.layers = append(net.layers, &distInput{})
 		case KindConv:
-			l := core.NewConv(ctx, inD, s.F, s.Geom, s.Bias)
-			l.W.FillRandN(seed+int64(i), heStd(inShape.C*s.Geom.K*s.Geom.K))
-			net.layers = append(net.layers, &distConv{l: l})
+			fanIn := inShape.C * s.Geom.K * s.Geom.K
+			switch pl.Split {
+			case dist.SplitChannel:
+				l := core.NewChannelParallelConv(ctx, inD, s.F, s.Geom, s.Bias)
+				loadWeightSlice(l.W, s.F, inShape.C, s.Geom.K, seed+int64(i), fanIn,
+					dist.Range{Lo: 0, Hi: s.F}, l.CRange)
+				net.layers = append(net.layers, &distChanConv{l: l})
+			case dist.SplitFilter:
+				l := core.NewFilterParallelConv(ctx, inD, s.F, s.Geom, s.Bias)
+				loadWeightSlice(l.W, s.F, inShape.C, s.Geom.K, seed+int64(i), fanIn,
+					l.FRange, dist.Range{Lo: 0, Hi: inShape.C})
+				net.layers = append(net.layers, &distFilterConv{l: l})
+			default:
+				l := core.NewConv(ctx, inD, s.F, s.Geom, s.Bias)
+				l.W.FillRandN(seed+int64(i), heStd(fanIn))
+				net.layers = append(net.layers, &distConv{l: l})
+			}
 		case KindBatchNorm:
 			net.layers = append(net.layers, &distBN{l: core.NewBatchNorm(ctx, inD, core.BatchNormGlobal)})
 		case KindReLU:
@@ -105,6 +136,26 @@ func NewStrategyNet(base *core.Ctx, arch *Arch, n int, seed int64, grids []dist.
 		}
 	}
 	return net, nil
+}
+
+// NewStrategyNetGrids is NewStrategyNet over plain per-layer grids with
+// replicated weights — the PC = 1 family of Section III-A.
+func NewStrategyNetGrids(base *core.Ctx, arch *Arch, n int, seed int64, grids []dist.Grid) (*StrategyNet, error) {
+	return NewStrategyNet(base, arch, n, seed, dist.Placements(grids))
+}
+
+// loadWeightSlice fills w with the (fRange, cRange) slice of the full
+// He-initialized [f, c, k, k] weight tensor the sequential net would draw,
+// so sharded and replicated placements start from identical parameters.
+func loadWeightSlice(w *tensor.Tensor, f, c, k int, seed int64, fanIn int, fRange, cRange dist.Range) {
+	full := tensor.New(f, c, k, k)
+	full.FillRandN(seed, heStd(fanIn))
+	w.InsertRegion(
+		tensor.Region{Off: []int{0, 0, 0, 0}, Size: []int{fRange.Len(), cRange.Len(), k, k}},
+		full.ExtractRegion(tensor.Region{
+			Off:  []int{fRange.Lo, cRange.Lo, 0, 0},
+			Size: []int{fRange.Len(), cRange.Len(), k, k},
+		}))
 }
 
 // InputDist returns the distribution the input must arrive in (the first
@@ -125,7 +176,7 @@ func (net *StrategyNet) Forward(x core.DistTensor) core.DistTensor {
 		spec := net.Arch.Specs[i]
 		ins := make([]core.DistTensor, len(spec.Parents))
 		for j, p := range spec.Parents {
-			ins[j] = net.shuffleTo(net.outs[p], net.Grids[i])
+			ins[j] = net.shuffleTo(net.outs[p], net.Placements[i].Grid)
 		}
 		if spec.Kind == KindInput {
 			ins = []core.DistTensor{x}
@@ -149,7 +200,7 @@ func (net *StrategyNet) Backward(dLast core.DistTensor) {
 		for j, p := range net.Arch.Specs[i].Parents {
 			// parentGrads[j] lives under this layer's grid; return it to the
 			// parent's grid before accumulating.
-			pg := net.shuffleTo(parentGrads[j], net.Grids[p])
+			pg := net.shuffleTo(parentGrads[j], net.Placements[p].Grid)
 			if net.grads[p].Local == nil {
 				net.grads[p] = pg
 			} else {
@@ -168,11 +219,54 @@ func (net *StrategyNet) shuffleTo(t core.DistTensor, g dist.Grid) core.DistTenso
 	return core.Redistribute(net.world, t, dst)
 }
 
-// Params returns the replicated learnable parameters.
+// Params returns the learnable parameters this rank holds: replicated
+// tensors for SplitNone layers, this rank's weight shard for channel/
+// filter-parallel ones (identical across ctx.ChanPeers after the gradient
+// reductions, so per-rank SGD keeps the copies in lockstep).
 func (net *StrategyNet) Params() []Param {
 	var ps []Param
 	for i, l := range net.layers {
 		ps = append(ps, l.params(net.Arch.Specs[i].Name)...)
+	}
+	return ps
+}
+
+// distChanConv adapts core.ChannelParallelConv to the distributed-layer
+// interface.
+type distChanConv struct{ l *core.ChannelParallelConv }
+
+func (d *distChanConv) forward(ctx *core.Ctx, ins []core.DistTensor) core.DistTensor {
+	return d.l.Forward(ctx, ins[0])
+}
+
+func (d *distChanConv) backward(ctx *core.Ctx, dy core.DistTensor) []core.DistTensor {
+	return []core.DistTensor{d.l.Backward(ctx, dy)}
+}
+
+func (d *distChanConv) params(name string) []Param {
+	ps := []Param{{Name: name + ".w", W: d.l.W.Data(), G: d.l.DW.Data()}}
+	if d.l.Bias != nil {
+		ps = append(ps, Param{Name: name + ".b", W: d.l.Bias, G: d.l.DBias})
+	}
+	return ps
+}
+
+// distFilterConv adapts core.FilterParallelConv to the distributed-layer
+// interface.
+type distFilterConv struct{ l *core.FilterParallelConv }
+
+func (d *distFilterConv) forward(ctx *core.Ctx, ins []core.DistTensor) core.DistTensor {
+	return d.l.Forward(ctx, ins[0])
+}
+
+func (d *distFilterConv) backward(ctx *core.Ctx, dy core.DistTensor) []core.DistTensor {
+	return []core.DistTensor{d.l.Backward(ctx, dy)}
+}
+
+func (d *distFilterConv) params(name string) []Param {
+	ps := []Param{{Name: name + ".w", W: d.l.W.Data(), G: d.l.DW.Data()}}
+	if d.l.Bias != nil {
+		ps = append(ps, Param{Name: name + ".b", W: d.l.Bias, G: d.l.DBias})
 	}
 	return ps
 }

@@ -124,13 +124,64 @@ func (m Machine) ConvLayerCost(s ConvSpec, grid dist.Grid, overlap bool) LayerCo
 	return lc
 }
 
+// ConvPlacedCost evaluates the performance model for one convolutional
+// layer under a full Placement. Replicated-weight placements delegate to
+// ConvLayerCost; channel-split placements price the Section III-D
+// formulations: local kernels scaled by the weight slice, plus the forward
+// activation allreduce (channel-parallel) or input allgather + backward
+// data allreduce (filter-parallel) over the PC-rank channel group, and the
+// weight-gradient allreduce over the PN sample peers.
+func (m Machine) ConvPlacedCost(s ConvSpec, pl dist.Placement, overlap bool) LayerCost {
+	pl = pl.Norm()
+	g := pl.Grid
+	pc := g.ChannelWays()
+	if pc == 1 || pl.Split == dist.SplitNone {
+		return m.ConvLayerCost(s, g, overlap)
+	}
+	// Channel-split placements keep the spatial dimensions whole; rank 0's
+	// blocks are the largest.
+	nLoc := dist.BlockPartition(s.N, g.PN, 0).Len()
+	cLoc := dist.BlockPartition(s.C, pc, 0).Len()
+	fLoc := dist.BlockPartition(s.F, pc, 0).Len()
+	outH, outW := s.Geom.OutSize(s.H), s.Geom.OutSize(s.W)
+	grid1 := dist.Grid{PN: g.PN, PH: 1, PW: 1}
+	// The channel group is a contiguous rank block; the sample peers stride
+	// across the whole grid.
+	spansChan := pc > m.GPUsPerNode
+	spansPeers := g.Size() > m.GPUsPerNode
+	k := s.Geom.K
+	ls := s
+	var lc LayerCost
+	switch pl.Split {
+	case dist.SplitChannel:
+		ls.C = cLoc
+		c, cx, cw := m.ConvCompute(ls, grid1)
+		actWords := nLoc * s.F * outH * outW
+		lc.FP = c + m.Allreduce(actWords, pc, spansChan)   // complete the channel sum
+		lc.BPx = cx + m.Allgather(actWords, pc, spansChan) // assemble the full dy
+		lc.BPw = cw
+		lc.BPa = m.Allreduce(s.F*cLoc*k*k, g.PN, spansPeers)
+	case dist.SplitFilter:
+		ls.F = fLoc
+		c, cx, cw := m.ConvCompute(ls, grid1)
+		inWords := nLoc * s.C * s.H * s.W
+		lc.FP = c + m.Allgather(inWords, pc, spansChan)   // assemble the full input
+		lc.BPx = cx + m.Allreduce(inWords, pc, spansChan) // sum partial dx over filter blocks
+		lc.BPw = cw
+		lc.BPa = m.Allreduce(fLoc*s.C*k*k, g.PN, spansPeers)
+	}
+	return lc
+}
+
 // PoolLayerCost models a pooling layer: a memory-bound kernel plus the same
-// halo exchange structure as convolution.
+// halo exchange structure as convolution. Channel-split grids scale the
+// local work by this rank's channel block (pooling is channel-local).
 func (m Machine) PoolLayerCost(s ConvSpec, grid dist.Grid, overlap bool) LayerCost {
 	n, oh, ow, ih, iw := s.localDims(grid)
+	cl := dist.BlockPartition(s.C, grid.ChannelWays(), 0).Len()
 	k := float64(s.Geom.K)
-	flops := float64(n) * float64(s.C) * k * k * float64(oh) * float64(ow)
-	bytes := 4 * float64(n) * float64(s.C) * (float64(ih)*float64(iw) + float64(oh)*float64(ow))
+	flops := float64(n) * float64(cl) * k * k * float64(oh) * float64(ow)
+	bytes := 4 * float64(n) * float64(cl) * (float64(ih)*float64(iw) + float64(oh)*float64(ow))
 	t := m.kernelTime(flops, bytes, float64(oh)*float64(ow))
 	halo := m.HaloTime(s, grid)
 	lc := LayerCost{HaloFwd: halo, HaloBwd: halo}
@@ -151,9 +202,10 @@ func (m Machine) PoolLayerCost(s ConvSpec, grid dist.Grid, overlap bool) LayerCo
 // 16 GPUs/sample. passes is the number of full read+write sweeps.
 func (m Machine) ElementwiseCost(s ConvSpec, grid dist.Grid, passes int) float64 {
 	n := dist.BlockPartition(s.N, grid.PN, 0).Len()
+	cl := dist.BlockPartition(s.C, grid.ChannelWays(), 0).Len()
 	ih := dist.BlockPartition(s.H, grid.PH, 0).Len()
 	iw := dist.BlockPartition(s.W, grid.PW, 0).Len()
-	bytes := 2 * 4 * float64(n) * float64(s.C) * float64(ih) * float64(iw)
+	bytes := 2 * 4 * float64(n) * float64(cl) * float64(ih) * float64(iw)
 	return float64(passes) * m.kernelTime(0, bytes, 1e12)
 }
 

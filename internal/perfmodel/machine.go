@@ -125,6 +125,23 @@ func (m Machine) Allreduce(words, p int, spansNodes bool) float64 {
 	return best
 }
 
+// Allgather returns the ring-allgather cost of assembling words float32
+// words per rank over p processors: p-1 steps moving words/p ... words
+// bytes each — the activation-assembly collective of the channel/filter-
+// parallel convolutions (Section III-D).
+func (m Machine) Allgather(words, p int, spansNodes bool) float64 {
+	if p <= 1 || words == 0 {
+		return 0
+	}
+	alpha, beta := m.IntraAlpha, m.IntraBeta
+	if spansNodes {
+		alpha, beta = m.InterAlpha, m.InterBeta
+	}
+	fp := float64(p)
+	bytes := 4 * float64(words)
+	return (fp-1)*alpha + ((fp-1)/fp)*bytes*beta
+}
+
 // ReduceScatter returns the pairwise-exchange reduce-scatter cost
 // (one (p-1)-step pass moving n/p words per step).
 func (m Machine) ReduceScatter(words, p int, spansNodes bool) float64 {

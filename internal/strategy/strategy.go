@@ -1,10 +1,11 @@
 // Package strategy implements the parallel execution strategy optimizer of
-// Section V-C: per-layer candidate distributions are generated
-// heuristically, and the assignment minimizing modeled end-to-end time —
-// layer costs plus data-redistribution (shuffle) costs between adjacent
-// layers — is found by reduction to single-source shortest path on a
-// layered DAG. Networks with branches (ResNets) are handled with the
-// paper's longest-path-first heuristic.
+// Section V-C: per-layer candidate placements are generated heuristically —
+// sample, spatial, and hybrid grids plus the channel/filter splits of
+// Section III-D — and the assignment minimizing modeled end-to-end time
+// (layer costs plus data-redistribution costs between adjacent layers) is
+// found by reduction to single-source shortest path on a layered DAG.
+// Networks with branches (ResNets) are handled with the paper's
+// longest-path-first heuristic.
 package strategy
 
 import (
@@ -17,20 +18,31 @@ import (
 	"repro/internal/perfmodel"
 )
 
-// Strategy assigns one grid (data distribution) to every layer of an
+// Strategy assigns one Placement (grid + weight split) to every layer of an
 // architecture and records the modeled cost.
 type Strategy struct {
-	Grids []dist.Grid
-	Cost  float64
+	Placements []dist.Placement
+	Cost       float64
 }
 
-// Uniform returns a strategy using grid g for every layer.
-func Uniform(arch *nn.Arch, g dist.Grid) Strategy {
-	grids := make([]dist.Grid, len(arch.Specs))
-	for i := range grids {
-		grids[i] = g
+// Grids projects the per-layer grids out of the placements (reporting and
+// legacy-API convenience).
+func (s Strategy) Grids() []dist.Grid {
+	out := make([]dist.Grid, len(s.Placements))
+	for i, p := range s.Placements {
+		out[i] = p.Grid
 	}
-	return Strategy{Grids: grids}
+	return out
+}
+
+// Uniform returns a strategy using grid g (replicated weights) for every
+// layer.
+func Uniform(arch *nn.Arch, g dist.Grid) Strategy {
+	pls := make([]dist.Placement, len(arch.Specs))
+	for i := range pls {
+		pls[i] = dist.P(g)
+	}
+	return Strategy{Placements: pls}
 }
 
 // Candidates enumerates the load-balanced processor grids using exactly p
@@ -72,6 +84,40 @@ func Candidates(p, n int, sh nn.Shape) []dist.Grid {
 	return out
 }
 
+// PlacementCandidates enumerates per-layer placements on p processors: the
+// grid candidates with replicated weights, plus — when the layer's channel
+// extents allow it — sample x channel hybrid grids with channel- and
+// filter-parallel weight splits for convolutions (plain channel-blocked
+// activations for everything else). Grid candidates come first, so the
+// heuristics that seed from the cheapest candidate keep the paper's
+// sample-first preference.
+func PlacementCandidates(p, n int, spec nn.Spec, inSh nn.Shape) []dist.Placement {
+	out := dist.Placements(Candidates(p, n, inSh))
+	if spec.Kind == nn.KindInput {
+		return out
+	}
+	for pn := p; pn >= 1; pn-- {
+		if p%pn != 0 || pn > n {
+			continue
+		}
+		pc := p / pn
+		if pc == 1 || inSh.C < pc {
+			continue
+		}
+		g := dist.Grid{PN: pn, PC: pc, PH: 1, PW: 1}
+		if spec.Kind == nn.KindConv {
+			if spec.F >= pc {
+				out = append(out,
+					dist.Placement{Grid: g, Split: dist.SplitChannel},
+					dist.Placement{Grid: g, Split: dist.SplitFilter})
+			}
+		} else {
+			out = append(out, dist.P(g))
+		}
+	}
+	return out
+}
+
 func absInt(x int) int {
 	if x < 0 {
 		return -x
@@ -79,12 +125,13 @@ func absInt(x int) int {
 	return x
 }
 
-// LayerCost evaluates the modeled cost of one layer under grid g.
-func LayerCost(m perfmodel.Machine, spec nn.Spec, inShape nn.Shape, n int, g dist.Grid) float64 {
+// LayerCost evaluates the modeled cost of one layer under placement pl.
+func LayerCost(m perfmodel.Machine, spec nn.Spec, inShape nn.Shape, n int, pl dist.Placement) float64 {
+	g := pl.Grid
 	switch spec.Kind {
 	case nn.KindConv:
 		cs := perfmodel.ConvSpec{N: n, C: inShape.C, H: inShape.H, W: inShape.W, F: spec.F, Geom: spec.Geom}
-		return m.ConvLayerCost(cs, g, true).Total()
+		return m.ConvPlacedCost(cs, pl, true).Total()
 	case nn.KindMaxPool:
 		cs := perfmodel.ConvSpec{N: n, C: inShape.C, H: inShape.H, W: inShape.W, F: inShape.C, Geom: spec.Geom}
 		return m.PoolLayerCost(cs, g, true).Total()
@@ -102,9 +149,10 @@ func LayerCost(m perfmodel.Machine, spec nn.Spec, inShape nn.Shape, n int, g dis
 // ShuffleCost prices the data redistribution between distributions of the
 // same tensor on adjacent layers (Section III-C / V-B): zero when layouts
 // coincide, otherwise an all-to-all moving the largest rank's share, twice
-// (forward activations and backward error signals).
+// (forward activations and backward error signals). Only the grids matter —
+// the weight split does not change the activation layout.
 func ShuffleCost(m perfmodel.Machine, sh nn.Shape, n int, from, to dist.Grid) float64 {
-	if from == to {
+	if from.Norm() == to.Norm() {
 		return 0
 	}
 	src := dist.Dist{Grid: from, N: n, C: sh.C, H: sh.H, W: sh.W}
@@ -149,13 +197,13 @@ func Optimize(m perfmodel.Machine, arch *nn.Arch, p, n int) (Strategy, error) {
 		}
 	}
 
-	cands := make([][]dist.Grid, L)
+	cands := make([][]dist.Placement, L)
 	for i, s := range arch.Specs {
 		sh := shapes[i]
 		if len(s.Parents) > 0 {
 			sh = shapes[s.Parents[0]]
 		}
-		c := Candidates(p, n, sh)
+		c := PlacementCandidates(p, n, s, sh)
 		if len(c) == 0 {
 			return Strategy{}, fmt.Errorf("strategy: no feasible distribution for layer %d (%s)", i, s.Name)
 		}
@@ -163,20 +211,20 @@ func Optimize(m perfmodel.Machine, arch *nn.Arch, p, n int) (Strategy, error) {
 	}
 
 	if isLine {
-		grids, cost := solveLine(m, arch, shapes, cands, n, nil)
-		return Strategy{Grids: grids, Cost: cost}, nil
+		pls, cost := solveLine(m, arch, shapes, cands, n, nil)
+		return Strategy{Placements: pls, Cost: cost}, nil
 	}
 	return optimizeBranchy(m, arch, shapes, cands, children, p, n)
 }
 
 // solveLine runs the shortest-path DP over a line network. fixed, if
-// non-nil, pins some layers to a specific grid (used by the branchy
+// non-nil, pins some layers to a specific placement (used by the branchy
 // heuristic); pinned layers get that single candidate.
-func solveLine(m perfmodel.Machine, arch *nn.Arch, shapes []nn.Shape, cands [][]dist.Grid, n int, fixed []*dist.Grid) ([]dist.Grid, float64) {
+func solveLine(m perfmodel.Machine, arch *nn.Arch, shapes []nn.Shape, cands [][]dist.Placement, n int, fixed []*dist.Placement) ([]dist.Placement, float64) {
 	L := len(arch.Specs)
-	candOf := func(i int) []dist.Grid {
+	candOf := func(i int) []dist.Placement {
 		if fixed != nil && fixed[i] != nil {
-			return []dist.Grid{*fixed[i]}
+			return []dist.Placement{*fixed[i]}
 		}
 		return cands[i]
 	}
@@ -192,18 +240,18 @@ func solveLine(m perfmodel.Machine, arch *nn.Arch, shapes []nn.Shape, cands [][]
 		if len(arch.Specs[i].Parents) > 0 {
 			inSh = shapes[arch.Specs[i].Parents[0]]
 		}
-		for k, g := range cs {
-			lc := LayerCost(m, arch.Specs[i], inSh, n, g)
+		for k, pl := range cs {
+			lc := LayerCost(m, arch.Specs[i], inSh, n, pl)
 			if i == 0 {
 				dp[i][k] = lc
 				continue
 			}
 			best := inf
 			bestJ := 0
-			for j, pg := range candOf(i - 1) {
+			for j, ppl := range candOf(i - 1) {
 				// The tensor shuffled between the layers is layer i's input
 				// (= layer i-1's output).
-				c := dp[i-1][j] + ShuffleCost(m, inSh, n, pg, g)
+				c := dp[i-1][j] + ShuffleCost(m, inSh, n, ppl.Grid, pl.Grid)
 				if c < best {
 					best = c
 					bestJ = j
@@ -219,22 +267,22 @@ func solveLine(m perfmodel.Machine, arch *nn.Arch, shapes []nn.Shape, cands [][]
 			bestC, bestK = c, k
 		}
 	}
-	grids := make([]dist.Grid, L)
+	pls := make([]dist.Placement, L)
 	k := bestK
 	for i := L - 1; i >= 0; i-- {
-		grids[i] = candOf(i)[k]
+		pls[i] = candOf(i)[k]
 		k = choice[i][k]
 	}
-	return grids, bestC
+	return pls, bestC
 }
 
 // optimizeBranchy applies the longest-path-first heuristic: find the most
 // expensive source-to-sink path, optimize it as a line (respecting any
-// already-fixed layers), pin its distributions, and repeat on the next
-// longest path until every layer is assigned.
-func optimizeBranchy(m perfmodel.Machine, arch *nn.Arch, shapes []nn.Shape, cands [][]dist.Grid, children [][]int, p, n int) (Strategy, error) {
+// already-fixed layers), pin its placements, and repeat on the next longest
+// path until every layer is assigned.
+func optimizeBranchy(m perfmodel.Machine, arch *nn.Arch, shapes []nn.Shape, cands [][]dist.Placement, children [][]int, p, n int) (Strategy, error) {
 	L := len(arch.Specs)
-	fixed := make([]*dist.Grid, L)
+	fixed := make([]*dist.Placement, L)
 	assigned := 0
 
 	nodeWeight := func(i int) float64 {
@@ -283,51 +331,64 @@ func optimizeBranchy(m perfmodel.Machine, arch *nn.Arch, shapes []nn.Shape, cand
 			path = append([]int{v}, path...)
 		}
 		// Solve the path as a line; non-path neighbors contribute via their
-		// fixed grids where available (approximation).
-		pathGrids, _ := solvePath(m, arch, shapes, cands, n, fixed, path)
+		// fixed placements where available (approximation).
+		pathPls, _ := solvePath(m, arch, shapes, cands, n, fixed, path)
 		progressed := false
 		for idx, li := range path {
 			if fixed[li] == nil {
-				g := pathGrids[idx]
-				fixed[li] = &g
+				pl := pathPls[idx]
+				fixed[li] = &pl
 				assigned++
 				progressed = true
 			}
 		}
 		if !progressed {
 			// Remaining layers unreachable through new paths: assign each
-			// greedily to match a fixed neighbor.
+			// greedily to match a fixed neighbor — but only when the
+			// neighbor's placement is actually one of this layer's
+			// candidates (a parent's channel grid may be illegal here:
+			// wrong split kind for a conv, or channel extents too small).
 			for i := 0; i < L; i++ {
 				if fixed[i] != nil {
 					continue
 				}
-				g := cands[i][0]
+				pl := cands[i][0]
 				for _, par := range arch.Specs[i].Parents {
-					if fixed[par] != nil {
-						g = *fixed[par]
+					if fixed[par] == nil {
+						continue
+					}
+					inherited := *fixed[par]
+					if arch.Specs[i].Kind != nn.KindConv {
+						inherited.Split = dist.SplitNone
+					}
+					for _, c := range cands[i] {
+						if c == inherited {
+							pl = inherited
+							break
+						}
 					}
 				}
-				fixed[i] = &g
+				fixed[i] = &pl
 				assigned++
 			}
 		}
 	}
 
-	grids := make([]dist.Grid, L)
-	for i := range grids {
-		grids[i] = *fixed[i]
+	pls := make([]dist.Placement, L)
+	for i := range pls {
+		pls[i] = *fixed[i]
 	}
-	return Strategy{Grids: grids, Cost: Evaluate(m, arch, shapes, grids, n)}, nil
+	return Strategy{Placements: pls, Cost: Evaluate(m, arch, shapes, pls, n)}, nil
 }
 
 // solvePath runs the line DP restricted to an explicit path of layer
 // indices.
-func solvePath(m perfmodel.Machine, arch *nn.Arch, shapes []nn.Shape, cands [][]dist.Grid, n int, fixed []*dist.Grid, path []int) ([]dist.Grid, float64) {
+func solvePath(m perfmodel.Machine, arch *nn.Arch, shapes []nn.Shape, cands [][]dist.Placement, n int, fixed []*dist.Placement, path []int) ([]dist.Placement, float64) {
 	P := len(path)
-	candOf := func(pi int) []dist.Grid {
+	candOf := func(pi int) []dist.Placement {
 		li := path[pi]
 		if fixed[li] != nil {
-			return []dist.Grid{*fixed[li]}
+			return []dist.Placement{*fixed[li]}
 		}
 		return cands[li]
 	}
@@ -342,15 +403,15 @@ func solvePath(m perfmodel.Machine, arch *nn.Arch, shapes []nn.Shape, cands [][]
 		if len(arch.Specs[li].Parents) > 0 {
 			inSh = shapes[arch.Specs[li].Parents[0]]
 		}
-		for k, g := range cs {
-			lc := LayerCost(m, arch.Specs[li], inSh, n, g)
+		for k, pl := range cs {
+			lc := LayerCost(m, arch.Specs[li], inSh, n, pl)
 			if pi == 0 {
 				dp[pi][k] = lc
 				continue
 			}
 			bestC, bestJ := inf, 0
-			for j, pg := range candOf(pi - 1) {
-				c := dp[pi-1][j] + ShuffleCost(m, inSh, n, pg, g)
+			for j, ppl := range candOf(pi - 1) {
+				c := dp[pi-1][j] + ShuffleCost(m, inSh, n, ppl.Grid, pl.Grid)
 				if c < bestC {
 					bestC, bestJ = c, j
 				}
@@ -365,7 +426,7 @@ func solvePath(m perfmodel.Machine, arch *nn.Arch, shapes []nn.Shape, cands [][]
 			bestC, bestK = c, k
 		}
 	}
-	out := make([]dist.Grid, P)
+	out := make([]dist.Placement, P)
 	k := bestK
 	for pi := P - 1; pi >= 0; pi-- {
 		out[pi] = candOf(pi)[k]
@@ -375,16 +436,16 @@ func solvePath(m perfmodel.Machine, arch *nn.Arch, shapes []nn.Shape, cands [][]
 }
 
 // Evaluate sums layer costs and shuffle costs of a complete assignment.
-func Evaluate(m perfmodel.Machine, arch *nn.Arch, shapes []nn.Shape, grids []dist.Grid, n int) float64 {
+func Evaluate(m perfmodel.Machine, arch *nn.Arch, shapes []nn.Shape, pls []dist.Placement, n int) float64 {
 	total := 0.0
 	for i, s := range arch.Specs {
 		inSh := shapes[i]
 		if len(s.Parents) > 0 {
 			inSh = shapes[s.Parents[0]]
 		}
-		total += LayerCost(m, s, inSh, n, grids[i])
+		total += LayerCost(m, s, inSh, n, pls[i])
 		for _, par := range s.Parents {
-			total += ShuffleCost(m, inSh, n, grids[par], grids[i])
+			total += ShuffleCost(m, inSh, n, pls[par].Grid, pls[i].Grid)
 		}
 	}
 	return total

@@ -79,17 +79,17 @@ func TestOptimizeLineMatchesBruteForce(t *testing.T) {
 	shapes, _ := arch.Shapes()
 
 	// Brute force over every assignment of candidates.
-	cands := make([][]dist.Grid, len(arch.Specs))
+	cands := make([][]dist.Placement, len(arch.Specs))
 	for i, s := range arch.Specs {
 		sh := shapes[i]
 		if len(s.Parents) > 0 {
 			sh = shapes[s.Parents[0]]
 		}
-		cands[i] = Candidates(p, n, sh)
+		cands[i] = PlacementCandidates(p, n, s, sh)
 	}
 	best := 1e30
-	var rec func(i int, grids []dist.Grid, acc float64)
-	rec = func(i int, grids []dist.Grid, acc float64) {
+	var rec func(i int, pls []dist.Placement, acc float64)
+	rec = func(i int, pls []dist.Placement, acc float64) {
 		if acc >= best {
 			return
 		}
@@ -103,16 +103,16 @@ func TestOptimizeLineMatchesBruteForce(t *testing.T) {
 		if len(arch.Specs[i].Parents) > 0 {
 			inSh = shapes[arch.Specs[i].Parents[0]]
 		}
-		for _, g := range cands[i] {
-			c := LayerCost(m, arch.Specs[i], inSh, n, g)
+		for _, pl := range cands[i] {
+			c := LayerCost(m, arch.Specs[i], inSh, n, pl)
 			if i > 0 {
-				c += ShuffleCost(m, inSh, n, grids[i-1], g)
+				c += ShuffleCost(m, inSh, n, pls[i-1].Grid, pl.Grid)
 			}
-			grids[i] = g
-			rec(i+1, grids, acc+c)
+			pls[i] = pl
+			rec(i+1, pls, acc+c)
 		}
 	}
-	rec(0, make([]dist.Grid, len(arch.Specs)), 0)
+	rec(0, make([]dist.Placement, len(arch.Specs)), 0)
 
 	if diff := st.Cost - best; diff > 1e-9 || diff < -1e-9 {
 		t.Fatalf("DP cost %g != brute force optimum %g", st.Cost, best)
@@ -130,7 +130,7 @@ func TestOptimizeStrategyNoWorseThanUniform(t *testing.T) {
 	shapes, _ := arch.Shapes()
 	for _, g := range Candidates(p, n, shapes[0]) {
 		u := Uniform(arch, g)
-		cost := Evaluate(m, arch, shapes, u.Grids, n)
+		cost := Evaluate(m, arch, shapes, u.Placements, n)
 		if st.Cost > cost+1e-12 {
 			t.Fatalf("optimized cost %g worse than uniform %v at %g", st.Cost, g, cost)
 		}
@@ -144,12 +144,12 @@ func TestOptimizeBranchyResNet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(st.Grids) != len(arch.Specs) {
-		t.Fatalf("strategy covers %d layers, want %d", len(st.Grids), len(arch.Specs))
+	if len(st.Placements) != len(arch.Specs) {
+		t.Fatalf("strategy covers %d layers, want %d", len(st.Placements), len(arch.Specs))
 	}
-	for i, g := range st.Grids {
-		if g.Size() != 4 {
-			t.Fatalf("layer %d assigned grid %v with %d processors", i, g, g.Size())
+	for i, pl := range st.Placements {
+		if pl.Grid.Size() != 4 {
+			t.Fatalf("layer %d assigned placement %v with %d processors", i, pl, pl.Grid.Size())
 		}
 	}
 	if st.Cost <= 0 || st.Cost > 10 {
@@ -171,10 +171,11 @@ func TestOptimizePrefersSpatialForBigLayersSampleForSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Every layer must use spatial ways >= 2 (batch 2 < 4 processors).
-	for i, g := range st.Grids[1:] {
-		if g.SpatialWays() < 2 {
-			t.Fatalf("layer %d grid %v under-uses processors", i+1, g)
+	// Every layer must split beyond samples (batch 2 < 4 processors):
+	// spatially or along the channel axis.
+	for i, pl := range st.Placements[1:] {
+		if pl.Grid.SpatialWays() < 2 && pl.Grid.ChannelWays() < 2 {
+			t.Fatalf("layer %d placement %v under-uses processors", i+1, pl)
 		}
 	}
 }
@@ -197,12 +198,134 @@ func TestUniformHelper(t *testing.T) {
 	arch := lineArch()
 	g := dist.Grid{PN: 2, PH: 2, PW: 1}
 	u := Uniform(arch, g)
-	if len(u.Grids) != len(arch.Specs) {
+	if len(u.Placements) != len(arch.Specs) {
 		t.Fatal("uniform strategy wrong length")
 	}
-	for _, gg := range u.Grids {
-		if gg != g {
+	for _, pl := range u.Placements {
+		if pl.Grid != g || pl.Split != dist.SplitNone {
 			t.Fatal("uniform strategy not uniform")
+		}
+	}
+}
+
+func TestPlacementCandidatesIncludeChannelSplits(t *testing.T) {
+	spec := nn.Spec{Name: "c", Kind: nn.KindConv, F: 64, Geom: dist.ConvGeom{K: 1, S: 1, Pad: 0}, Parents: []int{0}}
+	pls := PlacementCandidates(4, 8, spec, nn.Shape{C: 64, H: 4, W: 4})
+	var chans, filters int
+	for _, pl := range pls {
+		if pl.Grid.Size() != 4 {
+			t.Fatalf("candidate %v does not use 4 processors", pl)
+		}
+		if pl.Grid.ChannelWays() > 1 {
+			switch pl.Split {
+			case dist.SplitChannel:
+				chans++
+			case dist.SplitFilter:
+				filters++
+			default:
+				t.Fatalf("conv candidate %v splits channels without a weight split", pl)
+			}
+			if pl.Grid.PH != 1 || pl.Grid.PW != 1 {
+				t.Fatalf("channel candidate %v splits spatial dims", pl)
+			}
+		}
+	}
+	if chans == 0 || filters == 0 {
+		t.Fatalf("no channel/filter candidates generated (%d/%d)", chans, filters)
+	}
+	// Grid candidates must come first (sample-first heuristic preserved).
+	if pls[0].Grid.ChannelWays() != 1 || pls[0].Grid.PN != 4 {
+		t.Fatalf("first candidate %v is not pure sample parallelism", pls[0])
+	}
+	// A tiny channel count forbids channel splits.
+	for _, pl := range PlacementCandidates(4, 8, spec, nn.Shape{C: 2, H: 64, W: 64}) {
+		if pl.Grid.ChannelWays() > 2 {
+			t.Fatalf("candidate %v splits C=2 too finely", pl)
+		}
+	}
+}
+
+// TestOptimizeSelectsChannelSplitForFCHeavy: on an FC-heavy stack (1x1
+// convolutions over a tiny spatial domain with wide channels) the weight
+// gradient dwarfs the activations, so a channel/filter split — which
+// shards the weights and trades the big gradient allreduce for a small
+// activation collective — must beat pure sample parallelism under the
+// model. This is exactly the strong-scaling regime Section III-D targets.
+func TestOptimizeSelectsChannelSplitForFCHeavy(t *testing.T) {
+	m := perfmodel.Lassen()
+	g := dist.ConvGeom{K: 1, S: 1, Pad: 0}
+	b := nn.NewBuilder("fcheavy", nn.Shape{C: 512, H: 2, W: 2})
+	c := b.Conv("fc1", b.Last(), 512, g, false)
+	c = b.Conv("fc2", c, 512, g, false)
+	c = b.Conv("fc3", c, 512, g, false)
+	b.Conv("fc4", c, 512, g, false)
+	arch := b.MustBuild()
+	st, err := Optimize(m, arch, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := 0
+	for _, pl := range st.Placements {
+		if pl.Grid.ChannelWays() > 1 {
+			split++
+		}
+	}
+	if split == 0 {
+		t.Fatalf("optimizer chose no channel/filter splits for the FC-heavy stack: %v", st.Placements)
+	}
+	// And the uniform sample-parallel assignment must really be worse.
+	shapes, _ := arch.Shapes()
+	sample := Uniform(arch, dist.Grid{PN: 4, PH: 1, PW: 1})
+	if uc := Evaluate(m, arch, shapes, sample.Placements, 4); st.Cost >= uc {
+		t.Fatalf("channel-split strategy cost %g not better than sample-parallel %g", st.Cost, uc)
+	}
+}
+
+// TestOptimizeEmitsInstantiablePlacements: every placement Optimize
+// returns must satisfy the constraints the layer constructors enforce —
+// convs on channel-split grids carry a weight split and their channel/
+// filter extents cover the split (guards the branchy fallback path, which
+// inherits placements from fixed neighbors).
+func TestOptimizeEmitsInstantiablePlacements(t *testing.T) {
+	m := perfmodel.Lassen()
+	for _, tc := range []struct {
+		arch *nn.Arch
+		p, n int
+	}{
+		{models.ResNet50Tiny(64, 10), 4, 2},
+		{models.ResNet50Tiny(64, 10), 8, 2},
+		{models.ResNet50Tiny(32, 4), 4, 1},
+		{lineArch(), 4, 2},
+	} {
+		st, err := Optimize(m, tc.arch, tc.p, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shapes, _ := tc.arch.Shapes()
+		for i, pl := range st.Placements {
+			spec := tc.arch.Specs[i]
+			inSh := shapes[i]
+			if len(spec.Parents) > 0 {
+				inSh = shapes[spec.Parents[0]]
+			}
+			pc := pl.Grid.ChannelWays()
+			if pc == 1 {
+				continue
+			}
+			if pl.Grid.PH != 1 || pl.Grid.PW != 1 {
+				t.Errorf("%s p=%d n=%d layer %d (%s): channel grid %v splits spatial dims", tc.arch.Name, tc.p, tc.n, i, spec.Name, pl)
+			}
+			if inSh.C < pc {
+				t.Errorf("%s p=%d n=%d layer %d (%s): %v splits C=%d too finely", tc.arch.Name, tc.p, tc.n, i, spec.Name, pl, inSh.C)
+			}
+			if spec.Kind == nn.KindConv {
+				if pl.Split == dist.SplitNone {
+					t.Errorf("%s p=%d n=%d layer %d (%s): conv on channel grid %v without weight split", tc.arch.Name, tc.p, tc.n, i, spec.Name, pl)
+				}
+				if spec.F < pc {
+					t.Errorf("%s p=%d n=%d layer %d (%s): %v splits F=%d too finely", tc.arch.Name, tc.p, tc.n, i, spec.Name, pl, spec.F)
+				}
+			}
 		}
 	}
 }

@@ -79,7 +79,15 @@ func (t *Tensor) copyRegion(r Region, buf []float32, extract bool) {
 	if inner == 0 || r.NumElems() == 0 {
 		return
 	}
-	idx := make([]int, rank) // region-relative index over outer dims
+	// Region-relative index over outer dims; stack-backed for the usual
+	// small ranks so warm region copies allocate nothing.
+	var idxArr [8]int
+	var idx []int
+	if rank <= len(idxArr) {
+		idx = idxArr[:rank]
+	} else {
+		idx = make([]int, rank)
+	}
 	pos := 0
 	for {
 		off := 0
@@ -122,7 +130,13 @@ func (t *Tensor) AddRegion(r Region, buf []float32) {
 	if inner == 0 || r.NumElems() == 0 {
 		return
 	}
-	idx := make([]int, rank)
+	var idxArr [8]int
+	var idx []int
+	if rank <= len(idxArr) {
+		idx = idxArr[:rank]
+	} else {
+		idx = make([]int, rank)
+	}
 	pos := 0
 	for {
 		off := 0
@@ -181,7 +195,13 @@ func (t *Tensor) CopyRegion(dst Region, from *Tensor, src Region) {
 	if inner == 0 {
 		return
 	}
-	idx := make([]int, rank)
+	var idxArr [8]int
+	var idx []int
+	if rank <= len(idxArr) {
+		idx = idxArr[:rank]
+	} else {
+		idx = make([]int, rank)
+	}
 	for {
 		dOff, sOff := 0, 0
 		for d := 0; d < rank; d++ {
