@@ -1,17 +1,23 @@
-// Command serve runs the inference-serving subsystem as an HTTP service:
-// it loads a model (fresh weights, or a checkpoint written with
-// nn.SaveState), stands up N replicas behind the dynamic micro-batcher,
-// and exposes
+// Command serve runs the distributed inference-serving runtime as an HTTP
+// service: it loads a model (fresh weights, or a checkpoint written with
+// nn.SaveState), stands up a replica fleet over comm ranks behind the
+// dynamic micro-batcher — single-rank InferNet replicas and/or multi-rank
+// placement-sharded DistInferNet replica groups — and exposes
 //
 //	POST /v1/predict   {"input": [C*H*W floats]} -> {"output": [...], "argmax": k}
 //	GET  /healthz      liveness
-//	GET  /statz        latency quantiles + batch-occupancy histogram
+//	GET  /statz        latency quantiles, shed counters, per-replica gauges
 //
 // Usage:
 //
 //	serve -arch smallcnn -size 16 -classes 4 -addr :8080
 //	serve -arch resnet-tiny -size 32 -classes 10 -checkpoint model.ckpt \
-//	      -replicas 2 -max-batch 16 -deadline 2ms
+//	      -fleet 1,2 -max-batch 16 -deadline 2ms
+//
+// -fleet 1,2 runs two replicas: one unsharded, one sharded over two comm
+// ranks (each rank holding a filter slice of every layer — the "model too
+// big for one device" configuration; answers stay bitwise identical to the
+// unsharded replica).
 package main
 
 import (
@@ -19,8 +25,11 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/serve"
@@ -32,7 +41,9 @@ func main() {
 	channels := flag.Int("channels", 3, "input channels (smallcnn)")
 	classes := flag.Int("classes", 4, "classes (smallcnn / resnet-tiny)")
 	checkpoint := flag.String("checkpoint", "", "nn.SaveState checkpoint to restore (fresh weights if empty)")
-	replicas := flag.Int("replicas", 1, "model replicas")
+	replicas := flag.Int("replicas", 1, "single-rank model replicas (ignored when -fleet is set)")
+	fleet := flag.String("fleet", "", "comma-separated replica group sizes, e.g. 1,2 = one unsharded replica + one 2-rank sharded replica")
+	shardSplit := flag.String("shard-split", "filter", "weight split for sharded replicas: filter (bitwise-identical answers) | channel")
 	maxBatch := flag.Int("max-batch", 8, "micro-batch flush size")
 	deadline := flag.Duration("deadline", 2*time.Millisecond, "micro-batch flush deadline (0 = greedy)")
 	addr := flag.String("addr", ":8080", "listen address")
@@ -60,12 +71,26 @@ func main() {
 		fmt.Printf("serve: %s with fresh weights (no -checkpoint)\n", model.Arch.Name)
 	}
 
+	groups, err := parseFleet(*fleet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	split := dist.SplitFilter
+	if *shardSplit == "channel" {
+		split = dist.SplitChannel
+	} else if *shardSplit != "filter" {
+		fmt.Fprintf(os.Stderr, "serve: unknown -shard-split %q (want filter or channel)\n", *shardSplit)
+		os.Exit(2)
+	}
 	dl := *deadline
 	if dl == 0 {
 		dl = serve.Greedy
 	}
 	srv, err := serve.New(model, serve.Config{
 		Replicas:      *replicas,
+		Groups:        groups,
+		ShardSplit:    split,
 		MaxBatch:      *maxBatch,
 		BatchDeadline: dl,
 	})
@@ -75,13 +100,34 @@ func main() {
 	}
 	defer srv.Close()
 
+	layout := fmt.Sprintf("%d replica(s)", *replicas)
+	if groups != nil {
+		layout = fmt.Sprintf("fleet %v (%s-split shards)", groups, *shardSplit)
+	}
 	in := srv.InShape()
-	fmt.Printf("serve: listening on %s — input %dx%dx%d (%d floats), output %d floats, %d replica(s), max batch %d, deadline %v\n",
-		*addr, in.C, in.H, in.W, srv.InputLen(), srv.OutputLen(), *replicas, *maxBatch, *deadline)
+	fmt.Printf("serve: listening on %s — input %dx%dx%d (%d floats), output %d floats, %s, max batch %d, deadline %v\n",
+		*addr, in.C, in.H, in.W, srv.InputLen(), srv.OutputLen(), layout, *maxBatch, *deadline)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// parseFleet turns "1,2" into replica group sizes; empty means nil (use
+// -replicas single-rank replicas).
+func parseFleet(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var groups []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("serve: bad -fleet entry %q (want positive rank counts, e.g. 1,2)", part)
+		}
+		groups = append(groups, n)
+	}
+	return groups, nil
 }
 
 func buildModel(arch string, size, channels, classes, maxBatch int) (*nn.InferNet, error) {

@@ -438,6 +438,105 @@ func (c *Comm) ReduceScatter(buf []float32, per int, op Op) []float32 {
 	return mine
 }
 
+// tagStableRS is the tag window of the stable reduce-scatter; it sits past
+// the stable allreduce's scatter tag and its allgather window (which uses at
+// most p-1 steps from tagStable+1), inside the pre-barrier gap.
+const tagStableRS = tagStable + 0x40
+
+// ReduceScatterStable reduces buf across ranks with the same rank-ordered
+// association as AllreduceStableRing and hands each rank only its own chunk:
+// counts[q] gives the length of rank q's chunk, and buf is the concatenation
+// of all p chunks in rank order (sum(counts) == len(buf)). Element i of the
+// returned chunk is ((x0[i] op x1[i]) op x2[i]) ... op x_{p-1}[i] — bitwise
+// identical to what a stable allreduce of the same buffer would leave in
+// this rank's chunk — at roughly half the allreduce's wire cost ((p-1)/p of
+// the buffer sent per rank, nothing gathered back). buf is left untouched;
+// the returned slice is pooled — hand it back with Release when consumed.
+//
+// This is the collective the paper suggests for the channel-parallel
+// forward (and filter-parallel backward-data): the full-extent partial is
+// reduced, but each rank only ever needs its own block of the result.
+func (c *Comm) ReduceScatterStable(buf []float32, counts []int, op Op) []float32 {
+	return c.ReduceScatterStableSlabs(buf, 1, counts, op)
+}
+
+// ReduceScatterStableSlabs is ReduceScatterStable over a repeated chunk
+// layout: buf holds `slabs` consecutive repetitions of the per-rank chunk
+// row [counts[0] | counts[1] | ... | counts[p-1]], and the returned pooled
+// slice holds this rank's chunk of every slab, slab-major
+// ([slabs * counts[rank]]). All of a peer's slabs travel in ONE message, so
+// the exchange costs p-1 sends per rank regardless of slab count — the
+// shape the performance model prices. The per-element association is rank
+// order (0, 1, ..., p-1, left-associated), independent of slab structure.
+//
+// The channel/filter-parallel convolutions use this with one slab per local
+// sample: a [nLoc, D, h, w] partial reduces to this rank's [nLoc, dLoc, h, w]
+// block in a single collective.
+func (c *Comm) ReduceScatterStableSlabs(buf []float32, slabs int, counts []int, op Op) []float32 {
+	p := c.Size()
+	if len(counts) != p {
+		panic(fmt.Sprintf("comm: ReduceScatterStableSlabs needs %d counts, got %d", p, len(counts)))
+	}
+	if slabs < 1 {
+		panic(fmt.Sprintf("comm: ReduceScatterStableSlabs needs slabs >= 1, got %d", slabs))
+	}
+	r := c.rank
+	rowLen := 0
+	myOff := 0
+	for q, n := range counts {
+		if q == r {
+			myOff = rowLen
+		}
+		rowLen += n
+	}
+	if rowLen*slabs != len(buf) {
+		panic(fmt.Sprintf("comm: ReduceScatterStableSlabs counts sum %d * %d slabs != buffer %d", rowLen, slabs, len(buf)))
+	}
+	myLen := counts[r]
+	mine := getBuf(slabs * myLen)
+	if p == 1 {
+		copy(mine, buf)
+		return mine
+	}
+	// Scatter phase: pack every slab's chunk for owner q into one message.
+	off := 0
+	for q := 0; q < p; q++ {
+		n := counts[q]
+		if q != r && n > 0 {
+			msg := getBuf(slabs * n)
+			for s := 0; s < slabs; s++ {
+				copy(msg[s*n:(s+1)*n], buf[s*rowLen+off:s*rowLen+off+n])
+			}
+			c.SendNoCopy(q, tagStableRS, msg)
+		}
+		off += n
+	}
+	// Ordered fold of my chunks: every rank's contribution folds in rank
+	// order (0, 1, ..., p-1, left-associated), exactly like allreduceStable.
+	for q := 0; q < p && myLen > 0; q++ {
+		if q == r {
+			for s := 0; s < slabs; s++ {
+				src := buf[s*rowLen+myOff : s*rowLen+myOff+myLen]
+				dst := mine[s*myLen : (s+1)*myLen]
+				if q == 0 {
+					copy(dst, src)
+				} else {
+					op.apply(dst, src)
+				}
+			}
+			continue
+		}
+		contrib := c.Recv(q, tagStableRS)
+		if q == 0 {
+			copy(mine, contrib)
+		} else {
+			op.apply(mine, contrib)
+		}
+		putBuf(contrib)
+	}
+	return mine
+}
+
 // AlltoAllV performs a personalized all-to-all exchange: send[r] is the
 // payload for rank r (may be empty or nil); the result's r-th entry is the
 // payload received from rank r. Self-sends are copied locally. Received

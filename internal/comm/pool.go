@@ -79,6 +79,21 @@ func bufSizeClass(n int) int {
 	return bits.Len(uint(n - 1))
 }
 
+// Prefill seeds the message pool with at least count free buffers of len n.
+// Fire-and-forget traffic (the serving fleet's occupancy heartbeats) has a
+// scheduling-dependent window between a sender's GetBuf and the receiver's
+// Release; seeding the class up front makes the warm path allocation-free
+// from the first message instead of after the pool has deepened by luck.
+func Prefill(n, count int) {
+	bufs := make([][]float32, count)
+	for i := range bufs {
+		bufs[i] = getBuf(n)
+	}
+	for _, b := range bufs {
+		putBuf(b)
+	}
+}
+
 // GetBuf borrows a pooled payload buffer of len n. It is the allocation-free
 // way to build a payload for SendNoCopy: fill the buffer, hand it off, and
 // the receiver's Release returns it to the pool.

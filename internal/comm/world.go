@@ -87,6 +87,26 @@ func (mb *mailbox) put(src, tag int, data []float32) {
 	mb.mu.Unlock()
 }
 
+// tryGet pops a queued message for key without blocking; ok reports whether
+// one was present.
+func (mb *mailbox) tryGet(src, tag int) (data []float32, ok bool) {
+	mb.mu.Lock()
+	q := mb.line(msgKey{src, tag})
+	if q.head == len(q.buf) {
+		mb.mu.Unlock()
+		return nil, false
+	}
+	data = q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	mb.mu.Unlock()
+	return data, true
+}
+
 func (mb *mailbox) get(src, tag int) []float32 {
 	mb.mu.Lock()
 	q := mb.line(msgKey{src, tag})
@@ -256,6 +276,29 @@ func (c *Comm) Recv(src, tag int) []float32 {
 		panic(fmt.Sprintf("comm: recv from rank %d out of range [0,%d)", src, len(c.group)))
 	}
 	return c.world.mailboxes[c.group[c.rank]].get(src, c.tagOf(tag))
+}
+
+// TryRecv returns a queued message from src with the given tag without
+// blocking; ok reports whether one was waiting. Pair with Recv to drain a
+// line opportunistically — the serving replica loop drains its batch queue
+// this way so its occupancy heartbeats report real queue depth.
+func (c *Comm) TryRecv(src, tag int) (data []float32, ok bool) {
+	if src < 0 || src >= len(c.group) {
+		panic(fmt.Sprintf("comm: tryrecv from rank %d out of range [0,%d)", src, len(c.group)))
+	}
+	return c.world.mailboxes[c.group[c.rank]].tryGet(src, c.tagOf(tag))
+}
+
+// Dup returns an independent handle to the same communicator for use by
+// another goroutine. Mailbox traffic (Send/Recv/TryRecv/Release) through a
+// duplicate is safe concurrently with the original; collective operations,
+// Split, and the proxy engine remain single-goroutine per handle. The
+// split epoch carries over so a Split on the duplicate cannot mint a
+// communicator id that collides with one the original already created.
+// The serving front-end hands one duplicate to each of its collector
+// goroutines.
+func (c *Comm) Dup() *Comm {
+	return &Comm{world: c.world, group: c.group, rank: c.rank, id: c.id, splitEpoch: c.splitEpoch}
 }
 
 // SendRecv exchanges buffers with a partner rank and returns the received

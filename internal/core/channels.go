@@ -137,20 +137,37 @@ type ChannelParallelConv struct {
 	// the caller; when false Backward completes gradients before returning.
 	DeferAllreduce bool
 
+	// inference marks a forward-only layer (NewChannelParallelConvInference):
+	// no gradient buffers or error shard exist, Backward panics, and the
+	// local partial runs on the batched row-stable kernel so serving answers
+	// are independent of micro-batch composition.
+	inference bool
+
 	tag int
 	rg  regionScratch
 
-	fBlocks []dist.Range   // filter block of every channel-group rank
-	full    *tensor.Tensor // [nLoc, F, OH, OW]: forward partial, backward dy
-	fullBuf *[]float32
-	y       DistTensor // persistent output shard, overwritten each step
-	dx      DistTensor // persistent error shard
-	x       *tensor.Tensor
+	fBlocks  []dist.Range   // filter block of every channel-group rank
+	rsCounts []int          // per-rank reduce-scatter chunk lengths (fBlocks * plane)
+	full     *tensor.Tensor // [nLoc, F, OH, OW]: forward partial, backward dy
+	fullBuf  *[]float32
+	y        DistTensor // persistent output shard, overwritten each step
+	dx       DistTensor // persistent error shard
+	x        *tensor.Tensor
 }
 
 // NewChannelParallelConv constructs the layer for inputs distributed as
 // inDist (channel axis blocked PC ways, spatial whole) producing f filters.
 func NewChannelParallelConv(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom, bias bool) *ChannelParallelConv {
+	l := newChannelParallelConv(ctx, inDist, f, geom, bias)
+	l.DW = tensor.New(f, l.CRange.Len(), geom.K, geom.K)
+	if bias {
+		l.DBias = make([]float32, f)
+	}
+	l.dx = NewDistTensor(inDist, ctx.Rank)
+	return l
+}
+
+func newChannelParallelConv(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom, bias bool) *ChannelParallelConv {
 	outDist := checkChannelGrid(ctx, inDist, f, geom)
 	cr := inDist.RangeC(ctx.Rank)
 	fr := outDist.RangeC(ctx.Rank)
@@ -160,44 +177,69 @@ func NewChannelParallelConv(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeo
 		Geom: geom, InDist: inDist, OutDist: outDist,
 		CRange: cr, FRange: fr,
 		W:    tensor.New(f, cr.Len(), geom.K, geom.K),
-		DW:   tensor.New(f, cr.Len(), geom.K, geom.K),
 		Algo: kernels.ConvAuto,
 		tag:  ctx.AllocTags(2),
 	}
 	if bias {
 		l.Bias = make([]float32, f)
-		l.DBias = make([]float32, f)
 	}
 	l.fBlocks = blockRanges(f, ctx.Grid.ChannelWays())
-	l.fullBuf = ws.Get(nLoc * f * outDist.H * outDist.W)
+	plane := outDist.H * outDist.W
+	l.rsCounts = make([]int, len(l.fBlocks))
+	for q, fb := range l.fBlocks {
+		l.rsCounts[q] = fb.Len() * plane
+	}
+	l.fullBuf = ws.Get(nLoc * f * plane)
 	l.full = tensor.FromSlice(*l.fullBuf, nLoc, f, outDist.H, outDist.W)
 	l.y = NewDistTensor(outDist, ctx.Rank)
-	l.dx = NewDistTensor(inDist, ctx.Rank)
 	return l
 }
 
 // Forward consumes this rank's channel shard x [nLoc, cLoc, H, W] and
 // returns the output blocked on filters [nLoc, fLoc, OH, OW]. The returned
 // shard is owned by the layer and overwritten by the next step.
+//
+// The channel sum of Eq. 1 completes with a rank-order-stable
+// reduce-scatter over ctx.Chan: each rank receives only its own filter
+// block — half the wire cost of the earlier full allreduce — and the
+// association order (block 0, 1, ..., left-associated) is exactly the
+// stable allreduce's, so the produced bits are unchanged.
 func (l *ChannelParallelConv) Forward(ctx *Ctx, x DistTensor) DistTensor {
 	if !x.Dist.SameLayout(l.InDist) {
 		panic(fmt.Sprintf("core: channel-parallel conv input dist %v, want %v", x.Dist, l.InDist))
 	}
-	kernels.ConvForward(x.Local, l.W, nil, l.full, l.Geom.S, l.Geom.Pad, l.Algo)
-	if ctx.Chan.Size() > 1 {
-		// Rank-order-stable: the channel sum associates in block order no
-		// matter how the reduction is scheduled.
-		ctx.Chan.AllreduceAlgo(l.full.Data(), comm.OpSum, comm.AllreduceStableRing)
+	if l.inference {
+		kernels.ConvForwardBatched(x.Local, l.W, nil, l.full, l.Geom.S, l.Geom.Pad)
+	} else {
+		kernels.ConvForward(x.Local, l.W, nil, l.full, l.Geom.S, l.Geom.Pad, l.Algo)
 	}
-	s := l.y.Local.Shape()
-	sz := [4]int{s[0], s[1], s[2], s[3]}
-	dstR, srcR := l.rg.pair([4]int{}, sz, [4]int{0, l.FRange.Lo, 0, 0}, sz)
-	l.y.Local.CopyRegion(dstR, l.full, srcR)
+	reduceScatterOwnBlock(ctx, l.full, l.y.Local, l.rsCounts)
 	if l.Bias != nil {
 		addBiasBlock(l.y.Local, l.Bias[l.FRange.Lo:l.FRange.Hi])
 	}
-	l.x = x.Local
+	if !l.inference {
+		l.x = x.Local
+	}
 	return l.y
+}
+
+// reduceScatterOwnBlock completes a partial distributed on dimension 1:
+// full is [nLoc, D, h, w] holding this rank's partial over the full extent
+// D, own is [nLoc, dLoc, h, w], and counts give every chan-group rank's
+// dim-1 block length in words per sample. One slab-aware stable
+// reduce-scatter (one message per peer carrying every sample's chunk)
+// delivers exactly this rank's block of every sample, reduced in rank
+// order. With a single-rank channel group it degenerates to a copy of the
+// owned block.
+func reduceScatterOwnBlock(ctx *Ctx, full, own *tensor.Tensor, counts []int) {
+	fd, od := full.Data(), own.Data()
+	if ctx.Chan.Size() == 1 {
+		copy(od, fd)
+		return
+	}
+	mine := ctx.Chan.ReduceScatterStableSlabs(fd, full.Dim(0), counts, comm.OpSum)
+	copy(od, mine)
+	ctx.Chan.Release(mine)
 }
 
 // Backward consumes this rank's filter block of dy and returns dx for this
@@ -205,6 +247,9 @@ func (l *ChannelParallelConv) Forward(ctx *Ctx, x DistTensor) DistTensor {
 // are then purely local, and the weight-gradient sum over sample groups is
 // completed over ctx.ChanPeers (unless deferred).
 func (l *ChannelParallelConv) Backward(ctx *Ctx, dy DistTensor) DistTensor {
+	if l.DW == nil {
+		panic("core: Backward on an inference-only channel-parallel conv (NewChannelParallelConvInference)")
+	}
 	if l.x == nil {
 		panic("core: channel-parallel Backward before Forward")
 	}
@@ -271,10 +316,20 @@ type FilterParallelConv struct {
 	// the caller.
 	DeferAllreduce bool
 
+	// inference marks a forward-only layer (NewFilterParallelConvInference):
+	// no gradient buffers or error shard exist, Backward panics, and the
+	// gathered-input convolution runs on the batched row-stable kernel —
+	// because its weight rows and input channels are complete, the produced
+	// filter block is bitwise identical to the same rows of a sequential
+	// ConvForwardBatched, which is what makes filter-sharded serving
+	// replicas answer identically to unsharded ones.
+	inference bool
+
 	tag int
 	rg  regionScratch
 
-	cBlocks []dist.Range // input-channel block of every channel-group rank
+	cBlocks  []dist.Range // input-channel block of every channel-group rank
+	rsCounts []int        // per-rank reduce-scatter chunk lengths (cBlocks * plane)
 	// xFull holds the gathered input in forward and is reused as the
 	// partial dx accumulator in backward (backward-filter consumes it
 	// before backward-data overwrites it).
@@ -288,6 +343,16 @@ type FilterParallelConv struct {
 // NewFilterParallelConv constructs the layer for inputs distributed as
 // inDist (channel axis blocked PC ways, spatial whole) producing f filters.
 func NewFilterParallelConv(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom, bias bool) *FilterParallelConv {
+	l := newFilterParallelConv(ctx, inDist, f, geom, bias)
+	l.DW = tensor.New(l.FRange.Len(), inDist.C, geom.K, geom.K)
+	if bias {
+		l.DBias = make([]float32, l.FRange.Len())
+	}
+	l.dx = NewDistTensor(inDist, ctx.Rank)
+	return l
+}
+
+func newFilterParallelConv(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom, bias bool) *FilterParallelConv {
 	outDist := checkChannelGrid(ctx, inDist, f, geom)
 	cr := inDist.RangeC(ctx.Rank)
 	fr := outDist.RangeC(ctx.Rank)
@@ -297,19 +362,20 @@ func NewFilterParallelConv(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom
 		Geom: geom, InDist: inDist, OutDist: outDist,
 		CRange: cr, FRange: fr,
 		W:    tensor.New(fr.Len(), inDist.C, geom.K, geom.K),
-		DW:   tensor.New(fr.Len(), inDist.C, geom.K, geom.K),
 		Algo: kernels.ConvAuto,
 		tag:  ctx.AllocTags(2),
 	}
 	if bias {
 		l.Bias = make([]float32, fr.Len())
-		l.DBias = make([]float32, fr.Len())
 	}
 	l.cBlocks = blockRanges(inDist.C, ctx.Grid.ChannelWays())
+	l.rsCounts = make([]int, len(l.cBlocks))
+	for q, cb := range l.cBlocks {
+		l.rsCounts[q] = cb.Len() * inDist.H * inDist.W
+	}
 	l.xFullBuf = ws.Get(nLoc * inDist.C * inDist.H * inDist.W)
 	l.xFull = tensor.FromSlice(*l.xFullBuf, nLoc, inDist.C, inDist.H, inDist.W)
 	l.y = NewDistTensor(outDist, ctx.Rank)
-	l.dx = NewDistTensor(inDist, ctx.Rank)
 	return l
 }
 
@@ -321,16 +387,25 @@ func (l *FilterParallelConv) Forward(ctx *Ctx, x DistTensor) DistTensor {
 		panic(fmt.Sprintf("core: filter-parallel conv input dist %v, want %v", x.Dist, l.InDist))
 	}
 	gatherDim1(ctx, x.Local, l.xFull, l.cBlocks, l.tag, &l.rg)
-	kernels.ConvForward(l.xFull, l.W, l.Bias, l.y.Local, l.Geom.S, l.Geom.Pad, l.Algo)
-	l.haveX = true
+	if l.inference {
+		kernels.ConvForwardBatched(l.xFull, l.W, l.Bias, l.y.Local, l.Geom.S, l.Geom.Pad)
+	} else {
+		kernels.ConvForward(l.xFull, l.W, l.Bias, l.y.Local, l.Geom.S, l.Geom.Pad, l.Algo)
+		l.haveX = true
+	}
 	return l.y
 }
 
 // Backward consumes this rank's filter block of dy and returns dx for this
-// rank's channel shard: dw/dbias are local to the filter block, the partial
-// dx over all channels is summed across filter blocks with a stable
-// allreduce over ctx.Chan, and this rank keeps its channel slice.
+// rank's channel shard: dw/dbias are local to the filter block, and the sum
+// of the partial dx over filter blocks completes with a rank-order-stable
+// reduce-scatter over ctx.Chan — this rank receives only its own channel
+// slice, at half the wire cost of the earlier full allreduce, with the same
+// association order (so the produced bits are unchanged).
 func (l *FilterParallelConv) Backward(ctx *Ctx, dy DistTensor) DistTensor {
+	if l.DW == nil {
+		panic("core: Backward on an inference-only filter-parallel conv (NewFilterParallelConvInference)")
+	}
 	if !l.haveX {
 		panic("core: filter-parallel Backward before Forward")
 	}
@@ -345,13 +420,7 @@ func (l *FilterParallelConv) Backward(ctx *Ctx, dy DistTensor) DistTensor {
 	// full-channel dx (ConvBackwardData overwrites as it accumulates).
 	dxFull := l.xFull
 	kernels.ConvBackwardData(dy.Local, l.W, dxFull, l.Geom.S, l.Geom.Pad)
-	if ctx.Chan.Size() > 1 {
-		ctx.Chan.AllreduceAlgo(dxFull.Data(), comm.OpSum, comm.AllreduceStableRing)
-	}
-	s := l.dx.Local.Shape()
-	sz := [4]int{s[0], s[1], s[2], s[3]}
-	dstR, srcR := l.rg.pair([4]int{}, sz, [4]int{0, l.CRange.Lo, 0, 0}, sz)
-	l.dx.Local.CopyRegion(dstR, dxFull, srcR)
+	reduceScatterOwnBlock(ctx, dxFull, l.dx.Local, l.rsCounts)
 	if !l.DeferAllreduce {
 		l.ReduceGradients(ctx)
 	}

@@ -22,11 +22,42 @@ func NewConvInference(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom, bia
 }
 
 // NewBatchNormInference constructs a forward-only distributed batch
-// normalization layer: Forward normalizes with the (replicated) running
-// statistics — no cross-rank statistics aggregation, no gradient buffers,
-// no stashed input.
-func NewBatchNormInference(d dist.Dist) *BatchNorm {
-	l := newBatchNorm(d, BatchNormGlobal, d.C)
+// normalization layer: Forward normalizes with the running statistics — no
+// cross-rank statistics aggregation, no gradient buffers, no stashed input.
+// Under a channel-split grid the layer holds gamma/beta and the running
+// statistics only for this rank's channel block, exactly like NewBatchNorm.
+// The output shard is preallocated and reused across calls (serving
+// forwards are zero-alloc warm); it is overwritten by the next Forward.
+func NewBatchNormInference(ctx *Ctx, d dist.Dist) *BatchNorm {
+	l := newBatchNorm(d, BatchNormGlobal, d.RangeC(ctx.Rank).Len())
+	l.inference = true
+	l.y = NewDistTensor(d, ctx.Rank)
+	return l
+}
+
+// NewChannelParallelConvInference is NewChannelParallelConv without any
+// gradient state: Backward panics, and the local partial-channel
+// convolution runs on kernels.ConvForwardBatched, whose per-column
+// accumulation is batch-width independent — the row-stable property dynamic
+// micro-batching needs. The completed output still reassociates the channel
+// sum across blocks (reduce-scatter in block order), so a channel-split
+// serving replica is deterministic run-to-run but not bitwise equal to an
+// unsharded one; use the filter split when bitwise parity matters.
+func NewChannelParallelConvInference(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom, bias bool) *ChannelParallelConv {
+	l := newChannelParallelConv(ctx, inDist, f, geom, bias)
+	l.inference = true
+	return l
+}
+
+// NewFilterParallelConvInference is NewFilterParallelConv without any
+// gradient state: Backward panics, and the gathered-input convolution runs
+// on kernels.ConvForwardBatched. Because every rank sees the complete input
+// channels and computes complete weight rows, each rank's filter block is
+// bitwise identical to the corresponding rows of a sequential batched
+// forward — a filter-sharded serving replica answers bit-for-bit like an
+// unsharded one.
+func NewFilterParallelConvInference(ctx *Ctx, inDist dist.Dist, f int, geom dist.ConvGeom, bias bool) *FilterParallelConv {
+	l := newFilterParallelConv(ctx, inDist, f, geom, bias)
 	l.inference = true
 	return l
 }

@@ -46,8 +46,10 @@ type BatchNorm struct {
 
 	// inference marks a forward-only layer (NewBatchNormInference): Forward
 	// normalizes with the running statistics (no aggregation, no stash) and
-	// Backward panics.
+	// Backward panics. y is its preallocated output shard, reused across
+	// calls so warm serving forwards allocate nothing.
 	inference bool
+	y         DistTensor
 
 	// Step-persistent scratch: the stats and backward-sums buffers are owned
 	// by the layer and reused across training steps, so a warm step
@@ -93,11 +95,12 @@ func (l *BatchNorm) Forward(ctx *Ctx, x DistTensor) DistTensor {
 		panic(fmt.Sprintf("core: batchnorm input dist %v, want %v", x.Dist, l.Dist))
 	}
 	if l.inference {
-		// Running statistics are replicated, so no aggregation is needed and
-		// nothing is stashed for a backward pass that will never come.
-		y := NewDistTensor(l.Dist, ctx.Rank)
-		kernels.BatchNormInference(x.Local, l.RunMean, l.RunVar, l.Gamma, l.Beta, l.Eps, y.Local)
-		return y
+		// Running statistics are replicated within the channel block, so no
+		// aggregation is needed and nothing is stashed for a backward pass
+		// that will never come. The persistent output shard is overwritten
+		// by the next call.
+		kernels.BatchNormInference(x.Local, l.RunMean, l.RunVar, l.Gamma, l.Beta, l.Eps, l.y.Local)
+		return l.y
 	}
 	c := l.c
 	stats := l.stats

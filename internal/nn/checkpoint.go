@@ -70,10 +70,46 @@ func SaveState(w io.Writer, archName string, params, buffers []Param) error {
 // written by SaveParams carry no buffers and fail LoadState when buffers are
 // requested — serving requires a full-state checkpoint.
 func LoadState(r io.Reader, archName string, params, buffers []Param) error {
+	ck, err := ReadCheckpoint(r)
+	if err != nil {
+		return err
+	}
+	return ck.Restore(archName, params, buffers)
+}
+
+// ReadCheckpoint decodes a checkpoint without binding it to a network —
+// the form consumers that shard state (DistInferNet, the serving fleet)
+// work from, since their per-rank parameter slices cannot be restored by
+// the whole-tensor copy LoadState performs.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	var ck Checkpoint
 	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
-		return fmt.Errorf("nn: decoding checkpoint: %w", err)
+		return nil, fmt.Errorf("nn: decoding checkpoint: %w", err)
 	}
+	return &ck, nil
+}
+
+// CaptureState builds an in-memory checkpoint from a live network's params
+// and buffers — what the serving fleet hands to replica ranks so sharded
+// replicas can slice the full tensors without a file round trip.
+func CaptureState(archName string, params, buffers []Param) (*Checkpoint, error) {
+	ck := &Checkpoint{
+		Arch:    archName,
+		Params:  make(map[string][]float32, len(params)),
+		Buffers: make(map[string][]float32, len(buffers)),
+	}
+	if err := packNamed(ck.Params, params, "parameter"); err != nil {
+		return nil, err
+	}
+	if err := packNamed(ck.Buffers, buffers, "buffer"); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// Restore copies the checkpoint's values into params and buffers with the
+// same contract as LoadState.
+func (ck *Checkpoint) Restore(archName string, params, buffers []Param) error {
 	if ck.Arch != archName {
 		return fmt.Errorf("nn: checkpoint is for architecture %q, not %q", ck.Arch, archName)
 	}

@@ -157,7 +157,10 @@ func (m Machine) ConvPlacedCost(s ConvSpec, pl dist.Placement, overlap bool) Lay
 		ls.C = cLoc
 		c, cx, cw := m.ConvCompute(ls, grid1)
 		actWords := nLoc * s.F * outH * outW
-		lc.FP = c + m.Allreduce(actWords, pc, spansChan)   // complete the channel sum
+		// The channel sum completes with a reduce-scatter: each rank needs
+		// only its own filter block of the output (the paper's suggestion,
+		// comm.ReduceScatterStable) — half the allreduce's wire volume.
+		lc.FP = c + m.ReduceScatter(actWords, pc, spansChan)
 		lc.BPx = cx + m.Allgather(actWords, pc, spansChan) // assemble the full dy
 		lc.BPw = cw
 		lc.BPa = m.Allreduce(s.F*cLoc*k*k, g.PN, spansPeers)
@@ -165,8 +168,10 @@ func (m Machine) ConvPlacedCost(s ConvSpec, pl dist.Placement, overlap bool) Lay
 		ls.F = fLoc
 		c, cx, cw := m.ConvCompute(ls, grid1)
 		inWords := nLoc * s.C * s.H * s.W
-		lc.FP = c + m.Allgather(inWords, pc, spansChan)   // assemble the full input
-		lc.BPx = cx + m.Allreduce(inWords, pc, spansChan) // sum partial dx over filter blocks
+		lc.FP = c + m.Allgather(inWords, pc, spansChan) // assemble the full input
+		// The partial-dx sum over filter blocks likewise delivers only this
+		// rank's channel slice via reduce-scatter.
+		lc.BPx = cx + m.ReduceScatter(inWords, pc, spansChan)
 		lc.BPw = cw
 		lc.BPa = m.Allreduce(fLoc*s.C*k*k, g.PN, spansPeers)
 	}

@@ -81,6 +81,47 @@ func TestRingVsRecursiveDoublingCrossover(t *testing.T) {
 	}
 }
 
+// The channel-split forward (and filter-split backward-data) deliver only
+// the owned block via reduce-scatter; the model must price that below a
+// full-result allreduce of the same activation volume, and the priced
+// collective must match the Machine's own ReduceScatter formula.
+func TestConvPlacedCostUsesReduceScatter(t *testing.T) {
+	m := Lassen()
+	// Bandwidth-dominated sizes: reduce-scatter moves (p-1)/p of the buffer
+	// once where the ring allreduce moves it twice; at small messages the
+	// pairwise latency term wins instead and the comparison is meaningless.
+	s := ConvSpec{N: 32, C: 512, H: 16, W: 16, F: 512, Geom: dist.ConvGeom{K: 1, S: 1, Pad: 0}}
+	pc := 4
+	chPl := dist.Placement{Grid: dist.Grid{PN: 1, PC: pc, PH: 1, PW: 1}, Split: dist.SplitChannel}
+	fiPl := dist.Placement{Grid: dist.Grid{PN: 1, PC: pc, PH: 1, PW: 1}, Split: dist.SplitFilter}
+
+	actWords := s.N * s.F * s.H * s.W
+	inWords := s.N * s.C * s.H * s.W
+	spans := pc > m.GPUsPerNode
+
+	ch := m.ConvPlacedCost(s, chPl, true)
+	ls := s
+	ls.C = dist.BlockPartition(s.C, pc, 0).Len()
+	c, _, _ := m.ConvCompute(ls, dist.Grid{PN: 1, PH: 1, PW: 1})
+	if want := c + m.ReduceScatter(actWords, pc, spans); ch.FP != want {
+		t.Errorf("channel-split FP %g, want compute + reduce-scatter %g", ch.FP, want)
+	}
+	if old := c + m.Allreduce(actWords, pc, spans); ch.FP >= old {
+		t.Errorf("channel-split FP %g not below the allreduce-based cost %g", ch.FP, old)
+	}
+
+	fi := m.ConvPlacedCost(s, fiPl, true)
+	lf := s
+	lf.F = dist.BlockPartition(s.F, pc, 0).Len()
+	_, cx, _ := m.ConvCompute(lf, dist.Grid{PN: 1, PH: 1, PW: 1})
+	if want := cx + m.ReduceScatter(inWords, pc, spans); fi.BPx != want {
+		t.Errorf("filter-split BPx %g, want compute + reduce-scatter %g", fi.BPx, want)
+	}
+	if old := cx + m.Allreduce(inWords, pc, spans); fi.BPx >= old {
+		t.Errorf("filter-split BPx %g not below the allreduce-based cost %g", fi.BPx, old)
+	}
+}
+
 func TestConvLayerCostNoHaloFor1x1(t *testing.T) {
 	m := Lassen()
 	s := ConvSpec{N: 4, C: 512, H: 28, W: 28, F: 128, Geom: dist.ConvGeom{K: 1, S: 1, Pad: 0}}

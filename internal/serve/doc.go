@@ -1,63 +1,75 @@
-// Package serve is the inference-serving subsystem: it turns the repo's
-// forward-only execution engine (nn.InferNet on the packed-GEMM kernel
-// substrate) into an online service that answers concurrent Predict
-// requests with dynamic micro-batching.
+// Package serve is the distributed inference-serving runtime: it turns the
+// repo's forward-only execution engines (nn.InferNet, and the
+// placement-sharded nn.DistInferNet for models too big for one device) into
+// an online service that answers concurrent Predict requests with dynamic
+// micro-batching, routed over the communication substrate.
 //
 // # Architecture
 //
-// Requests flow through three stages, each owned by dedicated goroutines:
+// The server owns a comm.World: rank 0 is the front-end, every other rank
+// belongs to one replica group (Config.Groups). Requests flow
 //
-//	Predict callers ──> reqCh ──> batcher ──> per-replica batch queues ──> replica workers
+//	Predict callers ──> admission lanes ──> batcher ──> least-loaded router
+//	     ──(comm messages)──> replica group leaders ──> collectors ──> callers
 //
 // The batcher is a single goroutine that coalesces concurrent requests into
 // micro-batches: it copies each request's input into the forming batch's
-// pooled input tensor and flushes when either (a) the batch reaches
+// pooled staging buffer and flushes when either (a) the batch reaches
 // Config.MaxBatch or (b) Config.BatchDeadline has elapsed since the batch's
-// first request arrived. A deadline of zero means greedy flushing: take
-// whatever is queued at this instant, never wait. Batch-1 serving — the
-// baseline the load generator compares against — is MaxBatch=1.
+// first request arrived. A Greedy deadline means: take whatever is queued
+// at this instant, never wait. The high-priority lane is always drained
+// first, so a low-priority flood cannot starve latency-critical traffic.
 //
-// Flushed batches land on per-replica queues under a work-stealing
-// dispatcher: submit places a batch on the shortest queue (blocking for
-// backpressure only when every queue is full), each replica worker drains
-// its own queue first and steals from the back of its siblings' queues when
-// idle. Stealing keeps replicas busy under skewed arrival patterns without
-// giving up the locality of per-replica queues in the common case.
+// Flushed batches go to the router, which sends each one to the replica
+// group leader with the fewest unanswered batches (hard-capped at
+// Config.QueueDepth), tie-broken by the replica's occupancy heartbeat —
+// leaders report their queue depth in every result header and immediately
+// on dequeuing a backlog, so the router can tell a replica crunching a wide
+// batch from one whose queue is draining. Replica groups of one rank run an
+// nn.InferNet clone (shared weights); groups of k ranks run an
+// nn.DistInferNet whose layers are channel/filter-split k ways on core's
+// inference constructors — the leader broadcasts each batch to its group,
+// all ranks execute the collective forward, and the leader sends the
+// assembled answer back through its communicator's proxy engine
+// (comm.Comm.Do), overlapping the result transfer with the next batch.
 //
-// Each worker owns one model replica — an nn.InferNet clone sharing
-// read-only weights with its siblings but owning private activation
-// buffers — runs the batched forward pass (every convolution in the batch
-// lowers onto ONE packed GEMM, kernels.ConvForwardBatched), copies each
-// output row into its request's caller-provided buffer, and signals the
-// waiting Predict.
+// # Admission control
+//
+// Overload degrades by rejecting, not by queueing: a request arriving at a
+// full admission lane is shed immediately with ErrOverloaded, and a request
+// whose deadline passes before the batcher can take it is shed with
+// ErrExpired. Both sheds are counted (Stats.ShedFull / Stats.ShedExpired,
+// /statz shed_full / shed_expired). Bounded lanes plus bounded per-replica
+// in-flight batches bound the standing queue, so the p99 of the requests
+// actually served stays within a small factor of the uncontended p99 under
+// any overload (test-enforced at 2x under 4x-capacity load).
 //
 // # Invariants
 //
-//   - Zero steady-state allocations: requests, batches, and batch input
-//     tensors are pooled (inputs drawn from the kernels.Workspace arena and
-//     reused across batcher flushes); replica activations are preallocated;
-//     all kernel scratch is pooled. After warm-up, an in-process Predict
+//   - Zero steady-state allocations: requests, batches, staging buffers,
+//     and every wire message (batch payloads, results, heartbeats) are
+//     pooled; replica activations are preallocated; message-pool classes
+//     are pre-seeded at fleet start. After warm-up an in-process Predict
 //     performs no heap allocations end to end (TestPredictZeroAllocs).
 //   - Row determinism: a request's answer is bitwise independent of the
-//     batch it was coalesced into. The batched conv lowering guarantees
-//     per-column accumulation order does not depend on batch width
-//     (kernels.GemmNNStable), so dynamic batching never makes results
-//     load-dependent.
+//     batch it was coalesced into (kernels.GemmNNStable), and — for
+//     filter-split shards — bitwise independent of WHICH replica answered:
+//     a sharded replica's assembled output is bit-identical to an unsharded
+//     one's (TestFleetShardedReplicaBitwise).
 //   - Bounded latency: once a batch opens, it flushes within BatchDeadline
-//     even at arrival rate zero; a request is therefore answered within
-//     deadline + queue wait + one forward pass.
-//   - Backpressure, not shedding: when every replica queue is full, submit
-//     blocks the batcher, which in turn fills reqCh and blocks callers.
-//     Nothing is dropped; Close drains every accepted request before
-//     shutting down.
-//   - Replicas share weights: loading a checkpoint into the server's model
-//     updates every replica (they alias the same parameter storage); the
-//     server must be idle during a reload.
+//     even at arrival rate zero; admission caps bound queueing on top.
+//   - Close drains: every request admitted before Close resolves — served,
+//     or shed by its own deadline. The stop sentinel rides the same FIFO
+//     message line as batches, so leaders finish their queues first.
+//   - Replicas share weights: single-rank replicas alias the model's
+//     parameter storage; sharded groups slice a state snapshot captured at
+//     construction. The server must be idle during a reload.
 //
 // # Observability
 //
-// The server keeps lock-free histograms: request latency (quarter-log2
-// buckets, so quantiles are exact to ~25%) and batch occupancy (exact
-// counts per batch size). Stats() snapshots them; the HTTP layer exposes
-// them at /statz alongside /healthz and the POST /v1/predict endpoint.
+// The server keeps lock-free histograms (request latency at eighth-log2
+// resolution, batch occupancy), shed counters, and per-replica gauges
+// (ranks, batches served, in-flight, heartbeat queue depth). Stats()
+// snapshots them; the HTTP layer exposes them at /statz alongside /healthz
+// and POST /v1/predict.
 package serve

@@ -1,0 +1,511 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/comm"
+	"repro/internal/kernels"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Wire protocol between the front-end rank and replica group leaders, all
+// point-to-point on the world communicator (user tag space):
+//
+//	tagBatch  front-end -> leader   [slot, n, n*inLen rows]; slot < 0: stop
+//	tagResult leader -> front-end   [slot, n, occ, n*outLen rows]; slot < 0: goodbye
+//	tagHB     leader -> front-end   [queueDepth]; < 0: goodbye
+//
+// Slots index the router's pending table; a slot is unique among in-flight
+// batches (it is recycled only after its result returns), and small enough
+// that its float32 encoding is exact. Batch payloads, results, and
+// heartbeats all stage through the comm message pool, so the warm serving
+// path crosses the wire with zero heap allocations.
+//
+// Occupancy heartbeats ride two channels: every result carries the
+// replica's post-batch queue depth (consumption of results is synchronous
+// with the request lifecycle, so this gauge is allocation-free and always
+// fresh at the moment the router frees the slot), and a standalone tagHB
+// message fires only when a dequeue finds an actual backlog (depth > 1) —
+// the one situation where the router benefits from a signal ahead of the
+// next result.
+const (
+	tagBatch = iota + 1
+	tagResult
+	tagHB
+)
+
+// resultHdr is the float32 header length of a tagResult message.
+const resultHdr = 3
+
+// fleet owns the communication world: rank 0 is the front-end (router +
+// collectors), ranks 1..R are replica ranks, grouped per Config.Groups with
+// the group leader on the group's first world rank. Sharded groups run a
+// placement-sharded nn.DistInferNet collectively; single-rank groups run an
+// nn.InferNet clone.
+type fleet struct {
+	world *comm.World
+	rt    *router
+	repWG sync.WaitGroup // replica rank goroutines
+}
+
+// repState is the router's per-replica view.
+type repState struct {
+	leader   int // world rank of the group leader
+	ranks    int
+	inflight int          // batches sent, result not yet collected (router lock)
+	occ      atomic.Int32 // last heartbeat: batches queued/executing replica-side
+	batches  atomic.Uint64
+}
+
+// router assigns flushed batches to replica leaders, least-loaded first:
+// the primary signal is the front-end's own in-flight count (hard-capped at
+// QueueDepth per replica), tie-broken by the replica's occupancy heartbeat
+// — a replica that has started crunching reports a shorter queue than one
+// whose batches still wait. Submission blocks only when every replica is at
+// its in-flight cap; that backpressure fills the admission lanes, which
+// shed. The work-stealing dispatcher this replaces balanced queues between
+// same-process workers; with replicas behind a wire, stealing would mean
+// recalling payloads, so balance comes from routing instead.
+type router struct {
+	c  *comm.Comm // front-end world handle; submit/stop run on the batcher goroutine
+	qd int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	reps      []*repState
+	pending   []*batch
+	freeSlots []int
+	next      int // rotating tie-break start, spreads load when all idle
+	stopped   bool
+}
+
+func newRouter(c *comm.Comm, groups []int, qd int) *router {
+	rt := &router{c: c, qd: qd}
+	rt.cond = sync.NewCond(&rt.mu)
+	rank := 1
+	for _, ranks := range groups {
+		rt.reps = append(rt.reps, &repState{leader: rank, ranks: ranks})
+		rank += ranks
+	}
+	slots := len(groups) * qd
+	rt.pending = make([]*batch, slots)
+	rt.freeSlots = make([]int, slots)
+	for i := range rt.freeSlots {
+		rt.freeSlots[i] = slots - 1 - i // pop low slots first (cosmetic)
+	}
+	return rt
+}
+
+// pick returns the least-loaded replica with in-flight headroom, or -1:
+// lowest in-flight first, heartbeat occupancy as the tie-break, and a
+// rotating scan start so fully-tied (idle) replicas share the load
+// round-robin. Caller holds rt.mu.
+func (rt *router) pick() int {
+	best := -1
+	for i := range rt.reps {
+		g := (rt.next + i) % len(rt.reps)
+		rep := rt.reps[g]
+		if rep.inflight >= rt.qd {
+			continue
+		}
+		if best == -1 {
+			best = g
+			continue
+		}
+		b := rt.reps[best]
+		if rep.inflight < b.inflight ||
+			(rep.inflight == b.inflight && rep.occ.Load() < b.occ.Load()) {
+			best = g
+		}
+	}
+	return best
+}
+
+// submit routes b to the least-loaded replica, blocking while every replica
+// is at its in-flight cap. Called only from the batcher goroutine.
+func (rt *router) submit(b *batch, inLen int) {
+	rt.mu.Lock()
+	var g, slot int
+	for {
+		if g = rt.pick(); g >= 0 {
+			slot = rt.freeSlots[len(rt.freeSlots)-1]
+			rt.freeSlots = rt.freeSlots[:len(rt.freeSlots)-1]
+			rt.pending[slot] = b
+			rt.reps[g].inflight++
+			rt.next = (g + 1) % len(rt.reps)
+			break
+		}
+		rt.cond.Wait()
+	}
+	leader := rt.reps[g].leader
+	rt.mu.Unlock()
+	msg := comm.GetBuf(2 + b.n*inLen)
+	msg[0] = float32(slot)
+	msg[1] = float32(b.n)
+	copy(msg[2:], (*b.buf)[:b.n*inLen])
+	rt.c.SendNoCopy(leader, tagBatch, msg)
+}
+
+// take claims the batch in slot on behalf of replica g's result collector
+// and frees the slot.
+func (rt *router) take(slot, g int) *batch {
+	rt.mu.Lock()
+	b := rt.pending[slot]
+	rt.pending[slot] = nil
+	rt.freeSlots = append(rt.freeSlots, slot)
+	rt.reps[g].inflight--
+	rt.cond.Signal()
+	rt.mu.Unlock()
+	return b
+}
+
+// stop sends every leader the stop sentinel. Mailbox FIFO per (src, tag)
+// guarantees it arrives after every batch already submitted, so leaders
+// finish their queues first.
+func (rt *router) stop() {
+	rt.mu.Lock()
+	if rt.stopped {
+		rt.mu.Unlock()
+		return
+	}
+	rt.stopped = true
+	rt.mu.Unlock()
+	for _, rep := range rt.reps {
+		msg := comm.GetBuf(2)
+		msg[0], msg[1] = -1, 0
+		rt.c.SendNoCopy(rep.leader, tagBatch, msg)
+	}
+}
+
+// startFleet builds the communication world, spawns the replica ranks,
+// joins the collective communicator splits as the front-end, and starts the
+// result/heartbeat collectors once every replica reports ready.
+func (s *Server) startFleet(model *nn.InferNet) error {
+	groups := s.cfg.Groups
+	total := 1
+	sharded := false
+	for _, ranks := range groups {
+		total += ranks
+		if ranks > 1 {
+			sharded = true
+		}
+	}
+	var ck *nn.Checkpoint
+	if sharded {
+		// Sharded groups slice their weight shards from a captured copy of
+		// the model's full state; single-rank replicas alias it via Clone.
+		var err error
+		ck, err = nn.CaptureState(s.arch.Name, model.Params(), model.Buffers())
+		if err != nil {
+			return fmt.Errorf("serve: capturing model state: %w", err)
+		}
+	}
+	world := comm.NewWorld(total)
+	f := &fleet{world: world}
+	s.fleet = f
+
+	// Seed the message pool for the fleet's steady-state traffic: batch
+	// payloads and results bounded by the in-flight slots, plus a deep
+	// cushion of heartbeat words (heartbeats are fire-and-forget, so their
+	// in-flight window is scheduling-dependent).
+	slots := len(groups)*s.cfg.QueueDepth + 2
+	comm.Prefill(2+s.cfg.MaxBatch*s.inLen, slots)
+	comm.Prefill(resultHdr+s.cfg.MaxBatch*s.outLen, slots)
+	comm.Prefill(1, 64)
+
+	c0 := world.Comm(0)
+	f.rt = newRouter(c0, groups, s.cfg.QueueDepth)
+
+	// Clone single-rank replicas up front: once the first rank goroutine
+	// spawns, its collective Split can only complete if every rank joins,
+	// so nothing fallible may run between spawns.
+	reps := make([]*nn.InferNet, len(groups))
+	usedModel := false
+	for g, ranks := range groups {
+		if ranks != 1 {
+			continue
+		}
+		reps[g] = model
+		if usedModel {
+			var err error
+			if reps[g], err = model.Clone(); err != nil {
+				return fmt.Errorf("serve: cloning replica %d: %w", g, err)
+			}
+		}
+		usedModel = true
+	}
+	ready := make(chan error, total-1)
+	rank := 1
+	for g, ranks := range groups {
+		for m := 0; m < ranks; m++ {
+			f.repWG.Add(1)
+			go s.replicaMain(world.Comm(rank), g, m, ranks, reps[g], ck, ready)
+			rank++
+		}
+	}
+	// Join the collective Split every replica rank performs; the front-end
+	// belongs to no group.
+	c0.Split(-1, 0)
+	var firstErr error
+	for i := 0; i < total-1; i++ {
+		if err := <-ready; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		f.rt.stop()
+		f.repWG.Wait()
+		world.Shutdown()
+		return firstErr
+	}
+	for g := range groups {
+		s.wg.Add(2)
+		go s.resultCollector(g, c0.Dup())
+		go s.hbCollector(g, c0.Dup())
+	}
+	return nil
+}
+
+// shutdown joins the replica ranks and drains the proxy engines.
+func (f *fleet) shutdown() {
+	f.repWG.Wait()
+	f.world.Shutdown()
+}
+
+// resultCollector receives replica g's answers, completes the batched
+// requests, and recycles the batch. One goroutine per replica, each on its
+// own duplicate of the front-end handle.
+func (s *Server) resultCollector(g int, c *comm.Comm) {
+	defer s.wg.Done()
+	rt := s.fleet.rt
+	leader := rt.reps[g].leader
+	for {
+		msg := c.Recv(leader, tagResult)
+		if msg[0] < 0 {
+			c.Release(msg)
+			return
+		}
+		slot, n := int(msg[0]), int(msg[1])
+		rt.reps[g].occ.Store(int32(msg[2])) // piggybacked occupancy gauge
+		b := rt.take(slot, g)
+		for i := 0; i < n; i++ {
+			r := b.reqs[i]
+			copy(r.out, msg[resultHdr+i*s.outLen:resultHdr+(i+1)*s.outLen])
+			r.done <- struct{}{}
+		}
+		rt.reps[g].batches.Add(1)
+		s.stats.recordBatch(n)
+		s.putBatch(b)
+		c.Release(msg)
+	}
+}
+
+// hbCollector tracks replica g's occupancy heartbeats for the router.
+func (s *Server) hbCollector(g int, c *comm.Comm) {
+	defer s.wg.Done()
+	rep := s.fleet.rt.reps[g]
+	for {
+		msg := c.Recv(rep.leader, tagHB)
+		v := msg[0]
+		c.Release(msg)
+		if v < 0 {
+			return
+		}
+		rep.occ.Store(int32(v))
+	}
+}
+
+// executor runs one micro-batch on a replica: rows is the packed n*inLen
+// input, the returned slice is the packed n*outLen output (owned by the
+// executor, valid until the next run).
+type executor interface {
+	run(rows []float32, n int) []float32
+	// stop releases group members (sharded executors broadcast the stop
+	// sentinel to their followers).
+	stop()
+}
+
+// replicaMain is one replica rank: it joins its group communicator, builds
+// its executor (leader and followers collectively for sharded groups), and
+// serves. Group leaders talk to the front-end; followers are driven by
+// their leader's broadcasts.
+func (s *Server) replicaMain(c *comm.Comm, groupID, member, ranks int, model *nn.InferNet, ck *nn.Checkpoint, ready chan<- error) {
+	defer s.fleet.repWG.Done()
+	group := c.Split(groupID, c.Rank())
+	var ex executor
+	var dnet *nn.DistInferNet
+	var err error
+	if ranks == 1 {
+		ex = newLocalExec(model, s.cfg.MaxBatch, s.inLen, s.outLen)
+	} else {
+		pls := nn.ShardedPlacements(s.arch, ranks, s.cfg.ShardSplit)
+		dnet, err = nn.NewDistInferNet(group, s.arch, s.cfg.MaxBatch, pls)
+		if err == nil && ck != nil {
+			err = dnet.LoadCheckpoint(ck)
+		}
+		if err == nil {
+			ex = newShardExec(dnet, group, s.inLen, s.outLen)
+		}
+	}
+	ready <- err
+	if err != nil {
+		return
+	}
+	if member == 0 {
+		s.leaderLoop(c, ex)
+	} else {
+		followerLoop(group, dnet, s.inLen)
+	}
+}
+
+// leaderLoop is a group leader's serving loop: drain queued batch messages
+// (reporting backlog via heartbeats, steady-state occupancy via the result
+// header), execute, and ship results back through the communicator's proxy
+// engine so the send overlaps the next batch's dequeue and forward pass.
+func (s *Server) leaderLoop(c *comm.Comm, ex executor) {
+	queue := make([][]float32, 0, s.cfg.QueueDepth+2)
+	hb := func(depth int) {
+		b := comm.GetBuf(1)
+		b[0] = float32(depth)
+		c.SendNoCopy(0, tagHB, b)
+	}
+	// The result send is pre-bound so warm submissions allocate nothing;
+	// resBuf is re-pointed per batch after the previous send completes.
+	var resBuf []float32
+	send := func(*comm.Comm) { c.SendNoCopy(0, tagResult, resBuf) }
+	var pendingSend *comm.Request
+	for {
+		if len(queue) == 0 {
+			queue = append(queue, c.Recv(0, tagBatch))
+		}
+		for {
+			m, ok := c.TryRecv(0, tagBatch)
+			if !ok {
+				break
+			}
+			queue = append(queue, m)
+		}
+		if len(queue) > 1 {
+			// A real backlog: tell the router ahead of the next result.
+			hb(len(queue))
+		}
+		msg := queue[0]
+		copy(queue, queue[1:])
+		queue[len(queue)-1] = nil
+		queue = queue[:len(queue)-1]
+		if msg[0] < 0 { // stop sentinel; FIFO puts it after every batch
+			c.Release(msg)
+			ex.stop()
+			if pendingSend != nil {
+				pendingSend.Wait()
+			}
+			resBuf = comm.GetBuf(resultHdr)
+			resBuf[0], resBuf[1], resBuf[2] = -1, 0, 0
+			c.Do(send).Wait() // goodbye, ordered after all results
+			hb(-1)
+			return
+		}
+		n := int(msg[1])
+		out := ex.run(msg[2:2+n*s.inLen], n)
+		if pendingSend != nil {
+			pendingSend.Wait()
+		}
+		res := comm.GetBuf(resultHdr + n*s.outLen)
+		res[0], res[1] = msg[0], msg[1]
+		res[2] = float32(len(queue)) // post-batch occupancy rides the result
+		copy(res[resultHdr:], out[:n*s.outLen])
+		c.Release(msg)
+		resBuf = res
+		pendingSend = c.Do(send)
+	}
+}
+
+// followerLoop drives a non-leader member of a sharded replica: every
+// iteration mirrors the leader's broadcasts and joins the collective
+// forward.
+func followerLoop(group *comm.Comm, dnet *nn.DistInferNet, inLen int) {
+	var hdr [1]float32
+	staging := dnet.StagingInput()
+	for {
+		group.Bcast(hdr[:], 0)
+		n := int(hdr[0])
+		if n < 0 {
+			return
+		}
+		group.Bcast(staging.Data()[:n*inLen], 0)
+		dnet.Forward(staging, n)
+	}
+}
+
+// localExec serves a single-rank replica on an nn.InferNet: batch rows are
+// staged into a capacity-sized tensor and forwarded through cached
+// sub-batch views, exactly the in-process serving path.
+type localExec struct {
+	net           *nn.InferNet
+	buf           *[]float32
+	views         []*tensor.Tensor
+	inLen, outLen int
+}
+
+func newLocalExec(net *nn.InferNet, maxBatch, inLen, outLen int) *localExec {
+	return &localExec{
+		net:   net,
+		buf:   kernels.DefaultWorkspace().Get(maxBatch * inLen),
+		views: make([]*tensor.Tensor, maxBatch),
+		inLen: inLen, outLen: outLen,
+	}
+}
+
+func (e *localExec) run(rows []float32, n int) []float32 {
+	copy((*e.buf)[:n*e.inLen], rows)
+	v := e.views[n-1]
+	if v == nil {
+		in := e.net.InShape()
+		v = tensor.FromSlice((*e.buf)[:n*e.inLen], n, in.C, in.H, in.W)
+		e.views[n-1] = v
+	}
+	y := e.net.Forward(v)
+	return y.Data()[:n*e.outLen]
+}
+
+func (e *localExec) stop() {}
+
+// shardExec serves a multi-rank replica: the leader broadcasts the batch to
+// its group and every member runs the collective DistInferNet forward; the
+// leader gets the assembled output back.
+type shardExec struct {
+	net           *nn.DistInferNet
+	group         *comm.Comm
+	staging       *tensor.Tensor
+	hdr           [1]float32
+	inLen, outLen int
+}
+
+func newShardExec(net *nn.DistInferNet, group *comm.Comm, inLen, outLen int) *shardExec {
+	return &shardExec{
+		net:   net,
+		group: group,
+		// Zeroed capacity staging: rows past the live count hold stale (but
+		// finite) data; every kernel on the path is row-independent, so live
+		// answers never see them.
+		staging: net.StagingInput(),
+		inLen:   inLen, outLen: outLen,
+	}
+}
+
+func (e *shardExec) run(rows []float32, n int) []float32 {
+	e.hdr[0] = float32(n)
+	e.group.Bcast(e.hdr[:], 0)
+	copy(e.staging.Data()[:n*e.inLen], rows)
+	e.group.Bcast(e.staging.Data()[:n*e.inLen], 0)
+	y := e.net.Forward(e.staging, n)
+	return y.Data()[:n*e.outLen]
+}
+
+func (e *shardExec) stop() {
+	e.hdr[0] = -1
+	e.group.Bcast(e.hdr[:], 0)
+}

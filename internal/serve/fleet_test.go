@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/models"
+)
+
+// The fleet acceptance property: a mixed fleet where one replica is a
+// DistInferNet sharded over the grid's channel axis (PC=2, with the
+// default FILTER weight split — the only split whose answers are bitwise
+// comparable; a channel weight split reassociates the channel sum) answers
+// every request bitwise identically to the unsharded replica (and to the
+// reference engine), and both replicas actually serve traffic.
+func TestFleetShardedReplicaBitwise(t *testing.T) {
+	model, err := models.SmallCNNForServing(8, 3, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := model.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(model, Config{
+		Groups:        []int{1, 2}, // one unsharded replica, one 2-rank sharded replica
+		MaxBatch:      8,
+		BatchDeadline: 200 * time.Microsecond,
+		QueueDepth:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const clients, perClient = 8, 30
+	ins := make([][]float32, clients*perClient)
+	wants := make([][]float32, clients*perClient)
+	for i := range ins {
+		ins[i] = randInput(s.InputLen(), int64(i))
+		wants[i] = refForward(ref, ins[i])
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			out := make([]float32, s.OutputLen())
+			for k := 0; k < perClient; k++ {
+				idx := c*perClient + k
+				// Retry sheds: overload control is exercised elsewhere; here
+				// every request must eventually be served and verified.
+				for {
+					err := s.Predict(ins[idx], out)
+					if err == nil {
+						break
+					}
+					if err != ErrOverloaded {
+						errCh <- err
+						return
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+				for j := range out {
+					if out[j] != wants[idx][j] {
+						errCh <- fmt.Errorf("request %d: output[%d] = %v, want %v (bitwise)", idx, j, out[j], wants[idx][j])
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	st := s.Stats()
+	if len(st.Replicas) != 2 {
+		t.Fatalf("stats report %d replicas, want 2", len(st.Replicas))
+	}
+	if st.Replicas[0].Ranks != 1 || st.Replicas[1].Ranks != 2 {
+		t.Errorf("replica rank counts %d/%d, want 1/2", st.Replicas[0].Ranks, st.Replicas[1].Ranks)
+	}
+	for g, rep := range st.Replicas {
+		if rep.Batches == 0 {
+			t.Errorf("replica %d (ranks=%d) served no batches — router never used it", g, rep.Ranks)
+		}
+	}
+}
+
+// A checkpointed model must serve identically from sharded and unsharded
+// replicas: New captures the model state and the sharded group slices it.
+func TestFleetShardedUsesModelWeights(t *testing.T) {
+	model, err := models.SmallCNNForServing(8, 3, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the weights away from the seed so weight capture is visible.
+	for _, p := range model.Params() {
+		for i := range p.W {
+			p.W[i] *= 1.25
+		}
+	}
+	ref, err := model.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only a sharded replica: every answer must come from sliced weights.
+	s, err := New(model, Config{Groups: []int{2}, MaxBatch: 4, BatchDeadline: Greedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		in := randInput(s.InputLen(), int64(40+i))
+		out := make([]float32, s.OutputLen())
+		if err := s.Predict(in, out); err != nil {
+			t.Fatal(err)
+		}
+		want := refForward(ref, in)
+		for j := range out {
+			if out[j] != want[j] {
+				t.Fatalf("request %d: output[%d] = %v, want %v (bitwise)", i, j, out[j], want[j])
+			}
+		}
+	}
+}
+
+// Deadline-aware shedding: a request whose budget has already passed when
+// the batcher pops it is shed with ErrExpired and counted, not served.
+func TestDeadlineExpiredRequestShed(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxBatch: 8, BatchDeadline: time.Millisecond})
+	in := randInput(s.InputLen(), 3)
+	out := make([]float32, s.OutputLen())
+	// A 1ns budget is over before the batcher can possibly pop the request.
+	if err := s.PredictOpts(in, out, PredictOptions{Deadline: time.Nanosecond}); err != ErrExpired {
+		t.Fatalf("expired request returned %v, want ErrExpired", err)
+	}
+	if st := s.Stats(); st.ShedExpired != 1 {
+		t.Errorf("ShedExpired = %d, want 1", st.ShedExpired)
+	}
+	// A generous budget serves normally.
+	if err := s.PredictOpts(in, out, PredictOptions{Deadline: 10 * time.Second}); err != nil {
+		t.Fatalf("in-budget request failed: %v", err)
+	}
+}
+
+// The batcher always drains the high-priority lane first.
+func TestPopPrefersHighPriority(t *testing.T) {
+	s := &Server{
+		reqHigh: make(chan *request, 4),
+		reqLow:  make(chan *request, 4),
+	}
+	lo, hi := &request{}, &request{}
+	s.reqLow <- lo
+	s.reqHigh <- hi
+	if got := s.popNow(); got != hi {
+		t.Fatal("popNow returned a low-priority request while a high-priority one waited")
+	}
+	if got := s.popNow(); got != lo {
+		t.Fatal("popNow lost the low-priority request")
+	}
+	if got := s.popNow(); got != nil {
+		t.Fatal("popNow invented a request")
+	}
+}
+
+// The overload acceptance property: under ~4x closed-loop overload against
+// a bounded admission lane, requests are shed (counted, ErrOverloaded) and
+// the p99 of the requests actually served stays within 2x of the
+// uncontended p99 — overload degrades by rejecting, not by queueing.
+func TestOverloadShedsAndBoundsTailLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based overload measurement")
+	}
+	// Queue arithmetic behind the 2x bound: an admitted request has at most
+	// lane (MaxBatch/2) + in-flight (MaxBatch) + forming (MaxBatch) rows
+	// ahead of it ≈ 2.5 batch times, plus its own service ≈ 3.5 batch
+	// times; the saturated-but-not-overloaded baseline p99 is ≈ 2 batch
+	// times (one executing batch ahead + own service).
+	const maxBatch = 8
+	run := func(clients int, dur time.Duration) Stats {
+		model, err := models.SmallCNNForServing(12, 3, 4, maxBatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(model, Config{
+			Groups:          []int{1},
+			MaxBatch:        maxBatch,
+			BatchDeadline:   Greedy,
+			QueueDepth:      1,
+			PendingRequests: maxBatch / 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				in := randInput(s.InputLen(), int64(c))
+				out := make([]float32, s.OutputLen())
+				for !stop.Load() {
+					if err := s.Predict(in, out); err == ErrOverloaded {
+						time.Sleep(200 * time.Microsecond)
+					} else if err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+		time.Sleep(dur)
+		stop.Store(true)
+		wg.Wait()
+		return s.Stats()
+	}
+
+	// Retry to ride out scheduler noise on shared CI hosts; the property
+	// itself is load-level, not run-level.
+	var base, over Stats
+	for attempt := 1; ; attempt++ {
+		base = run(maxBatch, 400*time.Millisecond)   // saturating, not overloaded
+		over = run(4*maxBatch, 400*time.Millisecond) // ~4x capacity
+		if over.ShedFull > 0 && over.P99 <= 2*base.P99 {
+			break
+		}
+		if attempt == 3 {
+			t.Fatalf("overload behavior out of bounds after %d attempts: shed=%d, served p99=%v vs uncontended p99=%v (limit 2x)",
+				attempt, over.ShedFull, over.P99, base.P99)
+		}
+	}
+	if over.Requests == 0 {
+		t.Fatal("overloaded server served nothing")
+	}
+	t.Logf("uncontended p99=%v; overloaded p99=%v, served=%d, shed=%d",
+		base.P99, over.P99, over.Requests, over.ShedFull)
+}

@@ -88,11 +88,14 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		"requests":        st.Requests,
 		"batches":         st.Batches,
 		"avg_batch":       st.AvgBatch,
+		"shed_full":       st.ShedFull,
+		"shed_expired":    st.ShedExpired,
 		"p50_us":          st.P50.Microseconds(),
 		"p95_us":          st.P95.Microseconds(),
 		"p99_us":          st.P99.Microseconds(),
 		"batch_occupancy": st.Occupancy,
-		"replicas":        s.cfg.Replicas,
+		"replicas":        st.Replicas,
+		"replica_groups":  s.cfg.Groups,
 		"max_batch":       s.cfg.MaxBatch,
 		"deadline_us":     s.cfg.BatchDeadline.Microseconds(),
 	})

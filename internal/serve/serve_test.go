@@ -174,30 +174,35 @@ func TestMaxBatchCoalescing(t *testing.T) {
 	}
 }
 
-func TestWorkStealingDispatcher(t *testing.T) {
-	d := newDispatcher(2, 4)
-	b1, b2, b3 := &batch{}, &batch{}, &batch{}
-	// Everything lands on queue 0 (hint 0, queue 1 longer is impossible —
-	// empty queues tie and the hint wins).
-	d.submit(b1, 0)
-	d.submit(b2, 0)
-	d.submit(b3, 0)
-	if d.queues[0].n < 2 {
-		t.Fatalf("submit did not favor the hint queue: %d/%d", d.queues[0].n, d.queues[1].n)
+func TestRouterPicksLeastLoaded(t *testing.T) {
+	rt := newRouter(nil, []int{1, 2, 1}, 2)
+	// World ranks: front-end 0, replica 0 on rank 1, replica 1 (2-rank
+	// group) leading on rank 2, replica 2 on rank 4.
+	wantLeaders := []int{1, 2, 4}
+	for g, rep := range rt.reps {
+		if rep.leader != wantLeaders[g] {
+			t.Fatalf("replica %d leader rank %d, want %d", g, rep.leader, wantLeaders[g])
+		}
 	}
-	// Replica 1 has an empty queue: it must steal rather than block.
-	if b := d.next(1); b == nil {
-		t.Fatal("idle replica failed to steal")
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	// All idle: any pick is fine; load replica 0 and the router must move on.
+	rt.reps[0].inflight = 1
+	if g := rt.pick(); g == 0 {
+		t.Fatal("router picked a loaded replica over idle ones")
 	}
-	if b := d.next(0); b == nil {
-		t.Fatal("own-queue pop failed")
+	// Equal in-flight: the occupancy heartbeat breaks the tie.
+	rt.reps[0].inflight, rt.reps[1].inflight, rt.reps[2].inflight = 1, 1, 1
+	rt.reps[0].occ.Store(2)
+	rt.reps[1].occ.Store(0)
+	rt.reps[2].occ.Store(1)
+	if g := rt.pick(); g != 1 {
+		t.Fatalf("router picked replica %d, want 1 (lowest heartbeat occupancy)", g)
 	}
-	d.close()
-	// Drain the rest, then nil.
-	for d.next(0) != nil {
-	}
-	if b := d.next(1); b != nil {
-		t.Fatal("closed empty dispatcher returned a batch")
+	// Every replica at the in-flight cap: nothing is eligible.
+	rt.reps[0].inflight, rt.reps[1].inflight, rt.reps[2].inflight = 2, 2, 2
+	if g := rt.pick(); g != -1 {
+		t.Fatalf("router picked %d with every replica at its cap", g)
 	}
 }
 
@@ -219,7 +224,10 @@ func TestCloseDrainsAcceptedRequests(t *testing.T) {
 	s.Close()
 	wg.Wait()
 	for i, err := range errs {
-		if err != nil && err != ErrClosed {
+		// ErrOverloaded is legitimate here: 32 concurrent arrivals against
+		// the default admission lane can shed (that is the new bounded-queue
+		// contract); everything admitted must resolve as served or closed.
+		if err != nil && err != ErrClosed && err != ErrOverloaded {
 			t.Errorf("request %d: %v", i, err)
 		}
 	}
@@ -239,7 +247,10 @@ func TestPredictZeroAllocs(t *testing.T) {
 	s, _ := newTestServer(t, Config{MaxBatch: 8, BatchDeadline: Greedy})
 	in := randInput(s.InputLen(), 5)
 	out := make([]float32, s.OutputLen())
-	for i := 0; i < 50; i++ { // warm pools, views, timer
+	// Warm pools, views, and the timer. The heartbeat/result message pools
+	// deepen until scheduler variance between the leader and the front-end
+	// collectors never drains them; ~200 cycles is comfortably past that.
+	for i := 0; i < 200; i++ {
 		if err := s.Predict(in, out); err != nil {
 			t.Fatal(err)
 		}

@@ -6,19 +6,63 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/kernels"
 	"repro/internal/nn"
-	"repro/internal/tensor"
 )
 
-// ErrClosed is returned by Predict after Close.
-var ErrClosed = errors.New("serve: server closed")
+// Errors returned by Predict.
+var (
+	// ErrClosed is returned by Predict after Close.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrOverloaded is returned when the admission queue for the request's
+	// priority class is full: the server sheds instead of queueing without
+	// bound, so served-request latency stays bounded under overload.
+	ErrOverloaded = errors.New("serve: overloaded, request shed")
+	// ErrExpired is returned when a request's deadline passed before a
+	// replica could take it; the batcher sheds it rather than spend a
+	// forward pass on an answer the caller no longer wants.
+	ErrExpired = errors.New("serve: deadline expired before serving")
+)
 
-// Config tunes the dynamic micro-batcher and the replica fleet.
+// Priority classifies a request for admission control: high-priority
+// requests use a separate admission lane and the batcher always drains them
+// first, so low-priority floods cannot starve them.
+type Priority int
+
+// Request priorities.
+const (
+	PriorityNormal Priority = iota
+	PriorityHigh
+)
+
+// PredictOptions tune one Predict call.
+type PredictOptions struct {
+	// Priority selects the admission lane. Default PriorityNormal.
+	Priority Priority
+	// Deadline is the caller's latency budget; zero means none. A request
+	// whose deadline passes while it waits is shed with ErrExpired (and
+	// counted) instead of being served late.
+	Deadline time.Duration
+}
+
+// Config tunes the dynamic micro-batcher, the replica fleet, and admission
+// control.
 type Config struct {
-	// Replicas is the number of model replicas (each with private activation
-	// buffers, shared weights). Default 1.
+	// Replicas is the number of single-rank model replicas when Groups is
+	// nil. Default 1.
 	Replicas int
+	// Groups gives the comm-rank count of every replica: len(Groups)
+	// replicas, entry g sharded over Groups[g] ranks. A 1-rank replica runs
+	// an nn.InferNet; a multi-rank replica runs a placement-sharded
+	// nn.DistInferNet whose layers split the channel axis Groups[g] ways.
+	// Overrides Replicas when non-nil.
+	Groups []int
+	// ShardSplit selects the weight split of sharded replicas'
+	// convolutions. The default (SplitNone) means dist.SplitFilter, the
+	// split whose answers are bitwise identical to an unsharded replica;
+	// dist.SplitChannel trades that for a cheaper forward collective.
+	ShardSplit dist.Split
 	// MaxBatch flushes a forming batch at this many requests; must not
 	// exceed the model's InferNet capacity. Default 8.
 	MaxBatch int
@@ -27,18 +71,30 @@ type Config struct {
 	// negative duration) to never wait — flush whatever is queued the
 	// instant the batcher gets to it.
 	BatchDeadline time.Duration
-	// QueueDepth is the per-replica pending-batch capacity; when every
-	// queue is full the batcher (and transitively Predict callers) block.
-	// Default 2.
+	// QueueDepth is the per-replica in-flight batch cap: the router sends a
+	// replica at most this many unanswered batches. When every replica is
+	// at its cap the batcher blocks (backpressure), which fills the
+	// admission lanes and sheds further arrivals. Default 2.
 	QueueDepth int
-	// PendingRequests is the request channel capacity ahead of the batcher.
-	// Default 4*MaxBatch.
+	// PendingRequests is the capacity of each admission lane (one per
+	// priority class). A request arriving at a full lane is shed with
+	// ErrOverloaded. Default 4*MaxBatch.
 	PendingRequests int
 }
 
 func (c Config) withDefaults() Config {
-	if c.Replicas <= 0 {
-		c.Replicas = 1
+	if c.Groups == nil {
+		if c.Replicas <= 0 {
+			c.Replicas = 1
+		}
+		c.Groups = make([]int, c.Replicas)
+		for i := range c.Groups {
+			c.Groups[i] = 1
+		}
+	}
+	c.Replicas = len(c.Groups)
+	if c.ShardSplit == dist.SplitNone {
+		c.ShardSplit = dist.SplitFilter
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 8
@@ -66,9 +122,11 @@ const Greedy = time.Duration(-1)
 // carries exactly one token per use, so recycled requests never see stale
 // signals.
 type request struct {
-	in, out []float32
-	start   time.Time
-	done    chan struct{}
+	in, out  []float32
+	start    time.Time
+	deadline time.Time // zero: no deadline
+	err      error     // outcome, read after done fires
+	done     chan struct{}
 }
 
 var reqPool = sync.Pool{New: func() any {
@@ -76,41 +134,45 @@ var reqPool = sync.Pool{New: func() any {
 }}
 
 // batch is a forming/flushed micro-batch: up to MaxBatch requests and their
-// coalesced input tensor. The input storage is drawn from the kernels
-// workspace arena once per pooled batch object and reused across flushes;
-// views[b-1] is the cached [b,C,H,W] tensor header over its prefix.
+// coalesced input rows, staged contiguously so the router can ship them to
+// a replica rank in one pooled message. The staging storage is drawn from
+// the kernels workspace arena once per pooled batch object.
 type batch struct {
-	reqs  []*request
-	n     int
-	buf   *[]float32
-	views []*tensor.Tensor
+	reqs []*request
+	n    int
+	buf  *[]float32
 }
 
-// Server owns the replicas, the batcher, and the dispatcher. Construct with
-// New, serve with Predict (or the HTTP handler), stop with Close.
+// Server is the serving runtime: a front-end comm rank owning the batcher,
+// the least-loaded router, and the admission lanes, plus a fleet of replica
+// ranks (single-rank InferNets and placement-sharded DistInferNet groups)
+// that it feeds over the communication substrate. Construct with New,
+// serve with Predict (or the HTTP handler), stop with Close.
 type Server struct {
-	cfg   Config
-	model *nn.InferNet // replica 0; weight storage shared by all replicas
-	reps  []*nn.InferNet
+	cfg  Config
+	arch *nn.Arch
 
-	inLen, outLen int
+	inShape, outShape nn.Shape
+	inLen, outLen     int
 
-	reqCh chan *request
-	done  chan struct{}
-	wg    sync.WaitGroup
+	fleet *fleet
+
+	reqHigh, reqLow chan *request
+	done            chan struct{}
+	wg              sync.WaitGroup
 
 	mu     sync.RWMutex // serializes Predict enqueue against Close
 	closed bool
 
-	disp      *dispatcher
 	stats     *statsCollector
 	batchPool sync.Pool
 	ws        *kernels.Workspace
 }
 
 // New starts a server over model. The model's weights may be (re)loaded via
-// nn.LoadState into model.Params()/Buffers() before New; every replica
-// shares them.
+// nn.LoadState into model.Params()/Buffers() before New; single-rank
+// replicas share them directly (Clone), sharded replica groups slice their
+// shards from a captured copy.
 func New(model *nn.InferNet, cfg Config) (*Server, error) {
 	if cfg.MaxBatch > model.MaxBatch() {
 		return nil, fmt.Errorf("serve: MaxBatch %d exceeds model capacity %d", cfg.MaxBatch, model.MaxBatch())
@@ -120,39 +182,36 @@ func New(model *nn.InferNet, cfg Config) (*Server, error) {
 		// The default MaxBatch clamps to what the replicas can hold.
 		cfg.MaxBatch = model.MaxBatch()
 	}
+	for g, ranks := range cfg.Groups {
+		if ranks < 1 {
+			return nil, fmt.Errorf("serve: replica group %d has %d ranks", g, ranks)
+		}
+	}
 	in, out := model.InShape(), model.OutShape()
 	s := &Server{
-		cfg:    cfg,
-		model:  model,
-		inLen:  in.C * in.H * in.W,
-		outLen: out.C * out.H * out.W,
-		reqCh:  make(chan *request, cfg.PendingRequests),
-		done:   make(chan struct{}),
-		disp:   newDispatcher(cfg.Replicas, cfg.QueueDepth),
-		stats:  newStatsCollector(cfg.MaxBatch),
-		ws:     kernels.DefaultWorkspace(),
+		cfg:      cfg,
+		arch:     model.Arch,
+		inShape:  in,
+		outShape: out,
+		inLen:    in.C * in.H * in.W,
+		outLen:   out.C * out.H * out.W,
+		reqHigh:  make(chan *request, cfg.PendingRequests),
+		reqLow:   make(chan *request, cfg.PendingRequests),
+		done:     make(chan struct{}),
+		stats:    newStatsCollector(cfg.MaxBatch),
+		ws:       kernels.DefaultWorkspace(),
 	}
 	s.batchPool.New = func() any {
 		return &batch{
-			reqs:  make([]*request, cfg.MaxBatch),
-			buf:   s.ws.Get(cfg.MaxBatch * s.inLen),
-			views: make([]*tensor.Tensor, cfg.MaxBatch),
+			reqs: make([]*request, cfg.MaxBatch),
+			buf:  s.ws.Get(cfg.MaxBatch * s.inLen),
 		}
 	}
-	s.reps = make([]*nn.InferNet, cfg.Replicas)
-	s.reps[0] = model
-	for i := 1; i < cfg.Replicas; i++ {
-		r, err := model.Clone()
-		if err != nil {
-			return nil, fmt.Errorf("serve: cloning replica %d: %w", i, err)
-		}
-		s.reps[i] = r
+	if err := s.startFleet(model); err != nil {
+		return nil, err
 	}
-	s.wg.Add(1 + cfg.Replicas)
+	s.wg.Add(1)
 	go s.batcher()
-	for i := range s.reps {
-		go s.worker(i)
-	}
 	return s, nil
 }
 
@@ -161,17 +220,38 @@ func (s *Server) InputLen() int  { return s.inLen }
 func (s *Server) OutputLen() int { return s.outLen }
 
 // InShape and OutShape expose the model's per-sample shapes.
-func (s *Server) InShape() nn.Shape  { return s.model.InShape() }
-func (s *Server) OutShape() nn.Shape { return s.model.OutShape() }
+func (s *Server) InShape() nn.Shape  { return s.inShape }
+func (s *Server) OutShape() nn.Shape { return s.outShape }
 
-// Stats snapshots the latency and batch-occupancy histograms.
-func (s *Server) Stats() Stats { return s.stats.snapshot() }
+// Stats snapshots the latency/occupancy histograms, the shed counters, and
+// the per-replica routing state.
+func (s *Server) Stats() Stats {
+	st := s.stats.snapshot()
+	rt := s.fleet.rt
+	rt.mu.Lock()
+	for _, rep := range rt.reps {
+		st.Replicas = append(st.Replicas, ReplicaStats{
+			Ranks:      rep.ranks,
+			Batches:    rep.batches.Load(),
+			InFlight:   rep.inflight,
+			QueueDepth: int(rep.occ.Load()),
+		})
+	}
+	rt.mu.Unlock()
+	return st
+}
 
-// Predict runs one sample through the model: in (len InputLen) is read
-// until the call returns, the result is written into out (len OutputLen).
-// Safe for arbitrary concurrency; after warm-up the call performs no heap
-// allocations.
+// Predict runs one sample through the model at normal priority with no
+// deadline: in (len InputLen) is read until the call returns, the result is
+// written into out (len OutputLen). Safe for arbitrary concurrency; after
+// warm-up the call performs no heap allocations. Returns ErrOverloaded
+// without blocking when the admission lane is full.
 func (s *Server) Predict(in, out []float32) error {
+	return s.PredictOpts(in, out, PredictOptions{})
+}
+
+// PredictOpts is Predict with an explicit priority class and deadline.
+func (s *Server) PredictOpts(in, out []float32, opts PredictOptions) error {
 	if len(in) != s.inLen {
 		return fmt.Errorf("serve: input length %d, want %d", len(in), s.inLen)
 	}
@@ -181,10 +261,20 @@ func (s *Server) Predict(in, out []float32) error {
 	r := reqPool.Get().(*request)
 	r.in, r.out = in, out
 	r.start = time.Now()
+	r.err = nil
+	if opts.Deadline > 0 {
+		r.deadline = r.start.Add(opts.Deadline)
+	} else {
+		r.deadline = time.Time{}
+	}
+	lane := s.reqLow
+	if opts.Priority == PriorityHigh {
+		lane = s.reqHigh
+	}
 
 	// The read lock pins the closed check to the enqueue: Close flips closed
 	// under the write lock before signaling the batcher to drain, so a
-	// request that passed the check is guaranteed to be drained and served.
+	// request that entered a lane is guaranteed to be drained and resolved.
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -192,18 +282,32 @@ func (s *Server) Predict(in, out []float32) error {
 		reqPool.Put(r)
 		return ErrClosed
 	}
-	s.reqCh <- r
-	s.mu.RUnlock()
+	select {
+	case lane <- r:
+		s.mu.RUnlock()
+	default:
+		// Admission control: the lane is full, shed instead of queueing
+		// without bound.
+		s.mu.RUnlock()
+		s.stats.shedFull.Add(1)
+		r.in, r.out = nil, nil
+		reqPool.Put(r)
+		return ErrOverloaded
+	}
 
 	<-r.done
-	s.stats.recordLatency(time.Since(r.start))
+	err := r.err
+	if err == nil {
+		s.stats.recordLatency(time.Since(r.start))
+	}
 	r.in, r.out = nil, nil
 	reqPool.Put(r)
-	return nil
+	return err
 }
 
-// Close stops accepting requests, serves everything already accepted, and
-// waits for the batcher and workers to exit.
+// Close stops accepting requests, resolves everything already accepted
+// (serving it, or shedding it if its deadline passed), and waits for the
+// batcher, the replica ranks, and the collectors to exit.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -214,6 +318,7 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	close(s.done)
 	s.wg.Wait()
+	s.fleet.shutdown()
 }
 
 func (s *Server) getBatch() *batch {
@@ -230,48 +335,71 @@ func (s *Server) putBatch(b *batch) {
 	s.batchPool.Put(b)
 }
 
-// add copies r's input into slot n of the forming batch.
-func (b *batch) add(r *request, inLen int) {
-	copy((*b.buf)[b.n*inLen:(b.n+1)*inLen], r.in)
+// add copies r's input into slot n of the forming batch — unless r's
+// deadline has already passed, in which case it is shed on the spot.
+func (s *Server) add(b *batch, r *request) {
+	if !r.deadline.IsZero() && time.Now().After(r.deadline) {
+		s.stats.shedExpired.Add(1)
+		r.err = ErrExpired
+		r.done <- struct{}{}
+		return
+	}
+	copy((*b.buf)[b.n*s.inLen:(b.n+1)*s.inLen], r.in)
 	b.reqs[b.n] = r
 	b.n++
 }
 
-// view returns the cached [n,C,H,W] tensor over the batch's first n inputs.
-func (s *Server) view(b *batch) *tensor.Tensor {
-	if v := b.views[b.n-1]; v != nil {
-		return v
+// popNow returns a queued request without blocking, high priority first.
+func (s *Server) popNow() *request {
+	select {
+	case r := <-s.reqHigh:
+		return r
+	default:
 	}
-	in := s.model.InShape()
-	v := tensor.FromSlice((*b.buf)[:b.n*s.inLen], b.n, in.C, in.H, in.W)
-	b.views[b.n-1] = v
-	return v
+	select {
+	case r := <-s.reqLow:
+		return r
+	default:
+	}
+	return nil
 }
 
 // batcher coalesces requests into batches: flush on MaxBatch, on deadline,
-// or — with a greedy (zero) deadline — as soon as the queue momentarily
-// empties.
+// or — with a greedy (zero) deadline — as soon as the lanes momentarily
+// empty. High-priority requests are always drained first.
 func (s *Server) batcher() {
 	defer s.wg.Done()
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
 	}
+	stopTimer := func() {
+		if !timer.Stop() {
+			<-timer.C
+		}
+	}
 	cur := s.getBatch()
-	hint := 0
 	flush := func() {
-		s.disp.submit(cur, hint)
-		hint = (hint + 1) % s.cfg.Replicas
+		s.fleet.rt.submit(cur, s.inLen)
 		cur = s.getBatch()
 	}
 	for {
 		if cur.n == 0 {
+			var r *request
 			select {
-			case r := <-s.reqCh:
-				cur.add(r, s.inLen)
-			case <-s.done:
-				s.drain(cur)
-				return
+			case r = <-s.reqHigh:
+			default:
+				select {
+				case r = <-s.reqHigh:
+				case r = <-s.reqLow:
+				case <-s.done:
+					s.drain(cur)
+					return
+				}
+			}
+			s.add(cur, r)
+			if cur.n == 0 {
+				continue // the lone request was shed on expiry
 			}
 			if cur.n >= s.cfg.MaxBatch {
 				flush()
@@ -280,83 +408,71 @@ func (s *Server) batcher() {
 			if s.cfg.BatchDeadline == 0 {
 				// Greedy: absorb what is queued right now, then flush.
 				for cur.n < s.cfg.MaxBatch {
-					select {
-					case r := <-s.reqCh:
-						cur.add(r, s.inLen)
-						continue
-					default:
+					r := s.popNow()
+					if r == nil {
+						break
 					}
-					break
+					s.add(cur, r)
 				}
-				flush()
+				if cur.n > 0 {
+					flush()
+				}
 				continue
 			}
 			timer.Reset(s.cfg.BatchDeadline)
 			continue
 		}
+		// Forming batch, deadline armed. The nested select keeps the
+		// high-priority bias: a waiting high request is always taken before
+		// the flat (uniform-choice) select can hand a slot to the low lane.
+		var r *request
+		fired := false
 		select {
-		case r := <-s.reqCh:
-			cur.add(r, s.inLen)
-			if cur.n >= s.cfg.MaxBatch {
-				if !timer.Stop() {
-					<-timer.C
-				}
-				flush()
+		case r = <-s.reqHigh:
+		default:
+			select {
+			case r = <-s.reqHigh:
+			case r = <-s.reqLow:
+			case <-timer.C:
+				fired = true
+			case <-s.done:
+				stopTimer()
+				s.drain(cur)
+				return
 			}
-		case <-timer.C:
+		}
+		if fired {
 			flush()
-		case <-s.done:
-			if !timer.Stop() {
-				<-timer.C
-			}
-			s.drain(cur)
-			return
+			continue
+		}
+		s.add(cur, r)
+		if cur.n >= s.cfg.MaxBatch {
+			stopTimer()
+			flush()
 		}
 	}
 }
 
-// drain serves every request that made it into reqCh before Close flipped
-// the closed flag, then shuts the dispatcher down.
+// drain resolves every request that made it into a lane before Close
+// flipped the closed flag, then stops the fleet.
 func (s *Server) drain(cur *batch) {
 	for {
-		select {
-		case r := <-s.reqCh:
-			cur.add(r, s.inLen)
-			if cur.n >= s.cfg.MaxBatch {
-				s.disp.submit(cur, 0)
-				cur = s.getBatch()
-			}
-		default:
-			if cur.n > 0 {
-				s.disp.submit(cur, 0)
-			} else {
-				s.putBatch(cur)
-			}
-			s.disp.close()
-			return
+		r := s.popNow()
+		if r == nil {
+			break
+		}
+		s.add(cur, r)
+		if cur.n >= s.cfg.MaxBatch {
+			s.fleet.rt.submit(cur, s.inLen)
+			cur = s.getBatch()
 		}
 	}
-}
-
-// worker is one replica's serving loop.
-func (s *Server) worker(rid int) {
-	defer s.wg.Done()
-	rep := s.reps[rid]
-	for {
-		b := s.disp.next(rid)
-		if b == nil {
-			return
-		}
-		y := rep.Forward(s.view(b))
-		yd := y.Data()
-		for i := 0; i < b.n; i++ {
-			r := b.reqs[i]
-			copy(r.out, yd[i*s.outLen:(i+1)*s.outLen])
-			r.done <- struct{}{}
-		}
-		s.stats.recordBatch(b.n)
-		s.putBatch(b)
+	if cur.n > 0 {
+		s.fleet.rt.submit(cur, s.inLen)
+	} else {
+		s.putBatch(cur)
 	}
+	s.fleet.rt.stop()
 }
 
 // Client is the in-process handle load generators and embedding services

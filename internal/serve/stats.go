@@ -19,6 +19,12 @@ type statsCollector struct {
 	batches  atomic.Uint64
 	samples  atomic.Uint64 // total samples across batches (== requests served)
 
+	// Admission-control shed counters: shedFull counts rejects on a full
+	// admission lane, shedExpired counts requests whose deadline passed
+	// before a replica could take them.
+	shedFull    atomic.Uint64
+	shedExpired atomic.Uint64
+
 	latency   [latBuckets]atomic.Uint64
 	occupancy []atomic.Uint64 // index b-1: batches flushed with b requests
 }
@@ -74,25 +80,47 @@ func (c *statsCollector) recordBatch(n int) {
 	}
 }
 
+// ReplicaStats is one replica's point-in-time routing view.
+type ReplicaStats struct {
+	// Ranks is the replica's comm-rank count (1 = unsharded InferNet,
+	// >1 = placement-sharded DistInferNet group).
+	Ranks int `json:"ranks"`
+	// Batches served by this replica.
+	Batches uint64 `json:"batches"`
+	// InFlight is the front-end view: batches sent, result not yet back.
+	InFlight int `json:"in_flight"`
+	// QueueDepth is the replica's last occupancy heartbeat: batches queued
+	// or executing on the replica side.
+	QueueDepth int `json:"queue_depth"`
+}
+
 // Stats is a point-in-time snapshot of the server's metrics.
 type Stats struct {
 	Requests uint64 `json:"requests"`
 	Batches  uint64 `json:"batches"`
 	// AvgBatch is mean flushed batch occupancy: requests served / batches.
 	AvgBatch float64 `json:"avg_batch"`
+	// ShedFull counts requests rejected on a full admission lane;
+	// ShedExpired counts requests dropped after their deadline passed.
+	ShedFull    uint64 `json:"shed_full"`
+	ShedExpired uint64 `json:"shed_expired"`
 	// Latency quantiles are upper bucket edges (~9% resolution).
 	P50 time.Duration `json:"p50_us"`
 	P95 time.Duration `json:"p95_us"`
 	P99 time.Duration `json:"p99_us"`
 	// Occupancy[i] counts batches that flushed with i+1 requests.
 	Occupancy []uint64 `json:"batch_occupancy"`
+	// Replicas is the per-replica routing state.
+	Replicas []ReplicaStats `json:"replicas"`
 }
 
 func (c *statsCollector) snapshot() Stats {
 	s := Stats{
-		Requests:  c.requests.Load(),
-		Batches:   c.batches.Load(),
-		Occupancy: make([]uint64, len(c.occupancy)),
+		Requests:    c.requests.Load(),
+		Batches:     c.batches.Load(),
+		ShedFull:    c.shedFull.Load(),
+		ShedExpired: c.shedExpired.Load(),
+		Occupancy:   make([]uint64, len(c.occupancy)),
 	}
 	for i := range c.occupancy {
 		s.Occupancy[i] = c.occupancy[i].Load()
