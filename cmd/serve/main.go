@@ -18,6 +18,19 @@
 // ranks (each rank holding a filter slice of every layer — the "model too
 // big for one device" configuration; answers stay bitwise identical to the
 // unsharded replica).
+//
+// Fault-tolerance drills run with -chaos, a deterministic fault schedule
+// for the in-process transport:
+//
+//	serve -fleet 1,1 -chaos kill=2@200,seed=7 -rejoin-after 250ms
+//	serve -fleet 1,2 -chaos drop=0.01,dup=0.05,delay=0.1,maxdelay=1ms
+//
+// kill=R@N hard-kills world rank R at its Nth send (rank 0, the front-end,
+// is not killable); drop/dup/delay inject seeded per-message chaos. The
+// failure detector's cadence is tuned with -heartbeat, -fail-timeout,
+// -batch-timeout, and -rejoin-after (negative disables rejoin). Watch the
+// drill on /statz (retries, failovers, quarantined, rejoins, per-replica
+// liveness) and /healthz (ok / degraded / 503).
 package main
 
 import (
@@ -29,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/models"
 	"repro/internal/nn"
@@ -47,6 +61,11 @@ func main() {
 	maxBatch := flag.Int("max-batch", 8, "micro-batch flush size")
 	deadline := flag.Duration("deadline", 2*time.Millisecond, "micro-batch flush deadline (0 = greedy)")
 	addr := flag.String("addr", ":8080", "listen address")
+	chaos := flag.String("chaos", "", "fault injection, e.g. kill=2@200,seed=7,drop=0.01,dup=0.05,delay=0.1,maxdelay=1ms")
+	heartbeat := flag.Duration("heartbeat", 0, "replica heartbeat / failure-monitor tick (0 = default)")
+	failTimeout := flag.Duration("fail-timeout", 0, "heartbeat silence before an idle replica is declared failed (0 = default)")
+	batchTimeout := flag.Duration("batch-timeout", 0, "unanswered-batch timeout before its replica is declared failed (0 = default)")
+	rejoinAfter := flag.Duration("rejoin-after", 0, "quarantine duration before a failed replica is respawned (0 = default, negative = never)")
 	flag.Parse()
 
 	model, err := buildModel(*arch, *size, *channels, *classes, *maxBatch)
@@ -87,12 +106,25 @@ func main() {
 	if dl == 0 {
 		dl = serve.Greedy
 	}
+	plan, err := parseChaos(*chaos)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if plan != nil {
+		fmt.Printf("serve: chaos armed: %s\n", *chaos)
+	}
 	srv, err := serve.New(model, serve.Config{
-		Replicas:      *replicas,
-		Groups:        groups,
-		ShardSplit:    split,
-		MaxBatch:      *maxBatch,
-		BatchDeadline: dl,
+		Replicas:          *replicas,
+		Groups:            groups,
+		ShardSplit:        split,
+		MaxBatch:          *maxBatch,
+		BatchDeadline:     dl,
+		HeartbeatInterval: *heartbeat,
+		FailTimeout:       *failTimeout,
+		BatchTimeout:      *batchTimeout,
+		RejoinAfter:       *rejoinAfter,
+		Fault:             plan,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -111,6 +143,57 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// parseChaos turns a -chaos spec into a fault plan: comma-separated
+// key=value pairs from kill=RANK@SEND, seed=N, drop=P, dup=P, delay=P,
+// maxdelay=DURATION. Empty means no injection (nil plan).
+func parseChaos(s string) (*comm.FaultPlan, error) {
+	if s == "" {
+		return nil, nil
+	}
+	plan := &comm.FaultPlan{}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("serve: bad -chaos entry %q (want key=value)", part)
+		}
+		var err error
+		switch key {
+		case "kill":
+			rs, ns, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("serve: bad -chaos kill %q (want RANK@SEND, e.g. kill=2@200)", val)
+			}
+			var rank, at int
+			if rank, err = strconv.Atoi(rs); err == nil {
+				at, err = strconv.Atoi(ns)
+			}
+			if err != nil || rank < 1 || at < 1 {
+				return nil, fmt.Errorf("serve: bad -chaos kill %q (want replica rank >= 1 and send count >= 1)", val)
+			}
+			if plan.Kill == nil {
+				plan.Kill = make(map[int]int)
+			}
+			plan.Kill[rank] = at
+		case "seed":
+			plan.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "drop":
+			plan.Drop, err = strconv.ParseFloat(val, 64)
+		case "dup":
+			plan.Dup, err = strconv.ParseFloat(val, 64)
+		case "delay":
+			plan.Delay, err = strconv.ParseFloat(val, 64)
+		case "maxdelay":
+			plan.MaxDelay, err = time.ParseDuration(val)
+		default:
+			return nil, fmt.Errorf("serve: unknown -chaos key %q (want kill, seed, drop, dup, delay, or maxdelay)", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serve: bad -chaos value %q for %s: %v", val, key, err)
+		}
+	}
+	return plan, nil
 }
 
 // parseFleet turns "1,2" into replica group sizes; empty means nil (use

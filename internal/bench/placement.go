@@ -132,7 +132,7 @@ func PlacementTable() *Table {
 		}},
 	}
 	t := &Table{
-		Title: "Per-layer placement on the FC-heavy stack: full step ms (real execution)",
+		Title:  "Per-layer placement on the FC-heavy stack: full step ms (real execution)",
 		Header: []string{"ranks", "sample (ms)", "channel (ms)", "filter (ms)", "best vs sample"},
 		Note: fmt.Sprintf("%d-deep %dx%d stack of %d-channel 1x1 convs, batch %d; channel/filter placements "+
 			"shard the weights across the channel group (no weight-gradient allreduce across it) and pay small "+

@@ -1,6 +1,9 @@
 package comm
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Non-blocking collectives in the Aluminum model (Dryden et al., the
 // paper's communication library): each communicator owns a proxy goroutine
@@ -58,6 +61,30 @@ func (r *Request) Test() bool {
 	return done
 }
 
+// WaitTimeout waits up to d for the operation to complete; it reports
+// whether it did. True consumes the request handle exactly like Wait; on
+// false the operation is still in flight and the handle remains live — the
+// caller must complete it later with Wait, Test, or another WaitTimeout.
+func (r *Request) WaitTimeout(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	tm := time.AfterFunc(d, func() {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+	r.mu.Lock()
+	for !r.done && time.Now().Before(deadline) {
+		r.cond.Wait()
+	}
+	done := r.done
+	r.mu.Unlock()
+	tm.Stop()
+	if done {
+		r.eng.putReq(r)
+	}
+	return done
+}
+
 func (r *Request) complete() {
 	r.mu.Lock()
 	r.done = true
@@ -86,6 +113,7 @@ type engine struct {
 	cond sync.Cond
 	ops  []collOp
 	head int
+	cur  *Request // op executing on the proxy goroutine right now
 	free []*Request
 	stop bool
 	gone bool // run goroutine has exited; handle must be replaced
@@ -158,7 +186,40 @@ func (e *engine) putReq(r *Request) {
 
 // run is the proxy goroutine: pop, execute, complete, until shutdown. The
 // queue is drained before exit so outstanding requests always complete.
+//
+// If the rank is hard-killed while the proxy executes (fault injection: the
+// kill panic can surface on whichever of the rank's goroutines sends the
+// fatal message), the panic is absorbed here: the in-flight and queued
+// requests are completed so waiters wake — their next communication
+// operation observes the dead rank and unwinds — and the engine retires.
 func (e *engine) run() {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, ok := r.(killedPanic); !ok {
+			panic(r)
+		}
+		e.mu.Lock()
+		reqs := make([]*Request, 0, len(e.ops)-e.head+1)
+		if e.cur != nil {
+			reqs = append(reqs, e.cur)
+			e.cur = nil
+		}
+		for ; e.head < len(e.ops); e.head++ {
+			reqs = append(reqs, e.ops[e.head].req)
+			e.ops[e.head] = collOp{}
+		}
+		e.ops = e.ops[:0]
+		e.head = 0
+		e.gone = true
+		e.mu.Unlock()
+		for _, req := range reqs {
+			req.complete()
+		}
+		e.cond.Broadcast() // wake shutdown
+	}()
 	e.mu.Lock()
 	for {
 		for e.head == len(e.ops) && !e.stop {
@@ -178,6 +239,7 @@ func (e *engine) run() {
 		op := e.ops[e.head]
 		e.ops[e.head] = collOp{}
 		e.head++
+		e.cur = op.req
 		e.mu.Unlock()
 
 		if op.fn != nil {
@@ -185,9 +247,28 @@ func (e *engine) run() {
 		} else {
 			e.proxy.AllreduceAlgo(op.buf, op.op, op.algo)
 		}
+		e.mu.Lock()
+		e.cur = nil
+		e.mu.Unlock()
 		op.req.complete()
 
 		e.mu.Lock()
+	}
+}
+
+// QuiesceEngine retires the communicator's proxy engine, joining its
+// goroutine; a no-op when no engine was ever started or it already exited.
+// A fault-tolerance supervisor calls this on a killed rank's handles after
+// joining the rank's own goroutines and BEFORE reviving the rank: the
+// engine goroutine is not joined by the rank's WaitGroup, so without the
+// quiesce an in-flight proxy op could deposit a stale message into a peer
+// mailbox after the supervisor's Drain, corrupting the next incarnation's
+// collectives. While the rank is still marked dead, pending ops unwind
+// immediately (their sends and receives hit the dead checks), so the join
+// is prompt. The next Do/IAllreduce on the handle starts a fresh engine.
+func (c *Comm) QuiesceEngine() {
+	if c.eng != nil {
+		c.eng.shutdown()
 	}
 }
 

@@ -33,6 +33,7 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // msgKey identifies one matching line of a mailbox. Receives in this
@@ -87,13 +88,10 @@ func (mb *mailbox) put(src, tag int, data []float32) {
 	mb.mu.Unlock()
 }
 
-// tryGet pops a queued message for key without blocking; ok reports whether
-// one was present.
-func (mb *mailbox) tryGet(src, tag int) (data []float32, ok bool) {
-	mb.mu.Lock()
-	q := mb.line(msgKey{src, tag})
+// pop removes the line's head message; ok reports whether one was present.
+// Caller holds the mailbox mutex.
+func (q *subQueue) pop() (data []float32, ok bool) {
 	if q.head == len(q.buf) {
-		mb.mu.Unlock()
 		return nil, false
 	}
 	data = q.buf[q.head]
@@ -103,25 +101,28 @@ func (mb *mailbox) tryGet(src, tag int) (data []float32, ok bool) {
 		q.buf = q.buf[:0]
 		q.head = 0
 	}
-	mb.mu.Unlock()
 	return data, true
+}
+
+// tryGet pops a queued message for key without blocking; ok reports whether
+// one was present.
+func (mb *mailbox) tryGet(src, tag int) (data []float32, ok bool) {
+	mb.mu.Lock()
+	data, ok = mb.line(msgKey{src, tag}).pop()
+	mb.mu.Unlock()
+	return data, ok
 }
 
 func (mb *mailbox) get(src, tag int) []float32 {
 	mb.mu.Lock()
 	q := mb.line(msgKey{src, tag})
-	for q.head == len(q.buf) {
+	for {
+		if data, ok := q.pop(); ok {
+			mb.mu.Unlock()
+			return data
+		}
 		q.cond.Wait()
 	}
-	data := q.buf[q.head]
-	q.buf[q.head] = nil
-	q.head++
-	if q.head == len(q.buf) {
-		q.buf = q.buf[:0]
-		q.head = 0
-	}
-	mb.mu.Unlock()
-	return data
 }
 
 // World is a set of ranks that can communicate. It corresponds to
@@ -130,6 +131,7 @@ func (mb *mailbox) get(src, tag int) []float32 {
 type World struct {
 	size      int
 	mailboxes []*mailbox
+	fault     *faultState
 
 	splitMu  sync.Mutex
 	splitIDs map[splitKey]int64
@@ -157,6 +159,7 @@ func NewWorld(size int) *World {
 	for i := range w.mailboxes {
 		w.mailboxes[i] = newMailbox()
 	}
+	w.fault = newFaultState(w)
 	return w
 }
 
@@ -229,6 +232,7 @@ type Comm struct {
 	id         int64 // communicator id, isolates tag spaces
 	splitEpoch int64 // number of Split calls performed on this handle
 	eng        *engine
+	timers     map[msgKey]*time.Timer // cached RecvTimeout timers, one per line
 }
 
 // Rank returns the caller's rank within this communicator.
@@ -265,17 +269,127 @@ func (c *Comm) SendNoCopy(dst, tag int, data []float32) {
 	if dst < 0 || dst >= len(c.group) {
 		panic(fmt.Sprintf("comm: send to rank %d out of range [0,%d)", dst, len(c.group)))
 	}
-	c.world.mailboxes[c.group[dst]].put(c.rank, c.tagOf(tag), data)
+	f := c.world.fault
+	self := c.group[c.rank]
+	if f.dead[self].Load() {
+		putBuf(data)
+		panic(killedPanic{self})
+	}
+	mb := c.world.mailboxes[c.group[dst]]
+	if f.active.Load() {
+		f.inject(self, mb, c.rank, c.tagOf(tag), data)
+		return
+	}
+	mb.put(c.rank, c.tagOf(tag), data)
 }
 
 // Recv blocks until a message from src with the given tag arrives and
 // returns its payload. The returned slice is owned by the caller; pass it
 // to Release once consumed to keep warm traffic allocation-free.
+//
+// If src is (or becomes) a failed rank, the receive could never complete,
+// so the calling rank fails too (MPI-abort style): Recv panics with the
+// kill sentinel that RecoverKilled unwinds. Collectors that must survive
+// peer death use RecvTimeout, which returns ErrPeerDead instead.
 func (c *Comm) Recv(src, tag int) []float32 {
+	data, err := c.recvWait(src, tag, false, 0)
+	if err != nil {
+		panic(killedPanic{c.group[c.rank]})
+	}
+	return data
+}
+
+// RecvTimeout is Recv with a deadline: it returns ErrTimeout when d elapses
+// with no matching message, and ErrPeerDead when src is marked failed. The
+// per-line timer is cached on the handle, so warm timed receives allocate
+// nothing.
+func (c *Comm) RecvTimeout(src, tag int, d time.Duration) ([]float32, error) {
+	return c.recvWait(src, tag, true, d)
+}
+
+// recvWait is the shared receive wait loop: fault-aware and optionally
+// deadline-bounded. A lost timer wakeup cannot strand the loop: the
+// deadline is re-checked against the clock before every Wait, and the
+// timer only fires at (or after) the deadline.
+func (c *Comm) recvWait(src, tag int, timed bool, d time.Duration) ([]float32, error) {
 	if src < 0 || src >= len(c.group) {
 		panic(fmt.Sprintf("comm: recv from rank %d out of range [0,%d)", src, len(c.group)))
 	}
-	return c.world.mailboxes[c.group[c.rank]].get(src, c.tagOf(tag))
+	f := c.world.fault
+	self := c.group[c.rank]
+	if f.dead[self].Load() {
+		panic(killedPanic{self})
+	}
+	srcW := c.group[src]
+	mb := c.world.mailboxes[self]
+	key := msgKey{src, c.tagOf(tag)}
+	mb.mu.Lock()
+	q := mb.line(key)
+	if data, ok := q.pop(); ok {
+		mb.mu.Unlock()
+		return data, nil
+	}
+	var tm *time.Timer
+	var deadline time.Time
+	if timed {
+		mb.mu.Unlock()
+		tm = c.lineTimer(mb, key)
+		deadline = time.Now().Add(d)
+		tm.Reset(d)
+		mb.mu.Lock()
+	}
+	for {
+		if data, ok := q.pop(); ok {
+			mb.mu.Unlock()
+			if tm != nil {
+				tm.Stop()
+			}
+			return data, nil
+		}
+		if f.dead[self].Load() {
+			mb.mu.Unlock()
+			if tm != nil {
+				tm.Stop()
+			}
+			panic(killedPanic{self})
+		}
+		if f.dead[srcW].Load() {
+			mb.mu.Unlock()
+			if tm != nil {
+				tm.Stop()
+			}
+			return nil, ErrPeerDead
+		}
+		if timed && !time.Now().Before(deadline) {
+			mb.mu.Unlock()
+			tm.Stop()
+			return nil, ErrTimeout
+		}
+		q.cond.Wait()
+	}
+}
+
+// lineTimer returns (creating and caching on first use) the handle's wakeup
+// timer for one receive line. The timer's callback only broadcasts the
+// line's condition variable; recvWait decides timeout by the clock.
+func (c *Comm) lineTimer(mb *mailbox, key msgKey) *time.Timer {
+	t := c.timers[key]
+	if t == nil {
+		if c.timers == nil {
+			c.timers = make(map[msgKey]*time.Timer)
+		}
+		mb.mu.Lock()
+		q := mb.line(key)
+		mb.mu.Unlock()
+		t = time.AfterFunc(time.Hour, func() {
+			mb.mu.Lock()
+			q.cond.Broadcast()
+			mb.mu.Unlock()
+		})
+		t.Stop()
+		c.timers[key] = t
+	}
+	return t
 }
 
 // TryRecv returns a queued message from src with the given tag without
@@ -286,7 +400,67 @@ func (c *Comm) TryRecv(src, tag int) (data []float32, ok bool) {
 	if src < 0 || src >= len(c.group) {
 		panic(fmt.Sprintf("comm: tryrecv from rank %d out of range [0,%d)", src, len(c.group)))
 	}
+	if self := c.group[c.rank]; c.world.fault.dead[self].Load() {
+		panic(killedPanic{self})
+	}
 	return c.world.mailboxes[c.group[c.rank]].tryGet(src, c.tagOf(tag))
+}
+
+// Drain discards every message queued for this rank on this communicator
+// (proxy-engine shadow traffic included), returning the payloads to the
+// message pool, and reports how many it dropped. It is a recovery-path
+// helper: call it while re-initialising a revived rank, when no goroutine
+// of the communicator is sending to or receiving on this rank.
+func (c *Comm) Drain() int {
+	mb := c.world.mailboxes[c.group[c.rank]]
+	base, proxy := c.id, c.id|proxyCommBit
+	n := 0
+	mb.mu.Lock()
+	for key, q := range mb.queues {
+		if cid := int64(key.tag >> 20); cid != base && cid != proxy {
+			continue
+		}
+		for {
+			data, ok := q.pop()
+			if !ok {
+				break
+			}
+			putBuf(data)
+			n++
+		}
+	}
+	mb.mu.Unlock()
+	return n
+}
+
+// DrainAll discards every message queued for this rank across ALL
+// communicators — derived splits, duplicates, and proxy shadows included —
+// returning the payloads to the message pool, and reports how many it
+// dropped. Recovery paths need this rather than per-communicator Drain
+// calls: a network sharded over a group communicator splits further
+// sub-communicators internally (core.NewCtx's Spatial/Chan/ChanPeers), and
+// a message a killed incarnation left on one of those lines would silently
+// offset the next incarnation's fixed-tag gathers by a whole iteration.
+// Call it while re-initialising a revived rank, when no goroutine of any
+// communicator over this rank is sending to or receiving on it, after
+// first consuming any control messages (stop sentinels) the caller must
+// not lose.
+func (c *Comm) DrainAll() int {
+	mb := c.world.mailboxes[c.group[c.rank]]
+	n := 0
+	mb.mu.Lock()
+	for _, q := range mb.queues {
+		for {
+			data, ok := q.pop()
+			if !ok {
+				break
+			}
+			putBuf(data)
+			n++
+		}
+	}
+	mb.mu.Unlock()
+	return n
 }
 
 // Dup returns an independent handle to the same communicator for use by

@@ -1,0 +1,464 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/models"
+)
+
+// Chaos matrix: deterministic fault injection (comm.FaultPlan) against the
+// serving fleet. Detection timings are tight enough to keep the tests fast
+// but leave headroom for -race scheduling.
+
+func chaosTimings(cfg Config) Config {
+	cfg.HeartbeatInterval = 5 * time.Millisecond
+	cfg.FailTimeout = 60 * time.Millisecond
+	cfg.BatchTimeout = 150 * time.Millisecond
+	return cfg
+}
+
+// newChaosFleet builds a fleet server plus precomputed reference answers.
+// References are computed BEFORE the server starts so the fault plan's send
+// counts are not consumed by idle heartbeats while the reference engine
+// runs.
+func newChaosFleet(t *testing.T, cfg Config, nin int) (*Server, [][]float32, [][]float32) {
+	t.Helper()
+	model, err := models.SmallCNNForServing(8, 3, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := model.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := model.InShape()
+	inLen := sh.C * sh.H * sh.W
+	ins := make([][]float32, nin)
+	wants := make([][]float32, nin)
+	for i := range ins {
+		ins[i] = randInput(inLen, int64(i))
+		wants[i] = refForward(ref, ins[i])
+	}
+	s, err := New(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, ins, wants
+}
+
+// hammer drives concurrent Predict load over ins until stop returns true,
+// verifying every answer bitwise against wants. Every call must succeed:
+// the fleet keeps at least one live replica in each chaos scenario that
+// uses this helper, so a failover must be invisible to callers.
+func hammer(t *testing.T, s *Server, ins, wants [][]float32, clients int, stop func() bool) uint64 {
+	t.Helper()
+	var served atomic.Uint64
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			out := make([]float32, s.OutputLen())
+			for k := c; !stop(); k++ {
+				i := k % len(ins)
+				if err := s.Predict(ins[i], out); err != nil {
+					errc <- fmt.Errorf("client %d: %v", c, err)
+					return
+				}
+				for j := range out {
+					if out[j] != wants[i][j] {
+						errc <- fmt.Errorf("client %d input %d: out[%d] = %v, want %v (bitwise)",
+							c, i, j, out[j], wants[i][j])
+						return
+					}
+				}
+				served.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	return served.Load()
+}
+
+// waitReplicaStates polls until every replica reports the wanted liveness
+// state.
+func waitReplicaStates(t *testing.T, s *Server, want string, d time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		st := s.Stats()
+		all := len(st.Replicas) > 0
+		for _, r := range st.Replicas {
+			if r.State != want {
+				all = false
+			}
+		}
+		if all {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas never all %q: %+v", want, st.Replicas)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFleetSurvivesLeaderKill: one of two replicas is hard-killed mid-load.
+// The fleet must keep serving (every Predict answered, bitwise-correct),
+// quarantine the dead replica, re-route its stranded batches, and rejoin a
+// fresh incarnation — all visible in the counters.
+func TestFleetSurvivesLeaderKill(t *testing.T) {
+	cfg := chaosTimings(Config{
+		Replicas:      2,
+		MaxBatch:      4,
+		BatchDeadline: Greedy,
+		QueueDepth:    2,
+		RejoinAfter:   50 * time.Millisecond,
+		Fault:         &comm.FaultPlan{Seed: 1, Kill: map[int]int{2: 30}},
+	})
+	s, ins, wants := newChaosFleet(t, cfg, 32)
+	deadline := time.Now().Add(20 * time.Second)
+	cond := func(st Stats) bool {
+		return st.Quarantined >= 1 && st.Retries >= 1 && st.Rejoins >= 1
+	}
+	served := hammer(t, s, ins, wants, 8, func() bool {
+		return cond(s.Stats()) || time.Now().After(deadline)
+	})
+	st := s.Stats()
+	if !cond(st) {
+		t.Fatalf("kill never surfaced in the counters: quarantined=%d retries=%d rejoins=%d (served %d)",
+			st.Quarantined, st.Retries, st.Rejoins, served)
+	}
+	if served == 0 {
+		t.Fatal("no traffic served through the chaos window")
+	}
+	// The rejoined incarnation must take traffic again: full capacity is
+	// restored and every answer is still bitwise-correct.
+	waitReplicaStates(t, s, "live", 5*time.Second)
+	out := make([]float32, s.OutputLen())
+	for i := range ins {
+		if err := s.Predict(ins[i], out); err != nil {
+			t.Fatalf("post-rejoin predict %d: %v", i, err)
+		}
+		for j := range out {
+			if out[j] != wants[i][j] {
+				t.Fatalf("post-rejoin input %d: out[%d] = %v, want %v (bitwise)", i, j, out[j], wants[i][j])
+			}
+		}
+	}
+}
+
+// TestFailoverBitwiseIdenticalResults: with rejoin disabled, batches
+// stranded by the kill are re-routed to the survivor and answered — and
+// because every replica computes with row-stable kernels, the hammer's
+// bitwise check proves the failed-over answers identical to the reference.
+func TestFailoverBitwiseIdenticalResults(t *testing.T) {
+	cfg := chaosTimings(Config{
+		Replicas:      2,
+		MaxBatch:      4,
+		BatchDeadline: Greedy,
+		QueueDepth:    2,
+		RejoinAfter:   -1,
+		Fault:         &comm.FaultPlan{Seed: 2, Kill: map[int]int{2: 25}},
+	})
+	s, ins, wants := newChaosFleet(t, cfg, 32)
+	deadline := time.Now().Add(20 * time.Second)
+	cond := func(st Stats) bool { return st.Quarantined >= 1 && st.Retries >= 1 }
+	hammer(t, s, ins, wants, 8, func() bool {
+		return cond(s.Stats()) || time.Now().After(deadline)
+	})
+	st := s.Stats()
+	if !cond(st) {
+		t.Fatalf("failover never happened: quarantined=%d retries=%d", st.Quarantined, st.Retries)
+	}
+	if got := st.Replicas[1].State; got != "quarantined" {
+		t.Fatalf("killed replica state %q, want quarantined (rejoin disabled)", got)
+	}
+	if got := st.Replicas[0].State; got != "live" {
+		t.Fatalf("survivor state %q, want live", got)
+	}
+}
+
+// TestShardedGroupKillAndRejoin kills the leader of a two-rank sharded
+// replica: the whole group must fail together, and the rejoin path must
+// restore the shards from the fleet checkpoint before taking traffic.
+func TestShardedGroupKillAndRejoin(t *testing.T) {
+	cfg := chaosTimings(Config{
+		Groups:        []int{2, 1},
+		MaxBatch:      4,
+		BatchDeadline: Greedy,
+		QueueDepth:    2,
+		RejoinAfter:   50 * time.Millisecond,
+		Fault:         &comm.FaultPlan{Seed: 3, Kill: map[int]int{1: 60}},
+	})
+	s, ins, wants := newChaosFleet(t, cfg, 16)
+	deadline := time.Now().Add(20 * time.Second)
+	cond := func(st Stats) bool { return st.Quarantined >= 1 && st.Rejoins >= 1 }
+	hammer(t, s, ins, wants, 4, func() bool {
+		return cond(s.Stats()) || time.Now().After(deadline)
+	})
+	if st := s.Stats(); !cond(st) {
+		t.Fatalf("sharded kill never surfaced: quarantined=%d rejoins=%d", st.Quarantined, st.Rejoins)
+	}
+	waitReplicaStates(t, s, "live", 5*time.Second)
+	// The restored shards must still produce bitwise-reference answers.
+	out := make([]float32, s.OutputLen())
+	for i := range ins {
+		if err := s.Predict(ins[i], out); err != nil {
+			t.Fatalf("post-rejoin predict %d: %v", i, err)
+		}
+		for j := range out {
+			if out[j] != wants[i][j] {
+				t.Fatalf("post-rejoin input %d: out[%d] = %v, want %v (bitwise)", i, j, out[j], wants[i][j])
+			}
+		}
+	}
+}
+
+// TestFleetServesUnderMessageChaos: duplicated and delayed wire messages
+// (batches executed twice, results arriving twice and late) must be
+// absorbed by the seq-dedup guard — every answer exact, duplicates counted.
+func TestFleetServesUnderMessageChaos(t *testing.T) {
+	cfg := chaosTimings(Config{
+		Replicas:      2,
+		MaxBatch:      4,
+		BatchDeadline: Greedy,
+		QueueDepth:    2,
+		Fault:         &comm.FaultPlan{Seed: 7, Dup: 0.5, Delay: 0.3, MaxDelay: time.Millisecond},
+	})
+	s, ins, wants := newChaosFleet(t, cfg, 16)
+	deadline := time.Now().Add(20 * time.Second)
+	cond := func(st Stats) bool { return st.DroppedResults >= 1 && st.Requests >= 200 }
+	hammer(t, s, ins, wants, 4, func() bool {
+		return cond(s.Stats()) || time.Now().After(deadline)
+	})
+	if st := s.Stats(); !cond(st) {
+		t.Fatalf("dup chaos never exercised dedup: dropped_results=%d requests=%d",
+			st.DroppedResults, st.Requests)
+	}
+}
+
+// TestNoGoroutineLeakAfterQuarantine: killed replicas (left quarantined, no
+// rejoin) and their retired comm engines leave no goroutines behind after
+// Close.
+func TestNoGoroutineLeakAfterQuarantine(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for iter := 0; iter < 3; iter++ {
+		model, err := models.SmallCNNForServing(8, 3, 4, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(model, chaosTimings(Config{
+			Replicas:      2,
+			MaxBatch:      4,
+			BatchDeadline: Greedy,
+			QueueDepth:    2,
+			RejoinAfter:   -1,
+			Fault:         &comm.FaultPlan{Seed: int64(iter + 1), Kill: map[int]int{2: 20}},
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := randInput(s.InputLen(), int64(iter))
+		out := make([]float32, s.OutputLen())
+		deadline := time.Now().Add(20 * time.Second)
+		for s.Stats().Quarantined == 0 {
+			if time.Now().After(deadline) {
+				s.Close()
+				t.Fatal("kill never detected")
+			}
+			if err := s.Predict(in, out); err != nil {
+				s.Close()
+				t.Fatalf("predict during chaos: %v", err)
+			}
+		}
+		s.Close()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after quarantine runs", before, runtime.NumGoroutine())
+}
+
+// TestPredictContextEdgeCases: dead-on-arrival deadlines and contexts shed
+// before entering the admission lane; a live context serves normally.
+func TestPredictContextEdgeCases(t *testing.T) {
+	s, ref := newTestServer(t, Config{MaxBatch: 4, BatchDeadline: 200 * time.Microsecond})
+	in := randInput(s.InputLen(), 1)
+	out := make([]float32, s.OutputLen())
+
+	if err := s.PredictOpts(in, out, PredictOptions{Deadline: -time.Millisecond}); err != ErrExpired {
+		t.Fatalf("negative deadline: got %v, want ErrExpired", err)
+	}
+
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.PredictOpts(in, out, PredictOptions{Ctx: cctx}); err != ErrCanceled {
+		t.Fatalf("pre-canceled ctx: got %v, want ErrCanceled", err)
+	}
+
+	ectx, ecancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer ecancel()
+	if err := s.PredictOpts(in, out, PredictOptions{Ctx: ectx}); err != ErrExpired {
+		t.Fatalf("expired ctx: got %v, want ErrExpired", err)
+	}
+
+	if st := s.Stats(); st.ShedExpired < 2 {
+		t.Fatalf("shed_expired = %d, want >= 2 (negative deadline + expired ctx)", st.ShedExpired)
+	}
+	if st := s.Stats(); st.Requests != 0 {
+		t.Fatalf("pre-lane sheds were served: requests = %d", st.Requests)
+	}
+
+	lctx, lcancel := context.WithTimeout(context.Background(), time.Second)
+	defer lcancel()
+	if err := s.PredictOpts(in, out, PredictOptions{Ctx: lctx}); err != nil {
+		t.Fatalf("live ctx: %v", err)
+	}
+	want := refForward(ref, in)
+	for j := range out {
+		if out[j] != want[j] {
+			t.Fatalf("live ctx answer: out[%d] = %v, want %v (bitwise)", j, out[j], want[j])
+		}
+	}
+}
+
+// TestPredictContextCancelMidFlight: a context canceled while the request
+// sits in the forming batch returns ErrCanceled promptly; the batch later
+// resolves against the abandoned request without corrupting it (the CAS
+// loser recycles), and Close drains cleanly.
+func TestPredictContextCancelMidFlight(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxBatch: 8, BatchDeadline: 300 * time.Millisecond})
+	in := randInput(s.InputLen(), 1)
+	out := make([]float32, s.OutputLen())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() { done <- s.PredictOpts(in, out, PredictOptions{Ctx: ctx}) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != ErrCanceled {
+			t.Fatalf("mid-flight cancel: got %v, want ErrCanceled", err)
+		}
+		if el := time.Since(start); el > 200*time.Millisecond {
+			t.Fatalf("cancel returned after %v; should not wait for the batch deadline", el)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled Predict never returned")
+	}
+
+	// A context deadline tighter than the batch deadline expires the wait
+	// with ErrExpired.
+	dctx, dcancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer dcancel()
+	if err := s.PredictOpts(in, out, PredictOptions{Ctx: dctx}); err != ErrExpired {
+		t.Fatalf("ctx deadline during batch forming: got %v, want ErrExpired", err)
+	}
+}
+
+// TestHealthzTriState: ok with all replicas live, degraded (still 200) with
+// one quarantined, 503 with zero live replicas; /statz carries the failure
+// counters and per-replica state.
+func TestHealthzTriState(t *testing.T) {
+	cfg := chaosTimings(Config{
+		Replicas:      2,
+		MaxBatch:      4,
+		BatchDeadline: Greedy,
+		QueueDepth:    2,
+		RejoinAfter:   -1,
+		Fault:         &comm.FaultPlan{Seed: 4, Kill: map[int]int{2: 5}},
+	})
+	s, ins, _ := newChaosFleet(t, cfg, 4)
+	h := s.Handler()
+	get := func(path string) (int, string) {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, path, nil))
+		return rr.Code, rr.Body.String()
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.HasPrefix(body, "ok") {
+		t.Fatalf("all live: got %d %q, want 200 ok", code, body)
+	}
+	out := make([]float32, s.OutputLen())
+	deadline := time.Now().Add(20 * time.Second)
+	for s.Stats().Quarantined == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("kill never detected")
+		}
+		if err := s.Predict(ins[0], out); err != nil {
+			t.Fatalf("predict during chaos: %v", err)
+		}
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "degraded: 1/2") {
+		t.Fatalf("one quarantined: got %d %q, want 200 degraded 1/2", code, body)
+	}
+	code, body := get("/statz")
+	if code != http.StatusOK {
+		t.Fatalf("statz: %d %q", code, body)
+	}
+	var st struct {
+		Quarantined uint64 `json:"quarantined"`
+		Retries     uint64 `json:"retries"`
+		Replicas    []struct {
+			State string `json:"state"`
+		} `json:"replicas"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("statz JSON: %v", err)
+	}
+	if st.Quarantined < 1 || len(st.Replicas) != 2 || st.Replicas[1].State != "quarantined" {
+		t.Fatalf("statz failure counters missing: %s", body)
+	}
+
+	// Zero live replicas: a single-replica fleet whose only replica dies
+	// must fail health checks outright and shed admission.
+	cfg1 := chaosTimings(Config{
+		Replicas:      1,
+		MaxBatch:      2,
+		BatchDeadline: Greedy,
+		QueueDepth:    2,
+		RejoinAfter:   -1,
+		Fault:         &comm.FaultPlan{Seed: 5, Kill: map[int]int{1: 5}},
+	})
+	s1, ins1, _ := newChaosFleet(t, cfg1, 2)
+	h1 := s1.Handler()
+	out1 := make([]float32, s1.OutputLen())
+	deadline = time.Now().Add(20 * time.Second)
+	for s1.Stats().Quarantined == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("single-replica kill never detected")
+		}
+		_ = s1.Predict(ins1[0], out1) // errors expected once the replica dies
+	}
+	rr := httptest.NewRecorder()
+	h1.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("zero live: got %d %q, want 503", rr.Code, rr.Body.String())
+	}
+	if err := s1.Predict(ins1[0], out1); err != ErrUnavailable {
+		t.Fatalf("predict with zero live replicas: got %v, want ErrUnavailable", err)
+	}
+}

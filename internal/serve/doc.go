@@ -65,11 +65,50 @@
 //     parameter storage; sharded groups slice a state snapshot captured at
 //     construction. The server must be idle during a reload.
 //
+// # Failure model
+//
+// Replica ranks are fail-stop: a failed rank stops communicating (in tests
+// and chaos runs, comm.FaultPlan kills it deterministically at a chosen
+// send count), and the whole group fails together — a killed leader
+// unwinds its followers through the collective they share. The front-end
+// rank is trusted (a Config.Fault plan that kills rank 0 is rejected).
+//
+// Detection runs on the front-end's failure monitor, one tick per
+// Config.HeartbeatInterval, with two triggers: a batch unanswered for
+// Config.BatchTimeout, or — only while the replica has nothing in flight,
+// so a long forward pass is never misread as death — heartbeat silence for
+// Config.FailTimeout. Detected replicas are quarantined: removed from the
+// routing set, their world ranks fenced off (comm.World.Fail, which wakes
+// every receive blocked on them), and their in-flight batches stranded
+// onto the retry queue. Stranded batches re-dispatch to surviving replicas
+// under Config.RetryBudget re-sends per batch; when the budget is
+// exhausted the batch fails with ErrFailed, and with zero live replicas
+// admission sheds with ErrUnavailable instead of queueing into a hole.
+// Every (re)dispatch carries a fresh 24-bit sequence number and the
+// collectors accept only the current one, so a batch that was failed over
+// and then answered by both incarnations resolves exactly once
+// (dropped_results counts the discarded duplicates) — and because every
+// replica computes with row-stable kernels, the answer is bitwise
+// identical no matter which replica produced it.
+//
+// Config.RejoinAfter later (negative disables), the monitor respawns the
+// group: it joins the dead incarnation's goroutines, revives the ranks,
+// drains stale communicator state, restores sharded weight shards from the
+// checkpoint captured at construction, and health-probes the new leader
+// until a heartbeat answers — only then does the replica take traffic
+// again. Requests admitted during the outage either ride the surviving
+// replicas or shed; none hang: every accepted request resolves exactly
+// once through a CAS-guarded completion that also arbitrates
+// context-cancellation races (PredictOptions.Ctx).
+//
 // # Observability
 //
 // The server keeps lock-free histograms (request latency at eighth-log2
-// resolution, batch occupancy), shed counters, and per-replica gauges
-// (ranks, batches served, in-flight, heartbeat queue depth). Stats()
-// snapshots them; the HTTP layer exposes them at /statz alongside /healthz
-// and POST /v1/predict.
+// resolution, batch occupancy), shed and failure counters (retries,
+// failovers, quarantines, rejoins, dropped results), and per-replica
+// gauges (ranks, batches served, in-flight, heartbeat queue depth,
+// liveness state). Stats() snapshots them; the HTTP layer exposes them at
+// /statz alongside /healthz — which reports "ok", "degraded" (200, some
+// replicas quarantined but the fleet is serving), or 503 with zero live
+// replicas — and POST /v1/predict.
 package serve

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// Failure detection, quarantine, and rejoin. The monitor goroutine runs on
+// the front-end beside the collectors and ticks at HeartbeatInterval:
+//
+//	detect     a live replica is failed when a batch it owns has gone
+//	           unanswered for BatchTimeout, or — only while it has nothing
+//	           in flight, so a long forward pass is never misread as death
+//	           — when it has been heartbeat-silent for FailTimeout.
+//	quarantine the replica leaves the routing set, its world ranks are
+//	           fenced off with comm.World.Fail (their goroutines unwind on
+//	           their next communication), and its in-flight slots are
+//	           stranded onto the retry queue for re-dispatch.
+//	rejoin     RejoinAfter later (if enabled) the supervisor joins the dead
+//	           incarnation's goroutines, revives the ranks, drains their
+//	           stale mailbox state, restores sharded weight shards from the
+//	           fleet checkpoint, respawns the serving goroutines, and
+//	           health-probes the leader until a heartbeat proves it alive —
+//	           only then does the replica take traffic again.
+//
+// After Close the monitor keeps ticking until every slot is resolved, so
+// batches stranded by a failure during shutdown are still re-routed or
+// failed: no Predict call hangs, even when the fleet dies mid-drain.
+
+// monitor is the front-end's failure detector and rejoin supervisor.
+func (s *Server) monitor() {
+	defer s.wg.Done()
+	f := s.fleet
+	rt := f.rt
+	failNs := s.cfg.FailTimeout.Nanoseconds()
+	batchNs := s.cfg.BatchTimeout.Nanoseconds()
+	rejoinNs := s.cfg.RejoinAfter.Nanoseconds()
+	late := make([]bool, len(rt.reps))
+	tick := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer tick.Stop()
+	for range tick.C {
+		now := time.Now().UnixNano()
+		var kill [][]int
+		var respawn []int
+		rt.mu.Lock()
+		for g := range late {
+			late[g] = false
+		}
+		for slot := range rt.pending {
+			e := &rt.pending[slot]
+			if e.b != nil && e.g >= 0 && now-e.sentAt > batchNs {
+				late[e.g] = true
+			}
+		}
+		for g, rep := range rt.reps {
+			switch repLife(rep.life.Load()) {
+			case repLive:
+				silent := rep.inflight == 0 && now-rep.lastHeard.Load() > failNs
+				if late[g] || silent {
+					rt.quarantineLocked(g, now)
+					kill = append(kill, rep.members)
+				}
+			case repQuarantined:
+				if !rt.stopped && rejoinNs >= 0 && now-rep.quarantinedAt >= rejoinNs {
+					rep.life.Store(int32(repRejoining))
+					rep.probeStart = 0
+					f.respawning.Add(1)
+					respawn = append(respawn, g)
+				}
+			case repRejoining:
+				if rep.probeStart == 0 {
+					break // respawn still in flight
+				}
+				if rep.lastHeard.Load() > rep.probeStart {
+					// Probe answered: the new incarnation is serving.
+					rep.life.Store(int32(repLive))
+					rt.live++
+					rep.inflight = 0
+					s.stats.rejoins.Add(1)
+					rt.dispatchRetriesLocked(now)
+					rt.cond.Broadcast()
+				} else {
+					rt.probeLocked(g)
+				}
+			}
+		}
+		drained := rt.drainedLocked()
+		rt.mu.Unlock()
+		for _, members := range kill {
+			for _, r := range members {
+				f.world.Fail(r)
+			}
+		}
+		for _, g := range respawn {
+			s.wg.Add(1)
+			go s.respawnReplica(g)
+		}
+		if s.batcherExited.Load() && drained && f.respawning.Load() == 0 {
+			return
+		}
+	}
+}
+
+// respawnReplica brings a quarantined replica group back: join the dead
+// incarnation, revive and drain the ranks, restore sharded weights, spawn
+// fresh goroutines, and arm the monitor's probe loop. Runs on its own
+// goroutine (under s.wg); rt.reps[g] stays repRejoining until a probe is
+// answered.
+func (s *Server) respawnReplica(g int) {
+	defer s.wg.Done()
+	defer s.fleet.respawning.Add(-1)
+	f := s.fleet
+	grp := f.groups[g]
+	// Every goroutine of the dead incarnation has hit a communication
+	// operation (kill panics, stop broadcasts) or already exited; join them
+	// so no two incarnations ever share a comm handle.
+	grp.wg.Wait()
+	// The proxy engines are NOT covered by that WaitGroup: an in-flight
+	// engine op (a halo-exchange send, an overlapped result transfer) could
+	// still deposit a stale message after the drain below. Retire them while
+	// the ranks are still fenced — pending ops unwind instantly against the
+	// dead checks — so nothing from the old incarnation can emit traffic
+	// once the ranks are revived.
+	for m := range grp.members {
+		ms := &grp.members[m]
+		ms.c.QuiesceEngine()
+		ms.group.QuiesceEngine()
+	}
+	for _, r := range grp.ranks {
+		f.world.Revive(r)
+	}
+	// Purge stale communicator state before any new goroutine runs. The
+	// leader's queued batches are consumed first so a stop sentinel is not
+	// lost (one here means Close raced the respawn: the new incarnation
+	// must only say goodbye); everything else on each member's mailbox is
+	// then dropped wholesale with DrainAll — the sharded executor splits
+	// sub-communicators internally, so a per-communicator drain would miss
+	// collective fragments a mid-forward kill left on their lines and
+	// silently offset the next incarnation's gathers by one iteration.
+	sawStop := false
+	restoreErr := false
+	for m := range grp.members {
+		ms := &grp.members[m]
+		if m == 0 {
+			for {
+				msg, ok := ms.c.TryRecv(0, tagBatch)
+				if !ok {
+					break
+				}
+				if msg[0] == stopSentinel {
+					sawStop = true
+				}
+				ms.c.Release(msg)
+			}
+		}
+		ms.c.DrainAll()
+		if ms.dnet != nil && f.ck != nil {
+			if err := ms.dnet.LoadCheckpoint(f.ck); err != nil {
+				restoreErr = true
+			}
+		}
+	}
+	if restoreErr {
+		// Cannot restore the shards: fence the group again and let the
+		// monitor schedule another attempt after RejoinAfter.
+		for _, r := range grp.ranks {
+			f.world.Fail(r)
+		}
+		rt := f.rt
+		rt.mu.Lock()
+		rep := rt.reps[g]
+		rep.life.Store(int32(repQuarantined))
+		rep.quarantinedAt = time.Now().UnixNano()
+		rt.mu.Unlock()
+		return
+	}
+	wg := new(sync.WaitGroup)
+	grp.wg = wg
+	for m := range grp.members {
+		wg.Add(1)
+		f.repWG.Add(1)
+		go s.replicaRestart(grp, wg, m, sawStop)
+	}
+	rt := f.rt
+	rt.mu.Lock()
+	rt.reps[g].probeStart = time.Now().UnixNano()
+	rt.mu.Unlock()
+}
+
+// replicaRestart is one member rank of a respawned replica incarnation. It
+// reuses the handles and executor recorded by replicaMain; single-rank
+// replicas keep their immutable shared weights, sharded members had their
+// shards restored by the supervisor before the spawn. When the respawn
+// raced Close (sawStop), the leader only replays the goodbye protocol so
+// the collectors release cleanly.
+func (s *Server) replicaRestart(grp *groupRuntime, wg *sync.WaitGroup, member int, sawStop bool) {
+	defer s.fleet.repWG.Done()
+	defer wg.Done()
+	defer comm.RecoverKilled()
+	ms := &grp.members[member]
+	if member != 0 {
+		if sawStop {
+			return
+		}
+		followerLoop(ms.group, ms.dnet, s.inLen)
+		return
+	}
+	if sawStop {
+		res := comm.GetBuf(resultHdr)
+		res[0], res[1], res[2], res[3] = -1, 0, 0, 0
+		ms.c.SendNoCopy(0, tagResult, res)
+		hb := comm.GetBuf(1)
+		hb[0] = -1
+		ms.c.SendNoCopy(0, tagHB, hb)
+		return
+	}
+	s.leaderLoop(ms.c, ms.ex)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/kernels"
@@ -14,84 +15,187 @@ import (
 // Wire protocol between the front-end rank and replica group leaders, all
 // point-to-point on the world communicator (user tag space):
 //
-//	tagBatch  front-end -> leader   [slot, n, n*inLen rows]; slot < 0: stop
-//	tagResult leader -> front-end   [slot, n, occ, n*outLen rows]; slot < 0: goodbye
+//	tagBatch  front-end -> leader   [slot, seq, n, n*inLen rows]
+//	                                slot -1: stop sentinel; slot -2: health probe
+//	tagResult leader -> front-end   [slot, seq, n, occ, n*outLen rows]; slot < 0: goodbye
 //	tagHB     leader -> front-end   [queueDepth]; < 0: goodbye
 //
 // Slots index the router's pending table; a slot is unique among in-flight
-// batches (it is recycled only after its result returns), and small enough
-// that its float32 encoding is exact. Batch payloads, results, and
-// heartbeats all stage through the comm message pool, so the warm serving
-// path crosses the wire with zero heap allocations.
+// batches (it is recycled only after its result returns or the batch is
+// failed). seq is a monotonically increasing 24-bit submission number —
+// exact in a float32 — re-minted every time a batch is (re)dispatched, so a
+// result is accepted only if it answers the slot's *current* submission:
+// that is the at-most-once delivery guard against late results from a
+// quarantined replica and against fault-injected message duplication.
+// Batch payloads, results, and heartbeats all stage through the comm
+// message pool, so the warm serving path crosses the wire with zero heap
+// allocations.
 //
 // Occupancy heartbeats ride two channels: every result carries the
-// replica's post-batch queue depth (consumption of results is synchronous
-// with the request lifecycle, so this gauge is allocation-free and always
-// fresh at the moment the router frees the slot), and a standalone tagHB
-// message fires only when a dequeue finds an actual backlog (depth > 1) —
-// the one situation where the router benefits from a signal ahead of the
-// next result.
+// replica's post-batch queue depth, and a standalone tagHB message fires
+// when a dequeue finds a backlog (depth > 1), on every idle receive
+// timeout (the liveness signal failure detection keys on), once at serving
+// start (hello), and in answer to a health probe.
 const (
 	tagBatch = iota + 1
 	tagResult
 	tagHB
 )
 
-// resultHdr is the float32 header length of a tagResult message.
-const resultHdr = 3
+// batchHdr and resultHdr are the float32 header lengths of tagBatch and
+// tagResult messages.
+const (
+	batchHdr  = 3
+	resultHdr = 4
+)
+
+// tagBatch control sentinels (in place of a slot index).
+const (
+	stopSentinel  = -1
+	probeSentinel = -2
+)
+
+// repLife is a replica's liveness state in the router.
+type repLife int32
+
+const (
+	// repLive: routable; receives batches.
+	repLive repLife = iota
+	// repQuarantined: failure detected; its ranks are fenced off
+	// (comm.World.Fail) and its stranded batches re-routed.
+	repQuarantined
+	// repRejoining: a fresh incarnation of its rank goroutines is starting
+	// or being health-probed; routable again once a probe answer arrives.
+	repRejoining
+)
+
+func (l repLife) String() string {
+	switch l {
+	case repQuarantined:
+		return "quarantined"
+	case repRejoining:
+		return "rejoining"
+	default:
+		return "live"
+	}
+}
 
 // fleet owns the communication world: rank 0 is the front-end (router +
-// collectors), ranks 1..R are replica ranks, grouped per Config.Groups with
-// the group leader on the group's first world rank. Sharded groups run a
-// placement-sharded nn.DistInferNet collectively; single-rank groups run an
-// nn.InferNet clone.
+// collectors + failure monitor), ranks 1..R are replica ranks, grouped per
+// Config.Groups with the group leader on the group's first world rank.
+// Sharded groups run a placement-sharded nn.DistInferNet collectively;
+// single-rank groups run an nn.InferNet clone.
 type fleet struct {
-	world *comm.World
-	rt    *router
-	repWG sync.WaitGroup // replica rank goroutines
+	world      *comm.World
+	rt         *router
+	repWG      sync.WaitGroup // replica rank goroutines, every incarnation
+	groups     []*groupRuntime
+	ck         *nn.Checkpoint // captured state sharded groups restore from on rejoin
+	respawning atomic.Int32   // replica respawns in flight
+}
+
+// groupRuntime is the supervisor-side record of one replica group: enough
+// state to join a dead incarnation's goroutines and spawn a fresh one.
+type groupRuntime struct {
+	id      int
+	ranks   []int // world ranks, leader first
+	members []memberState
+	wg      *sync.WaitGroup // current incarnation's goroutines
+}
+
+// memberState is one member rank's communication handles and executor,
+// recorded by the first incarnation and reused by respawns (weights for
+// single-rank replicas are immutable and shared; sharded members re-slice
+// theirs from the fleet checkpoint on rejoin).
+type memberState struct {
+	c     *comm.Comm // world communicator handle
+	group *comm.Comm
+	ex    executor         // leader only
+	dnet  *nn.DistInferNet // sharded members only
+}
+
+// liveCount reports how many replicas are currently routable.
+func (f *fleet) liveCount() (live, total int) {
+	for _, rep := range f.rt.reps {
+		total++
+		if repLife(rep.life.Load()) == repLive {
+			live++
+		}
+	}
+	return live, total
 }
 
 // repState is the router's per-replica view.
 type repState struct {
-	leader   int // world rank of the group leader
+	leader   int   // world rank of the group leader
+	members  []int // world ranks of the whole group
 	ranks    int
 	inflight int          // batches sent, result not yet collected (router lock)
 	occ      atomic.Int32 // last heartbeat: batches queued/executing replica-side
 	batches  atomic.Uint64
+	life     atomic.Int32 // repLife
+	// lastHeard is the UnixNano of the last result or heartbeat; the
+	// monitor's silence detector and the rejoin probe ack both key on it.
+	lastHeard atomic.Int64
+	// quarantinedAt / probeStart are UnixNano timestamps under the router
+	// lock: when the quarantine began, and when the rejoin incarnation's
+	// goroutines were (re)spawned (0 while the respawn is still pending).
+	quarantinedAt int64
+	probeStart    int64
 }
 
-// router assigns flushed batches to replica leaders, least-loaded first:
-// the primary signal is the front-end's own in-flight count (hard-capped at
-// QueueDepth per replica), tie-broken by the replica's occupancy heartbeat
-// — a replica that has started crunching reports a shorter queue than one
-// whose batches still wait. Submission blocks only when every replica is at
-// its in-flight cap; that backpressure fills the admission lanes, which
-// shed. The work-stealing dispatcher this replaces balanced queues between
-// same-process workers; with replicas behind a wire, stealing would mean
-// recalling payloads, so balance comes from routing instead.
+// pendingEntry is one in-flight batch in the router's slot table. g is the
+// replica currently responsible; -1 marks a stranded batch queued for
+// re-dispatch after its replica was quarantined.
+type pendingEntry struct {
+	b       *batch
+	seq     uint32
+	g       int
+	lastG   int // previous owner, to count failovers
+	retries int
+	sentAt  int64 // UnixNano of the last dispatch
+}
+
+// router assigns flushed batches to live replica leaders, least-loaded
+// first: the primary signal is the front-end's own in-flight count
+// (hard-capped at QueueDepth per replica), tie-broken by the replica's
+// occupancy heartbeat. Submission blocks only while some live replica
+// exists but all are at their cap; with zero live replicas it fails fast so
+// admission sheds instead of queueing into a hole. Quarantine strands a
+// replica's pending slots onto the retry queue, which drains into
+// surviving replicas as capacity frees (each re-dispatch under the batch's
+// retry budget and with a fresh seq for at-most-once delivery).
 type router struct {
-	c  *comm.Comm // front-end world handle; submit/stop run on the batcher goroutine
-	qd int
+	c      *comm.Comm // front-end world handle (mailbox traffic is goroutine-safe)
+	srv    *Server
+	qd     int
+	budget int
 
 	mu        sync.Mutex
 	cond      *sync.Cond
 	reps      []*repState
-	pending   []*batch
+	pending   []pendingEntry
 	freeSlots []int
+	retryQ    []int // slots stranded by quarantine, awaiting re-dispatch
+	nextSeq   uint32
+	live      int // replicas in repLive
 	next      int // rotating tie-break start, spreads load when all idle
 	stopped   bool
 }
 
-func newRouter(c *comm.Comm, groups []int, qd int) *router {
-	rt := &router{c: c, qd: qd}
+func newRouter(c *comm.Comm, groups []int, qd int, srv *Server) *router {
+	rt := &router{c: c, srv: srv, qd: qd, live: len(groups)}
 	rt.cond = sync.NewCond(&rt.mu)
+	if srv != nil {
+		rt.budget = srv.cfg.RetryBudget
+	}
 	rank := 1
 	for _, ranks := range groups {
 		rt.reps = append(rt.reps, &repState{leader: rank, ranks: ranks})
 		rank += ranks
 	}
 	slots := len(groups) * qd
-	rt.pending = make([]*batch, slots)
+	rt.pending = make([]pendingEntry, slots)
 	rt.freeSlots = make([]int, slots)
 	for i := range rt.freeSlots {
 		rt.freeSlots[i] = slots - 1 - i // pop low slots first (cosmetic)
@@ -99,8 +203,18 @@ func newRouter(c *comm.Comm, groups []int, qd int) *router {
 	return rt
 }
 
-// pick returns the least-loaded replica with in-flight headroom, or -1:
-// lowest in-flight first, heartbeat occupancy as the tie-break, and a
+// seqLocked mints the next submission number; 24 bits keep it exact in the
+// float32 wire encoding, and 0 is reserved for control messages.
+func (rt *router) seqLocked() uint32 {
+	rt.nextSeq = (rt.nextSeq + 1) & (1<<24 - 1)
+	if rt.nextSeq == 0 {
+		rt.nextSeq = 1
+	}
+	return rt.nextSeq
+}
+
+// pick returns the least-loaded live replica with in-flight headroom, or
+// -1: lowest in-flight first, heartbeat occupancy as the tie-break, and a
 // rotating scan start so fully-tied (idle) replicas share the load
 // round-robin. Caller holds rt.mu.
 func (rt *router) pick() int {
@@ -108,7 +222,7 @@ func (rt *router) pick() int {
 	for i := range rt.reps {
 		g := (rt.next + i) % len(rt.reps)
 		rep := rt.reps[g]
-		if rep.inflight >= rt.qd {
+		if repLife(rep.life.Load()) != repLive || rep.inflight >= rt.qd {
 			continue
 		}
 		if best == -1 {
@@ -124,42 +238,159 @@ func (rt *router) pick() int {
 	return best
 }
 
-// submit routes b to the least-loaded replica, blocking while every replica
-// is at its in-flight cap. Called only from the batcher goroutine.
-func (rt *router) submit(b *batch, inLen int) {
+// sendLocked ships slot's batch to replica g's leader. Caller holds rt.mu;
+// mailbox puts never take the router lock, so sending under it is safe.
+func (rt *router) sendLocked(g, slot int) {
+	e := &rt.pending[slot]
+	inLen := rt.srv.inLen
+	msg := comm.GetBuf(batchHdr + e.b.n*inLen)
+	msg[0] = float32(slot)
+	msg[1] = float32(e.seq)
+	msg[2] = float32(e.b.n)
+	copy(msg[batchHdr:], (*e.b.buf)[:e.b.n*inLen])
+	rt.c.SendNoCopy(rt.reps[g].leader, tagBatch, msg)
+}
+
+// submit routes b to the least-loaded live replica, blocking while every
+// live replica is at its in-flight cap. It reports false — without taking
+// the batch — when no live replica exists; the caller fails the batch.
+// Called from the batcher goroutine.
+func (rt *router) submit(b *batch) bool {
 	rt.mu.Lock()
-	var g, slot int
+	defer rt.mu.Unlock()
 	for {
-		if g = rt.pick(); g >= 0 {
-			slot = rt.freeSlots[len(rt.freeSlots)-1]
+		if rt.live == 0 {
+			return false
+		}
+		if g := rt.pick(); g >= 0 {
+			slot := rt.freeSlots[len(rt.freeSlots)-1]
 			rt.freeSlots = rt.freeSlots[:len(rt.freeSlots)-1]
-			rt.pending[slot] = b
+			rt.pending[slot] = pendingEntry{
+				b: b, seq: rt.seqLocked(), g: g, lastG: g,
+				sentAt: time.Now().UnixNano(),
+			}
 			rt.reps[g].inflight++
 			rt.next = (g + 1) % len(rt.reps)
-			break
+			rt.sendLocked(g, slot)
+			return true
 		}
 		rt.cond.Wait()
 	}
-	leader := rt.reps[g].leader
-	rt.mu.Unlock()
-	msg := comm.GetBuf(2 + b.n*inLen)
-	msg[0] = float32(slot)
-	msg[1] = float32(b.n)
-	copy(msg[2:], (*b.buf)[:b.n*inLen])
-	rt.c.SendNoCopy(leader, tagBatch, msg)
 }
 
-// take claims the batch in slot on behalf of replica g's result collector
-// and frees the slot.
-func (rt *router) take(slot, g int) *batch {
+// claim hands the collector the batch answered by (slot, seq), freeing the
+// slot, or nil when the result is stale: the slot was already answered,
+// failed, or re-dispatched under a fresh seq (at-most-once delivery).
+func (rt *router) claim(slot int, seq uint32) *batch {
 	rt.mu.Lock()
-	b := rt.pending[slot]
-	rt.pending[slot] = nil
+	defer rt.mu.Unlock()
+	if slot < 0 || slot >= len(rt.pending) {
+		return nil
+	}
+	e := &rt.pending[slot]
+	if e.b == nil || e.seq != seq {
+		return nil
+	}
+	b := e.b
+	if e.g >= 0 {
+		rt.reps[e.g].inflight--
+	} else {
+		// Stranded awaiting retry, but the old replica's answer made it out
+		// before the kill: accept it and cancel the pending re-dispatch.
+		for i, s := range rt.retryQ {
+			if s == slot {
+				rt.retryQ = append(rt.retryQ[:i], rt.retryQ[i+1:]...)
+				break
+			}
+		}
+	}
+	e.b = nil
 	rt.freeSlots = append(rt.freeSlots, slot)
-	rt.reps[g].inflight--
+	rt.dispatchRetriesLocked(time.Now().UnixNano())
 	rt.cond.Signal()
-	rt.mu.Unlock()
 	return b
+}
+
+// quarantineLocked fences replica g out of the routing set and strands its
+// in-flight slots onto the retry queue. The caller kills the group's world
+// ranks (comm.World.Fail) after releasing the lock.
+func (rt *router) quarantineLocked(g int, now int64) {
+	rep := rt.reps[g]
+	rep.life.Store(int32(repQuarantined))
+	rep.quarantinedAt = now
+	rep.probeStart = 0
+	rep.occ.Store(0)
+	rep.inflight = 0
+	rt.live--
+	rt.srv.stats.quarantined.Add(1)
+	for slot := range rt.pending {
+		e := &rt.pending[slot]
+		if e.b != nil && e.g == g {
+			e.g = -1
+			rt.retryQ = append(rt.retryQ, slot)
+		}
+	}
+	rt.dispatchRetriesLocked(now)
+	rt.cond.Broadcast()
+}
+
+// dispatchRetriesLocked drains the retry queue into live replicas with
+// headroom. A batch whose retry budget is exhausted — or stranded with no
+// live replica left — is failed so its callers never hang.
+func (rt *router) dispatchRetriesLocked(now int64) {
+	for len(rt.retryQ) > 0 {
+		slot := rt.retryQ[0]
+		e := &rt.pending[slot]
+		if rt.live == 0 || e.retries >= rt.budget {
+			rt.retryQ = rt.retryQ[1:]
+			b := e.b
+			e.b = nil
+			rt.freeSlots = append(rt.freeSlots, slot)
+			err := ErrFailed
+			if rt.live == 0 {
+				err = ErrUnavailable
+			}
+			rt.srv.failBatch(b, err)
+			rt.cond.Signal()
+			continue
+		}
+		g := rt.pick()
+		if g < 0 {
+			return // no headroom; resume when a slot frees or a replica rejoins
+		}
+		rt.retryQ = rt.retryQ[1:]
+		e.retries++
+		e.seq = rt.seqLocked()
+		if g != e.lastG {
+			rt.srv.stats.failovers.Add(1)
+		}
+		e.lastG = g
+		e.g = g
+		e.sentAt = now
+		rt.reps[g].inflight++
+		rt.srv.stats.retries.Add(1)
+		rt.sendLocked(g, slot)
+	}
+}
+
+// drainedLocked reports whether every slot is free: nothing in flight,
+// nothing stranded. Caller holds rt.mu.
+func (rt *router) drainedLocked() bool {
+	return len(rt.freeSlots) == len(rt.pending)
+}
+
+func (rt *router) drained() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.drainedLocked()
+}
+
+// probeLocked sends replica g's leader a health probe; a live leader
+// answers with a heartbeat, which is the rejoin acknowledgement.
+func (rt *router) probeLocked(g int) {
+	msg := comm.GetBuf(batchHdr)
+	msg[0], msg[1], msg[2] = probeSentinel, 0, 0
+	rt.c.SendNoCopy(rt.reps[g].leader, tagBatch, msg)
 }
 
 // stop sends every leader the stop sentinel. Mailbox FIFO per (src, tag)
@@ -174,15 +405,16 @@ func (rt *router) stop() {
 	rt.stopped = true
 	rt.mu.Unlock()
 	for _, rep := range rt.reps {
-		msg := comm.GetBuf(2)
-		msg[0], msg[1] = -1, 0
+		msg := comm.GetBuf(batchHdr)
+		msg[0], msg[1], msg[2] = stopSentinel, 0, 0
 		rt.c.SendNoCopy(rep.leader, tagBatch, msg)
 	}
 }
 
 // startFleet builds the communication world, spawns the replica ranks,
 // joins the collective communicator splits as the front-end, and starts the
-// result/heartbeat collectors once every replica reports ready.
+// result/heartbeat collectors and the failure monitor once every replica
+// reports ready.
 func (s *Server) startFleet(model *nn.InferNet) error {
 	groups := s.cfg.Groups
 	total := 1
@@ -197,6 +429,7 @@ func (s *Server) startFleet(model *nn.InferNet) error {
 	if sharded {
 		// Sharded groups slice their weight shards from a captured copy of
 		// the model's full state; single-rank replicas alias it via Clone.
+		// The same capture restores a sharded group's shards on rejoin.
 		var err error
 		ck, err = nn.CaptureState(s.arch.Name, model.Params(), model.Buffers())
 		if err != nil {
@@ -204,7 +437,8 @@ func (s *Server) startFleet(model *nn.InferNet) error {
 		}
 	}
 	world := comm.NewWorld(total)
-	f := &fleet{world: world}
+	world.SetFaultPlan(s.cfg.Fault)
+	f := &fleet{world: world, ck: ck}
 	s.fleet = f
 
 	// Seed the message pool for the fleet's steady-state traffic: batch
@@ -212,12 +446,13 @@ func (s *Server) startFleet(model *nn.InferNet) error {
 	// cushion of heartbeat words (heartbeats are fire-and-forget, so their
 	// in-flight window is scheduling-dependent).
 	slots := len(groups)*s.cfg.QueueDepth + 2
-	comm.Prefill(2+s.cfg.MaxBatch*s.inLen, slots)
+	comm.Prefill(batchHdr+s.cfg.MaxBatch*s.inLen, slots)
 	comm.Prefill(resultHdr+s.cfg.MaxBatch*s.outLen, slots)
+	comm.Prefill(batchHdr, 16)
 	comm.Prefill(1, 64)
 
 	c0 := world.Comm(0)
-	f.rt = newRouter(c0, groups, s.cfg.QueueDepth)
+	f.rt = newRouter(c0, groups, s.cfg.QueueDepth, s)
 
 	// Clone single-rank replicas up front: once the first rank goroutine
 	// spawns, its collective Split can only complete if every rank joins,
@@ -237,13 +472,23 @@ func (s *Server) startFleet(model *nn.InferNet) error {
 		}
 		usedModel = true
 	}
-	ready := make(chan error, total-1)
 	rank := 1
 	for g, ranks := range groups {
+		grp := &groupRuntime{id: g, wg: new(sync.WaitGroup), members: make([]memberState, ranks)}
 		for m := 0; m < ranks; m++ {
+			grp.ranks = append(grp.ranks, rank+m)
+		}
+		f.groups = append(f.groups, grp)
+		f.rt.reps[g].members = grp.ranks
+		rank += ranks
+	}
+	ready := make(chan error, total-1)
+	for g, ranks := range groups {
+		grp := f.groups[g]
+		for m := 0; m < ranks; m++ {
+			grp.wg.Add(1)
 			f.repWG.Add(1)
-			go s.replicaMain(world.Comm(rank), g, m, ranks, reps[g], ck, ready)
-			rank++
+			go s.replicaMain(world.Comm(grp.ranks[m]), grp, grp.wg, m, ranks, reps[g], ck, ready)
 		}
 	}
 	// Join the collective Split every replica rank performs; the front-end
@@ -261,11 +506,17 @@ func (s *Server) startFleet(model *nn.InferNet) error {
 		world.Shutdown()
 		return firstErr
 	}
+	now := time.Now().UnixNano()
+	for _, rep := range f.rt.reps {
+		rep.lastHeard.Store(now)
+	}
 	for g := range groups {
 		s.wg.Add(2)
 		go s.resultCollector(g, c0.Dup())
 		go s.hbCollector(g, c0.Dup())
 	}
+	s.wg.Add(1)
+	go s.monitor()
 	return nil
 }
 
@@ -275,45 +526,87 @@ func (f *fleet) shutdown() {
 	f.world.Shutdown()
 }
 
+// collectorsDone reports whether a collector (or the monitor) may exit on
+// an idle tick after Close: the batcher has submitted its final batch,
+// every slot has been resolved (answered or failed), and no replica
+// respawn is mid-flight. Until then, collectors keep ticking so batches
+// stranded by a late failure are still re-routed or failed — the
+// zero-hung-Predicts guarantee holds through shutdown.
+func (s *Server) collectorsDone() bool {
+	if !s.batcherExited.Load() {
+		return false
+	}
+	return s.fleet.respawning.Load() == 0 && s.fleet.rt.drained()
+}
+
 // resultCollector receives replica g's answers, completes the batched
 // requests, and recycles the batch. One goroutine per replica, each on its
-// own duplicate of the front-end handle.
+// own duplicate of the front-end handle. Receives are deadline-bounded so
+// a dead replica can never wedge the collector; stale results (failed-over
+// batches answered twice, fault-injected duplicates) are dropped by the
+// seq guard in claim.
 func (s *Server) resultCollector(g int, c *comm.Comm) {
 	defer s.wg.Done()
 	rt := s.fleet.rt
-	leader := rt.reps[g].leader
+	rep := rt.reps[g]
+	tick := s.cfg.HeartbeatInterval
 	for {
-		msg := c.Recv(leader, tagResult)
-		if msg[0] < 0 {
+		msg, err := c.RecvTimeout(rep.leader, tagResult, tick)
+		if err != nil {
+			if err == comm.ErrPeerDead {
+				time.Sleep(tick) // dead peer returns instantly; don't spin
+			}
+			if s.collectorsDone() {
+				return
+			}
+			continue
+		}
+		if msg[0] < 0 { // goodbye
 			c.Release(msg)
 			return
 		}
-		slot, n := int(msg[0]), int(msg[1])
-		rt.reps[g].occ.Store(int32(msg[2])) // piggybacked occupancy gauge
-		b := rt.take(slot, g)
-		for i := 0; i < n; i++ {
-			r := b.reqs[i]
-			copy(r.out, msg[resultHdr+i*s.outLen:resultHdr+(i+1)*s.outLen])
-			r.done <- struct{}{}
+		rep.lastHeard.Store(time.Now().UnixNano())
+		rep.occ.Store(int32(msg[3]))
+		b := rt.claim(int(msg[0]), uint32(msg[1]))
+		if b == nil {
+			s.stats.droppedResults.Add(1)
+			c.Release(msg)
+			continue
 		}
-		rt.reps[g].batches.Add(1)
+		n := b.n
+		for i := 0; i < n; i++ {
+			s.resolve(b.reqs[i], nil, msg[resultHdr+i*s.outLen:resultHdr+(i+1)*s.outLen])
+		}
+		rep.batches.Add(1)
 		s.stats.recordBatch(n)
 		s.putBatch(b)
 		c.Release(msg)
 	}
 }
 
-// hbCollector tracks replica g's occupancy heartbeats for the router.
+// hbCollector tracks replica g's occupancy heartbeats for the router and
+// feeds the failure monitor's liveness clock.
 func (s *Server) hbCollector(g int, c *comm.Comm) {
 	defer s.wg.Done()
 	rep := s.fleet.rt.reps[g]
+	tick := s.cfg.HeartbeatInterval
 	for {
-		msg := c.Recv(rep.leader, tagHB)
+		msg, err := c.RecvTimeout(rep.leader, tagHB, tick)
+		if err != nil {
+			if err == comm.ErrPeerDead {
+				time.Sleep(tick)
+			}
+			if s.collectorsDone() {
+				return
+			}
+			continue
+		}
 		v := msg[0]
 		c.Release(msg)
 		if v < 0 {
 			return
 		}
+		rep.lastHeard.Store(time.Now().UnixNano())
 		rep.occ.Store(int32(v))
 	}
 }
@@ -329,12 +622,17 @@ type executor interface {
 }
 
 // replicaMain is one replica rank: it joins its group communicator, builds
-// its executor (leader and followers collectively for sharded groups), and
-// serves. Group leaders talk to the front-end; followers are driven by
-// their leader's broadcasts.
-func (s *Server) replicaMain(c *comm.Comm, groupID, member, ranks int, model *nn.InferNet, ck *nn.Checkpoint, ready chan<- error) {
+// its executor (leader and followers collectively for sharded groups),
+// records its runtime state for the supervisor, and serves. Group leaders
+// talk to the front-end; followers are driven by their leader's
+// broadcasts. A fault-injection kill unwinds the goroutine cleanly via
+// RecoverKilled; the failure monitor quarantines the replica and may later
+// respawn it (replicaRestart).
+func (s *Server) replicaMain(c *comm.Comm, grp *groupRuntime, wg *sync.WaitGroup, member, ranks int, model *nn.InferNet, ck *nn.Checkpoint, ready chan<- error) {
 	defer s.fleet.repWG.Done()
-	group := c.Split(groupID, c.Rank())
+	defer wg.Done()
+	defer comm.RecoverKilled()
+	group := c.Split(grp.id, c.Rank())
 	var ex executor
 	var dnet *nn.DistInferNet
 	var err error
@@ -350,6 +648,7 @@ func (s *Server) replicaMain(c *comm.Comm, groupID, member, ranks int, model *nn
 			ex = newShardExec(dnet, group, s.inLen, s.outLen)
 		}
 	}
+	grp.members[member] = memberState{c: c, group: group, ex: ex, dnet: dnet}
 	ready <- err
 	if err != nil {
 		return
@@ -365,6 +664,8 @@ func (s *Server) replicaMain(c *comm.Comm, groupID, member, ranks int, model *nn
 // (reporting backlog via heartbeats, steady-state occupancy via the result
 // header), execute, and ship results back through the communicator's proxy
 // engine so the send overlaps the next batch's dequeue and forward pass.
+// The dequeue is deadline-bounded: every idle tick emits a heartbeat, which
+// is the liveness signal the front-end's silence detector watches.
 func (s *Server) leaderLoop(c *comm.Comm, ex executor) {
 	queue := make([][]float32, 0, s.cfg.QueueDepth+2)
 	hb := func(depth int) {
@@ -377,9 +678,15 @@ func (s *Server) leaderLoop(c *comm.Comm, ex executor) {
 	var resBuf []float32
 	send := func(*comm.Comm) { c.SendNoCopy(0, tagResult, resBuf) }
 	var pendingSend *comm.Request
+	hb(0) // hello: announce liveness before the first batch
 	for {
 		if len(queue) == 0 {
-			queue = append(queue, c.Recv(0, tagBatch))
+			msg, err := c.RecvTimeout(0, tagBatch, s.cfg.HeartbeatInterval)
+			if err != nil {
+				hb(0) // idle: keep the silence detector fed
+				continue
+			}
+			queue = append(queue, msg)
 		}
 		for {
 			m, ok := c.TryRecv(0, tagBatch)
@@ -396,26 +703,31 @@ func (s *Server) leaderLoop(c *comm.Comm, ex executor) {
 		copy(queue, queue[1:])
 		queue[len(queue)-1] = nil
 		queue = queue[:len(queue)-1]
-		if msg[0] < 0 { // stop sentinel; FIFO puts it after every batch
+		if msg[0] == stopSentinel { // FIFO puts it after every batch
 			c.Release(msg)
 			ex.stop()
 			if pendingSend != nil {
 				pendingSend.Wait()
 			}
 			resBuf = comm.GetBuf(resultHdr)
-			resBuf[0], resBuf[1], resBuf[2] = -1, 0, 0
+			resBuf[0], resBuf[1], resBuf[2], resBuf[3] = -1, 0, 0, 0
 			c.Do(send).Wait() // goodbye, ordered after all results
 			hb(-1)
 			return
 		}
-		n := int(msg[1])
-		out := ex.run(msg[2:2+n*s.inLen], n)
+		if msg[0] == probeSentinel { // health probe: answer with liveness
+			c.Release(msg)
+			hb(len(queue))
+			continue
+		}
+		n := int(msg[2])
+		out := ex.run(msg[batchHdr:batchHdr+n*s.inLen], n)
 		if pendingSend != nil {
 			pendingSend.Wait()
 		}
 		res := comm.GetBuf(resultHdr + n*s.outLen)
-		res[0], res[1] = msg[0], msg[1]
-		res[2] = float32(len(queue)) // post-batch occupancy rides the result
+		res[0], res[1], res[2] = msg[0], msg[1], msg[2]
+		res[3] = float32(len(queue)) // post-batch occupancy rides the result
 		copy(res[resultHdr:], out[:n*s.outLen])
 		c.Release(msg)
 		resBuf = res
@@ -425,7 +737,10 @@ func (s *Server) leaderLoop(c *comm.Comm, ex executor) {
 
 // followerLoop drives a non-leader member of a sharded replica: every
 // iteration mirrors the leader's broadcasts and joins the collective
-// forward.
+// forward. When the leader is killed, the broadcast receive panics with
+// the kill sentinel and replicaMain's RecoverKilled unwinds the follower —
+// the whole group fails together, which keeps its collective state
+// consistent for the rejoin drain.
 func followerLoop(group *comm.Comm, dnet *nn.DistInferNet, inLen int) {
 	var hdr [1]float32
 	staging := dnet.StagingInput()

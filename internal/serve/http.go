@@ -68,6 +68,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz is tri-state: "ok" when every replica is live, "degraded"
+// (still 200 — the fleet is serving) with a live/total detail line when
+// some are quarantined or rejoining, and 503 when the server is closed or
+// no replica is live.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	closed := s.closed
@@ -76,8 +80,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		httpError(w, statusError{http.StatusServiceUnavailable, "closed"})
 		return
 	}
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ok")
+	live, total := s.fleet.liveCount()
+	switch {
+	case live == 0:
+		httpError(w, statusError{http.StatusServiceUnavailable,
+			fmt.Sprintf("no live replicas (0/%d)", total)})
+	case live < total:
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintf(w, "degraded: %d/%d replicas live\n", live, total)
+	default:
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	}
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
@@ -90,6 +104,11 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		"avg_batch":       st.AvgBatch,
 		"shed_full":       st.ShedFull,
 		"shed_expired":    st.ShedExpired,
+		"retries":         st.Retries,
+		"failovers":       st.Failovers,
+		"quarantined":     st.Quarantined,
+		"rejoins":         st.Rejoins,
+		"dropped_results": st.DroppedResults,
 		"p50_us":          st.P50.Microseconds(),
 		"p95_us":          st.P95.Microseconds(),
 		"p99_us":          st.P99.Microseconds(),

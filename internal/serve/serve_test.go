@@ -175,7 +175,7 @@ func TestMaxBatchCoalescing(t *testing.T) {
 }
 
 func TestRouterPicksLeastLoaded(t *testing.T) {
-	rt := newRouter(nil, []int{1, 2, 1}, 2)
+	rt := newRouter(nil, []int{1, 2, 1}, 2, nil)
 	// World ranks: front-end 0, replica 0 on rank 1, replica 1 (2-rank
 	// group) leading on rank 2, replica 2 on rank 4.
 	wantLeaders := []int{1, 2, 4}

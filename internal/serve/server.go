@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/kernels"
 	"repro/internal/nn"
@@ -21,8 +24,19 @@ var (
 	ErrOverloaded = errors.New("serve: overloaded, request shed")
 	// ErrExpired is returned when a request's deadline passed before a
 	// replica could take it; the batcher sheds it rather than spend a
-	// forward pass on an answer the caller no longer wants.
+	// forward pass on an answer the caller no longer wants. An
+	// already-expired deadline (or context) sheds before entering the lane.
 	ErrExpired = errors.New("serve: deadline expired before serving")
+	// ErrCanceled is returned when the request's context was canceled
+	// before a result arrived.
+	ErrCanceled = errors.New("serve: request canceled")
+	// ErrUnavailable is returned when no live replica exists to take the
+	// request: every replica is quarantined (or still rejoining), so the
+	// server fails fast instead of queueing into a hole.
+	ErrUnavailable = errors.New("serve: no live replicas")
+	// ErrFailed is returned when a batch was stranded by replica failures
+	// more times than the retry budget allows.
+	ErrFailed = errors.New("serve: request lost to replica failure, retry budget exhausted")
 )
 
 // Priority classifies a request for admission control: high-priority
@@ -42,8 +56,17 @@ type PredictOptions struct {
 	Priority Priority
 	// Deadline is the caller's latency budget; zero means none. A request
 	// whose deadline passes while it waits is shed with ErrExpired (and
-	// counted) instead of being served late.
+	// counted) instead of being served late. A negative Deadline is
+	// already expired and sheds immediately.
 	Deadline time.Duration
+	// Ctx cancels the call from the caller's side: Predict returns
+	// ErrCanceled (or ErrExpired for a context deadline) as soon as the
+	// context fires, without waiting for the in-flight batch — the result
+	// is discarded when it arrives. A context deadline also bounds the
+	// request like Deadline (the tighter of the two wins); a context that
+	// is already done sheds before entering the admission lane. Nil means
+	// no context.
+	Ctx context.Context
 }
 
 // Config tunes the dynamic micro-batcher, the replica fleet, and admission
@@ -80,6 +103,31 @@ type Config struct {
 	// priority class). A request arriving at a full lane is shed with
 	// ErrOverloaded. Default 4*MaxBatch.
 	PendingRequests int
+
+	// HeartbeatInterval paces the fleet's liveness machinery: idle replica
+	// leaders heartbeat at this period, and the front-end's collectors and
+	// failure monitor tick at it. Default 25ms.
+	HeartbeatInterval time.Duration
+	// FailTimeout quarantines a replica that has nothing in flight yet has
+	// been heartbeat-silent this long. (A replica with batches in flight
+	// is judged by BatchTimeout alone, so a long forward pass is never
+	// misread as death.) Default 500ms.
+	FailTimeout time.Duration
+	// BatchTimeout quarantines a replica when a batch it owns has gone
+	// unanswered this long. Default 2s.
+	BatchTimeout time.Duration
+	// RetryBudget is how many times a batch stranded by replica failure is
+	// re-dispatched before its requests fail with ErrFailed. Default 2;
+	// negative means no retries.
+	RetryBudget int
+	// RejoinAfter is how long a quarantined replica waits before the
+	// supervisor respawns and health-probes it. Default 250ms; negative
+	// disables rejoin (quarantine is permanent).
+	RejoinAfter time.Duration
+	// Fault installs a deterministic fault-injection plan on the fleet's
+	// communication world (chaos testing). World rank 0 is the front-end
+	// and must not be killed. Nil injects nothing.
+	Fault *comm.FaultPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +158,23 @@ func (c Config) withDefaults() Config {
 	if c.PendingRequests <= 0 {
 		c.PendingRequests = 4 * c.MaxBatch
 	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 25 * time.Millisecond
+	}
+	if c.FailTimeout <= 0 {
+		c.FailTimeout = 500 * time.Millisecond
+	}
+	if c.BatchTimeout <= 0 {
+		c.BatchTimeout = 2 * time.Second
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 2
+	} else if c.RetryBudget < 0 {
+		c.RetryBudget = 0
+	}
+	if c.RejoinAfter == 0 {
+		c.RejoinAfter = 250 * time.Millisecond
+	}
 	return c
 }
 
@@ -118,6 +183,17 @@ func (c Config) withDefaults() Config {
 // means "use the default deadline".)
 const Greedy = time.Duration(-1)
 
+// Request resolution states: every accepted request is resolved exactly
+// once, either by the server (resolve: result, shed, or failure) or by its
+// caller abandoning it on context cancellation. The CAS on state decides
+// the race: a resolver that loses must not touch the caller's out slice
+// (the caller has already returned), and recycles the request instead.
+const (
+	reqPending int32 = iota
+	reqServed
+	reqCanceled
+)
+
 // request is one in-flight Predict. Pooled; the done channel (capacity 1)
 // carries exactly one token per use, so recycled requests never see stale
 // signals.
@@ -125,7 +201,9 @@ type request struct {
 	in, out  []float32
 	start    time.Time
 	deadline time.Time // zero: no deadline
-	err      error     // outcome, read after done fires
+	ctx      context.Context
+	state    atomic.Int32
+	err      error // outcome, read after done fires
 	done     chan struct{}
 }
 
@@ -164,6 +242,11 @@ type Server struct {
 	mu     sync.RWMutex // serializes Predict enqueue against Close
 	closed bool
 
+	// batcherExited flips after the batcher's final submission: together
+	// with a drained router and no respawn in flight it releases the
+	// collectors and the failure monitor.
+	batcherExited atomic.Bool
+
 	stats     *statsCollector
 	batchPool sync.Pool
 	ws        *kernels.Workspace
@@ -185,6 +268,11 @@ func New(model *nn.InferNet, cfg Config) (*Server, error) {
 	for g, ranks := range cfg.Groups {
 		if ranks < 1 {
 			return nil, fmt.Errorf("serve: replica group %d has %d ranks", g, ranks)
+		}
+	}
+	if cfg.Fault != nil {
+		if n, ok := cfg.Fault.Kill[0]; ok && n > 0 {
+			return nil, fmt.Errorf("serve: fault plan kills world rank 0, the front-end")
 		}
 	}
 	in, out := model.InShape(), model.OutShape()
@@ -235,6 +323,7 @@ func (s *Server) Stats() Stats {
 			Batches:    rep.batches.Load(),
 			InFlight:   rep.inflight,
 			QueueDepth: int(rep.occ.Load()),
+			State:      repLife(rep.life.Load()).String(),
 		})
 	}
 	rt.mu.Unlock()
@@ -250,7 +339,8 @@ func (s *Server) Predict(in, out []float32) error {
 	return s.PredictOpts(in, out, PredictOptions{})
 }
 
-// PredictOpts is Predict with an explicit priority class and deadline.
+// PredictOpts is Predict with an explicit priority class, deadline, and
+// cancellation context.
 func (s *Server) PredictOpts(in, out []float32, opts PredictOptions) error {
 	if len(in) != s.inLen {
 		return fmt.Errorf("serve: input length %d, want %d", len(in), s.inLen)
@@ -258,15 +348,41 @@ func (s *Server) PredictOpts(in, out []float32, opts PredictOptions) error {
 	if len(out) != s.outLen {
 		return fmt.Errorf("serve: output length %d, want %d", len(out), s.outLen)
 	}
+	now := time.Now()
+	// Pre-lane shed: a deadline or context that is already dead never
+	// enters the admission lane — no batcher slot, no forward pass.
+	var deadline time.Time
+	if opts.Deadline > 0 {
+		deadline = now.Add(opts.Deadline)
+	} else if opts.Deadline < 0 {
+		s.stats.shedExpired.Add(1)
+		return ErrExpired
+	}
+	if ctx := opts.Ctx; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			if err == context.DeadlineExceeded {
+				s.stats.shedExpired.Add(1)
+				return ErrExpired
+			}
+			return ErrCanceled
+		}
+		if dl, ok := ctx.Deadline(); ok {
+			if !dl.After(now) {
+				s.stats.shedExpired.Add(1)
+				return ErrExpired
+			}
+			if deadline.IsZero() || dl.Before(deadline) {
+				deadline = dl
+			}
+		}
+	}
 	r := reqPool.Get().(*request)
 	r.in, r.out = in, out
-	r.start = time.Now()
+	r.start = now
 	r.err = nil
-	if opts.Deadline > 0 {
-		r.deadline = r.start.Add(opts.Deadline)
-	} else {
-		r.deadline = time.Time{}
-	}
+	r.deadline = deadline
+	r.ctx = opts.Ctx
+	r.state.Store(reqPending)
 	lane := s.reqLow
 	if opts.Priority == PriorityHigh {
 		lane = s.reqHigh
@@ -278,7 +394,7 @@ func (s *Server) PredictOpts(in, out []float32, opts PredictOptions) error {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		r.in, r.out = nil, nil
+		r.in, r.out, r.ctx = nil, nil, nil
 		reqPool.Put(r)
 		return ErrClosed
 	}
@@ -290,19 +406,66 @@ func (s *Server) PredictOpts(in, out []float32, opts PredictOptions) error {
 		// without bound.
 		s.mu.RUnlock()
 		s.stats.shedFull.Add(1)
-		r.in, r.out = nil, nil
+		r.in, r.out, r.ctx = nil, nil, nil
 		reqPool.Put(r)
 		return ErrOverloaded
 	}
 
-	<-r.done
+	if r.ctx != nil {
+		select {
+		case <-r.done:
+		case <-r.ctx.Done():
+			cerr := r.ctx.Err()
+			if r.state.CompareAndSwap(reqPending, reqCanceled) {
+				// The request is abandoned in place: whichever resolver
+				// reaches it later loses the CAS, leaves out untouched,
+				// and recycles it. Returning now without recycling is the
+				// at-most-once half of the contract.
+				if cerr == context.DeadlineExceeded {
+					return ErrExpired
+				}
+				return ErrCanceled
+			}
+			// A resolver won the race; its token is (or is about to be) on
+			// the channel.
+			<-r.done
+		}
+	} else {
+		<-r.done
+	}
 	err := r.err
 	if err == nil {
 		s.stats.recordLatency(time.Since(r.start))
 	}
-	r.in, r.out = nil, nil
+	r.in, r.out, r.ctx = nil, nil, nil
 	reqPool.Put(r)
 	return err
+}
+
+// resolve completes r exactly once with a result (err nil: out holds the
+// answer rows) or a failure. If the caller already abandoned the request
+// (context cancellation won the CAS), the out slice must not be written —
+// the caller has returned — and resolve recycles the request on the
+// caller's behalf.
+func (s *Server) resolve(r *request, err error, out []float32) {
+	if !r.state.CompareAndSwap(reqPending, reqServed) {
+		r.in, r.out, r.ctx = nil, nil, nil
+		reqPool.Put(r)
+		return
+	}
+	if err == nil {
+		copy(r.out, out)
+	}
+	r.err = err
+	r.done <- struct{}{}
+}
+
+// failBatch resolves every request of a batch with err and recycles it.
+func (s *Server) failBatch(b *batch, err error) {
+	for i := 0; i < b.n; i++ {
+		s.resolve(b.reqs[i], err, nil)
+	}
+	s.putBatch(b)
 }
 
 // Close stops accepting requests, resolves everything already accepted
@@ -336,12 +499,16 @@ func (s *Server) putBatch(b *batch) {
 }
 
 // add copies r's input into slot n of the forming batch — unless r's
-// deadline has already passed, in which case it is shed on the spot.
+// deadline has already passed or its context was canceled, in which case
+// it is shed on the spot.
 func (s *Server) add(b *batch, r *request) {
 	if !r.deadline.IsZero() && time.Now().After(r.deadline) {
 		s.stats.shedExpired.Add(1)
-		r.err = ErrExpired
-		r.done <- struct{}{}
+		s.resolve(r, ErrExpired, nil)
+		return
+	}
+	if r.ctx != nil && r.ctx.Err() != nil {
+		s.resolve(r, ErrCanceled, nil)
 		return
 	}
 	copy((*b.buf)[b.n*s.inLen:(b.n+1)*s.inLen], r.in)
@@ -380,7 +547,9 @@ func (s *Server) batcher() {
 	}
 	cur := s.getBatch()
 	flush := func() {
-		s.fleet.rt.submit(cur, s.inLen)
+		if !s.fleet.rt.submit(cur) {
+			s.failBatch(cur, ErrUnavailable)
+		}
 		cur = s.getBatch()
 	}
 	for {
@@ -456,6 +625,11 @@ func (s *Server) batcher() {
 // drain resolves every request that made it into a lane before Close
 // flipped the closed flag, then stops the fleet.
 func (s *Server) drain(cur *batch) {
+	submit := func(b *batch) {
+		if !s.fleet.rt.submit(b) {
+			s.failBatch(b, ErrUnavailable)
+		}
+	}
 	for {
 		r := s.popNow()
 		if r == nil {
@@ -463,15 +637,18 @@ func (s *Server) drain(cur *batch) {
 		}
 		s.add(cur, r)
 		if cur.n >= s.cfg.MaxBatch {
-			s.fleet.rt.submit(cur, s.inLen)
+			submit(cur)
 			cur = s.getBatch()
 		}
 	}
 	if cur.n > 0 {
-		s.fleet.rt.submit(cur, s.inLen)
+		submit(cur)
 	} else {
 		s.putBatch(cur)
 	}
+	// From here the router gains no new work: once its slots drain the
+	// monitor may exit, and the stop sentinels below end the leader loops.
+	s.batcherExited.Store(true)
 	s.fleet.rt.stop()
 }
 

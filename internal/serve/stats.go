@@ -25,6 +25,17 @@ type statsCollector struct {
 	shedFull    atomic.Uint64
 	shedExpired atomic.Uint64
 
+	// Failure-path counters. retries counts batch re-dispatches after a
+	// replica failure; failovers is the subset that moved to a different
+	// replica; quarantined and rejoins count replica life transitions;
+	// droppedResults counts stale results discarded by seq dedup (the
+	// at-most-once guard).
+	retries        atomic.Uint64
+	failovers      atomic.Uint64
+	quarantined    atomic.Uint64
+	rejoins        atomic.Uint64
+	droppedResults atomic.Uint64
+
 	latency   [latBuckets]atomic.Uint64
 	occupancy []atomic.Uint64 // index b-1: batches flushed with b requests
 }
@@ -92,6 +103,9 @@ type ReplicaStats struct {
 	// QueueDepth is the replica's last occupancy heartbeat: batches queued
 	// or executing on the replica side.
 	QueueDepth int `json:"queue_depth"`
+	// State is the replica's liveness: "live", "quarantined", or
+	// "rejoining".
+	State string `json:"state"`
 }
 
 // Stats is a point-in-time snapshot of the server's metrics.
@@ -104,6 +118,14 @@ type Stats struct {
 	// ShedExpired counts requests dropped after their deadline passed.
 	ShedFull    uint64 `json:"shed_full"`
 	ShedExpired uint64 `json:"shed_expired"`
+	// Failure-path counters: batch re-dispatches, the subset that changed
+	// replica, replica quarantine/rejoin transitions, and stale results
+	// dropped by the at-most-once seq guard.
+	Retries        uint64 `json:"retries"`
+	Failovers      uint64 `json:"failovers"`
+	Quarantined    uint64 `json:"quarantined"`
+	Rejoins        uint64 `json:"rejoins"`
+	DroppedResults uint64 `json:"dropped_results"`
 	// Latency quantiles are upper bucket edges (~9% resolution).
 	P50 time.Duration `json:"p50_us"`
 	P95 time.Duration `json:"p95_us"`
@@ -116,11 +138,16 @@ type Stats struct {
 
 func (c *statsCollector) snapshot() Stats {
 	s := Stats{
-		Requests:    c.requests.Load(),
-		Batches:     c.batches.Load(),
-		ShedFull:    c.shedFull.Load(),
-		ShedExpired: c.shedExpired.Load(),
-		Occupancy:   make([]uint64, len(c.occupancy)),
+		Requests:       c.requests.Load(),
+		Batches:        c.batches.Load(),
+		ShedFull:       c.shedFull.Load(),
+		ShedExpired:    c.shedExpired.Load(),
+		Retries:        c.retries.Load(),
+		Failovers:      c.failovers.Load(),
+		Quarantined:    c.quarantined.Load(),
+		Rejoins:        c.rejoins.Load(),
+		DroppedResults: c.droppedResults.Load(),
+		Occupancy:      make([]uint64, len(c.occupancy)),
 	}
 	for i := range c.occupancy {
 		s.Occupancy[i] = c.occupancy[i].Load()
