@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2, fig3, fig4, table1, table2, table3, sv3d, ablation, memory, modelcheck, kernels, overlap, placement, all")
+	exp := flag.String("exp", "all", "experiment: fig2, fig3, fig4, table1, table2, table3, sv3d, ablation, memory, modelcheck, kernels, overlap, placement, obs, all")
 	out := flag.String("out", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -67,6 +67,8 @@ func main() {
 		bench.OverlapTable().Write(w)
 	case "placement":
 		bench.PlacementTable().Write(w)
+	case "obs":
+		bench.ObsCalibration().Write(w)
 	case "all":
 		bench.RunAll(m, w)
 	default:

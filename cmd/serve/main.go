@@ -6,7 +6,11 @@
 //
 //	POST /v1/predict   {"input": [C*H*W floats]} -> {"output": [...], "argmax": k}
 //	GET  /healthz      liveness
-//	GET  /statz        latency quantiles, shed counters, per-replica gauges
+//	GET  /statz        latency quantiles, stage decomposition, shed counters,
+//	                   per-replica and process-health gauges
+//	GET  /metrics      the same surface in Prometheus text format
+//	GET  /tracez?dur=1s flight-recorder capture as Chrome trace JSON
+//	                   (load in Perfetto or chrome://tracing)
 //
 // Usage:
 //
@@ -37,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // -pprof: profiles on /debug/pprof/
 	"os"
 	"strconv"
 	"strings"
@@ -46,6 +51,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -66,6 +72,9 @@ func main() {
 	failTimeout := flag.Duration("fail-timeout", 0, "heartbeat silence before an idle replica is declared failed (0 = default)")
 	batchTimeout := flag.Duration("batch-timeout", 0, "unanswered-batch timeout before its replica is declared failed (0 = default)")
 	rejoinAfter := flag.Duration("rejoin-after", 0, "quarantine duration before a failed replica is respawned (0 = default, negative = never)")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/ on the same address")
+	traceOut := flag.String("trace-out", "", "capture a flight-recorder trace at startup and write Chrome trace JSON to this file")
+	traceDur := flag.Duration("trace-dur", time.Second, "capture window for -trace-out")
 	flag.Parse()
 
 	model, err := buildModel(*arch, *size, *channels, *classes, *maxBatch)
@@ -139,10 +148,44 @@ func main() {
 	in := srv.InShape()
 	fmt.Printf("serve: listening on %s — input %dx%dx%d (%d floats), output %d floats, %s, max batch %d, deadline %v\n",
 		*addr, in.C, in.H, in.W, srv.InputLen(), srv.OutputLen(), layout, *maxBatch, *deadline)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	if *traceOut != "" {
+		go captureTrace(*traceOut, *traceDur)
+	}
+	handler := srv.Handler()
+	if *pprofOn {
+		// net/http/pprof registers on DefaultServeMux at import; route
+		// /debug/pprof/ there and everything else to the API.
+		mux := http.NewServeMux()
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		mux.Handle("/", handler)
+		handler = mux
+		fmt.Printf("serve: pprof profiles at http://localhost%s/debug/pprof/\n", *addr)
+	}
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// captureTrace records the flight recorder for dur and writes the window as
+// Chrome trace JSON — the offline twin of GET /tracez for runs where nobody
+// is around to curl it.
+func captureTrace(path string, dur time.Duration) {
+	obs.Enable()
+	time.Sleep(dur)
+	obs.Disable()
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: trace-out: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := obs.WriteChrome(f, obs.Snapshot()); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: trace-out: %v\n", err)
+		return
+	}
+	fmt.Printf("serve: wrote %v flight-recorder trace to %s\n", dur, path)
 }
 
 // parseChaos turns a -chaos spec into a fault plan: comma-separated

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/serve"
+)
+
+// ObsCalibration runs a small serving fleet under open-loop load, reads the
+// flight recorder's per-stage latency decomposition out of the server's
+// stats, and prints it next to the performance model's ServeStages
+// prediction — the calibration loop that keeps the analytic model honest
+// against the measured pipeline.
+func ObsCalibration() *Table {
+	const (
+		size, channels, classes = 8, 3, 4
+		maxBatch                = 8
+		deadline                = 500 * time.Microsecond
+		workers                 = 4
+		perWorker               = 150
+	)
+	model, err := models.SmallCNNForServing(size, channels, classes, maxBatch)
+	if err != nil {
+		panic(err)
+	}
+	srv, err := serve.New(model, serve.Config{
+		Groups:        []int{1, 2},
+		MaxBatch:      maxBatch,
+		BatchDeadline: deadline,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			in := make([]float32, srv.InputLen())
+			for i := range in {
+				in[i] = float32((int64(i)*7+seed)%13) / 13
+			}
+			out := make([]float32, srv.OutputLen())
+			for i := 0; i < perWorker; i++ {
+				_ = srv.Predict(in, out)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	st := srv.Stats()
+
+	m := cpuMachine()
+	flops, bytes, kernels := archForwardCost(model.Arch, int(st.AvgBatch+0.5))
+	pred := m.ServeStages(int(st.AvgBatch+0.5), srv.InputLen(), srv.OutputLen(),
+		flops, bytes, kernels, deadline.Seconds())
+	predFor := map[string]float64{
+		"batch_wait": pred.BatchWait,
+		"route":      pred.Route,
+		"wire":       pred.Wire,
+		"compute":    pred.Compute,
+		"gather":     pred.Gather,
+	}
+
+	t := &Table{
+		Title:  "Serving-stage calibration: measured decomposition vs model",
+		Header: []string{"stage", "count", "measured p50 (µs)", "measured p90 (µs)", "model (µs)"},
+		Note: fmt.Sprintf("smallcnn %dx%dx%d, fleet [1 2], avg batch %.1f, deadline %v; model = cpu-rank ServeStages; queue_wait has no model",
+			channels, size, size, st.AvgBatch, deadline),
+	}
+	for _, sg := range st.Stages {
+		mdl := "-"
+		if p, ok := predFor[sg.Name]; ok {
+			mdl = fmt.Sprintf("%.0f", p*1e6)
+		}
+		t.Rows = append(t.Rows, []string{
+			sg.Name,
+			fmt.Sprintf("%d", sg.Count),
+			fmt.Sprintf("%d", sg.P50.Microseconds()),
+			fmt.Sprintf("%d", sg.P90.Microseconds()),
+			mdl,
+		})
+	}
+	return t
+}
+
+// archForwardCost totals the forward-pass flops, memory bytes, and kernel
+// launches of an architecture at the given batch size, using the same
+// direct-convolution flop counting as the layer model.
+func archForwardCost(a *nn.Arch, batch int) (flops, bytes float64, kernels int) {
+	if batch < 1 {
+		batch = 1
+	}
+	shapes, err := a.Shapes()
+	if err != nil {
+		panic(err)
+	}
+	n := float64(batch)
+	for i, s := range a.Specs {
+		if s.Kind == nn.KindInput {
+			continue
+		}
+		in := shapes[s.Parents[0]]
+		out := shapes[i]
+		inElems := n * float64(in.C*in.H*in.W)
+		outElems := n * float64(out.C*out.H*out.W)
+		switch s.Kind {
+		case nn.KindConv:
+			k := float64(s.Geom.K)
+			flops += 2 * outElems * float64(in.C) * k * k
+			bytes += 4 * (inElems + outElems + float64(s.F*in.C*s.Geom.K*s.Geom.K))
+		default:
+			// BN, ReLU, pools, adds: bandwidth-bound elementwise passes.
+			bytes += 4 * (inElems + outElems)
+		}
+		kernels++
+	}
+	return flops, bytes, kernels
+}

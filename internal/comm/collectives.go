@@ -1,6 +1,10 @@
 package comm
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Op is a reduction operator for reduce-style collectives.
 type Op int
@@ -87,6 +91,7 @@ func (c *Comm) AllreduceAlgo(buf []float32, op Op, algo AllreduceAlgo) {
 	if p == 1 {
 		return
 	}
+	t := obs.Start()
 	switch algo {
 	case AllreduceAuto:
 		if len(buf) >= autoRingThreshold && len(buf) >= p {
@@ -98,9 +103,9 @@ func (c *Comm) AllreduceAlgo(buf []float32, op Op, algo AllreduceAlgo) {
 		if len(buf) < p {
 			// Ring needs at least one element per rank; fall back.
 			c.allreduceRD(buf, op)
-			return
+		} else {
+			c.allreduceRing(buf, op)
 		}
-		c.allreduceRing(buf, op)
 	case AllreduceRecursiveDoubling:
 		c.allreduceRD(buf, op)
 	case AllreduceStableRing:
@@ -108,6 +113,7 @@ func (c *Comm) AllreduceAlgo(buf []float32, op Op, algo AllreduceAlgo) {
 	default:
 		panic(fmt.Sprintf("comm: unknown allreduce algorithm %d", algo))
 	}
+	c.obsColl(obs.StageAllreduce, t, len(buf))
 }
 
 // allreduceRD is recursive doubling with a pre/post phase for non-power-of-
@@ -290,6 +296,7 @@ func (c *Comm) Bcast(buf []float32, root int) {
 	if p == 1 {
 		return
 	}
+	t := obs.Start()
 	// Rotate so root is virtual rank 0.
 	vr := (c.rank - root + p) % p
 	mask := 1
@@ -311,6 +318,7 @@ func (c *Comm) Bcast(buf []float32, root int) {
 		}
 		mask >>= 1
 	}
+	c.obsColl(obs.StageBcast, t, len(buf))
 }
 
 // Reduce reduces buf to root with operator op using a binomial tree; the
@@ -320,11 +328,13 @@ func (c *Comm) Reduce(buf []float32, op Op, root int) {
 	if p == 1 {
 		return
 	}
+	t := obs.Start()
 	vr := (c.rank - root + p) % p
 	for mask := 1; mask < p; mask <<= 1 {
 		if vr&mask != 0 {
 			dst := (vr - mask + root) % p
 			c.Send(dst, tagReduce, buf)
+			c.obsColl(obs.StageReduce, t, len(buf))
 			return
 		}
 		if vr+mask < p {
@@ -334,14 +344,17 @@ func (c *Comm) Reduce(buf []float32, op Op, root int) {
 			putBuf(got)
 		}
 	}
+	c.obsColl(obs.StageReduce, t, len(buf))
 }
 
 // Gather collects each rank's equally-sized contribution into a root-side
 // buffer of p*len(buf) elements (returned on root; nil elsewhere).
 func (c *Comm) Gather(buf []float32, root int) []float32 {
 	p := c.Size()
+	t := obs.Start()
 	if c.rank != root {
 		c.Send(root, tagGather, buf)
+		c.obsColl(obs.StageCollGather, t, len(buf))
 		return nil
 	}
 	out := make([]float32, p*len(buf))
@@ -354,6 +367,7 @@ func (c *Comm) Gather(buf []float32, root int) []float32 {
 		copy(out[r*len(buf):(r+1)*len(buf)], got)
 		putBuf(got)
 	}
+	c.obsColl(obs.StageCollGather, t, len(out))
 	return out
 }
 
@@ -372,6 +386,7 @@ func (c *Comm) Allgather(buf []float32, per int, tag int) {
 	if tag == 0 {
 		tag = tagAllgather
 	}
+	t := obs.Start()
 	next := (c.rank + 1) % p
 	prev := (c.rank - 1 + p) % p
 	for s := 0; s < p-1; s++ {
@@ -382,6 +397,7 @@ func (c *Comm) Allgather(buf []float32, per int, tag int) {
 		copy(buf[recvIdx*per:(recvIdx+1)*per], got)
 		putBuf(got)
 	}
+	c.obsColl(obs.StageAllgather, t, len(buf))
 }
 
 // AllgatherV gathers variable-length contributions: mine is this rank's
@@ -399,6 +415,7 @@ func (c *Comm) AllgatherV(mine []float32, counts []int) []float32 {
 	for i, n := range counts {
 		offs[i+1] = offs[i] + n
 	}
+	t := obs.Start()
 	out := make([]float32, offs[p])
 	copy(out[offs[c.rank]:], mine)
 	next := (c.rank + 1) % p
@@ -411,6 +428,7 @@ func (c *Comm) AllgatherV(mine []float32, counts []int) []float32 {
 		copy(out[offs[recvIdx]:offs[recvIdx+1]], got)
 		putBuf(got)
 	}
+	c.obsColl(obs.StageAllgather, t, len(out))
 	return out
 }
 
@@ -430,11 +448,13 @@ func (c *Comm) ReduceScatter(buf []float32, per int, op Op) []float32 {
 	}
 	// The balanced partition of p*per elements is exactly the p blocks of
 	// per, so the ring's chunk c.rank is this rank's output block.
+	t := obs.Start()
 	scratch := getBuf(len(buf))
 	copy(scratch, buf)
 	c.reduceScatterRing(scratch, op, tagReduceScatter)
 	copy(mine, scratch[c.rank*per:(c.rank+1)*per])
 	putBuf(scratch)
+	c.obsColl(obs.StageReduceScatter, t, len(buf))
 	return mine
 }
 
@@ -498,6 +518,7 @@ func (c *Comm) ReduceScatterStableSlabs(buf []float32, slabs int, counts []int, 
 		copy(mine, buf)
 		return mine
 	}
+	t := obs.Start()
 	// Scatter phase: pack every slab's chunk for owner q into one message.
 	off := 0
 	for q := 0; q < p; q++ {
@@ -534,6 +555,7 @@ func (c *Comm) ReduceScatterStableSlabs(buf []float32, slabs int, counts []int, 
 		}
 		putBuf(contrib)
 	}
+	c.obsColl(obs.StageReduceScatter, t, len(buf))
 	return mine
 }
 
@@ -545,6 +567,11 @@ func (c *Comm) AlltoAllV(send [][]float32) [][]float32 {
 	p := c.Size()
 	if len(send) != p {
 		panic(fmt.Sprintf("comm: AlltoAllV needs %d send buffers, got %d", p, len(send)))
+	}
+	t := obs.Start()
+	words := 0
+	for _, b := range send {
+		words += len(b)
 	}
 	recv := make([][]float32, p)
 	// Stagger the exchange (rank+s pattern) to spread load; eager sends make
@@ -566,6 +593,7 @@ func (c *Comm) AlltoAllV(send [][]float32) [][]float32 {
 		}
 		recv[src] = c.Recv(src, tagAlltoall)
 	}
+	c.obsColl(obs.StageAlltoAll, t, words)
 	return recv
 }
 
@@ -573,10 +601,15 @@ func (c *Comm) AlltoAllV(send [][]float32) [][]float32 {
 // Implemented as a zero-payload dissemination barrier.
 func (c *Comm) Barrier() {
 	p := c.Size()
+	if p == 1 {
+		return
+	}
+	t := obs.Start()
 	for mask, step := 1, 0; mask < p; mask, step = mask<<1, step+1 {
 		dst := (c.rank + mask) % p
 		src := (c.rank - mask + p) % p
 		c.Send(dst, tagBarrier+step, nil)
 		putBuf(c.Recv(src, tagBarrier+step))
 	}
+	c.obsColl(obs.StageBarrier, t, 0)
 }

@@ -3,6 +3,8 @@ package comm
 import (
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Non-blocking collectives in the Aluminum model (Dryden et al., the
@@ -242,10 +244,15 @@ func (e *engine) run() {
 		e.cur = op.req
 		e.mu.Unlock()
 
+		t := obs.Start()
 		if op.fn != nil {
 			op.fn(e.proxy)
 		} else {
 			e.proxy.AllreduceAlgo(op.buf, op.op, op.algo)
+		}
+		if t != 0 {
+			obs.RingFor(e.proxy.group[e.proxy.rank]).Record(
+				obs.StageProxyOp, obs.ClassProxy, 0, t, int64(len(op.buf))*4)
 		}
 		e.mu.Lock()
 		e.cur = nil

@@ -33,7 +33,10 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // msgKey identifies one matching line of a mailbox. Receives in this
@@ -233,6 +236,36 @@ type Comm struct {
 	splitEpoch int64 // number of Split calls performed on this handle
 	eng        *engine
 	timers     map[msgKey]*time.Timer // cached RecvTimeout timers, one per line
+
+	// traceID tags flight-recorder spans emitted by this handle with a
+	// request correlation id (the serving layer's batch seq). Atomic
+	// because the serve leader's result send runs on the proxy-engine
+	// goroutine while the compute goroutine updates the id per batch.
+	traceID atomic.Uint64
+}
+
+// SetTraceID tags subsequent flight-recorder spans from this handle with a
+// request correlation id (0 = untagged). Dup'd and Split handles start at 0.
+func (c *Comm) SetTraceID(id uint64) { c.traceID.Store(id) }
+
+// obsClass derives the flight-recorder tag class of traffic on this handle:
+// proxy-engine shadow communicators carry proxyCommBit in their id,
+// collective tags live at or above tagCollBase, anything else is user
+// point-to-point traffic.
+func (c *Comm) obsClass(tag int) obs.Class {
+	if c.id&proxyCommBit != 0 {
+		return obs.ClassProxy
+	}
+	if tag >= tagCollBase {
+		return obs.ClassColl
+	}
+	return obs.ClassUser
+}
+
+// obsColl records one collective span on the caller's world-rank track.
+// Nil-ring and disabled (start == 0) paths fall through inside Record.
+func (c *Comm) obsColl(st obs.Stage, start int64, words int) {
+	obs.RingFor(c.group[c.rank]).Record(st, obs.ClassColl, c.traceID.Load(), start, int64(words)*4)
 }
 
 // Rank returns the caller's rank within this communicator.
@@ -275,12 +308,17 @@ func (c *Comm) SendNoCopy(dst, tag int, data []float32) {
 		putBuf(data)
 		panic(killedPanic{self})
 	}
+	t := obs.Start()
+	nbytes := int64(len(data)) * 4
 	mb := c.world.mailboxes[c.group[dst]]
 	if f.active.Load() {
 		f.inject(self, mb, c.rank, c.tagOf(tag), data)
-		return
+	} else {
+		mb.put(c.rank, c.tagOf(tag), data)
 	}
-	mb.put(c.rank, c.tagOf(tag), data)
+	if t != 0 {
+		obs.RingFor(self).Record(obs.StageSend, c.obsClass(tag), c.traceID.Load(), t, nbytes)
+	}
 }
 
 // Recv blocks until a message from src with the given tag arrives and
@@ -320,6 +358,7 @@ func (c *Comm) recvWait(src, tag int, timed bool, d time.Duration) ([]float32, e
 	if f.dead[self].Load() {
 		panic(killedPanic{self})
 	}
+	t := obs.Start()
 	srcW := c.group[src]
 	mb := c.world.mailboxes[self]
 	key := msgKey{src, c.tagOf(tag)}
@@ -327,6 +366,7 @@ func (c *Comm) recvWait(src, tag int, timed bool, d time.Duration) ([]float32, e
 	q := mb.line(key)
 	if data, ok := q.pop(); ok {
 		mb.mu.Unlock()
+		c.obsRecvWait(t, tag, data)
 		return data, nil
 	}
 	var tm *time.Timer
@@ -344,6 +384,7 @@ func (c *Comm) recvWait(src, tag int, timed bool, d time.Duration) ([]float32, e
 			if tm != nil {
 				tm.Stop()
 			}
+			c.obsRecvWait(t, tag, data)
 			return data, nil
 		}
 		if f.dead[self].Load() {
@@ -367,6 +408,16 @@ func (c *Comm) recvWait(src, tag int, timed bool, d time.Duration) ([]float32, e
 		}
 		q.cond.Wait()
 	}
+}
+
+// obsRecvWait records one receive-wait span: how long the caller blocked
+// before the matching message arrived (near-zero on the fast path). t is
+// the Start token captured at recvWait entry; zero means tracing was off.
+func (c *Comm) obsRecvWait(t int64, tag int, data []float32) {
+	if t == 0 {
+		return
+	}
+	obs.RingFor(c.group[c.rank]).Record(obs.StageRecv, c.obsClass(tag), c.traceID.Load(), t, int64(len(data))*4)
 }
 
 // lineTimer returns (creating and caching on first use) the handle's wakeup

@@ -3,6 +3,8 @@ package kernels
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Cache-blocking parameters for the packed GEMM. The K dimension is blocked
@@ -37,6 +39,14 @@ func GemmNN(m, n, k int, alpha float32, a []float32, b []float32, beta float32, 
 // the packing overhead GemmNN's small-path dispatch avoids, which is the
 // price of determinism.
 func GemmNNStable(m, n, k int, alpha float32, a []float32, b []float32, beta float32, c []float32) {
+	GemmNNStableTraced(m, n, k, alpha, a, b, beta, c, nil, 0)
+}
+
+// GemmNNStableTraced is GemmNNStable with flight-recorder attribution: when
+// tr is non-nil, per-phase spans (gemm_pack_a, gemm_pack_b, gemm_kernel)
+// tagged with the correlation id land on that ring. A nil tr skips every
+// tracing hook, so the untraced path pays nothing.
+func GemmNNStableTraced(m, n, k int, alpha float32, a []float32, b []float32, beta float32, c []float32, tr *obs.Ring, id uint64) {
 	checkGemm(m, n, k, len(a), len(b), len(c))
 	if m == 0 || n == 0 {
 		return
@@ -45,7 +55,7 @@ func GemmNNStable(m, n, k int, alpha float32, a []float32, b []float32, beta flo
 		scaleC(beta, c[:m*n])
 		return
 	}
-	gemmPacked(false, false, m, n, k, alpha, a, b, beta, c)
+	gemmPacked(false, false, m, n, k, alpha, a, b, beta, c, tr, id)
 }
 
 // GemmNT computes C = alpha*A*Bᵀ + beta*C for row-major A (M x K),
@@ -76,7 +86,7 @@ func gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta 
 		gemmSmall(transA, transB, m, n, k, alpha, a, b, beta, c)
 		return
 	}
-	gemmPacked(transA, transB, m, n, k, alpha, a, b, beta, c)
+	gemmPacked(transA, transB, m, n, k, alpha, a, b, beta, c, nil, 0)
 }
 
 // gemmSmall is the direct (unpacked) path: serial triple loops in the
@@ -154,7 +164,10 @@ func (j gemmComputeJob) RunChunk(lo, hi int) { j.s.computeStrips(lo, hi) }
 // per-tile pre-scale otherwise) — there is no serial pre-pass over C.
 // Compute parallelism is over B strips: tiles in distinct strips touch
 // disjoint C columns.
-func gemmPacked(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+// tr/id carry optional flight-recorder attribution: nil tr means no tracing
+// hooks run at all; with a ring, each pack/compute phase emits one span per
+// panel, arg = work size (elements packed / fused-multiply-adds swept).
+func gemmPacked(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32, tr *obs.Ring, id uint64) {
 	s := gemmStatePool.Get().(*gemmState)
 	s.m, s.n, s.k = m, n, k
 	s.alpha, s.beta = alpha, beta
@@ -175,17 +188,30 @@ func gemmPacked(transA, transB bool, m, n, k int, alpha float32, a, b []float32,
 		s.p0 = p0
 		s.kc = min(gemmKC, k-p0)
 		s.first = p0 == 0
+		var t int64
+		if tr != nil {
+			t = obs.Start()
+		}
 		parallelChunks(s.rp, gemmPackAJob{s})
+		tr.Record(obs.StageGemmPackA, 0, id, t, int64(s.rp*microMR*s.kc))
 		for jj := 0; jj < n; jj += gemmNC {
 			s.jj = jj
 			s.nc = min(gemmNC, n-jj)
 			strips := (s.nc + microNR - 1) / microNR
+			if tr != nil {
+				t = obs.Start()
+			}
 			parallelChunks(strips, gemmPackBJob{s})
+			tr.Record(obs.StageGemmPackB, 0, id, t, int64(s.nc*s.kc))
 			// The compute domain is (strip, row-block) pairs, strip-major:
 			// consecutive work items share a packed B strip (locality), while
 			// the row-block factor keeps tall-skinny problems (few strips)
 			// parallel across rows of C.
+			if tr != nil {
+				t = obs.Start()
+			}
 			parallelChunks(strips*s.rowBlocks, gemmComputeJob{s})
+			tr.Record(obs.StageGemmKernel, 0, id, t, int64(m)*int64(s.nc)*int64(s.kc))
 		}
 	}
 

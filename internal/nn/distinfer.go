@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -57,7 +58,18 @@ type DistInferNet struct {
 	sOff, sSize, dOff, dSize [4]int
 
 	staging *tensor.Tensor // lazily allocated replicated-input buffer
+
+	trace   *obs.Ring // this rank's flight-recorder track; nil = no hooks
+	traceID uint64    // correlation id stamped on spans (serving batch seq)
 }
+
+// SetTrace attaches this rank's flight-recorder ring: Forward then emits
+// per-layer and gather spans on it when tracing is enabled. Nil detaches.
+func (n *DistInferNet) SetTrace(r *obs.Ring) { n.trace = r }
+
+// SetTraceID sets the correlation id stamped on subsequent spans; the
+// serving leader broadcasts the batch seq so every shard rank tags alike.
+func (n *DistInferNet) SetTraceID(id uint64) { n.traceID = id }
 
 // StagingInput returns a preallocated [MaxBatch, C, H, W] tensor suitable
 // as the Forward input: callers (the serving replica loop) copy live rows
@@ -227,9 +239,21 @@ func (n *DistInferNet) Forward(x *tensor.Tensor, live int) *tensor.Tensor {
 		for j, p := range n.Arch.Specs[i].Parents {
 			ins[j] = n.cur[p]
 		}
-		n.cur[i] = n.layers[i].forward(n.ctx, ins)
+		if n.trace != nil {
+			t := obs.Start()
+			n.cur[i] = n.layers[i].forward(n.ctx, ins)
+			n.trace.Record(layerStage(n.Arch.Specs[i].Kind), 0, n.traceID, t, int64(i))
+		} else {
+			n.cur[i] = n.layers[i].forward(n.ctx, ins)
+		}
 	}
-	return n.gatherOutput(n.cur[len(n.cur)-1], live)
+	var t int64
+	if n.trace != nil {
+		t = obs.Start()
+	}
+	out := n.gatherOutput(n.cur[len(n.cur)-1], live)
+	n.trace.Record(obs.StageGather, 0, n.traceID, t, 0)
+	return out
 }
 
 // gatherOutput assembles the channel-partitioned final shard on the leader:

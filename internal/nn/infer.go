@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -38,7 +39,19 @@ type InferNet struct {
 	bufs   []*tensor.Tensor   // capacity-sized output storage (aliased for in-place layers)
 	views  [][]*tensor.Tensor // views[i][b]: batch-b prefix of bufs[i], cached lazily
 	cur    []*tensor.Tensor   // per-forward outputs, reused across calls
+
+	trace   *obs.Ring // flight-recorder track; nil = no tracing hooks at all
+	traceID uint64    // correlation id stamped on spans (serving batch seq)
 }
+
+// SetTrace attaches a flight-recorder ring: subsequent Forward calls emit
+// per-layer spans (and per-phase conv spans) on it when tracing is enabled.
+// Nil detaches; with no ring the forward path runs zero tracing hooks.
+func (n *InferNet) SetTrace(r *obs.Ring) { n.trace = r }
+
+// SetTraceID sets the correlation id stamped on subsequent spans; the
+// serving layer uses the batch sequence number.
+func (n *InferNet) SetTraceID(id uint64) { n.traceID = id }
 
 // NewInferNet instantiates a forward-only engine for arch with capacity for
 // batches of up to maxBatch samples. Weights start He-initialized like
@@ -173,7 +186,17 @@ func (n *InferNet) Forward(x *tensor.Tensor) *tensor.Tensor {
 			ins[j] = n.cur[p]
 		}
 		out := n.view(i, b)
-		n.layers[i].forward(ins, out)
+		if n.trace != nil {
+			t := obs.Start()
+			if cv, ok := n.layers[i].(*inferConv); ok {
+				cv.forwardTraced(ins, out, n.trace, n.traceID)
+			} else {
+				n.layers[i].forward(ins, out)
+			}
+			n.trace.Record(layerStage(n.Arch.Specs[i].Kind), 0, n.traceID, t, int64(i))
+		} else {
+			n.layers[i].forward(ins, out)
+		}
 		n.cur[i] = out
 	}
 	n.cur[0] = nil // drop the caller's input: "never retained" is the contract
@@ -222,6 +245,24 @@ type inferConv struct {
 
 func (l *inferConv) forward(ins [2]*tensor.Tensor, out *tensor.Tensor) {
 	kernels.ConvForwardBatched(ins[0], l.w, l.b, out, l.spec.Geom.S, l.spec.Geom.Pad)
+}
+
+func (l *inferConv) forwardTraced(ins [2]*tensor.Tensor, out *tensor.Tensor, tr *obs.Ring, id uint64) {
+	kernels.ConvForwardBatchedTraced(ins[0], l.w, l.b, out, l.spec.Geom.S, l.spec.Geom.Pad, tr, id)
+}
+
+// layerStage maps a layer kind to its flight-recorder stage so traces
+// separate conv time (which nests the gemm phases) from batchnorm and the
+// cheap elementwise layers.
+func layerStage(k Kind) obs.Stage {
+	switch k {
+	case KindConv:
+		return obs.StageLayerConv
+	case KindBatchNorm:
+		return obs.StageLayerBN
+	default:
+		return obs.StageLayerOther
+	}
 }
 
 func (l *inferConv) params(name string) []Param {

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteChrome renders events as Chrome trace-event JSON (the "JSON array
+// format" understood by Perfetto and chrome://tracing): one complete-event
+// ("ph":"X") record per span, one track ("tid") per comm world rank, with
+// thread-name metadata so Perfetto labels each track "rank N". Timestamps
+// are microseconds relative to the earliest span in the snapshot.
+func WriteChrome(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	var base int64
+	maxTrack := 0
+	for i, ev := range events {
+		if i == 0 || ev.Start < base {
+			base = ev.Start
+		}
+		if ev.Track > maxTrack {
+			maxTrack = ev.Track
+		}
+	}
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	emit(`{"ph":"M","name":"process_name","pid":1,"args":{"name":"serve"}}`)
+	for t := 0; t <= maxTrack; t++ {
+		emit(`{"ph":"M","name":"thread_name","pid":1,"tid":%d,"args":{"name":"rank %d"}}`, t, t)
+	}
+	for _, ev := range events {
+		cat := ev.Class.String()
+		if cat == "" {
+			cat = "span"
+		}
+		emit(`{"name":%q,"cat":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{"id":%d,"arg":%d}}`,
+			ev.Stage.String(), cat,
+			float64(ev.Start-base)/1e3, float64(ev.Dur)/1e3,
+			ev.Track, ev.ID, ev.Arg)
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,41 @@
+package perfmodel
+
+// ServingStages is the model's per-stage latency prediction (seconds) for
+// one batch moving through the serving pipeline, mirroring the stages the
+// server's flight recorder measures (internal/serve): batch formation, the
+// router handoff, the batch on the wire, the forward pass, and the result
+// trip back. Queue wait has no model — under open-loop light load it is
+// scheduling noise; under overload it is unbounded.
+type ServingStages struct {
+	BatchWait float64 // expected residence in a forming batch
+	Route     float64 // router submit -> batch on the wire
+	Wire      float64 // batch bytes, front end -> replica leader
+	Compute   float64 // replica forward pass
+	Gather    float64 // result bytes, leader -> front end
+}
+
+// ServeStages predicts stage times for a batch of `batch` samples with
+// inLen/outLen float32s per sample, a forward pass of flops total work and
+// bytes total memory traffic spread over kernels launches, under a batch
+// deadline of `deadline` seconds.
+//
+// Batch wait is deadline/2: under open-loop arrivals the first request of a
+// batch waits the full deadline and the last nearly none. Wire and gather
+// are alpha-beta point-to-point costs of the header-plus-payload messages on
+// the intra-node link (the serving substrate's mailboxes are in-process
+// memcpys). Compute is the device roofline over the whole forward pass plus
+// per-launch overhead for each kernel after the first.
+func (m Machine) ServeStages(batch, inLen, outLen int, flops, bytes float64, kernels int, deadline float64) ServingStages {
+	const hdr = 6 // result header floats; batch header is 5 — close enough
+	compute := m.kernelTime(flops, bytes, 1e9)
+	if kernels > 1 {
+		compute += float64(kernels-1) * m.KernelOverhead
+	}
+	return ServingStages{
+		BatchWait: deadline / 2,
+		Route:     m.IntraAlpha,
+		Wire:      m.SendRecv(4*float64(hdr+batch*inLen), true),
+		Compute:   compute,
+		Gather:    m.SendRecv(4*float64(hdr+batch*outLen), true),
+	}
+}

@@ -105,10 +105,38 @@
 //
 // The server keeps lock-free histograms (request latency at eighth-log2
 // resolution, batch occupancy), shed and failure counters (retries,
-// failovers, quarantines, rejoins, dropped results), and per-replica
-// gauges (ranks, batches served, in-flight, heartbeat queue depth,
-// liveness state). Stats() snapshots them; the HTTP layer exposes them at
-// /statz alongside /healthz — which reports "ok", "degraded" (200, some
-// replicas quarantined but the fleet is serving), or 503 with zero live
-// replicas — and POST /v1/predict.
+// failovers, quarantines, rejoins, dropped results), per-replica gauges
+// (ranks, batches served, in-flight, heartbeat queue depth, liveness
+// state), and process-health gauges (goroutines, GC pause total, heap in
+// use). Stats() snapshots them; the HTTP layer exposes them at /statz
+// alongside /healthz — which reports "ok", "degraded" (200, some replicas
+// quarantined but the fleet is serving), or 503 with zero live replicas —
+// and POST /v1/predict.
+//
+// Request time is decomposed by pipeline stage: queue wait (admission to
+// batch membership) and batch wait (batch open to flush) on the front end;
+// route, wire, compute, and gather from timing fields the wire protocol
+// carries in its headers — the dispatch timestamp rides out with each
+// batch, and the leader reports wire and compute microseconds back in the
+// result header, so the decomposition costs no extra messages. Each stage
+// gets its own always-on histogram (recording is two atomic adds);
+// /statz reports per-stage p50/p90/p99 and GET /metrics exports
+// everything in Prometheus text format (serve_*_total counters,
+// serve_request_latency_seconds and serve_stage_latency_seconds{stage=...}
+// histograms at octave resolution, go_* process gauges).
+//
+// On top of the aggregates sits the flight recorder (internal/obs): an
+// always-compiled-in, zero-allocation tracer whose disabled cost is one
+// atomic load per hook. When enabled it records spans for the request
+// lifecycle on the front-end track (admission, batch formation, route,
+// gather), wire and compute on each replica leader's track, per-layer and
+// GEMM/im2col phases on every replica rank, and comm sends/collectives —
+// all tagged with the batch's sequence number, so one request correlates
+// across layers and ranks. GET /tracez?dur=1s (or cmd/serve -trace-out)
+// captures a window and emits Chrome trace-event JSON: load it in Perfetto
+// (ui.perfetto.dev) or chrome://tracing, one track per comm rank. The
+// calibration loop `bench -exp obs` prints the measured stage
+// decomposition next to the performance model's ServeStages prediction.
+// cmd/serve -pprof adds net/http/pprof under /debug/pprof/ on the same
+// listener.
 package serve

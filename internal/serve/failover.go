@@ -209,7 +209,8 @@ func (s *Server) replicaRestart(grp *groupRuntime, wg *sync.WaitGroup, member in
 	}
 	if sawStop {
 		res := comm.GetBuf(resultHdr)
-		res[0], res[1], res[2], res[3] = -1, 0, 0, 0
+		res[0], res[1], res[2] = -1, 0, 0
+		res[3], res[4], res[5] = 0, 0, 0
 		ms.c.SendNoCopy(0, tagResult, res)
 		hb := comm.GetBuf(1)
 		hb[0] = -1

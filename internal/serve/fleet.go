@@ -9,15 +9,25 @@ import (
 	"repro/internal/comm"
 	"repro/internal/kernels"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
 // Wire protocol between the front-end rank and replica group leaders, all
 // point-to-point on the world communicator (user tag space):
 //
-//	tagBatch  front-end -> leader   [slot, seq, n, n*inLen rows]
+//	tagBatch  front-end -> leader   [slot, seq, n, sentHi, sentLo, n*inLen rows]
 //	                                slot -1: stop sentinel; slot -2: health probe
-//	tagResult leader -> front-end   [slot, seq, n, occ, n*outLen rows]; slot < 0: goodbye
+//	tagResult leader -> front-end   [slot, seq, n, occ, wireUS, computeUS,
+//	                                 n*outLen rows]; slot < 0: goodbye
+//
+// sentHi/sentLo carry the dispatch time as microseconds since the server's
+// epoch, split hi = us>>20, lo = us&(2^20-1) so both halves stay exact in a
+// float32 (24-bit mantissa) for over two centuries of uptime. The leader —
+// same process, same clock — prices the wire stage against it and reports
+// wireUS (send -> dequeue) and computeUS (executor forward) back in the
+// result header, feeding the latency-decomposition histograms and the
+// flight recorder without any extra messages.
 //	tagHB     leader -> front-end   [queueDepth]; < 0: goodbye
 //
 // Slots index the router's pending table; a slot is unique among in-flight
@@ -45,8 +55,8 @@ const (
 // batchHdr and resultHdr are the float32 header lengths of tagBatch and
 // tagResult messages.
 const (
-	batchHdr  = 3
-	resultHdr = 4
+	batchHdr  = 5
+	resultHdr = 6
 )
 
 // tagBatch control sentinels (in place of a slot index).
@@ -247,7 +257,11 @@ func (rt *router) sendLocked(g, slot int) {
 	msg[0] = float32(slot)
 	msg[1] = float32(e.seq)
 	msg[2] = float32(e.b.n)
+	sentUS := (time.Now().UnixNano() - rt.srv.epochNs) / 1000
+	msg[3] = float32(sentUS >> 20)
+	msg[4] = float32(sentUS & (1<<20 - 1))
 	copy(msg[batchHdr:], (*e.b.buf)[:e.b.n*inLen])
+	rt.c.SetTraceID(uint64(e.seq))
 	rt.c.SendNoCopy(rt.reps[g].leader, tagBatch, msg)
 }
 
@@ -256,6 +270,7 @@ func (rt *router) sendLocked(g, slot int) {
 // the batch — when no live replica exists; the caller fails the batch.
 // Called from the batcher goroutine.
 func (rt *router) submit(b *batch) bool {
+	t0 := time.Now()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	for {
@@ -265,33 +280,58 @@ func (rt *router) submit(b *batch) bool {
 		if g := rt.pick(); g >= 0 {
 			slot := rt.freeSlots[len(rt.freeSlots)-1]
 			rt.freeSlots = rt.freeSlots[:len(rt.freeSlots)-1]
+			seq := rt.seqLocked()
 			rt.pending[slot] = pendingEntry{
-				b: b, seq: rt.seqLocked(), g: g, lastG: g,
+				b: b, seq: seq, g: g, lastG: g,
 				sentAt: time.Now().UnixNano(),
 			}
 			rt.reps[g].inflight++
 			rt.next = (g + 1) % len(rt.reps)
 			rt.sendLocked(g, slot)
+			rt.srv.recordDispatch(b, seq, t0)
 			return true
 		}
 		rt.cond.Wait()
 	}
 }
 
+// recordDispatch feeds the latency decomposition and the flight recorder
+// at the moment a batch hits the wire: batch-wait and route stage
+// histograms (always on), plus — only while tracing — admission spans for
+// every rider, the batch-formation span, and the route span, all on the
+// front-end's track (world rank 0), correlated by seq.
+func (s *Server) recordDispatch(b *batch, seq uint32, routeStart time.Time) {
+	now := time.Now()
+	s.stats.recordStage(stgBatchWait, now.Sub(time.Unix(0, b.openedAt)))
+	s.stats.recordStage(stgRoute, now.Sub(routeStart))
+	if !obs.Enabled() {
+		return
+	}
+	nowNs := now.UnixNano()
+	r0 := obs.RingFor(0)
+	for i := 0; i < b.n; i++ {
+		r0.RecordSpan(obs.StageAdmission, 0, uint64(seq), b.reqs[i].start.UnixNano(), nowNs, int64(b.n))
+	}
+	r0.RecordSpan(obs.StageBatch, 0, uint64(seq), b.openedAt, nowNs, int64(b.n))
+	r0.RecordSpan(obs.StageRoute, 0, uint64(seq), routeStart.UnixNano(), nowNs, int64(b.n))
+}
+
 // claim hands the collector the batch answered by (slot, seq), freeing the
 // slot, or nil when the result is stale: the slot was already answered,
 // failed, or re-dispatched under a fresh seq (at-most-once delivery).
-func (rt *router) claim(slot int, seq uint32) *batch {
+// sentAt is the accepted batch's last dispatch time (UnixNano), so the
+// collector can split the round trip into wire/compute/gather.
+func (rt *router) claim(slot int, seq uint32) (b *batch, sentAt int64) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if slot < 0 || slot >= len(rt.pending) {
-		return nil
+		return nil, 0
 	}
 	e := &rt.pending[slot]
 	if e.b == nil || e.seq != seq {
-		return nil
+		return nil, 0
 	}
-	b := e.b
+	b, sentAt = e.b, e.sentAt
 	if e.g >= 0 {
 		rt.reps[e.g].inflight--
 	} else {
@@ -308,7 +348,7 @@ func (rt *router) claim(slot int, seq uint32) *batch {
 	rt.freeSlots = append(rt.freeSlots, slot)
 	rt.dispatchRetriesLocked(time.Now().UnixNano())
 	rt.cond.Signal()
-	return b
+	return b, sentAt
 }
 
 // quarantineLocked fences replica g out of the routing set and strands its
@@ -389,7 +429,8 @@ func (rt *router) drained() bool {
 // answers with a heartbeat, which is the rejoin acknowledgement.
 func (rt *router) probeLocked(g int) {
 	msg := comm.GetBuf(batchHdr)
-	msg[0], msg[1], msg[2] = probeSentinel, 0, 0
+	msg[0], msg[1], msg[2], msg[3], msg[4] = probeSentinel, 0, 0, 0, 0
+	rt.c.SetTraceID(0)
 	rt.c.SendNoCopy(rt.reps[g].leader, tagBatch, msg)
 }
 
@@ -404,9 +445,10 @@ func (rt *router) stop() {
 	}
 	rt.stopped = true
 	rt.mu.Unlock()
+	rt.c.SetTraceID(0)
 	for _, rep := range rt.reps {
 		msg := comm.GetBuf(batchHdr)
-		msg[0], msg[1], msg[2] = stopSentinel, 0, 0
+		msg[0], msg[1], msg[2], msg[3], msg[4] = stopSentinel, 0, 0, 0, 0
 		rt.c.SendNoCopy(rep.leader, tagBatch, msg)
 	}
 }
@@ -440,6 +482,10 @@ func (s *Server) startFleet(model *nn.InferNet) error {
 	world.SetFaultPlan(s.cfg.Fault)
 	f := &fleet{world: world, ck: ck}
 	s.fleet = f
+
+	// Size the flight recorder: one track per world rank. Configure only
+	// grows the shared table, so servers created in sequence coexist.
+	obs.Configure(total, 1<<12)
 
 	// Seed the message pool for the fleet's steady-state traffic: batch
 	// payloads and results bounded by the in-flight slots, plus a deep
@@ -565,13 +611,32 @@ func (s *Server) resultCollector(g int, c *comm.Comm) {
 			c.Release(msg)
 			return
 		}
-		rep.lastHeard.Store(time.Now().UnixNano())
+		now := time.Now()
+		rep.lastHeard.Store(now.UnixNano())
 		rep.occ.Store(int32(msg[3]))
-		b := rt.claim(int(msg[0]), uint32(msg[1]))
+		b, sentAt := rt.claim(int(msg[0]), uint32(msg[1]))
 		if b == nil {
 			s.stats.droppedResults.Add(1)
 			c.Release(msg)
 			continue
+		}
+		// Decompose the round trip: the leader reported wire (send ->
+		// dequeue) and compute (executor forward) in the result header; the
+		// remainder of sent -> claimed is the gather stage (result wire
+		// transfer + collector scheduling).
+		wire := time.Duration(msg[4]) * time.Microsecond
+		compute := time.Duration(msg[5]) * time.Microsecond
+		gather := now.Sub(time.Unix(0, sentAt)) - wire - compute
+		if gather < 0 {
+			gather = 0
+		}
+		s.stats.recordStage(stgWire, wire)
+		s.stats.recordStage(stgCompute, compute)
+		s.stats.recordStage(stgGather, gather)
+		if obs.Enabled() {
+			nowNs := now.UnixNano()
+			obs.RingFor(0).RecordSpan(obs.StageGather, 0, uint64(msg[1]),
+				nowNs-int64(gather), nowNs, int64(b.n))
 		}
 		n := b.n
 		for i := 0; i < n; i++ {
@@ -616,6 +681,10 @@ func (s *Server) hbCollector(g int, c *comm.Comm) {
 // executor, valid until the next run).
 type executor interface {
 	run(rows []float32, n int) []float32
+	// trace sets the flight-recorder correlation id for the next run:
+	// single-rank executors stamp their InferNet, sharded leaders also
+	// broadcast it so follower ranks tag the same request.
+	trace(id uint64)
 	// stop releases group members (sharded executors broadcast the stop
 	// sentinel to their followers).
 	stop()
@@ -637,6 +706,7 @@ func (s *Server) replicaMain(c *comm.Comm, grp *groupRuntime, wg *sync.WaitGroup
 	var dnet *nn.DistInferNet
 	var err error
 	if ranks == 1 {
+		model.SetTrace(obs.RingFor(c.Rank()))
 		ex = newLocalExec(model, s.cfg.MaxBatch, s.inLen, s.outLen)
 	} else {
 		pls := nn.ShardedPlacements(s.arch, ranks, s.cfg.ShardSplit)
@@ -645,6 +715,7 @@ func (s *Server) replicaMain(c *comm.Comm, grp *groupRuntime, wg *sync.WaitGroup
 			err = dnet.LoadCheckpoint(ck)
 		}
 		if err == nil {
+			dnet.SetTrace(obs.RingFor(c.Rank()))
 			ex = newShardExec(dnet, group, s.inLen, s.outLen)
 		}
 	}
@@ -710,7 +781,8 @@ func (s *Server) leaderLoop(c *comm.Comm, ex executor) {
 				pendingSend.Wait()
 			}
 			resBuf = comm.GetBuf(resultHdr)
-			resBuf[0], resBuf[1], resBuf[2], resBuf[3] = -1, 0, 0, 0
+			resBuf[0], resBuf[1], resBuf[2] = -1, 0, 0
+			resBuf[3], resBuf[4], resBuf[5] = 0, 0, 0
 			c.Do(send).Wait() // goodbye, ordered after all results
 			hb(-1)
 			return
@@ -721,13 +793,42 @@ func (s *Server) leaderLoop(c *comm.Comm, ex executor) {
 			continue
 		}
 		n := int(msg[2])
+		seq := uint64(msg[1])
+		// Price the wire stage against the dispatch timestamp carried in
+		// the header (same process, same clock); clamp into the 24 exact
+		// float32 bits for the trip back.
+		sentUS := int64(msg[3])<<20 | int64(msg[4])
+		wireUS := (time.Now().UnixNano()-s.epochNs)/1000 - sentUS
+		if wireUS < 0 {
+			wireUS = 0
+		} else if wireUS >= 1<<24 {
+			wireUS = 1<<24 - 1
+		}
+		if obs.Enabled() {
+			sentNs := s.epochNs + sentUS*1000
+			obs.RingFor(c.Rank()).RecordSpan(obs.StageWire, 0, seq,
+				sentNs, sentNs+wireUS*1000, int64(len(msg))*4)
+		}
+		ex.trace(seq)
+		c.SetTraceID(seq)
+		t0 := time.Now()
 		out := ex.run(msg[batchHdr:batchHdr+n*s.inLen], n)
+		computeUS := time.Since(t0).Microseconds()
+		if computeUS >= 1<<24 {
+			computeUS = 1<<24 - 1
+		}
+		if obs.Enabled() {
+			obs.RingFor(c.Rank()).RecordSpan(obs.StageCompute, 0, seq,
+				t0.UnixNano(), t0.UnixNano()+computeUS*1000, int64(n))
+		}
 		if pendingSend != nil {
 			pendingSend.Wait()
 		}
 		res := comm.GetBuf(resultHdr + n*s.outLen)
 		res[0], res[1], res[2] = msg[0], msg[1], msg[2]
 		res[3] = float32(len(queue)) // post-batch occupancy rides the result
+		res[4] = float32(wireUS)
+		res[5] = float32(computeUS)
 		copy(res[resultHdr:], out[:n*s.outLen])
 		c.Release(msg)
 		resBuf = res
@@ -742,7 +843,7 @@ func (s *Server) leaderLoop(c *comm.Comm, ex executor) {
 // the whole group fails together, which keeps its collective state
 // consistent for the rejoin drain.
 func followerLoop(group *comm.Comm, dnet *nn.DistInferNet, inLen int) {
-	var hdr [1]float32
+	var hdr [2]float32
 	staging := dnet.StagingInput()
 	for {
 		group.Bcast(hdr[:], 0)
@@ -750,6 +851,12 @@ func followerLoop(group *comm.Comm, dnet *nn.DistInferNet, inLen int) {
 		if n < 0 {
 			return
 		}
+		// hdr[1] is the leader's trace correlation id (the batch seq): tag
+		// this rank's spans — and its collective traffic — with the same
+		// request the leader is serving.
+		id := uint64(hdr[1])
+		dnet.SetTraceID(id)
+		group.SetTraceID(id)
 		group.Bcast(staging.Data()[:n*inLen], 0)
 		dnet.Forward(staging, n)
 	}
@@ -786,6 +893,8 @@ func (e *localExec) run(rows []float32, n int) []float32 {
 	return y.Data()[:n*e.outLen]
 }
 
+func (e *localExec) trace(id uint64) { e.net.SetTraceID(id) }
+
 func (e *localExec) stop() {}
 
 // shardExec serves a multi-rank replica: the leader broadcasts the batch to
@@ -795,7 +904,8 @@ type shardExec struct {
 	net           *nn.DistInferNet
 	group         *comm.Comm
 	staging       *tensor.Tensor
-	hdr           [1]float32
+	hdr           [2]float32 // [n, traceID]; n < 0 = stop
+	id            uint64     // pending trace correlation id for the next run
 	inLen, outLen int
 }
 
@@ -813,6 +923,7 @@ func newShardExec(net *nn.DistInferNet, group *comm.Comm, inLen, outLen int) *sh
 
 func (e *shardExec) run(rows []float32, n int) []float32 {
 	e.hdr[0] = float32(n)
+	e.hdr[1] = float32(e.id) // 24-bit seq, exact in a float32
 	e.group.Bcast(e.hdr[:], 0)
 	copy(e.staging.Data()[:n*e.inLen], rows)
 	e.group.Bcast(e.staging.Data()[:n*e.inLen], 0)
@@ -820,7 +931,13 @@ func (e *shardExec) run(rows []float32, n int) []float32 {
 	return y.Data()[:n*e.outLen]
 }
 
+func (e *shardExec) trace(id uint64) {
+	e.id = id
+	e.net.SetTraceID(id)
+	e.group.SetTraceID(id)
+}
+
 func (e *shardExec) stop() {
-	e.hdr[0] = -1
+	e.hdr[0], e.hdr[1] = -1, 0
 	e.group.Bcast(e.hdr[:], 0)
 }

@@ -27,7 +27,8 @@ type statusError struct {
 	msg  string
 }
 
-// Handler returns the HTTP API: POST /v1/predict, GET /healthz, GET /statz.
+// Handler returns the HTTP API: POST /v1/predict, GET /healthz, GET /statz,
+// GET /metrics (Prometheus text), GET /tracez?dur=1s (Chrome trace JSON).
 // The HTTP layer allocates per request (JSON marshaling); the zero-alloc
 // path is the in-process Client.
 func (s *Server) Handler() http.Handler {
@@ -35,6 +36,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statz", s.handleStatz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/tracez", s.handleTracez)
 	return mux
 }
 
@@ -110,14 +113,35 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		"rejoins":         st.Rejoins,
 		"dropped_results": st.DroppedResults,
 		"p50_us":          st.P50.Microseconds(),
+		"p90_us":          st.P90.Microseconds(),
 		"p95_us":          st.P95.Microseconds(),
 		"p99_us":          st.P99.Microseconds(),
 		"batch_occupancy": st.Occupancy,
+		"stages":          statzStages(st.Stages),
 		"replicas":        st.Replicas,
 		"replica_groups":  s.cfg.Groups,
 		"max_batch":       s.cfg.MaxBatch,
 		"deadline_us":     s.cfg.BatchDeadline.Microseconds(),
+		"goroutines":      st.Goroutines,
+		"gc_pause_us":     st.GCPauseTotal.Microseconds(),
+		"heap_inuse":      st.HeapInuse,
 	})
+}
+
+// statzStages re-renders StageStats with microsecond quantiles, matching
+// the *_us field-name convention of the rest of /statz.
+func statzStages(stages []StageStats) []map[string]any {
+	out := make([]map[string]any, len(stages))
+	for i, st := range stages {
+		out[i] = map[string]any{
+			"name":   st.Name,
+			"count":  st.Count,
+			"p50_us": st.P50.Microseconds(),
+			"p90_us": st.P90.Microseconds(),
+			"p99_us": st.P99.Microseconds(),
+		}
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

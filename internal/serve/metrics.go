@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file is the pull side of the observability surface: GET /metrics
+// renders every /statz counter plus the latency histograms in Prometheus
+// text exposition format, and GET /tracez?dur=1s captures a flight-recorder
+// window and streams it back as Chrome trace-event JSON (load in Perfetto).
+
+// handleMetrics renders the Prometheus text format. Counters mirror /statz
+// one-to-one (serve_*_total); histograms export the request latency, the
+// per-stage decomposition (label stage=queue_wait|batch_wait|route|wire|
+// compute|gather), and batch occupancy; go_* gauges report process health.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	c := s.stats
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("serve_requests_total", "Requests admitted and served.", c.requests.Load())
+	counter("serve_batches_total", "Batches flushed to replicas.", c.batches.Load())
+	counter("serve_samples_total", "Samples across all flushed batches.", c.samples.Load())
+	counter("serve_shed_full_total", "Requests rejected on a full admission lane.", c.shedFull.Load())
+	counter("serve_shed_expired_total", "Requests dropped past their deadline.", c.shedExpired.Load())
+	counter("serve_retries_total", "Batch re-dispatches after replica failure.", c.retries.Load())
+	counter("serve_failovers_total", "Retries that moved to a different replica.", c.failovers.Load())
+	counter("serve_quarantined_total", "Replica quarantine transitions.", c.quarantined.Load())
+	counter("serve_rejoins_total", "Replica rejoin transitions.", c.rejoins.Load())
+	counter("serve_dropped_results_total", "Stale results dropped by the seq guard.", c.droppedResults.Load())
+
+	var hist [latBuckets]uint64
+	for i := range c.latency {
+		hist[i] = c.latency[i].Load()
+	}
+	writePromHist(w, "serve_request_latency_seconds", "End-to-end request latency.", "", hist[:])
+	fmt.Fprintf(w, "# HELP serve_stage_latency_seconds Per-stage latency decomposition.\n")
+	fmt.Fprintf(w, "# TYPE serve_stage_latency_seconds histogram\n")
+	for st := stage(0); st < nStages; st++ {
+		for i := range c.stageLat[st] {
+			hist[i] = c.stageLat[st][i].Load()
+		}
+		writePromHist(w, "serve_stage_latency_seconds", "",
+			fmt.Sprintf("stage=%q", st), hist[:])
+	}
+
+	fmt.Fprintf(w, "# HELP serve_batch_occupancy Batches by flushed occupancy.\n")
+	fmt.Fprintf(w, "# TYPE serve_batch_occupancy histogram\n")
+	var occCum uint64
+	for i := range c.occupancy {
+		occCum += c.occupancy[i].Load()
+		fmt.Fprintf(w, "serve_batch_occupancy_bucket{le=\"%d\"} %d\n", i+1, occCum)
+	}
+	fmt.Fprintf(w, "serve_batch_occupancy_bucket{le=\"+Inf\"} %d\n", occCum)
+	fmt.Fprintf(w, "serve_batch_occupancy_count %d\n", occCum)
+	fmt.Fprintf(w, "serve_batch_occupancy_sum %d\n", c.samples.Load())
+
+	live, total := s.fleet.liveCount()
+	gaugeI := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gaugeI("serve_replicas_live", "Replica groups currently live.", int64(live))
+	gaugeI("serve_replicas_total", "Replica groups configured.", int64(total))
+
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	gaugeI("go_goroutines", "Goroutines in the serving process.", int64(runtime.NumGoroutine()))
+	fmt.Fprintf(w, "# HELP go_gc_pause_seconds_total Cumulative GC stop-the-world pause time.\n")
+	fmt.Fprintf(w, "# TYPE go_gc_pause_seconds_total counter\n")
+	fmt.Fprintf(w, "go_gc_pause_seconds_total %g\n", float64(mem.PauseTotalNs)/1e9)
+	gaugeI("go_heap_inuse_bytes", "Heap bytes in use.", int64(mem.HeapInuse))
+}
+
+// writePromHist emits one histogram series in exposition format from an
+// eighth-log2 microsecond histogram, collapsing the 8 sub-buckets of each
+// octave into one le edge (44 edges, 1µs..~4.7h) to keep scrapes small.
+// _sum is approximated from bucket upper edges (~9% high), which the
+// fixed-size recorder cannot track exactly.
+func writePromHist(w http.ResponseWriter, name, help, label string, hist []uint64) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	}
+	sep := ""
+	if label != "" {
+		sep = ","
+	}
+	var cum uint64
+	var sum float64
+	for e := 0; e < latBuckets/8; e++ {
+		for b := 8 * e; b < 8*(e+1); b++ {
+			cum += hist[b]
+			sum += float64(hist[b]) * latBucketUpper(b).Seconds()
+		}
+		le := float64(uint64(1)<<uint(e+1)) / 1e6 // octave upper edge, seconds
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, label, sep, le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, label, sep, cum)
+	if label != "" {
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, label, cum)
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, label, sum)
+	} else {
+		fmt.Fprintf(w, "%s_count %d\n", name, cum)
+		fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+	}
+}
+
+// tracezMu serializes /tracez captures: Enable/Disable toggle one global
+// recorder, so overlapping windows would truncate each other.
+var tracezMu sync.Mutex
+
+// handleTracez records the flight recorder for ?dur= (default 1s, capped at
+// 30s) and responds with Chrome trace-event JSON: one track per comm rank,
+// nested spans for serve stages, comm traffic, and kernel phases. Open the
+// file in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	dur := time.Second
+	if v := r.URL.Query().Get("dur"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			// Bare numbers are seconds, for curl convenience.
+			if secs, err2 := time.ParseDuration(v + "s"); err2 == nil {
+				d = secs
+			} else {
+				httpError(w, statusError{http.StatusBadRequest, fmt.Sprintf("bad dur: %v", err)})
+				return
+			}
+		}
+		dur = d
+	}
+	if dur <= 0 {
+		dur = time.Second
+	}
+	if dur > 30*time.Second {
+		dur = 30 * time.Second
+	}
+	tracezMu.Lock()
+	obs.Enable()
+	time.Sleep(dur)
+	obs.Disable()
+	events := obs.Snapshot()
+	tracezMu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+	_ = obs.WriteChrome(w, events)
+}

@@ -219,6 +219,10 @@ type batch struct {
 	reqs []*request
 	n    int
 	buf  *[]float32
+
+	// openedAt (UnixNano) marks when the first request landed; the gap to
+	// flush is the batch-wait stage of the latency decomposition.
+	openedAt int64
 }
 
 // Server is the serving runtime: a front-end comm rank owning the batcher,
@@ -250,6 +254,12 @@ type Server struct {
 	stats     *statsCollector
 	batchPool sync.Pool
 	ws        *kernels.Workspace
+
+	// epochNs anchors the wire protocol's batch timestamps: senders encode
+	// µs-since-epoch split across two float32 header fields (both exact),
+	// and the replica leader — same process, same clock — prices the wire
+	// stage against it.
+	epochNs int64
 }
 
 // New starts a server over model. The model's weights may be (re)loaded via
@@ -288,6 +298,7 @@ func New(model *nn.InferNet, cfg Config) (*Server, error) {
 		done:     make(chan struct{}),
 		stats:    newStatsCollector(cfg.MaxBatch),
 		ws:       kernels.DefaultWorkspace(),
+		epochNs:  time.Now().UnixNano(),
 	}
 	s.batchPool.New = func() any {
 		return &batch{
@@ -502,7 +513,8 @@ func (s *Server) putBatch(b *batch) {
 // deadline has already passed or its context was canceled, in which case
 // it is shed on the spot.
 func (s *Server) add(b *batch, r *request) {
-	if !r.deadline.IsZero() && time.Now().After(r.deadline) {
+	now := time.Now()
+	if !r.deadline.IsZero() && now.After(r.deadline) {
 		s.stats.shedExpired.Add(1)
 		s.resolve(r, ErrExpired, nil)
 		return
@@ -511,7 +523,11 @@ func (s *Server) add(b *batch, r *request) {
 		s.resolve(r, ErrCanceled, nil)
 		return
 	}
+	s.stats.recordStage(stgQueueWait, now.Sub(r.start))
 	copy((*b.buf)[b.n*s.inLen:(b.n+1)*s.inLen], r.in)
+	if b.n == 0 {
+		b.openedAt = now.UnixNano()
+	}
 	b.reqs[b.n] = r
 	b.n++
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"math/bits"
+	"runtime"
 	"sync/atomic"
 	"time"
 )
@@ -38,7 +39,32 @@ type statsCollector struct {
 
 	latency   [latBuckets]atomic.Uint64
 	occupancy []atomic.Uint64 // index b-1: batches flushed with b requests
+
+	// stageLat decomposes where request time goes: one eighth-log2
+	// histogram per pipeline stage (queue wait, batch wait, route, wire,
+	// compute, gather). Queue/batch-wait are recorded per request on the
+	// front end; route/wire/compute/gather once per batch from the wire
+	// protocol's timing fields. Always on — recording is two atomic adds.
+	stageLat [nStages][latBuckets]atomic.Uint64
 }
+
+// stage indexes the per-stage latency-decomposition histograms.
+type stage int
+
+// Pipeline stages, in request-lifecycle order.
+const (
+	stgQueueWait stage = iota // admission -> picked into a batch
+	stgBatchWait              // batch opened -> flushed
+	stgRoute                  // router submit -> batch on the wire
+	stgWire                   // batch sent -> dequeued by the replica leader
+	stgCompute                // replica executor forward pass
+	stgGather                 // result sent by the leader -> claimed
+	nStages
+)
+
+var stageNames = [nStages]string{"queue_wait", "batch_wait", "route", "wire", "compute", "gather"}
+
+func (s stage) String() string { return stageNames[s] }
 
 func newStatsCollector(maxBatch int) *statsCollector {
 	return &statsCollector{occupancy: make([]atomic.Uint64, maxBatch)}
@@ -47,6 +73,9 @@ func newStatsCollector(maxBatch int) *statsCollector {
 // latBucket maps a duration to its histogram bucket: e = floor(log2(µs)),
 // plus three mantissa bits for 8 sub-buckets per octave (~9% resolution).
 func latBucket(d time.Duration) int {
+	if d < 0 {
+		d = 0 // clock skew between recording sites clamps low, not to +inf
+	}
 	us := uint64(d.Microseconds())
 	if us < 1 {
 		us = 1
@@ -81,6 +110,10 @@ func latBucketUpper(b int) time.Duration {
 func (c *statsCollector) recordLatency(d time.Duration) {
 	c.requests.Add(1)
 	c.latency[latBucket(d)].Add(1)
+}
+
+func (c *statsCollector) recordStage(st stage, d time.Duration) {
+	c.stageLat[st][latBucket(d)].Add(1)
 }
 
 func (c *statsCollector) recordBatch(n int) {
@@ -128,12 +161,29 @@ type Stats struct {
 	DroppedResults uint64 `json:"dropped_results"`
 	// Latency quantiles are upper bucket edges (~9% resolution).
 	P50 time.Duration `json:"p50_us"`
+	P90 time.Duration `json:"p90_us"`
 	P95 time.Duration `json:"p95_us"`
 	P99 time.Duration `json:"p99_us"`
 	// Occupancy[i] counts batches that flushed with i+1 requests.
 	Occupancy []uint64 `json:"batch_occupancy"`
+	// Stages decomposes request time by pipeline stage, lifecycle order.
+	Stages []StageStats `json:"stages"`
 	// Replicas is the per-replica routing state.
 	Replicas []ReplicaStats `json:"replicas"`
+	// Process-health gauges: "is the process itself sick" signals the
+	// failover monitor cannot see from routing state alone.
+	Goroutines   int           `json:"goroutines"`
+	GCPauseTotal time.Duration `json:"gc_pause_total_us"`
+	HeapInuse    uint64        `json:"heap_inuse_bytes"`
+}
+
+// StageStats is one pipeline stage's latency-decomposition summary.
+type StageStats struct {
+	Name  string        `json:"name"`
+	Count uint64        `json:"count"`
+	P50   time.Duration `json:"p50_us"`
+	P90   time.Duration `json:"p90_us"`
+	P99   time.Duration `json:"p99_us"`
 }
 
 func (c *statsCollector) snapshot() Stats {
@@ -156,18 +206,47 @@ func (c *statsCollector) snapshot() Stats {
 		s.AvgBatch = float64(c.samples.Load()) / float64(s.Batches)
 	}
 	var hist [latBuckets]uint64
-	var total uint64
 	for i := range c.latency {
 		hist[i] = c.latency[i].Load()
-		total += hist[i]
 	}
-	s.P50 = quantile(hist[:], total, 0.50)
-	s.P95 = quantile(hist[:], total, 0.95)
-	s.P99 = quantile(hist[:], total, 0.99)
+	s.P50 = Quantile(hist[:], 0.50)
+	s.P90 = Quantile(hist[:], 0.90)
+	s.P95 = Quantile(hist[:], 0.95)
+	s.P99 = Quantile(hist[:], 0.99)
+	s.Stages = make([]StageStats, nStages)
+	for st := stage(0); st < nStages; st++ {
+		var h [latBuckets]uint64
+		var count uint64
+		for i := range c.stageLat[st] {
+			h[i] = c.stageLat[st][i].Load()
+			count += h[i]
+		}
+		s.Stages[st] = StageStats{
+			Name:  st.String(),
+			Count: count,
+			P50:   Quantile(h[:], 0.50),
+			P90:   Quantile(h[:], 0.90),
+			P99:   Quantile(h[:], 0.99),
+		}
+	}
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	s.Goroutines = runtime.NumGoroutine()
+	s.GCPauseTotal = time.Duration(mem.PauseTotalNs)
+	s.HeapInuse = mem.HeapInuse
 	return s
 }
 
-func quantile(hist []uint64, total uint64, q float64) time.Duration {
+// Quantile reports the q-th quantile (0 <= q <= 1) of a latency histogram
+// with latBucket's eighth-log2 microsecond layout, as the inclusive upper
+// edge of the bucket holding that rank (~9% resolution). A histogram with
+// no samples reports 0. Exported so dashboards and the calibration bench
+// compute percentiles from scraped buckets exactly like /statz does.
+func Quantile(hist []uint64, q float64) time.Duration {
+	var total uint64
+	for _, n := range hist {
+		total += n
+	}
 	if total == 0 {
 		return 0
 	}
