@@ -20,6 +20,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig2, fig3, fig4, table1, table2, table3, sv3d, ablation, memory, modelcheck, kernels, overlap, placement, obs, all")
 	out := flag.String("out", "", "output file (default stdout)")
+	jsonOut := flag.String("json", "", "also write kernel benchmark records as JSON (with -exp kernels)")
 	flag.Parse()
 
 	var w io.Writer = os.Stdout
@@ -62,7 +63,14 @@ func main() {
 	case "modelcheck":
 		bench.ModelCheck().Write(w)
 	case "kernels":
-		bench.KernelThroughput().Write(w)
+		tbl, recs := bench.KernelThroughputRecords()
+		tbl.Write(w)
+		if *jsonOut != "" {
+			if err := bench.WriteKernelJSON(*jsonOut, recs); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 	case "overlap":
 		bench.OverlapTable().Write(w)
 	case "placement":

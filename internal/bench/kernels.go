@@ -1,13 +1,29 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
 	"repro/internal/kernels"
+	"repro/internal/models"
+	"repro/internal/nn"
 	"repro/internal/tensor"
 )
+
+// BenchRecord is one kernel-benchmark measurement in machine-readable form
+// (cmd/bench -json; CI archives the file as BENCH_kernels.json so runs are
+// comparable across commits).
+type BenchRecord struct {
+	Name        string  `json:"name"`
+	Shape       string  `json:"shape"`
+	Kernel      string  `json:"kernel"` // active microkernel geometry
+	GFLOPS      float64 `json:"gflops,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
 
 // KernelThroughput measures the real compute-kernel substrate on this
 // machine: SGEMM and convolution-forward GFLOP/s plus steady-state
@@ -16,12 +32,35 @@ import (
 // parallelism pays off only when the local kernels are fast enough that
 // communication, not arithmetic, bounds the step.
 func KernelThroughput() *Table {
+	t, _ := KernelThroughputRecords()
+	return t
+}
+
+// KernelThroughputRecords is KernelThroughput returning, alongside the
+// rendered table, the raw measurements for JSON archiving.
+func KernelThroughputRecords() (*Table, []BenchRecord) {
 	t := &Table{
 		Title:  "Compute-kernel throughput (this machine)",
-		Header: []string{"kernel", "shape", "GFLOP/s", "allocs/op"},
-		Note:   "packed register-blocked GEMM microkernel; workspace-arena kernels",
+		Header: []string{"kernel", "shape", "GFLOP/s", "ns/op", "allocs/op"},
+		Note: fmt.Sprintf("packed register-blocked GEMM, microkernel %s; prepacked = serving weights packed at load",
+			kernels.GemmKernelName()),
 	}
-	gemmRow := func(name string, m, n, k int) {
+	var recs []BenchRecord
+	row := func(name, shape string, flopsPerOp float64, fn func()) {
+		ns := nsPerOp(fn)
+		gf := 0.0
+		if flopsPerOp > 0 {
+			gf = flopsPerOp / ns
+		}
+		al := allocsPerOp(fn)
+		t.Rows = append(t.Rows, []string{name, shape,
+			fmt.Sprintf("%.2f", gf), fmt.Sprintf("%.0f", ns), fmt.Sprintf("%.0f", al)})
+		recs = append(recs, BenchRecord{Name: name, Shape: shape, Kernel: kernels.GemmKernelName(),
+			GFLOPS: gf, NsPerOp: ns, AllocsPerOp: al})
+	}
+
+	for _, d := range []int{256, 512} {
+		m, n, k := d, d, d
 		a := make([]float32, m*k)
 		b := make([]float32, k*n)
 		c := make([]float32, m*n)
@@ -31,34 +70,81 @@ func KernelThroughput() *Table {
 		for i := range b {
 			b[i] = float32(i%7) * 0.5
 		}
-		run := func() { kernels.GemmNN(m, n, k, 1, a, b, 0, c) }
-		gf := gflops(2*float64(m)*float64(n)*float64(k), run)
-		t.Rows = append(t.Rows, []string{name, fmt.Sprintf("%dx%dx%d", m, n, k),
-			fmt.Sprintf("%.2f", gf), fmt.Sprintf("%.0f", allocsPerOp(run))})
+		shape := fmt.Sprintf("%dx%dx%d", m, n, k)
+		flops := 2 * float64(m) * float64(n) * float64(k)
+		row("GemmNN", shape, flops, func() { kernels.GemmNN(m, n, k, 1, a, b, 0, c) })
+		pb := kernels.PackB(k, n, b, false)
+		row("GemmNNPrepacked", shape, flops, func() { kernels.GemmNNPrepacked(m, n, k, 1, a, pb, 0, c) })
 	}
-	gemmRow("GemmNN", 256, 256, 256)
-	gemmRow("GemmNN", 512, 512, 512)
 
 	x := tensor.New(4, 16, 64, 64)
 	x.FillPattern(0.4)
 	w := tensor.New(32, 16, 3, 3)
 	w.FillPattern(0.6)
 	y := tensor.New(4, 32, 64, 64)
+	convShape := "4x16x64x64 -> 32f 3x3"
 	flops := 2.0 * 4 * 32 * 16 * 3 * 3 * 64 * 64
-	for _, cfg := range []struct {
-		name string
-		algo kernels.ConvAlgo
-	}{{"ConvForward/direct", kernels.ConvDirect}, {"ConvForward/im2col", kernels.ConvIm2col}} {
-		run := func() { kernels.ConvForward(x, w, nil, y, 1, 1, cfg.algo) }
-		gf := gflops(flops, run)
-		t.Rows = append(t.Rows, []string{cfg.name, "4x16x64x64 -> 32f 3x3",
-			fmt.Sprintf("%.2f", gf), fmt.Sprintf("%.0f", allocsPerOp(run))})
+	row("ConvForward/direct", convShape, flops, func() { kernels.ConvForward(x, w, nil, y, 1, 1, kernels.ConvDirect) })
+	row("ConvForward/im2col", convShape, flops, func() { kernels.ConvForward(x, w, nil, y, 1, 1, kernels.ConvIm2col) })
+
+	// The serving conv path: one micro-batch lowered onto one GEMM, legacy
+	// pack-on-the-fly vs prepacked weights vs prepacked with the fused
+	// BN+ReLU store epilogue (the last also folds away two elementwise
+	// passes, so its GFLOP/s column credits only the conv arithmetic).
+	xb := tensor.New(16, 32, 16, 16)
+	xb.FillPattern(0.3)
+	wb := tensor.New(64, 32, 3, 3)
+	wb.FillPattern(0.5)
+	yb := tensor.New(16, 64, 16, 16)
+	bShape := "16x32x16x16 -> 64f 3x3"
+	bFlops := 2.0 * 16 * 64 * 32 * 3 * 3 * 16 * 16
+	row("ConvForwardBatched", bShape, bFlops, func() { kernels.ConvForwardBatched(xb, wb, nil, yb, 1, 1) })
+	wp := kernels.PackConvWeights(wb)
+	row("ConvForwardBatchedPrepacked", bShape, bFlops, func() {
+		kernels.ConvForwardBatchedPrepacked(xb, wp, 3, nil, yb, 1, 1, nil, 0)
+	})
+	f := wb.Shape()[0]
+	ones := make([]float32, f)
+	for i := range ones {
+		ones[i] = 1
 	}
-	return t
+	epi := kernels.NewBNEpilogue(nil, ones, make([]float32, f), make([]float32, f), ones, 1e-5, true)
+	row("ConvForwardBatchedPrepacked/fusedBNReLU", bShape, bFlops, func() {
+		kernels.ConvForwardBatchedPrepacked(xb, wp, 3, epi, yb, 1, 1, nil, 0)
+	})
+
+	// End-to-end serving forward: resnet-tiny at batch 16, the acceptance
+	// workload. legacy = fusion knob off (pack-on-the-fly convs, separate
+	// BN/ReLU passes); fused = prepacked weights + fused epilogues. The two
+	// are bitwise identical (test-enforced); only the clock moves.
+	for _, cfg := range []struct {
+		name   string
+		fusion bool
+	}{{"ServingForward/resnet-tiny/legacy", false}, {"ServingForward/resnet-tiny/fused", true}} {
+		nn.SetInferFusion(cfg.fusion)
+		inf, err := models.ResNet50TinyForServing(32, 8, 16)
+		nn.SetInferFusion(true)
+		if err != nil {
+			panic(err)
+		}
+		xs := tensor.New(16, 3, 32, 32)
+		xs.FillPattern(0.7)
+		row(cfg.name, "batch 16, 32x32", 0, func() { inf.Forward(xs) })
+	}
+	return t, recs
 }
 
-// gflops times fn (after one warm-up) and converts to GFLOP/s.
-func gflops(flopsPerOp float64, fn func()) float64 {
+// WriteKernelJSON writes kernel benchmark records as a JSON array.
+func WriteKernelJSON(path string, recs []BenchRecord) error {
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// nsPerOp times fn (after one warm-up) and returns nanoseconds per call.
+func nsPerOp(fn func()) float64 {
 	fn()
 	iters := 1
 	for {
@@ -68,7 +154,7 @@ func gflops(flopsPerOp float64, fn func()) float64 {
 		}
 		el := time.Since(start)
 		if el > 100*time.Millisecond || iters >= 1<<20 {
-			return flopsPerOp * float64(iters) / el.Seconds() / 1e9
+			return float64(el.Nanoseconds()) / float64(iters)
 		}
 		iters *= 2
 	}

@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func benchServing(b *testing.B, fusion bool) {
+	nn.SetInferFusion(fusion)
+	inf, err := models.ResNet50TinyForServing(32, 8, 16)
+	nn.SetInferFusion(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.New(16, 3, 32, 32)
+	x.FillPattern(0.7)
+	inf.Forward(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inf.Forward(x)
+	}
+}
+
+func BenchmarkServingForwardLegacy(b *testing.B) { benchServing(b, false) }
+func BenchmarkServingForwardFused(b *testing.B)  { benchServing(b, true) }

@@ -142,6 +142,9 @@ type ChannelParallelConv struct {
 	// local partial runs on the batched row-stable kernel so serving answers
 	// are independent of micro-batch composition.
 	inference bool
+	// wp caches the prepacked weights for the inference forward, built
+	// lazily from W and dropped by InvalidatePacked after a restore.
+	wp *kernels.PackedB
 
 	tag int
 	rg  regionScratch
@@ -209,7 +212,15 @@ func (l *ChannelParallelConv) Forward(ctx *Ctx, x DistTensor) DistTensor {
 		panic(fmt.Sprintf("core: channel-parallel conv input dist %v, want %v", x.Dist, l.InDist))
 	}
 	if l.inference {
-		kernels.ConvForwardBatched(x.Local, l.W, nil, l.full, l.Geom.S, l.Geom.Pad)
+		// Prepacked weights, no epilogue: the bias belongs to the complete
+		// filter sum, so it is added after the reduce-scatter below. The
+		// prepacked kernel's per-element accumulation order matches
+		// ConvForwardBatched's exactly, so sharded answers keep their bitwise
+		// identity with unsharded serving.
+		if l.wp == nil {
+			l.wp = kernels.PackConvWeights(l.W)
+		}
+		kernels.ConvForwardBatchedPrepacked(x.Local, l.wp, l.Geom.K, nil, l.full, l.Geom.S, l.Geom.Pad, nil, 0)
 	} else {
 		kernels.ConvForward(x.Local, l.W, nil, l.full, l.Geom.S, l.Geom.Pad, l.Algo)
 	}
@@ -324,6 +335,11 @@ type FilterParallelConv struct {
 	// ConvForwardBatched, which is what makes filter-sharded serving
 	// replicas answer identically to unsharded ones.
 	inference bool
+	// wp caches the prepacked weights for the inference forward, built
+	// lazily from W and dropped by InvalidatePacked after a restore.
+	wp *kernels.PackedB
+	// epi folds the filter-block bias into the GEMM store (inference only).
+	epi *kernels.Epilogue
 
 	tag int
 	rg  regionScratch
@@ -388,7 +404,15 @@ func (l *FilterParallelConv) Forward(ctx *Ctx, x DistTensor) DistTensor {
 	}
 	gatherDim1(ctx, x.Local, l.xFull, l.cBlocks, l.tag, &l.rg)
 	if l.inference {
-		kernels.ConvForwardBatched(l.xFull, l.W, l.Bias, l.y.Local, l.Geom.S, l.Geom.Pad)
+		// Prepacked weights with the filter-block bias folded into the GEMM
+		// store epilogue (bitwise the unshuffle's v + bias[f] fold).
+		if l.wp == nil {
+			l.wp = kernels.PackConvWeights(l.W)
+			if l.Bias != nil {
+				l.epi = &kernels.Epilogue{Bias: l.Bias}
+			}
+		}
+		kernels.ConvForwardBatchedPrepacked(l.xFull, l.wp, l.Geom.K, l.epi, l.y.Local, l.Geom.S, l.Geom.Pad, nil, 0)
 	} else {
 		kernels.ConvForward(l.xFull, l.W, l.Bias, l.y.Local, l.Geom.S, l.Geom.Pad, l.Algo)
 		l.haveX = true

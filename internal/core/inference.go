@@ -61,3 +61,15 @@ func NewFilterParallelConvInference(ctx *Ctx, inDist dist.Dist, f int, geom dist
 	l.inference = true
 	return l
 }
+
+// InvalidatePacked drops the lazily prepacked inference weights; the next
+// Forward repacks from the current W. Call after writing new values into W
+// (checkpoint restore, rejoin state transfer) on a layer that may already
+// have served.
+func (l *ChannelParallelConv) InvalidatePacked() { l.wp = nil }
+
+// InvalidatePacked drops the lazily prepacked inference weights and the
+// cached bias epilogue; the next Forward repacks from the current W and
+// Bias. Call after writing new values into them on a layer that may already
+// have served.
+func (l *FilterParallelConv) InvalidatePacked() { l.wp, l.epi = nil, nil }

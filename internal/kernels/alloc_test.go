@@ -147,3 +147,28 @@ func TestWorkspaceReuse(t *testing.T) {
 		t.Errorf("Get(0) returned len %d", len(*got))
 	}
 }
+
+func TestConvBackwardDataScatterZeroAllocs(t *testing.T) {
+	dy := tensor.New(2, 16, 8, 8)
+	dy.FillPattern(0.1)
+	w := tensor.New(16, 8, 3, 3)
+	w.FillPattern(0.2)
+	dx := tensor.New(2, 8, 8, 8)
+	assertZeroAllocs(t, "ConvBackwardDataScatter", func() {
+		ConvBackwardDataScatter(dy, w, dx, 1, 1)
+	})
+}
+
+func TestConv3DZeroAllocs(t *testing.T) {
+	x := tensor.New(2, 4, 6, 6, 6)
+	x.FillPattern(0.1)
+	w := tensor.New(8, 4, 3, 3, 3)
+	w.FillPattern(0.2)
+	y := tensor.New(2, 8, 6, 6, 6)
+	y.FillPattern(0.3)
+	dw := tensor.New(8, 4, 3, 3, 3)
+	dx := tensor.New(2, 4, 6, 6, 6)
+	assertZeroAllocs(t, "Conv3DForward", func() { Conv3DForward(x, w, nil, y, 1, 1) })
+	assertZeroAllocs(t, "Conv3DBackwardData", func() { Conv3DBackwardData(y, w, dx, 1, 1) })
+	assertZeroAllocs(t, "Conv3DBackwardFilter", func() { Conv3DBackwardFilter(x, y, dw, 1, 1, false) })
+}

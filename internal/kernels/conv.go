@@ -400,40 +400,61 @@ func ConvBackwardDataScatter(dy, w, dx *tensor.Tensor, stride, pad int) {
 	c, k := ws[1], ws[2]
 	h, wd := xs[2], xs[3]
 	dx.Zero()
-	dyd, wwd, dxd := dy.Data(), w.Data(), dx.Data()
+	j := scatterJobPool.Get().(*scatterJob)
+	*j = scatterJob{
+		dyd: dy.Data(), wwd: w.Data(), dxd: dx.Data(),
+		f: f, c: c, h: h, wd: wd, oh: oh, ow: ow, k: k,
+		stride: stride, pad: pad,
+	}
 	// Parallel over samples only: scatter into dx[n] races across filters.
-	ParallelFor(n, func(nlo, nhi int) {
-		for ni := nlo; ni < nhi; ni++ {
-			for fi := 0; fi < f; fi++ {
-				dyBase := (ni*f + fi) * oh * ow
-				for oy := 0; oy < oh; oy++ {
-					for ox := 0; ox < ow; ox++ {
-						g := dyd[dyBase+oy*ow+ox]
-						if g == 0 {
-							continue
-						}
-						for ci := 0; ci < c; ci++ {
-							dxBase := (ni*c + ci) * h * wd
-							wBase := (fi*c + ci) * k * k
-							for kh := 0; kh < k; kh++ {
-								iy := oy*stride - pad + kh
-								if iy < 0 || iy >= h {
+	parallelChunks(n, j)
+	*j = scatterJob{}
+	scatterJobPool.Put(j)
+}
+
+// scatterJob is the pooled chunk worker of ConvBackwardDataScatter, so the
+// scatter cross-check dispatches with no per-call closure allocation.
+type scatterJob struct {
+	dyd, wwd, dxd          []float32
+	f, c, h, wd, oh, ow, k int
+	stride, pad            int
+}
+
+var scatterJobPool = sync.Pool{New: func() any { return new(scatterJob) }}
+
+func (j *scatterJob) RunChunk(nlo, nhi int) {
+	f, c, h, wd, oh, ow, k := j.f, j.c, j.h, j.wd, j.oh, j.ow, j.k
+	stride, pad := j.stride, j.pad
+	for ni := nlo; ni < nhi; ni++ {
+		for fi := 0; fi < f; fi++ {
+			dyBase := (ni*f + fi) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := j.dyd[dyBase+oy*ow+ox]
+					if g == 0 {
+						continue
+					}
+					for ci := 0; ci < c; ci++ {
+						dxBase := (ni*c + ci) * h * wd
+						wBase := (fi*c + ci) * k * k
+						for kh := 0; kh < k; kh++ {
+							iy := oy*stride - pad + kh
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kw := 0; kw < k; kw++ {
+								ix := ox*stride - pad + kw
+								if ix < 0 || ix >= wd {
 									continue
 								}
-								for kw := 0; kw < k; kw++ {
-									ix := ox*stride - pad + kw
-									if ix < 0 || ix >= wd {
-										continue
-									}
-									dxd[dxBase+iy*wd+ix] += g * wwd[wBase+kh*k+kw]
-								}
+								j.dxd[dxBase+iy*wd+ix] += g * j.wwd[wBase+kh*k+kw]
 							}
 						}
 					}
 				}
 			}
 		}
-	})
+	}
 }
 
 // ConvBackwardFilter computes the local weight-gradient contribution (Eq. 2):

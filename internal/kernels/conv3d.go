@@ -2,6 +2,7 @@ package kernels
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/tensor"
 )
@@ -12,6 +13,10 @@ import (
 // surface-to-volume ratio"). Tensors are NCDHW; kernels are cubic (K^3)
 // with a shared stride and padding across the three spatial dimensions,
 // matching the paper's square-kernel presentation.
+//
+// All three kernels dispatch pooled job structs (no per-call closure
+// allocation), like the 2-D family — the last ParallelFor holdouts from the
+// zero-alloc sweep.
 
 // conv3dCheck validates shapes and returns unpacked dimensions.
 func conv3dCheck(x, w, y *tensor.Tensor, stride, pad int) (n, c, d, h, wd, f, k, od, oh, ow int) {
@@ -36,59 +41,98 @@ func conv3dCheck(x, w, y *tensor.Tensor, stride, pad int) (n, c, d, h, wd, f, k,
 	return
 }
 
+// conv3dJob is the shared pooled work item for the 3-D convolution kernels:
+// each kernel sets run to a top-level function plus the slices and
+// dimensions it needs.
+type conv3dJob struct {
+	run func(j *conv3dJob, lo, hi int)
+
+	xd, wwd, yd, dyd, dxd, dwd []float32
+	bias                       []float32
+
+	n, c, d, h, wd, f, k int
+	od, oh, ow           int
+	dxD, dxH, dxW        int // dx box dims (backward-data)
+	dyD, dyH, dyW        int // dy box dims (backward-data)
+	xLoD, xLoH, xLoW     int
+	yLoD, yLoH, yLoW     int
+	stride, pad          int
+}
+
+var conv3dJobPool = sync.Pool{New: func() any { return new(conv3dJob) }}
+
+func (j *conv3dJob) RunChunk(lo, hi int) { j.run(j, lo, hi) }
+
+func (j *conv3dJob) release() {
+	*j = conv3dJob{}
+	conv3dJobPool.Put(j)
+}
+
 // Conv3DForward computes the 3-D analogue of Eq. 1: y[n,f,od,oh,ow] sums
 // x over C and a K^3 window. bias may be nil.
 func Conv3DForward(x, w *tensor.Tensor, bias []float32, y *tensor.Tensor, stride, pad int) {
 	n, c, d, h, wd, f, k, od, oh, ow := conv3dCheck(x, w, y, stride, pad)
-	xd, wwd, yd := x.Data(), w.Data(), y.Data()
-	ParallelFor(n*f, func(lo, hi int) {
-		for nf := lo; nf < hi; nf++ {
-			ni, fi := nf/f, nf%f
-			yBase := (ni*f + fi) * od * oh * ow
-			for oz := 0; oz < od; oz++ {
-				for oy := 0; oy < oh; oy++ {
-					yRow := yd[yBase+(oz*oh+oy)*ow : yBase+(oz*oh+oy+1)*ow]
-					for i := range yRow {
-						if bias != nil {
-							yRow[i] = bias[fi]
-						} else {
-							yRow[i] = 0
-						}
+	j := conv3dJobPool.Get().(*conv3dJob)
+	j.run = conv3dFwdChunk
+	j.xd, j.wwd, j.yd, j.bias = x.Data(), w.Data(), y.Data(), bias
+	j.n, j.c, j.d, j.h, j.wd, j.f, j.k = n, c, d, h, wd, f, k
+	j.od, j.oh, j.ow = od, oh, ow
+	j.stride, j.pad = stride, pad
+	parallelChunks(n*f, j)
+	j.release()
+}
+
+func conv3dFwdChunk(j *conv3dJob, lo, hi int) {
+	c, d, h, wd, f, k := j.c, j.d, j.h, j.wd, j.f, j.k
+	od, oh, ow := j.od, j.oh, j.ow
+	stride, pad := j.stride, j.pad
+	xd, wwd, yd, bias := j.xd, j.wwd, j.yd, j.bias
+	for nf := lo; nf < hi; nf++ {
+		ni, fi := nf/f, nf%f
+		yBase := (ni*f + fi) * od * oh * ow
+		for oz := 0; oz < od; oz++ {
+			for oy := 0; oy < oh; oy++ {
+				yRow := yd[yBase+(oz*oh+oy)*ow : yBase+(oz*oh+oy+1)*ow]
+				for i := range yRow {
+					if bias != nil {
+						yRow[i] = bias[fi]
+					} else {
+						yRow[i] = 0
 					}
-					for ci := 0; ci < c; ci++ {
-						xBase := (ni*c + ci) * d * h * wd
-						wBase := (fi*c + ci) * k * k * k
-						for kd := 0; kd < k; kd++ {
-							iz := oz*stride - pad + kd
-							if iz < 0 || iz >= d {
+				}
+				for ci := 0; ci < c; ci++ {
+					xBase := (ni*c + ci) * d * h * wd
+					wBase := (fi*c + ci) * k * k * k
+					for kd := 0; kd < k; kd++ {
+						iz := oz*stride - pad + kd
+						if iz < 0 || iz >= d {
+							continue
+						}
+						for kh := 0; kh < k; kh++ {
+							iy := oy*stride - pad + kh
+							if iy < 0 || iy >= h {
 								continue
 							}
-							for kh := 0; kh < k; kh++ {
-								iy := oy*stride - pad + kh
-								if iy < 0 || iy >= h {
+							xRow := xd[xBase+(iz*h+iy)*wd : xBase+(iz*h+iy+1)*wd]
+							wRow := wwd[wBase+(kd*k+kh)*k : wBase+(kd*k+kh+1)*k]
+							for kw := 0; kw < k; kw++ {
+								wv := wRow[kw]
+								if wv == 0 {
 									continue
 								}
-								xRow := xd[xBase+(iz*h+iy)*wd : xBase+(iz*h+iy+1)*wd]
-								wRow := wwd[wBase+(kd*k+kh)*k : wBase+(kd*k+kh+1)*k]
-								for kw := 0; kw < k; kw++ {
-									wv := wRow[kw]
-									if wv == 0 {
-										continue
-									}
-									ix0 := -pad + kw
-									oxLo := 0
-									if ix0 < 0 {
-										oxLo = (-ix0 + stride - 1) / stride
-									}
-									oxHi := ow
-									if mx := (wd - 1 - ix0) / stride; mx+1 < oxHi {
-										oxHi = mx + 1
-									}
-									ix := oxLo*stride + ix0
-									for ox := oxLo; ox < oxHi; ox++ {
-										yRow[ox] += wv * xRow[ix]
-										ix += stride
-									}
+								ix0 := -pad + kw
+								oxLo := 0
+								if ix0 < 0 {
+									oxLo = (-ix0 + stride - 1) / stride
+								}
+								oxHi := ow
+								if mx := (wd - 1 - ix0) / stride; mx+1 < oxHi {
+									oxHi = mx + 1
+								}
+								ix := oxLo*stride + ix0
+								for ox := oxLo; ox < oxHi; ox++ {
+									yRow[ox] += wv * xRow[ix]
+									ix += stride
 								}
 							}
 						}
@@ -96,7 +140,7 @@ func Conv3DForward(x, w *tensor.Tensor, bias []float32, y *tensor.Tensor, stride
 				}
 			}
 		}
-	})
+	}
 }
 
 // Conv3DBackwardDataRegion computes dL/dx for a box of the global input
@@ -111,68 +155,83 @@ func Conv3DBackwardDataRegion(dy, w, dx *tensor.Tensor, stride, pad, xLoD, xLoH,
 	if ws[0] != f || xs[0] != n || xs[1] != c {
 		panic(fmt.Sprintf("kernels: conv3d bwd shapes dy=%v w=%v dx=%v inconsistent", ds, ws, xs))
 	}
-	dxD, dxH, dxW := xs[2], xs[3], xs[4]
-	dyd, wwd, dxd := dy.Data(), w.Data(), dx.Data()
+	j := conv3dJobPool.Get().(*conv3dJob)
+	j.run = conv3dBwdDataChunk
+	j.dyd, j.wwd, j.dxd = dy.Data(), w.Data(), dx.Data()
+	j.n, j.c, j.f, j.k = n, c, f, k
+	j.dxD, j.dxH, j.dxW = xs[2], xs[3], xs[4]
+	j.dyD, j.dyH, j.dyW = dyD, dyH, dyW
+	j.xLoD, j.xLoH, j.xLoW = xLoD, xLoH, xLoW
+	j.yLoD, j.yLoH, j.yLoW = yLoD, yLoH, yLoW
+	j.stride, j.pad = stride, pad
+	parallelChunks(n*c, j)
+	j.release()
+}
+
+func conv3dBwdDataChunk(j *conv3dJob, lo, hi int) {
+	c, f, k := j.c, j.f, j.k
+	dxD, dxH, dxW := j.dxD, j.dxH, j.dxW
+	dyD, dyH, dyW := j.dyD, j.dyH, j.dyW
+	stride, pad := j.stride, j.pad
+	dyd, wwd, dxd := j.dyd, j.wwd, j.dxd
 	fStride := dyD * dyH * dyW
 	ckkk := c * k * k * k
-	ParallelFor(n*c, func(lo, hi int) {
-		for nc := lo; nc < hi; nc++ {
-			ni, ci := nc/c, nc%c
-			dxBase := (ni*c + ci) * dxD * dxH * dxW
-			dyBaseN := ni * f * fStride
-			for izl := 0; izl < dxD; izl++ {
-				iz := xLoD + izl
-				for ihl := 0; ihl < dxH; ihl++ {
-					ih := xLoH + ihl
-					dxRow := dxd[dxBase+(izl*dxH+ihl)*dxW : dxBase+(izl*dxH+ihl+1)*dxW]
-					for i := range dxRow {
-						dxRow[i] = 0
+	for nc := lo; nc < hi; nc++ {
+		ni, ci := nc/c, nc%c
+		dxBase := (ni*c + ci) * dxD * dxH * dxW
+		dyBaseN := ni * f * fStride
+		for izl := 0; izl < dxD; izl++ {
+			iz := j.xLoD + izl
+			for ihl := 0; ihl < dxH; ihl++ {
+				ih := j.xLoH + ihl
+				dxRow := dxd[dxBase+(izl*dxH+ihl)*dxW : dxBase+(izl*dxH+ihl+1)*dxW]
+				for i := range dxRow {
+					dxRow[i] = 0
+				}
+				for kd := 0; kd < k; kd++ {
+					tz := iz + pad - kd
+					if tz < 0 || tz%stride != 0 {
+						continue
 					}
-					for kd := 0; kd < k; kd++ {
-						tz := iz + pad - kd
-						if tz < 0 || tz%stride != 0 {
+					ozl := tz/stride - j.yLoD
+					if ozl < 0 || ozl >= dyD {
+						continue
+					}
+					for kh := 0; kh < k; kh++ {
+						ty := ih + pad - kh
+						if ty < 0 || ty%stride != 0 {
 							continue
 						}
-						ozl := tz/stride - yLoD
-						if ozl < 0 || ozl >= dyD {
+						oyl := ty/stride - j.yLoH
+						if oyl < 0 || oyl >= dyH {
 							continue
 						}
-						for kh := 0; kh < k; kh++ {
-							ty := ih + pad - kh
-							if ty < 0 || ty%stride != 0 {
-								continue
-							}
-							oyl := ty/stride - yLoH
-							if oyl < 0 || oyl >= dyH {
-								continue
-							}
-							for kw := 0; kw < k; kw++ {
-								for iwl := 0; iwl < dxW; iwl++ {
-									tx := xLoW + iwl + pad - kw
-									if tx < 0 || tx%stride != 0 {
-										continue
-									}
-									oxl := tx/stride - yLoW
-									if oxl < 0 || oxl >= dyW {
-										continue
-									}
-									var acc float32
-									dyOff := dyBaseN + (ozl*dyH+oyl)*dyW + oxl
-									wOff := ((ci*k+kd)*k+kh)*k + kw
-									for fi := 0; fi < f; fi++ {
-										acc += dyd[dyOff] * wwd[wOff]
-										dyOff += fStride
-										wOff += ckkk
-									}
-									dxRow[iwl] += acc
+						for kw := 0; kw < k; kw++ {
+							for iwl := 0; iwl < dxW; iwl++ {
+								tx := j.xLoW + iwl + pad - kw
+								if tx < 0 || tx%stride != 0 {
+									continue
 								}
+								oxl := tx/stride - j.yLoW
+								if oxl < 0 || oxl >= dyW {
+									continue
+								}
+								var acc float32
+								dyOff := dyBaseN + (ozl*dyH+oyl)*dyW + oxl
+								wOff := ((ci*k+kd)*k+kh)*k + kw
+								for fi := 0; fi < f; fi++ {
+									acc += dyd[dyOff] * wwd[wOff]
+									dyOff += fStride
+									wOff += ckkk
+								}
+								dxRow[iwl] += acc
 							}
 						}
 					}
 				}
 			}
 		}
-	})
+	}
 }
 
 // Conv3DBackwardData computes the full sequential dL/dx.
@@ -193,44 +252,56 @@ func Conv3DBackwardFilter(x, dy, dw *tensor.Tensor, stride, pad int, accumulate 
 	if !accumulate {
 		dw.Zero()
 	}
-	xd, dyd, dwd := x.Data(), dy.Data(), dw.Data()
-	ParallelFor(f*c, func(lo, hi int) {
-		for fc := lo; fc < hi; fc++ {
-			fi, ci := fc/c, fc%c
-			dwBase := (fi*c + ci) * k * k * k
-			for ni := 0; ni < n; ni++ {
-				dyBase := (ni*f + fi) * od * oh * ow
-				xBase := (ni*c + ci) * d * h * wd
-				for kd := 0; kd < k; kd++ {
-					for kh := 0; kh < k; kh++ {
-						for kw := 0; kw < k; kw++ {
-							var acc float32
-							for oz := 0; oz < od; oz++ {
-								iz := oz*stride - pad + kd
-								if iz < 0 || iz >= d {
+	j := conv3dJobPool.Get().(*conv3dJob)
+	j.run = conv3dBwdFilterChunk
+	j.xd, j.dyd, j.dwd = x.Data(), dy.Data(), dw.Data()
+	j.n, j.c, j.d, j.h, j.wd, j.f, j.k = n, c, d, h, wd, f, k
+	j.od, j.oh, j.ow = od, oh, ow
+	j.stride, j.pad = stride, pad
+	parallelChunks(f*c, j)
+	j.release()
+}
+
+func conv3dBwdFilterChunk(j *conv3dJob, lo, hi int) {
+	n, c, d, h, wd, f, k := j.n, j.c, j.d, j.h, j.wd, j.f, j.k
+	od, oh, ow := j.od, j.oh, j.ow
+	stride, pad := j.stride, j.pad
+	xd, dyd, dwd := j.xd, j.dyd, j.dwd
+	for fc := lo; fc < hi; fc++ {
+		fi, ci := fc/c, fc%c
+		dwBase := (fi*c + ci) * k * k * k
+		for ni := 0; ni < n; ni++ {
+			dyBase := (ni*f + fi) * od * oh * ow
+			xBase := (ni*c + ci) * d * h * wd
+			for kd := 0; kd < k; kd++ {
+				for kh := 0; kh < k; kh++ {
+					for kw := 0; kw < k; kw++ {
+						var acc float32
+						for oz := 0; oz < od; oz++ {
+							iz := oz*stride - pad + kd
+							if iz < 0 || iz >= d {
+								continue
+							}
+							for oy := 0; oy < oh; oy++ {
+								iy := oy*stride - pad + kh
+								if iy < 0 || iy >= h {
 									continue
 								}
-								for oy := 0; oy < oh; oy++ {
-									iy := oy*stride - pad + kh
-									if iy < 0 || iy >= h {
-										continue
+								dyRow := dyd[dyBase+(oz*oh+oy)*ow : dyBase+(oz*oh+oy+1)*ow]
+								xRow := xd[xBase+(iz*h+iy)*wd : xBase+(iz*h+iy+1)*wd]
+								ix := -pad + kw
+								for ox := 0; ox < ow; ox++ {
+									if ix >= 0 && ix < wd {
+										acc += dyRow[ox] * xRow[ix]
 									}
-									dyRow := dyd[dyBase+(oz*oh+oy)*ow : dyBase+(oz*oh+oy+1)*ow]
-									xRow := xd[xBase+(iz*h+iy)*wd : xBase+(iz*h+iy+1)*wd]
-									ix := -pad + kw
-									for ox := 0; ox < ow; ox++ {
-										if ix >= 0 && ix < wd {
-											acc += dyRow[ox] * xRow[ix]
-										}
-										ix += stride
-									}
+									ix += stride
 								}
 							}
-							dwd[dwBase+(kd*k+kh)*k+kw] += acc
 						}
+						dwd[dwBase+(kd*k+kh)*k+kw] += acc
 					}
 				}
 			}
 		}
-	})
+	}
 }

@@ -28,6 +28,55 @@
 // unpacked loops instead. Transpose variants differ only in their pack
 // routines, so NT and TN run at NN speed.
 //
+// On AVX-512F machines the default register tile widens to MR x NR = 16x32
+// (sgemmKernel16x32); detection picks the widest supported kernel and
+// REPRO_GEMM_KERNEL=generic|avx2|avx512 overrides it. Every kernel updates
+// each accumulator element exactly once per k step, in ascending k order,
+// with single-rounding FMAs, so all geometries produce bitwise-identical
+// results on identically packed panels.
+//
+// # Prepacked B and the packed-B memory layout
+//
+// Serving weights are GEMM's B operand and never change between requests,
+// so PackB snapshots the pack-B output once into a PackedB and
+// GemmNNPrepacked / GemmTNPrepacked / ConvForwardBatchedPrepacked skip the
+// per-call pack-B stage entirely. The layout is the pack-on-the-fly layout,
+// frozen: B is split into ceil(k/KC) x ceil(n/NC) panels, ordered K-major
+// within each N panel; each panel is a sequence of NR-interleaved strips
+// (strip s holds columns s*NR..s*NR+NR-1; element (p, j) of a strip lives
+// at p*NR + (j - s*NR), short strips zero-padded to NR). Because the bytes
+// equal what packBStrips would have produced, prepacked results are
+// bit-for-bit identical to the on-the-fly path (enforced by test). A
+// PackedB is tied to the geometry that packed it; PackB records the
+// geometry so a REPRO_GEMM_KERNEL override or checkpoint restore repacks.
+//
+// # Fused epilogues
+//
+// GemmNNPrepacked takes an optional Epilogue — per-output-channel bias, or
+// inference batchnorm (Gamma*(v-Mean)*InvStd + Beta), optionally followed
+// by ReLU — applied in the microkernel's C store while the tile is still
+// cache-hot, on the last K panel only. The contract is bitwise: the fused
+// result must equal running the unfused GEMM and then the separate
+// BatchNormInference / ReLUForward kernels. That pins the exact expression
+// shape (single-rounding per step, InvStd computed in float64 then rounded
+// once) and the ReLU clamp semantics (v kept only when v > 0, so NaN and
+// -0 both store +0). An AVX-512 row routine (sbnEpilogueRow) vectorizes the
+// BN(+ReLU) form; VSUBPS/VMULPS/VADDPS round exactly like the scalar Go
+// expression and VMAXPS with zero as second source matches the clamp, so
+// the guarantee survives vectorization.
+//
+// # Intra-GEMM parallelism
+//
+// Above a flops cutover (gemmParCutover; small problems stay serial and
+// very small ones take the direct loops), a single GEMM's compute phase
+// fans (N strip, M row-block) tiles out over the worker pool as pooled
+// jobs. Tiles are disjoint in C and every element still accumulates in
+// ascending k order within each K panel, so parallel results are bitwise
+// equal to serial ones. When the packed A panel is much larger than the N
+// panel (the transposed serving convolution shape), traversal flips to
+// row-block-major so A streams once while B strips stay cache-resident —
+// a pure reordering of the same disjoint tiles.
+//
 // # Workspace lifecycle
 //
 // Transient kernel storage — GEMM pack panels, im2col column matrices,

@@ -94,6 +94,32 @@ func addChunk(j *ewJob, lo, hi int) {
 	}
 }
 
+// AddReLU computes out = max(0, a + b) elementwise in one pass — the fused
+// form of the residual Add followed by its sole ReLU consumer. Per element
+// it is exactly addChunk's sum followed by reluFwdChunk's keep-if-positive,
+// so the fused result is bitwise identical to the two separate passes. out
+// may alias either input.
+func AddReLU(a, b, out *tensor.Tensor) {
+	ad, bd, od := a.Data(), b.Data(), out.Data()
+	if len(ad) != len(bd) || len(ad) != len(od) {
+		panic("kernels: add size mismatch")
+	}
+	runEw(addReluChunk, len(ad), ad, bd, od, nil)
+}
+
+func addReluChunk(j *ewJob, lo, hi int) {
+	x, y := chunkRange(j.n, lo, hi)
+	ad, bd, od := j.a, j.b, j.c
+	for i := x; i < y; i++ {
+		v := ad[i] + bd[i]
+		if v > 0 {
+			od[i] = v
+		} else {
+			od[i] = 0
+		}
+	}
+}
+
 // elementwise chunking: split a flat range into coarse chunks so tiny
 // tensors stay serial.
 const ewChunk = 16384

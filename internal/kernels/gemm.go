@@ -11,16 +11,30 @@ import (
 // in KC-deep panels (one packed B strip of KC x NR floats stays L1/L2
 // resident through a full sweep of A micro-panels); the N dimension is
 // blocked in NC-wide panels bounding the packed-B footprint. The register
-// microkernel computes an MR x NR tile of C per call.
+// microkernel computes an MR x NR tile of C per call; MR and NR are
+// properties of the selected microkernel geometry (see gemm_geom.go), not
+// compile-time constants, so the AVX-512 16x32 tile and the AVX2 6x16 tile
+// share every line of the blocking machinery.
 const (
-	gemmKC  = 256
-	gemmNC  = 1024
-	microMR = 6
-	microNR = 16
+	gemmKC = 256
+	gemmNC = 1024
+
+	// maxMR/maxNR bound the register-tile geometry so edge tiles can live
+	// on the stack regardless of which microkernel is active.
+	maxMR = 16
+	maxNR = 32
 
 	// smallGemmFlops is the m*n*k threshold below which packing cannot
 	// amortize; smaller problems take the direct loops.
 	smallGemmFlops = 1 << 14
+
+	// gemmParCutover is the m*n*k multiply-add count below which the packed
+	// path runs its pack/compute phases inline on the calling goroutine:
+	// the worker pool's fixed dispatch-and-wait cost (~a microsecond)
+	// exceeds the compute for small problems, and chunking never changes
+	// which tile writes which C element, so the cutover is invisible in
+	// the produced bits.
+	gemmParCutover = 1 << 17
 )
 
 // GemmNN computes C = alpha*A*B + beta*C for row-major A (M x K), B (K x N),
@@ -55,7 +69,7 @@ func GemmNNStableTraced(m, n, k int, alpha float32, a []float32, b []float32, be
 		scaleC(beta, c[:m*n])
 		return
 	}
-	gemmPacked(false, false, m, n, k, alpha, a, b, beta, c, tr, id)
+	gemmPacked(false, false, m, n, k, alpha, a, b, beta, c, nil, nil, nil, tr, id)
 }
 
 // GemmNT computes C = alpha*A*Bᵀ + beta*C for row-major A (M x K),
@@ -86,7 +100,7 @@ func gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta 
 		gemmSmall(transA, transB, m, n, k, alpha, a, b, beta, c)
 		return
 	}
-	gemmPacked(transA, transB, m, n, k, alpha, a, b, beta, c, nil, 0)
+	gemmPacked(transA, transB, m, n, k, alpha, a, b, beta, c, nil, nil, nil, nil, 0)
 }
 
 // gemmSmall is the direct (unpacked) path: serial triple loops in the
@@ -131,11 +145,20 @@ type gemmState struct {
 	a, b, c        []float32
 	transA, transB bool
 
-	rp        int // A micro-panels (rows of C / MR, rounded up)
-	rowBlocks int // row-block factor of the compute domain
-	p0, kc    int // current K panel
-	jj, nc    int // current N panel
-	first     bool
+	mr, nr int // register-tile geometry of the active microkernel
+	kern   microKernelFunc
+	pb     *PackedB   // prepacked op(B); nil = pack on the fly
+	epi    *Epilogue  // fused store epilogue; nil = plain store
+	aIm    im2colASrc // implicit op(A) source; active when aIm.x != nil
+	par    bool       // dispatch phases on the worker pool
+
+	rp        int  // A micro-panels (rows of C / MR, rounded up)
+	rowBlocks int  // row-block factor of the compute domain
+	p0, kc    int  // current K panel
+	jj, nc    int  // current N panel
+	first     bool // first K panel (beta fold)
+	last      bool // last K panel (epilogue fires)
+	rowMajor  bool // compute domain is (row block, strip) instead of (strip, row block)
 
 	aPanel, bPanel []float32
 }
@@ -156,6 +179,16 @@ type gemmComputeJob struct{ s *gemmState }
 
 func (j gemmComputeJob) RunChunk(lo, hi int) { j.s.computeStrips(lo, hi) }
 
+// dispatch runs a phase either inline (below the parallel cutover) or
+// fanned out over the persistent worker pool.
+func (s *gemmState) dispatch(n int, job parallelJob) {
+	if !s.par {
+		job.RunChunk(0, n)
+		return
+	}
+	parallelChunks(n, job)
+}
+
 // gemmPacked runs the blocked algorithm: for each KC-deep K panel, pack all
 // of op(A) into MR-interleaved micro-panels (alpha folded in), then for each
 // NC-wide N panel pack op(B) into NR-interleaved strips and sweep the
@@ -164,61 +197,101 @@ func (j gemmComputeJob) RunChunk(lo, hi int) { j.s.computeStrips(lo, hi) }
 // per-tile pre-scale otherwise) — there is no serial pre-pass over C.
 // Compute parallelism is over B strips: tiles in distinct strips touch
 // disjoint C columns.
+//
+// With a non-nil pb the pack-B phase is skipped entirely: strips come
+// straight out of the prepacked panel-blocked layout (which must have been
+// built under the active microkernel geometry). With a non-nil epi the
+// epilogue is applied to each C tile right after its last K panel's store,
+// while the tile is cache-hot (see Epilogue for the bitwise contract).
+//
 // tr/id carry optional flight-recorder attribution: nil tr means no tracing
 // hooks run at all; with a ring, each pack/compute phase emits one span per
 // panel, arg = work size (elements packed / fused-multiply-adds swept).
-func gemmPacked(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32, tr *obs.Ring, id uint64) {
+func gemmPacked(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32, pb *PackedB, epi *Epilogue, aIm *im2colASrc, tr *obs.Ring, id uint64) {
+	g := activeGeom
+	if pb != nil {
+		if pb.nr != g.nr || pb.kc != gemmKC {
+			panic(fmt.Sprintf("kernels: PackedB built for geometry nr=%d kc=%d, active is nr=%d kc=%d (repack after changing kernels)",
+				pb.nr, pb.kc, g.nr, gemmKC))
+		}
+		if pb.k != k || pb.n != n {
+			panic(fmt.Sprintf("kernels: PackedB is %dx%d, gemm needs op(B) %dx%d", pb.k, pb.n, k, n))
+		}
+	}
 	s := gemmStatePool.Get().(*gemmState)
 	s.m, s.n, s.k = m, n, k
 	s.alpha, s.beta = alpha, beta
 	s.a, s.b, s.c = a, b, c
 	s.transA, s.transB = transA, transB
-	s.rp = (m + microMR - 1) / microMR
-	// 12 micro-panels (72 C rows) per row block keeps block overhead small
-	// while giving narrow-N problems row-level parallelism.
+	s.mr, s.nr, s.kern = g.mr, g.nr, g.kern
+	s.pb, s.epi = pb, epi
+	if aIm != nil {
+		s.aIm = *aIm
+	}
+	s.par = int64(m)*int64(n)*int64(k) >= gemmParCutover
+	s.rp = (m + s.mr - 1) / s.mr
+	// 12 micro-panels per row block keeps block overhead small while giving
+	// narrow-N problems row-level parallelism.
 	s.rowBlocks = (s.rp + 11) / 12
 
 	kcMax := min(k, gemmKC)
-	ncMax := min((n+microNR-1)/microNR*microNR, gemmNC)
-	aBuf := defaultWS.Get(s.rp * microMR * kcMax)
-	bBuf := defaultWS.Get(ncMax * kcMax)
-	s.aPanel, s.bPanel = *aBuf, *bBuf
+	aBuf := defaultWS.Get(s.rp * s.mr * kcMax)
+	s.aPanel = *aBuf
+	var bBuf *[]float32
+	if pb == nil {
+		ncMax := min((n+s.nr-1)/s.nr*s.nr, gemmNC)
+		bBuf = defaultWS.Get(ncMax * kcMax)
+		s.bPanel = *bBuf
+	}
 
 	for p0 := 0; p0 < k; p0 += gemmKC {
 		s.p0 = p0
 		s.kc = min(gemmKC, k-p0)
 		s.first = p0 == 0
+		s.last = p0+s.kc == k
 		var t int64
 		if tr != nil {
 			t = obs.Start()
 		}
-		parallelChunks(s.rp, gemmPackAJob{s})
-		tr.Record(obs.StageGemmPackA, 0, id, t, int64(s.rp*microMR*s.kc))
+		s.dispatch(s.rp, gemmPackAJob{s})
+		tr.Record(obs.StageGemmPackA, 0, id, t, int64(s.rp*s.mr*s.kc))
 		for jj := 0; jj < n; jj += gemmNC {
 			s.jj = jj
 			s.nc = min(gemmNC, n-jj)
-			strips := (s.nc + microNR - 1) / microNR
+			strips := (s.nc + s.nr - 1) / s.nr
+			if pb == nil {
+				if tr != nil {
+					t = obs.Start()
+				}
+				s.dispatch(strips, gemmPackBJob{s})
+				tr.Record(obs.StageGemmPackB, 0, id, t, int64(s.nc*s.kc))
+			}
+			// The compute domain is (strip, row-block) pairs. Strip-major
+			// order keeps a packed B strip hot across consecutive items —
+			// right when packed A is the smaller operand. When packed A is
+			// the bigger one (tall-skinny C, the transposed serving conv),
+			// strip-major would re-stream the whole A pack once per strip, so
+			// the traversal flips to row-block-major: A streams through once
+			// while the few B strips stay resident. Either order visits the
+			// same disjoint tiles with the same per-tile K schedule, so the
+			// choice is invisible in the produced bits.
+			s.rowMajor = s.rp*s.mr > s.nc
 			if tr != nil {
 				t = obs.Start()
 			}
-			parallelChunks(strips, gemmPackBJob{s})
-			tr.Record(obs.StageGemmPackB, 0, id, t, int64(s.nc*s.kc))
-			// The compute domain is (strip, row-block) pairs, strip-major:
-			// consecutive work items share a packed B strip (locality), while
-			// the row-block factor keeps tall-skinny problems (few strips)
-			// parallel across rows of C.
-			if tr != nil {
-				t = obs.Start()
-			}
-			parallelChunks(strips*s.rowBlocks, gemmComputeJob{s})
+			s.dispatch(strips*s.rowBlocks, gemmComputeJob{s})
 			tr.Record(obs.StageGemmKernel, 0, id, t, int64(m)*int64(s.nc)*int64(s.kc))
 		}
 	}
 
 	s.a, s.b, s.c = nil, nil, nil
 	s.aPanel, s.bPanel = nil, nil
+	s.pb, s.epi = nil, nil
+	s.aIm = im2colASrc{}
 	defaultWS.Put(aBuf)
-	defaultWS.Put(bBuf)
+	if bBuf != nil {
+		defaultWS.Put(bBuf)
+	}
 	gemmStatePool.Put(s)
 }
 
@@ -226,35 +299,39 @@ func gemmPacked(transA, transB bool, m, n, k int, alpha float32, a, b []float32,
 // panel i holds rows i*MR..i*MR+MR of op(A), K-major with the MR rows
 // interleaved, scaled by alpha and zero-padded past row m.
 func (s *gemmState) packAPanels(lo, hi int) {
-	kc, p0, m, k, alpha := s.kc, s.p0, s.m, s.k, s.alpha
+	if s.aIm.x != nil {
+		s.packAIm2col(lo, hi)
+		return
+	}
+	kc, p0, m, k, alpha, mr := s.kc, s.p0, s.m, s.k, s.alpha, s.mr
 	for pnl := lo; pnl < hi; pnl++ {
-		dst := s.aPanel[pnl*microMR*kc : (pnl+1)*microMR*kc]
-		i0 := pnl * microMR
+		dst := s.aPanel[pnl*mr*kc : (pnl+1)*mr*kc]
+		i0 := pnl * mr
 		if !s.transA {
-			for r := 0; r < microMR; r++ {
+			for r := 0; r < mr; r++ {
 				row := i0 + r
 				if row >= m {
 					for p := 0; p < kc; p++ {
-						dst[p*microMR+r] = 0
+						dst[p*mr+r] = 0
 					}
 					continue
 				}
 				src := s.a[row*k+p0 : row*k+p0+kc]
 				for p, v := range src {
-					dst[p*microMR+r] = alpha * v
+					dst[p*mr+r] = alpha * v
 				}
 			}
 		} else {
 			// op(A) = Aᵀ with A row-major K x M: column i of op(A) is
 			// contiguous in A's row p.
-			nr := min(microMR, m-i0)
+			nr := min(mr, m-i0)
 			for p := 0; p < kc; p++ {
 				src := s.a[(p0+p)*m+i0:]
-				o := p * microMR
+				o := p * mr
 				for r := 0; r < nr; r++ {
 					dst[o+r] = alpha * src[r]
 				}
-				for r := nr; r < microMR; r++ {
+				for r := nr; r < mr; r++ {
 					dst[o+r] = 0
 				}
 			}
@@ -266,19 +343,19 @@ func (s *gemmState) packAPanels(lo, hi int) {
 // holds columns jj+j*NR..+NR of op(B), K-major with the NR columns
 // interleaved, zero-padded past column n.
 func (s *gemmState) packBStrips(lo, hi int) {
-	kc, p0, n, k := s.kc, s.p0, s.n, s.k
+	kc, p0, n, k, nrW := s.kc, s.p0, s.n, s.k, s.nr
 	for st := lo; st < hi; st++ {
-		dst := s.bPanel[st*microNR*kc : (st+1)*microNR*kc]
-		j0 := s.jj + st*microNR
-		nj := min(microNR, s.jj+s.nc-j0)
+		dst := s.bPanel[st*nrW*kc : (st+1)*nrW*kc]
+		j0 := s.jj + st*nrW
+		nj := min(nrW, s.jj+s.nc-j0)
 		if !s.transB {
 			for p := 0; p < kc; p++ {
 				src := s.b[(p0+p)*n+j0:]
-				o := p * microNR
+				o := p * nrW
 				for q := 0; q < nj; q++ {
 					dst[o+q] = src[q]
 				}
-				for q := nj; q < microNR; q++ {
+				for q := nj; q < nrW; q++ {
 					dst[o+q] = 0
 				}
 			}
@@ -288,16 +365,28 @@ func (s *gemmState) packBStrips(lo, hi int) {
 			for q := 0; q < nj; q++ {
 				src := s.b[(j0+q)*k+p0 : (j0+q)*k+p0+kc]
 				for p, v := range src {
-					dst[p*microNR+q] = v
+					dst[p*nrW+q] = v
 				}
 			}
-			for q := nj; q < microNR; q++ {
+			for q := nj; q < nrW; q++ {
 				for p := 0; p < kc; p++ {
-					dst[p*microNR+q] = 0
+					dst[p*nrW+q] = 0
 				}
 			}
 		}
 	}
+}
+
+// bStripFor returns packed strip st of the current (K, N) panel: from the
+// scratch panel when packing on the fly, or sliced straight out of the
+// prepacked layout (strips are NR-interleaved in both, byte-identical).
+func (s *gemmState) bStripFor(st, kc int) []float32 {
+	if s.pb == nil {
+		return s.bPanel[st*s.nr*kc : (st+1)*s.nr*kc]
+	}
+	gs := s.jj/s.nr + st // global strip index
+	off := s.p0*s.pb.strips*s.nr + gs*s.nr*kc
+	return s.pb.data[off : off+s.nr*kc]
 }
 
 // computeStrips runs the microkernel over compute-domain items [lo, hi),
@@ -306,77 +395,120 @@ func (s *gemmState) packBStrips(lo, hi int) {
 // stack tile and merge only the valid region. There is deliberately no
 // zero-value skip on packed A entries: a zero times an Inf/NaN in B must
 // propagate, and the branch would stall the FMA pipeline.
+//
+// On the last K panel a fused epilogue (if any) is applied to each tile
+// right after its store, while the tile is still cache-resident — this is
+// where the BN-scale/shift + ReLU passes of the inference path disappear
+// into the GEMM's own store phase.
 func (s *gemmState) computeStrips(lo, hi int) {
-	kc, n, m := s.kc, s.n, s.m
+	kc, n, m, mr, nr := s.kc, s.n, s.m, s.mr, s.nr
 	panelsPerBlock := (s.rp + s.rowBlocks - 1) / s.rowBlocks
-	var tile [microMR * microNR]float32
+	// The edge tile comes from the workspace, not the stack: the microkernel
+	// is an indirect call, so a stack array would be forced to escape (one
+	// heap allocation per chunk). Fetched lazily — full-tile-only chunks
+	// never touch the pool.
+	var tileBuf *[]float32
+	var tile []float32
+	strips := (s.nc + nr - 1) / nr
 	for item := lo; item < hi; item++ {
-		st := item / s.rowBlocks
-		rb := item % s.rowBlocks
-		bStrip := s.bPanel[st*microNR*kc : (st+1)*microNR*kc]
-		jBase := s.jj + st*microNR
-		ni := min(microNR, s.jj+s.nc-jBase)
+		var st, rb int
+		if s.rowMajor {
+			rb = item / strips
+			st = item % strips
+		} else {
+			st = item / s.rowBlocks
+			rb = item % s.rowBlocks
+		}
+		bStrip := s.bStripFor(st, kc)
+		jBase := s.jj + st*nr
+		ni := min(nr, s.jj+s.nc-jBase)
 		pnlHi := min((rb+1)*panelsPerBlock, s.rp)
 		for pnl := rb * panelsPerBlock; pnl < pnlHi; pnl++ {
-			aPanel := s.aPanel[pnl*microMR*kc : (pnl+1)*microMR*kc]
-			iBase := pnl * microMR
-			mi := min(microMR, m-iBase)
+			aPanel := s.aPanel[pnl*mr*kc : (pnl+1)*mr*kc]
+			iBase := pnl * mr
+			mi := min(mr, m-iBase)
 			cOff := iBase*n + jBase
-			if mi == microMR && ni == microNR {
+			if mi == mr && ni == nr {
+				stored := false
 				if s.first {
 					switch s.beta {
 					case 0:
-						microKernel(kc, aPanel, bStrip, s.c[cOff:], n, false)
-						continue
+						s.kern(kc, aPanel, bStrip, s.c[cOff:], n, false)
+						stored = true
 					case 1:
 					default:
-						scaleTile(s.c[cOff:], n, microMR, microNR, s.beta)
+						scaleTile(s.c[cOff:], n, mr, nr, s.beta)
 					}
 				}
-				microKernel(kc, aPanel, bStrip, s.c[cOff:], n, true)
-				continue
+				if !stored {
+					s.kern(kc, aPanel, bStrip, s.c[cOff:], n, true)
+				}
+			} else {
+				if tileBuf == nil {
+					tileBuf = defaultWS.Get(maxMR * maxNR)
+					tile = *tileBuf
+				}
+				s.kern(kc, aPanel, bStrip, tile, nr, false)
+				mergeTile(s.c[cOff:], n, tile, nr, mi, ni, s.first, s.beta)
 			}
-			microKernel(kc, aPanel, bStrip, tile[:], microNR, false)
-			mergeTile(s.c[cOff:], n, tile[:], mi, ni, s.first, s.beta)
+			if s.epi != nil && s.last {
+				s.epi.apply(s.c[cOff:], n, mi, ni, jBase)
+			}
 		}
+	}
+	if tileBuf != nil {
+		defaultWS.Put(tileBuf)
 	}
 }
 
-// microKernel computes an MR x NR tile: c = acc (accum=false) or c += acc
-// (accum=true), where acc = sum over kc of aPanel-column x bStrip-row outer
-// products. It dispatches to the AVX2+FMA assembly kernel when the CPU
-// supports it and to the portable Go kernel otherwise.
-func microKernel(kc int, a, b, c []float32, ldc int, accum bool) {
-	if useAsmKernel {
-		mode := 0
-		if accum {
-			mode = 1
-		}
-		sgemmKernel6x16(kc, &a[0], &b[0], &c[0], ldc, mode)
-		return
-	}
-	goKernel6x16(kc, a, b, c, ldc, accum)
-}
-
-// goKernel6x16 is the portable microkernel on the same packed layout.
+// goKernel6x16 is the portable 6x16 microkernel on the packed panel layout.
 func goKernel6x16(kc int, a, b, c []float32, ldc int, accum bool) {
-	var acc [microMR * microNR]float32
+	const mr, nr = 6, 16
+	var acc [mr * nr]float32
 	ai, bi := 0, 0
 	for p := 0; p < kc; p++ {
-		bb := b[bi : bi+microNR]
-		for r := 0; r < microMR; r++ {
+		bb := b[bi : bi+nr]
+		for r := 0; r < mr; r++ {
 			av := a[ai+r]
-			row := acc[r*microNR : r*microNR+microNR]
+			row := acc[r*nr : r*nr+nr]
 			for q, bv := range bb {
 				row[q] += av * bv
 			}
 		}
-		ai += microMR
-		bi += microNR
+		ai += mr
+		bi += nr
 	}
-	for r := 0; r < microMR; r++ {
-		crow := c[r*ldc : r*ldc+microNR]
-		arow := acc[r*microNR : (r+1)*microNR]
+	storeAcc(acc[:], mr, nr, c, ldc, accum)
+}
+
+// goKernel16x32 is the portable microkernel on the AVX-512 packed layout
+// (16-interleaved A panels, 32-interleaved B strips), used as the fallback
+// when the assembly kernel is unavailable or disabled in tests.
+func goKernel16x32(kc int, a, b, c []float32, ldc int, accum bool) {
+	const mr, nr = 16, 32
+	var acc [mr * nr]float32
+	ai, bi := 0, 0
+	for p := 0; p < kc; p++ {
+		bb := b[bi : bi+nr]
+		for r := 0; r < mr; r++ {
+			av := a[ai+r]
+			row := acc[r*nr : r*nr+nr]
+			for q, bv := range bb {
+				row[q] += av * bv
+			}
+		}
+		ai += mr
+		bi += nr
+	}
+	storeAcc(acc[:], mr, nr, c, ldc, accum)
+}
+
+// storeAcc writes an accumulator tile to C (row stride ldc), overwriting or
+// accumulating.
+func storeAcc(acc []float32, mr, nr int, c []float32, ldc int, accum bool) {
+	for r := 0; r < mr; r++ {
+		crow := c[r*ldc : r*ldc+nr]
+		arow := acc[r*nr : (r+1)*nr]
 		if accum {
 			for q, v := range arow {
 				crow[q] += v
@@ -398,12 +530,12 @@ func scaleTile(c []float32, ldc, mi, ni int, beta float32) {
 	}
 }
 
-// mergeTile folds the valid mi x ni region of an edge tile into C,
-// applying the first-panel beta semantics.
-func mergeTile(c []float32, ldc int, tile []float32, mi, ni int, first bool, beta float32) {
+// mergeTile folds the valid mi x ni region of an edge tile (row stride
+// tileLd) into C, applying the first-panel beta semantics.
+func mergeTile(c []float32, ldc int, tile []float32, tileLd, mi, ni int, first bool, beta float32) {
 	for r := 0; r < mi; r++ {
 		crow := c[r*ldc : r*ldc+ni]
-		trow := tile[r*microNR : r*microNR+ni]
+		trow := tile[r*tileLd : r*tileLd+ni]
 		switch {
 		case !first || beta == 1:
 			for q, v := range trow {

@@ -1,0 +1,80 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAVX512MatchesAVX2Bitwise demands exact agreement between the two
+// assembly kernels on arbitrary (non-integer) data: both accumulate each
+// output element with single-rounding FMAs in ascending k order, so not
+// even rounding may differ between the 6x16 and 16x32 tiles. (The portable
+// Go kernels round mul and add separately, so they agree with the assembly
+// only on integer-exact data — TestGemmGeometriesAgree covers that.)
+func TestAVX512MatchesAVX2Bitwise(t *testing.T) {
+	if !useAVX512Kernel {
+		t.Skip("no AVX-512 on this machine")
+	}
+	dims := [][3]int{{37, 65, 300}, {16, 32, 256}, {7, 1025, 255}}
+	for _, d := range dims {
+		m, n, k := d[0], d[1], d[2]
+		a := randSlice(m*k, int64(m+n+k))
+		b := randSlice(k*n, int64(m*n+k))
+
+		restore := setGeomForTest(geomAVX2)
+		want := make([]float32, m*n)
+		GemmNNStable(m, n, k, 1, a, b, 0, want)
+		restore()
+
+		restore = setGeomForTest(geomAVX512)
+		got := make([]float32, m*n)
+		GemmNNStable(m, n, k, 1, a, b, 0, got)
+		restore()
+
+		bitsEqual(t, "avx512-vs-avx2", got, want)
+	}
+}
+
+// TestBNEpilogueAsmMatchesScalar sweeps every tail width (including a full
+// 16-lane body plus each masked remainder) and both ReLU modes, demanding
+// the AVX-512 epilogue row routine agree bitwise with the scalar Go
+// expression — including NaN inputs and negative zeros, which the clamp
+// must both store as +0.
+func TestBNEpilogueAsmMatchesScalar(t *testing.T) {
+	if !useAVX512Kernel {
+		t.Skip("no AVX-512 on this machine")
+	}
+	const ldc = 40
+	for ni := 1; ni <= 33; ni++ {
+		for _, relu := range []bool{false, true} {
+			mi := 3
+			src := randSlice(mi*ldc, int64(ni))
+			src[0] = float32(math.NaN())
+			if ni > 1 {
+				src[1] = math.Float32frombits(0x80000000) // -0
+			}
+			g := randSlice(ni, int64(ni+1))
+			mn := randSlice(ni, int64(ni+2))
+			is := randSlice(ni, int64(ni+3))
+			bt := randSlice(ni, int64(ni+4))
+
+			want := append([]float32(nil), src...)
+			for r := 0; r < mi; r++ {
+				row := want[r*ldc : r*ldc+ni]
+				for q, v := range row {
+					v = g[q]*(v-mn[q])*is[q] + bt[q]
+					if relu && !(v > 0) {
+						v = 0
+					}
+					row[q] = v
+				}
+			}
+
+			got := append([]float32(nil), src...)
+			if !bnEpilogueTileAsm(got, ldc, mi, ni, g, mn, is, bt, relu) {
+				t.Fatal("asm epilogue refused despite AVX-512")
+			}
+			bitsEqual(t, "bn-epilogue-asm", got, want)
+		}
+	}
+}

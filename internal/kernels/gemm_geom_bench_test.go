@@ -1,0 +1,23 @@
+package kernels
+
+import "testing"
+
+// BenchmarkGemmGeom sweeps every usable microkernel geometry over a fixed
+// SGEMM so kernel regressions are visible per geometry, not only through
+// whichever one runtime detection picked.
+func BenchmarkGemmGeom(b *testing.B) {
+	m, n, k := 512, 512, 512
+	a := randSlice(m*k, 1)
+	bb := randSlice(k*n, 2)
+	c := make([]float32, m*n)
+	for _, g := range platformGeoms() {
+		b.Run(g.name, func(b *testing.B) {
+			restore := setGeomForTest(g)
+			defer restore()
+			b.SetBytes(int64(2 * m * n * k)) // MACs as "bytes" -> GFLOP/s*2 in MB/s column
+			for i := 0; i < b.N; i++ {
+				GemmNNStable(m, n, k, 1, a, bb, 0, c)
+			}
+		})
+	}
+}

@@ -11,6 +11,48 @@ package kernels
 //go:noescape
 func sgemmKernel6x16(kc int, a, b, c *float32, ldc int, accum int)
 
+// sgemmKernel16x32 is the AVX-512F microkernel: a 16x32 tile accumulated in
+// ZMM registers over 16-interleaved A panels and 32-interleaved B strips.
+// Thirty-two 16-float accumulators plus operands exceed the 32-register
+// file, so the kernel internally runs two column-half sweeps (rows 0-15 x
+// cols 0-15, then x cols 16-31), each holding 16 accumulators + 1 B vector
+// + 1 broadcast; the A panel is L1-resident for the second sweep. Each
+// accumulator element is still updated exactly once per k step in ascending
+// k order with single-rounding FMAs, so results are bitwise identical to
+// the AVX2 kernel's.
+//
+//go:noescape
+func sgemmKernel16x32(kc int, a, b, c *float32, ldc int, accum int)
+
+// sbnEpilogueRow applies the BN(+ReLU) epilogue to one row of n channels:
+// c[i] = g[i]*(c[i]-mn[i])*is[i] + bt[i], clamped at zero when relu != 0.
+// AVX-512 single-rounding VSUBPS/VMULPS/VADDPS match the scalar Go
+// expression bitwise (float multiplication commutes), and VMAXPS with zero
+// as the second source reproduces the !(v > 0) NaN/-0 semantics. The tail
+// runs under a K mask so subslice operands are never read past n.
+//
+//go:noescape
+func sbnEpilogueRow(c, ga, mn, is, bt *float32, n, relu int)
+
+// bnEpilogueTileAsm applies the bias-free BN(+ReLU) epilogue to an mi x ni
+// tile of C with the AVX-512 row routine. Returns false (leaving the tile
+// untouched) when the machine lacks AVX-512, so the caller falls back to
+// the scalar loop.
+func bnEpilogueTileAsm(c []float32, ldc, mi, ni int, g, mn, is, bt []float32, relu bool) bool {
+	if !useAVX512Kernel || ni == 0 {
+		return false
+	}
+	rl := 0
+	if relu {
+		rl = 1
+	}
+	for r := 0; r < mi; r++ {
+		row := c[r*ldc:]
+		sbnEpilogueRow(&row[0], &g[0], &mn[0], &is[0], &bt[0], ni, rl)
+	}
+	return true
+}
+
 // cpuidex executes CPUID with the given leaf and subleaf.
 //
 //go:noescape
@@ -21,9 +63,14 @@ func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 //go:noescape
 func xgetbv0() (eax, edx uint32)
 
-// useAsmKernel reports whether the assembly microkernel may be used: the
-// CPU must support AVX2 and FMA and the OS must have enabled YMM state.
+// useAsmKernel reports whether the AVX2 assembly microkernel may be used:
+// the CPU must support AVX2 and FMA and the OS must have enabled YMM state.
 var useAsmKernel = detectAVX2FMA()
+
+// useAVX512Kernel reports whether the AVX-512 microkernel may be used: on
+// top of the AVX2+FMA baseline, the CPU must support AVX-512F and the OS
+// must have enabled opmask/ZMM state.
+var useAVX512Kernel = detectAVX512()
 
 func detectAVX2FMA() bool {
 	maxLeaf, _, _, _ := cpuidex(0, 0)
@@ -45,4 +92,65 @@ func detectAVX2FMA() bool {
 	_, ebx7, _, _ := cpuidex(7, 0)
 	const avx2 = 1 << 5
 	return ebx7&avx2 != 0
+}
+
+func detectAVX512() bool {
+	if !useAsmKernel {
+		return false
+	}
+	// XCR0 bits 1,2 (XMM/YMM) plus 5,6,7 (opmask, ZMM0-15 high, ZMM16-31).
+	if lo, _ := xgetbv0(); lo&0xe6 != 0xe6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx512f = 1 << 16
+	return ebx7&avx512f != 0
+}
+
+// asmKernel6x16 adapts the AVX2 assembly kernel to microKernelFunc.
+func asmKernel6x16(kc int, a, b, c []float32, ldc int, accum bool) {
+	mode := 0
+	if accum {
+		mode = 1
+	}
+	sgemmKernel6x16(kc, &a[0], &b[0], &c[0], ldc, mode)
+}
+
+// asmKernel16x32 adapts the AVX-512 assembly kernel to microKernelFunc.
+func asmKernel16x32(kc int, a, b, c []float32, ldc int, accum bool) {
+	mode := 0
+	if accum {
+		mode = 1
+	}
+	sgemmKernel16x32(kc, &a[0], &b[0], &c[0], ldc, mode)
+}
+
+var (
+	geomAVX2   = microGeom{mr: 6, nr: 16, kern: asmKernel6x16, name: "avx2_6x16"}
+	geomAVX512 = microGeom{mr: 16, nr: 32, kern: asmKernel16x32, name: "avx512_16x32"}
+)
+
+// detectGeom picks the widest microkernel the CPU supports.
+func detectGeom() microGeom {
+	if useAVX512Kernel {
+		return geomAVX512
+	}
+	if useAsmKernel {
+		return geomAVX2
+	}
+	return geomGo6x16
+}
+
+// platformGeoms returns every geometry usable on this machine: the portable
+// Go tiles plus whichever assembly kernels runtime detection admits. The
+// cross-kernel agreement tests sweep this set.
+func platformGeoms() []microGeom {
+	gs := append([]microGeom(nil), portableGeoms...)
+	if useAsmKernel {
+		gs = append(gs, geomAVX2)
+	}
+	if useAVX512Kernel {
+		gs = append(gs, geomAVX512)
+	}
+	return gs
 }

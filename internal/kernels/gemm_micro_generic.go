@@ -2,11 +2,21 @@
 
 package kernels
 
-// useAsmKernel is false off amd64; the portable Go microkernel runs on the
-// same packed panel layout.
-const useAsmKernel = false
+// Off amd64 the portable Go microkernels run on the same packed panel
+// layouts; there is no assembly path to detect.
+const (
+	useAsmKernel    = false
+	useAVX512Kernel = false
+)
 
-// sgemmKernel6x16 is never called when useAsmKernel is false.
-func sgemmKernel6x16(kc int, a, b, c *float32, ldc int, accum int) {
-	panic("kernels: assembly microkernel unavailable")
+func detectGeom() microGeom { return geomGo6x16 }
+
+// bnEpilogueTileAsm has no portable implementation; the scalar epilogue
+// loop in apply handles every tile.
+func bnEpilogueTileAsm(c []float32, ldc, mi, ni int, g, mn, is, bt []float32, relu bool) bool {
+	return false
 }
+
+// platformGeoms returns every geometry usable on this machine — off amd64,
+// just the portable Go tiles.
+func platformGeoms() []microGeom { return portableGeoms }

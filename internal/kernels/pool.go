@@ -54,6 +54,10 @@ func MaxPoolForwardRegion(x, y *tensor.Tensor, k, stride, pad, xLoH, xLoW, yLoH,
 	}
 	j := poolJobPool.Get().(*poolJob)
 	j.run = maxPoolFwdChunk
+	if argmax == nil && xLoH == 0 && xLoW == 0 && yLoH == 0 && yLoW == 0 &&
+		globalH == xs[2] && globalW == xs[3] {
+		j.run = maxPoolFwdInferChunk
+	}
 	j.xd, j.yd, j.argmax = x.Data(), y.Data(), argmax
 	j.k, j.stride, j.pad = k, stride, pad
 	j.xh, j.xw, j.yh, j.yw = xs[2], xs[3], ys[2], ys[3]
@@ -61,6 +65,44 @@ func MaxPoolForwardRegion(x, y *tensor.Tensor, k, stride, pad, xLoH, xLoW, yLoH,
 	j.globalH, j.globalW = globalH, globalW
 	parallelChunks(n*c, j)
 	j.release()
+}
+
+// maxPoolFwdInferChunk is the single-node inference fast path: no argmax, no
+// halo offsets (local extent == global extent). Window clipping moves out of
+// the per-tap loop — each output's valid kh/kw range is computed up front and
+// the inner sweep is a branch-free max over a contiguous row slice. The taps
+// are visited in the same ascending (kh, kw) order as the general chunk with
+// the same strict-> comparison, so the kept value (including -0 vs +0 and
+// first-of-equals) is bitwise identical.
+func maxPoolFwdInferChunk(j *poolJob, lo, hi int) {
+	xh, xw, yh, yw := j.xh, j.xw, j.yh, j.yw
+	k, stride, pad := j.k, j.stride, j.pad
+	for nc := lo; nc < hi; nc++ {
+		xBase := nc * xh * xw
+		yBase := nc * yh * yw
+		xd := j.xd[xBase : xBase+xh*xw]
+		for oy := 0; oy < yh; oy++ {
+			iy0 := oy*stride - pad
+			khLo := max(0, -iy0)
+			khHi := min(k, xh-iy0)
+			yRow := j.yd[yBase+oy*yw : yBase+(oy+1)*yw]
+			for ox := 0; ox < yw; ox++ {
+				ix0 := ox*stride - pad
+				kwLo := max(0, -ix0)
+				kwHi := min(k, xw-ix0)
+				best := float32(math.Inf(-1))
+				for kh := khLo; kh < khHi; kh++ {
+					off := (iy0+kh)*xw + ix0
+					for kw := kwLo; kw < kwHi; kw++ {
+						if v := xd[off+kw]; v > best {
+							best = v
+						}
+					}
+				}
+				yRow[ox] = best
+			}
+		}
+	}
 }
 
 func maxPoolFwdChunk(j *poolJob, lo, hi int) {

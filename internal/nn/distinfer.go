@@ -370,6 +370,10 @@ func (d *diFilterConv) load(ck *Checkpoint, name string) error {
 		}
 		copy(d.l.Bias, b[d.l.FRange.Lo:d.l.FRange.Hi])
 	}
+	// The layer may have served (and lazily prepacked) before this restore —
+	// rejoin state transfer does exactly that — so force a repack from the
+	// fresh weights.
+	d.l.InvalidatePacked()
 	return nil
 }
 
@@ -402,6 +406,9 @@ func (d *diChanConv) load(ck *Checkpoint, name string) error {
 		}
 		copy(d.l.Bias, b) // replicated within the channel group
 	}
+	// Force a repack in case the layer already served with stale weights
+	// (rejoin state transfer restores into a live net).
+	d.l.InvalidatePacked()
 	return nil
 }
 

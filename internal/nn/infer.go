@@ -3,11 +3,25 @@ package nn
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/kernels"
 	"repro/internal/obs"
 	"repro/internal/tensor"
 )
+
+// inferNoFusion disables the prepacked/fused serving path when set: nets
+// built while it is true run every conv through the legacy pack-on-the-fly
+// ConvForwardBatched and execute batchnorm/ReLU as separate layers. The
+// fused path is bitwise identical to the legacy one (test-enforced), so the
+// knob exists for A/B benchmarking and for the equivalence tests themselves,
+// not for correctness escapes. Read once at NewInferNet.
+var inferNoFusion atomic.Bool
+
+// SetInferFusion toggles conv+BN+ReLU fusion and weight prepacking for
+// subsequently constructed InferNets (default on).
+func SetInferFusion(on bool) { inferNoFusion.Store(!on) }
 
 // InferNet is the forward-only execution engine behind the serving
 // subsystem: it runs an architecture in eval mode (batch normalization uses
@@ -39,6 +53,7 @@ type InferNet struct {
 	bufs   []*tensor.Tensor   // capacity-sized output storage (aliased for in-place layers)
 	views  [][]*tensor.Tensor // views[i][b]: batch-b prefix of bufs[i], cached lazily
 	cur    []*tensor.Tensor   // per-forward outputs, reused across calls
+	fused  []bool             // layer folded into its parent conv's epilogue; Forward skips it
 
 	trace   *obs.Ring // flight-recorder track; nil = no tracing hooks at all
 	traceID uint64    // correlation id stamped on spans (serving batch seq)
@@ -73,13 +88,25 @@ func NewInferNet(arch *Arch, maxBatch int) (*InferNet, error) {
 		bufs:    make([]*tensor.Tensor, len(arch.Specs)),
 		views:   make([][]*tensor.Tensor, len(arch.Specs)),
 		cur:     make([]*tensor.Tensor, len(arch.Specs)),
+		fused:   make([]bool, len(arch.Specs)),
 	}
 	children := make([]int, len(arch.Specs))
-	for _, s := range arch.Specs {
+	childOf := make([]int, len(arch.Specs)) // sole consumer, or -1
+	for i := range childOf {
+		childOf[i] = -1
+	}
+	for i, s := range arch.Specs {
 		for _, p := range s.Parents {
 			children[p]++
+			childOf[p] = i
 		}
 	}
+	for i := range childOf {
+		if children[i] != 1 {
+			childOf[i] = -1
+		}
+	}
+	fusion := !inferNoFusion.Load()
 	for i, s := range arch.Specs {
 		var in Shape
 		if len(s.Parents) > 0 {
@@ -90,7 +117,8 @@ func NewInferNet(arch *Arch, maxBatch int) (*InferNet, error) {
 			n.layers[i] = nil // cur[0] is the caller's input tensor
 			continue
 		case KindConv:
-			l := &inferConv{spec: s, w: tensor.New(s.F, in.C, s.Geom.K, s.Geom.K)}
+			l := &inferConv{spec: s, w: tensor.New(s.F, in.C, s.Geom.K, s.Geom.K),
+				legacy: !fusion, pack: &convPack{}}
 			fanIn := in.C * s.Geom.K * s.Geom.K
 			l.w.FillRandN(int64(i), float32(math.Sqrt(2.0/float64(fanIn))))
 			if s.Bias {
@@ -126,7 +154,60 @@ func NewInferNet(arch *Arch, maxBatch int) (*InferNet, error) {
 		n.views[i] = make([]*tensor.Tensor, maxBatch+1)
 		n.views[i][maxBatch] = n.bufs[i]
 	}
+	// Fusion plan (topology only; weights are untouched): a conv whose sole
+	// consumer is a batchnorm absorbs it into the GEMM's store epilogue, and
+	// the batchnorm's sole ReLU consumer rides along; a conv directly feeding
+	// its sole ReLU absorbs just the ReLU. The folded layers are exactly the
+	// layers the buffer plan above already runs in place (single-consumer
+	// shape-preserving children of the conv), so skipping them leaves their
+	// aliased buffers holding the conv's — now fused — output, and Forward's
+	// view bookkeeping needs no special cases.
+	if fusion {
+		for i, s := range arch.Specs {
+			j := childOf[i]
+			if j < 0 {
+				continue
+			}
+			switch s.Kind {
+			case KindConv:
+				cv := n.layers[i].(*inferConv)
+				switch arch.Specs[j].Kind {
+				case KindBatchNorm:
+					cv.fuseBN = n.layers[j].(*inferBN)
+					n.fused[j] = true
+					if r := childOf[j]; r >= 0 && arch.Specs[r].Kind == KindReLU {
+						cv.fuseReLU = true
+						n.fused[r] = true
+					}
+				case KindReLU:
+					cv.fuseReLU = true
+					n.fused[j] = true
+				}
+			case KindAdd:
+				// A residual add whose sole consumer is a ReLU applies it in
+				// the same elementwise pass (kernels.AddReLU, bitwise equal
+				// to the two separate passes).
+				if arch.Specs[j].Kind == KindReLU {
+					n.layers[i].(*inferAdd).relu = true
+					n.fused[j] = true
+				}
+			}
+		}
+	}
 	return n, nil
+}
+
+// Repack drops every conv layer's prepacked weights and cached epilogue;
+// the next Forward rebuilds them from current parameter values. Call after
+// restoring a checkpoint into a net (or any of its clones) that has already
+// run a Forward — the serving startup flow (LoadState before the first
+// Forward) does not need it, because packing is lazy.
+func (n *InferNet) Repack() {
+	for _, l := range n.layers {
+		if cv, ok := l.(*inferConv); ok {
+			cv.pack.p.Store((*packedConv)(nil))
+		}
+	}
 }
 
 // Clone returns an independent execution engine sharing n's (read-only)
@@ -143,6 +224,10 @@ func (n *InferNet) Clone() (*InferNet, error) {
 			c.layers[i] = l.shareWeights()
 		}
 	}
+	// The clone executes n's fusion plan, not one rebuilt under the current
+	// knob state: its conv layers carry n's fuse fields, so the skip list
+	// must match them.
+	copy(c.fused, n.fused)
 	return c, nil
 }
 
@@ -182,6 +267,12 @@ func (n *InferNet) Forward(x *tensor.Tensor) *tensor.Tensor {
 	n.cur[0] = x
 	var ins [2]*tensor.Tensor
 	for i := 1; i < len(n.layers); i++ {
+		if n.fused[i] {
+			// Folded into the parent conv's epilogue; its buffer aliases the
+			// conv's, so the already-written view IS this layer's output.
+			n.cur[i] = n.view(i, b)
+			continue
+		}
 		for j, p := range n.Arch.Specs[i].Parents {
 			ins[j] = n.cur[p]
 		}
@@ -237,18 +328,68 @@ type inferLayer interface {
 	shareWeights() inferLayer
 }
 
+// convPack is the shared prepack slot of one conv layer: every replica
+// cloned from a net points at the same convPack, so the KC x NC panel-blocked
+// weights are built once and read by all. The pointer is atomic so warm
+// forwards are a single load; the mutex only serializes the (rare) build.
+type convPack struct {
+	mu sync.Mutex
+	p  atomic.Pointer[packedConv]
+}
+
+// packedConv is one immutable prepack generation: the panel-blocked weights
+// plus the fused store epilogue derived from the current bias/BN values.
+// Repack installs nil to force a rebuild from fresh parameters.
+type packedConv struct {
+	pb  *kernels.PackedB
+	epi *kernels.Epilogue
+}
+
 type inferConv struct {
 	spec Spec
 	w    *tensor.Tensor
 	b    []float32
+
+	legacy   bool      // pack-on-the-fly ConvForwardBatched (fusion knob off)
+	fuseBN   *inferBN  // batchnorm folded into the epilogue; nil = none
+	fuseReLU bool      // ReLU folded into the epilogue
+	pack     *convPack // shared across clones
+}
+
+// packed returns the current prepack generation, building it on first use
+// (or after Repack). The build happens at most once per generation across
+// all replicas; warm calls cost one atomic load.
+func (l *inferConv) packed() *packedConv {
+	if pc := l.pack.p.Load(); pc != nil {
+		return pc
+	}
+	l.pack.mu.Lock()
+	defer l.pack.mu.Unlock()
+	if pc := l.pack.p.Load(); pc != nil {
+		return pc
+	}
+	pc := &packedConv{pb: kernels.PackConvWeights(l.w)}
+	if l.fuseBN != nil {
+		bn := l.fuseBN
+		pc.epi = kernels.NewBNEpilogue(l.b, bn.gamma, bn.beta, bn.runMean, bn.runVar, bn.eps, l.fuseReLU)
+	} else if l.b != nil || l.fuseReLU {
+		pc.epi = &kernels.Epilogue{Bias: l.b, ReLU: l.fuseReLU}
+	}
+	l.pack.p.Store(pc)
+	return pc
 }
 
 func (l *inferConv) forward(ins [2]*tensor.Tensor, out *tensor.Tensor) {
-	kernels.ConvForwardBatched(ins[0], l.w, l.b, out, l.spec.Geom.S, l.spec.Geom.Pad)
+	l.forwardTraced(ins, out, nil, 0)
 }
 
 func (l *inferConv) forwardTraced(ins [2]*tensor.Tensor, out *tensor.Tensor, tr *obs.Ring, id uint64) {
-	kernels.ConvForwardBatchedTraced(ins[0], l.w, l.b, out, l.spec.Geom.S, l.spec.Geom.Pad, tr, id)
+	if l.legacy {
+		kernels.ConvForwardBatchedTraced(ins[0], l.w, l.b, out, l.spec.Geom.S, l.spec.Geom.Pad, tr, id)
+		return
+	}
+	pc := l.packed()
+	kernels.ConvForwardBatchedPrepacked(ins[0], pc.pb, l.spec.Geom.K, pc.epi, out, l.spec.Geom.S, l.spec.Geom.Pad, tr, id)
 }
 
 // layerStage maps a layer kind to its flight-recorder stage so traces
@@ -275,7 +416,8 @@ func (l *inferConv) params(name string) []Param {
 
 func (l *inferConv) buffers(string) []Param { return nil }
 func (l *inferConv) shareWeights() inferLayer {
-	return &inferConv{spec: l.spec, w: l.w, b: l.b}
+	return &inferConv{spec: l.spec, w: l.w, b: l.b,
+		legacy: l.legacy, fuseBN: l.fuseBN, fuseReLU: l.fuseReLU, pack: l.pack}
 }
 
 type inferBN struct {
@@ -351,9 +493,15 @@ func (l *inferGAP) params(string) []Param    { return nil }
 func (l *inferGAP) buffers(string) []Param   { return nil }
 func (l *inferGAP) shareWeights() inferLayer { return l }
 
-type inferAdd struct{}
+type inferAdd struct {
+	relu bool // apply the folded sole-consumer ReLU in the same pass
+}
 
 func (l *inferAdd) forward(ins [2]*tensor.Tensor, out *tensor.Tensor) {
+	if l.relu {
+		kernels.AddReLU(ins[0], ins[1], out)
+		return
+	}
 	kernels.Add(ins[0], ins[1], out)
 }
 func (l *inferAdd) params(string) []Param    { return nil }

@@ -216,3 +216,91 @@ func TestInferNetForwardZeroAllocs(t *testing.T) {
 		}
 	}
 }
+
+// TestInferNetFusionBitwiseMatchesLegacy is the acceptance test for the
+// prepacked/fused serving path: an InferNet built with fusion on (prepacked
+// weights, conv+BN+ReLU folded into the GEMM store epilogue) must produce
+// bit-for-bit the output of one built with fusion off (pack-on-the-fly
+// ConvForwardBatched, batchnorm and ReLU as separate full passes), for every
+// batch size. The arch covers all three fusion shapes: conv+BN+ReLU (stem),
+// conv+BN whose batchnorm feeds an Add (b2a), and an unfused biased conv
+// (cls).
+func TestInferNetFusionBitwiseMatchesLegacy(t *testing.T) {
+	const size, maxN = 8, 5
+	arch := servingArch(size)
+	seq, err := NewSeqNet(arch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainBriefly(t, seq, maxN, size)
+	var buf bytes.Buffer
+	if err := SaveState(&buf, arch.Name, seq.Params(), seq.Buffers()); err != nil {
+		t.Fatal(err)
+	}
+
+	build := func(fusion bool) *InferNet {
+		SetInferFusion(fusion)
+		defer SetInferFusion(true)
+		inf, err := NewInferNet(arch, maxN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := LoadState(bytes.NewReader(buf.Bytes()), arch.Name, inf.Params(), inf.Buffers()); err != nil {
+			t.Fatal(err)
+		}
+		return inf
+	}
+	legacy := build(false)
+	fused := build(true)
+
+	for _, b := range []int{1, 3, maxN} {
+		x := tensor.New(b, 3, size, size)
+		x.FillRandN(int64(b), 1)
+		if d := fused.Forward(x).MaxAbsDiff(legacy.Forward(x)); d != 0 {
+			t.Fatalf("batch %d: fused forward differs from legacy: max abs diff %g, want bitwise identity", b, d)
+		}
+	}
+}
+
+// TestInferNetRepack: restoring a checkpoint into a net that has already
+// served uses stale prepacked weights until Repack; after Repack the output
+// is bitwise the restored state's.
+func TestInferNetRepack(t *testing.T) {
+	const size, n = 8, 2
+	arch := servingArch(size)
+	seq, err := NewSeqNet(arch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainBriefly(t, seq, n, size)
+	var buf bytes.Buffer
+	if err := SaveState(&buf, arch.Name, seq.Params(), seq.Buffers()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: a fresh net restored before its first Forward.
+	ref, err := NewInferNet(arch, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadState(bytes.NewReader(buf.Bytes()), arch.Name, ref.Params(), ref.Buffers()); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(n, 3, size, size)
+	x.FillPattern(0.23)
+	want := ref.Forward(x).Clone()
+
+	// A net that served on its He-initialized weights, then restores.
+	inf, err := NewInferNet(arch, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf.Forward(x) // builds the prepack from the initial weights
+	if err := LoadState(bytes.NewReader(buf.Bytes()), arch.Name, inf.Params(), inf.Buffers()); err != nil {
+		t.Fatal(err)
+	}
+	inf.Repack()
+	if d := inf.Forward(x).MaxAbsDiff(want); d != 0 {
+		t.Fatalf("post-Repack forward differs from fresh restore: %g, want bitwise identity", d)
+	}
+}
