@@ -55,8 +55,8 @@ func ObsCalibration() *Table {
 	wg.Wait()
 	st := srv.Stats()
 
-	m := cpuMachine()
-	flops, bytes, kernels := archForwardCost(model.Arch, int(st.AvgBatch+0.5))
+	m := CPUMachine()
+	flops, bytes, kernels := ArchForwardCost(model.Arch, int(st.AvgBatch+0.5))
 	pred := m.ServeStages(int(st.AvgBatch+0.5), srv.InputLen(), srv.OutputLen(),
 		flops, bytes, kernels, deadline.Seconds())
 	predFor := map[string]float64{
@@ -89,10 +89,10 @@ func ObsCalibration() *Table {
 	return t
 }
 
-// archForwardCost totals the forward-pass flops, memory bytes, and kernel
+// ArchForwardCost totals the forward-pass flops, memory bytes, and kernel
 // launches of an architecture at the given batch size, using the same
 // direct-convolution flop counting as the layer model.
-func archForwardCost(a *nn.Arch, batch int) (flops, bytes float64, kernels int) {
+func ArchForwardCost(a *nn.Arch, batch int) (flops, bytes float64, kernels int) {
 	if batch < 1 {
 		batch = 1
 	}

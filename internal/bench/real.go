@@ -98,7 +98,7 @@ func ModelCheck() *Table {
 		{PN: 1, PH: 2, PW: 2},
 		{PN: 2, PH: 2, PW: 1},
 	}
-	m := cpuMachine()
+	m := CPUMachine()
 	cores := runtime.NumCPU()
 	t := &Table{
 		Title:  "Model validation: measured (real execution) vs predicted speedup",
@@ -127,9 +127,9 @@ func ModelCheck() *Table {
 	return t
 }
 
-// cpuMachine is a rough single-core profile for the pure-Go kernels, used
+// CPUMachine is a rough single-core profile for the pure-Go kernels, used
 // only to predict relative speedups in ModelCheck.
-func cpuMachine() perfmodel.Machine {
+func CPUMachine() perfmodel.Machine {
 	m := perfmodel.Lassen()
 	m.Name = "cpu-rank"
 	m.PeakFlops = 5e9

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Golden decomposition measured by `go run ./cmd/bench -exp obs` on the
+// 1-core dev box (2026-08-08): smallcnn 3x8x8, fleet [1 2], avg batch
+// 4.0, deadline 500us. The simulator's latency curves are the analytic
+// ServeStages prediction scaled by obsComputeScale, the measured-over-
+// model compute ratio from that run (320us measured p50 vs 203us model).
+const (
+	obsComputeP50us = 320  // measured compute-stage p50
+	obsE2EP50us     = 1490 // measured end-to-end p50 (sum of stage p50s)
+	obsE2EP90us     = 1810 // batch_wait p90 1280 + compute p90 512 + small stages
+	obsAvgBatch     = 4.0
+	obsComputeScale = 1.6
+)
+
+// simObsCurves builds the simulator curves for the obs fleet exactly the
+// way cmd/sim does: analytic model, calibrated by the measured ratio.
+func simObsCurves(groups []int, maxBatch int) []*sim.Curve {
+	arch := models.SmallCNN(8, 3, 4)
+	m := CPUMachine()
+	curves := make([]*sim.Curve, len(groups))
+	for g, ranks := range groups {
+		curves[g] = sim.CurveFromModel(m, maxBatch, 3*8*8, 4, ranks,
+			func(n int) (float64, float64, int) { return ArchForwardCost(arch, n) })
+		curves[g].Scale(obsComputeScale)
+	}
+	return curves
+}
+
+// TestSimCalibrationAgainstObs pins the simulator to the measured fleet:
+// the calibrated compute curve must reproduce the measured compute p50,
+// and a simulated run at the measured operating point must land its
+// end-to-end p50/p99 inside a tolerance band of the measured
+// decomposition. Bands are wide on the e2e side because the measurement
+// is closed-loop on a contended 1-core box (its batch timer fires late),
+// while the simulator's timer is exact — the sim is expected to sit at
+// or below the measurement, never far above it.
+func TestSimCalibrationAgainstObs(t *testing.T) {
+	const maxBatch = 8
+	groups := []int{1, 2}
+	curves := simObsCurves(groups, maxBatch)
+
+	// Stage-level: calibrated compute at the measured avg batch.
+	_, comp, _ := curves[0].Service(int(obsAvgBatch))
+	compUs := float64(comp) / 1e3
+	if compUs < 0.6*obsComputeP50us || compUs > 1.6*obsComputeP50us {
+		t.Fatalf("calibrated compute curve %dus outside [0.6,1.6]x of measured %dus", int64(compUs), obsComputeP50us)
+	}
+
+	// End-to-end: open-loop arrivals at the rate that forms the measured
+	// avg batch under the 500us deadline (4 riders per 500us = 8000/s).
+	pol, err := sched.New(sched.Production)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sim.NewWorld(sim.Config{
+		Seed:          42,
+		Groups:        groups,
+		Curves:        curves,
+		MaxBatch:      maxBatch,
+		BatchDeadline: 500_000,
+		QueueDepth:    2,
+		Policy:        pol,
+		Traffic:       sim.Traffic{Rate: obsAvgBatch / 500e-6},
+		Duration:      2_000_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := w.Scorecard()
+	if sc.Served == 0 {
+		t.Fatal("calibration run served nothing")
+	}
+	if sc.AvgBatch < obsAvgBatch-1.5 || sc.AvgBatch > obsAvgBatch+1.5 {
+		t.Fatalf("avg batch %.1f not at the measured operating point %.1f", sc.AvgBatch, obsAvgBatch)
+	}
+	if f := float64(sc.P50us); f < 0.25*obsE2EP50us || f > 1.25*obsE2EP50us {
+		t.Fatalf("sim e2e p50 %dus outside [0.25,1.25]x band of measured %dus", sc.P50us, obsE2EP50us)
+	}
+	if f := float64(sc.P99us); f < 0.25*obsE2EP90us || f > 2.0*obsE2EP90us {
+		t.Fatalf("sim e2e p99 %dus outside [0.25,2.0]x band of measured p90-derived %dus", sc.P99us, obsE2EP90us)
+	}
+}

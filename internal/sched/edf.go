@@ -1,0 +1,57 @@
+package sched
+
+// EDF is earliest-deadline-first dispatch ordering on top of least-loaded
+// replica selection: when flushed batches queue up waiting for replica
+// capacity (overload, failover), the batch whose tightest rider deadline
+// expires soonest is dispatched first, so capacity is spent on answers
+// that can still arrive in time and deadline sheds concentrate in work
+// that was already doomed. Replica choice itself stays least-loaded —
+// deadlines say *what* to serve next, load says *where*.
+//
+// Batches without deadlines sort after every deadline-carrying batch, FIFO
+// among themselves, so EDF degenerates to exactly least-loaded on
+// deadline-free traffic (and in the production router, whose batcher hands
+// over one batch at a time).
+type EDF struct {
+	ll LeastLoaded
+}
+
+// NewEDF returns the EDF ordering policy.
+func NewEDF() *EDF { return &EDF{} }
+
+// Name implements Policy.
+func (p *EDF) Name() string { return "edf" }
+
+// Reset implements Policy.
+func (p *EDF) Reset(n int, seed int64) { p.ll.Reset(n, seed) }
+
+// Pick implements Policy (least-loaded replica selection).
+func (p *EDF) Pick(now int64, b BatchView, reps []ReplicaView) int {
+	return p.ll.Pick(now, b, reps)
+}
+
+// OnDispatch implements Policy.
+func (p *EDF) OnDispatch(g int, now int64, n int) { p.ll.OnDispatch(g, now, n) }
+
+// OnResult implements Policy.
+func (p *EDF) OnResult(g int, now int64, occ int) {}
+
+// OnHeartbeat implements Policy.
+func (p *EDF) OnHeartbeat(g int, now int64, occ int) {}
+
+// SelectQueued implements QueueOrderer: earliest deadline first, deadline 0
+// (none) last, ties broken FIFO (lowest index).
+func (p *EDF) SelectQueued(now int64, queued []BatchView) int {
+	best := 0
+	for i := 1; i < len(queued); i++ {
+		di, db := queued[i].Deadline, queued[best].Deadline
+		if db == 0 && di != 0 {
+			best = i
+			continue
+		}
+		if di != 0 && di < db {
+			best = i
+		}
+	}
+	return best
+}

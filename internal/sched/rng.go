@@ -1,0 +1,33 @@
+package sched
+
+// Rand is a tiny deterministic PRNG (splitmix64) for policy-internal
+// randomness: unlike math/rand it has no global state, a two-word
+// footprint, and a stepping rule simple enough to pin in a test, so two
+// policies seeded alike draw identical streams in the simulator and in
+// production forever.
+type Rand struct{ s uint64 }
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed int64) *Rand { return &Rand{s: uint64(seed)} }
+
+// Seed resets the stream.
+func (r *Rand) Seed(seed int64) { r.s = uint64(seed) }
+
+// Uint64 returns the next value of the splitmix64 stream.
+func (r *Rand) Uint64() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1) with 53 random bits.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}

@@ -1,0 +1,122 @@
+package sched
+
+import "time"
+
+// DefaultQuantum is the default Shinjuku processing quantum: long enough
+// that a typical micro-batch forward finishes in one slice, short enough
+// that a heavy-tailed outlier yields the replica a few times per tail
+// quantile.
+const DefaultQuantum = int64(2 * time.Millisecond)
+
+// Shinjuku approximates Shinjuku-style preemptive scheduling at the
+// routing layer: it tracks how long each replica's oldest outstanding
+// batch has been running and steers new work away from replicas stuck
+// behind a long batch (older than the quantum), so heavy-tailed service
+// times do not convoy short requests behind them. Among replicas whose
+// head batch is within budget it routes least-loaded; only when every
+// eligible replica is overdue does it fall back to least-loaded across
+// all, preserving the "-1 only when nothing is eligible" contract.
+//
+// The policy also implements Preemptor: an execution environment that can
+// preempt (the simulator's replica model) slices service into Quantum()-ns
+// quanta and requeues the remainder at the back of the replica's queue —
+// the processor-sharing move that is the core of Shinjuku. Production
+// replicas cannot preempt a forward pass mid-GEMM, so there the policy's
+// effect is the steering alone.
+type Shinjuku struct {
+	ll      LeastLoaded
+	quantum int64
+	// oldest[g] is the dispatch time of replica g's oldest outstanding
+	// batch, valid while depth[g] > 0 (depth counts outstanding batches).
+	// Results pop FIFO — batch reordering inside a replica makes this
+	// approximate, which is fine: it is a steering heuristic, not an
+	// accounting ledger.
+	oldest []int64
+	depth  []int
+}
+
+// NewShinjuku returns a Shinjuku policy with the given preemption quantum
+// in nanoseconds (<= 0 selects DefaultQuantum).
+func NewShinjuku(quantum int64) *Shinjuku {
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	return &Shinjuku{quantum: quantum}
+}
+
+// Name implements Policy.
+func (p *Shinjuku) Name() string { return "shinjuku" }
+
+// Quantum implements Preemptor.
+func (p *Shinjuku) Quantum() int64 { return p.quantum }
+
+// Reset implements Policy.
+func (p *Shinjuku) Reset(n int, seed int64) {
+	p.ll.Reset(n, seed)
+	p.oldest = make([]int64, n)
+	p.depth = make([]int, n)
+}
+
+// Pick implements Policy: least-loaded among replicas not stuck behind an
+// overdue batch, falling back to least-loaded over all eligible replicas.
+func (p *Shinjuku) Pick(now int64, b BatchView, reps []ReplicaView) int {
+	n := len(reps)
+	best := -1
+	for i := 0; i < n; i++ {
+		g := (p.ll.rot + i) % n
+		rep := reps[g]
+		if !rep.eligible() {
+			continue
+		}
+		if g < len(p.depth) && p.depth[g] > 0 && now-p.oldest[g] > p.quantum {
+			continue // head batch overdue: steer around
+		}
+		if best == -1 {
+			best = g
+			continue
+		}
+		bv := reps[best]
+		if rep.InFlight < bv.InFlight ||
+			(rep.InFlight == bv.InFlight && rep.Occ < bv.Occ) {
+			best = g
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return p.ll.Pick(now, b, reps)
+}
+
+// OnDispatch implements Policy.
+func (p *Shinjuku) OnDispatch(g int, now int64, n int) {
+	p.ll.OnDispatch(g, now, n)
+	if g >= len(p.depth) {
+		return
+	}
+	if p.depth[g] == 0 {
+		p.oldest[g] = now
+	}
+	p.depth[g]++
+}
+
+// OnResult implements Policy: pop one outstanding batch; the next oldest
+// is approximated by the result time (its true dispatch time is older, so
+// this only under-reports age — steering errs toward using the replica).
+func (p *Shinjuku) OnResult(g int, now int64, occ int) {
+	if g >= len(p.depth) || p.depth[g] == 0 {
+		return
+	}
+	p.depth[g]--
+	if p.depth[g] > 0 {
+		p.oldest[g] = now
+	}
+}
+
+// OnHeartbeat implements Policy: an idle heartbeat (occ 0, e.g. a replica
+// rejoining after quarantine) clears the outstanding tracker so the fresh
+// incarnation does not inherit its dead predecessor's overdue mark.
+func (p *Shinjuku) OnHeartbeat(g int, now int64, occ int) {
+	if occ == 0 && g < len(p.depth) {
+		p.depth[g] = 0
+	}
+}

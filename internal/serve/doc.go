@@ -9,7 +9,7 @@
 // The server owns a comm.World: rank 0 is the front-end, every other rank
 // belongs to one replica group (Config.Groups). Requests flow
 //
-//	Predict callers ──> admission lanes ──> batcher ──> least-loaded router
+//	Predict callers ──> admission lanes ──> batcher ──> policy router
 //	     ──(comm messages)──> replica group leaders ──> collectors ──> callers
 //
 // The batcher is a single goroutine that coalesces concurrent requests into
@@ -20,12 +20,13 @@
 // at this instant, never wait. The high-priority lane is always drained
 // first, so a low-priority flood cannot starve latency-critical traffic.
 //
-// Flushed batches go to the router, which sends each one to the replica
-// group leader with the fewest unanswered batches (hard-capped at
-// Config.QueueDepth), tie-broken by the replica's occupancy heartbeat —
+// Flushed batches go to the router, which routes each one through a
+// pluggable sched.Policy (Config.Policy; nil ships sched.Production,
+// currently least-loaded: fewest unanswered batches, hard-capped at
+// Config.QueueDepth, tie-broken by the replica's occupancy heartbeat —
 // leaders report their queue depth in every result header and immediately
 // on dequeuing a backlog, so the router can tell a replica crunching a wide
-// batch from one whose queue is draining. Replica groups of one rank run an
+// batch from one whose queue is draining). Replica groups of one rank run an
 // nn.InferNet clone (shared weights); groups of k ranks run an
 // nn.DistInferNet whose layers are channel/filter-split k ways on core's
 // inference constructors — the leader broadcasts each batch to its group,
@@ -64,6 +65,44 @@
 //   - Replicas share weights: single-rank replicas alias the model's
 //     parameter storage; sharded groups slice a state snapshot captured at
 //     construction. The server must be idle during a reload.
+//
+// # Routing policies and the scheduler lab
+//
+// The router's decision logic lives behind the sched.Policy interface so
+// the exact same policy implementation runs here and inside the
+// deterministic serving simulator (internal/sim). The contract, in full
+// in internal/sched's package comment:
+//
+//   - Observable state is exactly what the router passes: a
+//     sched.ReplicaView slice (Live, InFlight, Cap, Occ) and a
+//     sched.BatchView (N, earliest rider Deadline). Policies never see
+//     the clock beyond the `now` argument, never read global state, and
+//     never iterate maps.
+//   - Pick is pure: calling it twice in a row returns the same replica.
+//     All cursor/counter state advances in OnDispatch — once per batch
+//     actually dispatched, including failover re-dispatches — and in
+//     OnResult/OnHeartbeat, which deliver result occupancies, backlog
+//     heartbeats, and the idle heartbeat a rejoined replica announces
+//     itself with. This is what makes routing deterministic: a replayed
+//     sequence of events reproduces the same dispatch decisions.
+//   - Pick returns -1 only when no replica is eligible (live with
+//     in-flight < cap); anything else would stall the dispatcher, which
+//     blocks on capacity.
+//
+// All hooks run under the router's lock; a Policy instance must not be
+// shared between servers.
+//
+// The scorecard workflow: cmd/sim races every registered policy —
+// least-loaded, random, jsq2/jsq3 (power-of-d-choices), edf
+// (deadline-ordered dispatch), shinjuku (long-batch steering with a
+// preemption budget), and the omniscient ideal lower bound — over swept
+// load/fleet/tail-heaviness grids on latency curves calibrated against
+// the measured `cmd/bench -exp obs` decomposition, with an optional
+// replica-kill failover scenario, and emits throughput/p50/p99/p999/
+// shed/fairness rows as a table and byte-stable JSON. The winner ships
+// as sched.Production (the router's nil-Policy default); CI re-runs the
+// quick sweep every push and fails if the shipped default drifts beyond
+// a fixed factor of the ideal bound.
 //
 // # Failure model
 //

@@ -74,10 +74,13 @@ func (s *Server) monitor() {
 					break // respawn still in flight
 				}
 				if rep.lastHeard.Load() > rep.probeStart {
-					// Probe answered: the new incarnation is serving.
+					// Probe answered: the new incarnation is serving. The
+					// idle heartbeat tells the policy to drop any state it
+					// kept about the dead incarnation (rt.mu is held).
 					rep.life.Store(int32(repLive))
 					rt.live++
 					rep.inflight = 0
+					rt.pol.OnHeartbeat(g, now, 0)
 					s.stats.rejoins.Add(1)
 					rt.dispatchRetriesLocked(now)
 					rt.cond.Broadcast()

@@ -10,6 +10,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/tensor"
 )
 
@@ -166,15 +167,23 @@ type pendingEntry struct {
 	sentAt  int64 // UnixNano of the last dispatch
 }
 
-// router assigns flushed batches to live replica leaders, least-loaded
-// first: the primary signal is the front-end's own in-flight count
-// (hard-capped at QueueDepth per replica), tie-broken by the replica's
-// occupancy heartbeat. Submission blocks only while some live replica
-// exists but all are at their cap; with zero live replicas it fails fast so
-// admission sheds instead of queueing into a hole. Quarantine strands a
-// replica's pending slots onto the retry queue, which drains into
-// surviving replicas as capacity frees (each re-dispatch under the batch's
-// retry budget and with a fresh seq for at-most-once delivery).
+// router assigns flushed batches to live replica leaders through a
+// pluggable sched.Policy (Config.Policy; default sched.LeastLoaded, the
+// shipped production policy: lowest in-flight hard-capped at QueueDepth,
+// tie-broken by occupancy heartbeat, deterministic round-robin rotation).
+// The router owns the mechanism — slots, seq minting, retry queue, the
+// in-flight caps — and the policy owns only the choice: it sees each
+// replica's liveness, in-flight count, cap, and last heartbeat through
+// sched.ReplicaView, and is notified of dispatches, results, and
+// heartbeats. The same policy implementations run in internal/sim's
+// deterministic fleet simulator, which is where they are raced and chosen.
+//
+// Submission blocks only while some live replica exists but all are at
+// their cap; with zero live replicas it fails fast so admission sheds
+// instead of queueing into a hole. Quarantine strands a replica's pending
+// slots onto the retry queue, which drains into surviving replicas as
+// capacity frees (each re-dispatch under the batch's retry budget and with
+// a fresh seq for at-most-once delivery).
 type router struct {
 	c      *comm.Comm // front-end world handle (mailbox traffic is goroutine-safe)
 	srv    *Server
@@ -183,13 +192,14 @@ type router struct {
 
 	mu        sync.Mutex
 	cond      *sync.Cond
+	pol       sched.Policy
+	views     []sched.ReplicaView // scratch for Pick, reused per call
 	reps      []*repState
 	pending   []pendingEntry
 	freeSlots []int
 	retryQ    []int // slots stranded by quarantine, awaiting re-dispatch
 	nextSeq   uint32
 	live      int // replicas in repLive
-	next      int // rotating tie-break start, spreads load when all idle
 	stopped   bool
 }
 
@@ -198,7 +208,15 @@ func newRouter(c *comm.Comm, groups []int, qd int, srv *Server) *router {
 	rt.cond = sync.NewCond(&rt.mu)
 	if srv != nil {
 		rt.budget = srv.cfg.RetryBudget
+		rt.pol = srv.cfg.Policy
 	}
+	if rt.pol == nil {
+		// The shipped default: whatever policy the fleet-scheduler lab
+		// last promoted (see sched.Production and cmd/sim).
+		rt.pol, _ = sched.New(sched.Production)
+	}
+	rt.pol.Reset(len(groups), 1)
+	rt.views = make([]sched.ReplicaView, len(groups))
 	rank := 1
 	for _, ranks := range groups {
 		rt.reps = append(rt.reps, &repState{leader: rank, ranks: ranks})
@@ -223,29 +241,34 @@ func (rt *router) seqLocked() uint32 {
 	return rt.nextSeq
 }
 
-// pick returns the least-loaded live replica with in-flight headroom, or
-// -1: lowest in-flight first, heartbeat occupancy as the tie-break, and a
-// rotating scan start so fully-tied (idle) replicas share the load
-// round-robin. Caller holds rt.mu.
-func (rt *router) pick() int {
-	best := -1
-	for i := range rt.reps {
-		g := (rt.next + i) % len(rt.reps)
-		rep := rt.reps[g]
-		if repLife(rep.life.Load()) != repLive || rep.inflight >= rt.qd {
-			continue
-		}
-		if best == -1 {
-			best = g
-			continue
-		}
-		b := rt.reps[best]
-		if rep.inflight < b.inflight ||
-			(rep.inflight == b.inflight && rep.occ.Load() < b.occ.Load()) {
-			best = g
+// pick snapshots the fleet into the policy's view and asks it for the
+// replica to route bv to, or -1 when nothing is eligible. Caller holds
+// rt.mu; the policy's own state is guarded by the same lock.
+func (rt *router) pick(bv sched.BatchView) int {
+	for g, rep := range rt.reps {
+		rt.views[g] = sched.ReplicaView{
+			Live:     repLife(rep.life.Load()) == repLive,
+			InFlight: rep.inflight,
+			Cap:      rt.qd,
+			Occ:      int(rep.occ.Load()),
 		}
 	}
-	return best
+	return rt.pol.Pick(time.Now().UnixNano(), bv, rt.views)
+}
+
+// noteResult feeds an accepted result's occupancy report to the policy.
+func (rt *router) noteResult(g, occ int) {
+	rt.mu.Lock()
+	rt.pol.OnResult(g, time.Now().UnixNano(), occ)
+	rt.mu.Unlock()
+}
+
+// noteHeartbeat feeds a standalone (or stale-result) occupancy heartbeat
+// to the policy.
+func (rt *router) noteHeartbeat(g, occ int) {
+	rt.mu.Lock()
+	rt.pol.OnHeartbeat(g, time.Now().UnixNano(), occ)
+	rt.mu.Unlock()
 }
 
 // sendLocked ships slot's batch to replica g's leader. Caller holds rt.mu;
@@ -271,22 +294,24 @@ func (rt *router) sendLocked(g, slot int) {
 // Called from the batcher goroutine.
 func (rt *router) submit(b *batch) bool {
 	t0 := time.Now()
+	bv := sched.BatchView{N: b.n, Deadline: b.deadlineNs}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	for {
 		if rt.live == 0 {
 			return false
 		}
-		if g := rt.pick(); g >= 0 {
+		if g := rt.pick(bv); g >= 0 {
 			slot := rt.freeSlots[len(rt.freeSlots)-1]
 			rt.freeSlots = rt.freeSlots[:len(rt.freeSlots)-1]
 			seq := rt.seqLocked()
+			now := time.Now().UnixNano()
 			rt.pending[slot] = pendingEntry{
 				b: b, seq: seq, g: g, lastG: g,
-				sentAt: time.Now().UnixNano(),
+				sentAt: now,
 			}
 			rt.reps[g].inflight++
-			rt.next = (g + 1) % len(rt.reps)
+			rt.pol.OnDispatch(g, now, b.n)
 			rt.sendLocked(g, slot)
 			rt.srv.recordDispatch(b, seq, t0)
 			return true
@@ -394,7 +419,7 @@ func (rt *router) dispatchRetriesLocked(now int64) {
 			rt.cond.Signal()
 			continue
 		}
-		g := rt.pick()
+		g := rt.pick(sched.BatchView{N: e.b.n, Deadline: e.b.deadlineNs})
 		if g < 0 {
 			return // no headroom; resume when a slot frees or a replica rejoins
 		}
@@ -408,6 +433,7 @@ func (rt *router) dispatchRetriesLocked(now int64) {
 		e.g = g
 		e.sentAt = now
 		rt.reps[g].inflight++
+		rt.pol.OnDispatch(g, now, e.b.n)
 		rt.srv.stats.retries.Add(1)
 		rt.sendLocked(g, slot)
 	}
@@ -616,10 +642,14 @@ func (s *Server) resultCollector(g int, c *comm.Comm) {
 		rep.occ.Store(int32(msg[3]))
 		b, sentAt := rt.claim(int(msg[0]), uint32(msg[1]))
 		if b == nil {
+			// Stale (failed-over or duplicated) result: no batch to claim,
+			// but the occupancy report is still fresh heartbeat signal.
+			rt.noteHeartbeat(g, int(msg[3]))
 			s.stats.droppedResults.Add(1)
 			c.Release(msg)
 			continue
 		}
+		rt.noteResult(g, int(msg[3]))
 		// Decompose the round trip: the leader reported wire (send ->
 		// dequeue) and compute (executor forward) in the result header; the
 		// remainder of sent -> claimed is the gather stage (result wire
@@ -673,6 +703,7 @@ func (s *Server) hbCollector(g int, c *comm.Comm) {
 		}
 		rep.lastHeard.Store(time.Now().UnixNano())
 		rep.occ.Store(int32(v))
+		s.fleet.rt.noteHeartbeat(g, int(v))
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/sched"
 	"repro/internal/tensor"
 )
 
@@ -188,7 +189,7 @@ func TestRouterPicksLeastLoaded(t *testing.T) {
 	defer rt.mu.Unlock()
 	// All idle: any pick is fine; load replica 0 and the router must move on.
 	rt.reps[0].inflight = 1
-	if g := rt.pick(); g == 0 {
+	if g := rt.pick(sched.BatchView{N: 1}); g == 0 {
 		t.Fatal("router picked a loaded replica over idle ones")
 	}
 	// Equal in-flight: the occupancy heartbeat breaks the tie.
@@ -196,13 +197,87 @@ func TestRouterPicksLeastLoaded(t *testing.T) {
 	rt.reps[0].occ.Store(2)
 	rt.reps[1].occ.Store(0)
 	rt.reps[2].occ.Store(1)
-	if g := rt.pick(); g != 1 {
+	if g := rt.pick(sched.BatchView{N: 1}); g != 1 {
 		t.Fatalf("router picked replica %d, want 1 (lowest heartbeat occupancy)", g)
 	}
 	// Every replica at the in-flight cap: nothing is eligible.
 	rt.reps[0].inflight, rt.reps[1].inflight, rt.reps[2].inflight = 2, 2, 2
-	if g := rt.pick(); g != -1 {
+	if g := rt.pick(sched.BatchView{N: 1}); g != -1 {
 		t.Fatalf("router picked %d with every replica at its cap", g)
+	}
+}
+
+// TestRouterRotationDeterministic pins the deterministic tie-break
+// rotation: on a fully idle fleet successive dispatches must visit the
+// replicas round-robin, because the rotation cursor is policy state
+// advanced once per dispatch (not per Pick call). Before the policy
+// extraction the cursor was router-private and skipped retries, so fleet
+// tests' batch placement depended on which code path happened to dispatch.
+func TestRouterRotationDeterministic(t *testing.T) {
+	rt := newRouter(nil, []int{1, 1, 1}, 4, nil)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var order []int
+	for i := 0; i < 6; i++ {
+		g := rt.pick(sched.BatchView{N: 1})
+		if gAgain := rt.pick(sched.BatchView{N: 1}); gAgain != g {
+			t.Fatalf("pick is not pure: %d then %d", g, gAgain)
+		}
+		rt.reps[g].inflight++
+		rt.pol.OnDispatch(g, int64(i), 1)
+		rt.reps[g].inflight-- // result returns before the next dispatch
+		order = append(order, g)
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want round-robin %v", order, want)
+		}
+	}
+}
+
+// TestFleetServesWithPluggablePolicy runs live fleets behind non-default
+// routing policies — the production half of the scheduler lab's promise
+// that any sched registry policy drops into the real router — and checks
+// answers stay bitwise correct.
+func TestFleetServesWithPluggablePolicy(t *testing.T) {
+	for _, name := range []string{"jsq2", "edf", "shinjuku"} {
+		t.Run(name, func(t *testing.T) {
+			pol, err := sched.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, ref := newTestServer(t, Config{
+				Groups:        []int{1, 1},
+				MaxBatch:      4,
+				BatchDeadline: 500 * time.Microsecond,
+				Policy:        pol,
+			})
+			var wg sync.WaitGroup
+			for c := 0; c < 12; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					in := randInput(s.InputLen(), int64(c))
+					out := make([]float32, s.OutputLen())
+					if err := s.Predict(in, out); err != nil {
+						t.Error(err)
+						return
+					}
+					want := refForward(ref, in)
+					for j := range out {
+						if out[j] != want[j] {
+							t.Errorf("policy %s: output[%d] = %v, want %v (bitwise)", name, j, out[j], want[j])
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			if st := s.Stats(); st.Requests != 12 {
+				t.Fatalf("served %d requests, want 12", st.Requests)
+			}
+		})
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/kernels"
 	"repro/internal/nn"
+	"repro/internal/sched"
 )
 
 // Errors returned by Predict.
@@ -103,6 +104,13 @@ type Config struct {
 	// priority class). A request arriving at a full lane is shed with
 	// ErrOverloaded. Default 4*MaxBatch.
 	PendingRequests int
+	// Policy is the replica-routing policy (see internal/sched for the
+	// contract and the registry: sched.New("jsq2") etc.). Nil selects
+	// sched.NewLeastLoaded(), the shipped default — the winner of the
+	// internal/sim policy races on the reference traces. The policy's
+	// hooks run under the router lock; one Policy value must not be shared
+	// between servers.
+	Policy sched.Policy
 
 	// HeartbeatInterval paces the fleet's liveness machinery: idle replica
 	// leaders heartbeat at this period, and the front-end's collectors and
@@ -223,6 +231,9 @@ type batch struct {
 	// openedAt (UnixNano) marks when the first request landed; the gap to
 	// flush is the batch-wait stage of the latency decomposition.
 	openedAt int64
+	// deadlineNs is the earliest rider deadline (UnixNano; 0 = none),
+	// exposed to the routing policy as sched.BatchView.Deadline.
+	deadlineNs int64
 }
 
 // Server is the serving runtime: a front-end comm rank owning the batcher,
@@ -498,6 +509,7 @@ func (s *Server) Close() {
 func (s *Server) getBatch() *batch {
 	b := s.batchPool.Get().(*batch)
 	b.n = 0
+	b.deadlineNs = 0
 	return b
 }
 
@@ -527,6 +539,11 @@ func (s *Server) add(b *batch, r *request) {
 	copy((*b.buf)[b.n*s.inLen:(b.n+1)*s.inLen], r.in)
 	if b.n == 0 {
 		b.openedAt = now.UnixNano()
+	}
+	if !r.deadline.IsZero() {
+		if dl := r.deadline.UnixNano(); b.deadlineNs == 0 || dl < b.deadlineNs {
+			b.deadlineNs = dl
+		}
 	}
 	b.reqs[b.n] = r
 	b.n++

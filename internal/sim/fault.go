@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/comm"
+)
+
+// Faults is the simulator's failure model, sharing comm.FaultPlan
+// semantics with the live fleet's fault injection so a failover scenario
+// can be described once and run in either world.
+type Faults struct {
+	// Plan reuses comm.FaultPlan: Kill maps a world rank (serve's
+	// layout — rank 0 is the front-end, replica groups pack their ranks
+	// after it in order) to the 1-based count of result sends after
+	// which its whole replica group fails fail-stop. Drop is the
+	// per-message probability a dispatched batch is silently lost in
+	// the wire (recovered by batch-timeout detection and retry). Dup is
+	// a no-op against the slot/seq at-most-once guard and Delay is
+	// below the curve resolution; both are ignored here, as documented
+	// on Config.
+	Plan *comm.FaultPlan
+	// Slow maps a replica group index to a slowdown onset: from At on,
+	// new service slices on that group take Factor times longer.
+	Slow map[int]SlowSpec
+	// DetectDelay models FailTimeout plus the monitor tick: the gap
+	// between a group dying and the router quarantining it. Default
+	// 20ms.
+	DetectDelay int64
+	// RejoinAfter re-admits a quarantined group this long after
+	// detection; < 0 never rejoins. Default -1.
+	RejoinAfter int64
+}
+
+// SlowSpec is a straggler: from At (ns) on, the group's service slices
+// stretch by Factor (> 1).
+type SlowSpec struct {
+	At     int64
+	Factor float64
+}
+
+// killAfter resolves Plan.Kill against the fleet layout: any killed rank
+// inside group g fails the whole group after its Nth result (the
+// smallest N among its ranks wins, matching fail-stop of one member
+// collapsing the group). Iteration is over sorted keys so the resolution
+// is deterministic.
+func (f *Faults) killAfter(groups []int) []int {
+	after := make([]int, len(groups))
+	if f == nil || f.Plan == nil || len(f.Plan.Kill) == 0 {
+		return after
+	}
+	ranks := make([]int, 0, len(f.Plan.Kill))
+	for r := range f.Plan.Kill {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		n := f.Plan.Kill[r]
+		if r < 1 || n <= 0 {
+			continue // rank 0 is the front-end; it doesn't die in the lab
+		}
+		base := 1
+		for g, size := range groups {
+			if r < base+size {
+				if after[g] == 0 || n < after[g] {
+					after[g] = n
+				}
+				break
+			}
+			base += size
+		}
+	}
+	return after
+}
+
+// slowFor returns the slowdown spec for group g, or a zero spec.
+func (f *Faults) slowFor(g int) SlowSpec {
+	if f == nil || f.Slow == nil {
+		return SlowSpec{}
+	}
+	return f.Slow[g]
+}
+
+func (f *Faults) dropProb() float64 {
+	if f == nil || f.Plan == nil {
+		return 0
+	}
+	return f.Plan.Drop
+}
+
+func (f *Faults) detectDelay() int64 {
+	if f == nil || f.DetectDelay <= 0 {
+		return 20_000_000
+	}
+	return f.DetectDelay
+}
+
+func (f *Faults) rejoinAfter() int64 {
+	if f == nil || f.RejoinAfter == 0 {
+		return -1
+	}
+	return f.RejoinAfter
+}

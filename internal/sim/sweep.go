@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sched"
+)
+
+// TailSpec is one service-time tail-heaviness setting of a sweep.
+type TailSpec struct {
+	Name        string  `json:"name"`
+	Sigma       float64 `json:"sigma"`
+	ParetoAlpha float64 `json:"pareto_alpha"`
+	ParetoMix   float64 `json:"pareto_mix"`
+}
+
+// SweepConfig races policies over a (fleet x load x tail) grid. Every
+// policy in a cell sees the bitwise-identical arrival stream (the cell
+// seed drives traffic; policies are fresh instances Reset with it), so
+// comparisons are paired.
+type SweepConfig struct {
+	Seed     int64
+	Policies []string // sched registry names
+	Fleets   [][]int  // replica group size lists
+	Loads    []float64
+	Tails    []TailSpec
+	Duration int64
+
+	MaxBatch      int
+	BatchDeadline int64
+	QueueDepth    int
+
+	// Traffic is the template: Process, Burst*, Diurnal*, Tenants,
+	// TenantSkew, and Deadline are taken from it; Rate and the tail
+	// fields are filled per cell.
+	Traffic Traffic
+
+	// CurveFor builds the per-group latency curves for a fleet; nil
+	// uses a synthetic linear curve with ideal sharding speedup.
+	CurveFor func(groups []int, maxBatch int) []*Curve
+
+	// FaultScenario, when set, runs every cell a second time with the
+	// returned failure plan armed, scoring failover robustness.
+	FaultScenario func(groups []int) *Faults
+}
+
+// Capacity estimates a fleet's peak service rate in requests/second:
+// each group pipelines batches, so its ceiling is MaxBatch over the
+// capacity-batch compute time.
+func Capacity(curves []*Curve, maxBatch int) float64 {
+	total := 0.0
+	for _, c := range curves {
+		_, comp, _ := c.Service(maxBatch)
+		if comp > 0 {
+			total += float64(maxBatch) / (float64(comp) / 1e9)
+		}
+	}
+	return total
+}
+
+func defaultCurveFor(groups []int, maxBatch int) []*Curve {
+	curves := make([]*Curve, len(groups))
+	for g, size := range groups {
+		per := int64(50_000)
+		if size > 1 {
+			per /= int64(size)
+		}
+		curves[g] = UniformCurve(maxBatch, 100_000, per)
+		curves[g].Ranks = size
+	}
+	return curves
+}
+
+// FleetName renders a group-size list compactly: "8x1" for eight
+// single-rank replicas, "1+2" for mixed shapes.
+func FleetName(groups []int) string {
+	same := true
+	for _, s := range groups {
+		if s != groups[0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return fmt.Sprintf("%dx%d", len(groups), groups[0])
+	}
+	parts := make([]string, len(groups))
+	for i, s := range groups {
+		parts[i] = fmt.Sprint(s)
+	}
+	return strings.Join(parts, "+")
+}
+
+// cellSeed derives a per-cell seed deterministically from the master
+// seed and the cell coordinates via one splitmix64 step.
+func cellSeed(master int64, fi, li, ti, faulty int) int64 {
+	var r sched.Rand
+	r.Seed(master ^ int64(fi)<<48 ^ int64(li)<<32 ^ int64(ti)<<16 ^ int64(faulty))
+	return int64(r.Uint64() >> 1)
+}
+
+// RunSweep executes the grid and returns the scorecard rows in
+// deterministic order: fleet-major, then load, tail, fault variant,
+// policy.
+func RunSweep(cfg SweepConfig) (*Result, error) {
+	if len(cfg.Policies) == 0 || len(cfg.Fleets) == 0 || len(cfg.Loads) == 0 {
+		return nil, fmt.Errorf("sim: sweep needs policies, fleets, and loads")
+	}
+	if len(cfg.Tails) == 0 {
+		cfg.Tails = []TailSpec{{Name: "uniform"}}
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 8
+	}
+	if cfg.BatchDeadline <= 0 {
+		cfg.BatchDeadline = 500_000
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 1_000_000_000
+	}
+	curveFor := cfg.CurveFor
+	if curveFor == nil {
+		curveFor = defaultCurveFor
+	}
+	res := &Result{Seed: cfg.Seed, Duration: cfg.Duration}
+	for fi, groups := range cfg.Fleets {
+		curves := curveFor(groups, cfg.MaxBatch)
+		capacity := Capacity(curves, cfg.MaxBatch)
+		fleet := FleetName(groups)
+		for li, load := range cfg.Loads {
+			for ti, tail := range cfg.Tails {
+				variants := []*Faults{nil}
+				if cfg.FaultScenario != nil {
+					variants = append(variants, cfg.FaultScenario(groups))
+				}
+				for vi, faults := range variants {
+					seed := cellSeed(cfg.Seed, fi, li, ti, vi)
+					for _, polName := range cfg.Policies {
+						pol, err := sched.New(polName)
+						if err != nil {
+							return nil, err
+						}
+						tr := cfg.Traffic
+						tr.Rate = load * capacity
+						tr.Sigma = tail.Sigma
+						tr.ParetoAlpha = tail.ParetoAlpha
+						tr.ParetoMix = tail.ParetoMix
+						w, err := NewWorld(Config{
+							Seed:          seed,
+							Groups:        groups,
+							Curves:        curves,
+							MaxBatch:      cfg.MaxBatch,
+							BatchDeadline: cfg.BatchDeadline,
+							QueueDepth:    cfg.QueueDepth,
+							Policy:        pol,
+							Traffic:       tr,
+							Duration:      cfg.Duration,
+							Faults:        faults,
+						})
+						if err != nil {
+							return nil, err
+						}
+						acc := w.Run()
+						sc := acc.scorecard()
+						sc.Policy = polName
+						sc.Fleet = fleet
+						sc.Replicas = len(groups)
+						sc.Load = load
+						sc.Tail = tail.Name
+						sc.Faulty = faults != nil
+						res.Rows = append(res.Rows, sc)
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,152 @@
+package sim
+
+import "math"
+
+// Traffic describes the seeded open-loop workload. The zero value of any
+// optional field disables that feature; Rate is required.
+type Traffic struct {
+	// Rate is the mean arrival rate in requests per simulated second.
+	Rate float64
+	// Process selects the arrival process: "" or "poisson" for
+	// exponential inter-arrivals, "mmpp" for a 2-state Markov-modulated
+	// Poisson process that alternates calm and burst phases while
+	// preserving the mean rate.
+	Process string
+	// Burst is the burst-state rate multiplier for mmpp (default 4).
+	Burst float64
+	// BurstFrac is the long-run fraction of time spent bursting for
+	// mmpp (default 0.1).
+	BurstFrac float64
+	// BurstSojourn is the mean burst-state dwell time in ns (default
+	// 100ms).
+	BurstSojourn int64
+	// Diurnal modulates the instantaneous rate by 1+Diurnal*sin(...)
+	// with period DiurnalPeriod; 0 disables. Must be < 1.
+	Diurnal       float64
+	DiurnalPeriod int64 // default 10s
+
+	// Sigma is the lognormal work-factor sigma (0 = every request costs
+	// the nominal curve time). Work factors are unit-mean, so tail
+	// heaviness sweeps don't shift offered load.
+	Sigma float64
+	// ParetoAlpha/ParetoMix mix in a unit-mean Pareto(alpha) work tail:
+	// with probability ParetoMix the work factor is Pareto instead of
+	// lognormal. Alpha must be > 1 when Mix > 0.
+	ParetoAlpha float64
+	ParetoMix   float64
+	// WorkCap clamps individual work factors (default 64) so a single
+	// pathological draw can't freeze a sweep cell.
+	WorkCap float64
+
+	// Tenants draws each request's tenant from Zipf(TenantSkew) over
+	// this many tenants; 0 or 1 disables multi-tenancy (fairness = 1).
+	Tenants    int
+	TenantSkew float64
+
+	// Deadline, if > 0, stamps each request with an absolute deadline
+	// arrival+Deadline ns; requests still unserved when their batch
+	// flushes past the deadline are shed.
+	Deadline int64
+}
+
+type arrival struct {
+	work     float64 // service work factor, unit mean
+	tenant   int32
+	deadline int64 // absolute ns, 0 = none
+}
+
+type trafficGen struct {
+	cfg       Traffic
+	rg        *rng
+	zipfCDF   []float64
+	burst     bool
+	stateEnds int64 // mmpp: current state's sampled end time
+	calmRate  float64
+	burstRate float64
+}
+
+func newTrafficGen(cfg Traffic, seed uint64) *trafficGen {
+	t := &trafficGen{cfg: cfg, rg: newRNG(seed ^ 0x7472616666696331)}
+	if cfg.Tenants > 1 {
+		t.zipfCDF = zipfTable(cfg.Tenants, cfg.TenantSkew)
+	}
+	if cfg.Process == "mmpp" {
+		b := cfg.Burst
+		if b <= 1 {
+			b = 4
+		}
+		f := cfg.BurstFrac
+		if f <= 0 || f >= 1 {
+			f = 0.1
+		}
+		// Mean rate (1-f)*calm + f*burst = Rate with burst = b*calm.
+		t.calmRate = cfg.Rate / ((1 - f) + f*b)
+		t.burstRate = b * t.calmRate
+		t.cfg.Burst, t.cfg.BurstFrac = b, f
+		// The lazy flip loop below toggles immediately at t=0, so prime
+		// it so the run opens in the calm state.
+		t.burst = true
+		if t.cfg.BurstSojourn <= 0 {
+			t.cfg.BurstSojourn = 100_000_000
+		}
+	}
+	if t.cfg.WorkCap <= 0 {
+		t.cfg.WorkCap = 64
+	}
+	if t.cfg.DiurnalPeriod <= 0 {
+		t.cfg.DiurnalPeriod = 10_000_000_000
+	}
+	return t
+}
+
+// rate returns the instantaneous arrival rate at time now.
+func (t *trafficGen) rate(now int64) float64 {
+	r := t.cfg.Rate
+	if t.cfg.Process == "mmpp" {
+		// Flip phases lazily: dwell times are exponential with the
+		// configured means, so long-run burst occupancy is BurstFrac.
+		for now >= t.stateEnds {
+			t.burst = !t.burst
+			mean := float64(t.cfg.BurstSojourn)
+			if !t.burst {
+				mean *= (1 - t.cfg.BurstFrac) / t.cfg.BurstFrac
+			}
+			t.stateEnds += int64(t.rg.exp() * mean)
+		}
+		if t.burst {
+			r = t.burstRate
+		} else {
+			r = t.calmRate
+		}
+	}
+	if t.cfg.Diurnal > 0 {
+		phase := 2 * math.Pi * float64(now%t.cfg.DiurnalPeriod) / float64(t.cfg.DiurnalPeriod)
+		r *= 1 + t.cfg.Diurnal*math.Sin(phase)
+	}
+	return r
+}
+
+// next returns the inter-arrival gap from now and the request that
+// arrives after it.
+func (t *trafficGen) next(now int64) (dt int64, a arrival) {
+	r := t.rate(now)
+	dt = int64(t.rg.exp() / r * 1e9)
+	if dt < 1 {
+		dt = 1
+	}
+	w := t.rg.lognormal(t.cfg.Sigma)
+	if t.cfg.ParetoMix > 0 && t.cfg.ParetoAlpha > 1 && t.rg.float64() < t.cfg.ParetoMix {
+		w = t.rg.pareto(t.cfg.ParetoAlpha)
+	}
+	if w > t.cfg.WorkCap {
+		w = t.cfg.WorkCap
+	}
+	a.work = w
+	if t.zipfCDF != nil {
+		a.tenant = int32(t.rg.zipf(t.zipfCDF))
+	}
+	if t.cfg.Deadline > 0 {
+		a.deadline = now + dt + t.cfg.Deadline
+	}
+	return dt, a
+}
