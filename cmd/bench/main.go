@@ -18,9 +18,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2, fig3, fig4, table1, table2, table3, sv3d, ablation, memory, modelcheck, kernels, overlap, placement, obs, all")
+	exp := flag.String("exp", "all", "experiment: fig2, fig3, fig4, table1, table2, table3, sv3d, ablation, memory, modelcheck, kernels, overlap, placement, obs, serve, all")
 	out := flag.String("out", "", "output file (default stdout)")
-	jsonOut := flag.String("json", "", "also write kernel benchmark records as JSON (with -exp kernels)")
+	jsonOut := flag.String("json", "", "also write benchmark records as JSON (with -exp kernels or -exp serve)")
 	flag.Parse()
 
 	var w io.Writer = os.Stdout
@@ -67,6 +67,15 @@ func main() {
 		tbl.Write(w)
 		if *jsonOut != "" {
 			if err := bench.WriteKernelJSON(*jsonOut, recs); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	case "serve":
+		tbl, recs := bench.ServingThroughputRecords()
+		tbl.Write(w)
+		if *jsonOut != "" {
+			if err := bench.WriteServingJSON(*jsonOut, recs); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

@@ -23,14 +23,23 @@
 // big for one device" configuration; answers stay bitwise identical to the
 // unsharded replica).
 //
+// -frontends N shards admission itself: N front-end ranks, each with its
+// own lanes, batcher, and router, all feeding the shared replica set
+// (replica in-flight budgets are partitioned, heartbeats fan out to every
+// front-end). -binary-addr additionally serves the zero-alloc
+// length-prefixed float32 frame protocol on a second listener;
+// -tenant-rate/-tenant-burst arm per-tenant token-bucket quotas that shed
+// over-budget binary frames at the socket.
+//
 // Fault-tolerance drills run with -chaos, a deterministic fault schedule
 // for the in-process transport:
 //
 //	serve -fleet 1,1 -chaos kill=2@200,seed=7 -rejoin-after 250ms
 //	serve -fleet 1,2 -chaos drop=0.01,dup=0.05,delay=0.1,maxdelay=1ms
 //
-// kill=R@N hard-kills world rank R at its Nth send (rank 0, the front-end,
-// is not killable); drop/dup/delay inject seeded per-message chaos. The
+// kill=R@N hard-kills world rank R at its Nth send (the front-end ranks,
+// 0 through -frontends-1, are not killable); drop/dup/delay inject seeded
+// per-message chaos. The
 // failure detector's cadence is tuned with -heartbeat, -fail-timeout,
 // -batch-timeout, and -rejoin-after (negative disables rejoin). Watch the
 // drill on /statz (retries, failovers, quarantined, rejoins, per-replica
@@ -40,6 +49,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // -pprof: profiles on /debug/pprof/
 	"os"
@@ -67,6 +77,10 @@ func main() {
 	maxBatch := flag.Int("max-batch", 8, "micro-batch flush size")
 	deadline := flag.Duration("deadline", 2*time.Millisecond, "micro-batch flush deadline (0 = greedy)")
 	addr := flag.String("addr", ":8080", "listen address")
+	frontEnds := flag.Int("frontends", 1, "parallel admission front-ends (each with its own lanes, batcher, and router)")
+	binaryAddr := flag.String("binary-addr", "", "also serve the zero-alloc binary frame protocol on this address")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admitted requests/sec on the binary listener (0 = no quotas)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant token-bucket burst (0 = default from -tenant-rate)")
 	chaos := flag.String("chaos", "", "fault injection, e.g. kill=2@200,seed=7,drop=0.01,dup=0.05,delay=0.1,maxdelay=1ms")
 	heartbeat := flag.Duration("heartbeat", 0, "replica heartbeat / failure-monitor tick (0 = default)")
 	failTimeout := flag.Duration("fail-timeout", 0, "heartbeat silence before an idle replica is declared failed (0 = default)")
@@ -115,7 +129,7 @@ func main() {
 	if dl == 0 {
 		dl = serve.Greedy
 	}
-	plan, err := parseChaos(*chaos)
+	plan, err := parseChaos(*chaos, *frontEnds)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -127,6 +141,9 @@ func main() {
 		Replicas:          *replicas,
 		Groups:            groups,
 		ShardSplit:        split,
+		FrontEnds:         *frontEnds,
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
 		MaxBatch:          *maxBatch,
 		BatchDeadline:     dl,
 		HeartbeatInterval: *heartbeat,
@@ -145,9 +162,30 @@ func main() {
 	if groups != nil {
 		layout = fmt.Sprintf("fleet %v (%s-split shards)", groups, *shardSplit)
 	}
+	if *frontEnds > 1 {
+		layout += fmt.Sprintf(", %d front-ends", *frontEnds)
+	}
 	in := srv.InShape()
 	fmt.Printf("serve: listening on %s — input %dx%dx%d (%d floats), output %d floats, %s, max batch %d, deadline %v\n",
 		*addr, in.C, in.H, in.W, srv.InputLen(), srv.OutputLen(), layout, *maxBatch, *deadline)
+
+	if *binaryAddr != "" {
+		ln, err := net.Listen("tcp", *binaryAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		go func() {
+			if err := srv.ServeBinary(ln); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: binary listener: %v\n", err)
+			}
+		}()
+		quota := "no quotas"
+		if *tenantRate > 0 {
+			quota = fmt.Sprintf("%.3g req/s per tenant", *tenantRate)
+		}
+		fmt.Printf("serve: binary frame ingest on %s (%s)\n", ln.Addr(), quota)
+	}
 
 	if *traceOut != "" {
 		go captureTrace(*traceOut, *traceDur)
@@ -190,8 +228,9 @@ func captureTrace(path string, dur time.Duration) {
 
 // parseChaos turns a -chaos spec into a fault plan: comma-separated
 // key=value pairs from kill=RANK@SEND, seed=N, drop=P, dup=P, delay=P,
-// maxdelay=DURATION. Empty means no injection (nil plan).
-func parseChaos(s string) (*comm.FaultPlan, error) {
+// maxdelay=DURATION. Empty means no injection (nil plan). frontEnds is the
+// number of front-end ranks (0..frontEnds-1), which are not killable.
+func parseChaos(s string, frontEnds int) (*comm.FaultPlan, error) {
 	if s == "" {
 		return nil, nil
 	}
@@ -212,8 +251,8 @@ func parseChaos(s string) (*comm.FaultPlan, error) {
 			if rank, err = strconv.Atoi(rs); err == nil {
 				at, err = strconv.Atoi(ns)
 			}
-			if err != nil || rank < 1 || at < 1 {
-				return nil, fmt.Errorf("serve: bad -chaos kill %q (want replica rank >= 1 and send count >= 1)", val)
+			if err != nil || rank < frontEnds || at < 1 {
+				return nil, fmt.Errorf("serve: bad -chaos kill %q (want replica rank >= %d — ranks below that are front-ends — and send count >= 1)", val, frontEnds)
 			}
 			if plan.Kill == nil {
 				plan.Kill = make(map[int]int)

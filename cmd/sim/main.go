@@ -8,8 +8,8 @@
 //
 //	sim [-quick] [-seed N] [-dur SECONDS] [-policies a,b,...]
 //	    [-fleets 4x1,16x1,...] [-loads 0.5,0.8,...] [-tails uniform,heavy,...]
-//	    [-model smallcnn|synthetic] [-faults] [-json FILE] [-out FILE]
-//	    [-check-factor F]
+//	    [-model smallcnn|synthetic] [-frontends N] [-admit-ns N]
+//	    [-faults] [-json FILE] [-out FILE] [-check-factor F]
 //
 // -quick runs the CI smoke grid: a small sweep plus the assertion (with
 // -check-factor) that the shipped production policy's p99 stays within
@@ -47,6 +47,8 @@ func main() {
 	loads := flag.String("loads", "0.5,0.8,0.95", "comma-separated load factors (fraction of fleet capacity)")
 	tails := flag.String("tails", "uniform,lognormal,heavy", "comma-separated tail specs: uniform, lognormal, heavy, extreme")
 	model := flag.String("model", "smallcnn", "latency curves: smallcnn (perfmodel-derived) or synthetic")
+	frontEnds := flag.Int("frontends", 1, "parallel admission front-ends per cell")
+	admitNS := flag.Int64("admit-ns", 0, "per-request admission service time in ns (0 = instantaneous, stage off)")
 	faults := flag.Bool("faults", false, "also run every cell with a replica-kill failover scenario")
 	jsonOut := flag.String("json", "", "write scorecard JSON to file")
 	out := flag.String("out", "", "write scorecard table to file (default stdout)")
@@ -69,6 +71,8 @@ func main() {
 		MaxBatch:      8,
 		BatchDeadline: 500_000,
 		QueueDepth:    2,
+		FrontEnds:     *frontEnds,
+		AdmitNS:       *admitNS,
 		Traffic:       sim.Traffic{Tenants: 8, TenantSkew: 1.1},
 	}
 	if *policies == "all" {

@@ -102,17 +102,22 @@ func batchingSweep(arch string, size, classes, clients, replicas, maxBatch int, 
 // row where ~4x-capacity closed-loop load is shed by admission control.
 func fleetSweep(arch string, size, classes, clients, maxBatch int, duration time.Duration) {
 	type config struct {
-		name    string
-		groups  []int
-		clients int
-		pending int
+		name      string
+		groups    []int
+		clients   int
+		pending   int
+		frontEnds int
 	}
 	configs := []config{
-		{"1 replica", []int{1}, clients, 0},
-		{"2 replicas", []int{1, 1}, clients, 0},
-		{"shard-2 only", []int{2}, clients, 0},
-		{"1 + shard-2", []int{1, 2}, clients, 0},
-		{"overload 4x", []int{1, 2}, 4 * clients, maxBatch / 2},
+		{"1 replica", []int{1}, clients, 0, 1},
+		{"2 replicas", []int{1, 1}, clients, 0, 1},
+		{"shard-2 only", []int{2}, clients, 0, 1},
+		{"1 + shard-2", []int{1, 2}, clients, 0, 1},
+		// Sharded admission: two front-end ranks, each with its own lanes,
+		// batcher, and router, splitting the replicas' in-flight budgets.
+		{"1+2, 2 FEs", []int{1, 2}, clients, 0, 2},
+		{"overload 4x", []int{1, 2}, 4 * clients, maxBatch / 2, 1},
+		{"overload 2FE", []int{1, 2}, 4 * clients, maxBatch / 2, 2},
 	}
 
 	fmt.Printf("distributed fleet: %s %dx%dx3 -> %d classes, max batch %d, greedy flush, %v per config\n",
@@ -124,9 +129,10 @@ func fleetSweep(arch string, size, classes, clients, maxBatch int, duration time
 	for _, cfg := range configs {
 		thr, st := runConfig(arch, size, classes, cfg.clients, serve.Config{
 			Groups:          cfg.groups,
+			FrontEnds:       cfg.frontEnds,
 			MaxBatch:        maxBatch,
 			BatchDeadline:   serve.Greedy,
-			QueueDepth:      1,
+			QueueDepth:      cfg.frontEnds, // one in-flight slot per front-end per replica
 			PendingRequests: cfg.pending,
 		}, duration)
 		fmt.Printf("| %-12s | %7d | %8.0f r/s | %9.1f | %8v | %8v | %9d |\n",

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/serve"
+)
+
+// ServingRecord is one serving-benchmark measurement (cmd/bench -exp serve;
+// CI archives the set as BENCH_serving.json so sharded-front-end throughput
+// and the zero-alloc ingest claim stay comparable across commits).
+type ServingRecord struct {
+	Config           string  `json:"config"`
+	FrontEnds        int     `json:"front_ends"`
+	Replicas         int     `json:"replicas"`
+	Ingest           string  `json:"ingest"` // "inproc" or "binary"
+	Clients          int     `json:"clients"`
+	Requests         uint64  `json:"requests"`
+	ThroughputRPS    float64 `json:"throughput_rps"`
+	P50us            int64   `json:"p50_us"`
+	P99us            int64   `json:"p99_us"`
+	AllocsPerRequest float64 `json:"allocs_per_request"`
+}
+
+// ServingThroughput measures the live serving stack end to end on this
+// machine: closed-loop clients against a real fleet, over both ingest
+// paths (in-process Predict and binary frames over loopback TCP), at one
+// and two front-ends. Throughput and tail latency come from the server's
+// own flight recorder; allocations per request are process-wide Mallocs
+// over the measurement window, so they charge the whole pipeline — client
+// encode, ingest, batcher, router, replica forward, response.
+func ServingThroughput() *Table {
+	t, _ := ServingThroughputRecords()
+	return t
+}
+
+// ServingThroughputRecords is ServingThroughput returning, alongside the
+// rendered table, the raw measurements for JSON archiving.
+func ServingThroughputRecords() (*Table, []ServingRecord) {
+	t := &Table{
+		Title:  "Serving throughput (this machine)",
+		Header: []string{"config", "ingest", "clients", "served", "req/s", "p50us", "p99us", "allocs/req"},
+		Note:   "closed-loop over 300ms windows; allocs/req is process-wide Mallocs / served",
+	}
+	var recs []ServingRecord
+	for _, cell := range []struct {
+		frontEnds int
+		groups    []int
+		ingest    string
+		clients   int
+	}{
+		{1, []int{1, 1}, "inproc", 8},
+		{2, []int{1, 1}, "inproc", 8},
+		{1, []int{1, 1}, "binary", 8},
+		{2, []int{1, 1}, "binary", 8},
+	} {
+		rec := servingCell(cell.frontEnds, cell.groups, cell.ingest, cell.clients)
+		t.Rows = append(t.Rows, []string{
+			rec.Config, rec.Ingest, fmt.Sprint(rec.Clients), fmt.Sprint(rec.Requests),
+			fmt.Sprintf("%.0f", rec.ThroughputRPS),
+			fmt.Sprint(rec.P50us), fmt.Sprint(rec.P99us),
+			fmt.Sprintf("%.1f", rec.AllocsPerRequest),
+		})
+		recs = append(recs, rec)
+	}
+	return t, recs
+}
+
+func servingCell(frontEnds int, groups []int, ingest string, clients int) ServingRecord {
+	model, err := models.SmallCNNForServing(8, 3, 4, 16)
+	if err != nil {
+		panic(err)
+	}
+	// Greedy batching: flush as soon as the lanes empty. A timed deadline
+	// would make the benchmark measure OS timer slack (a 100µs timer fires
+	// ~1ms late on a loaded single-core box), not the serving pipeline.
+	s, err := serve.New(model, serve.Config{
+		FrontEnds:     frontEnds,
+		Groups:        groups,
+		MaxBatch:      8,
+		BatchDeadline: serve.Greedy,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+
+	var addr string
+	if ingest == "binary" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		addr = ln.Addr().String()
+		go func() { _ = s.ServeBinary(ln) }()
+	}
+
+	// predictor builds one client's closed-loop step over the chosen path.
+	predictor := func(c int) func(in, out []float32) error {
+		if ingest == "binary" {
+			bc, err := serve.DialBinary(addr, s.InputLen(), s.OutputLen())
+			if err != nil {
+				panic(err)
+			}
+			return bc.Predict
+		}
+		return s.Predict
+	}
+
+	const warm = 100 * time.Millisecond
+	const window = 300 * time.Millisecond
+	var stop atomic.Bool
+	var phase atomic.Int32 // 0 = warm-up, 1 = measuring
+	var served atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			step := predictor(c)
+			in := make([]float32, s.InputLen())
+			for i := range in {
+				in[i] = float32((i+c)%17) * 0.25
+			}
+			out := make([]float32, s.OutputLen())
+			for !stop.Load() {
+				err := step(in, out)
+				switch err {
+				case nil:
+					if phase.Load() == 1 {
+						served.Add(1)
+					}
+				case serve.ErrOverloaded:
+					time.Sleep(50 * time.Microsecond)
+				default:
+					return
+				}
+			}
+		}(c)
+	}
+
+	time.Sleep(warm)
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	phase.Store(1)
+	time.Sleep(window)
+	phase.Store(0)
+	elapsed := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	stop.Store(true)
+	wg.Wait()
+
+	st := s.Stats()
+	n := served.Load()
+	rec := ServingRecord{
+		Config:    fmt.Sprintf("%dfe-%dx1", frontEnds, len(groups)),
+		FrontEnds: frontEnds,
+		Replicas:  len(groups),
+		Ingest:    ingest,
+		Clients:   clients,
+		Requests:  n,
+		P50us:     st.P50.Microseconds(),
+		P99us:     st.P99.Microseconds(),
+	}
+	if n > 0 {
+		rec.ThroughputRPS = float64(n) / elapsed.Seconds()
+		rec.AllocsPerRequest = float64(after.Mallocs-before.Mallocs) / float64(n)
+	}
+	return rec
+}
+
+// WriteServingJSON writes serving benchmark records as a JSON array.
+func WriteServingJSON(path string, recs []ServingRecord) error {
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

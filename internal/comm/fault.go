@@ -182,6 +182,9 @@ func (f *faultState) markDead(rank int) {
 		for _, q := range mb.queues {
 			q.cond.Broadcast()
 		}
+		if mb.multiWaiters > 0 {
+			mb.multi.Broadcast()
+		}
 		mb.mu.Unlock()
 	}
 }

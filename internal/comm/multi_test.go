@@ -1,0 +1,126 @@
+package comm
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRecvMultiTimeoutBasics: a multi-source receive returns queued
+// messages with their source, preserves per-line FIFO, times out on silence,
+// and matches a late arrival from any listed line.
+func TestRecvMultiTimeoutBasics(t *testing.T) {
+	w := NewWorld(3)
+	c0, c1, c2 := w.Comm(0), w.Comm(1), w.Comm(2)
+	srcs := []int{1, 2}
+
+	c1.Send(0, 9, []float32{10, 11})
+	c2.Send(0, 9, []float32{20})
+	c1.Send(0, 9, []float32{12})
+
+	got := map[int][]float32{}
+	for i := 0; i < 3; i++ {
+		msg, src, err := c0.RecvMultiTimeout(srcs, 9, 100*time.Millisecond)
+		if err != nil {
+			t.Fatalf("receive %d: %v", i, err)
+		}
+		got[src] = append(got[src], msg...)
+		c0.Release(msg)
+	}
+	// Per-line FIFO: rank 1's messages must arrive in send order.
+	if len(got[1]) != 3 || got[1][0] != 10 || got[1][1] != 11 || got[1][2] != 12 {
+		t.Fatalf("rank 1 line out of order: %v", got[1])
+	}
+	if len(got[2]) != 1 || got[2][0] != 20 {
+		t.Fatalf("rank 2 line: %v", got[2])
+	}
+
+	start := time.Now()
+	if _, src, err := c0.RecvMultiTimeout(srcs, 9, 20*time.Millisecond); err != ErrTimeout || src != -1 {
+		t.Fatalf("empty lines: got src %d err %v, want -1 ErrTimeout", src, err)
+	}
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Fatalf("timed out after %v, want ~20ms", el)
+	}
+
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		c2.Dup().Send(0, 9, []float32{21})
+	}()
+	msg, src, err := c0.RecvMultiTimeout(srcs, 9, time.Second)
+	if err != nil || src != 2 || msg[0] != 21 {
+		t.Fatalf("late arrival: got src %d msg %v err %v", src, msg, err)
+	}
+	c0.Release(msg)
+}
+
+// TestRecvMultiTimeoutRotatesStart: with both lines continuously non-empty,
+// the rotating start keeps one busy source from starving the other.
+func TestRecvMultiTimeoutRotatesStart(t *testing.T) {
+	w := NewWorld(3)
+	c0, c1, c2 := w.Comm(0), w.Comm(1), w.Comm(2)
+	for i := 0; i < 8; i++ {
+		c1.Send(0, 4, []float32{1})
+		c2.Send(0, 4, []float32{2})
+	}
+	seen := map[int]int{}
+	for i := 0; i < 8; i++ {
+		msg, src, err := c0.RecvMultiTimeout([]int{1, 2}, 4, 100*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[src]++
+		c0.Release(msg)
+	}
+	if seen[1] == 0 || seen[2] == 0 {
+		t.Fatalf("one line starved with both non-empty: %v", seen)
+	}
+}
+
+// TestRecvMultiTimeoutPeerDeath: with some listed peers dead the live lines
+// still match; once every listed peer is dead the call fails fast with
+// ErrPeerDead, including waking a receiver already blocked.
+func TestRecvMultiTimeoutPeerDeath(t *testing.T) {
+	w := NewWorld(3)
+	c0, c2 := w.Comm(0), w.Comm(2)
+	srcs := []int{1, 2}
+
+	w.Fail(1)
+	c2.Send(0, 6, []float32{5})
+	msg, src, err := c0.RecvMultiTimeout(srcs, 6, 100*time.Millisecond)
+	if err != nil || src != 2 || msg[0] != 5 {
+		t.Fatalf("live line with one dead peer: got src %d msg %v err %v", src, msg, err)
+	}
+	c0.Release(msg)
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c0.RecvMultiTimeout(srcs, 6, 10*time.Second)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	w.Fail(2)
+	select {
+	case err := <-done:
+		if err != ErrPeerDead {
+			t.Fatalf("all peers dead: got %v, want ErrPeerDead", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked multi-receive never woke after the last peer died")
+	}
+}
+
+// TestRecvMultiTimeoutSingleSourceFastPath: the one-source form behaves
+// exactly like RecvTimeout and reports that source.
+func TestRecvMultiTimeoutSingleSourceFastPath(t *testing.T) {
+	w := NewWorld(2)
+	c0, c1 := w.Comm(0), w.Comm(1)
+	c1.Send(0, 3, []float32{9})
+	msg, src, err := c0.RecvMultiTimeout([]int{1}, 3, 100*time.Millisecond)
+	if err != nil || src != 1 || msg[0] != 9 {
+		t.Fatalf("single-source: got src %d msg %v err %v", src, msg, err)
+	}
+	c0.Release(msg)
+	if _, src, err := c0.RecvMultiTimeout([]int{1}, 3, 10*time.Millisecond); err != ErrTimeout || src != 1 {
+		t.Fatalf("single-source timeout: got src %d err %v", src, err)
+	}
+}

@@ -61,14 +61,22 @@ type subQueue struct {
 }
 
 // mailbox is an unbounded MPI-style matching queue: receives match on
-// (source, tag) and block until a matching message arrives.
+// (source, tag) and block until a matching message arrives. multi is the
+// wait channel for receivers blocked across several lines at once
+// (RecvMultiTimeout): put broadcasts it only while such a waiter exists
+// (multiWaiters > 0), so single-line traffic pays nothing beyond one
+// integer compare.
 type mailbox struct {
-	mu     sync.Mutex
-	queues map[msgKey]*subQueue
+	mu           sync.Mutex
+	queues       map[msgKey]*subQueue
+	multi        sync.Cond // L is mu
+	multiWaiters int
 }
 
 func newMailbox() *mailbox {
-	return &mailbox{queues: make(map[msgKey]*subQueue)}
+	mb := &mailbox{queues: make(map[msgKey]*subQueue)}
+	mb.multi.L = &mb.mu
+	return mb
 }
 
 // line returns (creating on first use) the sub-queue for key. Caller holds
@@ -88,6 +96,9 @@ func (mb *mailbox) put(src, tag int, data []float32) {
 	q := mb.line(msgKey{src, tag})
 	q.buf = append(q.buf, data)
 	q.cond.Signal()
+	if mb.multiWaiters > 0 {
+		mb.multi.Broadcast()
+	}
 	mb.mu.Unlock()
 }
 
@@ -236,6 +247,8 @@ type Comm struct {
 	splitEpoch int64 // number of Split calls performed on this handle
 	eng        *engine
 	timers     map[msgKey]*time.Timer // cached RecvTimeout timers, one per line
+	mtimer     *time.Timer            // cached RecvMultiTimeout wakeup timer
+	multiRR    int                    // multi-receive fairness rotation cursor
 
 	// traceID tags flight-recorder spans emitted by this handle with a
 	// request correlation id (the serving layer's batch seq). Atomic
@@ -343,6 +356,99 @@ func (c *Comm) Recv(src, tag int) []float32 {
 // nothing.
 func (c *Comm) RecvTimeout(src, tag int, d time.Duration) ([]float32, error) {
 	return c.recvWait(src, tag, true, d)
+}
+
+// RecvMultiTimeout waits for a message with the given tag from ANY of the
+// listed source ranks and returns the payload together with the source it
+// came from. Matching rotates its starting source on every successful
+// receive, so no single busy source can starve the others. It returns
+// ErrTimeout when d elapses with no matching message on any line, and
+// ErrPeerDead only once EVERY listed source is marked failed (a single
+// dead source is skipped — the survivors can still deliver). The wakeup
+// timer is cached on the handle, so warm multi-receives allocate nothing.
+//
+// The serving replica leaders use this to take batches from N sharded
+// front-ends over one tag without polling: FIFO order is preserved per
+// (source, tag) line, which is all the wire protocol requires.
+func (c *Comm) RecvMultiTimeout(srcs []int, tag int, d time.Duration) (data []float32, src int, err error) {
+	if len(srcs) == 0 {
+		panic("comm: RecvMultiTimeout needs at least one source")
+	}
+	if len(srcs) == 1 {
+		data, err = c.recvWait(srcs[0], tag, true, d)
+		return data, srcs[0], err
+	}
+	for _, s := range srcs {
+		if s < 0 || s >= len(c.group) {
+			panic(fmt.Sprintf("comm: recv from rank %d out of range [0,%d)", s, len(c.group)))
+		}
+	}
+	f := c.world.fault
+	self := c.group[c.rank]
+	if f.dead[self].Load() {
+		panic(killedPanic{self})
+	}
+	t := obs.Start()
+	tagged := c.tagOf(tag)
+	mb := c.world.mailboxes[self]
+	tm := c.multiTimer(mb)
+	deadline := time.Now().Add(d)
+	tm.Reset(d)
+	mb.mu.Lock()
+	for {
+		for i := range srcs {
+			s := srcs[(c.multiRR+i)%len(srcs)]
+			if data, ok := mb.line(msgKey{s, tagged}).pop(); ok {
+				c.multiRR++
+				mb.mu.Unlock()
+				tm.Stop()
+				c.obsRecvWait(t, tag, data)
+				return data, s, nil
+			}
+		}
+		if f.dead[self].Load() {
+			mb.mu.Unlock()
+			tm.Stop()
+			panic(killedPanic{self})
+		}
+		allDead := true
+		for _, s := range srcs {
+			if !f.dead[c.group[s]].Load() {
+				allDead = false
+				break
+			}
+		}
+		if allDead {
+			mb.mu.Unlock()
+			tm.Stop()
+			return nil, -1, ErrPeerDead
+		}
+		if !time.Now().Before(deadline) {
+			mb.mu.Unlock()
+			tm.Stop()
+			return nil, -1, ErrTimeout
+		}
+		mb.multiWaiters++
+		mb.multi.Wait()
+		mb.multiWaiters--
+	}
+}
+
+// multiTimer returns (creating and caching on first use) the handle's
+// wakeup timer for multi-source receives. Like lineTimer, the callback
+// only broadcasts; RecvMultiTimeout decides timeout by the clock.
+func (c *Comm) multiTimer(mb *mailbox) *time.Timer {
+	if c.mtimer == nil {
+		c.mtimer = time.AfterFunc(time.Hour, func() {
+			mb.mu.Lock()
+			if mb.multiWaiters > 0 {
+				mb.multi.Broadcast()
+			}
+			mb.mu.Unlock()
+		})
+		c.mtimer.Stop()
+	}
+	return c.mtimer
 }
 
 // recvWait is the shared receive wait loop: fault-aware and optionally

@@ -6,19 +6,21 @@
 //
 // # Architecture
 //
-// The server owns a comm.World: rank 0 is the front-end, every other rank
-// belongs to one replica group (Config.Groups). Requests flow
+// The server owns a comm.World: ranks 0 through Config.FrontEnds-1 are
+// front-ends (one by default), every other rank belongs to one replica
+// group (Config.Groups, packed after the front-ends). Requests flow
 //
 //	Predict callers ──> admission lanes ──> batcher ──> policy router
 //	     ──(comm messages)──> replica group leaders ──> collectors ──> callers
 //
-// The batcher is a single goroutine that coalesces concurrent requests into
-// micro-batches: it copies each request's input into the forming batch's
-// pooled staging buffer and flushes when either (a) the batch reaches
-// Config.MaxBatch or (b) Config.BatchDeadline has elapsed since the batch's
-// first request arrived. A Greedy deadline means: take whatever is queued
-// at this instant, never wait. The high-priority lane is always drained
-// first, so a low-priority flood cannot starve latency-critical traffic.
+// A batcher is one goroutine per front-end that coalesces that front-end's
+// concurrent requests into micro-batches: it copies each request's input
+// into the forming batch's pooled staging buffer and flushes when either
+// (a) the batch reaches Config.MaxBatch or (b) Config.BatchDeadline has
+// elapsed since the batch's first request arrived. A Greedy deadline means:
+// take whatever is queued at this instant, never wait. The high-priority
+// lane is always drained first, so a low-priority flood cannot starve
+// latency-critical traffic.
 //
 // Flushed batches go to the router, which routes each one through a
 // pluggable sched.Policy (Config.Policy; nil ships sched.Production,
@@ -44,6 +46,62 @@
 // in-flight batches bound the standing queue, so the p99 of the requests
 // actually served stays within a small factor of the uncontended p99 under
 // any overload (test-enforced at 2x under 4x-capacity load).
+//
+// # Front-end sharding
+//
+// Config.FrontEnds > 1 shards admission itself: F front-end ranks occupy
+// world ranks 0..F-1, and each owns a full private admission pipeline —
+// its own lanes, batcher, stats collector, policy router (a fresh
+// sched.Policy instance per front-end; Config.Policy, being single-owner
+// state, rides on front-end 0 and the rest instantiate sched.Production),
+// and its own result/heartbeat collectors on dedicated communicator dups.
+// In-process Predict round-robins across front-ends per request; binary
+// connections are pinned to a front-end at accept time. All front-ends
+// route to the shared replica set.
+//
+// Replica state stays coherent without gossip through two mechanisms:
+//
+//   - Heartbeat fan-out: a replica leader answers the front-end that sent
+//     the batch, but fans every occupancy heartbeat to ALL front-ends, so
+//     each router's occupancy view converges on the same leader-reported
+//     truth. Leaders receive from all front-end ranks with a multi-source
+//     timed receive (comm.RecvMultiTimeout) whose rotating start keeps one
+//     busy front-end from starving another, and exit only after collecting
+//     a stop sentinel from every front-end.
+//   - Budget partitioning: each replica's in-flight budget is divided
+//     among the front-ends — every router caps itself at
+//     max(1, Config.QueueDepth/FrontEnds) unanswered batches per replica —
+//     so the fleet-wide cap holds with no cross-front-end coordination on
+//     the dispatch path.
+//
+// Per-front-end outcome counters (Stats.FrontEnds, /statz
+// front_end_stats) each satisfy the conservation identity on their own;
+// the aggregate is their exact sum (TestCrossFrontEndConservation drives
+// both through a kill/rejoin chaos run).
+//
+// # Binary ingest and tenant quotas
+//
+// ServeBinary accepts persistent connections speaking a length-prefixed
+// little-endian float32 frame protocol built for zero-allocation ingest:
+//
+//	request:  [payload bytes u32 | flags u32 (bit0 = high priority) |
+//	           tenant u32 | deadline µs u32] + payload (InputLen floats)
+//	response: [status u32 | payload bytes u32] + payload (status 0 only)
+//
+// Non-zero statuses map onto the Predict sentinel errors (overloaded,
+// expired, canceled, unavailable, failed, quota); a frame whose length
+// prefix disagrees with the model closes the connection after a
+// bad-request status, since the stream can no longer be framed. Each
+// connection's scratch buffers come from the kernels.Workspace arena and
+// responses are encoded in place, so a warm round trip performs zero heap
+// allocations process-wide (TestBinaryPredictZeroAllocs).
+//
+// Config.TenantRate/TenantBurst arm per-tenant token buckets consulted
+// straight after the 16-byte header is read: an over-budget tenant's
+// payload is discarded without parsing, the frame is refused at the
+// socket with the quota status (ErrQuota, Stats.ShedQuota), and admission
+// lanes are never touched — socket-level backpressure ahead of every
+// other shed.
 //
 // # Invariants
 //
@@ -110,9 +168,10 @@
 // and chaos runs, comm.FaultPlan kills it deterministically at a chosen
 // send count), and the whole group fails together — a killed leader
 // unwinds its followers through the collective they share. The front-end
-// rank is trusted (a Config.Fault plan that kills rank 0 is rejected).
+// ranks are trusted (a Config.Fault plan that kills any rank below
+// Config.FrontEnds is rejected).
 //
-// Detection runs on the front-end's failure monitor, one tick per
+// Detection runs on the server's fleet-wide failure monitor, one tick per
 // Config.HeartbeatInterval, with two triggers: a batch unanswered for
 // Config.BatchTimeout, or — only while the replica has nothing in flight,
 // so a long forward pass is never misread as death — heartbeat silence for

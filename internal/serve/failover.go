@@ -7,90 +7,129 @@ import (
 	"repro/internal/comm"
 )
 
-// Failure detection, quarantine, and rejoin. The monitor goroutine runs on
-// the front-end beside the collectors and ticks at HeartbeatInterval:
+// Failure detection, quarantine, and rejoin. The monitor goroutine runs
+// once, fleet-wide, beside the per-front-end collectors and ticks at
+// HeartbeatInterval:
 //
-//	detect     a live replica is failed when a batch it owns has gone
-//	           unanswered for BatchTimeout, or — only while it has nothing
-//	           in flight, so a long forward pass is never misread as death
-//	           — when it has been heartbeat-silent for FailTimeout.
-//	quarantine the replica leaves the routing set, its world ranks are
-//	           fenced off with comm.World.Fail (their goroutines unwind on
-//	           their next communication), and its in-flight slots are
-//	           stranded onto the retry queue for re-dispatch.
+//	detect     a live replica is failed when a batch it owns (on any
+//	           front-end's router) has gone unanswered for BatchTimeout, or
+//	           — only while it has nothing in flight on any front-end, so a
+//	           long forward pass is never misread as death — when it has
+//	           been heartbeat-silent for FailTimeout. Heartbeats fan out to
+//	           every front-end, and any front-end's collector refreshes the
+//	           shared lastHeard clock, so detection needs no cross-front-end
+//	           coordination.
+//	quarantine the replica leaves the routing set (the liveness transition
+//	           is stored on the shared repState, so every router's next pick
+//	           sees it), its world ranks are fenced off with comm.World.Fail
+//	           (their goroutines unwind on their next communication), and
+//	           each router's in-flight slots for it are stranded onto that
+//	           router's retry queue for re-dispatch.
 //	rejoin     RejoinAfter later (if enabled) the supervisor joins the dead
 //	           incarnation's goroutines, revives the ranks, drains their
 //	           stale mailbox state, restores sharded weight shards from the
 //	           fleet checkpoint, respawns the serving goroutines, and
 //	           health-probes the leader until a heartbeat proves it alive —
-//	           only then does the replica take traffic again.
+//	           only then does the replica take traffic again, on every
+//	           front-end.
 //
-// After Close the monitor keeps ticking until every slot is resolved, so
-// batches stranded by a failure during shutdown are still re-routed or
-// failed: no Predict call hangs, even when the fleet dies mid-drain.
+// After Close the monitor keeps ticking until every router's slots are
+// resolved, so batches stranded by a failure during shutdown are still
+// re-routed or failed: no Predict call hangs, even when the fleet dies
+// mid-drain.
 
-// monitor is the front-end's failure detector and rejoin supervisor.
+// monitor is the fleet's failure detector and rejoin supervisor.
 func (s *Server) monitor() {
 	defer s.wg.Done()
 	f := s.fleet
-	rt := f.rt
 	failNs := s.cfg.FailTimeout.Nanoseconds()
 	batchNs := s.cfg.BatchTimeout.Nanoseconds()
 	rejoinNs := s.cfg.RejoinAfter.Nanoseconds()
-	late := make([]bool, len(rt.reps))
+	late := make([]bool, len(f.reps))
+	inflight := make([]int, len(f.reps))
 	tick := time.NewTicker(s.cfg.HeartbeatInterval)
 	defer tick.Stop()
 	for range tick.C {
 		now := time.Now().UnixNano()
-		var kill [][]int
-		var respawn []int
-		rt.mu.Lock()
+		// Sweep every front-end's router: late batches and summed in-flight
+		// per replica. Each router is locked on its own; no lock spans two
+		// front-ends.
 		for g := range late {
 			late[g] = false
+			inflight[g] = 0
 		}
-		for slot := range rt.pending {
-			e := &rt.pending[slot]
-			if e.b != nil && e.g >= 0 && now-e.sentAt > batchNs {
-				late[e.g] = true
+		anyStopped := false
+		allDrained := true
+		batchersDone := true
+		for _, fe := range s.fes {
+			if !fe.batcherExited.Load() {
+				batchersDone = false
 			}
+			rt := fe.rt
+			rt.mu.Lock()
+			for slot := range rt.pending {
+				e := &rt.pending[slot]
+				if e.b != nil && e.g >= 0 && now-e.sentAt > batchNs {
+					late[e.g] = true
+				}
+			}
+			for g := range inflight {
+				inflight[g] += rt.inflight[g]
+			}
+			if rt.stopped {
+				anyStopped = true
+			}
+			if !rt.drainedLocked() {
+				allDrained = false
+			}
+			rt.mu.Unlock()
 		}
-		for g, rep := range rt.reps {
+		var kill [][]int
+		var respawn []int
+		for g, rep := range f.reps {
 			switch repLife(rep.life.Load()) {
 			case repLive:
-				silent := rep.inflight == 0 && now-rep.lastHeard.Load() > failNs
+				silent := inflight[g] == 0 && now-rep.lastHeard.Load() > failNs
 				if late[g] || silent {
-					rt.quarantineLocked(g, now)
+					// Store the transition first so every router's next pick
+					// already sees the replica dead, then strand each
+					// router's slots.
+					rep.life.Store(int32(repQuarantined))
+					rep.quarantinedAt.Store(now)
+					rep.probeStart.Store(0)
+					rep.occ.Store(0)
+					s.stats.quarantined.Add(1)
+					for _, fe := range s.fes {
+						fe.rt.strand(g, now)
+					}
 					kill = append(kill, rep.members)
 				}
 			case repQuarantined:
-				if !rt.stopped && rejoinNs >= 0 && now-rep.quarantinedAt >= rejoinNs {
+				if !anyStopped && rejoinNs >= 0 && now-rep.quarantinedAt.Load() >= rejoinNs {
 					rep.life.Store(int32(repRejoining))
-					rep.probeStart = 0
+					rep.probeStart.Store(0)
 					f.respawning.Add(1)
 					respawn = append(respawn, g)
 				}
 			case repRejoining:
-				if rep.probeStart == 0 {
+				ps := rep.probeStart.Load()
+				if ps == 0 {
 					break // respawn still in flight
 				}
-				if rep.lastHeard.Load() > rep.probeStart {
-					// Probe answered: the new incarnation is serving. The
-					// idle heartbeat tells the policy to drop any state it
-					// kept about the dead incarnation (rt.mu is held).
+				if rep.lastHeard.Load() > ps {
+					// Probe answered: the new incarnation is serving. Flip
+					// the shared state live, then re-admit it on every
+					// router.
 					rep.life.Store(int32(repLive))
-					rt.live++
-					rep.inflight = 0
-					rt.pol.OnHeartbeat(g, now, 0)
 					s.stats.rejoins.Add(1)
-					rt.dispatchRetriesLocked(now)
-					rt.cond.Broadcast()
+					for _, fe := range s.fes {
+						fe.rt.rejoined(g, now)
+					}
 				} else {
-					rt.probeLocked(g)
+					f.probe(g)
 				}
 			}
 		}
-		drained := rt.drainedLocked()
-		rt.mu.Unlock()
 		for _, members := range kill {
 			for _, r := range members {
 				f.world.Fail(r)
@@ -100,7 +139,7 @@ func (s *Server) monitor() {
 			s.wg.Add(1)
 			go s.respawnReplica(g)
 		}
-		if s.batcherExited.Load() && drained && f.respawning.Load() == 0 {
+		if batchersDone && allDrained && f.respawning.Load() == 0 {
 			return
 		}
 	}
@@ -109,7 +148,7 @@ func (s *Server) monitor() {
 // respawnReplica brings a quarantined replica group back: join the dead
 // incarnation, revive and drain the ranks, restore sharded weights, spawn
 // fresh goroutines, and arm the monitor's probe loop. Runs on its own
-// goroutine (under s.wg); rt.reps[g] stays repRejoining until a probe is
+// goroutine (under s.wg); f.reps[g] stays repRejoining until a probe is
 // answered.
 func (s *Server) respawnReplica(g int) {
 	defer s.wg.Done()
@@ -135,27 +174,30 @@ func (s *Server) respawnReplica(g int) {
 		f.world.Revive(r)
 	}
 	// Purge stale communicator state before any new goroutine runs. The
-	// leader's queued batches are consumed first so a stop sentinel is not
-	// lost (one here means Close raced the respawn: the new incarnation
-	// must only say goodbye); everything else on each member's mailbox is
-	// then dropped wholesale with DrainAll — the sharded executor splits
-	// sub-communicators internally, so a per-communicator drain would miss
-	// collective fragments a mid-forward kill left on their lines and
-	// silently offset the next incarnation's gathers by one iteration.
+	// leader's queued batches — from every front-end — are consumed first
+	// so a stop sentinel is not lost (one here means Close raced the
+	// respawn: the new incarnation must only say goodbye); everything else
+	// on each member's mailbox is then dropped wholesale with DrainAll —
+	// the sharded executor splits sub-communicators internally, so a
+	// per-communicator drain would miss collective fragments a mid-forward
+	// kill left on their lines and silently offset the next incarnation's
+	// gathers by one iteration.
 	sawStop := false
 	restoreErr := false
 	for m := range grp.members {
 		ms := &grp.members[m]
 		if m == 0 {
-			for {
-				msg, ok := ms.c.TryRecv(0, tagBatch)
-				if !ok {
-					break
+			for _, src := range s.feRanks {
+				for {
+					msg, ok := ms.c.TryRecv(src, tagBatch)
+					if !ok {
+						break
+					}
+					if msg[0] == stopSentinel {
+						sawStop = true
+					}
+					ms.c.Release(msg)
 				}
-				if msg[0] == stopSentinel {
-					sawStop = true
-				}
-				ms.c.Release(msg)
 			}
 		}
 		ms.c.DrainAll()
@@ -171,12 +213,9 @@ func (s *Server) respawnReplica(g int) {
 		for _, r := range grp.ranks {
 			f.world.Fail(r)
 		}
-		rt := f.rt
-		rt.mu.Lock()
-		rep := rt.reps[g]
+		rep := f.reps[g]
 		rep.life.Store(int32(repQuarantined))
-		rep.quarantinedAt = time.Now().UnixNano()
-		rt.mu.Unlock()
+		rep.quarantinedAt.Store(time.Now().UnixNano())
 		return
 	}
 	wg := new(sync.WaitGroup)
@@ -186,18 +225,15 @@ func (s *Server) respawnReplica(g int) {
 		f.repWG.Add(1)
 		go s.replicaRestart(grp, wg, m, sawStop)
 	}
-	rt := f.rt
-	rt.mu.Lock()
-	rt.reps[g].probeStart = time.Now().UnixNano()
-	rt.mu.Unlock()
+	f.reps[g].probeStart.Store(time.Now().UnixNano())
 }
 
 // replicaRestart is one member rank of a respawned replica incarnation. It
 // reuses the handles and executor recorded by replicaMain; single-rank
 // replicas keep their immutable shared weights, sharded members had their
 // shards restored by the supervisor before the spawn. When the respawn
-// raced Close (sawStop), the leader only replays the goodbye protocol so
-// the collectors release cleanly.
+// raced Close (sawStop), the leader only replays the goodbye protocol — to
+// every front-end — so all the collectors release cleanly.
 func (s *Server) replicaRestart(grp *groupRuntime, wg *sync.WaitGroup, member int, sawStop bool) {
 	defer s.fleet.repWG.Done()
 	defer wg.Done()
@@ -211,13 +247,15 @@ func (s *Server) replicaRestart(grp *groupRuntime, wg *sync.WaitGroup, member in
 		return
 	}
 	if sawStop {
-		res := comm.GetBuf(resultHdr)
-		res[0], res[1], res[2] = -1, 0, 0
-		res[3], res[4], res[5] = 0, 0, 0
-		ms.c.SendNoCopy(0, tagResult, res)
-		hb := comm.GetBuf(1)
-		hb[0] = -1
-		ms.c.SendNoCopy(0, tagHB, hb)
+		for _, r := range s.feRanks {
+			res := comm.GetBuf(resultHdr)
+			res[0], res[1], res[2] = -1, 0, 0
+			res[3], res[4], res[5] = 0, 0, 0
+			ms.c.SendNoCopy(r, tagResult, res)
+			hb := comm.GetBuf(1)
+			hb[0] = -1
+			ms.c.SendNoCopy(r, tagHB, hb)
+		}
 		return
 	}
 	s.leaderLoop(ms.c, ms.ex)

@@ -14,7 +14,7 @@ import (
 	"repro/internal/tensor"
 )
 
-// Wire protocol between the front-end rank and replica group leaders, all
+// Wire protocol between the front-end ranks and replica group leaders, all
 // point-to-point on the world communicator (user tag space):
 //
 //	tagBatch  front-end -> leader   [slot, seq, n, sentHi, sentLo, n*inLen rows]
@@ -31,16 +31,26 @@ import (
 // flight recorder without any extra messages.
 //	tagHB     leader -> front-end   [queueDepth]; < 0: goodbye
 //
-// Slots index the router's pending table; a slot is unique among in-flight
-// batches (it is recycled only after its result returns or the batch is
-// failed). seq is a monotonically increasing 24-bit submission number —
-// exact in a float32 — re-minted every time a batch is (re)dispatched, so a
-// result is accepted only if it answers the slot's *current* submission:
-// that is the at-most-once delivery guard against late results from a
-// quarantined replica and against fault-injected message duplication.
-// Batch payloads, results, and heartbeats all stage through the comm
-// message pool, so the warm serving path crosses the wire with zero heap
-// allocations.
+// With FrontEnds > 1 the same protocol runs fan-in/fan-out: a leader
+// receives batches from every front-end rank (comm.RecvMultiTimeout), each
+// result is answered to the front-end that submitted the batch, and every
+// heartbeat is fanned to all front-end ranks — that fan-out is the only
+// cross-front-end coherence mechanism (each front-end sees the same
+// replica-wide occupancy), the in-flight budgets being statically
+// partitioned. A leader stops only after collecting one stop sentinel from
+// every front-end, and says goodbye (result and heartbeat) to each.
+//
+// Slots index a front-end router's pending table; (front-end, slot) is
+// unique among in-flight batches (a slot is recycled only after its result
+// returns or the batch is failed), and results return to the submitting
+// front-end so slots from different front-ends never meet. seq is a
+// monotonically increasing 24-bit submission number — exact in a float32 —
+// re-minted every time a batch is (re)dispatched, so a result is accepted
+// only if it answers the slot's *current* submission: that is the
+// at-most-once delivery guard against late results from a quarantined
+// replica and against fault-injected message duplication. Batch payloads,
+// results, and heartbeats all stage through the comm message pool, so the
+// warm serving path crosses the wire with zero heap allocations.
 //
 // Occupancy heartbeats ride two channels: every result carries the
 // replica's post-batch queue depth, and a standalone tagHB message fires
@@ -91,14 +101,16 @@ func (l repLife) String() string {
 	}
 }
 
-// fleet owns the communication world: rank 0 is the front-end (router +
-// collectors + failure monitor), ranks 1..R are replica ranks, grouped per
-// Config.Groups with the group leader on the group's first world rank.
-// Sharded groups run a placement-sharded nn.DistInferNet collectively;
-// single-rank groups run an nn.InferNet clone.
+// fleet owns the communication world: ranks 0..FrontEnds-1 are front-ends
+// (each a router + collectors; the failure monitor runs once, fleet-wide),
+// the remaining ranks are replica ranks, grouped per Config.Groups with the
+// group leader on the group's first world rank. Sharded groups run a
+// placement-sharded nn.DistInferNet collectively; single-rank groups run an
+// nn.InferNet clone.
 type fleet struct {
 	world      *comm.World
-	rt         *router
+	reps       []*repState // shared across every front-end's router
+	probeC     *comm.Comm  // monitor's send handle (front-end rank 0)
 	repWG      sync.WaitGroup // replica rank goroutines, every incarnation
 	groups     []*groupRuntime
 	ck         *nn.Checkpoint // captured state sharded groups restore from on rejoin
@@ -127,7 +139,7 @@ type memberState struct {
 
 // liveCount reports how many replicas are currently routable.
 func (f *fleet) liveCount() (live, total int) {
-	for _, rep := range f.rt.reps {
+	for _, rep := range f.reps {
 		total++
 		if repLife(rep.life.Load()) == repLive {
 			live++
@@ -136,26 +148,41 @@ func (f *fleet) liveCount() (live, total int) {
 	return live, total
 }
 
-// repState is the router's per-replica view.
+// repState is one replica's record, shared by every front-end's router:
+// everything on it is atomic (per-front-end in-flight counts live in the
+// routers, under their own locks), so no cross-front-end lock exists.
 type repState struct {
-	leader   int   // world rank of the group leader
-	members  []int // world ranks of the whole group
-	ranks    int
-	inflight int          // batches sent, result not yet collected (router lock)
-	occ      atomic.Int32 // last heartbeat: batches queued/executing replica-side
-	batches  atomic.Uint64
-	life     atomic.Int32 // repLife
-	// lastHeard is the UnixNano of the last result or heartbeat; the
-	// monitor's silence detector and the rejoin probe ack both key on it.
+	leader  int   // world rank of the group leader
+	members []int // world ranks of the whole group
+	ranks   int
+	occ     atomic.Int32 // last heartbeat: batches queued/executing replica-side
+	batches atomic.Uint64
+	life    atomic.Int32 // repLife; transitions are the monitor's alone
+	// lastHeard is the UnixNano of the last result or heartbeat seen by any
+	// front-end; the monitor's silence detector and the rejoin probe ack
+	// both key on it.
 	lastHeard atomic.Int64
-	// quarantinedAt / probeStart are UnixNano timestamps under the router
-	// lock: when the quarantine began, and when the rejoin incarnation's
-	// goroutines were (re)spawned (0 while the respawn is still pending).
-	quarantinedAt int64
-	probeStart    int64
+	// quarantinedAt / probeStart are UnixNano timestamps owned by the
+	// monitor and the respawn goroutine: when the quarantine began, and
+	// when the rejoin incarnation's goroutines were (re)spawned (0 while
+	// the respawn is still pending).
+	quarantinedAt atomic.Int64
+	probeStart    atomic.Int64
 }
 
-// pendingEntry is one in-flight batch in the router's slot table. g is the
+// newRepSet builds the shared replica records for a fleet whose replica
+// ranks start at world rank frontEnds (group leaders first-rank-of-group).
+func newRepSet(groups []int, frontEnds int) []*repState {
+	reps := make([]*repState, 0, len(groups))
+	rank := frontEnds
+	for _, ranks := range groups {
+		reps = append(reps, &repState{leader: rank, ranks: ranks})
+		rank += ranks
+	}
+	return reps
+}
+
+// pendingEntry is one in-flight batch in a router's slot table. g is the
 // replica currently responsible; -1 marks a stranded batch queued for
 // re-dispatch after its replica was quarantined.
 type pendingEntry struct {
@@ -167,34 +194,44 @@ type pendingEntry struct {
 	sentAt  int64 // UnixNano of the last dispatch
 }
 
-// router assigns flushed batches to live replica leaders through a
-// pluggable sched.Policy (Config.Policy; default sched.LeastLoaded, the
-// shipped production policy: lowest in-flight hard-capped at QueueDepth,
-// tie-broken by occupancy heartbeat, deterministic round-robin rotation).
-// The router owns the mechanism — slots, seq minting, retry queue, the
-// in-flight caps — and the policy owns only the choice: it sees each
-// replica's liveness, in-flight count, cap, and last heartbeat through
+// router assigns one front-end's flushed batches to live replica leaders
+// through a pluggable sched.Policy (Config.Policy; default
+// sched.LeastLoaded, the shipped production policy: lowest in-flight
+// hard-capped at the per-front-end QueueDepth share, tie-broken by
+// occupancy heartbeat, deterministic round-robin rotation). The router owns
+// the mechanism — slots, seq minting, retry queue, the in-flight caps —
+// and the policy owns only the choice: it sees each replica's liveness,
+// this front-end's in-flight count, cap, and last heartbeat through
 // sched.ReplicaView, and is notified of dispatches, results, and
 // heartbeats. The same policy implementations run in internal/sim's
 // deterministic fleet simulator, which is where they are raced and chosen.
 //
+// With several front-ends each runs its own router over the shared repState
+// records: replica liveness and occupancy are read atomically from the
+// shared records, while in-flight counts, slots, and policy state stay
+// per-front-end under the router's own lock — no lock is ever shared
+// between front-ends.
+//
 // Submission blocks only while some live replica exists but all are at
 // their cap; with zero live replicas it fails fast so admission sheds
-// instead of queueing into a hole. Quarantine strands a replica's pending
-// slots onto the retry queue, which drains into surviving replicas as
-// capacity frees (each re-dispatch under the batch's retry budget and with
-// a fresh seq for at-most-once delivery).
+// instead of queueing into a hole. Quarantine (the monitor's strand call)
+// strands a replica's pending slots onto the retry queue, which drains into
+// surviving replicas as capacity frees (each re-dispatch under the batch's
+// retry budget and with a fresh seq for at-most-once delivery).
 type router struct {
-	c      *comm.Comm // front-end world handle (mailbox traffic is goroutine-safe)
+	c      *comm.Comm // this front-end's world handle (mailbox traffic is goroutine-safe)
 	srv    *Server
-	qd     int
+	fe     *frontEnd
+	stats  *statsCollector
+	qd     int // per-front-end in-flight cap per replica
 	budget int
 
 	mu        sync.Mutex
 	cond      *sync.Cond
 	pol       sched.Policy
 	views     []sched.ReplicaView // scratch for Pick, reused per call
-	reps      []*repState
+	reps      []*repState         // shared fleet records (see newRepSet)
+	inflight  []int               // this front-end's batches in flight per replica
 	pending   []pendingEntry
 	freeSlots []int
 	retryQ    []int // slots stranded by quarantine, awaiting re-dispatch
@@ -203,26 +240,34 @@ type router struct {
 	stopped   bool
 }
 
-func newRouter(c *comm.Comm, groups []int, qd int, srv *Server) *router {
-	rt := &router{c: c, srv: srv, qd: qd, live: len(groups)}
+func newRouter(c *comm.Comm, reps []*repState, qd int, srv *Server, fe *frontEnd) *router {
+	rt := &router{c: c, srv: srv, fe: fe, qd: qd, reps: reps, live: len(reps)}
 	rt.cond = sync.NewCond(&rt.mu)
 	if srv != nil {
 		rt.budget = srv.cfg.RetryBudget
-		rt.pol = srv.cfg.Policy
+		if fe == nil || fe.id == 0 {
+			// Config.Policy is a single instance: it serves front-end 0;
+			// additional front-ends get fresh instances of the default.
+			rt.pol = srv.cfg.Policy
+		}
+	}
+	switch {
+	case fe != nil:
+		rt.stats = fe.stats
+	case srv != nil:
+		rt.stats = srv.stats
+	default:
+		rt.stats = newStatsCollector(1) // bare unit-test router
 	}
 	if rt.pol == nil {
 		// The shipped default: whatever policy the fleet-scheduler lab
 		// last promoted (see sched.Production and cmd/sim).
 		rt.pol, _ = sched.New(sched.Production)
 	}
-	rt.pol.Reset(len(groups), 1)
-	rt.views = make([]sched.ReplicaView, len(groups))
-	rank := 1
-	for _, ranks := range groups {
-		rt.reps = append(rt.reps, &repState{leader: rank, ranks: ranks})
-		rank += ranks
-	}
-	slots := len(groups) * qd
+	rt.pol.Reset(len(reps), 1)
+	rt.views = make([]sched.ReplicaView, len(reps))
+	rt.inflight = make([]int, len(reps))
+	slots := len(reps) * qd
 	rt.pending = make([]pendingEntry, slots)
 	rt.freeSlots = make([]int, slots)
 	for i := range rt.freeSlots {
@@ -248,7 +293,7 @@ func (rt *router) pick(bv sched.BatchView) int {
 	for g, rep := range rt.reps {
 		rt.views[g] = sched.ReplicaView{
 			Live:     repLife(rep.life.Load()) == repLive,
-			InFlight: rep.inflight,
+			InFlight: rt.inflight[g],
 			Cap:      rt.qd,
 			Occ:      int(rep.occ.Load()),
 		}
@@ -288,10 +333,10 @@ func (rt *router) sendLocked(g, slot int) {
 	rt.c.SendNoCopy(rt.reps[g].leader, tagBatch, msg)
 }
 
-// submit routes b to the least-loaded live replica, blocking while every
-// live replica is at its in-flight cap. It reports false — without taking
-// the batch — when no live replica exists; the caller fails the batch.
-// Called from the batcher goroutine.
+// submit routes b to the policy's choice of live replica, blocking while
+// every live replica is at this front-end's in-flight cap. It reports false
+// — without taking the batch — when no live replica exists; the caller
+// fails the batch. Called from this front-end's batcher goroutine.
 func (rt *router) submit(b *batch) bool {
 	t0 := time.Now()
 	bv := sched.BatchView{N: b.n, Deadline: b.deadlineNs}
@@ -310,10 +355,10 @@ func (rt *router) submit(b *batch) bool {
 				b: b, seq: seq, g: g, lastG: g,
 				sentAt: now,
 			}
-			rt.reps[g].inflight++
+			rt.inflight[g]++
 			rt.pol.OnDispatch(g, now, b.n)
 			rt.sendLocked(g, slot)
-			rt.srv.recordDispatch(b, seq, t0)
+			rt.srv.recordDispatch(rt.fe, b, seq, t0)
 			return true
 		}
 		rt.cond.Wait()
@@ -324,16 +369,16 @@ func (rt *router) submit(b *batch) bool {
 // at the moment a batch hits the wire: batch-wait and route stage
 // histograms (always on), plus — only while tracing — admission spans for
 // every rider, the batch-formation span, and the route span, all on the
-// front-end's track (world rank 0), correlated by seq.
-func (s *Server) recordDispatch(b *batch, seq uint32, routeStart time.Time) {
+// submitting front-end's track (its world rank), correlated by seq.
+func (s *Server) recordDispatch(fe *frontEnd, b *batch, seq uint32, routeStart time.Time) {
 	now := time.Now()
-	s.stats.recordStage(stgBatchWait, now.Sub(time.Unix(0, b.openedAt)))
-	s.stats.recordStage(stgRoute, now.Sub(routeStart))
+	fe.stats.recordStage(stgBatchWait, now.Sub(time.Unix(0, b.openedAt)))
+	fe.stats.recordStage(stgRoute, now.Sub(routeStart))
 	if !obs.Enabled() {
 		return
 	}
 	nowNs := now.UnixNano()
-	r0 := obs.RingFor(0)
+	r0 := obs.RingFor(fe.id)
 	for i := 0; i < b.n; i++ {
 		r0.RecordSpan(obs.StageAdmission, 0, uint64(seq), b.reqs[i].start.UnixNano(), nowNs, int64(b.n))
 	}
@@ -358,7 +403,7 @@ func (rt *router) claim(slot int, seq uint32) (b *batch, sentAt int64) {
 	}
 	b, sentAt = e.b, e.sentAt
 	if e.g >= 0 {
-		rt.reps[e.g].inflight--
+		rt.inflight[e.g]--
 	} else {
 		// Stranded awaiting retry, but the old replica's answer made it out
 		// before the kill: accept it and cancel the pending re-dispatch.
@@ -376,18 +421,14 @@ func (rt *router) claim(slot int, seq uint32) (b *batch, sentAt int64) {
 	return b, sentAt
 }
 
-// quarantineLocked fences replica g out of the routing set and strands its
-// in-flight slots onto the retry queue. The caller kills the group's world
-// ranks (comm.World.Fail) after releasing the lock.
-func (rt *router) quarantineLocked(g int, now int64) {
-	rep := rt.reps[g]
-	rep.life.Store(int32(repQuarantined))
-	rep.quarantinedAt = now
-	rep.probeStart = 0
-	rep.occ.Store(0)
-	rep.inflight = 0
+// strand removes replica g from this router's live set and strands its
+// in-flight slots onto the retry queue. Called by the monitor after it
+// stored the quarantine transition on the shared repState (so pick already
+// sees the replica dead) and before it kills the group's world ranks.
+func (rt *router) strand(g int, now int64) {
+	rt.mu.Lock()
 	rt.live--
-	rt.srv.stats.quarantined.Add(1)
+	rt.inflight[g] = 0
 	for slot := range rt.pending {
 		e := &rt.pending[slot]
 		if e.b != nil && e.g == g {
@@ -397,6 +438,20 @@ func (rt *router) quarantineLocked(g int, now int64) {
 	}
 	rt.dispatchRetriesLocked(now)
 	rt.cond.Broadcast()
+	rt.mu.Unlock()
+}
+
+// rejoined re-admits replica g to this router's live set after the monitor
+// confirmed the new incarnation's probe answer. The idle heartbeat tells
+// the policy to drop any state it kept about the dead incarnation.
+func (rt *router) rejoined(g int, now int64) {
+	rt.mu.Lock()
+	rt.live++
+	rt.inflight[g] = 0
+	rt.pol.OnHeartbeat(g, now, 0)
+	rt.dispatchRetriesLocked(now)
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
 }
 
 // dispatchRetriesLocked drains the retry queue into live replicas with
@@ -427,14 +482,14 @@ func (rt *router) dispatchRetriesLocked(now int64) {
 		e.retries++
 		e.seq = rt.seqLocked()
 		if g != e.lastG {
-			rt.srv.stats.failovers.Add(1)
+			rt.stats.failovers.Add(1)
 		}
 		e.lastG = g
 		e.g = g
 		e.sentAt = now
-		rt.reps[g].inflight++
+		rt.inflight[g]++
 		rt.pol.OnDispatch(g, now, e.b.n)
-		rt.srv.stats.retries.Add(1)
+		rt.stats.retries.Add(1)
 		rt.sendLocked(g, slot)
 	}
 }
@@ -451,18 +506,20 @@ func (rt *router) drained() bool {
 	return rt.drainedLocked()
 }
 
-// probeLocked sends replica g's leader a health probe; a live leader
-// answers with a heartbeat, which is the rejoin acknowledgement.
-func (rt *router) probeLocked(g int) {
+// probe sends replica g's leader a health probe from the monitor's handle
+// (front-end rank 0); a live leader answers with a heartbeat fanned to
+// every front-end, which is the rejoin acknowledgement.
+func (f *fleet) probe(g int) {
 	msg := comm.GetBuf(batchHdr)
 	msg[0], msg[1], msg[2], msg[3], msg[4] = probeSentinel, 0, 0, 0, 0
-	rt.c.SetTraceID(0)
-	rt.c.SendNoCopy(rt.reps[g].leader, tagBatch, msg)
+	f.probeC.SetTraceID(0)
+	f.probeC.SendNoCopy(f.reps[g].leader, tagBatch, msg)
 }
 
-// stop sends every leader the stop sentinel. Mailbox FIFO per (src, tag)
-// guarantees it arrives after every batch already submitted, so leaders
-// finish their queues first.
+// stop sends every leader this front-end's stop sentinel. Mailbox FIFO per
+// (src, tag) guarantees it arrives after every batch this front-end already
+// submitted; a leader exits only after collecting a stop from every
+// front-end, so each front-end's queue finishes first.
 func (rt *router) stop() {
 	rt.mu.Lock()
 	if rt.stopped {
@@ -480,12 +537,13 @@ func (rt *router) stop() {
 }
 
 // startFleet builds the communication world, spawns the replica ranks,
-// joins the collective communicator splits as the front-end, and starts the
-// result/heartbeat collectors and the failure monitor once every replica
-// reports ready.
+// joins the collective communicator splits as the front-ends, and starts
+// the per-front-end result/heartbeat collectors and the fleet-wide failure
+// monitor once every replica reports ready.
 func (s *Server) startFleet(model *nn.InferNet) error {
 	groups := s.cfg.Groups
-	total := 1
+	nfe := s.cfg.FrontEnds
+	total := nfe
 	sharded := false
 	for _, ranks := range groups {
 		total += ranks
@@ -506,25 +564,35 @@ func (s *Server) startFleet(model *nn.InferNet) error {
 	}
 	world := comm.NewWorld(total)
 	world.SetFaultPlan(s.cfg.Fault)
-	f := &fleet{world: world, ck: ck}
+	f := &fleet{world: world, ck: ck, reps: newRepSet(groups, nfe)}
 	s.fleet = f
+	s.feRanks = make([]int, nfe)
+	for i := range s.feRanks {
+		s.feRanks[i] = i
+	}
 
-	// Size the flight recorder: one track per world rank. Configure only
-	// grows the shared table, so servers created in sequence coexist.
+	// Size the flight recorder: one track per world rank (front-ends are
+	// tracks 0..FrontEnds-1). Configure only grows the shared table, so
+	// servers created in sequence coexist.
 	obs.Configure(total, 1<<12)
 
 	// Seed the message pool for the fleet's steady-state traffic: batch
-	// payloads and results bounded by the in-flight slots, plus a deep
-	// cushion of heartbeat words (heartbeats are fire-and-forget, so their
-	// in-flight window is scheduling-dependent).
-	slots := len(groups)*s.cfg.QueueDepth + 2
+	// payloads and results bounded by the in-flight slots across every
+	// front-end, plus a deep cushion of heartbeat words (heartbeats are
+	// fire-and-forget and fan out to every front-end, so their in-flight
+	// window is scheduling-dependent).
+	slots := len(groups)*s.qdPer*nfe + 2
 	comm.Prefill(batchHdr+s.cfg.MaxBatch*s.inLen, slots)
 	comm.Prefill(resultHdr+s.cfg.MaxBatch*s.outLen, slots)
-	comm.Prefill(batchHdr, 16)
-	comm.Prefill(1, 64)
+	comm.Prefill(batchHdr, 16*nfe)
+	comm.Prefill(1, 64*nfe)
 
-	c0 := world.Comm(0)
-	f.rt = newRouter(c0, groups, s.cfg.QueueDepth, s)
+	feComms := make([]*comm.Comm, nfe)
+	for i := 0; i < nfe; i++ {
+		feComms[i] = world.Comm(i)
+		s.fes[i].rt = newRouter(feComms[i], f.reps, s.qdPer, s, s.fes[i])
+	}
+	f.probeC = feComms[0].Dup()
 
 	// Clone single-rank replicas up front: once the first rank goroutine
 	// spawns, its collective Split can only complete if every rank joins,
@@ -544,17 +612,17 @@ func (s *Server) startFleet(model *nn.InferNet) error {
 		}
 		usedModel = true
 	}
-	rank := 1
+	rank := nfe
 	for g, ranks := range groups {
 		grp := &groupRuntime{id: g, wg: new(sync.WaitGroup), members: make([]memberState, ranks)}
 		for m := 0; m < ranks; m++ {
 			grp.ranks = append(grp.ranks, rank+m)
 		}
 		f.groups = append(f.groups, grp)
-		f.rt.reps[g].members = grp.ranks
+		f.reps[g].members = grp.ranks
 		rank += ranks
 	}
-	ready := make(chan error, total-1)
+	ready := make(chan error, total-nfe)
 	for g, ranks := range groups {
 		grp := f.groups[g]
 		for m := 0; m < ranks; m++ {
@@ -563,29 +631,43 @@ func (s *Server) startFleet(model *nn.InferNet) error {
 			go s.replicaMain(world.Comm(grp.ranks[m]), grp, grp.wg, m, ranks, reps[g], ck, ready)
 		}
 	}
-	// Join the collective Split every replica rank performs; the front-end
-	// belongs to no group.
-	c0.Split(-1, 0)
+	// Join the collective Split every replica rank performs; front-ends
+	// belong to no group. Split is a blocking collective over the whole
+	// world, so every front-end handle must join concurrently.
+	var feSplit sync.WaitGroup
+	for i := 1; i < nfe; i++ {
+		feSplit.Add(1)
+		go func(c *comm.Comm, key int) {
+			defer feSplit.Done()
+			c.Split(-1, key)
+		}(feComms[i], i)
+	}
+	feComms[0].Split(-1, 0)
+	feSplit.Wait()
 	var firstErr error
-	for i := 0; i < total-1; i++ {
+	for i := 0; i < total-nfe; i++ {
 		if err := <-ready; err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	if firstErr != nil {
-		f.rt.stop()
+		for _, fe := range s.fes {
+			fe.rt.stop() // leaders exit after a stop from every front-end
+		}
 		f.repWG.Wait()
 		world.Shutdown()
 		return firstErr
 	}
 	now := time.Now().UnixNano()
-	for _, rep := range f.rt.reps {
+	for _, rep := range f.reps {
 		rep.lastHeard.Store(now)
 	}
-	for g := range groups {
-		s.wg.Add(2)
-		go s.resultCollector(g, c0.Dup())
-		go s.hbCollector(g, c0.Dup())
+	for _, fe := range s.fes {
+		for g := range groups {
+			s.wg.Add(2)
+			go s.resultCollector(fe, g, fe.rt.c.Dup())
+			go s.hbCollector(fe, g, fe.rt.c.Dup())
+		}
 	}
 	s.wg.Add(1)
 	go s.monitor()
@@ -599,28 +681,38 @@ func (f *fleet) shutdown() {
 }
 
 // collectorsDone reports whether a collector (or the monitor) may exit on
-// an idle tick after Close: the batcher has submitted its final batch,
-// every slot has been resolved (answered or failed), and no replica
-// respawn is mid-flight. Until then, collectors keep ticking so batches
-// stranded by a late failure are still re-routed or failed — the
-// zero-hung-Predicts guarantee holds through shutdown.
+// an idle tick after Close: every front-end's batcher has submitted its
+// final batch, every slot on every router has been resolved (answered or
+// failed), and no replica respawn is mid-flight. Until then, collectors
+// keep ticking so batches stranded by a late failure are still re-routed or
+// failed — the zero-hung-Predicts guarantee holds through shutdown.
 func (s *Server) collectorsDone() bool {
-	if !s.batcherExited.Load() {
+	for _, fe := range s.fes {
+		if !fe.batcherExited.Load() {
+			return false
+		}
+	}
+	if s.fleet.respawning.Load() != 0 {
 		return false
 	}
-	return s.fleet.respawning.Load() == 0 && s.fleet.rt.drained()
+	for _, fe := range s.fes {
+		if !fe.rt.drained() {
+			return false
+		}
+	}
+	return true
 }
 
-// resultCollector receives replica g's answers, completes the batched
-// requests, and recycles the batch. One goroutine per replica, each on its
-// own duplicate of the front-end handle. Receives are deadline-bounded so
-// a dead replica can never wedge the collector; stale results (failed-over
-// batches answered twice, fault-injected duplicates) are dropped by the
-// seq guard in claim.
-func (s *Server) resultCollector(g int, c *comm.Comm) {
+// resultCollector receives replica g's answers to front-end fe, completes
+// the batched requests, and recycles the batch. One goroutine per
+// (front-end, replica), each on its own duplicate of its front-end's
+// handle. Receives are deadline-bounded so a dead replica can never wedge
+// the collector; stale results (failed-over batches answered twice,
+// fault-injected duplicates) are dropped by the seq guard in claim.
+func (s *Server) resultCollector(fe *frontEnd, g int, c *comm.Comm) {
 	defer s.wg.Done()
-	rt := s.fleet.rt
-	rep := rt.reps[g]
+	rt := fe.rt
+	rep := s.fleet.reps[g]
 	tick := s.cfg.HeartbeatInterval
 	for {
 		msg, err := c.RecvTimeout(rep.leader, tagResult, tick)
@@ -645,7 +737,7 @@ func (s *Server) resultCollector(g int, c *comm.Comm) {
 			// Stale (failed-over or duplicated) result: no batch to claim,
 			// but the occupancy report is still fresh heartbeat signal.
 			rt.noteHeartbeat(g, int(msg[3]))
-			s.stats.droppedResults.Add(1)
+			fe.stats.droppedResults.Add(1)
 			c.Release(msg)
 			continue
 		}
@@ -660,12 +752,12 @@ func (s *Server) resultCollector(g int, c *comm.Comm) {
 		if gather < 0 {
 			gather = 0
 		}
-		s.stats.recordStage(stgWire, wire)
-		s.stats.recordStage(stgCompute, compute)
-		s.stats.recordStage(stgGather, gather)
+		fe.stats.recordStage(stgWire, wire)
+		fe.stats.recordStage(stgCompute, compute)
+		fe.stats.recordStage(stgGather, gather)
 		if obs.Enabled() {
 			nowNs := now.UnixNano()
-			obs.RingFor(0).RecordSpan(obs.StageGather, 0, uint64(msg[1]),
+			obs.RingFor(fe.id).RecordSpan(obs.StageGather, 0, uint64(msg[1]),
 				nowNs-int64(gather), nowNs, int64(b.n))
 		}
 		n := b.n
@@ -673,17 +765,17 @@ func (s *Server) resultCollector(g int, c *comm.Comm) {
 			s.resolve(b.reqs[i], nil, msg[resultHdr+i*s.outLen:resultHdr+(i+1)*s.outLen])
 		}
 		rep.batches.Add(1)
-		s.stats.recordBatch(n)
+		fe.stats.recordBatch(n)
 		s.putBatch(b)
 		c.Release(msg)
 	}
 }
 
-// hbCollector tracks replica g's occupancy heartbeats for the router and
-// feeds the failure monitor's liveness clock.
-func (s *Server) hbCollector(g int, c *comm.Comm) {
+// hbCollector tracks replica g's occupancy heartbeats (fanned to front-end
+// fe) for fe's router and feeds the failure monitor's liveness clock.
+func (s *Server) hbCollector(fe *frontEnd, g int, c *comm.Comm) {
 	defer s.wg.Done()
-	rep := s.fleet.rt.reps[g]
+	rep := s.fleet.reps[g]
 	tick := s.cfg.HeartbeatInterval
 	for {
 		msg, err := c.RecvTimeout(rep.leader, tagHB, tick)
@@ -703,7 +795,7 @@ func (s *Server) hbCollector(g int, c *comm.Comm) {
 		}
 		rep.lastHeard.Store(time.Now().UnixNano())
 		rep.occ.Store(int32(v))
-		s.fleet.rt.noteHeartbeat(g, int(v))
+		fe.rt.noteHeartbeat(g, int(v))
 	}
 }
 
@@ -724,7 +816,7 @@ type executor interface {
 // replicaMain is one replica rank: it joins its group communicator, builds
 // its executor (leader and followers collectively for sharded groups),
 // records its runtime state for the supervisor, and serves. Group leaders
-// talk to the front-end; followers are driven by their leader's
+// talk to the front-ends; followers are driven by their leader's
 // broadcasts. A fault-injection kill unwinds the goroutine cleanly via
 // RecoverKilled; the failure monitor quarantines the replica and may later
 // respawn it (replicaRestart).
@@ -762,59 +854,86 @@ func (s *Server) replicaMain(c *comm.Comm, grp *groupRuntime, wg *sync.WaitGroup
 	}
 }
 
+// leaderItem is one queued front-end message on a leader: the pooled wire
+// buffer plus the front-end rank that sent it (results answer that rank).
+type leaderItem struct {
+	msg []float32
+	src int
+}
+
 // leaderLoop is a group leader's serving loop: drain queued batch messages
-// (reporting backlog via heartbeats, steady-state occupancy via the result
-// header), execute, and ship results back through the communicator's proxy
-// engine so the send overlaps the next batch's dequeue and forward pass.
-// The dequeue is deadline-bounded: every idle tick emits a heartbeat, which
-// is the liveness signal the front-end's silence detector watches.
+// from every front-end (reporting backlog via heartbeats fanned to all of
+// them, steady-state occupancy via the result header), execute, and ship
+// each result back to its submitting front-end through the communicator's
+// proxy engine so the send overlaps the next batch's dequeue and forward
+// pass. The dequeue is deadline-bounded: every idle tick emits a heartbeat
+// fan-out, which is the liveness signal the front-ends' silence detector
+// watches. The loop exits only after collecting a stop sentinel from every
+// front-end, then says goodbye to each.
 func (s *Server) leaderLoop(c *comm.Comm, ex executor) {
-	queue := make([][]float32, 0, s.cfg.QueueDepth+2)
+	nfe := len(s.feRanks)
+	queue := make([]leaderItem, 0, nfe*(s.qdPer+2))
 	hb := func(depth int) {
-		b := comm.GetBuf(1)
-		b[0] = float32(depth)
-		c.SendNoCopy(0, tagHB, b)
+		for _, r := range s.feRanks {
+			b := comm.GetBuf(1)
+			b[0] = float32(depth)
+			c.SendNoCopy(r, tagHB, b)
+		}
 	}
 	// The result send is pre-bound so warm submissions allocate nothing;
-	// resBuf is re-pointed per batch after the previous send completes.
+	// resBuf/resDst are re-pointed per batch after the previous send
+	// completes.
 	var resBuf []float32
-	send := func(*comm.Comm) { c.SendNoCopy(0, tagResult, resBuf) }
+	resDst := 0
+	send := func(*comm.Comm) { c.SendNoCopy(resDst, tagResult, resBuf) }
 	var pendingSend *comm.Request
+	stops := 0
 	hb(0) // hello: announce liveness before the first batch
 	for {
 		if len(queue) == 0 {
-			msg, err := c.RecvTimeout(0, tagBatch, s.cfg.HeartbeatInterval)
+			msg, src, err := c.RecvMultiTimeout(s.feRanks, tagBatch, s.cfg.HeartbeatInterval)
 			if err != nil {
 				hb(0) // idle: keep the silence detector fed
 				continue
 			}
-			queue = append(queue, msg)
+			queue = append(queue, leaderItem{msg, src})
 		}
-		for {
-			m, ok := c.TryRecv(0, tagBatch)
-			if !ok {
-				break
+		for _, r := range s.feRanks {
+			for {
+				m, ok := c.TryRecv(r, tagBatch)
+				if !ok {
+					break
+				}
+				queue = append(queue, leaderItem{m, r})
 			}
-			queue = append(queue, m)
 		}
 		if len(queue) > 1 {
-			// A real backlog: tell the router ahead of the next result.
+			// A real backlog: tell every router ahead of the next result.
 			hb(len(queue))
 		}
-		msg := queue[0]
+		item := queue[0]
 		copy(queue, queue[1:])
-		queue[len(queue)-1] = nil
+		queue[len(queue)-1] = leaderItem{}
 		queue = queue[:len(queue)-1]
-		if msg[0] == stopSentinel { // FIFO puts it after every batch
+		msg := item.msg
+		if msg[0] == stopSentinel { // FIFO puts it after the sender's batches
 			c.Release(msg)
+			stops++
+			if stops < nfe {
+				continue // other front-ends may still be draining
+			}
 			ex.stop()
 			if pendingSend != nil {
 				pendingSend.Wait()
 			}
-			resBuf = comm.GetBuf(resultHdr)
-			resBuf[0], resBuf[1], resBuf[2] = -1, 0, 0
-			resBuf[3], resBuf[4], resBuf[5] = 0, 0, 0
-			c.Do(send).Wait() // goodbye, ordered after all results
+			// Goodbye to every front-end, ordered after all results (the
+			// engine was just drained, and sends here are mailbox-FIFO).
+			for _, r := range s.feRanks {
+				res := comm.GetBuf(resultHdr)
+				res[0], res[1], res[2] = -1, 0, 0
+				res[3], res[4], res[5] = 0, 0, 0
+				c.SendNoCopy(r, tagResult, res)
+			}
 			hb(-1)
 			return
 		}
@@ -863,6 +982,7 @@ func (s *Server) leaderLoop(c *comm.Comm, ex executor) {
 		copy(res[resultHdr:], out[:n*s.outLen])
 		c.Release(msg)
 		resBuf = res
+		resDst = item.src
 		pendingSend = c.Do(send)
 	}
 }

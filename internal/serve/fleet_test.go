@@ -153,20 +153,20 @@ func TestDeadlineExpiredRequestShed(t *testing.T) {
 
 // The batcher always drains the high-priority lane first.
 func TestPopPrefersHighPriority(t *testing.T) {
-	s := &Server{
+	fe := &frontEnd{
 		reqHigh: make(chan *request, 4),
 		reqLow:  make(chan *request, 4),
 	}
 	lo, hi := &request{}, &request{}
-	s.reqLow <- lo
-	s.reqHigh <- hi
-	if got := s.popNow(); got != hi {
+	fe.reqLow <- lo
+	fe.reqHigh <- hi
+	if got := fe.popNow(); got != hi {
 		t.Fatal("popNow returned a low-priority request while a high-priority one waited")
 	}
-	if got := s.popNow(); got != lo {
+	if got := fe.popNow(); got != lo {
 		t.Fatal("popNow lost the low-priority request")
 	}
-	if got := s.popNow(); got != nil {
+	if got := fe.popNow(); got != nil {
 		t.Fatal("popNow invented a request")
 	}
 }

@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// TestMultiFrontEndBitwiseBothPaths: with FrontEnds 2, answers served
+// through both ingest paths — in-process Predict (round-robins across
+// front-ends) and binary frames (connections pinned per front-end) — are
+// bitwise identical to the reference engine, which makes them bitwise
+// identical to a single-front-end server too (the existing tests hold that
+// one to the same reference). Both front-ends must actually serve traffic.
+func TestMultiFrontEndBitwiseBothPaths(t *testing.T) {
+	s, ref := newTestServer(t, Config{
+		FrontEnds:     2,
+		Groups:        []int{1, 2}, // one unsharded replica, one 2-rank sharded group
+		MaxBatch:      4,
+		BatchDeadline: 200 * time.Microsecond,
+	})
+	addr := binListener(t, s)
+
+	const n = 24
+	ins := make([][]float32, n)
+	wants := make([][]float32, n)
+	for i := range ins {
+		ins[i] = randInput(s.InputLen(), int64(i))
+		wants[i] = refForward(ref, ins[i])
+	}
+	check := func(path string, i int, out []float32) error {
+		for j := range out {
+			if out[j] != wants[i][j] {
+				return fmt.Errorf("%s input %d: out[%d] = %v, want %v (bitwise)", path, i, j, out[j], wants[i][j])
+			}
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	// In-process clients: PredictOpts round-robins across the front-ends.
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			out := make([]float32, s.OutputLen())
+			for i := c; i < n; i += 2 {
+				for {
+					err := s.Predict(ins[i], out)
+					if err == ErrOverloaded {
+						time.Sleep(50 * time.Microsecond)
+						continue
+					}
+					if err != nil {
+						errCh <- err
+						return
+					}
+					break
+				}
+				if err := check("in-process", i, out); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c)
+	}
+	// Binary clients: two connections, pinned round-robin to the two
+	// front-ends at accept time.
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			bc, err := DialBinary(addr, s.InputLen(), s.OutputLen())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer bc.Close()
+			out := make([]float32, s.OutputLen())
+			for i := c; i < n; i += 2 {
+				for {
+					err := bc.Predict(ins[i], out)
+					if err == ErrOverloaded {
+						time.Sleep(50 * time.Microsecond)
+						continue
+					}
+					if err != nil {
+						errCh <- err
+						return
+					}
+					break
+				}
+				if err := check("binary", i, out); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.Requests != 2*n {
+		t.Fatalf("served %d requests, want %d", st.Requests, 2*n)
+	}
+	if len(st.FrontEnds) != 2 {
+		t.Fatalf("%d front-end stat rows, want 2", len(st.FrontEnds))
+	}
+	for i, fe := range st.FrontEnds {
+		if fe.Requests == 0 {
+			t.Errorf("front-end %d served no requests — sharded admission is not spreading load", i)
+		}
+	}
+}
+
+// scrapeCounters pulls the named counters out of a Prometheus text
+// exposition body.
+func scrapeCounters(t *testing.T, body string, names []string) map[string]uint64 {
+	t.Helper()
+	out := make(map[string]uint64, len(names))
+	for _, name := range names {
+		re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`)
+		m := re.FindStringSubmatch(body)
+		if m == nil {
+			t.Fatalf("/metrics missing counter %s", name)
+		}
+		v, err := strconv.ParseUint(m[1], 10, 64)
+		if err != nil {
+			t.Fatalf("counter %s: %v", name, err)
+		}
+		out[name] = v
+	}
+	return out
+}
+
+// TestCrossFrontEndConservation is the sharded-front-end acceptance test:
+// two front-ends under closed-loop overload with tenant quotas on the
+// binary path, a replica killed mid-load and later rejoined. After the load
+// stops, every offered request must be accounted exactly once —
+//
+//	offered == requests + shed_full + shed_expired + shed_quota
+//	           + canceled + failed
+//
+// per front-end and in aggregate, the client-side view must agree with the
+// server counters, and /statz and /metrics must report the same totals.
+func TestCrossFrontEndConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second chaos run")
+	}
+	cfg := chaosTimings(Config{
+		FrontEnds:       2,
+		Replicas:        2,
+		MaxBatch:        4,
+		BatchDeadline:   Greedy,
+		QueueDepth:      2,
+		PendingRequests: 8,
+		RejoinAfter:     50 * time.Millisecond,
+		// With FrontEnds 2 the replica leaders sit on world ranks 2 and 3.
+		Fault:       &comm.FaultPlan{Seed: 11, Kill: map[int]int{2: 40}},
+		TenantRate:  20,
+		TenantBurst: 2,
+	})
+	s, ins, _ := newChaosFleet(t, cfg, 16)
+	addr := binListener(t, s)
+
+	var stop atomic.Bool
+	var clientServed, clientShedQuota atomic.Uint64
+	var wg sync.WaitGroup
+	errCh := make(chan error, 12)
+	tolerated := func(err error) bool {
+		switch err {
+		case nil, ErrOverloaded, ErrExpired, ErrQuota, ErrFailed, ErrUnavailable:
+			return true
+		}
+		return false
+	}
+	// In-process overload: 8 closed-loop clients against ~2 batches of
+	// capacity.
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			out := make([]float32, s.OutputLen())
+			for k := c; !stop.Load(); k++ {
+				err := s.Predict(ins[k%len(ins)], out)
+				if !tolerated(err) {
+					errCh <- fmt.Errorf("in-process client %d: %v", c, err)
+					return
+				}
+				if err == nil {
+					clientServed.Add(1)
+				} else {
+					time.Sleep(50 * time.Microsecond) // shed: back off briefly
+				}
+			}
+		}(c)
+	}
+	// Binary clients, one tenant each: the token buckets shed part of this
+	// load at the socket.
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			bc, err := DialBinary(addr, s.InputLen(), s.OutputLen())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer bc.Close()
+			bc.SetTenant(uint32(c + 1))
+			out := make([]float32, s.OutputLen())
+			for k := c; !stop.Load(); k++ {
+				err := bc.Predict(ins[k%len(ins)], out)
+				if !tolerated(err) {
+					errCh <- fmt.Errorf("binary client %d: %v", c, err)
+					return
+				}
+				switch err {
+				case nil:
+					clientServed.Add(1)
+				case ErrQuota:
+					clientShedQuota.Add(1)
+					time.Sleep(50 * time.Microsecond)
+				default:
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+		}(c)
+	}
+
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Quarantined >= 1 && st.Rejoins >= 1 && st.ShedQuota >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("chaos never completed: quarantined=%d rejoins=%d shed_quota=%d",
+				st.Quarantined, st.Rejoins, st.ShedQuota)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Every client call has returned, so the counters are settled.
+	st := s.Stats()
+	accounted := st.Requests + st.ShedFull + st.ShedExpired + st.ShedQuota + st.Canceled + st.Failed
+	if st.Offered != accounted {
+		t.Fatalf("conservation violated in aggregate: offered=%d accounted=%d (requests=%d shed_full=%d shed_expired=%d shed_quota=%d canceled=%d failed=%d)",
+			st.Offered, accounted, st.Requests, st.ShedFull, st.ShedExpired, st.ShedQuota, st.Canceled, st.Failed)
+	}
+	if st.Offered == 0 || st.Requests == 0 {
+		t.Fatal("no traffic flowed")
+	}
+	if len(st.FrontEnds) != 2 {
+		t.Fatalf("%d front-end rows, want 2", len(st.FrontEnds))
+	}
+	var feOffered, feAccounted uint64
+	for i, fe := range st.FrontEnds {
+		acc := fe.Requests + fe.ShedFull + fe.ShedExpired + fe.ShedQuota + fe.Canceled + fe.Failed
+		if fe.Offered != acc {
+			t.Fatalf("conservation violated on front-end %d: offered=%d accounted=%d (%+v)", i, fe.Offered, acc, fe)
+		}
+		if fe.Requests == 0 {
+			t.Errorf("front-end %d served nothing through the chaos window", i)
+		}
+		feOffered += fe.Offered
+		feAccounted += acc
+	}
+	if feOffered != st.Offered || feAccounted != accounted {
+		t.Fatalf("front-end rows do not sum to the aggregate: %d/%d vs %d/%d",
+			feOffered, feAccounted, st.Offered, accounted)
+	}
+	// The clients' own ledger agrees with the server's.
+	if got := clientServed.Load(); got != st.Requests {
+		t.Fatalf("clients saw %d served, server counted %d", got, st.Requests)
+	}
+	if got := clientShedQuota.Load(); got != st.ShedQuota {
+		t.Fatalf("clients saw %d quota sheds, server counted %d", got, st.ShedQuota)
+	}
+
+	// /statz and /metrics report the same settled totals.
+	h := s.Handler()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/statz", nil))
+	var statz struct {
+		Offered     uint64 `json:"offered"`
+		Requests    uint64 `json:"requests"`
+		ShedFull    uint64 `json:"shed_full"`
+		ShedExpired uint64 `json:"shed_expired"`
+		ShedQuota   uint64 `json:"shed_quota"`
+		Canceled    uint64 `json:"canceled"`
+		Failed      uint64 `json:"failed"`
+		FrontEnds   int    `json:"front_ends"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &statz); err != nil {
+		t.Fatalf("statz JSON: %v", err)
+	}
+	if statz.Offered != st.Offered || statz.Requests != st.Requests ||
+		statz.ShedFull != st.ShedFull || statz.ShedExpired != st.ShedExpired ||
+		statz.ShedQuota != st.ShedQuota || statz.Canceled != st.Canceled ||
+		statz.Failed != st.Failed || statz.FrontEnds != 2 {
+		t.Fatalf("/statz disagrees with Stats(): %+v vs %+v", statz, st)
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	prom := scrapeCounters(t, rr.Body.String(), []string{
+		"serve_offered_total", "serve_requests_total", "serve_shed_full_total",
+		"serve_shed_expired_total", "serve_shed_quota_total",
+		"serve_canceled_total", "serve_failed_total",
+	})
+	if prom["serve_offered_total"] != st.Offered || prom["serve_requests_total"] != st.Requests ||
+		prom["serve_shed_full_total"] != st.ShedFull || prom["serve_shed_expired_total"] != st.ShedExpired ||
+		prom["serve_shed_quota_total"] != st.ShedQuota || prom["serve_canceled_total"] != st.Canceled ||
+		prom["serve_failed_total"] != st.Failed {
+		t.Fatalf("/metrics disagrees with Stats(): %v vs %+v", prom, st)
+	}
+}

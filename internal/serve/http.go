@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/kernels"
@@ -29,8 +31,10 @@ type statusError struct {
 
 // Handler returns the HTTP API: POST /v1/predict, GET /healthz, GET /statz,
 // GET /metrics (Prometheus text), GET /tracez?dur=1s (Chrome trace JSON).
-// The HTTP layer allocates per request (JSON marshaling); the zero-alloc
-// path is the in-process Client.
+// The predict hot path pools its decode/encode scratch and renders the
+// response with an append-based encoder, so a warm request allocates only
+// what net/http itself does per request — O(1), not O(input). The strictly
+// zero-alloc network path is the binary frame protocol (ServeBinary).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/predict", s.handlePredict)
@@ -41,34 +45,79 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// httpScratch is one predict call's pooled working set: request body bytes,
+// the decoded request (json.Unmarshal reuses Input's capacity), the output
+// rows, and the response buffer. Everything is capacity-retained across
+// uses, so the warm path stops allocating once the pool is primed.
+type httpScratch struct {
+	body []byte
+	req  PredictRequest
+	out  []float32
+	buf  []byte
+}
+
+var httpScratchPool = sync.Pool{New: func() any { return new(httpScratch) }}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, statusError{http.StatusMethodNotAllowed, "POST required"})
 		return
 	}
-	var req PredictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	sc := httpScratchPool.Get().(*httpScratch)
+	defer httpScratchPool.Put(sc)
+	body := sc.body[:0]
+	for {
+		if len(body) == cap(body) {
+			body = append(body, 0)[:len(body)]
+		}
+		n, err := r.Body.Read(body[len(body):cap(body)])
+		body = body[:len(body)+n]
+		if err != nil {
+			break // io.EOF ends the body; other errors fail the decode below
+		}
+	}
+	sc.body = body
+	sc.req.Input = sc.req.Input[:0]
+	if err := json.Unmarshal(body, &sc.req); err != nil {
 		httpError(w, statusError{http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err)})
 		return
 	}
-	if len(req.Input) != s.inLen {
+	if len(sc.req.Input) != s.inLen {
 		in := s.InShape()
 		httpError(w, statusError{http.StatusBadRequest,
-			fmt.Sprintf("input length %d, want %d (%dx%dx%d CHW)", len(req.Input), s.inLen, in.C, in.H, in.W)})
+			fmt.Sprintf("input length %d, want %d (%dx%dx%d CHW)", len(sc.req.Input), s.inLen, in.C, in.H, in.W)})
 		return
 	}
-	out := make([]float32, s.outLen)
+	if cap(sc.out) < s.outLen {
+		sc.out = make([]float32, s.outLen)
+	}
+	out := sc.out[:s.outLen]
 	start := time.Now()
-	if err := s.Predict(req.Input, out); err != nil {
+	if err := s.Predict(sc.req.Input, out); err != nil {
 		httpError(w, statusError{http.StatusServiceUnavailable, err.Error()})
 		return
 	}
-	resp := PredictResponse{Output: out, LatencyUS: time.Since(start).Microseconds()}
-	if o := s.OutShape(); o.H == 1 && o.W == 1 {
-		am := kernels.ArgmaxRow(out)
-		resp.Argmax = &am
+	// Append-based response encoding: same shape as PredictResponse's JSON,
+	// built into the pooled buffer with strconv instead of reflection.
+	buf := append(sc.buf[:0], `{"output":[`...)
+	for i, v := range out {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendFloat(buf, float64(v), 'g', -1, 32)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	buf = append(buf, ']')
+	if o := s.OutShape(); o.H == 1 && o.W == 1 {
+		buf = append(buf, `,"argmax":`...)
+		buf = strconv.AppendInt(buf, int64(kernels.ArgmaxRow(out)), 10)
+	}
+	buf = append(buf, `,"latency_us":`...)
+	buf = strconv.AppendInt(buf, time.Since(start).Microseconds(), 10)
+	buf = append(buf, '}', '\n')
+	sc.buf = buf
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
 }
 
 // handleHealthz is tri-state: "ok" when every replica is live, "degraded"
@@ -102,11 +151,15 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	// Durations marshal as nanoseconds; report microseconds to match the
 	// field names.
 	writeJSON(w, http.StatusOK, map[string]any{
+		"offered":         st.Offered,
 		"requests":        st.Requests,
 		"batches":         st.Batches,
 		"avg_batch":       st.AvgBatch,
 		"shed_full":       st.ShedFull,
 		"shed_expired":    st.ShedExpired,
+		"shed_quota":      st.ShedQuota,
+		"canceled":        st.Canceled,
+		"failed":          st.Failed,
 		"retries":         st.Retries,
 		"failovers":       st.Failovers,
 		"quarantined":     st.Quarantined,
@@ -118,6 +171,8 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		"p99_us":          st.P99.Microseconds(),
 		"batch_occupancy": st.Occupancy,
 		"stages":          statzStages(st.Stages),
+		"front_ends":      s.cfg.FrontEnds,
+		"front_end_stats": statzFrontEnds(st.FrontEnds),
 		"replicas":        st.Replicas,
 		"replica_groups":  s.cfg.Groups,
 		"max_batch":       s.cfg.MaxBatch,
@@ -139,6 +194,27 @@ func statzStages(stages []StageStats) []map[string]any {
 			"p50_us": st.P50.Microseconds(),
 			"p90_us": st.P90.Microseconds(),
 			"p99_us": st.P99.Microseconds(),
+		}
+	}
+	return out
+}
+
+// statzFrontEnds re-renders the per-front-end breakdown with microsecond
+// quantiles.
+func statzFrontEnds(fes []FrontEndStats) []map[string]any {
+	out := make([]map[string]any, len(fes))
+	for i, fe := range fes {
+		out[i] = map[string]any{
+			"offered":      fe.Offered,
+			"requests":     fe.Requests,
+			"batches":      fe.Batches,
+			"shed_full":    fe.ShedFull,
+			"shed_expired": fe.ShedExpired,
+			"shed_quota":   fe.ShedQuota,
+			"canceled":     fe.Canceled,
+			"failed":       fe.Failed,
+			"p50_us":       fe.P50.Microseconds(),
+			"p99_us":       fe.P99.Microseconds(),
 		}
 	}
 	return out

@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"time"
+)
+
+// Binary ingest: the zero-alloc network path. Clients hold a persistent
+// connection and exchange length-prefixed little-endian frames:
+//
+//	request   [payloadBytes u32 | flags u32 | tenant u32 | deadlineUS u32]
+//	          + payloadBytes of float32 input rows (must be inLen*4)
+//	response  [status u32 | payloadBytes u32]
+//	          + payloadBytes of float32 output rows (status 0 only)
+//
+// flags bit 0 selects the high-priority admission lane; deadlineUS 0 means
+// no deadline. One response per request, in order — the connection is a
+// pipeline, and a client may keep several frames in flight.
+//
+// Overload is shed at the socket, before the payload is parsed: after the
+// 16 header bytes the server checks the tenant token bucket
+// (Config.TenantRate) and the admission lane's remaining capacity, and on
+// either rejection discards the payload from the buffered stream and
+// answers a status-only frame — no float decode, no request object, no
+// batcher wakeup. Each connection is pinned round-robin to one front-end
+// at accept time; its per-connection scratch (header, staging bytes, float
+// rows from the kernels.Workspace arena) is allocated once, so the warm
+// request loop — server and client side — performs zero heap allocations
+// (AllocsPerRun-enforced, like the in-process Client).
+
+// Response status codes.
+const (
+	binOK          = 0
+	binOverloaded  = 1
+	binExpired     = 2
+	binCanceled    = 3
+	binUnavailable = 4
+	binFailed      = 5
+	binClosed      = 6
+	binBadRequest  = 7
+	binQuota       = 8
+)
+
+// binStatusErr maps response statuses to the sentinel errors Predict
+// returns, so both ingest paths surface identical outcomes.
+var binStatusErr = [...]error{
+	binOK:          nil,
+	binOverloaded:  ErrOverloaded,
+	binExpired:     ErrExpired,
+	binCanceled:    ErrCanceled,
+	binUnavailable: ErrUnavailable,
+	binFailed:      ErrFailed,
+	binClosed:      ErrClosed,
+	binBadRequest:  fmt.Errorf("serve: malformed binary frame"),
+	binQuota:       ErrQuota,
+}
+
+func errToStatus(err error) uint32 {
+	switch err {
+	case nil:
+		return binOK
+	case ErrOverloaded:
+		return binOverloaded
+	case ErrExpired:
+		return binExpired
+	case ErrCanceled:
+		return binCanceled
+	case ErrUnavailable:
+		return binUnavailable
+	case ErrClosed:
+		return binClosed
+	default:
+		return binFailed
+	}
+}
+
+const binReqHdr = 16
+const binRespHdr = 8
+
+// ServeBinary accepts binary-frame connections on ln until the listener is
+// closed (Server.Close closes it, along with every accepted connection).
+// Blocks like net/http.Server.Serve; run it on its own goroutine.
+func (s *Server) ServeBinary(ln net.Listener) error {
+	s.binMu.Lock()
+	select {
+	case <-s.done:
+		s.binMu.Unlock()
+		ln.Close()
+		return ErrClosed
+	default:
+	}
+	s.binLns = append(s.binLns, ln)
+	s.binMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		// Ordering: close(s.done) happens before closeBinary takes binMu,
+		// so either this insertion lands in closeBinary's snapshot or the
+		// done check below fires — an accepted connection is never leaked
+		// past Close.
+		s.binMu.Lock()
+		select {
+		case <-s.done:
+			s.binMu.Unlock()
+			conn.Close()
+			return nil
+		default:
+		}
+		s.binConns[conn] = struct{}{}
+		fe := s.fes[int(s.nextFE.Add(1)-1)%len(s.fes)]
+		s.binWG.Add(1)
+		s.binMu.Unlock()
+		go s.serveBinaryConn(conn, fe)
+	}
+}
+
+// closeBinary closes the ingest listeners and every open connection; their
+// handler goroutines unwind on the read error.
+func (s *Server) closeBinary() {
+	s.binMu.Lock()
+	lns := s.binLns
+	s.binLns = nil
+	conns := make([]interface{ Close() error }, 0, len(s.binConns))
+	for c := range s.binConns {
+		conns = append(conns, c)
+	}
+	s.binMu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// binConnState is one connection's preallocated scratch: everything the
+// warm request loop touches. The float rows come from the workspace arena.
+type binConnState struct {
+	hdr  [binReqHdr]byte
+	errB [binRespHdr]byte
+	inB  []byte // payload staging, inLen*4
+	in   *[]float32
+	out  *[]float32
+	resp []byte // response header + encoded payload, one Write
+}
+
+// serveBinaryConn runs one connection's request loop on front-end fe.
+func (s *Server) serveBinaryConn(conn net.Conn, fe *frontEnd) {
+	defer s.binWG.Done()
+	defer func() {
+		conn.Close()
+		s.binMu.Lock()
+		delete(s.binConns, conn)
+		s.binMu.Unlock()
+	}()
+	ws := s.ws
+	st := &binConnState{
+		inB:  make([]byte, s.inLen*4),
+		in:   ws.Get(s.inLen),
+		out:  ws.Get(s.outLen),
+		resp: make([]byte, binRespHdr+s.outLen*4),
+	}
+	defer ws.Put(st.in)
+	defer ws.Put(st.out)
+	br := bufio.NewReaderSize(conn, binReqHdr+s.inLen*4)
+	in, out := (*st.in)[:s.inLen], (*st.out)[:s.outLen]
+	var opts PredictOptions
+	for {
+		if _, err := io.ReadFull(br, st.hdr[:]); err != nil {
+			return // EOF or closed: the client hung up (or Close did)
+		}
+		payload := int(binary.LittleEndian.Uint32(st.hdr[0:4]))
+		flags := binary.LittleEndian.Uint32(st.hdr[4:8])
+		tenant := binary.LittleEndian.Uint32(st.hdr[8:12])
+		deadlineUS := binary.LittleEndian.Uint32(st.hdr[12:16])
+		fe.stats.offered.Add(1)
+		if payload != s.inLen*4 {
+			// Broken framing: answer and drop the connection — the stream
+			// can no longer be trusted.
+			fe.stats.failed.Add(1)
+			s.writeBinStatus(conn, st, binBadRequest)
+			return
+		}
+		// Socket-level backpressure, cheapest checks first, both before the
+		// payload is parsed: tenant quota, then lane capacity.
+		if !s.tenants.admit(tenant, time.Now()) {
+			fe.stats.shedQuota.Add(1)
+			if _, err := br.Discard(payload); err != nil {
+				return
+			}
+			if !s.writeBinStatus(conn, st, binQuota) {
+				return
+			}
+			continue
+		}
+		lane := fe.reqLow
+		if flags&1 != 0 {
+			lane = fe.reqHigh
+		}
+		if len(lane) == cap(lane) {
+			fe.stats.shedFull.Add(1)
+			if _, err := br.Discard(payload); err != nil {
+				return
+			}
+			if !s.writeBinStatus(conn, st, binOverloaded) {
+				return
+			}
+			continue
+		}
+		if _, err := io.ReadFull(br, st.inB); err != nil {
+			return
+		}
+		for i := range in {
+			in[i] = math.Float32frombits(binary.LittleEndian.Uint32(st.inB[i*4:]))
+		}
+		opts = PredictOptions{}
+		if flags&1 != 0 {
+			opts.Priority = PriorityHigh
+		}
+		if deadlineUS > 0 {
+			opts.Deadline = time.Duration(deadlineUS) * time.Microsecond
+		}
+		// predictFE classifies the outcome (served/shed/canceled/failed);
+		// offered was already counted at the header.
+		err := s.predictFE(fe, in, out, opts)
+		if err != nil {
+			if !s.writeBinStatus(conn, st, errToStatus(err)) {
+				return
+			}
+			continue
+		}
+		binary.LittleEndian.PutUint32(st.resp[0:4], binOK)
+		binary.LittleEndian.PutUint32(st.resp[4:8], uint32(s.outLen*4))
+		for i, v := range out {
+			binary.LittleEndian.PutUint32(st.resp[binRespHdr+i*4:], math.Float32bits(v))
+		}
+		if _, err := conn.Write(st.resp); err != nil {
+			return
+		}
+	}
+}
+
+// writeBinStatus answers a status-only frame; false means the write failed
+// and the connection should be dropped.
+func (s *Server) writeBinStatus(conn net.Conn, st *binConnState, status uint32) bool {
+	binary.LittleEndian.PutUint32(st.errB[0:4], status)
+	binary.LittleEndian.PutUint32(st.errB[4:8], 0)
+	_, err := conn.Write(st.errB[:])
+	return err == nil
+}
+
+// BinaryClient speaks the binary frame protocol over one persistent
+// connection. Not safe for concurrent use (callers wanting concurrency open
+// one client per goroutine — connections are cheap and pin round-robin to
+// front-ends). The warm Predict path performs zero heap allocations.
+type BinaryClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+	req  []byte // frame header + encoded payload, one Write
+	hdr  [binRespHdr]byte
+	outB []byte
+	// tenant stamps every frame; set via SetTenant.
+	tenant        uint32
+	inLen, outLen int
+}
+
+// DialBinary connects to a ServeBinary listener. inLen and outLen are the
+// server's Server.InputLen/OutputLen.
+func DialBinary(addr string, inLen, outLen int) (*BinaryClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewBinaryClient(conn, inLen, outLen), nil
+}
+
+// NewBinaryClient wraps an existing connection.
+func NewBinaryClient(conn net.Conn, inLen, outLen int) *BinaryClient {
+	return &BinaryClient{
+		conn:   conn,
+		br:     bufio.NewReaderSize(conn, binRespHdr+outLen*4),
+		req:    make([]byte, binReqHdr+inLen*4),
+		outB:   make([]byte, outLen*4),
+		inLen:  inLen,
+		outLen: outLen,
+	}
+}
+
+// SetTenant stamps subsequent frames with a tenant id (for server-side
+// token-bucket quotas).
+func (c *BinaryClient) SetTenant(id uint32) { c.tenant = id }
+
+// Close closes the connection.
+func (c *BinaryClient) Close() error { return c.conn.Close() }
+
+// Predict sends one frame at normal priority with no deadline and waits
+// for its response.
+func (c *BinaryClient) Predict(in, out []float32) error {
+	return c.PredictOpts(in, out, PredictOptions{})
+}
+
+// PredictOpts is Predict with a priority class and deadline (Ctx is not
+// carried by the wire protocol and must be nil).
+func (c *BinaryClient) PredictOpts(in, out []float32, opts PredictOptions) error {
+	if len(in) != c.inLen || len(out) != c.outLen {
+		return fmt.Errorf("serve: binary frame length in %d out %d, want %d %d",
+			len(in), len(out), c.inLen, c.outLen)
+	}
+	binary.LittleEndian.PutUint32(c.req[0:4], uint32(c.inLen*4))
+	var flags uint32
+	if opts.Priority == PriorityHigh {
+		flags |= 1
+	}
+	binary.LittleEndian.PutUint32(c.req[4:8], flags)
+	binary.LittleEndian.PutUint32(c.req[8:12], c.tenant)
+	var dl uint32
+	if opts.Deadline > 0 {
+		us := opts.Deadline.Microseconds()
+		if us > math.MaxUint32 {
+			us = math.MaxUint32
+		}
+		if us < 1 {
+			us = 1
+		}
+		dl = uint32(us)
+	}
+	binary.LittleEndian.PutUint32(c.req[12:16], dl)
+	for i, v := range in {
+		binary.LittleEndian.PutUint32(c.req[binReqHdr+i*4:], math.Float32bits(v))
+	}
+	if _, err := c.conn.Write(c.req); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(c.br, c.hdr[:]); err != nil {
+		return err
+	}
+	status := binary.LittleEndian.Uint32(c.hdr[0:4])
+	payload := int(binary.LittleEndian.Uint32(c.hdr[4:8]))
+	if status != binOK {
+		if payload != 0 {
+			return fmt.Errorf("serve: binary status %d with payload %d", status, payload)
+		}
+		if int(status) < len(binStatusErr) {
+			return binStatusErr[status]
+		}
+		return fmt.Errorf("serve: unknown binary status %d", status)
+	}
+	if payload != c.outLen*4 {
+		return fmt.Errorf("serve: binary response payload %d, want %d", payload, c.outLen*4)
+	}
+	if _, err := io.ReadFull(c.br, c.outB); err != nil {
+		return err
+	}
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(c.outB[i*4:]))
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// binListener starts the binary ingest loop on an ephemeral port and
+// returns its address. The listener is closed by Server.Close.
+func binListener(t *testing.T, s *Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = s.ServeBinary(ln) }()
+	return ln.Addr().String()
+}
+
+// TestBinaryIngestBitwiseRoundTrip: answers over the binary frame protocol
+// are bitwise identical to the reference engine — the network path reuses
+// the same batcher/fleet as in-process Predict, and the float32 frames
+// round-trip exactly.
+func TestBinaryIngestBitwiseRoundTrip(t *testing.T) {
+	s, ref := newTestServer(t, Config{MaxBatch: 4, BatchDeadline: 200 * time.Microsecond})
+	addr := binListener(t, s)
+	c, err := DialBinary(addr, s.InputLen(), s.OutputLen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out := make([]float32, s.OutputLen())
+	for i := 0; i < 20; i++ {
+		in := randInput(s.InputLen(), int64(i))
+		if err := c.Predict(in, out); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		want := refForward(ref, in)
+		for j := range out {
+			if out[j] != want[j] {
+				t.Fatalf("frame %d: out[%d] = %v, want %v (bitwise)", i, j, out[j], want[j])
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Offered != 20 || st.Requests != 20 {
+		t.Fatalf("offered=%d requests=%d, want 20/20", st.Offered, st.Requests)
+	}
+}
+
+// TestBinaryIngestDeadlineAndPriority: wire-carried deadlines shed expired
+// frames with the same sentinel as in-process Predict, and the flags bit
+// routes to the high-priority lane without breaking the answer.
+func TestBinaryIngestDeadlineAndPriority(t *testing.T) {
+	// MaxBatch 1 + QueueDepth 1 keep the single replica saturated under the
+	// background hammer, so a 1µs wire deadline always burns out in the lane.
+	s, ref := newTestServer(t, Config{MaxBatch: 1, QueueDepth: 1, BatchDeadline: Greedy})
+	addr := binListener(t, s)
+	c, err := DialBinary(addr, s.InputLen(), s.OutputLen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	in := randInput(s.InputLen(), 3)
+	out := make([]float32, s.OutputLen())
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			hin := randInput(s.InputLen(), int64(100+g))
+			hout := make([]float32, s.OutputLen())
+			for !stop.Load() {
+				if err := s.Predict(hin, hout); err != nil && err != ErrOverloaded {
+					return
+				}
+			}
+		}(g)
+	}
+	var shed bool
+	for i := 0; i < 50 && !shed; i++ {
+		err := c.PredictOpts(in, out, PredictOptions{Deadline: time.Microsecond})
+		switch err {
+		case ErrExpired:
+			shed = true
+		case nil, ErrOverloaded:
+			// Lucky timing (popped within 1µs) or lane full: try again.
+		default:
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("tight-deadline frame returned %v, want ErrExpired", err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if !shed {
+		t.Fatal("1µs wire deadline never shed with ErrExpired under saturation")
+	}
+	if err := c.PredictOpts(in, out, PredictOptions{
+		Priority: PriorityHigh, Deadline: 10 * time.Second,
+	}); err != nil {
+		t.Fatalf("high-priority frame: %v", err)
+	}
+	want := refForward(ref, in)
+	for j := range out {
+		if out[j] != want[j] {
+			t.Fatalf("high-priority out[%d] = %v, want %v (bitwise)", j, out[j], want[j])
+		}
+	}
+	if st := s.Stats(); st.ShedExpired < 1 {
+		t.Fatalf("shed_expired = %d, want >= 1", st.ShedExpired)
+	}
+}
+
+// TestBinaryIngestBadFrameClosesConn: a frame whose length prefix disagrees
+// with the model's input length gets a bad-request status and the
+// connection is dropped — the stream can no longer be trusted.
+func TestBinaryIngestBadFrameClosesConn(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxBatch: 4, BatchDeadline: Greedy})
+	addr := binListener(t, s)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hdr [binReqHdr]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 12) // wrong payload length
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	var resp [binRespHdr]byte
+	if _, err := io.ReadFull(conn, resp[:]); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(resp[0:4]); got != binBadRequest {
+		t.Fatalf("status %d, want %d (bad request)", got, binBadRequest)
+	}
+	// The server must hang up after answering.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(resp[:]); err != io.EOF {
+		t.Fatalf("read after bad frame: %v, want EOF", err)
+	}
+	if st := s.Stats(); st.Failed != 1 || st.Offered != 1 {
+		t.Fatalf("failed=%d offered=%d, want 1/1", st.Failed, st.Offered)
+	}
+}
+
+// TestTenantQuotaShedsAtSocket: with token-bucket quotas armed, a tenant
+// past its burst is shed at the socket with ErrQuota — before the payload
+// is parsed or an admission slot is touched — while other tenants are
+// unaffected.
+func TestTenantQuotaShedsAtSocket(t *testing.T) {
+	s, _ := newTestServer(t, Config{
+		MaxBatch: 4, BatchDeadline: Greedy,
+		TenantRate: 0.001, TenantBurst: 2, // refill is negligible in-test
+	})
+	addr := binListener(t, s)
+	c, err := DialBinary(addr, s.InputLen(), s.OutputLen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTenant(7)
+	in := randInput(s.InputLen(), 1)
+	out := make([]float32, s.OutputLen())
+	for i := 0; i < 2; i++ {
+		if err := c.Predict(in, out); err != nil {
+			t.Fatalf("in-budget frame %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Predict(in, out); err != ErrQuota {
+			t.Fatalf("over-budget frame %d: got %v, want ErrQuota", i, err)
+		}
+	}
+	// A different tenant on the same server still has its full burst.
+	c2, err := DialBinary(addr, s.InputLen(), s.OutputLen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.SetTenant(8)
+	if err := c2.Predict(in, out); err != nil {
+		t.Fatalf("other tenant: %v", err)
+	}
+	st := s.Stats()
+	if st.ShedQuota != 3 {
+		t.Fatalf("shed_quota = %d, want 3", st.ShedQuota)
+	}
+	if st.Requests != 3 {
+		t.Fatalf("requests = %d, want 3 (quota sheds must not be served)", st.Requests)
+	}
+	if st.Offered != st.Requests+st.ShedQuota {
+		t.Fatalf("conservation: offered=%d requests=%d shed_quota=%d", st.Offered, st.Requests, st.ShedQuota)
+	}
+}
+
+// The acceptance-criteria allocation test for the network path: after
+// warm-up one binary frame round trip — client encode, server header parse,
+// quota check, payload decode, Predict, response encode, client decode —
+// performs zero heap allocations process-wide.
+func TestBinaryPredictZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector drops sync.Pool items; allocation counts are not meaningful")
+	}
+	s, _ := newTestServer(t, Config{MaxBatch: 8, BatchDeadline: Greedy})
+	addr := binListener(t, s)
+	c, err := DialBinary(addr, s.InputLen(), s.OutputLen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	in := randInput(s.InputLen(), 5)
+	out := make([]float32, s.OutputLen())
+	for i := 0; i < 200; i++ {
+		if err := c.Predict(in, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := c.Predict(in, out); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("%v allocs per binary Predict after warm-up, want 0", allocs)
+	}
+}

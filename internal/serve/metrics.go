@@ -15,38 +15,82 @@ import (
 // text exposition format, and GET /tracez?dur=1s captures a flight-recorder
 // window and streams it back as Chrome trace-event JSON (load in Perfetto).
 
-// handleMetrics renders the Prometheus text format. Counters mirror /statz
-// one-to-one (serve_*_total); histograms export the request latency, the
-// per-stage decomposition (label stage=queue_wait|batch_wait|route|wire|
-// compute|gather), and batch occupancy; go_* gauges report process health.
+// collectors returns every stats sink to aggregate: the fleet-level one
+// plus one per front-end.
+func (s *Server) collectors() []*statsCollector {
+	cs := make([]*statsCollector, 0, len(s.fes)+1)
+	cs = append(cs, s.stats)
+	for _, fe := range s.fes {
+		cs = append(cs, fe.stats)
+	}
+	return cs
+}
+
+// handleMetrics renders the Prometheus text format, aggregated across
+// every front-end. Counters mirror /statz one-to-one (serve_*_total);
+// histograms export the request latency, the per-stage decomposition
+// (label stage=queue_wait|batch_wait|route|wire|compute|gather), and batch
+// occupancy; go_* gauges report process health.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	c := s.stats
+	cs := s.collectors()
+	sum := func(load func(*statsCollector) uint64) uint64 {
+		var v uint64
+		for _, c := range cs {
+			v += load(c)
+		}
+		return v
+	}
 
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
-	counter("serve_requests_total", "Requests admitted and served.", c.requests.Load())
-	counter("serve_batches_total", "Batches flushed to replicas.", c.batches.Load())
-	counter("serve_samples_total", "Samples across all flushed batches.", c.samples.Load())
-	counter("serve_shed_full_total", "Requests rejected on a full admission lane.", c.shedFull.Load())
-	counter("serve_shed_expired_total", "Requests dropped past their deadline.", c.shedExpired.Load())
-	counter("serve_retries_total", "Batch re-dispatches after replica failure.", c.retries.Load())
-	counter("serve_failovers_total", "Retries that moved to a different replica.", c.failovers.Load())
-	counter("serve_quarantined_total", "Replica quarantine transitions.", c.quarantined.Load())
-	counter("serve_rejoins_total", "Replica rejoin transitions.", c.rejoins.Load())
-	counter("serve_dropped_results_total", "Stale results dropped by the seq guard.", c.droppedResults.Load())
+	counter("serve_offered_total", "Requests that entered the serving pipeline.",
+		sum(func(c *statsCollector) uint64 { return c.offered.Load() }))
+	counter("serve_requests_total", "Requests admitted and served.",
+		sum(func(c *statsCollector) uint64 { return c.requests.Load() }))
+	counter("serve_batches_total", "Batches flushed to replicas.",
+		sum(func(c *statsCollector) uint64 { return c.batches.Load() }))
+	counter("serve_samples_total", "Samples across all flushed batches.",
+		sum(func(c *statsCollector) uint64 { return c.samples.Load() }))
+	counter("serve_shed_full_total", "Requests rejected on a full admission lane.",
+		sum(func(c *statsCollector) uint64 { return c.shedFull.Load() }))
+	counter("serve_shed_expired_total", "Requests dropped past their deadline.",
+		sum(func(c *statsCollector) uint64 { return c.shedExpired.Load() }))
+	counter("serve_shed_quota_total", "Binary frames shed at the socket by tenant quotas.",
+		sum(func(c *statsCollector) uint64 { return c.shedQuota.Load() }))
+	counter("serve_canceled_total", "Requests abandoned by their caller's context.",
+		sum(func(c *statsCollector) uint64 { return c.canceled.Load() }))
+	counter("serve_failed_total", "Requests lost to replica failure or shutdown.",
+		sum(func(c *statsCollector) uint64 { return c.failed.Load() }))
+	counter("serve_retries_total", "Batch re-dispatches after replica failure.",
+		sum(func(c *statsCollector) uint64 { return c.retries.Load() }))
+	counter("serve_failovers_total", "Retries that moved to a different replica.",
+		sum(func(c *statsCollector) uint64 { return c.failovers.Load() }))
+	counter("serve_quarantined_total", "Replica quarantine transitions.",
+		sum(func(c *statsCollector) uint64 { return c.quarantined.Load() }))
+	counter("serve_rejoins_total", "Replica rejoin transitions.",
+		sum(func(c *statsCollector) uint64 { return c.rejoins.Load() }))
+	counter("serve_dropped_results_total", "Stale results dropped by the seq guard.",
+		sum(func(c *statsCollector) uint64 { return c.droppedResults.Load() }))
 
 	var hist [latBuckets]uint64
-	for i := range c.latency {
-		hist[i] = c.latency[i].Load()
+	for _, c := range cs {
+		for i := range c.latency {
+			hist[i] += c.latency[i].Load()
+		}
 	}
 	writePromHist(w, "serve_request_latency_seconds", "End-to-end request latency.", "", hist[:])
 	fmt.Fprintf(w, "# HELP serve_stage_latency_seconds Per-stage latency decomposition.\n")
 	fmt.Fprintf(w, "# TYPE serve_stage_latency_seconds histogram\n")
 	for st := stage(0); st < nStages; st++ {
-		for i := range c.stageLat[st] {
-			hist[i] = c.stageLat[st][i].Load()
+		for i := range hist {
+			hist[i] = 0
+		}
+		for _, c := range cs {
+			for i := range c.stageLat[st] {
+				hist[i] += c.stageLat[st][i].Load()
+			}
 		}
 		writePromHist(w, "serve_stage_latency_seconds", "",
 			fmt.Sprintf("stage=%q", st), hist[:])
@@ -55,13 +99,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP serve_batch_occupancy Batches by flushed occupancy.\n")
 	fmt.Fprintf(w, "# TYPE serve_batch_occupancy histogram\n")
 	var occCum uint64
-	for i := range c.occupancy {
-		occCum += c.occupancy[i].Load()
+	for i := 0; i < s.cfg.MaxBatch; i++ {
+		for _, c := range cs {
+			if i < len(c.occupancy) {
+				occCum += c.occupancy[i].Load()
+			}
+		}
 		fmt.Fprintf(w, "serve_batch_occupancy_bucket{le=\"%d\"} %d\n", i+1, occCum)
 	}
 	fmt.Fprintf(w, "serve_batch_occupancy_bucket{le=\"+Inf\"} %d\n", occCum)
 	fmt.Fprintf(w, "serve_batch_occupancy_count %d\n", occCum)
-	fmt.Fprintf(w, "serve_batch_occupancy_sum %d\n", c.samples.Load())
+	fmt.Fprintf(w, "serve_batch_occupancy_sum %d\n",
+		sum(func(c *statsCollector) uint64 { return c.samples.Load() }))
 
 	live, total := s.fleet.liveCount()
 	gaugeI := func(name, help string, v int64) {
@@ -69,6 +118,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	gaugeI("serve_replicas_live", "Replica groups currently live.", int64(live))
 	gaugeI("serve_replicas_total", "Replica groups configured.", int64(total))
+	gaugeI("serve_front_ends", "Front-end ranks configured.", int64(s.cfg.FrontEnds))
 
 	var mem runtime.MemStats
 	runtime.ReadMemStats(&mem)

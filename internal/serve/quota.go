@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-tenant token-bucket quotas for the binary ingest path. The check runs
+// after a frame's 16-byte header is read but before its payload: a tenant
+// over quota costs the server one header parse and a buffered discard, not
+// a float decode, an admission-lane slot, or a batcher wakeup — overload
+// from one tenant is shed at the socket, where it is cheapest, and cannot
+// starve the others' lane capacity.
+
+// tokenBucket is one tenant's budget: tokens refill at rate per second up
+// to burst. Guarded by its own mutex so tenants never contend.
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   int64 // UnixNano of the last refill
+}
+
+// tenantTable maps tenant ids to buckets, created lazily on first sight.
+// A nil table (quotas disabled) admits everything.
+type tenantTable struct {
+	rate  float64
+	burst float64
+
+	mu      sync.RWMutex
+	buckets map[uint32]*tokenBucket
+}
+
+// newTenantTable returns nil when rate <= 0: quotas disabled.
+func newTenantTable(rate float64, burst int) *tenantTable {
+	if rate <= 0 {
+		return nil
+	}
+	return &tenantTable{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[uint32]*tokenBucket),
+	}
+}
+
+// admit spends one token from tenant's bucket, reporting false when the
+// bucket is empty. The read-locked map lookup is the warm path; a new
+// tenant takes the write lock once.
+func (t *tenantTable) admit(tenant uint32, now time.Time) bool {
+	if t == nil {
+		return true
+	}
+	t.mu.RLock()
+	b := t.buckets[tenant]
+	t.mu.RUnlock()
+	if b == nil {
+		t.mu.Lock()
+		b = t.buckets[tenant]
+		if b == nil {
+			b = &tokenBucket{tokens: t.burst, last: now.UnixNano()}
+			t.buckets[tenant] = b
+		}
+		t.mu.Unlock()
+	}
+	nowNs := now.UnixNano()
+	b.mu.Lock()
+	if dt := nowNs - b.last; dt > 0 {
+		b.tokens += t.rate * float64(dt) / 1e9
+		if b.tokens > t.burst {
+			b.tokens = t.burst
+		}
+		b.last = nowNs
+	}
+	ok := b.tokens >= 1
+	if ok {
+		b.tokens--
+	}
+	b.mu.Unlock()
+	return ok
+}

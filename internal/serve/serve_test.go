@@ -176,7 +176,7 @@ func TestMaxBatchCoalescing(t *testing.T) {
 }
 
 func TestRouterPicksLeastLoaded(t *testing.T) {
-	rt := newRouter(nil, []int{1, 2, 1}, 2, nil)
+	rt := newRouter(nil, newRepSet([]int{1, 2, 1}, 1), 2, nil, nil)
 	// World ranks: front-end 0, replica 0 on rank 1, replica 1 (2-rank
 	// group) leading on rank 2, replica 2 on rank 4.
 	wantLeaders := []int{1, 2, 4}
@@ -188,12 +188,12 @@ func TestRouterPicksLeastLoaded(t *testing.T) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	// All idle: any pick is fine; load replica 0 and the router must move on.
-	rt.reps[0].inflight = 1
+	rt.inflight[0] = 1
 	if g := rt.pick(sched.BatchView{N: 1}); g == 0 {
 		t.Fatal("router picked a loaded replica over idle ones")
 	}
 	// Equal in-flight: the occupancy heartbeat breaks the tie.
-	rt.reps[0].inflight, rt.reps[1].inflight, rt.reps[2].inflight = 1, 1, 1
+	rt.inflight[0], rt.inflight[1], rt.inflight[2] = 1, 1, 1
 	rt.reps[0].occ.Store(2)
 	rt.reps[1].occ.Store(0)
 	rt.reps[2].occ.Store(1)
@@ -201,7 +201,7 @@ func TestRouterPicksLeastLoaded(t *testing.T) {
 		t.Fatalf("router picked replica %d, want 1 (lowest heartbeat occupancy)", g)
 	}
 	// Every replica at the in-flight cap: nothing is eligible.
-	rt.reps[0].inflight, rt.reps[1].inflight, rt.reps[2].inflight = 2, 2, 2
+	rt.inflight[0], rt.inflight[1], rt.inflight[2] = 2, 2, 2
 	if g := rt.pick(sched.BatchView{N: 1}); g != -1 {
 		t.Fatalf("router picked %d with every replica at its cap", g)
 	}
@@ -214,7 +214,7 @@ func TestRouterPicksLeastLoaded(t *testing.T) {
 // extraction the cursor was router-private and skipped retries, so fleet
 // tests' batch placement depended on which code path happened to dispatch.
 func TestRouterRotationDeterministic(t *testing.T) {
-	rt := newRouter(nil, []int{1, 1, 1}, 4, nil)
+	rt := newRouter(nil, newRepSet([]int{1, 1, 1}, 1), 4, nil, nil)
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	var order []int
@@ -223,9 +223,9 @@ func TestRouterRotationDeterministic(t *testing.T) {
 		if gAgain := rt.pick(sched.BatchView{N: 1}); gAgain != g {
 			t.Fatalf("pick is not pure: %d then %d", g, gAgain)
 		}
-		rt.reps[g].inflight++
+		rt.inflight[g]++
 		rt.pol.OnDispatch(g, int64(i), 1)
-		rt.reps[g].inflight-- // result returns before the next dispatch
+		rt.inflight[g]-- // result returns before the next dispatch
 		order = append(order, g)
 	}
 	want := []int{0, 1, 2, 0, 1, 2}
@@ -253,21 +253,26 @@ func TestFleetServesWithPluggablePolicy(t *testing.T) {
 				BatchDeadline: 500 * time.Microsecond,
 				Policy:        pol,
 			})
+			// Precompute references serially (ref is not concurrency-safe).
+			ins := make([][]float32, 12)
+			wants := make([][]float32, 12)
+			for c := range ins {
+				ins[c] = randInput(s.InputLen(), int64(c))
+				wants[c] = refForward(ref, ins[c])
+			}
 			var wg sync.WaitGroup
 			for c := 0; c < 12; c++ {
 				wg.Add(1)
 				go func(c int) {
 					defer wg.Done()
-					in := randInput(s.InputLen(), int64(c))
 					out := make([]float32, s.OutputLen())
-					if err := s.Predict(in, out); err != nil {
+					if err := s.Predict(ins[c], out); err != nil {
 						t.Error(err)
 						return
 					}
-					want := refForward(ref, in)
 					for j := range out {
-						if out[j] != want[j] {
-							t.Errorf("policy %s: output[%d] = %v, want %v (bitwise)", name, j, out[j], want[j])
+						if out[j] != wants[c][j] {
+							t.Errorf("policy %s: output[%d] = %v, want %v (bitwise)", name, j, out[j], wants[c][j])
 							return
 						}
 					}

@@ -38,6 +38,10 @@ var (
 	// ErrFailed is returned when a batch was stranded by replica failures
 	// more times than the retry budget allows.
 	ErrFailed = errors.New("serve: request lost to replica failure, retry budget exhausted")
+	// ErrQuota is returned by the binary ingest path when the request's
+	// tenant token bucket is empty: the frame is shed at the socket,
+	// before its payload is even parsed.
+	ErrQuota = errors.New("serve: tenant quota exceeded, shed at the socket")
 )
 
 // Priority classifies a request for admission control: high-priority
@@ -73,6 +77,15 @@ type PredictOptions struct {
 // Config tunes the dynamic micro-batcher, the replica fleet, and admission
 // control.
 type Config struct {
+	// FrontEnds runs this many front-end ranks, each owning its own
+	// admission lanes, batcher, router (with its own sched.Policy
+	// instance), and collectors, all routing to the shared replica set.
+	// In-process Predict calls round-robin across front-ends; binary
+	// ingest connections pin to one. Each replica's QueueDepth in-flight
+	// budget is partitioned evenly across front-ends (at least 1 each),
+	// so no cross-front-end coordination is needed beyond the heartbeats
+	// replica leaders already fan out. Default 1.
+	FrontEnds int
 	// Replicas is the number of single-rank model replicas when Groups is
 	// nil. Default 1.
 	Replicas int
@@ -95,22 +108,35 @@ type Config struct {
 	// negative duration) to never wait — flush whatever is queued the
 	// instant the batcher gets to it.
 	BatchDeadline time.Duration
-	// QueueDepth is the per-replica in-flight batch cap: the router sends a
-	// replica at most this many unanswered batches. When every replica is
-	// at its cap the batcher blocks (backpressure), which fills the
-	// admission lanes and sheds further arrivals. Default 2.
+	// QueueDepth is the per-replica in-flight batch cap: the fleet sends a
+	// replica at most this many unanswered batches, the budget partitioned
+	// evenly across front-ends. When every replica is at its cap the
+	// batcher blocks (backpressure), which fills the admission lanes and
+	// sheds further arrivals. Default 2 (with several front-ends, at least
+	// one slot per front-end per replica).
 	QueueDepth int
-	// PendingRequests is the capacity of each admission lane (one per
-	// priority class). A request arriving at a full lane is shed with
-	// ErrOverloaded. Default 4*MaxBatch.
+	// PendingRequests is the capacity of each admission lane (one high and
+	// one normal lane per front-end). A request arriving at a full lane is
+	// shed with ErrOverloaded. Default 4*MaxBatch.
 	PendingRequests int
 	// Policy is the replica-routing policy (see internal/sched for the
 	// contract and the registry: sched.New("jsq2") etc.). Nil selects
 	// sched.NewLeastLoaded(), the shipped default — the winner of the
 	// internal/sim policy races on the reference traces. The policy's
 	// hooks run under the router lock; one Policy value must not be shared
-	// between servers.
+	// between servers. With FrontEnds > 1 the policy applies to front-end
+	// 0 and the others construct fresh instances of the same default, so
+	// leave it nil when sharding the front-end.
 	Policy sched.Policy
+
+	// TenantRate, when > 0, arms per-tenant token-bucket quotas on the
+	// binary ingest path: each tenant id refills at TenantRate requests
+	// per second up to TenantBurst tokens, and a frame arriving with an
+	// empty bucket is shed at the socket (status quota, ErrQuota
+	// client-side) before its payload is read. Zero disables quotas.
+	TenantRate float64
+	// TenantBurst is the token-bucket depth; default max(1, TenantRate).
+	TenantBurst int
 
 	// HeartbeatInterval paces the fleet's liveness machinery: idle replica
 	// leaders heartbeat at this period, and the front-end's collectors and
@@ -133,12 +159,15 @@ type Config struct {
 	// disables rejoin (quarantine is permanent).
 	RejoinAfter time.Duration
 	// Fault installs a deterministic fault-injection plan on the fleet's
-	// communication world (chaos testing). World rank 0 is the front-end
-	// and must not be killed. Nil injects nothing.
+	// communication world (chaos testing). World ranks 0..FrontEnds-1 are
+	// front-ends and must not be killed. Nil injects nothing.
 	Fault *comm.FaultPlan
 }
 
 func (c Config) withDefaults() Config {
+	if c.FrontEnds <= 0 {
+		c.FrontEnds = 1
+	}
 	if c.Groups == nil {
 		if c.Replicas <= 0 {
 			c.Replicas = 1
@@ -165,6 +194,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PendingRequests <= 0 {
 		c.PendingRequests = 4 * c.MaxBatch
+	}
+	if c.TenantRate > 0 && c.TenantBurst <= 0 {
+		c.TenantBurst = int(c.TenantRate)
+		if c.TenantBurst < 1 {
+			c.TenantBurst = 1
+		}
 	}
 	if c.HeartbeatInterval <= 0 {
 		c.HeartbeatInterval = 25 * time.Millisecond
@@ -236,11 +271,30 @@ type batch struct {
 	deadlineNs int64
 }
 
-// Server is the serving runtime: a front-end comm rank owning the batcher,
-// the least-loaded router, and the admission lanes, plus a fleet of replica
+// frontEnd is one front-end rank's runtime: its own admission lanes,
+// batcher, router (with a private sched.Policy instance), collectors, and
+// stats collector. Front-ends share nothing but the replica set and the
+// request/batch pools; coherence across them comes from the leaders'
+// heartbeat fan-out plus the static partition of each replica's in-flight
+// budget, not from any gossip between front-ends.
+type frontEnd struct {
+	id              int // front-end rank == world rank == obs track
+	rt              *router
+	reqHigh, reqLow chan *request
+	stats           *statsCollector
+
+	// batcherExited flips after this front-end's batcher submitted its
+	// final batch: together with drained routers and no respawn in flight
+	// it releases the collectors and the failure monitor.
+	batcherExited atomic.Bool
+}
+
+// Server is the serving runtime: FrontEnds front-end comm ranks each owning
+// a batcher, a policy router, and admission lanes, plus a fleet of replica
 // ranks (single-rank InferNets and placement-sharded DistInferNet groups)
-// that it feeds over the communication substrate. Construct with New,
-// serve with Predict (or the HTTP handler), stop with Close.
+// that they feed over the communication substrate. Construct with New,
+// serve with Predict (or the HTTP handler, or ServeBinary), stop with
+// Close.
 type Server struct {
 	cfg  Config
 	arch *nn.Arch
@@ -248,23 +302,31 @@ type Server struct {
 	inShape, outShape nn.Shape
 	inLen, outLen     int
 
-	fleet *fleet
+	fleet   *fleet
+	fes     []*frontEnd
+	feRanks []int         // world ranks 0..FrontEnds-1, the leaders' fan-out list
+	nextFE  atomic.Uint32 // round-robin cursor for Predict and new conns
+	qdPer   int           // per-front-end share of each replica's QueueDepth
 
-	reqHigh, reqLow chan *request
-	done            chan struct{}
-	wg              sync.WaitGroup
+	done chan struct{}
+	wg   sync.WaitGroup
 
 	mu     sync.RWMutex // serializes Predict enqueue against Close
 	closed bool
 
-	// batcherExited flips after the batcher's final submission: together
-	// with a drained router and no respawn in flight it releases the
-	// collectors and the failure monitor.
-	batcherExited atomic.Bool
-
+	// stats holds the fleet-level counters (quarantines, rejoins) that are
+	// not owned by any single front-end; per-front-end collectors hold the
+	// rest and Stats() aggregates them all.
 	stats     *statsCollector
 	batchPool sync.Pool
 	ws        *kernels.Workspace
+	tenants   *tenantTable
+
+	// Binary ingest bookkeeping: listeners and connections to close.
+	binMu    sync.Mutex
+	binLns   []interface{ Close() error }
+	binConns map[interface{ Close() error }]struct{}
+	binWG    sync.WaitGroup
 
 	// epochNs anchors the wire protocol's batch timestamps: senders encode
 	// µs-since-epoch split across two float32 header fields (both exact),
@@ -292,8 +354,10 @@ func New(model *nn.InferNet, cfg Config) (*Server, error) {
 		}
 	}
 	if cfg.Fault != nil {
-		if n, ok := cfg.Fault.Kill[0]; ok && n > 0 {
-			return nil, fmt.Errorf("serve: fault plan kills world rank 0, the front-end")
+		for r := 0; r < cfg.FrontEnds; r++ {
+			if n, ok := cfg.Fault.Kill[r]; ok && n > 0 {
+				return nil, fmt.Errorf("serve: fault plan kills world rank %d, a front-end", r)
+			}
 		}
 	}
 	in, out := model.InShape(), model.OutShape()
@@ -304,12 +368,16 @@ func New(model *nn.InferNet, cfg Config) (*Server, error) {
 		outShape: out,
 		inLen:    in.C * in.H * in.W,
 		outLen:   out.C * out.H * out.W,
-		reqHigh:  make(chan *request, cfg.PendingRequests),
-		reqLow:   make(chan *request, cfg.PendingRequests),
 		done:     make(chan struct{}),
 		stats:    newStatsCollector(cfg.MaxBatch),
 		ws:       kernels.DefaultWorkspace(),
+		tenants:  newTenantTable(cfg.TenantRate, cfg.TenantBurst),
+		binConns: make(map[interface{ Close() error }]struct{}),
 		epochNs:  time.Now().UnixNano(),
+	}
+	s.qdPer = cfg.QueueDepth / cfg.FrontEnds
+	if s.qdPer < 1 {
+		s.qdPer = 1
 	}
 	s.batchPool.New = func() any {
 		return &batch{
@@ -317,11 +385,21 @@ func New(model *nn.InferNet, cfg Config) (*Server, error) {
 			buf:  s.ws.Get(cfg.MaxBatch * s.inLen),
 		}
 	}
+	for i := 0; i < cfg.FrontEnds; i++ {
+		s.fes = append(s.fes, &frontEnd{
+			id:      i,
+			reqHigh: make(chan *request, cfg.PendingRequests),
+			reqLow:  make(chan *request, cfg.PendingRequests),
+			stats:   newStatsCollector(cfg.MaxBatch),
+		})
+	}
 	if err := s.startFleet(model); err != nil {
 		return nil, err
 	}
-	s.wg.Add(1)
-	go s.batcher()
+	for _, fe := range s.fes {
+		s.wg.Add(1)
+		go s.batcher(fe)
+	}
 	return s, nil
 }
 
@@ -334,21 +412,31 @@ func (s *Server) InShape() nn.Shape  { return s.inShape }
 func (s *Server) OutShape() nn.Shape { return s.outShape }
 
 // Stats snapshots the latency/occupancy histograms, the shed counters, and
-// the per-replica routing state.
+// the per-replica routing state, aggregated across every front-end (the
+// per-front-end breakdown rides along in Stats.FrontEnds).
 func (s *Server) Stats() Stats {
-	st := s.stats.snapshot()
-	rt := s.fleet.rt
-	rt.mu.Lock()
-	for _, rep := range rt.reps {
+	st := snapshotStats(s.collectors())
+	for _, fe := range s.fes {
+		st.FrontEnds = append(st.FrontEnds, fe.stats.frontEndStats())
+	}
+	reps := s.fleet.reps
+	inflight := make([]int, len(reps))
+	for _, fe := range s.fes {
+		fe.rt.mu.Lock()
+		for g := range reps {
+			inflight[g] += fe.rt.inflight[g]
+		}
+		fe.rt.mu.Unlock()
+	}
+	for g, rep := range reps {
 		st.Replicas = append(st.Replicas, ReplicaStats{
 			Ranks:      rep.ranks,
 			Batches:    rep.batches.Load(),
-			InFlight:   rep.inflight,
+			InFlight:   inflight[g],
 			QueueDepth: int(rep.occ.Load()),
 			State:      repLife(rep.life.Load()).String(),
 		})
 	}
-	rt.mu.Unlock()
 	return st
 }
 
@@ -356,7 +444,8 @@ func (s *Server) Stats() Stats {
 // deadline: in (len InputLen) is read until the call returns, the result is
 // written into out (len OutputLen). Safe for arbitrary concurrency; after
 // warm-up the call performs no heap allocations. Returns ErrOverloaded
-// without blocking when the admission lane is full.
+// without blocking when the admission lane is full. Requests round-robin
+// across the configured front-ends.
 func (s *Server) Predict(in, out []float32) error {
 	return s.PredictOpts(in, out, PredictOptions{})
 }
@@ -364,12 +453,48 @@ func (s *Server) Predict(in, out []float32) error {
 // PredictOpts is Predict with an explicit priority class, deadline, and
 // cancellation context.
 func (s *Server) PredictOpts(in, out []float32, opts PredictOptions) error {
+	fe := s.fes[int(s.nextFE.Add(1)-1)%len(s.fes)]
+	return s.predictOn(fe, in, out, opts)
+}
+
+// predictOn runs one request through front-end fe with full conservation
+// accounting: every offered request is counted exactly once as served
+// (requests), shed (shed_full / shed_expired), canceled, or failed, so
+// offered == requests + sheds + canceled + failed holds per front-end and
+// in aggregate. The binary ingest path counts offered itself (at the frame
+// header) and calls predictFE directly.
+func (s *Server) predictOn(fe *frontEnd, in, out []float32, opts PredictOptions) error {
 	if len(in) != s.inLen {
 		return fmt.Errorf("serve: input length %d, want %d", len(in), s.inLen)
 	}
 	if len(out) != s.outLen {
 		return fmt.Errorf("serve: output length %d, want %d", len(out), s.outLen)
 	}
+	fe.stats.offered.Add(1)
+	return s.predictFE(fe, in, out, opts)
+}
+
+// predictFE enqueues on fe's lanes and waits for resolution, classifying
+// the outcome into fe's counters (everything except offered, which the
+// caller has already counted).
+func (s *Server) predictFE(fe *frontEnd, in, out []float32, opts PredictOptions) error {
+	err := s.predictWait(fe, in, out, opts)
+	switch err {
+	case nil:
+		// recordLatency counted it as served.
+	case ErrOverloaded:
+		fe.stats.shedFull.Add(1)
+	case ErrExpired:
+		fe.stats.shedExpired.Add(1)
+	case ErrCanceled:
+		fe.stats.canceled.Add(1)
+	default: // ErrFailed, ErrUnavailable, ErrClosed
+		fe.stats.failed.Add(1)
+	}
+	return err
+}
+
+func (s *Server) predictWait(fe *frontEnd, in, out []float32, opts PredictOptions) error {
 	now := time.Now()
 	// Pre-lane shed: a deadline or context that is already dead never
 	// enters the admission lane — no batcher slot, no forward pass.
@@ -377,20 +502,17 @@ func (s *Server) PredictOpts(in, out []float32, opts PredictOptions) error {
 	if opts.Deadline > 0 {
 		deadline = now.Add(opts.Deadline)
 	} else if opts.Deadline < 0 {
-		s.stats.shedExpired.Add(1)
 		return ErrExpired
 	}
 	if ctx := opts.Ctx; ctx != nil {
 		if err := ctx.Err(); err != nil {
 			if err == context.DeadlineExceeded {
-				s.stats.shedExpired.Add(1)
 				return ErrExpired
 			}
 			return ErrCanceled
 		}
 		if dl, ok := ctx.Deadline(); ok {
 			if !dl.After(now) {
-				s.stats.shedExpired.Add(1)
 				return ErrExpired
 			}
 			if deadline.IsZero() || dl.Before(deadline) {
@@ -405,13 +527,13 @@ func (s *Server) PredictOpts(in, out []float32, opts PredictOptions) error {
 	r.deadline = deadline
 	r.ctx = opts.Ctx
 	r.state.Store(reqPending)
-	lane := s.reqLow
+	lane := fe.reqLow
 	if opts.Priority == PriorityHigh {
-		lane = s.reqHigh
+		lane = fe.reqHigh
 	}
 
 	// The read lock pins the closed check to the enqueue: Close flips closed
-	// under the write lock before signaling the batcher to drain, so a
+	// under the write lock before signaling the batchers to drain, so a
 	// request that entered a lane is guaranteed to be drained and resolved.
 	s.mu.RLock()
 	if s.closed {
@@ -427,7 +549,6 @@ func (s *Server) PredictOpts(in, out []float32, opts PredictOptions) error {
 		// Admission control: the lane is full, shed instead of queueing
 		// without bound.
 		s.mu.RUnlock()
-		s.stats.shedFull.Add(1)
 		r.in, r.out, r.ctx = nil, nil, nil
 		reqPool.Put(r)
 		return ErrOverloaded
@@ -457,7 +578,7 @@ func (s *Server) PredictOpts(in, out []float32, opts PredictOptions) error {
 	}
 	err := r.err
 	if err == nil {
-		s.stats.recordLatency(time.Since(r.start))
+		fe.stats.recordLatency(time.Since(r.start))
 	}
 	r.in, r.out, r.ctx = nil, nil, nil
 	reqPool.Put(r)
@@ -491,8 +612,9 @@ func (s *Server) failBatch(b *batch, err error) {
 }
 
 // Close stops accepting requests, resolves everything already accepted
-// (serving it, or shedding it if its deadline passed), and waits for the
-// batcher, the replica ranks, and the collectors to exit.
+// (serving it, or shedding it if its deadline passed), closes the binary
+// ingest listeners and connections, and waits for the batchers, the
+// replica ranks, and the collectors to exit.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -502,6 +624,8 @@ func (s *Server) Close() {
 	s.closed = true
 	s.mu.Unlock()
 	close(s.done)
+	s.closeBinary()
+	s.binWG.Wait()
 	s.wg.Wait()
 	s.fleet.shutdown()
 }
@@ -523,11 +647,11 @@ func (s *Server) putBatch(b *batch) {
 
 // add copies r's input into slot n of the forming batch — unless r's
 // deadline has already passed or its context was canceled, in which case
-// it is shed on the spot.
-func (s *Server) add(b *batch, r *request) {
+// it is shed on the spot (the shed is counted by the caller's outcome
+// classification in predictFE, never here, so conservation holds).
+func (s *Server) add(fe *frontEnd, b *batch, r *request) {
 	now := time.Now()
 	if !r.deadline.IsZero() && now.After(r.deadline) {
-		s.stats.shedExpired.Add(1)
 		s.resolve(r, ErrExpired, nil)
 		return
 	}
@@ -535,7 +659,7 @@ func (s *Server) add(b *batch, r *request) {
 		s.resolve(r, ErrCanceled, nil)
 		return
 	}
-	s.stats.recordStage(stgQueueWait, now.Sub(r.start))
+	fe.stats.recordStage(stgQueueWait, now.Sub(r.start))
 	copy((*b.buf)[b.n*s.inLen:(b.n+1)*s.inLen], r.in)
 	if b.n == 0 {
 		b.openedAt = now.UnixNano()
@@ -550,24 +674,25 @@ func (s *Server) add(b *batch, r *request) {
 }
 
 // popNow returns a queued request without blocking, high priority first.
-func (s *Server) popNow() *request {
+func (fe *frontEnd) popNow() *request {
 	select {
-	case r := <-s.reqHigh:
+	case r := <-fe.reqHigh:
 		return r
 	default:
 	}
 	select {
-	case r := <-s.reqLow:
+	case r := <-fe.reqLow:
 		return r
 	default:
 	}
 	return nil
 }
 
-// batcher coalesces requests into batches: flush on MaxBatch, on deadline,
-// or — with a greedy (zero) deadline — as soon as the lanes momentarily
-// empty. High-priority requests are always drained first.
-func (s *Server) batcher() {
+// batcher coalesces one front-end's requests into batches: flush on
+// MaxBatch, on deadline, or — with a greedy (zero) deadline — as soon as
+// the lanes momentarily empty. High-priority requests are always drained
+// first. One batcher goroutine per front-end.
+func (s *Server) batcher(fe *frontEnd) {
 	defer s.wg.Done()
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
@@ -580,7 +705,7 @@ func (s *Server) batcher() {
 	}
 	cur := s.getBatch()
 	flush := func() {
-		if !s.fleet.rt.submit(cur) {
+		if !fe.rt.submit(cur) {
 			s.failBatch(cur, ErrUnavailable)
 		}
 		cur = s.getBatch()
@@ -589,17 +714,17 @@ func (s *Server) batcher() {
 		if cur.n == 0 {
 			var r *request
 			select {
-			case r = <-s.reqHigh:
+			case r = <-fe.reqHigh:
 			default:
 				select {
-				case r = <-s.reqHigh:
-				case r = <-s.reqLow:
+				case r = <-fe.reqHigh:
+				case r = <-fe.reqLow:
 				case <-s.done:
-					s.drain(cur)
+					s.drain(fe, cur)
 					return
 				}
 			}
-			s.add(cur, r)
+			s.add(fe, cur, r)
 			if cur.n == 0 {
 				continue // the lone request was shed on expiry
 			}
@@ -610,11 +735,11 @@ func (s *Server) batcher() {
 			if s.cfg.BatchDeadline == 0 {
 				// Greedy: absorb what is queued right now, then flush.
 				for cur.n < s.cfg.MaxBatch {
-					r := s.popNow()
+					r := fe.popNow()
 					if r == nil {
 						break
 					}
-					s.add(cur, r)
+					s.add(fe, cur, r)
 				}
 				if cur.n > 0 {
 					flush()
@@ -630,16 +755,16 @@ func (s *Server) batcher() {
 		var r *request
 		fired := false
 		select {
-		case r = <-s.reqHigh:
+		case r = <-fe.reqHigh:
 		default:
 			select {
-			case r = <-s.reqHigh:
-			case r = <-s.reqLow:
+			case r = <-fe.reqHigh:
+			case r = <-fe.reqLow:
 			case <-timer.C:
 				fired = true
 			case <-s.done:
 				stopTimer()
-				s.drain(cur)
+				s.drain(fe, cur)
 				return
 			}
 		}
@@ -647,7 +772,7 @@ func (s *Server) batcher() {
 			flush()
 			continue
 		}
-		s.add(cur, r)
+		s.add(fe, cur, r)
 		if cur.n >= s.cfg.MaxBatch {
 			stopTimer()
 			flush()
@@ -655,20 +780,20 @@ func (s *Server) batcher() {
 	}
 }
 
-// drain resolves every request that made it into a lane before Close
-// flipped the closed flag, then stops the fleet.
-func (s *Server) drain(cur *batch) {
+// drain resolves every request that made it into fe's lanes before Close
+// flipped the closed flag, then sends this front-end's stop sentinels.
+func (s *Server) drain(fe *frontEnd, cur *batch) {
 	submit := func(b *batch) {
-		if !s.fleet.rt.submit(b) {
+		if !fe.rt.submit(b) {
 			s.failBatch(b, ErrUnavailable)
 		}
 	}
 	for {
-		r := s.popNow()
+		r := fe.popNow()
 		if r == nil {
 			break
 		}
-		s.add(cur, r)
+		s.add(fe, cur, r)
 		if cur.n >= s.cfg.MaxBatch {
 			submit(cur)
 			cur = s.getBatch()
@@ -679,10 +804,11 @@ func (s *Server) drain(cur *batch) {
 	} else {
 		s.putBatch(cur)
 	}
-	// From here the router gains no new work: once its slots drain the
-	// monitor may exit, and the stop sentinels below end the leader loops.
-	s.batcherExited.Store(true)
-	s.fleet.rt.stop()
+	// From here this router gains no new work: once every router's slots
+	// drain the monitor may exit. Each front-end sends its own stop
+	// sentinels; a leader exits after collecting one from every front-end.
+	fe.batcherExited.Store(true)
+	fe.rt.stop()
 }
 
 // Client is the in-process handle load generators and embedding services

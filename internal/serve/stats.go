@@ -13,24 +13,45 @@ import (
 // dashboards but made p99 SLO arithmetic snap to bucket edges.
 const latBuckets = 8 * 44
 
-// statsCollector is the server's lock-free metrics sink: every counter is
-// an atomic, so the zero-alloc Predict path records without locking.
+// statsCollector is one metrics sink: every counter is an atomic, so the
+// zero-alloc Predict path records without locking. Each front-end owns a
+// collector (its counters are touched only by that front-end's goroutines
+// plus its callers), the server owns one more for fleet-level transitions
+// (quarantines, rejoins), and Stats()/snapshotStats aggregate them.
+//
+// The outcome counters obey request conservation: every request counted in
+// offered is eventually counted in exactly one of requests (served),
+// shedFull, shedExpired, shedQuota, canceled, or failed — the serving-side
+// mirror of the sim's served + shed + failed == offered invariant, and the
+// cross-front-end conservation test holds the aggregate to it.
 type statsCollector struct {
-	requests atomic.Uint64
+	// offered counts every request that passed validation and entered the
+	// serving pipeline (in-process, HTTP, or a binary frame header).
+	offered  atomic.Uint64
+	requests atomic.Uint64 // served: resolved with an answer
 	batches  atomic.Uint64
 	samples  atomic.Uint64 // total samples across batches (== requests served)
 
 	// Admission-control shed counters: shedFull counts rejects on a full
 	// admission lane, shedExpired counts requests whose deadline passed
-	// before a replica could take them.
+	// before a replica could take them, shedQuota counts binary frames
+	// rejected at the socket by a tenant token bucket (before their payload
+	// was even read).
 	shedFull    atomic.Uint64
 	shedExpired atomic.Uint64
+	shedQuota   atomic.Uint64
+
+	// canceled counts requests abandoned by their caller's context; failed
+	// counts requests resolved with ErrFailed, ErrUnavailable, or
+	// ErrClosed.
+	canceled atomic.Uint64
+	failed   atomic.Uint64
 
 	// Failure-path counters. retries counts batch re-dispatches after a
 	// replica failure; failovers is the subset that moved to a different
-	// replica; quarantined and rejoins count replica life transitions;
-	// droppedResults counts stale results discarded by seq dedup (the
-	// at-most-once guard).
+	// replica; quarantined and rejoins count replica life transitions
+	// (fleet-level: counted once, not per front-end); droppedResults counts
+	// stale results discarded by seq dedup (the at-most-once guard).
 	retries        atomic.Uint64
 	failovers      atomic.Uint64
 	quarantined    atomic.Uint64
@@ -131,7 +152,8 @@ type ReplicaStats struct {
 	Ranks int `json:"ranks"`
 	// Batches served by this replica.
 	Batches uint64 `json:"batches"`
-	// InFlight is the front-end view: batches sent, result not yet back.
+	// InFlight is the front-end view, summed across front-ends: batches
+	// sent, result not yet back.
 	InFlight int `json:"in_flight"`
 	// QueueDepth is the replica's last occupancy heartbeat: batches queued
 	// or executing on the replica side.
@@ -141,16 +163,63 @@ type ReplicaStats struct {
 	State string `json:"state"`
 }
 
-// Stats is a point-in-time snapshot of the server's metrics.
+// FrontEndStats is one front-end's share of the outcome accounting; the
+// conservation identity Offered == Requests + ShedFull + ShedExpired +
+// ShedQuota + Canceled + Failed holds per front-end (once its in-flight
+// requests resolve) and therefore in aggregate.
+type FrontEndStats struct {
+	Offered     uint64        `json:"offered"`
+	Requests    uint64        `json:"requests"`
+	Batches     uint64        `json:"batches"`
+	ShedFull    uint64        `json:"shed_full"`
+	ShedExpired uint64        `json:"shed_expired"`
+	ShedQuota   uint64        `json:"shed_quota"`
+	Canceled    uint64        `json:"canceled"`
+	Failed      uint64        `json:"failed"`
+	P50         time.Duration `json:"p50_us"`
+	P99         time.Duration `json:"p99_us"`
+}
+
+func (c *statsCollector) frontEndStats() FrontEndStats {
+	var hist [latBuckets]uint64
+	for i := range c.latency {
+		hist[i] = c.latency[i].Load()
+	}
+	return FrontEndStats{
+		Offered:     c.offered.Load(),
+		Requests:    c.requests.Load(),
+		Batches:     c.batches.Load(),
+		ShedFull:    c.shedFull.Load(),
+		ShedExpired: c.shedExpired.Load(),
+		ShedQuota:   c.shedQuota.Load(),
+		Canceled:    c.canceled.Load(),
+		Failed:      c.failed.Load(),
+		P50:         Quantile(hist[:], 0.50),
+		P99:         Quantile(hist[:], 0.99),
+	}
+}
+
+// Stats is a point-in-time snapshot of the server's metrics, aggregated
+// across every front-end.
 type Stats struct {
+	// Offered counts every validated request that entered the pipeline;
+	// conservation: Offered == Requests + ShedFull + ShedExpired +
+	// ShedQuota + Canceled + Failed once in-flight requests resolve.
+	Offered  uint64 `json:"offered"`
 	Requests uint64 `json:"requests"`
 	Batches  uint64 `json:"batches"`
 	// AvgBatch is mean flushed batch occupancy: requests served / batches.
 	AvgBatch float64 `json:"avg_batch"`
 	// ShedFull counts requests rejected on a full admission lane;
-	// ShedExpired counts requests dropped after their deadline passed.
+	// ShedExpired counts requests dropped after their deadline passed;
+	// ShedQuota counts binary frames shed at the socket by tenant quotas.
 	ShedFull    uint64 `json:"shed_full"`
 	ShedExpired uint64 `json:"shed_expired"`
+	ShedQuota   uint64 `json:"shed_quota"`
+	// Canceled counts caller-abandoned requests; Failed counts requests
+	// lost to replica failure, no-live-replica fail-fast, or shutdown.
+	Canceled uint64 `json:"canceled"`
+	Failed   uint64 `json:"failed"`
 	// Failure-path counters: batch re-dispatches, the subset that changed
 	// replica, replica quarantine/rejoin transitions, and stale results
 	// dropped by the at-most-once seq guard.
@@ -168,6 +237,8 @@ type Stats struct {
 	Occupancy []uint64 `json:"batch_occupancy"`
 	// Stages decomposes request time by pipeline stage, lifecycle order.
 	Stages []StageStats `json:"stages"`
+	// FrontEnds is the per-front-end outcome breakdown.
+	FrontEnds []FrontEndStats `json:"front_ends,omitempty"`
 	// Replicas is the per-replica routing state.
 	Replicas []ReplicaStats `json:"replicas"`
 	// Process-health gauges: "is the process itself sick" signals the
@@ -186,28 +257,51 @@ type StageStats struct {
 	P99   time.Duration `json:"p99_us"`
 }
 
+// snapshot renders one collector; Stats() aggregates across collectors via
+// snapshotStats.
 func (c *statsCollector) snapshot() Stats {
-	s := Stats{
-		Requests:       c.requests.Load(),
-		Batches:        c.batches.Load(),
-		ShedFull:       c.shedFull.Load(),
-		ShedExpired:    c.shedExpired.Load(),
-		Retries:        c.retries.Load(),
-		Failovers:      c.failovers.Load(),
-		Quarantined:    c.quarantined.Load(),
-		Rejoins:        c.rejoins.Load(),
-		DroppedResults: c.droppedResults.Load(),
-		Occupancy:      make([]uint64, len(c.occupancy)),
+	return snapshotStats([]*statsCollector{c})
+}
+
+// snapshotStats merges counters and histograms across collectors (the
+// fleet-level one plus one per front-end) into one Stats.
+func snapshotStats(cs []*statsCollector) Stats {
+	var s Stats
+	occLen := 0
+	for _, c := range cs {
+		s.Offered += c.offered.Load()
+		s.Requests += c.requests.Load()
+		s.Batches += c.batches.Load()
+		s.ShedFull += c.shedFull.Load()
+		s.ShedExpired += c.shedExpired.Load()
+		s.ShedQuota += c.shedQuota.Load()
+		s.Canceled += c.canceled.Load()
+		s.Failed += c.failed.Load()
+		s.Retries += c.retries.Load()
+		s.Failovers += c.failovers.Load()
+		s.Quarantined += c.quarantined.Load()
+		s.Rejoins += c.rejoins.Load()
+		s.DroppedResults += c.droppedResults.Load()
+		if len(c.occupancy) > occLen {
+			occLen = len(c.occupancy)
+		}
 	}
-	for i := range c.occupancy {
-		s.Occupancy[i] = c.occupancy[i].Load()
+	s.Occupancy = make([]uint64, occLen)
+	var samples uint64
+	for _, c := range cs {
+		samples += c.samples.Load()
+		for i := range c.occupancy {
+			s.Occupancy[i] += c.occupancy[i].Load()
+		}
 	}
 	if s.Batches > 0 {
-		s.AvgBatch = float64(c.samples.Load()) / float64(s.Batches)
+		s.AvgBatch = float64(samples) / float64(s.Batches)
 	}
 	var hist [latBuckets]uint64
-	for i := range c.latency {
-		hist[i] = c.latency[i].Load()
+	for _, c := range cs {
+		for i := range c.latency {
+			hist[i] += c.latency[i].Load()
+		}
 	}
 	s.P50 = Quantile(hist[:], 0.50)
 	s.P90 = Quantile(hist[:], 0.90)
@@ -217,8 +311,12 @@ func (c *statsCollector) snapshot() Stats {
 	for st := stage(0); st < nStages; st++ {
 		var h [latBuckets]uint64
 		var count uint64
-		for i := range c.stageLat[st] {
-			h[i] = c.stageLat[st][i].Load()
+		for _, c := range cs {
+			for i := range c.stageLat[st] {
+				h[i] += c.stageLat[st][i].Load()
+			}
+		}
+		for i := range h {
 			count += h[i]
 		}
 		s.Stages[st] = StageStats{

@@ -13,9 +13,17 @@
 //
 // A World replays the serving pipeline on a single event heap:
 //
-//	arrivals -> admission bound -> forming batch (MaxBatch / BatchDeadline)
+//	arrivals -> front-end admission (FrontEnds x AdmitNS, FCFS)
+//	  -> admission bound -> forming batch (MaxBatch / BatchDeadline)
 //	  -> dispatch queue -> sched.Policy.Pick -> wire -> replica FIFO queue
 //	  -> service (perfmodel.ServeStages latency curves) -> gather -> done
+//
+// The admission stage mirrors serve.Config.FrontEnds' sharded front-ends:
+// each arrival is parsed and admitted by the earliest-free of FrontEnds
+// parallel servers at AdmitNS ns apiece, so the stage caps sustainable
+// throughput at FrontEnds/AdmitNS and queueing past that ceiling burns
+// request deadlines before batching even starts. AdmitNS 0 (the default)
+// skips the stage, replaying older configs byte-identically.
 //
 // Replica batch latency comes from Curve, tabulated per batch size from
 // perfmodel.ServeStages' analytic wire/compute/gather stages and

@@ -16,6 +16,7 @@ const (
 	evDetect                    // failure detector notices a dead replica
 	evRejoin                    // quarantined replica rejoins the fleet
 	evLost                      // a dispatched batch message was dropped
+	evAdmit                     // a front-end finishes admitting a request
 )
 
 type event struct {
@@ -25,6 +26,8 @@ type event struct {
 	g     int       // replica group, where relevant
 	b     *simBatch // batch, where relevant
 	epoch uint32    // batch/replica epoch guard captured at scheduling
+	req   arrival   // evAdmit: the request being admitted
+	reqAt int64     // evAdmit: its original arrival instant
 }
 
 type eventHeap struct {

@@ -234,6 +234,62 @@ func TestIdealNoWorseThanRandomOnHeavyTail(t *testing.T) {
 	}
 }
 
+// TestAdmitZeroIsByteIdentical: AdmitNS 0 must skip the admission stage
+// entirely — a world with FrontEnds set but no admission cost replays the
+// legacy configuration bit for bit (no extra events, no shifted seq
+// numbers, identical scorecard).
+func TestAdmitZeroIsByteIdentical(t *testing.T) {
+	run := func(frontEnds int) Scorecard {
+		cfg := smallConfig(leastLoaded(t))
+		cfg.FrontEnds = frontEnds
+		w, err := NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Scorecard()
+	}
+	legacy, staged := run(0), run(8)
+	if legacy != staged {
+		t.Fatalf("FrontEnds with AdmitNS=0 changed the run:\nlegacy %+v\nstaged %+v", legacy, staged)
+	}
+}
+
+// TestFrontEndAdmissionCeiling: with a per-request admission cost that one
+// front-end cannot sustain at the offered rate, requests queue at admission
+// and expire before their batch flushes; doubling the front-ends doubles
+// the admission ceiling and recovers the served fraction and the tail.
+func TestFrontEndAdmissionCeiling(t *testing.T) {
+	run := func(frontEnds int) Scorecard {
+		cfg := smallConfig(leastLoaded(t))
+		// 40k req/s offered against a 25µs admission cost: one front-end
+		// admits at most 40k/s with zero slack, two have 2x headroom.
+		cfg.FrontEnds = frontEnds
+		cfg.AdmitNS = 25_000
+		cfg.Traffic.Deadline = 2_000_000
+		w, err := NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := w.Run()
+		total := acc.served + acc.shedFull + acc.shedExpired + acc.failed
+		if total != acc.offered {
+			t.Fatalf("conservation broken with %d front-ends: served=%d shedFull=%d shedExpired=%d failed=%d != offered=%d",
+				frontEnds, acc.served, acc.shedFull, acc.shedExpired, acc.failed, acc.offered)
+		}
+		return acc.scorecard()
+	}
+	one, two := run(1), run(2)
+	if one.ShedExpired == 0 {
+		t.Fatal("saturated single front-end shed nothing: the admission stage is not queueing")
+	}
+	if two.Served <= one.Served {
+		t.Fatalf("doubling front-ends did not raise served: 1 FE served=%d, 2 FEs served=%d", one.Served, two.Served)
+	}
+	if two.P99us >= one.P99us {
+		t.Fatalf("doubling front-ends did not cut the tail: 1 FE p99=%dus, 2 FEs p99=%dus", one.P99us, two.P99us)
+	}
+}
+
 func TestSweepSameSeedByteIdentical(t *testing.T) {
 	cfg := SweepConfig{
 		Seed:     123,

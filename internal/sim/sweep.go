@@ -30,6 +30,10 @@ type SweepConfig struct {
 	MaxBatch      int
 	BatchDeadline int64
 	QueueDepth    int
+	// FrontEnds/AdmitNS arm the admission-service-time stage in every
+	// cell (see Config); zero AdmitNS keeps admission instantaneous.
+	FrontEnds int
+	AdmitNS   int64
 
 	// Traffic is the template: Process, Burst*, Diurnal*, Tenants,
 	// TenantSkew, and Deadline are taken from it; Rate and the tail
@@ -153,6 +157,8 @@ func RunSweep(cfg SweepConfig) (*Result, error) {
 							MaxBatch:      cfg.MaxBatch,
 							BatchDeadline: cfg.BatchDeadline,
 							QueueDepth:    cfg.QueueDepth,
+							FrontEnds:     cfg.FrontEnds,
+							AdmitNS:       cfg.AdmitNS,
 							Policy:        pol,
 							Traffic:       tr,
 							Duration:      cfg.Duration,

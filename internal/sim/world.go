@@ -23,6 +23,16 @@ type Config struct {
 	// QueueDepth is the per-replica in-flight cap (serve.QueueDepth).
 	// Default 2.
 	QueueDepth int
+	// FrontEnds and AdmitNS model serve.Config.FrontEnds' sharded
+	// admission: every arrival is parsed and admitted by one of FrontEnds
+	// parallel front-end servers, each taking AdmitNS ns per request
+	// (earliest-free front-end wins, FCFS). The admission ceiling is
+	// FrontEnds/AdmitNS req/ns; past it, requests queue at admission and
+	// burn their deadlines there. AdmitNS 0 (the default) makes admission
+	// instantaneous and skips the stage entirely, so older configs replay
+	// byte-identically. FrontEnds defaults to 1.
+	FrontEnds int
+	AdmitNS   int64
 	// PendingBatches bounds flushed-but-undispatched batches (the
 	// admission lane): while it is full, new arrivals are shed. Default
 	// 4 * len(Groups).
@@ -95,6 +105,8 @@ type World struct {
 	gen      *trafficGen
 	nextReq  arrival // request whose evArrival is on the heap
 	faultRG  *rng    // batch-drop draws, separate stream from traffic
+	feFree   []int64 // admission stage: instant each front-end frees up (nil when AdmitNS 0)
+	feRR     int     // rotating tie-break start for idle front-ends
 	reps     []*simReplica
 	live     int
 	views    []sched.ReplicaView
@@ -133,6 +145,12 @@ func NewWorld(cfg Config) (*World, error) {
 	if cfg.RetryBudget < 1 {
 		cfg.RetryBudget = 1
 	}
+	if cfg.FrontEnds < 1 {
+		cfg.FrontEnds = 1
+	}
+	if cfg.AdmitNS < 0 {
+		return nil, errors.New("sim: AdmitNS must be >= 0")
+	}
 	w := &World{
 		cfg:     cfg,
 		pol:     cfg.Policy,
@@ -150,6 +168,9 @@ func NewWorld(cfg Config) (*World, error) {
 			killAfter: kills[g],
 			slow:      cfg.Faults.slowFor(g),
 		})
+	}
+	if cfg.AdmitNS > 0 {
+		w.feFree = make([]int64, cfg.FrontEnds)
 	}
 	w.live = len(w.reps)
 	w.pol.Reset(len(w.reps), cfg.Seed)
@@ -191,6 +212,8 @@ func (w *World) Run() *accum {
 		switch e.kind {
 		case evArrival:
 			w.onArrival()
+		case evAdmit:
+			w.joinBatch(e.req, e.reqAt)
 		case evFlush:
 			if w.forming != nil && e.epoch == w.flushEp {
 				w.flushForming()
@@ -220,31 +243,67 @@ func (w *World) onArrival() {
 	if int(a.tenant) < len(w.acc.tenantOffered) {
 		w.acc.tenantOffered[a.tenant]++
 	}
-	// Admission: a full dispatch lane sheds new arrivals, the open-loop
-	// analogue of production's blocking submit back-pressuring clients.
-	if len(w.dq) >= w.cfg.PendingBatches {
-		w.acc.shedFull++
+	if w.feFree != nil {
+		// Admission stage armed: the request occupies the earliest-free
+		// front-end for AdmitNS before it can touch a batch. Past the
+		// FrontEnds/AdmitNS ceiling, requests queue FCFS at admission and
+		// burn their deadline budget there.
+		fe := w.pickFE()
+		start := w.feFree[fe]
+		if start < w.now {
+			start = w.now
+		}
+		w.feFree[fe] = start + w.cfg.AdmitNS
+		w.heap.push(event{at: w.feFree[fe], kind: evAdmit, req: a, reqAt: w.now})
 	} else {
-		if w.forming == nil {
-			w.forming = w.getBatch()
-			w.flushEp++
-			w.heap.push(event{at: w.now + w.cfg.BatchDeadline, kind: evFlush, epoch: w.flushEp})
-		}
-		b := w.forming
-		b.n++
-		b.arrive = append(b.arrive, w.now)
-		b.deadline = append(b.deadline, a.deadline)
-		b.tenant = append(b.tenant, a.tenant)
-		b.sumWork += a.work
-		if b.n >= w.cfg.MaxBatch {
-			w.flushForming()
-			w.pump()
-		}
+		w.joinBatch(a, w.now)
 	}
 	if w.now < w.endAt {
 		dt, next := w.gen.next(w.now)
 		w.nextReq = next
 		w.heap.push(event{at: w.now + dt, kind: evArrival})
+	}
+}
+
+// pickFE returns the earliest-free front-end, rotating the scan start so
+// ties among idle front-ends spread round-robin instead of piling on 0.
+func (w *World) pickFE() int {
+	n := len(w.feFree)
+	best := w.feRR % n
+	for i := 1; i < n; i++ {
+		c := (w.feRR + i) % n
+		if w.feFree[c] < w.feFree[best] {
+			best = c
+		}
+	}
+	w.feRR++
+	return best
+}
+
+// joinBatch is the admitted half of an arrival: a full dispatch lane sheds
+// the request (the open-loop analogue of production's reject-at-the-socket
+// backpressure), otherwise it rides the forming batch. arriveAt is the
+// request's original arrival instant, so admission queueing counts toward
+// its latency and its deadline keeps running while it waits.
+func (w *World) joinBatch(a arrival, arriveAt int64) {
+	if len(w.dq) >= w.cfg.PendingBatches {
+		w.acc.shedFull++
+		return
+	}
+	if w.forming == nil {
+		w.forming = w.getBatch()
+		w.flushEp++
+		w.heap.push(event{at: w.now + w.cfg.BatchDeadline, kind: evFlush, epoch: w.flushEp})
+	}
+	b := w.forming
+	b.n++
+	b.arrive = append(b.arrive, arriveAt)
+	b.deadline = append(b.deadline, a.deadline)
+	b.tenant = append(b.tenant, a.tenant)
+	b.sumWork += a.work
+	if b.n >= w.cfg.MaxBatch {
+		w.flushForming()
+		w.pump()
 	}
 }
 
